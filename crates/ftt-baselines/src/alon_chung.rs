@@ -1,0 +1,249 @@
+//! The Alon–Chung baseline (Theorem 12 and the Section 5 product
+//! construction).
+//!
+//! `F_n` is a constant-degree graph with `C·n` nodes such that removing
+//! any constant fraction of nodes/edges leaves a path of `n` nodes. We
+//! realise `F_n` as a Margulis expander (Section 5 notes the original
+//! uses an expander too) and extract surviving paths with the deepest
+//! DFS path, measuring — rather than citing — the surviving path length.
+//!
+//! The `d`-dimensional generalisation takes `F_n × (L_n)^{d−1}`: each
+//! copy of the `(d−1)`-mesh is a *supernode*, a supernode is faulty if
+//! any of its nodes is, and a surviving path of `n` supernodes hosts the
+//! mesh `L_n × (L_n)^{d−1}`.
+
+use ftt_expander::margulis_expander;
+use ftt_geom::Shape;
+use ftt_graph::{deepest_dfs_path, Graph};
+
+/// Theorem 12 instance: expander-based fault-tolerant path host.
+#[derive(Debug, Clone)]
+pub struct AlonChungPath {
+    graph: Graph,
+    n: usize,
+}
+
+impl AlonChungPath {
+    /// Builds `F_n` with roughly `redundancy · n` nodes (the expander
+    /// side is rounded up).
+    pub fn build(n: usize, redundancy: f64) -> Self {
+        assert!(n >= 1);
+        assert!(redundancy >= 1.0, "need at least n nodes");
+        let side = ((n as f64 * redundancy).sqrt().ceil() as usize).max(2);
+        Self {
+            graph: margulis_expander(side),
+            n,
+        }
+    }
+
+    /// Target path length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The host expander.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Extracts the longest surviving path found (deepest DFS path from
+    /// a handful of start nodes in the surviving subgraph). Returns the
+    /// path as host node ids; succeeds for Theorem 12 purposes when the
+    /// length reaches `n`.
+    pub fn extract_path(&self, alive: &[bool]) -> Vec<usize> {
+        assert_eq!(alive.len(), self.graph.num_nodes());
+        let mut best: Vec<usize> = Vec::new();
+        // try a few deterministic roots spread over the node range
+        let n = self.graph.num_nodes();
+        let mut tried = 0;
+        for cand in (0..n).step_by((n / 8).max(1)) {
+            if !alive[cand] {
+                continue;
+            }
+            let p = deepest_dfs_path(&self.graph, cand, alive);
+            if p.len() > best.len() {
+                best = p;
+            }
+            tried += 1;
+            if tried >= 8 || best.len() >= self.n {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Whether the instance survives the given fault set (path of `n`
+    /// alive nodes found).
+    pub fn survives(&self, alive: &[bool]) -> bool {
+        self.extract_path(alive).len() >= self.n
+    }
+}
+
+/// Section 5 product construction: `F_n × (L_n)^{d−1}` hosting the
+/// `d`-dimensional mesh under `O(n)` worst-case faults.
+#[derive(Debug, Clone)]
+pub struct AlonChungMesh {
+    path_host: AlonChungPath,
+    /// Shape of the `(d−1)`-dimensional mesh in each supernode.
+    inner: Shape,
+}
+
+impl AlonChungMesh {
+    /// Builds the product host for the `d`-dimensional `n × … × n` mesh.
+    pub fn build(n: usize, d: usize, redundancy: f64) -> Self {
+        assert!(d >= 2, "use AlonChungPath for d = 1");
+        Self {
+            path_host: AlonChungPath::build(n, redundancy),
+            inner: Shape::cube(n, d - 1),
+        }
+    }
+
+    /// Number of host nodes: `|F_n| · n^{d−1}`.
+    pub fn num_nodes(&self) -> usize {
+        self.path_host.graph().num_nodes() * self.inner.len()
+    }
+
+    /// Host node id of `(supernode, inner mesh node)`.
+    pub fn node(&self, supernode: usize, inner: usize) -> usize {
+        debug_assert!(inner < self.inner.len());
+        supernode * self.inner.len() + inner
+    }
+
+    /// Supernode of a host node.
+    pub fn supernode_of(&self, v: usize) -> usize {
+        v / self.inner.len()
+    }
+
+    /// Materialises the product graph `F_n × mesh` (node ids =
+    /// `supernode · n^{d−1} + inner`), for verification on small
+    /// instances.
+    pub fn build_graph(&self) -> ftt_graph::Graph {
+        let inner = ftt_graph::gen::mesh(&self.inner);
+        ftt_graph::gen::cartesian_product(self.path_host.graph(), &inner)
+    }
+
+    /// The guest mesh shape `n × n × … × n` (`d` dims).
+    pub fn guest_shape(&self) -> Shape {
+        let mut dims = vec![self.path_host.n()];
+        dims.extend(self.inner.dims().iter().copied());
+        Shape::new(dims)
+    }
+
+    /// Attempts to embed the `d`-dimensional mesh avoiding `faulty`
+    /// host nodes: returns the map `guest mesh → host` on success.
+    ///
+    /// A supernode is faulty iff any of its `n^{d−1}` nodes is; a
+    /// surviving expander path of `n` supernodes gives the first mesh
+    /// dimension, the intact inner meshes the rest.
+    pub fn embed_mesh(&self, faulty: &[bool]) -> Option<Vec<usize>> {
+        assert_eq!(faulty.len(), self.num_nodes());
+        let inner_len = self.inner.len();
+        let su_count = self.path_host.graph().num_nodes();
+        let su_alive: Vec<bool> = (0..su_count)
+            .map(|s| {
+                !faulty[s * inner_len..(s + 1) * inner_len]
+                    .iter()
+                    .any(|&f| f)
+            })
+            .collect();
+        let path = self.path_host.extract_path(&su_alive);
+        if path.len() < self.path_host.n() {
+            return None;
+        }
+        let n = self.path_host.n();
+        let guest = {
+            let mut dims = vec![n];
+            dims.extend(self.inner.dims().iter().copied());
+            Shape::new(dims)
+        };
+        let mut map = vec![0usize; guest.len()];
+        for g in guest.iter() {
+            let i = guest.coord_of(g, 0);
+            let inner_flat = g % inner_len;
+            map[g] = path[i] * inner_len + inner_flat;
+        }
+        Some(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fault_free_path_found() {
+        let ac = AlonChungPath::build(50, 4.0);
+        let alive = vec![true; ac.graph().num_nodes()];
+        assert!(ac.survives(&alive));
+    }
+
+    #[test]
+    fn survives_moderate_random_faults() {
+        let ac = AlonChungPath::build(50, 8.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut survived = 0;
+        for _ in 0..10 {
+            let alive: Vec<bool> = (0..ac.graph().num_nodes())
+                .map(|_| !rng.gen_bool(0.2))
+                .collect();
+            if ac.survives(&alive) {
+                survived += 1;
+            }
+        }
+        assert!(survived >= 8, "survived only {survived}/10 at 20% faults");
+    }
+
+    #[test]
+    fn extracted_path_is_valid() {
+        let ac = AlonChungPath::build(30, 4.0);
+        let mut alive = vec![true; ac.graph().num_nodes()];
+        alive[3] = false;
+        alive[10] = false;
+        let p = ac.extract_path(&alive);
+        for w in p.windows(2) {
+            assert!(ac.graph().has_edge(w[0], w[1]));
+        }
+        let distinct: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(distinct.len(), p.len());
+        assert!(p.iter().all(|&v| alive[v]));
+    }
+
+    #[test]
+    fn mesh_product_embeds() {
+        let ac = AlonChungMesh::build(8, 2, 6.0);
+        let mut faulty = vec![false; ac.num_nodes()];
+        // kill two whole supernodes and a single node of a third
+        for v in 0..8 {
+            faulty[3 * 8 + v] = true;
+        }
+        faulty[5 * 8 + 2] = true;
+        let map = ac.embed_mesh(&faulty).expect("mesh embedding");
+        // images alive + injective
+        let mut seen = std::collections::HashSet::new();
+        for &v in &map {
+            assert!(!faulty[v]);
+            assert!(seen.insert(v));
+        }
+        assert_eq!(map.len(), 64);
+    }
+
+    #[test]
+    fn mesh_embedding_verifies_against_product_graph() {
+        let ac = AlonChungMesh::build(8, 2, 6.0);
+        let host = ac.build_graph();
+        let mut faulty = vec![false; ac.num_nodes()];
+        faulty[2 * 8 + 3] = true; // kill a node → supernode 2 dies
+        let map = ac.embed_mesh(&faulty).expect("mesh embedding");
+        ftt_graph::verify_mesh_embedding(&ac.guest_shape(), &map, &host, |v| !faulty[v], |_| true)
+            .expect("product-graph mesh embedding must verify");
+    }
+
+    #[test]
+    fn mesh_fails_when_everything_dies() {
+        let ac = AlonChungMesh::build(8, 2, 2.0);
+        let faulty = vec![true; ac.num_nodes()];
+        assert!(ac.embed_mesh(&faulty).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! An FKP93-style `O(log N)`-degree cluster construction.
+//!
+//! Fraigniaud, Kenyon and Pelc showed that constant-probability random
+//! faults can be tolerated with linear node redundancy and degree
+//! `O(log N)`: replace every torus node by a cluster of `Θ(log n)`
+//! nodes, wire clusters of adjacent torus nodes completely, and use any
+//! alive representative per cluster. This is the degree benchmark the
+//! introduction compares Theorem 1's `O(log log N)` against.
+//!
+//! We implement the natural representative-selection algorithm: greedy
+//! per cluster in row-major order, requiring alive edges toward already
+//! selected neighbour representatives (with edge faults this needs a
+//! compatible choice; with node faults only, any alive node works).
+
+use ftt_geom::Shape;
+use ftt_graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// A cluster-per-node torus host with cluster size `c` (the paper's
+/// `Θ(log n)`).
+#[derive(Debug, Clone)]
+pub struct FkpCluster {
+    torus: Shape,
+    cluster: usize,
+    graph: Graph,
+}
+
+impl FkpCluster {
+    /// Builds the host for the `d`-dimensional `n × … × n` torus with
+    /// clusters of `cluster` nodes.
+    pub fn build(n: usize, d: usize, cluster: usize) -> Self {
+        assert!(cluster >= 1);
+        let torus = Shape::cube(n, d);
+        let c = cluster;
+        let mut b = GraphBuilder::new(torus.len() * c);
+        // intra-cluster cliques
+        for t in torus.iter() {
+            let base = t * c;
+            for i in 0..c {
+                for j in i + 1..c {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        // inter-cluster complete joins along torus edges
+        for t in torus.iter() {
+            for axis in 0..torus.ndim() {
+                let nn = torus.dim(axis);
+                if nn < 2 {
+                    continue;
+                }
+                let u = torus.torus_step(t, axis, 1);
+                let ct = torus.coord_of(t, axis);
+                if ct + 1 < nn || nn > 2 {
+                    for i in 0..c {
+                        for j in 0..c {
+                            b.add_edge(t * c + i, u * c + j);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            torus,
+            cluster,
+            graph: b.build(),
+        }
+    }
+
+    /// The cluster size (`Θ(log n)` in the theory).
+    pub fn cluster_size(&self) -> usize {
+        self.cluster
+    }
+
+    /// Host node count.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The host graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Degree of the host: `c − 1 + 2d·c`.
+    pub fn degree(&self) -> usize {
+        self.cluster - 1 + 2 * self.torus.ndim() * self.cluster
+    }
+
+    /// Attempts to embed the torus avoiding faulty nodes/edges: one
+    /// alive representative per cluster with alive edges to the
+    /// already-chosen neighbour representatives. Returns the map on
+    /// success.
+    pub fn embed_torus(
+        &self,
+        node_alive: impl Fn(usize) -> bool,
+        edge_alive: impl Fn(u32) -> bool,
+    ) -> Option<Vec<usize>> {
+        let c = self.cluster;
+        let mut map = vec![usize::MAX; self.torus.len()];
+        for t in self.torus.iter() {
+            let mut images: Vec<usize> = Vec::with_capacity(2 * self.torus.ndim());
+            for axis in 0..self.torus.ndim() {
+                for step in [-1isize, 1] {
+                    let u = self.torus.torus_step(t, axis, step);
+                    if u != t && map[u] != usize::MAX {
+                        images.push(map[u]);
+                    }
+                }
+            }
+            let mut chosen = None;
+            'cand: for v in t * c..(t + 1) * c {
+                if !node_alive(v) {
+                    continue;
+                }
+                for &img in &images {
+                    let ok = self
+                        .graph
+                        .edges_between(v, img)
+                        .into_iter()
+                        .any(&edge_alive);
+                    if !ok {
+                        continue 'cand;
+                    }
+                }
+                chosen = Some(v);
+                break;
+            }
+            map[t] = chosen?;
+        }
+        Some(map)
+    }
+
+    /// Convenience: Bernoulli node/edge faults, then embed.
+    pub fn survives_random<R: Rng>(&self, p: f64, q: f64, rng: &mut R) -> bool {
+        let faults = ftt_faults::sample_bernoulli_faults(&self.graph, p, q, rng);
+        self.embed_torus(|v| faults.node_alive(v), |e| faults.edge_alive(e))
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_graph::verify_torus_embedding;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degrees_scale_with_cluster() {
+        let f = FkpCluster::build(6, 2, 4);
+        assert_eq!(f.num_nodes(), 36 * 4);
+        assert_eq!(f.graph().max_degree(), f.degree());
+        assert_eq!(f.graph().min_degree(), f.degree());
+    }
+
+    #[test]
+    fn fault_free_embeds_and_verifies() {
+        let f = FkpCluster::build(5, 2, 3);
+        let map = f.embed_torus(|_| true, |_| true).unwrap();
+        verify_torus_embedding(&Shape::cube(5, 2), &map, f.graph(), |_| true, |_| true)
+            .expect("valid embedding");
+    }
+
+    #[test]
+    fn tolerates_one_fault_per_cluster() {
+        let f = FkpCluster::build(6, 2, 3);
+        // kill local node 0 of every cluster
+        let map = f
+            .embed_torus(|v| v % 3 != 0, |_| true)
+            .expect("two alive nodes per cluster remain");
+        verify_torus_embedding(
+            &Shape::cube(6, 2),
+            &map,
+            f.graph(),
+            |v| v % 3 != 0,
+            |_| true,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn dead_cluster_fails() {
+        let f = FkpCluster::build(4, 2, 2);
+        // kill all of cluster 5
+        assert!(f
+            .embed_torus(|v| !(10..12).contains(&v), |_| true)
+            .is_none());
+    }
+
+    #[test]
+    fn random_survival_improves_with_cluster_size() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let p = 0.3;
+        let small = FkpCluster::build(5, 2, 2);
+        let large = FkpCluster::build(5, 2, 6);
+        let mut s_small = 0;
+        let mut s_large = 0;
+        for _ in 0..20 {
+            if small.survives_random(p, 0.0, &mut rng) {
+                s_small += 1;
+            }
+            if large.survives_random(p, 0.0, &mut rng) {
+                s_large += 1;
+            }
+        }
+        assert!(s_large > s_small, "large {s_large} vs small {s_small}");
+        assert!(
+            s_large >= 18,
+            "cluster 6 at p=0.3 should almost always survive"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline constructions the paper positions itself against.
+//!
+//! * [`alon_chung`] — Theorem 12: the expander-based linear-size
+//!   1-dimensional construction of Alon & Chung, plus the Section 5
+//!   product generalisation `F_n × (L_n)^{d−1}` for the `d`-dimensional
+//!   mesh tolerating `O(n)` worst-case faults.
+//! * [`fkp`] — the Fraigniaud–Kenyon–Pelc-style `O(log N)`-degree
+//!   cluster construction tolerating constant-probability faults
+//!   (the intro's degree comparison point for Theorem 1).
+//! * [`models`] — analytic redundancy models for the Bruck–Cypher–Ho
+//!   constructions the paper cites (degree-13, `n² + O(k³)` nodes),
+//!   used by the crossover tables; BCH is compared on node counts, which
+//!   these formulas reproduce exactly (see DESIGN.md §4).
+//! * [`naive`] — the torus itself, no redundancy: the control row of
+//!   every reliability table.
+
+pub mod alon_chung;
+pub mod fkp;
+pub mod models;
+pub mod naive;
+
+pub use alon_chung::{AlonChungMesh, AlonChungPath};
+pub use fkp::FkpCluster;
+pub use naive::naive_survives;

@@ -1,0 +1,41 @@
+//! The no-redundancy control: the torus itself.
+//!
+//! With zero spare nodes, the `n × … × n` torus survives a fault set iff
+//! the set is empty — the control row showing why redundancy is needed
+//! at all in the reliability tables.
+
+use ftt_geom::Shape;
+
+/// Whether the bare torus over `shape` still contains a fault-free
+/// torus of its own size (iff there are no faults).
+pub fn naive_survives(shape: &Shape, faulty: &[bool]) -> bool {
+    assert_eq!(faulty.len(), shape.len());
+    !faulty.iter().any(|&f| f)
+}
+
+/// Expected survival probability of the bare `N`-node torus under
+/// node-failure probability `p`: `(1−p)^N`.
+pub fn naive_survival_probability(num_nodes: usize, p: f64) -> f64 {
+    (1.0 - p).powi(num_nodes as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survives_iff_no_faults() {
+        let s = Shape::cube(4, 2);
+        assert!(naive_survives(&s, &[false; 16]));
+        let mut f = vec![false; 16];
+        f[7] = true;
+        assert!(!naive_survives(&s, &f));
+    }
+
+    #[test]
+    fn probability_decays() {
+        assert!((naive_survival_probability(1, 0.5) - 0.5).abs() < 1e-12);
+        assert!(naive_survival_probability(10_000, 0.01) < 1e-40);
+        assert_eq!(naive_survival_probability(100, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion: construction cost of the three host graphs
+//! (supports the T2-DEGREE / T1-DEGREE / T3-REDUNDANCY tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::ddn::{Ddn, DdnParams};
+use std::hint::black_box;
+
+fn bench_bdn_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdn_build");
+    for (n, b) in [(54usize, 3usize), (108, 3), (192, 4)] {
+        let params = BdnParams::new(2, n, b, 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |bench, p| {
+            bench.iter(|| black_box(Bdn::build(*p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adn_build(c: &mut Criterion) {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let mut group = c.benchmark_group("adn_build");
+    group.sample_size(10);
+    for h in [6usize, 10] {
+        let params = AdnParams::new(inner, 2, h, 0.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(h), &params, |bench, p| {
+            bench.iter(|| black_box(Adn::build(*p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddn_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddn_build_graph");
+    for (n, b) in [(40usize, 2usize), (60, 3)] {
+        let params = DdnParams::fit(2, n, b).unwrap();
+        let ddn = Ddn::new(params);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{}_b{b}", params.n)),
+            &ddn,
+            |bench, d| {
+                bench.iter(|| black_box(d.build_graph()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_bdn_build, bench_adn_build, bench_ddn_build
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: full Theorem-pipeline trials — fault sampling through
+//! verified extraction — the unit of work behind every success-
+//! probability table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftt_bench::bdn_trial;
+use ftt_core::adn::embed::extract_after_faults_adn;
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_faults::{sample_bernoulli_faults, HalfEdgeFaults};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_t2_trial(c: &mut Criterion) {
+    let bdn = Bdn::build(BdnParams::new(2, 192, 4, 1).unwrap());
+    c.bench_function("t2_full_trial_192_p2e-5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(bdn_trial(&bdn, 2e-5, seed))
+        });
+    });
+}
+
+fn bench_t1_trial(c: &mut Criterion) {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let adn = Adn::build(AdnParams::new(inner, 2, 8, 0.0).unwrap());
+    let mut group = c.benchmark_group("t1_full_trial");
+    group.sample_size(10);
+    group.bench_function("adn_108_p0.05", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let nf = sample_bernoulli_faults(adn.graph(), 0.05, 0.0, &mut rng);
+            let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+            let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+            black_box(extract_after_faults_adn(&adn, &faulty, &halves).is_ok())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_t2_trial, bench_t1_trial
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: expander substrate — Margulis construction, spectral-gap
+//! estimation, DFS path extraction (supports T12-PATH).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftt_baselines::alon_chung::AlonChungPath;
+use ftt_expander::{margulis_expander, second_eigenvalue};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_margulis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("margulis_build");
+    for s in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| black_box(margulis_expander(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let g = margulis_expander(32);
+    c.bench_function("second_eigenvalue_1024n_100it", |b| {
+        b.iter(|| black_box(second_eigenvalue(&g, 100)));
+    });
+}
+
+fn bench_path_extraction(c: &mut Criterion) {
+    let ac = AlonChungPath::build(100, 8.0);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let alive: Vec<bool> = (0..ac.graph().num_nodes())
+        .map(|_| !rng.gen_bool(0.3))
+        .collect();
+    c.bench_function("alon_chung_extract_path_c0.3", |b| {
+        b.iter(|| black_box(ac.extract_path(&alive)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_margulis, bench_spectral, bench_path_extraction
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion: torus extraction cost — column cycles, Lemma 7 alignment
+//! check, embedding assembly (the full Lemma 6 pipeline given bands),
+//! plus the `D^d_{n,k}` pigeonhole placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftt_core::bdn::extract::extract_torus;
+use ftt_core::bdn::place::place_bands;
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_faults::AdversaryPattern;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bdn_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdn_extract");
+    for (n, b) in [(54usize, 3usize), (192, 4)] {
+        let params = BdnParams::new(2, n, b, 1).unwrap();
+        let bdn = Bdn::build(params);
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[bdn.cols().node(20, 20)] = true;
+        let placement = place_bands(&bdn, &faulty).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &placement, |bench, p| {
+            bench.iter(|| black_box(extract_torus(&bdn, &p.banding).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddn_place_extract(c: &mut Criterion) {
+    let params = DdnParams::fit(2, 60, 2).unwrap();
+    let ddn = Ddn::new(params);
+    let k = params.tolerated_faults();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let faults = AdversaryPattern::Random.generate(ddn.shape(), k, &mut rng);
+    c.bench_function("ddn_place_extract_d2_k8", |b| {
+        b.iter(|| black_box(ddn.try_extract(&faults).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_bdn_extract, bench_ddn_place_extract
+}
+criterion_main!(benches);

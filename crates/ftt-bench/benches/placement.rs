@@ -1,0 +1,49 @@
+//! Criterion: band placement cost (painting + segments + interpolation)
+//! as a function of fault density (supports T2-SUCCESS / ABL-HEALTH).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftt_core::bdn::place::place_bands;
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_faults::sample_bernoulli_faults;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_place(c: &mut Criterion) {
+    let params = BdnParams::new(2, 192, 4, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let mut group = c.benchmark_group("place_bands_192");
+    for faults in [0usize, 1, 4] {
+        // deterministic well-separated faults (always placeable)
+        let mut faulty = vec![false; bdn.num_nodes()];
+        let positions = [(20usize, 20usize), (100, 100), (200, 60), (60, 170)];
+        for &(i, z) in positions.iter().take(faults) {
+            faulty[bdn.cols().node(i, z)] = true;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(faults), &faulty, |b, f| {
+            b.iter(|| black_box(place_bands(&bdn, f).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_place_random(c: &mut Criterion) {
+    let params = BdnParams::new(2, 192, 4, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let f = sample_bernoulli_faults(bdn.graph(), 2e-5, 0.0, &mut rng);
+    let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
+    c.bench_function("place_bands_192_random_p2e-5", |b| {
+        b.iter(|| black_box(place_bands(&bdn, &faulty)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_place, bench_place_random
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment ABL-HEALTH: which healthiness condition fails first?
+//!
+//! Lemma 4 proves all three conditions hold whp at the design fault
+//! probability; Lemma 5 shows they suffice. This ablation sweeps `p`
+//! upward and attributes failures: per condition violation frequency,
+//! plus the key sanity check P(placement fails | healthy) = 0.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_abl_health`
+
+use ftt_core::bdn::place::place_bands;
+use ftt_core::bdn::{check_health, Bdn, BdnParams};
+use ftt_faults::sample_bernoulli_faults;
+use ftt_sim::Table;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let params = BdnParams::new(2, 192, 4, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let trials = 50;
+    let mut table = Table::new(
+        "ABL-HEALTH: healthiness condition violations vs p (B²_192, 50 trials)",
+        &[
+            "p",
+            "E[faults]",
+            "cond1 (rows)",
+            "cond2 (brick quota)",
+            "cond3 (frames)",
+            "healthy",
+            "placed",
+            "placed|healthy",
+        ],
+    );
+    for p in [1e-5f64, 4e-5, 1e-4, 2.4e-4, 5e-4, 1e-3] {
+        let mut c1 = 0usize;
+        let mut c2 = 0usize;
+        let mut c3 = 0usize;
+        let mut healthy = 0usize;
+        let mut placed = 0usize;
+        let mut placed_given_healthy = 0usize;
+        for seed in 0..trials as u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+            let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
+            let h = check_health(&params, &faulty);
+            c1 += (h.cond1_violations > 0) as usize;
+            c2 += (h.cond2_violations > 0) as usize;
+            c3 += (h.cond3_violations > 0) as usize;
+            let ok = place_bands(&bdn, &faulty).is_ok();
+            healthy += h.is_healthy() as usize;
+            placed += ok as usize;
+            if h.is_healthy() {
+                assert!(ok, "Lemma 5 violated: healthy instance failed placement");
+                placed_given_healthy += 1;
+            }
+        }
+        let frac = |x: usize| format!("{:.2}", x as f64 / trials as f64);
+        table.row(vec![
+            format!("{p:.1e}"),
+            format!("{:.1}", p * bdn.num_nodes() as f64),
+            frac(c1),
+            frac(c2),
+            frac(c3),
+            frac(healthy),
+            frac(placed),
+            if healthy > 0 {
+                format!("{placed_given_healthy}/{healthy}")
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{table}");
+    println!("shape to check: cond3 (clean frames) is the binding constraint at these");
+    println!("sizes (radius-1 frames on a 16×12 tile grid), cond2 (brick quota, ε_b = 1)");
+    println!("next, cond1 (clean row runs) last; and placed|healthy is always 1 —");
+    println!("Lemma 5, asserted every trial. P(placed) ≥ P(healthy): the algorithm is");
+    println!("strictly stronger than the sufficient condition.");
+}

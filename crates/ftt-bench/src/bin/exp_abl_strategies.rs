@@ -1,0 +1,57 @@
+//! Experiment ABL-STRATEGIES: segment-placement strategy comparison.
+//!
+//! DESIGN.md §4 claims the default DP cover (with pigeonhole fallback)
+//! succeeds on a strict superset of the instances covered by the
+//! paper's slot-aligned pigeonhole proof. This table measures both
+//! strategies on random fault-row sets of growing density and asserts
+//! the domination on every sampled instance.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_abl_strategies`
+
+use ftt_core::bdn::segments::{place_region_segments, place_region_segments_pigeonhole};
+use ftt_sim::Table;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let (b, t, rows) = (4usize, 16usize, 3usize);
+    let trials = 2000;
+    let mut table = Table::new(
+        "ABL-STRATEGIES: region segment placement, b = 4, 3 tile rows, ε_b = 2",
+        &[
+            "fault rows",
+            "P(DP+fallback)",
+            "P(pigeonhole)",
+            "DP-only wins",
+        ],
+    );
+    for nf in [1usize, 2, 3, 4, 6, 8] {
+        let mut rng = SmallRng::seed_from_u64(nf as u64);
+        let mut dp_ok = 0usize;
+        let mut pg_ok = 0usize;
+        let mut dp_only = 0usize;
+        for _ in 0..trials {
+            let faults: Vec<usize> = (0..nf).map(|_| rng.gen_range(0..rows * t)).collect();
+            let dp = place_region_segments(&faults, rows, t, b, 2, 0).is_ok();
+            let pg = place_region_segments_pigeonhole(&faults, rows, t, b, 2, 0).is_ok();
+            assert!(
+                dp || !pg,
+                "domination violated: pigeonhole succeeded, DP failed on {faults:?}"
+            );
+            dp_ok += dp as usize;
+            pg_ok += pg as usize;
+            dp_only += (dp && !pg) as usize;
+        }
+        let frac = |x: usize| format!("{:.3}", x as f64 / trials as f64);
+        table.row(vec![
+            nf.to_string(),
+            frac(dp_ok),
+            frac(pg_ok),
+            frac(dp_only),
+        ]);
+    }
+    println!("{table}");
+    println!("claim (DESIGN.md §4): the shipped strategy succeeds whenever the paper's");
+    println!("pigeonhole argument does (asserted on every sampled instance) and");
+    println!("strictly more often — the margin is the 'DP-only wins' column.");
+}

@@ -1,0 +1,67 @@
+//! Experiment CMP-DEGREE: the introduction's degree comparison —
+//! FKP93's `O(log N)`-degree clusters vs Theorem 1's `O(log log N)`
+//! supernodes, at comparable reliability.
+//!
+//! Both constructions are run under the same node-fault probability;
+//! the table reports degree, node redundancy and measured success.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_cmp_degree`
+
+use ftt_baselines::fkp::FkpCluster;
+use ftt_core::adn::embed::extract_after_faults_adn;
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::BdnParams;
+use ftt_faults::{sample_bernoulli_faults, HalfEdgeFaults};
+use ftt_sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let p = 0.05f64;
+    let trials = 30;
+    let mut table = Table::new(
+        &format!("CMP-DEGREE: reliability at p = {p} vs degree"),
+        &["construction", "guest", "degree", "nodes", "P(success)"],
+    );
+
+    // FKP-style clusters on a 54×54 torus, cluster sizes 2–6
+    for c in [2usize, 4, 6] {
+        let f = FkpCluster::build(54, 2, c);
+        let stats = run_trials(trials, 41, 0, |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            f.survives_random(p, 0.0, &mut rng)
+        });
+        table.row(vec![
+            format!("FKP cluster c={c}"),
+            "54×54".into(),
+            f.degree().to_string(),
+            f.num_nodes().to_string(),
+            format!("{:.2}", stats.rate()),
+        ]);
+    }
+
+    // A²_108 (inner B²_54, k=2, h=10)
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let params = AdnParams::new(inner, 2, 10, 0.0).unwrap();
+    let adn = Adn::build(params);
+    let stats = run_trials(trials, 43, 0, |seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nf = sample_bernoulli_faults(adn.graph(), p, 0.0, &mut rng);
+        let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        extract_after_faults_adn(&adn, &faulty, &halves).is_ok()
+    });
+    table.row(vec![
+        "A²_n (Thm 1), h=10".into(),
+        format!("{0}×{0}", params.n()),
+        adn.graph().max_degree().to_string(),
+        adn.num_nodes().to_string(),
+        format!("{:.2}", stats.rate()),
+    ]);
+
+    println!("{table}");
+    println!("paper context: FKP93 achieves constant-p tolerance with degree O(log N);");
+    println!("Theorem 1 achieves it with degree O(log log N). The point of the table:");
+    println!("at matched reliability, A²_n's degree is set by h = Θ(log log n) while");
+    println!("FKP's cluster must scale like log n — asymptotically far larger.");
+}

@@ -1,0 +1,60 @@
+//! Experiment T12-PATH: the Alon–Chung baseline (Theorem 12).
+//!
+//! Measures the surviving-path guarantee of the expander-based 1-D
+//! construction: sweep the fault fraction `c`, report the survival rate
+//! (path of `n` alive nodes found) and the mean extracted path length;
+//! also prints the measured spectral expansion of the host.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_t12_path`
+
+use ftt_baselines::alon_chung::AlonChungPath;
+use ftt_expander::second_eigenvalue;
+use ftt_sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 100usize;
+    let trials = 40;
+    for redundancy in [4.0f64, 8.0] {
+        let ac = AlonChungPath::build(n, redundancy);
+        let hosts = ac.graph().num_nodes();
+        let lambda = second_eigenvalue(ac.graph(), 150);
+        println!(
+            "F_{n}: {hosts} host nodes (redundancy {:.1}), degree ≤ 8, measured λ₂ ≈ {lambda:.2}",
+            hosts as f64 / n as f64
+        );
+        let mut table = Table::new(
+            &format!("T12-PATH: surviving path of length {n} (redundancy {redundancy:.0}×)"),
+            &[
+                "fault fraction c",
+                "P(path of n survives)",
+                "mean path length",
+            ],
+        );
+        for c in [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
+            let stats = run_trials(trials, 17, 0, |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let alive: Vec<bool> = (0..hosts).map(|_| !rng.gen_bool(c)).collect();
+                ac.survives(&alive)
+            });
+            // mean length from a handful of serial trials
+            let mut lens = Vec::new();
+            let mut rng = SmallRng::seed_from_u64(18);
+            for _ in 0..10 {
+                let alive: Vec<bool> = (0..hosts).map(|_| !rng.gen_bool(c)).collect();
+                lens.push(ac.extract_path(&alive).len() as f64);
+            }
+            table.row(vec![
+                format!("{c:.1}"),
+                format!("{:.2}", stats.rate()),
+                format!("{:.0}", ftt_sim::mean(&lens)),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!("paper context (Thm 12, Alon–Chung): a constant-degree O(n)-node graph");
+    println!("keeps a path of n nodes after any constant-fraction fault set.");
+    println!("shape to check: survival stays ≈ 1 up to a redundancy-dependent fault");
+    println!("fraction, and higher redundancy pushes the knee to larger c.");
+}

@@ -1,0 +1,73 @@
+//! Experiment T1-SUCCESS: Theorem 1 — `A²_n` under constant node
+//! probability `p` and edge probability `q` (half-edge model).
+//!
+//! Sweeps `p` (and one nonzero `q`), reporting the good-node fraction,
+//! mean bad-supernode count and end-to-end success probability. The
+//! shape to check: success stays high while the expected bad-supernode
+//! count is ≲ 1 and collapses once bad supernodes start colliding in
+//! the inner `B²_N`'s small tile grid.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_t1_success`
+
+use ftt_core::adn::embed::extract_after_faults_adn;
+use ftt_core::adn::goodness::classify;
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::BdnParams;
+use ftt_faults::{sample_bernoulli_faults, HalfEdgeFaults};
+use ftt_sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let params = AdnParams::new(inner, 2, 10, 5e-4).unwrap();
+    let adn = Adn::build(params);
+    println!(
+        "A²_{}: h = {}, degree {}, {} nodes, thresholds: ≤{} bad halves, ≥{} good nodes\n",
+        params.n(),
+        params.h,
+        adn.graph().max_degree(),
+        adn.num_nodes(),
+        params.max_bad_halves(),
+        params.min_good_nodes()
+    );
+    let trials = 30;
+    let mut table = Table::new(
+        "T1-SUCCESS: A²_108 under constant fault probabilities",
+        &["p", "q", "good-node frac", "bad supernodes", "P(success)"],
+    );
+    for (p, sqrt_q) in [
+        (0.00, 0.0),
+        (0.02, 0.0),
+        (0.05, 0.0),
+        (0.10, 0.0),
+        (0.15, 0.0),
+        (0.02, 5e-4),
+    ] {
+        // goodness statistics from one representative trial
+        let mut rng = SmallRng::seed_from_u64(1);
+        let nf = sample_bernoulli_faults(adn.graph(), p, 0.0, &mut rng);
+        let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+        let halves = HalfEdgeFaults::sample(adn.graph(), sqrt_q, &mut rng);
+        let g = classify(&adn, &faulty, &halves);
+        let stats = run_trials(trials, 31, 0, |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let nf = sample_bernoulli_faults(adn.graph(), p, 0.0, &mut rng);
+            let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+            let halves = HalfEdgeFaults::sample(adn.graph(), sqrt_q, &mut rng);
+            extract_after_faults_adn(&adn, &faulty, &halves).is_ok()
+        });
+        table.row(vec![
+            format!("{p:.2}"),
+            format!("{:.1e}", sqrt_q * sqrt_q),
+            format!("{:.3}", g.good_node_fraction()),
+            g.bad_supernodes().to_string(),
+            format!("{:.2}", stats.rate()),
+        ]);
+    }
+    println!("{table}");
+    println!("paper claim (Thm 1): any constant p (and small constant q) is tolerated whp");
+    println!("as n → ∞ with h = Θ(log log n). Finite shape: success ≈ 1 while the");
+    println!("bad-supernode count stays ≈ 0, degrading once the inner B² must mask");
+    println!("several colliding supernode faults.");
+}

@@ -1,0 +1,71 @@
+//! Experiment T2-3D: Theorem 2 in three dimensions.
+//!
+//! Theorem 2 is stated for every fixed `d ≥ 2`; this table repeats the
+//! success-probability sweep on `B³_n` (degree 16) and audits the 3-D
+//! structural claims, exercising the multi-dimensional band machinery
+//! (bilinear interpolation over 2-D column tiles, 3-D frames/bricks).
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_t2_3d`
+
+use ftt_bench::bdn_trial;
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_sim::runner::trial_seed;
+use ftt_sim::Table;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn main() {
+    let params = BdnParams::fit(3, 50, 3, 1).expect("valid B³ instance");
+    let bdn = Bdn::build(params);
+    println!(
+        "B³_{}: m = {}, {} nodes, degree {} (= 6·3−2 = 16)\n",
+        params.n,
+        params.m(),
+        bdn.num_nodes(),
+        bdn.graph().max_degree()
+    );
+    assert_eq!(bdn.graph().max_degree(), 16);
+    assert_eq!(bdn.graph().min_degree(), 16);
+
+    let trials = 24usize;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut table = Table::new(
+        "T2-3D: B³_54 under random node faults (236k nodes)",
+        &["p", "E[faults]", "P(healthy)", "P(placed)", "P(verified)"],
+    );
+    for p in [1e-6f64, 4e-6, 1e-5, 4e-5, 1e-4] {
+        let healthy = AtomicUsize::new(0);
+        let placed = AtomicUsize::new(0);
+        let verified = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(trials) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let (h, pl, v) = bdn_trial(&bdn, p, trial_seed(5, i as u64));
+                    healthy.fetch_add(h as usize, Ordering::Relaxed);
+                    placed.fetch_add(pl as usize, Ordering::Relaxed);
+                    verified.fetch_add(v as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("worker panicked");
+        let frac =
+            |x: &AtomicUsize| format!("{:.2}", x.load(Ordering::Relaxed) as f64 / trials as f64);
+        table.row(vec![
+            format!("{p:.0e}"),
+            format!("{:.1}", p * bdn.num_nodes() as f64),
+            frac(&healthy),
+            frac(&placed),
+            frac(&verified),
+        ]);
+    }
+    println!("{table}");
+    println!("paper claim: Theorem 2 holds for every fixed d ≥ 2 with degree 6d−2.");
+    println!("shape to check: same knee behaviour as d = 2 (T2-SUCCESS), driven by");
+    println!("E[faults] against the 3-D tile grid; P(verified) = P(placed) throughout.");
+}

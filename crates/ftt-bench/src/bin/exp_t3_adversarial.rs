@@ -1,0 +1,87 @@
+//! Experiment T3-ADVERSARIAL: Theorem 3's worst-case guarantee.
+//!
+//! For `d ∈ {1, 2}`, every adversarial pattern at the full budget `k`
+//! must give 100% extraction success (asserted); pushing `k` beyond the
+//! bound locates the empirical breaking point of the pigeonhole
+//! placement.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_t3_adversarial`
+
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_faults::AdversaryPattern;
+use ftt_sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let trials = 40;
+    let instances = [
+        DdnParams::fit(1, 60, 5).unwrap(),
+        DdnParams::fit(2, 40, 2).unwrap(),
+        DdnParams::fit(2, 60, 3).unwrap(),
+    ];
+
+    let mut table = Table::new(
+        "T3-ADVERSARIAL: guaranteed regime (k = budget)",
+        &["d", "n", "k", "pattern", "success"],
+    );
+    for params in instances {
+        let ddn = Ddn::new(params);
+        let k = params.tolerated_faults();
+        for pat in AdversaryPattern::battery(ddn.shape(), params.band_width(0) + 1) {
+            let stats = run_trials(trials, 3, 0, |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let faults = pat.generate(ddn.shape(), k, &mut rng);
+                ddn.try_extract(&faults).is_ok()
+            });
+            assert_eq!(
+                stats.successes, trials,
+                "Theorem 3 violated: {pat:?} on d={}, k={k}",
+                params.d
+            );
+            table.row(vec![
+                params.d.to_string(),
+                params.n.to_string(),
+                k.to_string(),
+                format!("{pat:?}"),
+                format!("{}/{}", stats.successes, stats.trials),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let params = DdnParams::fit(2, 40, 2).unwrap();
+    let ddn = Ddn::new(params);
+    let k = params.tolerated_faults();
+    let mut over = Table::new(
+        "T3-ADVERSARIAL: beyond the bound (d=2, random + residue-spread)",
+        &["k/budget", "k", "P(random)", "P(residue-spread)"],
+    );
+    for mult in [1usize, 2, 4, 8, 16, 32] {
+        let kk = (k * mult).min(ddn.shape().len() / 2);
+        let rnd = run_trials(trials, 5, 0, |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let f = AdversaryPattern::Random.generate(ddn.shape(), kk, &mut rng);
+            ddn.try_extract(&f).is_ok()
+        });
+        let spread = run_trials(trials, 7, 0, |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let f = AdversaryPattern::ResidueSpread {
+                axis: 0,
+                modulus: params.band_width(0) + 1,
+            }
+            .generate(ddn.shape(), kk, &mut rng);
+            ddn.try_extract(&f).is_ok()
+        });
+        over.row(vec![
+            format!("{mult}×"),
+            kk.to_string(),
+            format!("{:.2}", rnd.rate()),
+            format!("{:.2}", spread.rate()),
+        ]);
+    }
+    println!("{over}");
+    println!("paper claim (Thm 3): ANY k = b^(2^d −1) faults are tolerated — first table");
+    println!("asserts 100% across the pattern battery. Beyond the bound the guarantee");
+    println!("lapses; structured (residue-spread) adversaries break earlier than random.");
+}

@@ -1,0 +1,90 @@
+//! Experiment T3-VS-AC: Section 5's trade-off — `D^d_{n,k}` (simple,
+//! no expander, tolerates `O(n^{1−2^{−d}})` worst-case faults) against
+//! the Alon–Chung product construction (needs an expander, tolerates
+//! `O(n)` worst-case faults).
+//!
+//! `D²` gives a *guarantee* up to its budget (asserted elsewhere); the
+//! AC product's tolerance is probabilistic-in-practice for any concrete
+//! extraction algorithm, so we measure its survival under increasing
+//! fault counts with both random and clustered supernode-targeting
+//! adversaries, at matched guest size.
+//!
+//! Run: `cargo run --release -p ftt-bench --bin exp_t3_vs_ac`
+
+use ftt_baselines::alon_chung::AlonChungMesh;
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_faults::AdversaryPattern;
+use ftt_sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let trials = 40;
+    let dp = DdnParams::fit(2, 60, 2).unwrap();
+    let ddn = Ddn::new(dp);
+    let n = dp.n;
+    let ac = AlonChungMesh::build(n, 2, 6.0);
+    println!(
+        "guest {n}×{n}; D²: {} nodes, degree 8, guaranteed k = {}; AC product: {} nodes, degree ≤ 12, expander-based",
+        dp.num_nodes(),
+        dp.tolerated_faults(),
+        ac.num_nodes()
+    );
+    let mut table = Table::new(
+        "T3-VS-AC: survival vs worst-case fault count (guest 74×74 / 74×74 mesh)",
+        &[
+            "k",
+            "D² random",
+            "D² clustered",
+            "AC random",
+            "AC clustered",
+        ],
+    );
+    for k in [4usize, 8, 16, 32, 64, 128] {
+        let ddn_ref = &ddn;
+        let d2 = move |pat: AdversaryPattern| {
+            run_trials(trials, 9, 0, move |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let faults = pat.generate(ddn_ref.shape(), k, &mut rng);
+                ddn_ref.try_extract(&faults).is_ok()
+            })
+            .rate()
+        };
+        let ac_rate = |clustered: bool| {
+            run_trials(trials, 13, 0, |seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut faulty = vec![false; ac.num_nodes()];
+                if clustered {
+                    // contiguous block of host nodes (kills a run of
+                    // supernodes — locally devastating)
+                    let start = rng.gen_range(0..ac.num_nodes() - k);
+                    for v in start..start + k {
+                        faulty[v] = true;
+                    }
+                } else {
+                    for _ in 0..k {
+                        faulty[rng.gen_range(0..ac.num_nodes())] = true;
+                    }
+                }
+                ac.embed_mesh(&faulty).is_some()
+            })
+            .rate()
+        };
+        table.row(vec![
+            k.to_string(),
+            format!("{:.2}", d2(AdversaryPattern::Random)),
+            format!("{:.2}", d2(AdversaryPattern::ClusteredCube)),
+            format!("{:.2}", ac_rate(false)),
+            format!("{:.2}", ac_rate(true)),
+        ]);
+    }
+    println!("{table}");
+    println!("paper context (Section 5): the Alon–Chung product tolerates O(n) worst-");
+    println!("case faults — far beyond D²'s O(n^(3/4)) — but requires an expander,");
+    println!("'which may be considered disadvantageous in actual implementations',");
+    println!("and only hosts the MESH (no wraparound). D² is exact up to its budget");
+    println!(
+        "(k = {} here) and degrades beyond; AC keeps surviving far past it.",
+        dp.tolerated_faults()
+    );
+}

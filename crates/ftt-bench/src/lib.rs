@@ -1,0 +1,70 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each experiment in DESIGN.md §3 has a binary in `src/bin/` that
+//! regenerates its table; the helpers here keep instance selection and
+//! trial plumbing consistent across them.
+
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_faults::sample_bernoulli_faults;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Standard 2-D Theorem 2 instances used across experiments (n, b, ε_b).
+pub fn bdn_sweep_2d() -> Vec<BdnParams> {
+    [
+        (54usize, 3usize, 1usize),
+        (108, 3, 1),
+        (192, 4, 1),
+        (216, 3, 1),
+        (384, 4, 1),
+    ]
+    .into_iter()
+    .filter_map(|(n, b, e)| BdnParams::new(2, n, b, e).ok())
+    .collect()
+}
+
+/// One Theorem 2 trial: sample Bernoulli node faults at probability `p`
+/// and attempt placement + extraction. Returns `(healthy, placed, ok)`.
+pub fn bdn_trial(bdn: &Bdn, p: f64, seed: u64) -> (bool, bool, bool) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+    let faulty: Vec<bool> = (0..bdn.num_nodes())
+        .map(|v| faults.node_faulty(v))
+        .collect();
+    let health = ftt_core::bdn::check_health(bdn.params(), &faulty);
+    match ftt_core::bdn::extract::extract_after_faults(bdn, &faulty) {
+        Ok(emb) => {
+            let ok = ftt_graph::verify_torus_embedding(
+                &emb.guest,
+                &emb.map,
+                bdn.graph(),
+                |v| !faulty[v],
+                |_| true,
+            )
+            .is_ok();
+            (health.is_healthy(), true, ok)
+        }
+        Err(_) => (health.is_healthy(), false, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_nonempty_and_valid() {
+        let sweep = bdn_sweep_2d();
+        assert!(sweep.len() >= 4);
+        for p in sweep {
+            assert_eq!(p.d, 2);
+        }
+    }
+
+    #[test]
+    fn trial_runs() {
+        let bdn = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let (_h, placed, ok) = bdn_trial(&bdn, 0.0, 1);
+        assert!(placed && ok, "fault-free trial must succeed");
+    }
+}

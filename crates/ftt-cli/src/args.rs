@@ -1,0 +1,129 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external
+//! dependencies, per the workspace policy).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs and bare
+/// `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; a `--key` followed by another
+    /// `--option` (or nothing) is a flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("expected --option, got `{arg}`"));
+            };
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String option with default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// `usize` option with default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid integer `{v}`")),
+        }
+    }
+
+    /// `u64` option with default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid integer `{v}`")),
+        }
+    }
+
+    /// `f64` option with default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid number `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--n", "54", "--p", "1e-4"]);
+        assert_eq!(a.get_usize("n", 0).unwrap(), 54);
+        assert_eq!(a.get_f64("p", 0.0).unwrap(), 1e-4);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--render", "--n", "10"]);
+        assert!(a.flag("render"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.get_usize("n", 0).unwrap(), 10);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--n", "10", "--render"]);
+        assert!(a.flag("render"));
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(Args::parse(&["54".to_string()]).is_err());
+        let a = parse(&["--n", "abc"]);
+        assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn string_options() {
+        let a = parse(&["--pattern", "cluster"]);
+        assert_eq!(a.get_str("pattern", "random"), "cluster");
+        assert_eq!(a.get_str("other", "dflt"), "dflt");
+    }
+}

@@ -1,0 +1,234 @@
+//! `ftt` — command-line interface to the fault-tolerant torus
+//! constructions of Tamaki (SPAA'94 / JCSS'96).
+//!
+//! ```text
+//! ftt b2     [--n 54] [--b 3] [--eps 1] [--p 1e-4] [--seed 1] [--render]
+//! ftt d2     [--n 60] [--b 2] [--k <budget>] [--pattern random|cluster|line|diag|spread] [--seed 1] [--render]
+//! ftt sweep  [--n 54] [--b 3] [--trials 50] [--seed 1]
+//! ftt help
+//! ```
+//!
+//! `b2` runs one Theorem 2 trial (build `B²_n`, sample faults, place
+//! bands, extract + verify). `d2` runs one Theorem 3 trial with an
+//! adversarial pattern. `sweep` estimates the Theorem 2 success curve.
+
+mod args;
+
+use args::Args;
+use ftt_core::bdn::extract::extract_after_faults;
+use ftt_core::bdn::{check_health, Bdn, BdnParams};
+use ftt_core::ddn::{place_straight_bands, Ddn, DdnParams};
+use ftt_core::render::{render_banding, render_ddn_axes};
+use ftt_faults::{sample_bernoulli_faults, AdversaryPattern};
+use ftt_sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "b2" => cmd_b2(&args),
+        "d2" => cmd_d2(&args),
+        "sweep" => cmd_sweep(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ftt b2    [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
+  ftt d2    [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
+  ftt sweep [--n N] [--b B] [--trials T] [--seed S]
+  ftt help";
+
+fn cmd_b2(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("n", 54)?;
+    let b = args.get_usize("b", 3)?;
+    let eps = args.get_usize("eps", 1)?;
+    let seed = args.get_u64("seed", 1)?;
+    let params = BdnParams::fit(2, n, b, eps)?;
+    let p = args.get_f64("p", params.tolerated_fault_probability() / 5.0)?;
+    let bdn = Bdn::build(params);
+    println!(
+        "B²_{} (m = {}, b = {b}, ε_b = {eps}): {} nodes, degree {}",
+        params.n,
+        params.m(),
+        bdn.num_nodes(),
+        bdn.graph().max_degree()
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+    let faulty: Vec<bool> = (0..bdn.num_nodes())
+        .map(|v| faults.node_faulty(v))
+        .collect();
+    let health = check_health(&params, &faulty);
+    println!(
+        "p = {p:.2e}: {} faults sampled; healthy = {}",
+        faults.count_node_faults(),
+        health.is_healthy()
+    );
+    match extract_after_faults(&bdn, &faulty) {
+        Ok(emb) => {
+            ftt_graph::verify_torus_embedding(
+                &emb.guest,
+                &emb.map,
+                bdn.graph(),
+                |v| !faulty[v],
+                |_| true,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "fault-free {0}×{0} torus extracted and verified ✓",
+                params.n
+            );
+            if args.flag("render") {
+                let placement =
+                    ftt_core::bdn::place::place_bands(&bdn, &faulty).expect("placed above");
+                print!(
+                    "{}",
+                    render_banding(&placement.banding, bdn.cols(), Some(&faulty), None)
+                );
+            }
+            Ok(())
+        }
+        Err(e) => Err(format!("extraction failed: {e}")),
+    }
+}
+
+fn cmd_d2(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("n", 60)?;
+    let b = args.get_usize("b", 2)?;
+    let seed = args.get_u64("seed", 1)?;
+    let params = DdnParams::fit(2, n, b)?;
+    let k = args.get_usize("k", params.tolerated_faults())?;
+    let pattern = match args.get_str("pattern", "random").as_str() {
+        "random" => AdversaryPattern::Random,
+        "cluster" => AdversaryPattern::ClusteredCube,
+        "line" => AdversaryPattern::AxisLine { axis: 0 },
+        "diag" => AdversaryPattern::Diagonal,
+        "spread" => AdversaryPattern::ResidueSpread {
+            axis: 0,
+            modulus: params.band_width(0) + 1,
+        },
+        other => return Err(format!("unknown pattern `{other}`")),
+    };
+    let ddn = Ddn::new(params);
+    println!(
+        "D²_{{n={}, k={}}} (m = {}): {} nodes, degree {}",
+        params.n,
+        params.tolerated_faults(),
+        params.m(),
+        params.num_nodes(),
+        params.expected_degree()
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = pattern.generate(ddn.shape(), k, &mut rng);
+    println!("{k} adversarial faults ({pattern:?})");
+    match ddn.try_extract(&faults) {
+        Ok(emb) => {
+            println!("fault-free {0}×{0} torus extracted ✓", params.n);
+            if args.flag("render") {
+                let banding = place_straight_bands(&ddn, &faults).expect("placed above");
+                print!("{}", render_ddn_axes(&ddn, &banding));
+            }
+            let _ = emb;
+            Ok(())
+        }
+        Err(e) => {
+            if k > params.tolerated_faults() {
+                println!("extraction failed beyond the guarantee (k > budget): {e}");
+                Ok(())
+            } else {
+                Err(format!("Theorem 3 violated?! {e}"))
+            }
+        }
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("n", 54)?;
+    let b = args.get_usize("b", 3)?;
+    let trials = args.get_usize("trials", 50)?;
+    let seed = args.get_u64("seed", 1)?;
+    let params = BdnParams::fit(2, n, b, 1)?;
+    let bdn = Bdn::build(params);
+    let design = params.tolerated_fault_probability();
+    let mut table = Table::new(
+        &format!("B²_{} success curve ({trials} trials per row)", params.n),
+        &["p", "P(success)", "95% CI"],
+    );
+    for mult in [0.05f64, 0.2, 1.0, 4.0] {
+        let p = design * mult;
+        let stats = run_trials(trials, seed, 0, |s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+            let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
+            extract_after_faults(&bdn, &faulty).is_ok()
+        });
+        let (lo, hi) = stats.confidence();
+        table.row(vec![
+            format!("{p:.2e}"),
+            format!("{:.2}", stats.rate()),
+            format!("[{lo:.2}, {hi:.2}]"),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn b2_succeeds_with_low_p() {
+        cmd_b2(&args(&["--n", "54", "--p", "1e-5", "--seed", "2"])).unwrap();
+    }
+
+    #[test]
+    fn d2_within_budget_succeeds() {
+        cmd_d2(&args(&["--n", "40", "--pattern", "cluster"])).unwrap();
+    }
+
+    #[test]
+    fn d2_over_budget_reports_gracefully() {
+        // beyond the guarantee: must not error out (prints a notice)
+        cmd_d2(&args(&["--n", "40", "--k", "64"])).unwrap();
+    }
+
+    #[test]
+    fn d2_unknown_pattern_rejected() {
+        assert!(cmd_d2(&args(&["--pattern", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_small() {
+        cmd_sweep(&args(&["--n", "54", "--trials", "4"])).unwrap();
+    }
+}

@@ -1,0 +1,243 @@
+//! The two-level embedding of Theorem 1.
+//!
+//! Level 1: bad supernodes become faults of the inner `B^2_{N}`; the
+//! Theorem 2 machinery extracts an `N × N` torus of good supernodes
+//! `U_{I,J}`.
+//!
+//! Level 2: the guest `n × n` torus (`n = k·N`) is divided into `k × k`
+//! submeshes `M_{I,J}`; each guest node of `M_{I,J}` is mapped greedily
+//! to an unused good node of `U_{I,J}` joined by alive edges to the
+//! images of its already-placed neighbours. The goodness margins
+//! (`h ≥ k² + 8√q·h + 1`) guarantee the greedy choice always exists; the
+//! implementation still checks and reports
+//! [`PlacementError::EmbeddingStuck`] if violated.
+
+use super::goodness::Goodness;
+use super::Adn;
+use crate::bdn::extract::{extract_after_faults, TorusEmbedding};
+use crate::error::PlacementError;
+use ftt_faults::HalfEdgeFaults;
+use ftt_geom::Shape;
+
+/// Runs the full Theorem 1 pipeline: supernode-level torus extraction
+/// followed by the greedy node-level embedding.
+///
+/// `node_faulty` and `halves` describe the fault state; `goodness` must
+/// have been computed from them (see [`super::goodness::classify`]).
+pub fn embed_torus(
+    adn: &Adn,
+    goodness: &Goodness,
+    halves: &HalfEdgeFaults,
+) -> Result<TorusEmbedding, PlacementError> {
+    let params = adn.params();
+    let (k, h) = (params.k, params.h);
+    let inner = adn.inner();
+    let big_n = params.inner.n;
+    let n = params.n();
+
+    // Level 1: extract the supernode torus.
+    let su_faulty: Vec<bool> = goodness.good_supernode.iter().map(|&g| !g).collect();
+    let inner_emb = extract_after_faults(inner, &su_faulty)
+        .map_err(|e| PlacementError::SupernodeLevelFailed { inner: Box::new(e) })?;
+
+    // Level 2: greedy node embedding.
+    let guest = Shape::new(vec![n, n]);
+    let host_graph = adn.graph();
+    let mut map = vec![usize::MAX; guest.len()];
+    let mut used = vec![false; adn.num_nodes()];
+    // supernode hosting guest block (I, J): inner guest node (I, J)
+    let inner_guest = Shape::new(vec![big_n, big_n]);
+    for g in guest.iter() {
+        let (i, j) = (guest.coord_of(g, 0), guest.coord_of(g, 1));
+        let block = inner_guest.flatten(&[i / k, j / k]);
+        let su = inner_emb.map[block];
+        // assigned guest neighbours
+        let mut images: [usize; 4] = [usize::MAX; 4];
+        let mut ni = 0;
+        for axis in 0..2 {
+            for step in [-1isize, 1] {
+                let gn = guest.torus_step(g, axis, step);
+                if map[gn] != usize::MAX {
+                    images[ni] = map[gn];
+                    ni += 1;
+                }
+            }
+        }
+        // candidate: unused good node of `su` with alive edges to all
+        // assigned neighbour images
+        let mut chosen = None;
+        'cand: for v in adn.nodes_of(su) {
+            if used[v] || !goodness.good_node[v] {
+                continue;
+            }
+            for &img in &images[..ni] {
+                let alive = host_graph
+                    .edges_between(v, img)
+                    .into_iter()
+                    .any(|e| !halves.edge_faulty(e));
+                if !alive {
+                    continue 'cand;
+                }
+            }
+            chosen = Some(v);
+            break;
+        }
+        let Some(v) = chosen else {
+            return Err(PlacementError::EmbeddingStuck { guest: g });
+        };
+        used[v] = true;
+        map[g] = v;
+    }
+    debug_assert_eq!(
+        map.iter().filter(|&&v| v != usize::MAX).count(),
+        guest.len()
+    );
+    let _ = h;
+    Ok(TorusEmbedding { guest, map })
+}
+
+/// Convenience: classify goodness and embed in one call — "Theorem 1 as
+/// an algorithm".
+pub fn extract_after_faults_adn(
+    adn: &Adn,
+    node_faulty: &[bool],
+    halves: &HalfEdgeFaults,
+) -> Result<TorusEmbedding, PlacementError> {
+    let goodness = super::goodness::classify(adn, node_faulty, halves);
+    embed_torus(adn, &goodness, halves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adn::{Adn, AdnParams};
+    use crate::bdn::BdnParams;
+    use ftt_graph::verify_torus_embedding;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_adn(sqrt_q: f64) -> Adn {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        Adn::build(AdnParams::new(inner, 2, if sqrt_q > 0.0 { 10 } else { 6 }, sqrt_q).unwrap())
+    }
+
+    fn verify(adn: &Adn, emb: &TorusEmbedding, node_faulty: &[bool], halves: &HalfEdgeFaults) {
+        verify_torus_embedding(
+            &emb.guest,
+            &emb.map,
+            adn.graph(),
+            |v| !node_faulty[v],
+            |e| !halves.edge_faulty(e),
+        )
+        .expect("A²_n embedding must verify");
+    }
+
+    #[test]
+    fn fault_free_embedding() {
+        let adn = small_adn(0.0);
+        let faults = vec![false; adn.num_nodes()];
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let emb = extract_after_faults_adn(&adn, &faults, &halves).unwrap();
+        assert_eq!(emb.len(), 108 * 108);
+        verify(&adn, &emb, &faults, &halves);
+    }
+
+    #[test]
+    fn scattered_node_faults_embedding() {
+        let adn = small_adn(0.0);
+        let mut faults = vec![false; adn.num_nodes()];
+        let mut rng = SmallRng::seed_from_u64(11);
+        // kill one node in ~1/4 of the supernodes (stays well under the
+        // goodness threshold h − k² = 2 per supernode)
+        for su in 0..adn.params().num_supernodes() {
+            if rng.gen_bool(0.25) {
+                faults[su * adn.params().h + rng.gen_range(0..adn.params().h)] = true;
+            }
+        }
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let emb = extract_after_faults_adn(&adn, &faults, &halves).unwrap();
+        verify(&adn, &emb, &faults, &halves);
+    }
+
+    #[test]
+    fn dead_supernode_handled_at_level_one() {
+        let adn = small_adn(0.0);
+        let mut faults = vec![false; adn.num_nodes()];
+        // kill an entire supernode → inner B² sees one faulty node and
+        // masks it
+        let su = adn.inner().cols().node(40, 13);
+        for v in adn.nodes_of(su) {
+            faults[v] = true;
+        }
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let emb = extract_after_faults_adn(&adn, &faults, &halves).unwrap();
+        verify(&adn, &emb, &faults, &halves);
+        // no image may come from the dead supernode
+        for &v in &emb.map {
+            assert_ne!(adn.supernode_of(v), su);
+        }
+    }
+
+    #[test]
+    fn edge_faults_rerouted_within_supernode() {
+        let adn = small_adn(1.0 / 16.0);
+        let faults = vec![false; adn.num_nodes()];
+        let mut halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        // kill a few full edges (both halves) inside supernode 5
+        let mut killed = 0;
+        for (e, u, v) in adn.graph().edges() {
+            if adn.supernode_of(u) == 5 && adn.supernode_of(v) == 5 {
+                halves.kill_half(e, 0);
+                halves.kill_half(e, 1);
+                killed += 1;
+                if killed == 1 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(killed, 1);
+        let emb = extract_after_faults_adn(&adn, &faults, &halves).unwrap();
+        verify(&adn, &emb, &faults, &halves);
+    }
+
+    #[test]
+    fn k3_submeshes_embed() {
+        // k = 3: supernodes host 3×3 submeshes; h must exceed k² = 9.
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let adn = Adn::build(AdnParams::new(inner, 3, 11, 0.0).unwrap());
+        assert_eq!(adn.params().n(), 162);
+        let mut faults = vec![false; adn.num_nodes()];
+        // one dead node per supernode still leaves k²+1 good ones
+        for su in 0..adn.params().num_supernodes() {
+            faults[su * 11] = true;
+        }
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let emb = extract_after_faults_adn(&adn, &faults, &halves).unwrap();
+        assert_eq!(emb.len(), 162 * 162);
+        verify(&adn, &emb, &faults, &halves);
+    }
+
+    #[test]
+    fn embedding_respects_block_structure() {
+        let adn = small_adn(0.0);
+        let faults = vec![false; adn.num_nodes()];
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let goodness = crate::adn::goodness::classify(&adn, &faults, &halves);
+        let emb = embed_torus(&adn, &goodness, &halves).unwrap();
+        // all k² nodes of a guest block map into one supernode
+        let k = adn.params().k;
+        let n = adn.params().n();
+        for bi in 0..3 {
+            for bj in 0..3 {
+                let mut sus = std::collections::HashSet::new();
+                for di in 0..k {
+                    for dj in 0..k {
+                        let g = (bi * k + di) * n + (bj * k + dj);
+                        sus.insert(adn.supernode_of(emb.map[g]));
+                    }
+                }
+                assert_eq!(sus.len(), 1, "block ({bi},{bj}) split across supernodes");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Good nodes and good supernodes (Section 4).
+//!
+//! Under the half-edge fault model, a node `v` of `A^2_n` is **good**
+//! when it is alive and, for every supernode `W` it has edges into
+//! (its own supernode and the adjacent ones), at most `2√q·h` of the
+//! half-edges *at `v`'s side* leading toward `W`'s nodes are faulty.
+//! A supernode is **good** when at least `k² + 8√q·h` of its nodes are
+//! good. Goodness of distinct supernodes depends on disjoint half-edge
+//! sets, which is exactly why the paper introduces half-edges.
+
+use super::Adn;
+use ftt_faults::HalfEdgeFaults;
+
+/// Classification of nodes and supernodes.
+#[derive(Debug, Clone)]
+pub struct Goodness {
+    /// Per-node goodness.
+    pub good_node: Vec<bool>,
+    /// Per-supernode goodness.
+    pub good_supernode: Vec<bool>,
+    /// Number of good nodes per supernode.
+    pub good_count: Vec<u32>,
+}
+
+impl Goodness {
+    /// Number of bad (not good) supernodes.
+    pub fn bad_supernodes(&self) -> usize {
+        self.good_supernode.iter().filter(|&&g| !g).count()
+    }
+
+    /// Fraction of good nodes.
+    pub fn good_node_fraction(&self) -> f64 {
+        let good = self.good_node.iter().filter(|&&g| g).count();
+        good as f64 / self.good_node.len() as f64
+    }
+}
+
+/// Classifies every node and supernode of `adn` under the given node
+/// faults and half-edge faults.
+pub fn classify(adn: &Adn, node_faulty: &[bool], halves: &HalfEdgeFaults) -> Goodness {
+    let g = adn.graph();
+    assert_eq!(node_faulty.len(), g.num_nodes());
+    assert_eq!(halves.num_edges(), g.num_edges());
+    let params = adn.params();
+    let max_bad = params.max_bad_halves();
+    let num_sus = params.num_supernodes();
+    let mut good_node = vec![false; g.num_nodes()];
+    // Reusable counter keyed by supernode (degree touches ≤ 11 distinct
+    // supernodes; a HashMap per node would allocate, so use a dense
+    // scratch array with a touched-list).
+    let mut scratch = vec![0u32; num_sus];
+    let mut touched: Vec<usize> = Vec::with_capacity(12);
+    for v in 0..g.num_nodes() {
+        if node_faulty[v] {
+            continue;
+        }
+        touched.clear();
+        let mut ok = true;
+        for (t, e) in g.arcs(v) {
+            if !halves.half_faulty_at(g, e, v) {
+                continue;
+            }
+            let su = adn.supernode_of(t);
+            if scratch[su] == 0 {
+                touched.push(su);
+            }
+            scratch[su] += 1;
+            if scratch[su] as usize > max_bad {
+                ok = false;
+                // keep counting nothing further; cleanup below
+                break;
+            }
+        }
+        for &su in &touched {
+            scratch[su] = 0;
+        }
+        good_node[v] = ok;
+    }
+    let mut good_count = vec![0u32; num_sus];
+    for (v, &good) in good_node.iter().enumerate() {
+        if good {
+            good_count[adn.supernode_of(v)] += 1;
+        }
+    }
+    let min_good = params.min_good_nodes() as u32;
+    let good_supernode: Vec<bool> = good_count.iter().map(|&c| c >= min_good).collect();
+    Goodness {
+        good_node,
+        good_supernode,
+        good_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adn::{Adn, AdnParams};
+    use crate::bdn::BdnParams;
+    use ftt_faults::HalfEdgeFaults;
+
+    fn adn_q(sqrt_q: f64) -> Adn {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        Adn::build(AdnParams::new(inner, 2, if sqrt_q > 0.0 { 10 } else { 8 }, sqrt_q).unwrap())
+    }
+
+    #[test]
+    fn all_alive_all_good() {
+        let adn = adn_q(0.0);
+        let faults = vec![false; adn.num_nodes()];
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let g = classify(&adn, &faults, &halves);
+        assert!(g.good_node.iter().all(|&x| x));
+        assert!(g.good_supernode.iter().all(|&x| x));
+        assert_eq!(g.bad_supernodes(), 0);
+        assert!((g.good_node_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulty_node_is_bad() {
+        let adn = adn_q(0.0);
+        let mut faults = vec![false; adn.num_nodes()];
+        faults[17] = true;
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let g = classify(&adn, &faults, &halves);
+        assert!(!g.good_node[17]);
+        // h = 8, min_good = 4: supernode of 17 still good (7 good nodes)
+        assert!(g.good_supernode[adn.supernode_of(17)]);
+    }
+
+    #[test]
+    fn supernode_dies_when_too_many_nodes_fail() {
+        let adn = adn_q(0.0);
+        let mut faults = vec![false; adn.num_nodes()];
+        // kill 5 of the 8 nodes of supernode 3: 3 good < 4 required
+        for v in adn.nodes_of(3).take(5) {
+            faults[v] = true;
+        }
+        let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let g = classify(&adn, &faults, &halves);
+        assert!(!g.good_supernode[3]);
+        assert_eq!(g.good_count[3], 3);
+    }
+
+    #[test]
+    fn half_edge_budget_enforced() {
+        // with q = 0 a single faulty half at v makes v bad
+        let adn = adn_q(0.0);
+        let faults = vec![false; adn.num_nodes()];
+        let mut halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let v = 42usize;
+        let (t, e) = adn.graph().arcs(v).next().unwrap();
+        let (a, _) = adn.graph().edge_endpoints(e);
+        halves.kill_half(e, if a == v { 0 } else { 1 });
+        let g = classify(&adn, &faults, &halves);
+        assert!(!g.good_node[v], "one bad half > ⌊2·0·h⌋ = 0");
+        // the node at the other end is unaffected (its half is fine)
+        assert!(g.good_node[t]);
+    }
+
+    #[test]
+    fn positive_q_tolerates_some_bad_halves() {
+        // √q = 1/16, h = 10: max_bad = ⌊2·(1/16)·10⌋ = 1 → one bad half per
+        // supernode direction is fine, two are not.
+        let adn = adn_q(1.0 / 16.0);
+        assert_eq!(adn.params().max_bad_halves(), 1);
+        let faults = vec![false; adn.num_nodes()];
+        let mut halves = HalfEdgeFaults::none(adn.graph().num_edges());
+        let v = 100usize;
+        // two bad halves toward v's own supernode
+        let own: Vec<(usize, u32)> = adn
+            .graph()
+            .arcs(v)
+            .filter(|&(t, _)| adn.supernode_of(t) == adn.supernode_of(v))
+            .collect();
+        let (a0, _) = adn.graph().edge_endpoints(own[0].1);
+        halves.kill_half(own[0].1, if a0 == v { 0 } else { 1 });
+        let g = classify(&adn, &faults, &halves);
+        assert!(g.good_node[v], "one bad half within budget");
+        let (a1, _) = adn.graph().edge_endpoints(own[1].1);
+        halves.kill_half(own[1].1, if a1 == v { 0 } else { 1 });
+        let g = classify(&adn, &faults, &halves);
+        assert!(!g.good_node[v], "two bad halves exceed budget");
+    }
+}

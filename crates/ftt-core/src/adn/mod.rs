@@ -1,0 +1,281 @@
+//! Theorem 1: the degree-`O(log log n)` construction `A^2_n` tolerating
+//! constant node-failure probability `p` and edge-failure probability
+//! `q`.
+//!
+//! Take `B^2_{n/k}` (Theorem 2) and replace every node by a clique of
+//! `h = ck²/(1+ε)` nodes — a *supernode* — joining adjacent supernodes
+//! completely (so each pair of adjacent supernodes forms a clique of
+//! `2h` nodes). With `k = Θ(√(log log n))` the degree is
+//! `O(k²) = O(log log n)` and the node count is `c·n²`.
+//!
+//! Fault tolerance composes two levels:
+//!
+//! 1. **Node level** — a node is *good* if it is alive and, toward every
+//!    relevant supernode, at most `2√q·h` of its incident half-edges are
+//!    faulty ([`goodness`]). A supernode is *good* if it has at least
+//!    `k² + 8√q·h` good nodes. The half-edge trick makes supernode
+//!    goodness independent across supernodes.
+//! 2. **Supernode level** — bad supernodes are treated as faulty nodes
+//!    of the underlying `B^2_{n/k}`, whose band machinery (Theorem 2)
+//!    recovers an `(n/k) × (n/k)` torus of good supernodes; each torus
+//!    cell then hosts a `k × k` submesh of the guest, embedded greedily
+//!    ([`embed`]).
+
+pub mod embed;
+pub mod goodness;
+
+use crate::bdn::{Bdn, BdnParams};
+use ftt_graph::{Graph, GraphBuilder};
+
+pub use embed::embed_torus;
+pub use goodness::{classify, Goodness};
+
+/// Validated parameters of an `A^2_n` instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AdnParams {
+    /// Parameters of the underlying `B^2_{N}` (with `N = n/k`).
+    pub inner: BdnParams,
+    /// Submesh side `k` (each supernode hosts a `k × k` guest submesh).
+    pub k: usize,
+    /// Supernode size `h`.
+    pub h: usize,
+    /// Square root of the target edge-failure probability `q` (the
+    /// half-edge failure rate); determines the goodness thresholds.
+    pub sqrt_q: f64,
+}
+
+impl AdnParams {
+    /// Validates and constructs the parameter set.
+    ///
+    /// Requires `h(1 − 8√q) ≥ k² + 1` so that a good supernode always
+    /// has spare good nodes for the greedy embedding, and `√q ≤ 1/16`
+    /// (mirroring the paper's `q < (1−p−1/c)²/64` smallness condition).
+    pub fn new(inner: BdnParams, k: usize, h: usize, sqrt_q: f64) -> Result<Self, String> {
+        if inner.d != 2 {
+            return Err("A^d_n is implemented for d = 2 (as in the paper's proof)".into());
+        }
+        if k == 0 {
+            return Err("k must be ≥ 1".into());
+        }
+        if !(0.0..=1.0 / 16.0).contains(&sqrt_q) {
+            return Err(format!("√q = {sqrt_q} out of range [0, 1/16]"));
+        }
+        let margin = (8.0 * sqrt_q * h as f64).ceil() as usize;
+        if h < k * k + margin + 1 {
+            return Err(format!(
+                "h = {h} too small: need h ≥ k² + ⌈8√q·h⌉ + 1 = {}",
+                k * k + margin + 1
+            ));
+        }
+        Ok(Self {
+            inner,
+            k,
+            h,
+            sqrt_q,
+        })
+    }
+
+    /// Guest torus side `n = k · N`.
+    pub fn n(&self) -> usize {
+        self.k * self.inner.n
+    }
+
+    /// Number of supernodes (= nodes of the inner `B^2_N`).
+    pub fn num_supernodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    /// Total node count `h · |B^2_N|`.
+    pub fn num_nodes(&self) -> usize {
+        self.h * self.num_supernodes()
+    }
+
+    /// Node redundancy `num_nodes / n²` (the paper's `c`).
+    pub fn redundancy(&self) -> f64 {
+        self.num_nodes() as f64 / (self.n() as f64 * self.n() as f64)
+    }
+
+    /// The degree of `A^2_n`: `h − 1` clique edges plus `h` per adjacent
+    /// supernode (`6·2−2 = 10` of them).
+    pub fn expected_degree(&self) -> usize {
+        (self.h - 1) + self.h * self.inner.expected_degree()
+    }
+
+    /// Maximum faulty half-edges a good node may have toward any single
+    /// relevant supernode: `⌊2√q·h⌋`.
+    pub fn max_bad_halves(&self) -> usize {
+        (2.0 * self.sqrt_q * self.h as f64).floor() as usize
+    }
+
+    /// Minimum good nodes for a good supernode: `k² + ⌈8√q·h⌉`.
+    pub fn min_good_nodes(&self) -> usize {
+        self.k * self.k + (8.0 * self.sqrt_q * self.h as f64).ceil() as usize
+    }
+}
+
+/// A constructed `A^2_n` instance.
+///
+/// Node ids: node `v` belongs to supernode `v / h` (a node id of the
+/// inner `B^2_N`) with local index `v % h`.
+#[derive(Debug, Clone)]
+pub struct Adn {
+    params: AdnParams,
+    inner: Bdn,
+    graph: Graph,
+}
+
+impl Adn {
+    /// Builds the supernode graph.
+    pub fn build(params: AdnParams) -> Self {
+        let inner = Bdn::build(params.inner);
+        let s = inner.num_nodes();
+        let h = params.h;
+        let mut builder = GraphBuilder::new(s * h);
+        builder.reserve_edges(s * h * (h - 1) / 2 + inner.graph().num_edges() * h * h);
+        //
+
+        // cliques within supernodes
+        for su in 0..s {
+            let base = su * h;
+            for a in 0..h {
+                for b in a + 1..h {
+                    builder.add_edge(base + a, base + b);
+                }
+            }
+        }
+        // complete joins between adjacent supernodes
+        for (_, u, v) in inner.graph().edges() {
+            for a in 0..h {
+                for b in 0..h {
+                    builder.add_edge(u * h + a, v * h + b);
+                }
+            }
+        }
+        let graph = builder.build();
+        Self {
+            params,
+            inner,
+            graph,
+        }
+    }
+
+    /// The instance parameters.
+    pub fn params(&self) -> &AdnParams {
+        &self.params
+    }
+
+    /// The underlying `B^2_N`.
+    pub fn inner(&self) -> &Bdn {
+        &self.inner
+    }
+
+    /// The host graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Supernode of a node.
+    #[inline]
+    pub fn supernode_of(&self, v: usize) -> usize {
+        v / self.params.h
+    }
+
+    /// The nodes of a supernode.
+    pub fn nodes_of(&self, su: usize) -> std::ops::Range<usize> {
+        su * self.params.h..(su + 1) * self.params.h
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn small_params() -> AdnParams {
+        // inner B²_54 (b = 3, ε_b = 1, m = 81), k = 2, h = 6, q = 0.
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        AdnParams::new(inner, 2, 6, 0.0).unwrap()
+    }
+
+    #[test]
+    fn params_validation() {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        assert!(AdnParams::new(inner, 2, 4, 0.0).is_err(), "h too small");
+        assert!(AdnParams::new(inner, 2, 6, 0.2).is_err(), "√q too large");
+        let p = AdnParams::new(inner, 2, 9, 0.05).unwrap();
+        assert_eq!(p.n(), 108);
+        assert_eq!(p.num_supernodes(), 81 * 54);
+        assert_eq!(p.num_nodes(), 9 * 81 * 54);
+    }
+
+    #[test]
+    fn degree_formula() {
+        let p = small_params();
+        // h−1 + 10h = 11h − 1
+        assert_eq!(p.expected_degree(), 11 * p.h - 1);
+        let adn = Adn::build(p);
+        assert_eq!(adn.graph().max_degree(), p.expected_degree());
+        assert_eq!(adn.graph().min_degree(), p.expected_degree());
+    }
+
+    #[test]
+    fn supernode_membership() {
+        let p = small_params();
+        let adn = Adn::build(p);
+        for v in (0..adn.num_nodes()).step_by(131) {
+            let su = adn.supernode_of(v);
+            assert!(adn.nodes_of(su).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cliques_and_joins_exist() {
+        let p = small_params();
+        let adn = Adn::build(p);
+        let h = p.h;
+        // clique inside supernode 0
+        for a in 0..h {
+            for b in 0..h {
+                if a != b {
+                    assert!(adn.graph().has_edge(a, b));
+                }
+            }
+        }
+        // complete join toward an adjacent supernode
+        let inner_nbr = adn.inner().graph().neighbors(0)[0] as usize;
+        for a in 0..h {
+            for b in 0..h {
+                assert!(adn.graph().has_edge(a, inner_nbr * h + b));
+            }
+        }
+        // no edges toward non-adjacent supernodes
+        let mut non_adj = None;
+        for su in 1..adn.params().num_supernodes() {
+            if !adn.inner().graph().has_edge(0, su) {
+                non_adj = Some(su);
+                break;
+            }
+        }
+        let su = non_adj.unwrap();
+        assert!(!adn.graph().has_edge(0, su * h));
+    }
+
+    #[test]
+    fn thresholds_at_q_zero() {
+        let p = small_params();
+        assert_eq!(p.max_bad_halves(), 0);
+        assert_eq!(p.min_good_nodes(), 4);
+    }
+
+    #[test]
+    fn redundancy_formula() {
+        let p = small_params();
+        // c = h·|B|/n² = h·(m·N)/(k²N²) = h·(m/N)/k²
+        let expect = p.h as f64 * (81.0 / 54.0) / 4.0;
+        assert!((p.redundancy() - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! Bands: the masking formalism of Lemmas 6–8.
+//!
+//! A *band* is a mapping `β : columns → [m]` with `|β(z) − β(z′)| ≤ 1`
+//! (cyclically) for adjacent columns `z, z′`; it masks, in every column,
+//! the `width` consecutive rows starting at `β(z)`. A [`Banding`] is a
+//! set of bands; it is *valid* when every band satisfies the slope
+//! condition and the bands are mutually *untouching*: in every column,
+//! cyclic gaps between consecutive band starts are at least `width + 1`
+//! (equivalently, at least one unmasked row separates any two masked
+//! arcs).
+//!
+//! Lemma 6 says a valid banding with `(m−n)/width` bands leaves exactly
+//! `n` unmasked rows per column and the unmasked nodes form a copy of the
+//! torus; extraction lives in [`crate::bdn::extract`].
+
+use crate::error::PlacementError;
+use ftt_geom::{ColumnSpace, CyclicInterval, CyclicRing};
+
+/// A set of bands over a [`ColumnSpace`], each masking `width` rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Banding {
+    /// `starts[band][column]` = `β_band(column)`.
+    starts: Vec<Vec<usize>>,
+    width: usize,
+    m: usize,
+    num_columns: usize,
+}
+
+impl Banding {
+    /// Wraps band start values. `starts[band][column]` must be in
+    /// `[0, m)`; call [`Banding::validate`] to check the band axioms.
+    pub fn new(starts: Vec<Vec<usize>>, width: usize, m: usize, num_columns: usize) -> Self {
+        assert!(width > 0, "band width must be positive");
+        for band in &starts {
+            assert_eq!(band.len(), num_columns, "band with wrong column count");
+            assert!(band.iter().all(|&s| s < m), "band start out of range");
+        }
+        Self {
+            starts,
+            width,
+            m,
+            num_columns,
+        }
+    }
+
+    /// Number of bands.
+    #[inline]
+    pub fn num_bands(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Mask width `b` of every band.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Vertical extent `m` of the host torus.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_columns(&self) -> usize {
+        self.num_columns
+    }
+
+    /// `β_band(column)`.
+    #[inline]
+    pub fn start(&self, band: usize, column: usize) -> usize {
+        self.starts[band][column]
+    }
+
+    /// The masked arc of `band` in `column`.
+    #[inline]
+    pub fn footprint(&self, band: usize, column: usize) -> CyclicInterval {
+        CyclicInterval::new(self.starts[band][column], self.width, self.m)
+    }
+
+    /// Whether node `(i, column)` is masked by some band.
+    pub fn masks(&self, i: usize, column: usize) -> bool {
+        (0..self.num_bands()).any(|b| self.footprint(b, column).contains(i))
+    }
+
+    /// Per-node mask ownership: `owner[node] = band index + 1`, or `0`
+    /// for unmasked, with nodes indexed as `i * num_columns + column`.
+    /// Errors if two bands overlap (invalid banding).
+    pub fn mask_owner(&self, cols: &ColumnSpace) -> Result<Vec<u32>, PlacementError> {
+        assert_eq!(cols.m(), self.m);
+        assert_eq!(cols.num_columns(), self.num_columns);
+        let mut owner = vec![0u32; cols.len()];
+        for band in 0..self.num_bands() {
+            for z in 0..self.num_columns {
+                for i in self.footprint(band, z).iter() {
+                    let node = cols.node(i, z);
+                    if owner[node] != 0 {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!(
+                                "bands {} and {band} overlap at node ({i}, {z})",
+                                owner[node] - 1
+                            ),
+                        });
+                    }
+                    owner[node] = band as u32 + 1;
+                }
+            }
+        }
+        Ok(owner)
+    }
+
+    /// Checks the band axioms: slope ≤ 1 between adjacent columns for
+    /// every band, and mutual untouching (cyclic start gaps ≥ width+1 in
+    /// every column). `cols` supplies column adjacency.
+    pub fn validate(&self, cols: &ColumnSpace) -> Result<(), PlacementError> {
+        assert_eq!(cols.m(), self.m);
+        assert_eq!(cols.num_columns(), self.num_columns);
+        let ring = CyclicRing::new(self.m);
+        // Slope condition per band.
+        for (bi, band) in self.starts.iter().enumerate() {
+            for z in 0..self.num_columns {
+                for z2 in cols.adjacent_columns(z) {
+                    let off = ring.offset(band[z], band[z2]);
+                    if off.unsigned_abs() > 1 {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!(
+                                "band {bi} jumps by {off} between adjacent columns {z} and {z2}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Untouching: per column, sort starts and check cyclic gaps.
+        if self.num_bands() >= 1 {
+            for z in 0..self.num_columns {
+                let mut ss: Vec<usize> = self.starts.iter().map(|band| band[z]).collect();
+                ss.sort_unstable();
+                let k = ss.len();
+                for i in 0..k {
+                    let cur = ss[i];
+                    let next = ss[(i + 1) % k];
+                    let gap = if k == 1 {
+                        self.m // single band: gap to itself is the whole cycle
+                    } else {
+                        ring.sub(next, cur)
+                    };
+                    if gap < self.width + 1 {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!(
+                                "bands touch in column {z}: starts {cur} and {next} (gap {gap}, need ≥ {})",
+                                self.width + 1
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that every given faulty node `(i, column)` is masked.
+    pub fn masks_all(
+        &self,
+        faults: impl Iterator<Item = (usize, usize)>,
+    ) -> Result<(), PlacementError> {
+        for (i, z) in faults {
+            if !self.masks(i, z) {
+                return Err(PlacementError::InvalidBanding {
+                    reason: format!("fault at ({i}, {z}) is unmasked"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Unmasked rows of `column`, ascending.
+    pub fn unmasked_rows(&self, column: usize) -> Vec<usize> {
+        let mut masked = vec![false; self.m];
+        for band in 0..self.num_bands() {
+            for i in self.footprint(band, column).iter() {
+                masked[i] = true;
+            }
+        }
+        (0..self.m).filter(|&i| !masked[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols_2d(m: usize, n: usize) -> ColumnSpace {
+        ColumnSpace::cube(m, n, 2)
+    }
+
+    /// Two straight bands on a 2-D column space.
+    fn straight_banding() -> (Banding, ColumnSpace) {
+        let cols = cols_2d(16, 8);
+        let b = Banding::new(vec![vec![0; 8], vec![8; 8]], 2, 16, 8);
+        (b, cols)
+    }
+
+    #[test]
+    fn straight_bands_valid() {
+        let (b, cols) = straight_banding();
+        assert!(b.validate(&cols).is_ok());
+        assert_eq!(b.num_bands(), 2);
+    }
+
+    #[test]
+    fn footprint_and_masks() {
+        let (b, _) = straight_banding();
+        assert!(b.masks(0, 3));
+        assert!(b.masks(1, 3));
+        assert!(!b.masks(2, 3));
+        assert!(b.masks(8, 0));
+        assert!(b.masks(9, 0));
+        assert!(!b.masks(10, 0));
+    }
+
+    #[test]
+    fn unmasked_rows_count() {
+        let (b, _) = straight_banding();
+        let rows = b.unmasked_rows(0);
+        assert_eq!(rows.len(), 16 - 2 * 2);
+        assert!(!rows.contains(&0));
+        assert!(!rows.contains(&9));
+        assert!(rows.contains(&2));
+    }
+
+    #[test]
+    fn slope_violation_detected() {
+        let cols = cols_2d(16, 4);
+        // band start jumps by 2 between columns 1 and 2
+        let b = Banding::new(vec![vec![0, 0, 2, 1]], 2, 16, 4);
+        let err = b.validate(&cols).unwrap_err();
+        assert!(matches!(err, PlacementError::InvalidBanding { .. }));
+    }
+
+    #[test]
+    fn slope_wraps_across_m() {
+        let cols = cols_2d(16, 4);
+        // 15 and 0 are cyclically adjacent: slope 1, valid
+        let b = Banding::new(vec![vec![15, 0, 15, 0]], 2, 16, 4);
+        assert!(b.validate(&cols).is_ok());
+    }
+
+    #[test]
+    fn touching_bands_detected() {
+        let cols = cols_2d(16, 4);
+        // widths 2: starts 0 and 2 → gap 2 < 3 → touching
+        let b = Banding::new(vec![vec![0; 4], vec![2; 4]], 2, 16, 4);
+        let err = b.validate(&cols).unwrap_err();
+        assert!(matches!(err, PlacementError::InvalidBanding { .. }));
+    }
+
+    #[test]
+    fn wrap_gap_checked() {
+        let cols = cols_2d(16, 4);
+        // starts 0 and 14, width 2: forward gap 14→0 is 2 < 3 → touching
+        let b = Banding::new(vec![vec![0; 4], vec![14; 4]], 2, 16, 4);
+        assert!(b.validate(&cols).is_err());
+        // starts 0 and 13: gap 13→0 is 3 ≥ 3 → fine
+        let b = Banding::new(vec![vec![0; 4], vec![13; 4]], 2, 16, 4);
+        assert!(b.validate(&cols).is_ok());
+    }
+
+    #[test]
+    fn winding_band_valid() {
+        // A band that gradually winds around the torus (slope 1 per step).
+        let cols = cols_2d(8, 8);
+        let starts: Vec<usize> = (0..8).map(|z| z.min(8 - z) % 8).collect();
+        // starts = [0,1,2,3,4,3,2,1]: adjacent diffs ±1, wrap 1→0 ok
+        let b = Banding::new(vec![starts], 2, 8, 8);
+        assert!(b.validate(&cols).is_ok());
+    }
+
+    #[test]
+    fn mask_owner_detects_overlap() {
+        let cols = cols_2d(16, 4);
+        let good = Banding::new(vec![vec![0; 4], vec![8; 4]], 2, 16, 4);
+        let owner = good.mask_owner(&cols).unwrap();
+        assert_eq!(owner.iter().filter(|&&o| o != 0).count(), 2 * 2 * 4);
+        let bad = Banding::new(vec![vec![0; 4], vec![1; 4]], 2, 16, 4);
+        assert!(bad.mask_owner(&cols).is_err());
+    }
+
+    #[test]
+    fn masks_all_reports_unmasked_fault() {
+        let (b, _) = straight_banding();
+        assert!(b.masks_all([(0usize, 0usize), (9, 5)].into_iter()).is_ok());
+        assert!(b.masks_all([(5usize, 0usize)].into_iter()).is_err());
+    }
+
+    #[test]
+    fn single_band_untouching_trivially() {
+        let cols = cols_2d(16, 4);
+        let b = Banding::new(vec![vec![3; 4]], 4, 16, 4);
+        assert!(b.validate(&cols).is_ok());
+        assert_eq!(b.unmasked_rows(0).len(), 12);
+    }
+
+    #[test]
+    fn three_dimensional_columns() {
+        let cols = ColumnSpace::cube(12, 4, 3); // columns form a 4×4 torus
+        let b = Banding::new(vec![vec![0; 16], vec![6; 16]], 3, 12, 16);
+        assert!(b.validate(&cols).is_ok());
+        assert_eq!(b.unmasked_rows(5).len(), 6);
+    }
+}

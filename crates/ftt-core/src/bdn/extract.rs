@@ -1,0 +1,274 @@
+//! Torus extraction from a valid banding (Lemmas 6–8).
+//!
+//! Given a valid banding, the unmasked nodes of each column form a cycle
+//! of length `n` (torus edges bridge gaps of 1, vertical jumps bridge
+//! gaps of `b+1` over a band). Rows are recovered with the paper's
+//! jump-paths: walking from column to column, a path keeps its height
+//! until it hits a band, then jumps `±b` over it via a diagonal jump.
+//! Lemma 7 shows the induced alignment of column cycles is independent
+//! of the walking order; we *check* that property explicitly over every
+//! adjacent column pair instead of trusting it, so a successful
+//! extraction is self-certifying.
+
+use super::Bdn;
+use crate::band::Banding;
+use crate::error::PlacementError;
+use ftt_geom::{ColumnSpace, CyclicRing, Shape};
+
+/// An embedding of the guest torus `(C_n)^d` into a host graph.
+#[derive(Debug, Clone)]
+pub struct TorusEmbedding {
+    /// Shape of the guest torus (`n × … × n`, `d` dims).
+    pub guest: Shape,
+    /// `map[guest_flat_index]` = host node id.
+    pub map: Vec<usize>,
+}
+
+impl TorusEmbedding {
+    /// The guest node count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the embedding is empty (never for valid instances).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One step of the jump-path walk: the height a path at height `i` in
+/// column `from` reaches in adjacent column `to`.
+fn transit(
+    banding: &Banding,
+    owner: &[u32],
+    cols: &ColumnSpace,
+    ring: CyclicRing,
+    b: usize,
+    i: usize,
+    from: usize,
+    to: usize,
+) -> Result<usize, PlacementError> {
+    let node = cols.node(i, to);
+    if owner[node] == 0 {
+        return Ok(i); // unmasked straight ahead
+    }
+    let band = (owner[node] - 1) as usize;
+    let s_to = banding.start(band, to);
+    let s_from = banding.start(band, from);
+    if s_from == ring.succ(s_to) {
+        // band shifted down from `from` to `to`: the path sat just below
+        // the band at `from` (i = s_to), jump up over it.
+        Ok(ring.add(i, b))
+    } else if s_from == ring.pred(s_to) {
+        // band shifted up: path sat just above (i = s_to + b − 1 + 1 − 1);
+        // jump down below it.
+        Ok(ring.sub(i, b))
+    } else {
+        // s_from == s_to would mean i was masked at `from` as well —
+        // impossible for a path on unmasked nodes.
+        Err(PlacementError::AlignmentInconsistent { column: to })
+    }
+}
+
+/// Extracts the fault-free torus defined by a valid banding.
+///
+/// Returns the embedding `(C_n)^d → B^d_n`; every masked (hence every
+/// faulty) node is avoided and every guest edge is carried by a torus
+/// edge, vertical jump or diagonal jump of `B^d_n`. The Lemma 7
+/// consistency of the alignment is verified over **all** adjacent column
+/// pairs.
+pub fn extract_torus(bdn: &Bdn, banding: &Banding) -> Result<TorusEmbedding, PlacementError> {
+    let params = *bdn.params();
+    let cols = bdn.cols();
+    let (n, b, m) = (params.n, params.b, params.m());
+    let ring = CyclicRing::new(m);
+    let owner = banding.mask_owner(cols)?;
+
+    // Column cycles: unmasked rows per column, ascending; check gap
+    // structure (1 or b+1).
+    let nc = cols.num_columns();
+    let mut heights: Vec<Vec<usize>> = Vec::with_capacity(nc);
+    for z in 0..nc {
+        let rows = banding.unmasked_rows(z);
+        if rows.len() != n {
+            return Err(PlacementError::InvalidBanding {
+                reason: format!("column {z}: {} unmasked rows, want {n}", rows.len()),
+            });
+        }
+        for idx in 0..rows.len() {
+            let cur = rows[idx];
+            let nxt = rows[(idx + 1) % rows.len()];
+            let gap = ring.sub(nxt, cur);
+            if gap != 1 && gap != b + 1 {
+                return Err(PlacementError::InvalidBanding {
+                    reason: format!("column {z}: unmasked gap {gap} between rows {cur} and {nxt}"),
+                });
+            }
+        }
+        heights.push(rows);
+    }
+
+    // Alignment: BFS over the column torus from column 0, transporting
+    // the cyclic indexing of column 0's unmasked rows.
+    // aligned[z][idx] = height of the idx-th row of the guest torus in
+    // column z.
+    let mut aligned: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    aligned[0] = heights[0].clone();
+    let mut visited = vec![false; nc];
+    visited[0] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    while let Some(z) = queue.pop_front() {
+        for z2 in cols.adjacent_columns(z) {
+            if visited[z2] {
+                continue;
+            }
+            let mut v = Vec::with_capacity(n);
+            for idx in 0..n {
+                let h = transit(banding, &owner, cols, ring, b, aligned[z][idx], z, z2)?;
+                v.push(h);
+            }
+            aligned[z2] = v;
+            visited[z2] = true;
+            queue.push_back(z2);
+        }
+    }
+    debug_assert!(visited.iter().all(|&v| v));
+
+    // Lemma 7 check: every adjacent pair must agree for every index.
+    for z in 0..nc {
+        for z2 in cols.adjacent_columns(z) {
+            for idx in 0..n {
+                let h = transit(banding, &owner, cols, ring, b, aligned[z][idx], z, z2)?;
+                if h != aligned[z2][idx] {
+                    return Err(PlacementError::AlignmentInconsistent { column: z2 });
+                }
+            }
+        }
+    }
+
+    // Assemble the embedding.
+    let guest_cols = ColumnSpace::cube(n, n, params.d);
+    let mut map = vec![0usize; guest_cols.len()];
+    for z in 0..nc {
+        for idx in 0..n {
+            map[guest_cols.node(idx, z)] = cols.node(aligned[z][idx], z);
+        }
+    }
+    let guest = Shape::cube(n, params.d);
+    Ok(TorusEmbedding { guest, map })
+}
+
+/// Convenience: place bands for the given node faults and extract the
+/// torus in one call. This is "Theorem 2 as an algorithm".
+pub fn extract_after_faults(bdn: &Bdn, faulty: &[bool]) -> Result<TorusEmbedding, PlacementError> {
+    let placement = super::place::place_bands(bdn, faulty)?;
+    extract_torus(bdn, &placement.banding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdn::BdnParams;
+    use ftt_graph::verify_torus_embedding;
+
+    fn small_bdn() -> Bdn {
+        Bdn::build(BdnParams::new(2, 192, 4, 1).unwrap())
+    }
+
+    fn verify(bdn: &Bdn, emb: &TorusEmbedding, faulty: &[bool]) {
+        verify_torus_embedding(&emb.guest, &emb.map, bdn.graph(), |h| !faulty[h], |_| true)
+            .expect("embedding must verify");
+    }
+
+    #[test]
+    fn fault_free_extraction() {
+        let bdn = small_bdn();
+        let faulty = vec![false; bdn.num_nodes()];
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        assert_eq!(emb.len(), 192 * 192);
+        verify(&bdn, &emb, &faulty);
+    }
+
+    #[test]
+    fn single_fault_extraction() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[bdn.cols().node(100, 50)] = true;
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        verify(&bdn, &emb, &faulty);
+    }
+
+    #[test]
+    fn scattered_faults_extraction() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        // chosen so no two faults land in adjacent tiles (tile side 16,
+        // 16 tile rows: rows 0 and 250 would be cyclically adjacent)
+        for &(i, z) in &[
+            (5usize, 5usize),
+            (77, 130),
+            (200, 60),
+            (130, 180),
+            (250, 90),
+        ] {
+            faulty[bdn.cols().node(i, z)] = true;
+        }
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        verify(&bdn, &emb, &faulty);
+    }
+
+    #[test]
+    fn extraction_avoids_masked_nodes() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        let victim = bdn.cols().node(42, 42);
+        faulty[victim] = true;
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        assert!(!emb.map.contains(&victim));
+    }
+
+    #[test]
+    fn mesh_is_contained_too() {
+        // The torus embedding restricted to mesh edges is a mesh
+        // embedding ("and hence the mesh of the same size").
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[bdn.cols().node(9, 9)] = true;
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        ftt_graph::verify_mesh_embedding(
+            &emb.guest,
+            &emb.map,
+            bdn.graph(),
+            |h| !faulty[h],
+            |_| true,
+        )
+        .expect("mesh embedding");
+    }
+
+    #[test]
+    fn eps_b_two_with_crowded_tile_row() {
+        // ε_b = 2: a region needing two mandatory segments in one tile
+        // row (two fault clusters ≥ b+1 apart inside one tile).
+        let p = BdnParams::new(2, 192, 4, 2).unwrap();
+        let bdn = Bdn::build(p);
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[bdn.cols().node(33, 40)] = true;
+        faulty[bdn.cols().node(43, 41)] = true; // same tile row, 10 rows apart
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        verify(&bdn, &emb, &faulty);
+    }
+
+    #[test]
+    fn three_dimensional_instance() {
+        // d = 3, b = 3, ε_b = 1 → n = 54, m = 81.
+        let p = BdnParams::fit(3, 50, 3, 1).unwrap();
+        let bdn = Bdn::build(p);
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[bdn.cols().node(40, 1000)] = true;
+        faulty[bdn.cols().node(7, 77)] = true;
+        let emb = extract_after_faults(&bdn, &faulty).unwrap();
+        assert_eq!(emb.len(), p.n.pow(3));
+        verify(&bdn, &emb, &faulty);
+    }
+}

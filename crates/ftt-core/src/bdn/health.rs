@@ -1,0 +1,222 @@
+//! The healthiness conditions of Section 3 (diagnostic form).
+//!
+//! A faulty `B^d_n` is *healthy* when:
+//!
+//! 1. every **brick** (a `1 × b × … × b`-tile slab: `b²` rows tall, `b³`
+//!    nodes wide in the column dimensions) contains `2b` consecutive
+//!    fault-free rows;
+//! 2. every brick contains at most `ε_b` faults (the per-tile-row
+//!    segment quota);
+//! 3. every faulty node's tile is enclosed by a fault-free `s`-frame
+//!    with `s ≤ b` (concentric form — what the painter searches for).
+//!
+//! Lemma 4 shows a random instance is healthy with probability
+//! `1 − n^{−Ω(log log n)}`; Lemma 5 shows healthy instances admit a
+//! banding. The placement pipeline does not *require* this report — it
+//! fails gracefully on unhealthy inputs — but experiments use it to
+//! attribute failures (experiment `ABL-HEALTH`).
+
+use super::place::{max_frame_radius, tile_grid};
+use super::BdnParams;
+use ftt_geom::Shape;
+
+/// Diagnostic report of the three healthiness conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Bricks missing a `2b` consecutive fault-free row run.
+    pub cond1_violations: usize,
+    /// Bricks with more than `ε_b` faults.
+    pub cond2_violations: usize,
+    /// Faulty tiles with no clean concentric frame of radius ≤ max.
+    pub cond3_violations: usize,
+    /// Total number of bricks examined.
+    pub num_bricks: usize,
+    /// Total number of faults.
+    pub num_faults: usize,
+}
+
+impl HealthReport {
+    /// Whether all three conditions hold.
+    pub fn is_healthy(&self) -> bool {
+        self.cond1_violations == 0 && self.cond2_violations == 0 && self.cond3_violations == 0
+    }
+}
+
+/// Checks the healthiness conditions for the given node faults.
+pub fn check_health(params: &BdnParams, faulty: &[bool]) -> HealthReport {
+    let t = params.tile_side();
+    let (b, m, n, d) = (params.b, params.m(), params.n, params.d);
+    assert_eq!(faulty.len(), m * n.pow(d as u32 - 1));
+    let grid = tile_grid(params);
+    let gs = grid.grid_shape().clone();
+
+    // Brick grid: bricks are 1 tile tall and b tiles wide per column dim.
+    let bricks_per_col_dim = (n / t) / b;
+    let mut brick_dims = vec![m / t];
+    brick_dims.extend(std::iter::repeat_n(bricks_per_col_dim, d - 1));
+    let brick_shape = Shape::new(brick_dims);
+    let num_bricks = brick_shape.len();
+
+    // Assign each node to its brick and row-within-brick.
+    let torus_shape = grid.node_shape().clone();
+    let mut brick_fault_count = vec![0u32; num_bricks];
+    // fault presence per (brick, row offset in 0..t)
+    let mut brick_row_faulty = vec![false; num_bricks * t];
+    let mut brick_coord = vec![0usize; d];
+    for node in 0..faulty.len() {
+        if !faulty[node] {
+            continue;
+        }
+        let i = torus_shape.coord_of(node, 0);
+        brick_coord[0] = i / t;
+        for a in 1..d {
+            brick_coord[a] = torus_shape.coord_of(node, a) / (t * b);
+        }
+        let brick = brick_shape.flatten(&brick_coord);
+        brick_fault_count[brick] += 1;
+        brick_row_faulty[brick * t + (i % t)] = true;
+    }
+
+    // Condition 1: a run of 2b consecutive fault-free rows per brick.
+    let mut cond1_violations = 0;
+    for brick in 0..num_bricks {
+        let rows = &brick_row_faulty[brick * t..(brick + 1) * t];
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &f in rows {
+            if f {
+                run = 0;
+            } else {
+                run += 1;
+                best = best.max(run);
+            }
+        }
+        if best < 2 * b {
+            cond1_violations += 1;
+        }
+    }
+
+    // Condition 2: at most ε_b faults per brick.
+    let cond2_violations = brick_fault_count
+        .iter()
+        .filter(|&&c| c as usize > params.eps_b)
+        .count();
+
+    // Condition 3: clean concentric frame around every faulty tile.
+    let tile_faults = grid.count_per_tile(|v| faulty[v]);
+    let rmax = max_frame_radius(params);
+    let mut cond3_violations = 0;
+    for tile in 0..gs.len() {
+        if tile_faults[tile] == 0 {
+            continue;
+        }
+        let ok = (1..=rmax).any(|r| {
+            grid.frame(tile, r)
+                .map(|f| f.shell_clear(&tile_faults))
+                .unwrap_or(false)
+        });
+        if !ok {
+            cond3_violations += 1;
+        }
+    }
+
+    HealthReport {
+        cond1_violations,
+        cond2_violations,
+        cond3_violations,
+        num_bricks,
+        num_faults: faulty.iter().filter(|&&f| f).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdn::Bdn;
+
+    fn params() -> BdnParams {
+        BdnParams::new(2, 192, 4, 1).unwrap()
+    }
+
+    #[test]
+    fn fault_free_is_healthy() {
+        let p = params();
+        let r = check_health(&p, &vec![false; p.num_nodes()]);
+        assert!(r.is_healthy());
+        assert_eq!(r.num_faults, 0);
+        assert_eq!(r.num_bricks, (p.m() / 16) * (p.n / 64));
+    }
+
+    #[test]
+    fn single_fault_is_healthy() {
+        let p = params();
+        let bdn = Bdn::build(p);
+        let mut f = vec![false; p.num_nodes()];
+        f[bdn.cols().node(77, 77)] = true;
+        let r = check_health(&p, &f);
+        assert!(r.is_healthy(), "{r:?}");
+        assert_eq!(r.num_faults, 1);
+    }
+
+    #[test]
+    fn cond2_detects_overfull_brick() {
+        let p = params(); // ε_b = 1
+        let bdn = Bdn::build(p);
+        let mut f = vec![false; p.num_nodes()];
+        // two faults in the same brick (same tile row, columns within b³=64)
+        f[bdn.cols().node(3, 10)] = true;
+        f[bdn.cols().node(12, 40)] = true;
+        let r = check_health(&p, &f);
+        assert!(r.cond2_violations >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn cond1_detects_dense_rows() {
+        let p = params();
+        let bdn = Bdn::build(p);
+        let mut f = vec![false; p.num_nodes()];
+        // faults every 4 rows in one brick: no 8 consecutive clean rows
+        for i in (0..16).step_by(4) {
+            f[bdn.cols().node(i, 5)] = true;
+        }
+        let r = check_health(&p, &f);
+        assert!(r.cond1_violations >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn cond3_detects_adjacent_faulty_tiles() {
+        let p = params();
+        let bdn = Bdn::build(p);
+        let mut f = vec![false; p.num_nodes()];
+        // faults in two adjacent tiles: radius-1 shells are dirty and
+        // rmax = 1 for b = 4
+        f[bdn.cols().node(8, 8)] = true;
+        f[bdn.cols().node(8, 24)] = true;
+        let r = check_health(&p, &f);
+        assert!(r.cond3_violations >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn healthy_iff_placement_succeeds_on_examples() {
+        // Healthiness is sufficient (not necessary) for placement; check
+        // the implication on a few instances.
+        let p = params();
+        let bdn = Bdn::build(p);
+        let cases: Vec<Vec<(usize, usize)>> = vec![
+            vec![],
+            vec![(100, 100)],
+            vec![(5, 5), (100, 100), (200, 30)],
+        ];
+        for case in cases {
+            let mut f = vec![false; p.num_nodes()];
+            for &(i, z) in &case {
+                f[bdn.cols().node(i, z)] = true;
+            }
+            let r = check_health(&p, &f);
+            if r.is_healthy() {
+                crate::bdn::place::place_bands(&bdn, &f)
+                    .expect("healthy instance must admit a placement");
+            }
+        }
+    }
+}

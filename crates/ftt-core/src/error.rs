@@ -1,0 +1,144 @@
+//! Failure modes of band placement and extraction.
+//!
+//! Theorem 2 is probabilistic: for an *unhealthy* fault pattern the band
+//! machinery can legitimately fail. Each failure mode is reported
+//! distinctly so experiments can attribute failures to the right
+//! healthiness condition (experiment `ABL-HEALTH`).
+
+/// Why placing masking bands (or extracting the torus) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// No fault-free `s`-frame with `s ≤ b` encloses this faulty node
+    /// (healthiness condition 3 violated).
+    NoCleanFrame {
+        /// The faulty node that could not be enclosed.
+        node: usize,
+    },
+    /// A black region's faulty rows cannot be covered by width-`b`
+    /// segments with the mandatory separation (faults too dense —
+    /// healthiness condition 1 violated in spirit).
+    UncoverableFaultRow {
+        /// Region id (index into the painting's region list).
+        region: usize,
+        /// The relative row (within the region's bounding box) whose
+        /// fault could not be covered.
+        rel_row: usize,
+    },
+    /// A tile row inside a black region needs more segments than the
+    /// per-row quota `εb` (healthiness condition 2 violated).
+    SegmentQuotaExceeded {
+        /// Region id.
+        region: usize,
+        /// Absolute tile row index.
+        tile_row: usize,
+        /// Segments required by the faults.
+        needed: usize,
+        /// Segments available per tile row.
+        quota: usize,
+    },
+    /// Could not pad a tile row of a region up to exactly `εb` segments
+    /// without violating the untouching separation.
+    PaddingFailed {
+        /// Region id.
+        region: usize,
+        /// Absolute tile row index.
+        tile_row: usize,
+    },
+    /// A produced banding violates an invariant (slope, untouching, or
+    /// unmasked-count); indicates a bug or an unhealthy instance that
+    /// slipped through — always a hard error.
+    InvalidBanding {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// The jump-path alignment of Lemma 6/7 was inconsistent — the
+    /// banding did not define a torus (should be impossible for a valid
+    /// banding; kept as a checked invariant).
+    AlignmentInconsistent {
+        /// Column where the inconsistency was detected.
+        column: usize,
+    },
+    /// Parameters do not admit the construction (e.g. `k` exceeds the
+    /// worst-case bound of Theorem 3 so the pigeonhole can fail).
+    TooManyFaults {
+        /// Number of faults presented.
+        presented: usize,
+        /// Maximum tolerated by the instance.
+        tolerated: usize,
+    },
+    /// A supernode of `A^2_n` is not good and the supernode-level torus
+    /// extraction failed (Theorem 1 failure path).
+    SupernodeLevelFailed {
+        /// The underlying `B^2_{n/k}` placement failure.
+        inner: Box<PlacementError>,
+    },
+    /// The greedy node-level embedding of Theorem 1 could not find a
+    /// good image with alive edges (should not happen for good
+    /// supernodes; reported when goodness margins are violated).
+    EmbeddingStuck {
+        /// Guest torus node that could not be mapped.
+        guest: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoCleanFrame { node } => {
+                write!(f, "no fault-free s-frame (s ≤ b) encloses faulty node {node}")
+            }
+            PlacementError::UncoverableFaultRow { region, rel_row } => write!(
+                f,
+                "region {region}: faulty row {rel_row} cannot be covered by separated width-b segments"
+            ),
+            PlacementError::SegmentQuotaExceeded { region, tile_row, needed, quota } => write!(
+                f,
+                "region {region}: tile row {tile_row} needs {needed} segments, quota is {quota}"
+            ),
+            PlacementError::PaddingFailed { region, tile_row } => write!(
+                f,
+                "region {region}: cannot pad tile row {tile_row} to the segment quota"
+            ),
+            PlacementError::InvalidBanding { reason } => {
+                write!(f, "banding invariant violated: {reason}")
+            }
+            PlacementError::AlignmentInconsistent { column } => {
+                write!(f, "jump-path alignment inconsistent at column {column}")
+            }
+            PlacementError::TooManyFaults { presented, tolerated } => write!(
+                f,
+                "{presented} faults presented, instance tolerates only {tolerated}"
+            ),
+            PlacementError::SupernodeLevelFailed { inner } => {
+                write!(f, "supernode-level torus extraction failed: {inner}")
+            }
+            PlacementError::EmbeddingStuck { guest } => {
+                write!(f, "greedy embedding stuck at guest node {guest}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlacementError::NoCleanFrame { node: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = PlacementError::SegmentQuotaExceeded {
+            region: 1,
+            tile_row: 2,
+            needed: 5,
+            quota: 2,
+        };
+        assert!(e.to_string().contains("needs 5"));
+        let e = PlacementError::SupernodeLevelFailed {
+            inner: Box::new(PlacementError::NoCleanFrame { node: 7 }),
+        };
+        assert!(e.to_string().contains("node 7"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's constructions: fault-tolerant networks containing the
+//! `d`-dimensional torus (and mesh) after faults.
+//!
+//! * [`bdn`] — Theorem 2: the constant-degree (`6d−2`) augmented torus
+//!   `B^d_n` tolerating node-failure probability `log^{−3d} n`, with the
+//!   full band machinery (healthiness, painting, band-segment placement,
+//!   multilinear interpolation, jump-path extraction).
+//! * [`adn`] — Theorem 1: the degree-`O(log log n)` supernode construction
+//!   `A^2_n` tolerating constant node **and** edge failure probabilities.
+//! * [`ddn`] — Theorem 3: the degree-`4d` construction `D^d_{n,k}`
+//!   tolerating any `k` worst-case faults via straight bands and cyclic
+//!   pigeonhole.
+//! * [`band`] — bands (`β : columns → [m]`), the masking formalism shared
+//!   by Theorems 2 and 3.
+
+pub mod adn;
+pub mod band;
+pub mod bdn;
+pub mod ddn;
+pub mod error;
+pub mod render;
+
+pub use band::Banding;
+pub use bdn::{Bdn, BdnParams};
+pub use error::PlacementError;

@@ -1,0 +1,121 @@
+//! ASCII rendering of bandings and fault maps (the paper's Figures 1–2
+//! as reusable, testable output).
+//!
+//! Conventions: rows of the host torus top-to-bottom, columns
+//! left-to-right; `.` unmasked, a digit = masking band id (mod 10),
+//! `X` a faulty node (always inside a band for valid placements), `o`
+//! nodes of a highlighted walk (e.g. one extracted guest row).
+
+use crate::band::Banding;
+use ftt_geom::ColumnSpace;
+
+/// Renders a 2-dimensional banding (`d = 2` hosts only) with optional
+/// fault and highlight overlays.
+///
+/// * `faulty` — optional per-node fault bitmap (marks `X`);
+/// * `walk` — optional per-column heights to mark `o` (e.g. a jump path).
+///
+/// # Panics
+/// Panics if the column space is not 1-dimensional (rendering a `d ≥ 3`
+/// host as text is not meaningful).
+pub fn render_banding(
+    banding: &Banding,
+    cols: &ColumnSpace,
+    faulty: Option<&[bool]>,
+    walk: Option<&[usize]>,
+) -> String {
+    assert_eq!(
+        cols.column_shape().ndim(),
+        1,
+        "render_banding requires a 2-D host (1-D column space)"
+    );
+    let owner = banding
+        .mask_owner(cols)
+        .expect("cannot render an overlapping banding");
+    let (m, nc) = (cols.m(), cols.num_columns());
+    let mut out = String::with_capacity((m + 1) * (nc + 1));
+    for i in 0..m {
+        for z in 0..nc {
+            let node = cols.node(i, z);
+            let ch = if walk.is_some_and(|w| w.get(z) == Some(&i)) {
+                'o'
+            } else if faulty.is_some_and(|f| f[node]) {
+                'X'
+            } else if owner[node] != 0 {
+                char::from_digit((owner[node] - 1) % 10, 10).unwrap()
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-axis masks of a `D^d_{n,k}` banding as one line per
+/// axis: `#` masked coordinate, `.` unmasked.
+pub fn render_ddn_axes(ddn: &crate::ddn::Ddn, banding: &crate::ddn::DdnBanding) -> String {
+    let p = *ddn.params();
+    let mut out = String::new();
+    for axis in 0..p.d {
+        out.push_str(&format!("axis {axis} (width {:2}): ", p.band_width(axis)));
+        let unmasked: std::collections::HashSet<usize> =
+            banding.unmasked(ddn, axis).into_iter().collect();
+        for x in 0..p.m() {
+            out.push(if unmasked.contains(&x) { '.' } else { '#' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddn::{place_straight_bands, Ddn, DdnParams};
+
+    #[test]
+    fn render_marks_bands_and_faults() {
+        let cols = ColumnSpace::new(8, &[4]);
+        let banding = Banding::new(vec![vec![2; 4]], 2, 8, 4);
+        let mut faulty = vec![false; 32];
+        faulty[cols.node(3, 1)] = true; // inside the band
+        let art = render_banding(&banding, &cols, Some(&faulty), None);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[0], "....");
+        assert_eq!(lines[2], "0000");
+        assert_eq!(lines[3], "0X00");
+        assert_eq!(lines[4], "....");
+    }
+
+    #[test]
+    fn render_marks_walk() {
+        let cols = ColumnSpace::new(6, &[3]);
+        let banding = Banding::new(vec![vec![0; 3]], 1, 6, 3);
+        let walk = vec![3usize, 4, 3];
+        let art = render_banding(&banding, &cols, None, Some(&walk));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[3], "o.o");
+        assert_eq!(lines[4], ".o.");
+    }
+
+    #[test]
+    fn render_ddn_masks() {
+        let params = DdnParams::fit(2, 30, 2).unwrap();
+        let ddn = Ddn::new(params);
+        let banding = place_straight_bands(&ddn, &[5]).unwrap();
+        let art = render_ddn_axes(&ddn, &banding);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (axis, line) in lines.iter().enumerate() {
+            let masked = line.chars().filter(|&c| c == '#').count();
+            assert_eq!(
+                masked,
+                params.num_bands(axis) * params.band_width(axis),
+                "axis {axis}"
+            );
+        }
+    }
+}

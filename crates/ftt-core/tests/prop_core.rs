@@ -1,0 +1,185 @@
+//! Property-based tests for the band machinery and the worst-case
+//! construction.
+
+use ftt_core::band::Banding;
+use ftt_core::bdn::interpolate::{interpolate_bands, CornerValues};
+use ftt_core::bdn::segments::{place_region_segments, place_region_segments_pigeonhole};
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_geom::{ColumnSpace, Shape};
+use proptest::prelude::*;
+
+const B: usize = 4;
+const T: usize = 16;
+
+proptest! {
+    /// Any segment placement that succeeds satisfies all three
+    /// invariants: full coverage, pairwise separation ≥ b+1, exact
+    /// per-tile-row quota.
+    #[test]
+    fn segment_invariants(
+        faults in prop::collection::vec(0usize..3 * T, 0..6),
+        eps_b in 1usize..3,
+    ) {
+        let rows = 3;
+        if let Ok(seg) = place_region_segments(&faults, rows, T, B, eps_b, 0) {
+            let all = seg.all_starts();
+            prop_assert_eq!(all.len(), rows * eps_b);
+            for w in all.windows(2) {
+                prop_assert!(w[1] - w[0] > B, "separation {:?}", w);
+            }
+            for &f in &faults {
+                prop_assert!(
+                    all.iter().any(|&s| f >= s && f < s + B),
+                    "fault {} uncovered", f
+                );
+            }
+            for (tr, row) in seg.rows.iter().enumerate() {
+                prop_assert_eq!(row.len(), eps_b);
+                for &s in row {
+                    prop_assert!(s >= tr * T && s < (tr + 1) * T);
+                }
+            }
+        }
+    }
+
+    /// The exact DP dominates the paper's pigeonhole placement: whenever
+    /// the pigeonhole succeeds, so does the default strategy.
+    #[test]
+    fn dp_dominates_pigeonhole(
+        faults in prop::collection::vec(0usize..2 * T, 0..5),
+    ) {
+        let rows = 2;
+        let pigeon = place_region_segments_pigeonhole(&faults, rows, T, B, 2, 0);
+        if pigeon.is_ok() {
+            prop_assert!(
+                place_region_segments(&faults, rows, T, B, 2, 0).is_ok(),
+                "DP failed where pigeonhole succeeded: {:?}", faults
+            );
+        }
+    }
+
+    /// Straight bandings with start gaps ≥ width+1 always validate;
+    /// shrinking any gap below width+1 always fails.
+    #[test]
+    fn banding_gap_boundary(
+        base in 0usize..8,
+        extra_gap in 0usize..4,
+    ) {
+        let m = 32;
+        let cols = ColumnSpace::new(m, &[6]);
+        let width = 3;
+        let s1 = base;
+        let s2 = base + width + 1 + extra_gap; // legal gap
+        let banding = Banding::new(vec![vec![s1; 6], vec![s2; 6]], width, m, 6);
+        prop_assert!(banding.validate(&cols).is_ok());
+        let s2_bad = base + width; // touching
+        let bad = Banding::new(vec![vec![s1; 6], vec![s2_bad; 6]], width, m, 6);
+        prop_assert!(bad.validate(&cols).is_err());
+    }
+
+    /// Unmasked row count is exactly m − (bands × width) for any valid
+    /// banding.
+    #[test]
+    fn unmasked_count(offsets in prop::collection::vec(0usize..3, 1..4)) {
+        let width = 2;
+        let m = 40;
+        let ncols = 4;
+        // stack bands with legal gaps derived from the offsets
+        let mut starts = Vec::new();
+        let mut cur = 0usize;
+        for off in &offsets {
+            starts.push(vec![cur; ncols]);
+            cur += width + 1 + off;
+        }
+        prop_assume!(cur <= m - width); // keep the wrap gap legal
+        let banding = Banding::new(starts.clone(), width, m, ncols);
+        let cols = ColumnSpace::new(m, &[ncols]);
+        prop_assert!(banding.validate(&cols).is_ok());
+        for z in 0..ncols {
+            prop_assert_eq!(
+                banding.unmasked_rows(z).len(),
+                m - starts.len() * width
+            );
+        }
+    }
+
+    /// Theorem 3 as a property: any ≤ k random faults on D²_{n,k} admit
+    /// extraction, and the embedding is injective, alive and edge-valid.
+    #[test]
+    fn ddn_tolerates_any_k(seed in 0u64..500) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let params = DdnParams::fit(2, 30, 2).unwrap();
+        let ddn = Ddn::new(params);
+        let k = params.tolerated_faults();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nf = rng.gen_range(0..=k);
+        let mut faults: Vec<usize> =
+            (0..nf).map(|_| rng.gen_range(0..ddn.shape().len())).collect();
+        faults.sort_unstable();
+        faults.dedup();
+        let emb = ddn.try_extract(&faults).expect("Theorem 3 guarantee");
+        let fs: std::collections::HashSet<usize> = faults.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        for &h in &emb.map {
+            prop_assert!(seen.insert(h));
+            prop_assert!(!fs.contains(&h));
+        }
+        for g in emb.guest.iter() {
+            for axis in 0..2 {
+                let g2 = emb.guest.torus_step(g, axis, 1);
+                prop_assert!(ddn.edge_exists(emb.map[g], emb.map[g2]));
+            }
+        }
+    }
+
+    /// D^1 (the path/cycle case): same property in one dimension.
+    #[test]
+    fn ddn_d1_tolerates_any_k(seed in 0u64..200) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let params = DdnParams::fit(1, 30, 4).unwrap();
+        let ddn = Ddn::new(params);
+        let k = params.tolerated_faults();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut faults: Vec<usize> =
+            (0..k).map(|_| rng.gen_range(0..ddn.shape().len())).collect();
+        faults.sort_unstable();
+        faults.dedup();
+        let emb = ddn.try_extract(&faults).expect("d = 1 guarantee");
+        prop_assert_eq!(emb.len(), params.n);
+    }
+
+    /// Lemma 11 as a property: corner values within a tile row always
+    /// interpolate to bands with slope ≤ 1 between adjacent columns.
+    #[test]
+    fn interpolation_slope_bounded(
+        corners in prop::collection::vec(0u64..16, 4),
+    ) {
+        let cols = Shape::new(vec![64]); // 4 column tiles of side 16
+        let cv: CornerValues = vec![vec![corners]];
+        let banding = interpolate_bands(&cv, &cols, 16, 80, 4);
+        for z in 0..64 {
+            let a = banding.start(0, z) as i64;
+            let b = banding.start(0, (z + 1) % 64) as i64;
+            prop_assert!((a - b).abs() <= 1, "slope at {}: {} vs {}", z, a, b);
+        }
+    }
+
+    /// Lemma 10 + floor rounding as a property: integer corner gaps
+    /// ≥ g between two bands survive interpolation pointwise.
+    #[test]
+    fn interpolation_preserves_corner_gaps(
+        lo in prop::collection::vec(0u64..10, 4),
+        gap in 5u64..9,
+    ) {
+        let cols = Shape::new(vec![64]);
+        let hi: Vec<u64> = lo.iter().map(|v| v + gap).collect();
+        let cv: CornerValues = vec![vec![lo, hi]];
+        let banding = interpolate_bands(&cv, &cols, 16, 80, 4);
+        for z in 0..64 {
+            let diff = banding.start(1, z) as i64 - banding.start(0, z) as i64;
+            prop_assert!(diff >= gap as i64, "gap {} at column {}", diff, z);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Expander-graph substrate for the Alon–Chung baseline (Theorem 12).
+//!
+//! Alon & Chung's linear-size tolerant networks are built from explicit
+//! constant-degree expanders. This crate supplies:
+//!
+//! * the Margulis–Gabber–Galil 8-regular expander on `Z_s × Z_s`
+//!   ([`margulis`]) — explicit, no randomness;
+//! * random regular multigraphs via the configuration model
+//!   ([`random_regular`]) — the "as good as random" comparison point;
+//! * spectral-gap estimation by power iteration ([`spectral`]), so the
+//!   experiments *measure* expansion instead of citing it.
+
+pub mod margulis;
+pub mod random_regular;
+pub mod spectral;
+
+pub use margulis::margulis_expander;
+pub use random_regular::random_regular;
+pub use spectral::second_eigenvalue;

@@ -1,0 +1,96 @@
+//! The Margulis–Gabber–Galil expander.
+//!
+//! Nodes are `Z_s × Z_s`; each node `(x, y)` is joined to
+//!
+//! ```text
+//! (x + y, y)   (x + y + 1, y)   (x, y + x)   (x, y + x + 1)
+//! ```
+//!
+//! and the four inverse images, all mod `s` — an 8-regular multigraph
+//! with second eigenvalue bounded away from 8 (λ ≤ 5√2 ≈ 7.07), i.e. a
+//! constant spectral gap, for every `s`. This is the classical explicit
+//! expander family, sufficient for the Alon–Chung construction.
+
+use ftt_graph::{Graph, GraphBuilder};
+
+/// Builds the 8-regular Margulis–Gabber–Galil expander on `s² ` nodes.
+///
+/// Parallel edges are kept (the graph is a multigraph for small `s`),
+/// so every node has degree exactly 8.
+pub fn margulis_expander(s: usize) -> Graph {
+    assert!(s >= 2, "expander side must be at least 2");
+    let n = s * s;
+    let mut b = GraphBuilder::new(n);
+    b.reserve_edges(4 * n);
+    let id = |x: usize, y: usize| -> usize { x * s + y };
+    for x in 0..s {
+        for y in 0..s {
+            let v = id(x, y);
+            // four forward maps; inverses are covered by the source node
+            // of the corresponding forward edge.
+            let images = [
+                id((x + y) % s, y),
+                id((x + y + 1) % s, y),
+                id(x, (y + x) % s),
+                id(x, (y + x + 1) % s),
+            ];
+            for u in images {
+                // The classical definition keeps self-loops at nodes
+                // with x ≡ 0 or y ≡ 0; loops contribute nothing to
+                // connectivity or vertex expansion, so we drop them —
+                // those boundary nodes have degree 7 instead of 8.
+                if u != v {
+                    b.add_edge(v, u);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_graph::connected_components;
+
+    #[test]
+    fn eight_regular_up_to_dropped_loops() {
+        for s in [3usize, 5, 8, 13] {
+            let g = margulis_expander(s);
+            assert_eq!(g.num_nodes(), s * s);
+            // 4 forward maps per node minus the dropped self-loops:
+            // maps 1–4 are loops iff y=0, y=s−1, x=0, x=s−1 → 4s loops.
+            assert_eq!(g.num_edges(), 4 * s * s - 4 * s, "s={s}");
+            assert_eq!(g.max_degree(), 8, "s={s}");
+            assert!(g.min_degree() >= 4, "s={s}: min degree {}", g.min_degree());
+        }
+    }
+
+    #[test]
+    fn connected() {
+        for s in [3usize, 7, 10] {
+            let g = margulis_expander(s);
+            let alive = vec![true; g.num_nodes()];
+            let c = connected_components(&g, &alive);
+            assert_eq!(c.count, 1, "s={s}");
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = margulis_expander(6);
+        for (_, u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn small_diameter() {
+        // expanders have O(log n) diameter; sanity-check s=10 (100 nodes)
+        let g = margulis_expander(10);
+        let alive = vec![true; g.num_nodes()];
+        let d = ftt_graph::bfs_distances(&g, 0, &alive);
+        let max = d.iter().copied().max().unwrap();
+        assert!(max <= 8, "diameter {max} too large for an expander");
+    }
+}

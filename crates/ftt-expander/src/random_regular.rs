@@ -1,0 +1,109 @@
+//! Random regular multigraphs via the configuration model.
+//!
+//! Each node gets `d` stubs; a uniformly random perfect matching of the
+//! stubs yields the edges. Self-loop pairs are resampled (bounded
+//! retries); parallel edges are kept — for `d ≥ 3` the result is an
+//! expander with high probability, which the spectral tests verify.
+
+use ftt_graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples a random `d`-regular multigraph on `n` nodes.
+///
+/// # Panics
+/// Panics if `n·d` is odd, `d == 0`, or `n < 2`.
+pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(d >= 1, "degree must be positive");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
+    // Retry whole shuffles until no self-loop pair remains (expected
+    // O(1) retries for d ≪ n; bounded for safety).
+    for _attempt in 0..200 {
+        stubs.shuffle(rng);
+        let ok = stubs.chunks_exact(2).all(|p| p[0] != p[1]);
+        if ok {
+            let mut b = GraphBuilder::new(n);
+            b.reserve_edges(n * d / 2);
+            for p in stubs.chunks_exact(2) {
+                b.add_edge(p[0], p[1]);
+            }
+            return b.build();
+        }
+    }
+    // Deterministic fallback: fix self-loops by swapping with the next
+    // pair (always possible when d < n).
+    loop {
+        stubs.shuffle(rng);
+        let mut fixed = true;
+        for i in (0..stubs.len()).step_by(2) {
+            if stubs[i] == stubs[i + 1] {
+                let j = (i + 2) % stubs.len();
+                stubs.swap(i + 1, j);
+                fixed = false;
+            }
+        }
+        if stubs.chunks_exact(2).all(|p| p[0] != p[1]) {
+            let mut b = GraphBuilder::new(n);
+            for p in stubs.chunks_exact(2) {
+                b.add_edge(p[0], p[1]);
+            }
+            return b.build();
+        }
+        if fixed {
+            unreachable!("self-loop fixing loop must terminate");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_graph::connected_components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regular_degrees() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (n, d) in [(10usize, 3usize), (50, 4), (100, 8)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), n * d / 2);
+            assert_eq!(g.max_degree(), d);
+            assert_eq!(g.min_degree(), d);
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = random_regular(30, 3, &mut rng);
+        for (_, u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn usually_connected() {
+        // d ≥ 3 random regular graphs are connected whp
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut connected = 0;
+        for _ in 0..10 {
+            let g = random_regular(60, 4, &mut rng);
+            let alive = vec![true; g.num_nodes()];
+            if connected_components(&g, &alive).count == 1 {
+                connected += 1;
+            }
+        }
+        assert!(connected >= 9, "only {connected}/10 connected");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_stub_count_rejected() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        random_regular(5, 3, &mut rng);
+    }
+}

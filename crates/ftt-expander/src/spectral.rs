@@ -1,0 +1,118 @@
+//! Spectral-gap estimation by power iteration.
+//!
+//! For a `d`-regular graph the top adjacency eigenvalue is `d` with the
+//! all-ones eigenvector; the second eigenvalue `λ₂` controls expansion
+//! (smaller `|λ₂|` ⇒ better expander). We estimate `max(|λ₂|, |λ_n|)`
+//! by power iteration on the component orthogonal to the all-ones
+//! vector — exactly the quantity the Alon–Chung analysis needs.
+
+use ftt_graph::Graph;
+
+/// Estimates `λ = max_i≥2 |λ_i|` of the adjacency matrix of a regular
+/// (multi)graph by `iters` power iterations from a deterministic seed
+/// vector.
+pub fn second_eigenvalue(g: &Graph, iters: usize) -> f64 {
+    let n = g.num_nodes();
+    assert!(n >= 2, "need at least two nodes");
+    // Deterministic pseudo-random start, orthogonalised against 1.
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1);
+            z ^= z >> 33;
+            z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    let mut y = vec![0.0f64; n];
+    let mut lambda = 0.0f64;
+    for _ in 0..iters {
+        project_out_ones(&mut x);
+        normalize(&mut x);
+        // y = A x (multigraph: parallel edges add twice)
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for v in 0..n {
+            let xv = x[v];
+            for &t in g.neighbors(v) {
+                y[t as usize] += xv;
+            }
+        }
+        lambda = norm(&y);
+        std::mem::swap(&mut x, &mut y);
+    }
+    lambda
+}
+
+/// Spectral gap `d − λ₂` of a `d`-regular graph.
+pub fn spectral_gap(g: &Graph, iters: usize) -> f64 {
+    let d = g.max_degree() as f64;
+    d - second_eigenvalue(g, iters)
+}
+
+fn project_out_ones(x: &mut [f64]) {
+    let m = x.iter().sum::<f64>() / x.len() as f64;
+    x.iter_mut().for_each(|v| *v -= m);
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let nn = norm(x);
+    if nn > 0.0 {
+        x.iter_mut().for_each(|v| *v /= nn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::margulis::margulis_expander;
+    use crate::random_regular::random_regular;
+    use ftt_graph::gen::{complete, cycle};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycle_lambda_close_to_two() {
+        // C_n: λ₂ = 2cos(2π/n) → 2 as n grows; poor expander.
+        let g = cycle(100);
+        let l = second_eigenvalue(&g, 300);
+        assert!(
+            (l - 2.0 * (2.0 * std::f64::consts::PI / 100.0).cos()).abs() < 0.05,
+            "λ₂ = {l}"
+        );
+    }
+
+    #[test]
+    fn complete_graph_lambda_one() {
+        // K_n: non-trivial eigenvalues are all −1.
+        let g = complete(20);
+        let l = second_eigenvalue(&g, 100);
+        assert!((l - 1.0).abs() < 0.05, "λ = {l}");
+    }
+
+    #[test]
+    fn margulis_has_constant_gap() {
+        // theory: λ ≤ 5√2 ≈ 7.071 for every s.
+        for s in [8usize, 16, 24] {
+            let g = margulis_expander(s);
+            let l = second_eigenvalue(&g, 150);
+            assert!(l < 7.3, "s={s}: λ = {l} too large");
+            assert!(l > 3.0, "s={s}: λ = {l} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn random_regular_beats_cycle() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = random_regular(200, 4, &mut rng);
+        let l = second_eigenvalue(&g, 200);
+        // Friedman: λ ≈ 2√(d−1) ≈ 3.46 for d=4; allow slack.
+        assert!(l < 3.9, "λ = {l}");
+        let gap = spectral_gap(&g, 200);
+        assert!(gap > 0.1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Adversarial (worst-case) fault generators for Theorem 3 experiments.
+//!
+//! Theorem 3 guarantees tolerance of **any** `k` faults, so the
+//! experiments attack `D^d_{n,k}` with structured patterns designed to
+//! stress the pigeonhole placement: clustered cubes, whole lines,
+//! diagonals, and residue-spread patterns that try to dirty as many
+//! cyclic row classes as possible.
+
+use crate::set::FaultSet;
+use ftt_geom::Shape;
+use ftt_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A family of worst-case fault placement strategies over a torus shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryPattern {
+    /// `k` distinct uniformly random nodes.
+    Random,
+    /// A contiguous axis-aligned cube of `k` nodes (maximally clustered —
+    /// stresses the frame-finding / block machinery).
+    ClusteredCube,
+    /// `k` consecutive nodes along a single line in direction `axis`
+    /// (wraps around).
+    AxisLine {
+        /// Direction of the line.
+        axis: usize,
+    },
+    /// Nodes on the main (wrapped) diagonal, evenly spaced.
+    Diagonal,
+    /// Nodes chosen so their `axis`-coordinates cover as many residues
+    /// modulo `modulus` as possible — the worst case for the cyclic
+    /// pigeonhole argument, which needs a fault-free residue class.
+    ResidueSpread {
+        /// Axis whose coordinates the adversary spreads.
+        axis: usize,
+        /// Modulus of the residue classes under attack (use `b+1` to
+        /// attack dimension 1 of `D^d_{n,k}`).
+        modulus: usize,
+    },
+    /// Faults concentrated in `rows` distinct hyperplanes (coordinate-0
+    /// slices), spread evenly inside each.
+    FewRows {
+        /// Number of distinct rows receiving faults.
+        rows: usize,
+    },
+}
+
+impl AdversaryPattern {
+    /// A canonical battery of patterns to sweep in experiments.
+    pub fn battery(shape: &Shape, modulus: usize) -> Vec<AdversaryPattern> {
+        let mut v = vec![
+            AdversaryPattern::Random,
+            AdversaryPattern::ClusteredCube,
+            AdversaryPattern::Diagonal,
+            AdversaryPattern::FewRows { rows: 2 },
+            AdversaryPattern::ResidueSpread { axis: 0, modulus },
+        ];
+        for axis in 0..shape.ndim() {
+            v.push(AdversaryPattern::AxisLine { axis });
+        }
+        v
+    }
+
+    /// Generates `k` distinct faulty node ids on `shape`.
+    ///
+    /// # Panics
+    /// Panics if `k > shape.len()` or a pattern parameter is out of range.
+    pub fn generate<R: Rng>(&self, shape: &Shape, k: usize, rng: &mut R) -> Vec<usize> {
+        assert!(
+            k <= shape.len(),
+            "cannot place {k} faults on {} nodes",
+            shape.len()
+        );
+        let mut out = match *self {
+            AdversaryPattern::Random => {
+                // Floyd-ish sampling via partial shuffle for small k.
+                let mut picked = std::collections::HashSet::with_capacity(k);
+                while picked.len() < k {
+                    picked.insert(rng.gen_range(0..shape.len()));
+                }
+                picked.into_iter().collect::<Vec<_>>()
+            }
+            AdversaryPattern::ClusteredCube => {
+                let d = shape.ndim();
+                let side = (k as f64).powf(1.0 / d as f64).ceil() as usize;
+                let origin: Vec<usize> = (0..d).map(|a| rng.gen_range(0..shape.dim(a))).collect();
+                let mut v = Vec::with_capacity(k);
+                'fill: for w in Shape::new(vec![side.max(1); d]).coords() {
+                    let coord: Vec<usize> =
+                        (0..d).map(|a| (origin[a] + w[a]) % shape.dim(a)).collect();
+                    v.push(shape.flatten(&coord));
+                    if v.len() == k {
+                        break 'fill;
+                    }
+                }
+                v
+            }
+            AdversaryPattern::AxisLine { axis } => {
+                assert!(axis < shape.ndim(), "axis out of range");
+                let start: Vec<usize> = (0..shape.ndim())
+                    .map(|a| rng.gen_range(0..shape.dim(a)))
+                    .collect();
+                let mut node = shape.flatten(&start);
+                let mut v = Vec::with_capacity(k);
+                let line_len = shape.dim(axis);
+                for step in 0..k {
+                    if step > 0 && step % line_len == 0 {
+                        // line exhausted: hop to the next parallel line
+                        let next_axis = (axis + 1) % shape.ndim();
+                        node = shape.torus_step(node, next_axis, 1);
+                    }
+                    v.push(node);
+                    node = shape.torus_step(node, axis, 1);
+                }
+                v
+            }
+            AdversaryPattern::Diagonal => {
+                let total = shape.len();
+                let stride = (total / k).max(1);
+                let d = shape.ndim();
+                let mut v = Vec::with_capacity(k);
+                for j in 0..k {
+                    let t = j * stride;
+                    let coord: Vec<usize> = (0..d).map(|a| (t + j) % shape.dim(a)).collect();
+                    v.push(shape.flatten(&coord));
+                }
+                v
+            }
+            AdversaryPattern::ResidueSpread { axis, modulus } => {
+                assert!(axis < shape.ndim(), "axis out of range");
+                assert!(modulus > 0, "modulus must be positive");
+                let d = shape.ndim();
+                let n0 = shape.dim(axis);
+                let mut v = Vec::with_capacity(k);
+                for j in 0..k {
+                    // hit residue j mod modulus on `axis`, random elsewhere
+                    let target = (j % modulus) % n0;
+                    let mut coord: Vec<usize> =
+                        (0..d).map(|a| rng.gen_range(0..shape.dim(a))).collect();
+                    // snap the axis coordinate to the target residue class
+                    let c = coord[axis];
+                    let snapped = c - (c % modulus.min(n0)) + target;
+                    coord[axis] = snapped % n0;
+                    v.push(shape.flatten(&coord));
+                }
+                v
+            }
+            AdversaryPattern::FewRows { rows } => {
+                assert!(rows > 0, "need at least one row");
+                let rows = rows.min(shape.dim(0));
+                let mut row_ids: Vec<usize> = (0..shape.dim(0)).collect();
+                row_ids.shuffle(rng);
+                let row_ids = &row_ids[..rows];
+                let per_row_capacity = shape.len() / shape.dim(0);
+                let mut v = Vec::with_capacity(k);
+                'outer: loop {
+                    for &r in row_ids {
+                        let within = rng.gen_range(0..per_row_capacity);
+                        v.push(r * per_row_capacity + within);
+                        if v.len() >= k {
+                            break 'outer;
+                        }
+                    }
+                }
+                v
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        // Patterns with collisions (random within rows etc.) top up randomly.
+        while out.len() < k {
+            let cand = rng.gen_range(0..shape.len());
+            if out.binary_search(&cand).is_err() {
+                out.push(cand);
+                out.sort_unstable();
+            }
+        }
+        out.truncate(k);
+        out
+    }
+}
+
+/// Generates a mixed node/edge worst-case fault set on a host graph:
+/// `k` total faults of which roughly `edge_fraction` are edge faults
+/// (incident to pattern-chosen nodes, making them maximally correlated
+/// with the node faults).
+pub fn mixed_adversarial_faults<R: Rng>(
+    g: &Graph,
+    shape: &Shape,
+    pattern: AdversaryPattern,
+    k: usize,
+    edge_fraction: f64,
+    rng: &mut R,
+) -> FaultSet {
+    assert!((0.0..=1.0).contains(&edge_fraction));
+    assert_eq!(
+        g.num_nodes(),
+        shape.len(),
+        "graph/shape node count mismatch"
+    );
+    let num_edge_faults = ((k as f64) * edge_fraction).round() as usize;
+    let num_node_faults = k - num_edge_faults;
+    let targets = pattern.generate(shape, k.min(shape.len()), rng);
+    let mut s = FaultSet::none(g.num_nodes(), g.num_edges());
+    for &v in targets.iter().take(num_node_faults) {
+        s.kill_node(v);
+    }
+    let mut placed = 0usize;
+    for &v in targets.iter().skip(num_node_faults) {
+        // kill one incident edge of the target node
+        if let Some((_, e)) = g.arcs(v).next() {
+            if s.edge_alive(e) {
+                s.kill_edge(e);
+                placed += 1;
+            }
+        }
+    }
+    // top up with random edges if incident-edge collisions lost some
+    while placed < num_edge_faults && g.num_edges() > 0 {
+        let e = rng.gen_range(0..g.num_edges()) as u32;
+        if s.edge_alive(e) {
+            s.kill_edge(e);
+            placed += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_graph::gen::torus;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn shape() -> Shape {
+        Shape::new(vec![12, 12])
+    }
+
+    #[test]
+    fn all_patterns_generate_exactly_k_distinct() {
+        let sh = shape();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for pat in AdversaryPattern::battery(&sh, 4) {
+            for &k in &[1usize, 5, 17, 40] {
+                let f = pat.generate(&sh, k, &mut rng);
+                assert_eq!(f.len(), k, "{pat:?} produced wrong count");
+                let mut dedup = f.clone();
+                dedup.dedup();
+                assert_eq!(dedup.len(), k, "{pat:?} produced duplicates");
+                assert!(f.iter().all(|&v| v < sh.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_cube_is_clustered() {
+        let sh = shape();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let f = AdversaryPattern::ClusteredCube.generate(&sh, 9, &mut rng);
+        // All faults within a 3×3 window (cyclically): coordinate spans ≤ 3.
+        let coords: Vec<Vec<usize>> = f.iter().map(|&v| sh.unflatten(v)).collect();
+        for axis in 0..2 {
+            let distinct: std::collections::HashSet<usize> =
+                coords.iter().map(|c| c[axis]).collect();
+            assert!(distinct.len() <= 3, "axis {axis} spread too wide");
+        }
+    }
+
+    #[test]
+    fn axis_line_stays_on_line() {
+        let sh = shape();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let f = AdversaryPattern::AxisLine { axis: 0 }.generate(&sh, 8, &mut rng);
+        let cols: std::collections::HashSet<usize> = f.iter().map(|&v| sh.coord_of(v, 1)).collect();
+        assert_eq!(cols.len(), 1, "k ≤ line length keeps a single column");
+    }
+
+    #[test]
+    fn few_rows_concentrates() {
+        let sh = shape();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let f = AdversaryPattern::FewRows { rows: 2 }.generate(&sh, 10, &mut rng);
+        let rows: std::collections::HashSet<usize> = f.iter().map(|&v| sh.coord_of(v, 0)).collect();
+        assert!(
+            rows.len() <= 3,
+            "faults should sit in ≈2 rows (plus top-ups)"
+        );
+    }
+
+    #[test]
+    fn residue_spread_covers_classes() {
+        let sh = shape();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let modulus = 4;
+        let f = AdversaryPattern::ResidueSpread { axis: 0, modulus }.generate(&sh, 8, &mut rng);
+        let residues: std::collections::HashSet<usize> =
+            f.iter().map(|&v| sh.coord_of(v, 0) % modulus).collect();
+        assert!(
+            residues.len() >= 3,
+            "spread should dirty most residue classes"
+        );
+    }
+
+    #[test]
+    fn mixed_faults_counts() {
+        let sh = shape();
+        let g = torus(&sh);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let s = mixed_adversarial_faults(&g, &sh, AdversaryPattern::Random, 20, 0.25, &mut rng);
+        assert_eq!(s.count_edge_faults(), 5);
+        assert_eq!(s.count_node_faults(), 15);
+        assert_eq!(s.count_faults(), 20);
+    }
+
+    #[test]
+    fn mixed_faults_all_nodes() {
+        let sh = shape();
+        let g = torus(&sh);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let s = mixed_adversarial_faults(&g, &sh, AdversaryPattern::Random, 10, 0.0, &mut rng);
+        assert_eq!(s.count_edge_faults(), 0);
+        assert_eq!(s.count_node_faults(), 10);
+    }
+}

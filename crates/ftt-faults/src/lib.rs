@@ -1,0 +1,21 @@
+//! Fault models for the fault-tolerant torus constructions.
+//!
+//! The paper uses three fault regimes, all implemented here:
+//!
+//! * **random node faults** with probability `p` (Theorem 2 uses
+//!   `p = log^{-3d} n`, Theorem 1 a constant), independent per node;
+//! * **random edge faults** with probability `q`, realised through the
+//!   paper's *half-edge trick*: each edge consists of two half-edges that
+//!   fail independently with probability `√q`, and the edge is faulty iff
+//!   both halves are — this makes "the supernode is good" events
+//!   independent across supernodes (Section 4);
+//! * **worst-case faults**: arbitrary sets of `k` node/edge faults
+//!   (Theorem 3), generated here by a family of adversarial patterns.
+
+pub mod adversary;
+pub mod random;
+pub mod set;
+
+pub use adversary::{mixed_adversarial_faults, AdversaryPattern};
+pub use random::{sample_bernoulli_faults, HalfEdgeFaults};
+pub use set::FaultSet;

@@ -1,0 +1,195 @@
+//! Random fault sampling: independent Bernoulli node/edge faults and the
+//! half-edge model of Section 4.
+
+use crate::set::FaultSet;
+use ftt_graph::Graph;
+use rand::Rng;
+
+/// Samples a fault set where each node fails independently with
+/// probability `p` and each edge with probability `q`.
+pub fn sample_bernoulli_faults<R: Rng>(g: &Graph, p: f64, q: f64, rng: &mut R) -> FaultSet {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "node fault probability out of range"
+    );
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "edge fault probability out of range"
+    );
+    let mut s = FaultSet::none(g.num_nodes(), g.num_edges());
+    if p > 0.0 {
+        for v in 0..g.num_nodes() {
+            if rng.gen_bool(p) {
+                s.kill_node(v);
+            }
+        }
+    }
+    if q > 0.0 {
+        for e in 0..g.num_edges() {
+            if rng.gen_bool(q) {
+                s.kill_edge(e as u32);
+            }
+        }
+    }
+    s
+}
+
+/// The half-edge fault model of Section 4.
+///
+/// Every edge `(u, v)` consists of two half-edges — one incident to each
+/// endpoint — failing independently with probability `√q`. The edge is
+/// faulty iff **both** halves are, which makes each edge faulty with
+/// probability exactly `q` while keeping the events "half-edges around
+/// supernode `U` are bad" independent across supernodes.
+#[derive(Debug, Clone)]
+pub struct HalfEdgeFaults {
+    /// `half[e] & 1` — half incident to `endpoints(e).0` is faulty;
+    /// `half[e] & 2` — half incident to `endpoints(e).1` is faulty.
+    half: Vec<u8>,
+}
+
+impl HalfEdgeFaults {
+    /// Samples half-edge faults with per-half probability `sqrt_q`.
+    pub fn sample<R: Rng>(g: &Graph, sqrt_q: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&sqrt_q),
+            "half-edge probability out of range"
+        );
+        let mut half = vec![0u8; g.num_edges()];
+        if sqrt_q > 0.0 {
+            for h in half.iter_mut() {
+                let a = rng.gen_bool(sqrt_q) as u8;
+                let b = rng.gen_bool(sqrt_q) as u8;
+                *h = a | (b << 1);
+            }
+        }
+        Self { half }
+    }
+
+    /// A fault-free instance over `num_edges` edges.
+    pub fn none(num_edges: usize) -> Self {
+        Self {
+            half: vec![0; num_edges],
+        }
+    }
+
+    /// Marks the half of `e` incident to `endpoint_index` (0 or 1) faulty.
+    pub fn kill_half(&mut self, e: u32, endpoint_index: usize) {
+        assert!(endpoint_index < 2);
+        self.half[e as usize] |= 1 << endpoint_index;
+    }
+
+    /// Whether the half of edge `e` incident to endpoint `endpoint_index`
+    /// (0 = first endpoint, 1 = second) is faulty.
+    #[inline]
+    pub fn half_faulty(&self, e: u32, endpoint_index: usize) -> bool {
+        debug_assert!(endpoint_index < 2);
+        self.half[e as usize] & (1 << endpoint_index) != 0
+    }
+
+    /// Whether the half of edge `e` incident to node `v` is faulty.
+    /// `v` must be one of the edge's endpoints.
+    #[inline]
+    pub fn half_faulty_at(&self, g: &Graph, e: u32, v: usize) -> bool {
+        let (a, b) = g.edge_endpoints(e);
+        debug_assert!(v == a || v == b, "node {v} is not an endpoint of edge {e}");
+        if v == a {
+            self.half_faulty(e, 0)
+        } else {
+            self.half_faulty(e, 1)
+        }
+    }
+
+    /// Whether edge `e` is faulty (both halves down).
+    #[inline]
+    pub fn edge_faulty(&self, e: u32) -> bool {
+        self.half[e as usize] == 3
+    }
+
+    /// Number of edges covered.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.half.len()
+    }
+
+    /// Collapses to an edge-level fault bitmap (an edge is faulty iff both
+    /// halves are).
+    pub fn to_edge_faults(&self) -> Vec<bool> {
+        self.half.iter().map(|&h| h == 3).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_geom::Shape;
+    use ftt_graph::gen::{complete, torus};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extreme_probabilities() {
+        let g = torus(&Shape::new(vec![4, 4]));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let none = sample_bernoulli_faults(&g, 0.0, 0.0, &mut rng);
+        assert_eq!(none.count_faults(), 0);
+        let all = sample_bernoulli_faults(&g, 1.0, 1.0, &mut rng);
+        assert_eq!(all.count_node_faults(), g.num_nodes());
+        assert_eq!(all.count_edge_faults(), g.num_edges());
+    }
+
+    #[test]
+    fn fault_rate_statistically_plausible() {
+        let g = complete(100); // 4950 edges
+        let mut rng = SmallRng::seed_from_u64(42);
+        let s = sample_bernoulli_faults(&g, 0.3, 0.1, &mut rng);
+        let node_rate = s.count_node_faults() as f64 / 100.0;
+        let edge_rate = s.count_edge_faults() as f64 / 4950.0;
+        assert!((node_rate - 0.3).abs() < 0.15, "node rate {node_rate}");
+        assert!((edge_rate - 0.1).abs() < 0.03, "edge rate {edge_rate}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let g = torus(&Shape::new(vec![6, 6]));
+        let a = sample_bernoulli_faults(&g, 0.2, 0.2, &mut SmallRng::seed_from_u64(7));
+        let b = sample_bernoulli_faults(&g, 0.2, 0.2, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn half_edge_conjunction() {
+        let g = complete(3);
+        let mut h = HalfEdgeFaults::none(g.num_edges());
+        assert!(!h.edge_faulty(0));
+        h.kill_half(0, 0);
+        assert!(!h.edge_faulty(0), "one faulty half does not kill the edge");
+        h.kill_half(0, 1);
+        assert!(h.edge_faulty(0));
+        assert_eq!(h.to_edge_faults(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn half_faulty_at_maps_endpoints() {
+        let g = complete(3);
+        let (a, b) = g.edge_endpoints(0);
+        let mut h = HalfEdgeFaults::none(g.num_edges());
+        h.kill_half(0, 0);
+        assert!(h.half_faulty_at(&g, 0, a));
+        assert!(!h.half_faulty_at(&g, 0, b));
+    }
+
+    #[test]
+    fn half_edge_rate_approximates_q() {
+        // With √q per half, edges fail with probability q.
+        let g = complete(200); // 19900 edges
+        let q: f64 = 0.09;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let h = HalfEdgeFaults::sample(&g, q.sqrt(), &mut rng);
+        let rate = h.to_edge_faults().iter().filter(|&&f| f).count() as f64 / g.num_edges() as f64;
+        assert!(
+            (rate - q).abs() < 0.02,
+            "edge fault rate {rate}, want ≈ {q}"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Concrete fault sets: which nodes and edges of a host graph are down.
+
+/// A set of faulty nodes and edges of a host graph.
+///
+/// Node `v` is *alive* iff `!node_faulty[v]`; edge `e` likewise. The
+/// construction algorithms consume fault sets through the two `alive`
+/// predicates so they cannot accidentally depend on how faults were
+/// generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSet {
+    node_faulty: Vec<bool>,
+    edge_faulty: Vec<bool>,
+}
+
+impl FaultSet {
+    /// A fault-free set over `num_nodes` nodes and `num_edges` edges.
+    pub fn none(num_nodes: usize, num_edges: usize) -> Self {
+        Self {
+            node_faulty: vec![false; num_nodes],
+            edge_faulty: vec![false; num_edges],
+        }
+    }
+
+    /// Builds from explicit faulty node / edge id lists.
+    pub fn from_lists(
+        num_nodes: usize,
+        num_edges: usize,
+        faulty_nodes: &[usize],
+        faulty_edges: &[u32],
+    ) -> Self {
+        let mut s = Self::none(num_nodes, num_edges);
+        for &v in faulty_nodes {
+            s.kill_node(v);
+        }
+        for &e in faulty_edges {
+            s.kill_edge(e);
+        }
+        s
+    }
+
+    /// Builds directly from fault bitmaps.
+    pub fn from_bitmaps(node_faulty: Vec<bool>, edge_faulty: Vec<bool>) -> Self {
+        Self {
+            node_faulty,
+            edge_faulty,
+        }
+    }
+
+    /// Marks a node faulty.
+    #[inline]
+    pub fn kill_node(&mut self, v: usize) {
+        self.node_faulty[v] = true;
+    }
+
+    /// Marks an edge faulty.
+    #[inline]
+    pub fn kill_edge(&mut self, e: u32) {
+        self.edge_faulty[e as usize] = true;
+    }
+
+    /// Whether node `v` survives.
+    #[inline]
+    pub fn node_alive(&self, v: usize) -> bool {
+        !self.node_faulty[v]
+    }
+
+    /// Whether edge `e` survives.
+    #[inline]
+    pub fn edge_alive(&self, e: u32) -> bool {
+        !self.edge_faulty[e as usize]
+    }
+
+    /// Whether node `v` is faulty.
+    #[inline]
+    pub fn node_faulty(&self, v: usize) -> bool {
+        self.node_faulty[v]
+    }
+
+    /// Whether edge `e` is faulty.
+    #[inline]
+    pub fn edge_faulty(&self, e: u32) -> bool {
+        self.edge_faulty[e as usize]
+    }
+
+    /// Number of nodes covered by the set.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_faulty.len()
+    }
+
+    /// Number of edges covered by the set.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_faulty.len()
+    }
+
+    /// Number of faulty nodes.
+    pub fn count_node_faults(&self) -> usize {
+        self.node_faulty.iter().filter(|&&f| f).count()
+    }
+
+    /// Number of faulty edges.
+    pub fn count_edge_faults(&self) -> usize {
+        self.edge_faulty.iter().filter(|&&f| f).count()
+    }
+
+    /// Total number of faults (nodes + edges), the `k` of Theorem 3.
+    pub fn count_faults(&self) -> usize {
+        self.count_node_faults() + self.count_edge_faults()
+    }
+
+    /// Iterates faulty node ids.
+    pub fn faulty_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.node_faulty
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &f)| f.then_some(v))
+    }
+
+    /// Iterates faulty edge ids.
+    pub fn faulty_edges(&self) -> impl Iterator<Item = u32> + '_ {
+        self.edge_faulty
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &f)| f.then_some(e as u32))
+    }
+
+    /// Alive-node bitmap (for the traversal utilities).
+    pub fn alive_nodes(&self) -> Vec<bool> {
+        self.node_faulty.iter().map(|&f| !f).collect()
+    }
+
+    /// Folds every edge fault into one of its endpoints, producing a
+    /// node-faults-only set — the reduction used by Theorem 3's proof
+    /// ("if an edge is faulty, ascribe the fault to one of its
+    /// endpoints") and by the constant-degree part of Theorem 2.
+    pub fn ascribe_edges_to_nodes(&self, endpoints: impl Fn(u32) -> (usize, usize)) -> FaultSet {
+        let mut out = self.clone();
+        for e in self.faulty_edges() {
+            let (u, _) = endpoints(e);
+            out.kill_node(u);
+        }
+        for f in out.edge_faulty.iter_mut() {
+            *f = false;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_all_alive() {
+        let s = FaultSet::none(5, 3);
+        assert!((0..5).all(|v| s.node_alive(v)));
+        assert!((0..3).all(|e| s.edge_alive(e)));
+        assert_eq!(s.count_faults(), 0);
+    }
+
+    #[test]
+    fn kill_and_count() {
+        let mut s = FaultSet::none(5, 3);
+        s.kill_node(2);
+        s.kill_edge(0);
+        s.kill_edge(0); // idempotent
+        assert!(!s.node_alive(2));
+        assert!(!s.edge_alive(0));
+        assert_eq!(s.count_node_faults(), 1);
+        assert_eq!(s.count_edge_faults(), 1);
+        assert_eq!(s.count_faults(), 2);
+        assert_eq!(s.faulty_nodes().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(s.faulty_edges().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn from_lists_matches_kills() {
+        let s = FaultSet::from_lists(4, 4, &[1, 3], &[2]);
+        assert!(!s.node_alive(1));
+        assert!(!s.node_alive(3));
+        assert!(!s.edge_alive(2));
+        assert!(s.node_alive(0));
+    }
+
+    #[test]
+    fn ascribe_edges() {
+        let mut s = FaultSet::none(4, 2);
+        s.kill_edge(1);
+        // edge 1 joins nodes (2, 3)
+        let out = s.ascribe_edges_to_nodes(|e| if e == 0 { (0, 1) } else { (2, 3) });
+        assert_eq!(out.count_edge_faults(), 0);
+        assert!(!out.node_alive(2));
+        assert!(out.node_alive(3));
+        // fault count preserved or reduced (merging), never increased
+        assert!(out.count_faults() <= s.count_faults());
+    }
+
+    #[test]
+    fn alive_bitmap() {
+        let s = FaultSet::from_lists(3, 0, &[1], &[]);
+        assert_eq!(s.alive_nodes(), vec![true, false, true]);
+    }
+}

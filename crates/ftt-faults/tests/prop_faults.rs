@@ -1,0 +1,85 @@
+//! Property-based tests for the fault models.
+
+use ftt_faults::{AdversaryPattern, FaultSet, HalfEdgeFaults};
+use ftt_geom::Shape;
+use ftt_graph::gen::torus;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Fault sets are exact inverses of their alive predicates.
+    #[test]
+    fn faultset_consistency(
+        nodes in prop::collection::vec(0usize..30, 0..10),
+        edges in prop::collection::vec(0u32..20, 0..10),
+    ) {
+        let s = FaultSet::from_lists(30, 20, &nodes, &edges);
+        for v in 0..30 {
+            prop_assert_eq!(s.node_alive(v), !nodes.contains(&v));
+            prop_assert_eq!(s.node_faulty(v), nodes.contains(&v));
+        }
+        for e in 0..20u32 {
+            prop_assert_eq!(s.edge_alive(e), !edges.contains(&e));
+        }
+        let mut distinct_nodes = nodes.clone();
+        distinct_nodes.sort_unstable();
+        distinct_nodes.dedup();
+        prop_assert_eq!(s.count_node_faults(), distinct_nodes.len());
+    }
+
+    /// Ascribing edge faults to endpoints never loses a fault: every
+    /// faulty edge ends with at least one faulty endpoint, and no edge
+    /// faults remain.
+    #[test]
+    fn ascription_is_safe(edges in prop::collection::vec(0u32..40, 0..15)) {
+        let shape = Shape::new(vec![5, 4]);
+        let g = torus(&shape);
+        let mut s = FaultSet::none(g.num_nodes(), g.num_edges());
+        for &e in &edges {
+            s.kill_edge(e % g.num_edges() as u32);
+        }
+        let out = s.ascribe_edges_to_nodes(|e| g.edge_endpoints(e));
+        prop_assert_eq!(out.count_edge_faults(), 0);
+        for e in s.faulty_edges() {
+            let (u, v) = g.edge_endpoints(e);
+            prop_assert!(out.node_faulty(u) || out.node_faulty(v));
+        }
+    }
+
+    /// The half-edge model: an edge is faulty iff both halves are.
+    #[test]
+    fn half_edge_conjunction(kills in prop::collection::vec((0u32..30, 0usize..2), 0..25)) {
+        let mut h = HalfEdgeFaults::none(30);
+        for &(e, side) in &kills {
+            h.kill_half(e, side);
+        }
+        for e in 0..30u32 {
+            let k0 = kills.iter().any(|&(ke, s)| ke == e && s == 0);
+            let k1 = kills.iter().any(|&(ke, s)| ke == e && s == 1);
+            prop_assert_eq!(h.edge_faulty(e), k0 && k1);
+            prop_assert_eq!(h.half_faulty(e, 0), k0);
+            prop_assert_eq!(h.half_faulty(e, 1), k1);
+        }
+        let bitmap = h.to_edge_faults();
+        for e in 0..30usize {
+            prop_assert_eq!(bitmap[e], h.edge_faulty(e as u32));
+        }
+    }
+
+    /// Every adversary pattern emits exactly k distinct in-range nodes,
+    /// for every seed.
+    #[test]
+    fn adversary_counts(seed in 0u64..1000, k in 1usize..30) {
+        let shape = Shape::new(vec![10, 10]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for pat in AdversaryPattern::battery(&shape, 3) {
+            let f = pat.generate(&shape, k, &mut rng);
+            prop_assert_eq!(f.len(), k, "{:?}", pat);
+            let mut d = f.clone();
+            d.dedup();
+            prop_assert_eq!(d.len(), k, "{:?} duplicates", pat);
+            prop_assert!(f.iter().all(|&v| v < 100));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Cyclic (modular) index arithmetic: the paper's `+_n` and `-_n`.
+//!
+//! All values live in `[0, n)`. The free functions are the workhorses used
+//! in hot loops; [`CyclicRing`] packages the modulus for code that wants a
+//! value-level witness of "arithmetic mod n".
+
+/// Cyclic addition `a +_n b` for `a ∈ [0, n)`, `b` arbitrary (may exceed `n`).
+///
+/// # Panics
+/// Panics in debug builds if `a >= n` or `n == 0`.
+#[inline]
+pub fn cyc_add(a: usize, b: usize, n: usize) -> usize {
+    debug_assert!(n > 0, "modulus must be positive");
+    debug_assert!(a < n, "lhs {a} out of range for modulus {n}");
+    (a + b % n) % n
+}
+
+/// Cyclic subtraction `a -_n b` for `a ∈ [0, n)`, `b` arbitrary.
+#[inline]
+pub fn cyc_sub(a: usize, b: usize, n: usize) -> usize {
+    debug_assert!(n > 0, "modulus must be positive");
+    debug_assert!(a < n, "lhs {a} out of range for modulus {n}");
+    let b = b % n;
+    (a + n - b) % n
+}
+
+/// Cyclic distance: the length of the shorter arc between `a` and `b` on
+/// the `n`-cycle. Symmetric; at most `n / 2`.
+#[inline]
+pub fn cyc_dist(a: usize, b: usize, n: usize) -> usize {
+    debug_assert!(a < n && b < n, "operands out of range for modulus {n}");
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
+/// Signed cyclic offset from `a` to `b`: the unique `k ∈ (-n/2, n/2]` with
+/// `a +_n k = b` (taking `k` mod `n`). Useful for deciding whether a band
+/// moved "up" or "down" between adjacent columns.
+#[inline]
+pub fn cyc_offset(a: usize, b: usize, n: usize) -> isize {
+    debug_assert!(a < n && b < n);
+    let fwd = cyc_sub(b, a, n); // steps from a forward to b
+    if fwd <= n / 2 {
+        fwd as isize
+    } else {
+        fwd as isize - n as isize
+    }
+}
+
+/// A value-level witness for arithmetic modulo `n` (the ring `Z_n`).
+///
+/// This mirrors the paper's `[n]` with operations `+_n`, `-_n`, and is the
+/// index domain of the cycle graph `C_n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CyclicRing {
+    n: usize,
+}
+
+impl CyclicRing {
+    /// Creates the ring `Z_n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "CyclicRing modulus must be positive");
+        Self { n }
+    }
+
+    /// The modulus `n`.
+    #[inline]
+    pub fn modulus(self) -> usize {
+        self.n
+    }
+
+    /// `a +_n b`.
+    #[inline]
+    pub fn add(self, a: usize, b: usize) -> usize {
+        cyc_add(a, b, self.n)
+    }
+
+    /// `a -_n b`.
+    #[inline]
+    pub fn sub(self, a: usize, b: usize) -> usize {
+        cyc_sub(a, b, self.n)
+    }
+
+    /// Successor on the cycle (`a +_n 1`).
+    #[inline]
+    pub fn succ(self, a: usize) -> usize {
+        cyc_add(a, 1, self.n)
+    }
+
+    /// Predecessor on the cycle (`a -_n 1`).
+    #[inline]
+    pub fn pred(self, a: usize) -> usize {
+        cyc_sub(a, 1, self.n)
+    }
+
+    /// Shorter-arc distance between `a` and `b`.
+    #[inline]
+    pub fn dist(self, a: usize, b: usize) -> usize {
+        cyc_dist(a, b, self.n)
+    }
+
+    /// Signed offset from `a` to `b` in `(-n/2, n/2]`.
+    #[inline]
+    pub fn offset(self, a: usize, b: usize) -> isize {
+        cyc_offset(a, b, self.n)
+    }
+
+    /// Whether `x` lies on the forward arc of length `len` starting at
+    /// `start` (i.e. `x ∈ {start, start +_n 1, …, start +_n (len−1)}`).
+    #[inline]
+    pub fn in_arc(self, x: usize, start: usize, len: usize) -> bool {
+        debug_assert!(x < self.n && start < self.n);
+        if len >= self.n {
+            return true;
+        }
+        cyc_sub(x, start, self.n) < len
+    }
+
+    /// Iterates the forward arc of length `len` starting at `start`.
+    #[inline]
+    pub fn arc(self, start: usize, len: usize) -> impl Iterator<Item = usize> {
+        let n = self.n;
+        (0..len.min(n)).map(move |k| cyc_add(start, k, n))
+    }
+
+    /// Whether the two cycle nodes are adjacent in `C_n` (distance exactly 1).
+    ///
+    /// In `C_1` there are no neighbours; in `C_2` the two nodes are joined
+    /// by a (double) edge, matching the paper's multigraph convention.
+    #[inline]
+    pub fn adjacent(self, a: usize, b: usize) -> bool {
+        if self.n <= 1 {
+            return false;
+        }
+        self.dist(a, b) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(cyc_add(5, 3, 8), 0);
+        assert_eq!(cyc_add(0, 0, 8), 0);
+        assert_eq!(cyc_add(7, 1, 8), 0);
+        assert_eq!(cyc_add(7, 17, 8), 0);
+        assert_eq!(cyc_add(2, 100, 7), (2 + 100) % 7);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(cyc_sub(0, 1, 8), 7);
+        assert_eq!(cyc_sub(5, 3, 8), 2);
+        assert_eq!(cyc_sub(5, 13, 8), 0);
+        assert_eq!(cyc_sub(5, 100, 7), (5 + 7 * 15 - 100) % 7);
+    }
+
+    #[test]
+    fn dist_is_shorter_arc() {
+        assert_eq!(cyc_dist(0, 7, 8), 1);
+        assert_eq!(cyc_dist(0, 4, 8), 4);
+        assert_eq!(cyc_dist(3, 3, 8), 0);
+        assert_eq!(cyc_dist(1, 6, 8), 3);
+    }
+
+    #[test]
+    fn offset_signed() {
+        assert_eq!(cyc_offset(0, 1, 8), 1);
+        assert_eq!(cyc_offset(1, 0, 8), -1);
+        assert_eq!(cyc_offset(0, 4, 8), 4); // ties go forward
+        assert_eq!(cyc_offset(7, 0, 8), 1);
+        assert_eq!(cyc_offset(0, 7, 8), -1);
+    }
+
+    #[test]
+    fn ring_arc_membership() {
+        let r = CyclicRing::new(10);
+        assert!(r.in_arc(9, 8, 3));
+        assert!(r.in_arc(0, 8, 3));
+        assert!(!r.in_arc(1, 8, 3));
+        assert!(r.in_arc(8, 8, 1));
+        assert!(!r.in_arc(7, 8, 3));
+        // full-cycle arcs contain everything
+        assert!(r.in_arc(5, 0, 10));
+        assert!(r.in_arc(5, 7, 25));
+    }
+
+    #[test]
+    fn ring_arc_iter() {
+        let r = CyclicRing::new(5);
+        let arc: Vec<_> = r.arc(3, 4).collect();
+        assert_eq!(arc, vec![3, 4, 0, 1]);
+        let full: Vec<_> = r.arc(2, 5).collect();
+        assert_eq!(full, vec![2, 3, 4, 0, 1]);
+        // over-long arcs are clamped to one full cycle
+        let clamped: Vec<_> = r.arc(0, 100).collect();
+        assert_eq!(clamped.len(), 5);
+    }
+
+    #[test]
+    fn ring_adjacency() {
+        let r = CyclicRing::new(8);
+        assert!(r.adjacent(0, 7));
+        assert!(r.adjacent(3, 4));
+        assert!(!r.adjacent(0, 2));
+        assert!(!r.adjacent(4, 4));
+        assert!(!CyclicRing::new(1).adjacent(0, 0));
+        assert!(CyclicRing::new(2).adjacent(0, 1));
+    }
+
+    #[test]
+    fn succ_pred_roundtrip() {
+        let r = CyclicRing::new(9);
+        for a in 0..9 {
+            assert_eq!(r.pred(r.succ(a)), a);
+            assert_eq!(r.succ(r.pred(a)), a);
+        }
+    }
+}

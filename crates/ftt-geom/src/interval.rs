@@ -1,0 +1,178 @@
+//! Cyclic intervals: contiguous arcs on the cycle `[0, n)`.
+//!
+//! A band of width `b` masks, in every column, the arc
+//! `{β(z), β(z) +_m 1, …, β(z) +_m (b−1)}` — a [`CyclicInterval`]. The
+//! untouching condition between bands is a statement about gaps between
+//! such arcs, so interval overlap/gap tests are factored out here.
+
+use crate::cyclic::{cyc_add, cyc_sub};
+
+/// A contiguous arc `{start, start+1, …, start+len−1}` (mod `n`) on the
+/// cycle of `n` nodes. `len == 0` denotes the empty interval; `len >= n`
+/// is normalised to the full cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CyclicInterval {
+    /// First element of the arc, in `[0, n)`.
+    pub start: usize,
+    /// Number of elements of the arc.
+    pub len: usize,
+    /// Cycle length.
+    pub n: usize,
+}
+
+impl CyclicInterval {
+    /// Creates the arc of `len` elements starting at `start` on the
+    /// `n`-cycle. `len` is clamped to `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `start >= n`.
+    #[inline]
+    pub fn new(start: usize, len: usize, n: usize) -> Self {
+        assert!(n > 0, "cycle length must be positive");
+        assert!(start < n, "start {start} out of range for cycle {n}");
+        Self {
+            start,
+            len: len.min(n),
+            n,
+        }
+    }
+
+    /// The empty interval on the `n`-cycle.
+    #[inline]
+    pub fn empty(n: usize) -> Self {
+        Self::new(0, 0, n)
+    }
+
+    /// Whether the interval contains `x`.
+    #[inline]
+    pub fn contains(&self, x: usize) -> bool {
+        debug_assert!(x < self.n);
+        if self.len == 0 {
+            return false;
+        }
+        if self.len >= self.n {
+            return true;
+        }
+        cyc_sub(x, self.start, self.n) < self.len
+    }
+
+    /// The element one past the end of the arc (`start +_n len`).
+    #[inline]
+    pub fn end(&self) -> usize {
+        cyc_add(self.start, self.len, self.n)
+    }
+
+    /// Last element of the arc. Empty intervals have no last element.
+    #[inline]
+    pub fn last(&self) -> Option<usize> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(cyc_add(self.start, self.len - 1, self.n))
+        }
+    }
+
+    /// Whether two arcs on the same cycle share an element.
+    #[inline]
+    pub fn overlaps(&self, other: &CyclicInterval) -> bool {
+        debug_assert_eq!(self.n, other.n, "intervals on different cycles");
+        if self.len == 0 || other.len == 0 {
+            return false;
+        }
+        if self.len >= self.n || other.len >= other.n {
+            return true;
+        }
+        // other.start inside self, or self.start inside other.
+        self.contains(other.start) || other.contains(self.start)
+    }
+
+    /// The forward gap from the end of `self` to the start of `other`:
+    /// the number of cycle nodes strictly between `self`'s last element
+    /// and `other`'s first element when walking forward.
+    ///
+    /// Two bands are *untouching* in a column exactly when the gap between
+    /// their arcs is at least 1 in both directions (the paper's
+    /// `|β1(z) − β2(z)| ≥ b+1` condition, phrased per column).
+    #[inline]
+    pub fn forward_gap_to(&self, other: &CyclicInterval) -> usize {
+        debug_assert_eq!(self.n, other.n);
+        debug_assert!(self.len > 0 && other.len > 0, "gap of empty interval");
+        cyc_sub(other.start, self.end(), self.n)
+    }
+
+    /// Iterates the elements of the arc in forward order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let (start, n) = (self.start, self.n);
+        (0..self.len).map(move |k| cyc_add(start, k, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_wrapping() {
+        let iv = CyclicInterval::new(6, 4, 8); // {6,7,0,1}
+        assert!(iv.contains(6));
+        assert!(iv.contains(7));
+        assert!(iv.contains(0));
+        assert!(iv.contains(1));
+        assert!(!iv.contains(2));
+        assert!(!iv.contains(5));
+    }
+
+    #[test]
+    fn empty_contains_nothing() {
+        let iv = CyclicInterval::empty(5);
+        for x in 0..5 {
+            assert!(!iv.contains(x));
+        }
+    }
+
+    #[test]
+    fn full_cycle_contains_everything() {
+        let iv = CyclicInterval::new(3, 99, 7);
+        assert_eq!(iv.len, 7);
+        for x in 0..7 {
+            assert!(iv.contains(x));
+        }
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = CyclicInterval::new(0, 3, 10); // {0,1,2}
+        let b = CyclicInterval::new(2, 2, 10); // {2,3}
+        let c = CyclicInterval::new(3, 2, 10); // {3,4}
+        let d = CyclicInterval::new(8, 3, 10); // {8,9,0}
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.overlaps(&d));
+        assert!(d.overlaps(&a));
+        assert!(!c.overlaps(&d));
+        let e = CyclicInterval::empty(10);
+        assert!(!a.overlaps(&e));
+        assert!(!e.overlaps(&a));
+    }
+
+    #[test]
+    fn forward_gap() {
+        let a = CyclicInterval::new(0, 3, 10); // {0,1,2}
+        let b = CyclicInterval::new(5, 2, 10); // {5,6}
+        assert_eq!(a.forward_gap_to(&b), 2); // 3,4 in between
+        assert_eq!(b.forward_gap_to(&a), 3); // 7,8,9 in between
+        let c = CyclicInterval::new(3, 1, 10);
+        assert_eq!(a.forward_gap_to(&c), 0); // adjacent, touching
+    }
+
+    #[test]
+    fn iter_and_last() {
+        let iv = CyclicInterval::new(6, 4, 8);
+        assert_eq!(iv.iter().collect::<Vec<_>>(), vec![6, 7, 0, 1]);
+        assert_eq!(iv.last(), Some(1));
+        assert_eq!(iv.end(), 2);
+        assert_eq!(CyclicInterval::empty(8).last(), None);
+    }
+}

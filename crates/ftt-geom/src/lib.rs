@@ -1,0 +1,27 @@
+//! Torus geometry substrate for the fault-tolerant mesh/torus constructions
+//! of Tamaki (SPAA'94 / JCSS'96).
+//!
+//! The paper manipulates the `d`-dimensional torus through a small set of
+//! geometric notions: cyclic index arithmetic (`+_n`, `-_n`), rows and
+//! columns (the first coordinate is special), cyclic intervals (the
+//! footprint of a band in one column), tiles (`b² × … × b²` sub-boxes),
+//! bricks (`b² × b³ × … × b³` boxes of tiles) and `s`-frames (boundary
+//! shells of tiled sub-boxes). This crate implements those notions once,
+//! with dense `usize` indexing, so that the construction crates never
+//! hand-roll modular arithmetic.
+//!
+//! Index convention: everything is **0-based** (the paper is 1-based); a
+//! node of the `n1 × … × nd` torus is a flat index into row-major order
+//! with coordinate 0 ("vertical" / first dimension) varying slowest.
+
+pub mod cyclic;
+pub mod interval;
+pub mod lines;
+pub mod shape;
+pub mod tiles;
+
+pub use cyclic::{cyc_add, cyc_dist, cyc_sub, CyclicRing};
+pub use interval::CyclicInterval;
+pub use lines::ColumnSpace;
+pub use shape::{Coord, Shape};
+pub use tiles::{Frame, TileGrid};

@@ -1,0 +1,192 @@
+//! Rows and columns: the paper's view of a `d`-dimensional torus as
+//! `C_m × T′` where `T′ = C_{n2} × … × C_{nd}` is the *column space*.
+//!
+//! A node is a pair `(i, z)`: `i ∈ [m]` is the first ("vertical")
+//! coordinate, `z` is a node of the `(d−1)`-dimensional column torus.
+//! Column `z` of the big torus is the copy of `C_m` at that `z`; the
+//! `i`-th *row* is the copy of `T′` at height `i`. Bands are functions
+//! from columns to `[m]`, so all band machinery in `ftt-core` addresses
+//! nodes through this split.
+
+use crate::cyclic::CyclicRing;
+use crate::shape::Shape;
+
+/// The factorisation `C_m × T′` of a torus: first dimension of extent `m`,
+/// column torus `T′` with one extent per remaining dimension.
+///
+/// For `d = 1` the column space is a single trivial column (`T′` has one
+/// node), which lets 1-dimensional constructions reuse the same API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpace {
+    /// Extent of the first (vertical) dimension.
+    m: usize,
+    /// Shape of the column torus `T′` (empty product → singleton handled
+    /// by a `[1]` shape).
+    cols: Shape,
+    ring_m: CyclicRing,
+}
+
+impl ColumnSpace {
+    /// Creates the split `C_m × T′` where `T′` has extents `col_dims`.
+    /// Passing an empty `col_dims` yields the 1-dimensional case (a single
+    /// column).
+    pub fn new(m: usize, col_dims: &[usize]) -> Self {
+        assert!(m > 0, "vertical extent must be positive");
+        let cols = if col_dims.is_empty() {
+            Shape::new(vec![1])
+        } else {
+            Shape::new(col_dims.to_vec())
+        };
+        Self {
+            m,
+            cols,
+            ring_m: CyclicRing::new(m),
+        }
+    }
+
+    /// Builds the column space of the cube torus `C_m × (C_n)^{d−1}`.
+    pub fn cube(m: usize, n: usize, d: usize) -> Self {
+        assert!(d >= 1, "dimension must be at least 1");
+        Self::new(m, &vec![n; d - 1])
+    }
+
+    /// Vertical extent `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The cyclic ring `Z_m` of vertical coordinates.
+    #[inline]
+    pub fn ring(&self) -> CyclicRing {
+        self.ring_m
+    }
+
+    /// Number of columns `|T′|`.
+    #[inline]
+    pub fn num_columns(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Shape of the column torus.
+    #[inline]
+    pub fn column_shape(&self) -> &Shape {
+        &self.cols
+    }
+
+    /// Total number of nodes `m · |T′|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.m * self.cols.len()
+    }
+
+    /// Whether the space is empty (never: extents positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat node id of `(i, z)`. Nodes are numbered with `i` slowest so
+    /// `node = i * num_columns + z`, consistent with [`Shape`] row-major
+    /// order on `(m, n2, …, nd)`.
+    #[inline]
+    pub fn node(&self, i: usize, z: usize) -> usize {
+        debug_assert!(i < self.m && z < self.cols.len());
+        i * self.cols.len() + z
+    }
+
+    /// Splits a flat node id into `(i, z)`.
+    #[inline]
+    pub fn split(&self, node: usize) -> (usize, usize) {
+        debug_assert!(node < self.len());
+        (node / self.cols.len(), node % self.cols.len())
+    }
+
+    /// Columns adjacent to `z` in the column torus (torus adjacency of
+    /// `T′`; for `d = 1` there are none).
+    #[inline]
+    pub fn adjacent_columns(&self, z: usize) -> Vec<usize> {
+        if self.cols.len() == 1 {
+            return Vec::new();
+        }
+        self.cols.torus_neighbors(z)
+    }
+
+    /// Whether columns `z` and `z′` are adjacent in `T′`.
+    #[inline]
+    pub fn columns_adjacent(&self, z: usize, z2: usize) -> bool {
+        self.cols.torus_adjacent(z, z2)
+    }
+
+    /// Iterates all `(i, z)` pairs as flat node ids.
+    #[inline]
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.len()
+    }
+
+    /// The whole torus as a [`Shape`] `(m, n2, …, nd)`.
+    pub fn torus_shape(&self) -> Shape {
+        let mut dims = Vec::with_capacity(1 + self.cols.ndim());
+        dims.push(self.m);
+        if !(self.cols.ndim() == 1 && self.cols.dim(0) == 1) {
+            dims.extend_from_slice(self.cols.dims());
+        }
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_split_roundtrip() {
+        let cs = ColumnSpace::cube(6, 4, 3); // C_6 × C_4 × C_4
+        assert_eq!(cs.num_columns(), 16);
+        assert_eq!(cs.len(), 96);
+        for node in cs.nodes() {
+            let (i, z) = cs.split(node);
+            assert_eq!(cs.node(i, z), node);
+        }
+    }
+
+    #[test]
+    fn d1_has_single_column() {
+        let cs = ColumnSpace::cube(9, 7, 1);
+        assert_eq!(cs.num_columns(), 1);
+        assert_eq!(cs.len(), 9);
+        assert!(cs.adjacent_columns(0).is_empty());
+    }
+
+    #[test]
+    fn d2_columns_form_cycle() {
+        let cs = ColumnSpace::cube(8, 5, 2);
+        assert_eq!(cs.num_columns(), 5);
+        let adj = cs.adjacent_columns(0);
+        assert_eq!(adj.len(), 2);
+        assert!(adj.contains(&1) && adj.contains(&4));
+        assert!(cs.columns_adjacent(4, 0));
+        assert!(!cs.columns_adjacent(0, 2));
+    }
+
+    #[test]
+    fn torus_shape_matches() {
+        let cs = ColumnSpace::cube(8, 4, 3);
+        let sh = cs.torus_shape();
+        assert_eq!(sh.dims(), &[8, 4, 4]);
+        // flat ids agree between ColumnSpace and Shape
+        for node in cs.nodes() {
+            let (i, z) = cs.split(node);
+            let zc = cs.column_shape().unflatten(z);
+            let mut full = vec![i];
+            full.extend(zc);
+            assert_eq!(sh.flatten(&full), node);
+        }
+    }
+
+    #[test]
+    fn d1_torus_shape() {
+        let cs = ColumnSpace::cube(9, 1, 1);
+        assert_eq!(cs.torus_shape().dims(), &[9]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Multi-dimensional box/torus shapes and coordinate <-> flat-index maps.
+//!
+//! A [`Shape`] is the extent vector `(n1, …, nd)` of a `d`-dimensional box.
+//! Nodes are addressed either by a [`Coord`] (vector of per-dimension
+//! indices) or by a flat `usize` in row-major order (dimension 0 slowest).
+//! Torus adjacency (cyclic in every dimension) and mesh adjacency
+//! (non-cyclic) are both provided.
+
+use crate::cyclic::{cyc_add, cyc_sub};
+
+/// A point of a `d`-dimensional box: one index per dimension.
+pub type Coord = Vec<usize>;
+
+/// The extents of a `d`-dimensional box/torus, with row-major strides.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl Shape {
+    /// Creates a shape with the given per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any extent is zero.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "shape needs at least one dimension");
+        assert!(dims.iter().all(|&n| n > 0), "extents must be positive");
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len() - 1).rev() {
+            strides[i] = strides[i + 1]
+                .checked_mul(dims[i + 1])
+                .expect("shape size overflows usize");
+        }
+        let len = strides[0]
+            .checked_mul(dims[0])
+            .expect("shape size overflows usize");
+        Self { dims, strides, len }
+    }
+
+    /// The hypercube shape `n × n × … × n` (`d` factors).
+    pub fn cube(n: usize, d: usize) -> Self {
+        Self::new(vec![n; d])
+    }
+
+    /// Number of dimensions `d`.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `axis`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// All extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of nodes `n1 · n2 · … · nd`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the shape has zero nodes (never true: extents are positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row-major stride of dimension `axis`.
+    #[inline]
+    pub fn stride(&self, axis: usize) -> usize {
+        self.strides[axis]
+    }
+
+    /// Flattens a coordinate to its row-major index.
+    ///
+    /// # Panics
+    /// Debug-panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn flatten(&self, coord: &[usize]) -> usize {
+        debug_assert_eq!(coord.len(), self.dims.len());
+        let mut idx = 0;
+        for (axis, &c) in coord.iter().enumerate() {
+            debug_assert!(c < self.dims[axis], "coord out of bounds");
+            idx += c * self.strides[axis];
+        }
+        idx
+    }
+
+    /// Expands a flat index into a coordinate vector.
+    #[inline]
+    pub fn unflatten(&self, mut idx: usize) -> Coord {
+        debug_assert!(idx < self.len);
+        let mut coord = vec![0usize; self.dims.len()];
+        for axis in 0..self.dims.len() {
+            coord[axis] = idx / self.strides[axis];
+            idx %= self.strides[axis];
+        }
+        coord
+    }
+
+    /// Extracts coordinate `axis` of a flat index without a full unflatten.
+    #[inline]
+    pub fn coord_of(&self, idx: usize, axis: usize) -> usize {
+        debug_assert!(idx < self.len);
+        (idx / self.strides[axis]) % self.dims[axis]
+    }
+
+    /// The flat index obtained from `idx` by cyclically stepping `±step`
+    /// along `axis` (torus move).
+    #[inline]
+    pub fn torus_step(&self, idx: usize, axis: usize, step: isize) -> usize {
+        let n = self.dims[axis];
+        let c = self.coord_of(idx, axis);
+        let c2 = if step >= 0 {
+            cyc_add(c, step as usize, n)
+        } else {
+            cyc_sub(c, (-step) as usize, n)
+        };
+        idx + (c2 * self.strides[axis]) - (c * self.strides[axis])
+    }
+
+    /// The flat index obtained by a *mesh* step (no wraparound); `None`
+    /// if the step leaves the box.
+    #[inline]
+    pub fn mesh_step(&self, idx: usize, axis: usize, step: isize) -> Option<usize> {
+        let n = self.dims[axis];
+        let c = self.coord_of(idx, axis) as isize;
+        let c2 = c + step;
+        if c2 < 0 || c2 >= n as isize {
+            return None;
+        }
+        Some((idx as isize + (c2 - c) * self.strides[axis] as isize) as usize)
+    }
+
+    /// Iterates all flat indices (0..len).
+    #[inline]
+    pub fn iter(&self) -> std::ops::Range<usize> {
+        0..self.len
+    }
+
+    /// Iterates all coordinates in row-major order.
+    pub fn coords(&self) -> CoordIter<'_> {
+        CoordIter {
+            shape: self,
+            next: Some(vec![0; self.dims.len()]),
+        }
+    }
+
+    /// Torus neighbours of `idx`: `±1` in every dimension, deduplicated the
+    /// way the cycle graph `C_n` is (extent 1 → no neighbour in that
+    /// dimension; extent 2 → a single neighbour). The returned list may
+    /// therefore have fewer than `2d` entries.
+    pub fn torus_neighbors(&self, idx: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(2 * self.dims.len());
+        for axis in 0..self.dims.len() {
+            let n = self.dims[axis];
+            if n == 1 {
+                continue;
+            }
+            let up = self.torus_step(idx, axis, 1);
+            out.push(up);
+            if n > 2 {
+                out.push(self.torus_step(idx, axis, -1));
+            }
+        }
+        out
+    }
+
+    /// Whether two flat indices are torus-adjacent (differ by `±1`
+    /// cyclically in exactly one dimension).
+    pub fn torus_adjacent(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut seen_diff = false;
+        for axis in 0..self.dims.len() {
+            let (ca, cb) = (self.coord_of(a, axis), self.coord_of(b, axis));
+            if ca == cb {
+                continue;
+            }
+            if seen_diff {
+                return false;
+            }
+            seen_diff = true;
+            let n = self.dims[axis];
+            let d = crate::cyclic::cyc_dist(ca, cb, n);
+            if d != 1 {
+                return false;
+            }
+        }
+        seen_diff
+    }
+}
+
+/// Row-major coordinate iterator produced by [`Shape::coords`].
+pub struct CoordIter<'a> {
+    shape: &'a Shape,
+    next: Option<Coord>,
+}
+
+impl Iterator for CoordIter<'_> {
+    type Item = Coord;
+
+    fn next(&mut self) -> Option<Coord> {
+        let cur = self.next.take()?;
+        // compute successor
+        let mut succ = cur.clone();
+        for axis in (0..succ.len()).rev() {
+            succ[axis] += 1;
+            if succ[axis] < self.shape.dims[axis] {
+                self.next = Some(succ);
+                return Some(cur);
+            }
+            succ[axis] = 0;
+        }
+        // overflowed: cur was the last coordinate
+        self.next = None;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let s = Shape::new(vec![3, 4, 5]);
+        assert_eq!(s.len(), 60);
+        for idx in s.iter() {
+            let c = s.unflatten(idx);
+            assert_eq!(s.flatten(&c), idx);
+            for axis in 0..3 {
+                assert_eq!(s.coord_of(idx, axis), c[axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![3, 4, 5]);
+        assert_eq!(s.stride(0), 20);
+        assert_eq!(s.stride(1), 5);
+        assert_eq!(s.stride(2), 1);
+        assert_eq!(s.flatten(&[1, 2, 3]), 20 + 10 + 3);
+    }
+
+    #[test]
+    fn torus_step_wraps() {
+        let s = Shape::new(vec![4, 4]);
+        let idx = s.flatten(&[3, 0]);
+        assert_eq!(s.torus_step(idx, 0, 1), s.flatten(&[0, 0]));
+        assert_eq!(s.torus_step(idx, 1, -1), s.flatten(&[3, 3]));
+        assert_eq!(s.torus_step(idx, 0, 5), s.flatten(&[0, 0]));
+    }
+
+    #[test]
+    fn mesh_step_bounds() {
+        let s = Shape::new(vec![4, 4]);
+        let idx = s.flatten(&[3, 0]);
+        assert_eq!(s.mesh_step(idx, 0, 1), None);
+        assert_eq!(s.mesh_step(idx, 1, -1), None);
+        assert_eq!(s.mesh_step(idx, 0, -1), Some(s.flatten(&[2, 0])));
+        assert_eq!(s.mesh_step(idx, 1, 3), Some(s.flatten(&[3, 3])));
+    }
+
+    #[test]
+    fn neighbors_count_and_dedup() {
+        let s = Shape::new(vec![5, 5, 5]);
+        assert_eq!(s.torus_neighbors(0).len(), 6);
+        // extent 2: only one neighbour per that dimension
+        let s2 = Shape::new(vec![2, 5]);
+        assert_eq!(s2.torus_neighbors(0).len(), 3);
+        // extent 1: no neighbour in that dimension
+        let s1 = Shape::new(vec![1, 5]);
+        assert_eq!(s1.torus_neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_matches_neighbors() {
+        let s = Shape::new(vec![3, 4]);
+        for a in s.iter() {
+            for b in s.iter() {
+                let adj = s.torus_adjacent(a, b);
+                assert_eq!(adj, s.torus_adjacent(b, a));
+                assert_eq!(adj, s.torus_neighbors(a).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn coords_iterator_row_major() {
+        let s = Shape::new(vec![2, 3]);
+        let cs: Vec<_> = s.coords().collect();
+        assert_eq!(cs.len(), 6);
+        assert_eq!(cs[0], vec![0, 0]);
+        assert_eq!(cs[1], vec![0, 1]);
+        assert_eq!(cs[3], vec![1, 0]);
+        assert_eq!(cs[5], vec![1, 2]);
+        for (i, c) in cs.iter().enumerate() {
+            assert_eq!(s.flatten(c), i);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_shape() {
+        let s = Shape::new(vec![7]);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.torus_neighbors(0), vec![1, 6]);
+        assert!(s.torus_adjacent(0, 6));
+    }
+}

@@ -1,0 +1,353 @@
+//! Tiles, bricks and `s`-frames.
+//!
+//! Section 3 of the paper slices the augmented torus `B^d_n` into *tiles*
+//! of side `b²` in every dimension. Tiles themselves form a smaller torus
+//! (the *tile grid*). An *`s`-frame* is the boundary shell of an
+//! `s × … × s` block of tiles; the painting procedure encloses every fault
+//! inside a fault-free frame. A *brick* is a block of tiles of extent
+//! `1 × b × … × b` tiles (`b² × b³ × … × b³` nodes) used by the
+//! healthiness conditions.
+
+use crate::shape::Shape;
+
+/// A partition of a torus [`Shape`] into equal axis-aligned tiles, which
+/// themselves form a torus (the *tile grid*).
+#[derive(Debug, Clone)]
+pub struct TileGrid {
+    node_shape: Shape,
+    grid_shape: Shape,
+    tile_sides: Vec<usize>,
+}
+
+impl TileGrid {
+    /// Partitions `node_shape` into tiles with side `tile_sides[axis]`
+    /// along each axis.
+    ///
+    /// # Panics
+    /// Panics if a tile side does not divide the corresponding extent, or
+    /// if the dimension counts disagree.
+    pub fn new(node_shape: Shape, tile_sides: Vec<usize>) -> Self {
+        assert_eq!(
+            node_shape.ndim(),
+            tile_sides.len(),
+            "one tile side per dimension required"
+        );
+        for axis in 0..node_shape.ndim() {
+            let (n, t) = (node_shape.dim(axis), tile_sides[axis]);
+            assert!(t > 0, "tile side must be positive");
+            assert!(
+                n % t == 0,
+                "tile side {t} does not divide extent {n} on axis {axis}"
+            );
+        }
+        let grid_dims: Vec<usize> = (0..node_shape.ndim())
+            .map(|a| node_shape.dim(a) / tile_sides[a])
+            .collect();
+        let grid_shape = Shape::new(grid_dims);
+        Self {
+            node_shape,
+            grid_shape,
+            tile_sides,
+        }
+    }
+
+    /// Uniform tiling: side `t` in every dimension.
+    pub fn uniform(node_shape: Shape, t: usize) -> Self {
+        let d = node_shape.ndim();
+        Self::new(node_shape, vec![t; d])
+    }
+
+    /// The underlying node shape.
+    #[inline]
+    pub fn node_shape(&self) -> &Shape {
+        &self.node_shape
+    }
+
+    /// The shape of the tile grid (tiles form a torus of this shape).
+    #[inline]
+    pub fn grid_shape(&self) -> &Shape {
+        &self.grid_shape
+    }
+
+    /// Tile side along `axis`.
+    #[inline]
+    pub fn tile_side(&self, axis: usize) -> usize {
+        self.tile_sides[axis]
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        self.grid_shape.len()
+    }
+
+    /// Number of nodes per tile.
+    #[inline]
+    pub fn nodes_per_tile(&self) -> usize {
+        self.tile_sides.iter().product()
+    }
+
+    /// The tile (flat id in the grid shape) containing a node.
+    #[inline]
+    pub fn tile_of_node(&self, node: usize) -> usize {
+        let mut tile = 0;
+        for axis in 0..self.node_shape.ndim() {
+            let c = self.node_shape.coord_of(node, axis);
+            tile += (c / self.tile_sides[axis]) * self.grid_shape.stride(axis);
+        }
+        tile
+    }
+
+    /// Iterates the flat node ids belonging to `tile`.
+    pub fn nodes_in_tile(&self, tile: usize) -> Vec<usize> {
+        let tc = self.grid_shape.unflatten(tile);
+        let d = self.node_shape.ndim();
+        let base: Vec<usize> = (0..d).map(|a| tc[a] * self.tile_sides[a]).collect();
+        let within = Shape::new(self.tile_sides.clone());
+        let mut out = Vec::with_capacity(within.len());
+        for w in within.coords() {
+            let coord: Vec<usize> = (0..d).map(|a| base[a] + w[a]).collect();
+            out.push(self.node_shape.flatten(&coord));
+        }
+        out
+    }
+
+    /// Cyclic Chebyshev (L∞) distance between two tiles on the tile-grid
+    /// torus — the radius notion for frames.
+    pub fn tile_chebyshev(&self, a: usize, b: usize) -> usize {
+        let mut dmax = 0;
+        for axis in 0..self.grid_shape.ndim() {
+            let (ca, cb) = (
+                self.grid_shape.coord_of(a, axis),
+                self.grid_shape.coord_of(b, axis),
+            );
+            let d = crate::cyclic::cyc_dist(ca, cb, self.grid_shape.dim(axis));
+            dmax = dmax.max(d);
+        }
+        dmax
+    }
+
+    /// Per-tile counts of marked nodes: given a predicate over nodes,
+    /// returns `counts[tile]` = number of nodes in the tile satisfying it.
+    /// This is the basic summary the healthiness checker and the painter
+    /// work from (O(#nodes)).
+    pub fn count_per_tile<F: Fn(usize) -> bool>(&self, pred: F) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_tiles()];
+        for node in self.node_shape.iter() {
+            if pred(node) {
+                counts[self.tile_of_node(node)] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The frame of radius `radius` centred at `center` (an `s`-frame with
+    /// `s = 2·radius + 1`). Returns `None` if the shell would wrap onto
+    /// itself (i.e. `s` exceeds some tile-grid extent), in which case
+    /// "interior" is ill-defined.
+    pub fn frame(&self, center: usize, radius: usize) -> Option<Frame<'_>> {
+        let s = 2 * radius + 1;
+        for axis in 0..self.grid_shape.ndim() {
+            if s > self.grid_shape.dim(axis) {
+                return None;
+            }
+        }
+        Some(Frame {
+            grid: self,
+            center,
+            radius,
+        })
+    }
+}
+
+/// The boundary shell (an `s`-frame, `s = 2·radius+1`) of the block of
+/// tiles within Chebyshev radius `radius` of a centre tile.
+///
+/// In the paper an `s`-frame is the set of boundary tiles of an
+/// `s·b² × … × s·b²` tiled submesh; here the submesh is identified by its
+/// central tile, which is enough for the painting procedure (it only ever
+/// uses frames concentric with a faulty node's tile).
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    grid: &'a TileGrid,
+    center: usize,
+    radius: usize,
+}
+
+impl Frame<'_> {
+    /// The frame's centre tile.
+    #[inline]
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// The frame's radius (in tiles); `s = 2·radius + 1`.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The `s` in "`s`-frame".
+    #[inline]
+    pub fn s(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    /// Tiles forming the shell: Chebyshev distance exactly `radius` from
+    /// the centre.
+    pub fn shell_tiles(&self) -> Vec<usize> {
+        self.tiles_where(|d| d == self.radius)
+    }
+
+    /// Tiles strictly inside the shell (the region painted black).
+    pub fn interior_tiles(&self) -> Vec<usize> {
+        self.tiles_where(|d| d < self.radius)
+    }
+
+    /// Whether `tile` lies strictly inside the shell.
+    pub fn encloses_tile(&self, tile: usize) -> bool {
+        self.grid.tile_chebyshev(self.center, tile) < self.radius
+    }
+
+    /// Whether the shell contains no marked tiles according to per-tile
+    /// counts (e.g. fault counts from [`TileGrid::count_per_tile`]).
+    pub fn shell_clear(&self, counts: &[u32]) -> bool {
+        self.shell_tiles().iter().all(|&t| counts[t] == 0)
+    }
+
+    fn tiles_where<F: Fn(usize) -> bool>(&self, keep: F) -> Vec<usize> {
+        let g = self.grid.grid_shape();
+        let d = g.ndim();
+        let cc = g.unflatten(self.center);
+        let r = self.radius as isize;
+        let side = 2 * self.radius + 1;
+        let offsets = Shape::new(vec![side; d]);
+        let mut out = Vec::new();
+        for off in offsets.coords() {
+            let mut dist = 0usize;
+            let mut coord = vec![0usize; d];
+            for axis in 0..d {
+                let o = off[axis] as isize - r;
+                dist = dist.max(o.unsigned_abs());
+                let n = g.dim(axis) as isize;
+                let c = (cc[axis] as isize + o).rem_euclid(n) as usize;
+                coord[axis] = c;
+            }
+            if keep(dist) {
+                out.push(g.flatten(&coord));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_4x4_tiles_2() -> TileGrid {
+        TileGrid::uniform(Shape::new(vec![8, 8]), 2)
+    }
+
+    #[test]
+    fn tile_of_node_partitions() {
+        let g = grid_4x4_tiles_2();
+        assert_eq!(g.num_tiles(), 16);
+        assert_eq!(g.nodes_per_tile(), 4);
+        let mut counts = vec![0usize; g.num_tiles()];
+        for node in g.node_shape().iter() {
+            counts[g.tile_of_node(node)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn nodes_in_tile_inverse_of_tile_of_node() {
+        let g = TileGrid::new(Shape::new(vec![6, 8]), vec![3, 2]);
+        for tile in 0..g.num_tiles() {
+            for node in g.nodes_in_tile(tile) {
+                assert_eq!(g.tile_of_node(node), tile);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn non_dividing_tile_side_panics() {
+        TileGrid::uniform(Shape::new(vec![9, 8]), 2);
+    }
+
+    #[test]
+    fn chebyshev_cyclic() {
+        let g = grid_4x4_tiles_2(); // tile grid 4×4
+        let gs = g.grid_shape().clone();
+        let a = gs.flatten(&[0, 0]);
+        let b = gs.flatten(&[3, 3]);
+        assert_eq!(g.tile_chebyshev(a, b), 1); // wraps both axes
+        let c = gs.flatten(&[2, 0]);
+        assert_eq!(g.tile_chebyshev(a, c), 2);
+        assert_eq!(g.tile_chebyshev(a, a), 0);
+    }
+
+    #[test]
+    fn frame_shell_and_interior() {
+        // 8×8 nodes, 2×2 tiles → 4×4 tile grid; radius-1 frame = 8 shell
+        // tiles around 1 interior tile.
+        let g = grid_4x4_tiles_2();
+        let center = g.grid_shape().flatten(&[1, 1]);
+        let f = g.frame(center, 1).expect("radius 1 fits in 4×4 grid");
+        assert_eq!(f.s(), 3);
+        let shell = f.shell_tiles();
+        assert_eq!(shell.len(), 8);
+        let interior = f.interior_tiles();
+        assert_eq!(interior, vec![center]);
+        assert!(f.encloses_tile(center));
+        for t in shell {
+            assert!(!f.encloses_tile(t));
+            assert_eq!(g.tile_chebyshev(center, t), 1);
+        }
+    }
+
+    #[test]
+    fn frame_too_large_is_none() {
+        let g = grid_4x4_tiles_2(); // 4×4 tile grid
+        let center = 0;
+        assert!(g.frame(center, 1).is_some()); // s = 3 ≤ 4
+        assert!(g.frame(center, 2).is_none()); // s = 5 > 4
+    }
+
+    #[test]
+    fn frame_clear_uses_counts() {
+        let g = grid_4x4_tiles_2();
+        let center = g.grid_shape().flatten(&[1, 1]);
+        let f = g.frame(center, 1).unwrap();
+        let mut counts = vec![0u32; g.num_tiles()];
+        assert!(f.shell_clear(&counts));
+        counts[g.grid_shape().flatten(&[0, 0])] = 1; // a shell tile
+        assert!(!f.shell_clear(&counts));
+        let mut counts2 = vec![0u32; g.num_tiles()];
+        counts2[center] = 5; // interior fault does not dirty the shell
+        assert!(f.shell_clear(&counts2));
+    }
+
+    #[test]
+    fn count_per_tile_sums() {
+        let g = grid_4x4_tiles_2();
+        let counts = g.count_per_tile(|n| n % 3 == 0);
+        let total: u32 = counts.iter().sum();
+        let expect = g.node_shape().iter().filter(|n| n % 3 == 0).count() as u32;
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn three_dimensional_tiles() {
+        let g = TileGrid::uniform(Shape::new(vec![4, 4, 4]), 2);
+        assert_eq!(g.num_tiles(), 8);
+        assert_eq!(g.nodes_per_tile(), 8);
+        let f = g.frame(0, 1);
+        // tile grid is 2×2×2: s = 3 > 2, frame must not exist
+        assert!(f.is_none());
+    }
+}

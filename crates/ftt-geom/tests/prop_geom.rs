@@ -1,0 +1,103 @@
+//! Property-based tests for the geometry substrate.
+
+use ftt_geom::{cyc_add, cyc_dist, cyc_sub, CyclicInterval, CyclicRing, Shape, TileGrid};
+use proptest::prelude::*;
+
+proptest! {
+    /// `a +_n b -_n b = a` for all inputs.
+    #[test]
+    fn add_sub_inverse(n in 1usize..500, a in 0usize..500, b in 0usize..10_000) {
+        let a = a % n;
+        prop_assert_eq!(cyc_sub(cyc_add(a, b, n), b, n), a);
+        prop_assert_eq!(cyc_add(cyc_sub(a, b, n), b, n), a);
+    }
+
+    /// Cyclic distance is a metric on the cycle: symmetry, identity,
+    /// triangle inequality.
+    #[test]
+    fn dist_is_metric(n in 1usize..200, a in 0usize..200, b in 0usize..200, c in 0usize..200) {
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(cyc_dist(a, b, n), cyc_dist(b, a, n));
+        prop_assert_eq!(cyc_dist(a, a, n), 0);
+        prop_assert!(cyc_dist(a, c, n) <= cyc_dist(a, b, n) + cyc_dist(b, c, n));
+        prop_assert!(cyc_dist(a, b, n) <= n / 2);
+    }
+
+    /// Signed offset is consistent with addition.
+    #[test]
+    fn offset_consistent(n in 1usize..200, a in 0usize..200, b in 0usize..200) {
+        let (a, b) = (a % n, b % n);
+        let r = CyclicRing::new(n);
+        let k = r.offset(a, b);
+        let back = if k >= 0 { r.add(a, k as usize) } else { r.sub(a, (-k) as usize) };
+        prop_assert_eq!(back, b);
+        prop_assert!(k.unsigned_abs() <= n / 2);
+    }
+
+    /// Interval membership matches brute-force arc enumeration.
+    #[test]
+    fn interval_matches_enumeration(n in 1usize..100, start in 0usize..100, len in 0usize..150) {
+        let start = start % n;
+        let iv = CyclicInterval::new(start, len, n);
+        let r = CyclicRing::new(n);
+        let arc: std::collections::HashSet<usize> = r.arc(start, len).collect();
+        for x in 0..n {
+            prop_assert_eq!(iv.contains(x), arc.contains(&x));
+        }
+    }
+
+    /// Interval overlap matches brute-force intersection.
+    #[test]
+    fn overlap_matches_enumeration(
+        n in 1usize..60,
+        s1 in 0usize..60, l1 in 0usize..70,
+        s2 in 0usize..60, l2 in 0usize..70,
+    ) {
+        let (s1, s2) = (s1 % n, s2 % n);
+        let a = CyclicInterval::new(s1, l1, n);
+        let b = CyclicInterval::new(s2, l2, n);
+        let brute = (0..n).any(|x| a.contains(x) && b.contains(x));
+        prop_assert_eq!(a.overlaps(&b), brute);
+    }
+
+    /// Flatten/unflatten are mutually inverse on random shapes.
+    #[test]
+    fn shape_roundtrip(dims in prop::collection::vec(1usize..7, 1..4), pick in 0usize..10_000) {
+        let s = Shape::new(dims);
+        let idx = pick % s.len();
+        let c = s.unflatten(idx);
+        prop_assert_eq!(s.flatten(&c), idx);
+    }
+
+    /// Torus steps of +1 then −1 along any axis return to the start.
+    #[test]
+    fn torus_step_inverse(dims in prop::collection::vec(1usize..7, 1..4), pick in 0usize..10_000) {
+        let s = Shape::new(dims);
+        let idx = pick % s.len();
+        for axis in 0..s.ndim() {
+            let there = s.torus_step(idx, axis, 1);
+            prop_assert_eq!(s.torus_step(there, axis, -1), idx);
+        }
+    }
+
+    /// Every node belongs to exactly the tile reported by `tile_of_node`,
+    /// and tiles partition the node set.
+    #[test]
+    fn tiles_partition(
+        gdims in prop::collection::vec(1usize..4, 1..3),
+        sides in prop::collection::vec(1usize..4, 1..3),
+    ) {
+        let d = gdims.len().min(sides.len());
+        let dims: Vec<usize> = (0..d).map(|a| gdims[a] * sides[a]).collect();
+        let grid = TileGrid::new(Shape::new(dims), sides[..d].to_vec());
+        let mut seen = vec![false; grid.node_shape().len()];
+        for tile in 0..grid.num_tiles() {
+            for node in grid.nodes_in_tile(tile) {
+                prop_assert!(!seen[node], "node in two tiles");
+                seen[node] = true;
+                prop_assert_eq!(grid.tile_of_node(node), tile);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

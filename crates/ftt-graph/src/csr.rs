@@ -1,0 +1,348 @@
+//! Compressed-sparse-row multigraph.
+//!
+//! Node ids are dense `usize` (stored as `u32`); undirected edges get
+//! dense ids `0..num_edges()`, which is what the edge-fault models key on.
+//! Parallel edges are allowed (the paper's `A^d_n` is a multigraph and
+//! Theorem 1 explicitly replaces edges by parallel copies for large `q`);
+//! self-loops are not (no construction in the paper uses them).
+
+/// Maximum node count representable (`u32` ids internally).
+pub const MAX_NODES: usize = u32::MAX as usize - 1;
+
+/// An immutable undirected multigraph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    /// Arc targets, grouped by source, sorted within each group.
+    targets: Vec<u32>,
+    /// Undirected edge id of each arc (two arcs share one id).
+    edge_ids: Vec<u32>,
+    /// Endpoints of each undirected edge, `u <= v` not required but `u != v`.
+    endpoints: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (counting parallel edges separately).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Neighbour list of `v` (with multiplicity, sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Arcs out of `v` as `(target, undirected edge id)` pairs.
+    #[inline]
+    pub fn arcs(&self, v: usize) -> impl Iterator<Item = (usize, u32)> + '_ {
+        let r = self.offsets[v]..self.offsets[v + 1];
+        r.map(move |i| (self.targets[i] as usize, self.edge_ids[i]))
+    }
+
+    /// Degree of `v` (with multiplicity).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether at least one `u`–`v` edge exists (binary search).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// All undirected edge ids joining `u` and `v` (parallel edges yield
+    /// several).
+    pub fn edges_between(&self, u: usize, v: usize) -> Vec<u32> {
+        let nbrs = self.neighbors(u);
+        let Ok(mut lo) = nbrs.binary_search(&(v as u32)) else {
+            return Vec::new();
+        };
+        // binary_search may land mid-run; widen to the full run of v's.
+        while lo > 0 && nbrs[lo - 1] == v as u32 {
+            lo -= 1;
+        }
+        let base = self.offsets[u];
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i < nbrs.len() && nbrs[i] == v as u32 {
+            out.push(self.edge_ids[base + i]);
+            i += 1;
+        }
+        out
+    }
+
+    /// Endpoints `(u, v)` of an undirected edge id.
+    #[inline]
+    pub fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        let (u, v) = self.endpoints[e as usize];
+        (u as usize, v as usize)
+    }
+
+    /// Iterates all undirected edges as `(edge id, u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, usize, usize)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (e as u32, u as usize, v as usize))
+    }
+
+    /// Histogram of degrees: `hist[k]` = number of nodes with degree `k`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree() + 1];
+        for v in 0..self.num_nodes() {
+            hist[self.degree(v)] += 1;
+        }
+        hist
+    }
+}
+
+/// Edge-list accumulator that freezes into a [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder over `num_nodes` isolated nodes.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` exceeds [`MAX_NODES`].
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes <= MAX_NODES, "too many nodes for u32 ids");
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pre-allocates for `n` additional edges.
+    pub fn reserve_edges(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    /// Adds an undirected edge and returns its dense id. Parallel edges
+    /// are permitted; self-loops are rejected.
+    ///
+    /// # Panics
+    /// Panics if `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> u32 {
+        assert!(u != v, "self-loops are not supported");
+        assert!(
+            u < self.num_nodes && v < self.num_nodes,
+            "endpoint out of range"
+        );
+        let id = self.edges.len();
+        assert!(id <= u32::MAX as usize, "too many edges for u32 ids");
+        self.edges.push((u as u32, v as u32));
+        id as u32
+    }
+
+    /// Adds an edge only if no `u`–`v` edge has been added yet.
+    /// O(#edges) — intended for small generator code paths, not hot loops.
+    pub fn add_edge_dedup(&mut self, u: usize, v: usize) -> Option<u32> {
+        let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+        if self
+            .edges
+            .iter()
+            .any(|&(x, y)| (x.min(y), x.max(y)) == (a, b))
+        {
+            return None;
+        }
+        Some(self.add_edge(u, v))
+    }
+
+    /// Freezes into CSR form.
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let total = offsets[n];
+        let mut targets = vec![0u32; total];
+        let mut edge_ids = vec![0u32; total];
+        let mut cursor = offsets.clone();
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            targets[cursor[u as usize]] = v;
+            edge_ids[cursor[u as usize]] = e as u32;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            edge_ids[cursor[v as usize]] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency run by target (stable pairing with edge ids).
+        for v in 0..n {
+            let range = offsets[v]..offsets[v + 1];
+            let mut pairs: Vec<(u32, u32)> = targets[range.clone()]
+                .iter()
+                .copied()
+                .zip(edge_ids[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (k, (t, e)) in pairs.into_iter().enumerate() {
+                targets[offsets[v] + k] = t;
+                edge_ids[offsets[v] + k] = e;
+            }
+        }
+        Graph {
+            offsets,
+            targets,
+            edge_ids,
+            endpoints: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn has_edge_and_edges_between() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.edges_between(1, 2).len(), 1);
+        assert_eq!(g.edges_between(0, 2).len(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_tracked() {
+        let mut b = GraphBuilder::new(2);
+        let e0 = b.add_edge(0, 1);
+        let e1 = b.add_edge(0, 1);
+        let e2 = b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 3);
+        let mut ids = g.edges_between(0, 1);
+        ids.sort_unstable();
+        assert_eq!(ids, vec![e0, e1, e2]);
+    }
+
+    #[test]
+    fn edge_endpoints_roundtrip() {
+        let g = triangle();
+        for (e, u, v) in g.edges() {
+            assert_eq!(g.edge_endpoints(e), (u, v));
+            assert!(g.edges_between(u, v).contains(&e));
+        }
+    }
+
+    #[test]
+    fn arcs_cover_neighbors() {
+        let g = triangle();
+        for v in 0..3 {
+            let ts: Vec<usize> = g.arcs(v).map(|(t, _)| t).collect();
+            let ns: Vec<usize> = g.neighbors(v).iter().map(|&t| t as usize).collect();
+            assert_eq!(ts, ns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn dedup_add() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_dedup(0, 1).is_some());
+        assert!(b.add_edge_dedup(1, 0).is_none());
+        assert!(b.add_edge_dedup(1, 2).is_some());
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    fn degree_histogram() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let h = g.degree_histogram();
+        assert_eq!(h, vec![1, 2, 1]); // node 3 isolated, 0 and 2 deg 1, 1 deg 2
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Embedding verification.
+//!
+//! Every theorem in the paper asserts that, after faults, the constructed
+//! graph *contains a fault-free `d`-dimensional torus* (hence mesh). The
+//! constructions produce an explicit mapping from torus nodes to host
+//! nodes; this module checks — independently of how the mapping was
+//! produced — that the mapping is an isomorphism onto a fault-free
+//! subgraph: injective, images alive, and every torus (or mesh) edge
+//! carried by at least one alive host edge.
+
+use crate::csr::Graph;
+use ftt_geom::Shape;
+
+/// Why an embedding verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// The mapping has the wrong number of entries.
+    WrongLength { expected: usize, actual: usize },
+    /// Two guest nodes map to the same host node.
+    NotInjective {
+        guest_a: usize,
+        guest_b: usize,
+        host: usize,
+    },
+    /// A guest node maps to a host node that is faulty (or out of range).
+    BadImage { guest: usize, host: usize },
+    /// A guest edge has no surviving host edge between the images.
+    MissingEdge {
+        guest_u: usize,
+        guest_v: usize,
+        host_u: usize,
+        host_v: usize,
+    },
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::WrongLength { expected, actual } => {
+                write!(f, "mapping has {actual} entries, expected {expected}")
+            }
+            EmbedError::NotInjective {
+                guest_a,
+                guest_b,
+                host,
+            } => {
+                write!(f, "guests {guest_a} and {guest_b} both map to host {host}")
+            }
+            EmbedError::BadImage { guest, host } => {
+                write!(f, "guest {guest} maps to faulty/invalid host {host}")
+            }
+            EmbedError::MissingEdge {
+                guest_u,
+                guest_v,
+                host_u,
+                host_v,
+            } => write!(
+                f,
+                "guest edge {guest_u}-{guest_v} has no alive host edge {host_u}-{host_v}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+/// Verifies that `map` embeds the torus over `guest` into `host` avoiding
+/// faults. `map[g]` is the host node for guest flat index `g`;
+/// `node_alive(h)` / `edge_alive(e)` report survival of host nodes/edges.
+///
+/// An edge of the guest torus is satisfied if **any** parallel alive host
+/// edge joins the two images (multigraph semantics, needed by `A^d_n`).
+pub fn verify_torus_embedding(
+    guest: &Shape,
+    map: &[usize],
+    host: &Graph,
+    node_alive: impl Fn(usize) -> bool,
+    edge_alive: impl Fn(u32) -> bool,
+) -> Result<(), EmbedError> {
+    verify_embedding_impl(guest, map, host, node_alive, edge_alive, true)
+}
+
+/// Verifies a mesh embedding (same as [`verify_torus_embedding`] but
+/// without the wraparound edges).
+pub fn verify_mesh_embedding(
+    guest: &Shape,
+    map: &[usize],
+    host: &Graph,
+    node_alive: impl Fn(usize) -> bool,
+    edge_alive: impl Fn(u32) -> bool,
+) -> Result<(), EmbedError> {
+    verify_embedding_impl(guest, map, host, node_alive, edge_alive, false)
+}
+
+fn verify_embedding_impl(
+    guest: &Shape,
+    map: &[usize],
+    host: &Graph,
+    node_alive: impl Fn(usize) -> bool,
+    edge_alive: impl Fn(u32) -> bool,
+    wrap: bool,
+) -> Result<(), EmbedError> {
+    if map.len() != guest.len() {
+        return Err(EmbedError::WrongLength {
+            expected: guest.len(),
+            actual: map.len(),
+        });
+    }
+    // Injectivity + image validity.
+    let mut owner = vec![u32::MAX; host.num_nodes()];
+    for (g, &h) in map.iter().enumerate() {
+        if h >= host.num_nodes() || !node_alive(h) {
+            return Err(EmbedError::BadImage { guest: g, host: h });
+        }
+        if owner[h] != u32::MAX {
+            return Err(EmbedError::NotInjective {
+                guest_a: owner[h] as usize,
+                guest_b: g,
+                host: h,
+            });
+        }
+        owner[h] = g as u32;
+    }
+    // Edge coverage: iterate guest edges once (v → v+1 along each axis).
+    for v in guest.iter() {
+        for axis in 0..guest.ndim() {
+            let n = guest.dim(axis);
+            if n < 2 {
+                continue;
+            }
+            let c = guest.coord_of(v, axis);
+            // step edge always; the wrap edge (c = n−1 → 0) only for the
+            // torus and only when extent > 2 (extent 2 has one edge).
+            if c + 1 >= n && !(wrap && n > 2) {
+                continue;
+            }
+            let u = guest.torus_step(v, axis, 1);
+            let (hu, hv) = (map[v], map[u]);
+            let ok = host.edges_between(hu, hv).into_iter().any(&edge_alive);
+            if !ok {
+                return Err(EmbedError::MissingEdge {
+                    guest_u: v,
+                    guest_v: u,
+                    host_u: hu,
+                    host_v: hv,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, torus};
+
+    #[test]
+    fn identity_embedding_verifies() {
+        let shape = Shape::new(vec![4, 4]);
+        let g = torus(&shape);
+        let map: Vec<usize> = (0..16).collect();
+        assert!(verify_torus_embedding(&shape, &map, &g, |_| true, |_| true).is_ok());
+        assert!(verify_mesh_embedding(&shape, &map, &g, |_| true, |_| true).is_ok());
+    }
+
+    #[test]
+    fn rotated_embedding_verifies() {
+        // Rotating the torus by one row is an automorphism.
+        let shape = Shape::new(vec![4, 4]);
+        let g = torus(&shape);
+        let map: Vec<usize> = (0..16).map(|v| shape.torus_step(v, 0, 1)).collect();
+        assert!(verify_torus_embedding(&shape, &map, &g, |_| true, |_| true).is_ok());
+    }
+
+    #[test]
+    fn faulty_image_rejected() {
+        let shape = Shape::new(vec![4, 4]);
+        let g = torus(&shape);
+        let map: Vec<usize> = (0..16).collect();
+        let err = verify_torus_embedding(&shape, &map, &g, |h| h != 5, |_| true).unwrap_err();
+        assert_eq!(err, EmbedError::BadImage { guest: 5, host: 5 });
+    }
+
+    #[test]
+    fn duplicate_image_rejected() {
+        let shape = Shape::new(vec![4, 4]);
+        let g = torus(&shape);
+        let mut map: Vec<usize> = (0..16).collect();
+        map[3] = 2;
+        let err = verify_torus_embedding(&shape, &map, &g, |_| true, |_| true).unwrap_err();
+        assert!(matches!(err, EmbedError::NotInjective { host: 2, .. }));
+    }
+
+    #[test]
+    fn faulty_edge_rejected_unless_parallel_survivor() {
+        // Host: two parallel edges between 0 and 1, plus the rest of C_3.
+        let mut b = crate::csr::GraphBuilder::new(3);
+        let e0 = b.add_edge(0, 1);
+        let _e1 = b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        let host = b.build();
+        let guest = Shape::new(vec![3]);
+        let map = vec![0, 1, 2];
+        // kill e0: parallel edge e1 still carries the guest edge 0-1
+        assert!(verify_torus_embedding(&guest, &map, &host, |_| true, |e| e != e0).is_ok());
+        // kill both parallels: fails
+        let err = verify_torus_embedding(&guest, &map, &host, |_| true, |e| e > 1).unwrap_err();
+        assert!(matches!(err, EmbedError::MissingEdge { .. }));
+    }
+
+    #[test]
+    fn mesh_embedding_ignores_wrap() {
+        // Host is a path; guest mesh L_4 embeds, torus C_4 does not.
+        let host = crate::gen::path(4);
+        let guest = Shape::new(vec![4]);
+        let map = vec![0, 1, 2, 3];
+        assert!(verify_mesh_embedding(&guest, &map, &host, |_| true, |_| true).is_ok());
+        assert!(verify_torus_embedding(&guest, &map, &host, |_| true, |_| true).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let shape = Shape::new(vec![4]);
+        let g = cycle(4);
+        let err = verify_torus_embedding(&shape, &[0, 1], &g, |_| true, |_| true).unwrap_err();
+        assert!(matches!(err, EmbedError::WrongLength { .. }));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = EmbedError::MissingEdge {
+            guest_u: 1,
+            guest_v: 2,
+            host_u: 3,
+            host_v: 4,
+        };
+        assert!(e.to_string().contains("guest edge 1-2"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Graph generators: the building blocks named in Section 2 of the paper.
+//!
+//! `C_n` (cycle), `L_n` (path), the `d`-dimensional torus and mesh as
+//! direct products, plus complete graphs and Cartesian products of
+//! arbitrary graphs (the paper's `G1 × … × Gd`).
+
+use crate::csr::{Graph, GraphBuilder};
+use ftt_geom::Shape;
+
+/// The cycle `C_n` on nodes `0..n`.
+///
+/// `C_1` has no edges; `C_2` is a single edge (we do not materialise the
+/// double edge of the multigraph convention — subgraph containment, which
+/// is all the constructions need, is unaffected).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 {
+        b.reserve_edges(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1);
+        }
+        if n > 2 {
+            b.add_edge(n - 1, 0);
+        }
+    }
+    b.build()
+}
+
+/// The path `L_n` on nodes `0..n` (the cycle minus the wrap edge).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 {
+        b.reserve_edges(n - 1);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1);
+        }
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    b.reserve_edges(n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional torus `C_{n1} × … × C_{nd}` over a [`Shape`].
+/// Node ids are the shape's row-major flat indices.
+pub fn torus(shape: &Shape) -> Graph {
+    let mut b = GraphBuilder::new(shape.len());
+    let d = shape.ndim();
+    for v in shape.iter() {
+        for axis in 0..d {
+            let n = shape.dim(axis);
+            if n < 2 {
+                continue;
+            }
+            // Add each undirected edge once, as v → v+1 along the axis;
+            // for extent 2 the "wrap" edge coincides with the step edge,
+            // so only the node at coordinate 0 adds it.
+            let c = shape.coord_of(v, axis);
+            if c + 1 < n || n > 2 {
+                b.add_edge(v, shape.torus_step(v, axis, 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional mesh `L_{n1} × … × L_{nd}` over a [`Shape`].
+pub fn mesh(shape: &Shape) -> Graph {
+    let mut b = GraphBuilder::new(shape.len());
+    for v in shape.iter() {
+        for axis in 0..shape.ndim() {
+            if let Some(u) = shape.mesh_step(v, axis, 1) {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Cartesian ("direct", in the paper's terminology) product `g × h`:
+/// nodes are pairs `(u, v)` flattened as `u * h.num_nodes() + v`; two
+/// pairs are adjacent iff equal in one coordinate and adjacent in the
+/// other.
+pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    let (ng, nh) = (g.num_nodes(), h.num_nodes());
+    let mut b = GraphBuilder::new(ng * nh);
+    b.reserve_edges(g.num_edges() * nh + h.num_edges() * ng);
+    for (_, u1, u2) in g.edges() {
+        for v in 0..nh {
+            b.add_edge(u1 * nh + v, u2 * nh + v);
+        }
+    }
+    for (_, v1, v2) in h.edges() {
+        for u in 0..ng {
+            b.add_edge(u * nh + v1, u * nh + v2);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_degrees() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!((0..6).all(|v| g.degree(v) == 2));
+        assert!(g.has_edge(5, 0));
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(cycle(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn path_degrees() {
+        let g = path(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 1);
+        assert!((1..5).all(|v| g.degree(v) == 2));
+        assert!(!g.has_edge(5, 0));
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert!((0..5).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn torus_2d_regular() {
+        let shape = Shape::new(vec![4, 5]);
+        let g = torus(&shape);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 40); // 2 * n1 * n2 for n1,n2 > 2
+        assert!((0..20).all(|v| g.degree(v) == 4));
+        // wrap edges
+        assert!(g.has_edge(shape.flatten(&[0, 0]), shape.flatten(&[3, 0])));
+        assert!(g.has_edge(shape.flatten(&[0, 0]), shape.flatten(&[0, 4])));
+    }
+
+    #[test]
+    fn torus_with_extent_two() {
+        let shape = Shape::new(vec![2, 4]);
+        let g = torus(&shape);
+        // extent-2 dimension contributes single edges (no doubles)
+        assert_eq!(g.degree(shape.flatten(&[0, 0])), 3);
+    }
+
+    #[test]
+    fn mesh_3d_corner_degree() {
+        let shape = Shape::new(vec![3, 3, 3]);
+        let g = mesh(&shape);
+        assert_eq!(g.degree(shape.flatten(&[0, 0, 0])), 3);
+        assert_eq!(g.degree(shape.flatten(&[1, 1, 1])), 6);
+        assert_eq!(g.num_edges(), 3 * (2 * 9)); // 3 axes × 2·3·3 edges
+    }
+
+    #[test]
+    fn mesh_is_subgraph_of_torus() {
+        let shape = Shape::new(vec![4, 4]);
+        let (m, t) = (mesh(&shape), torus(&shape));
+        for (_, u, v) in m.edges() {
+            assert!(t.has_edge(u, v), "mesh edge {u}-{v} missing from torus");
+        }
+    }
+
+    #[test]
+    fn product_of_cycles_is_torus() {
+        let g = cartesian_product(&cycle(4), &cycle(5));
+        let t = torus(&Shape::new(vec![4, 5]));
+        assert_eq!(g.num_nodes(), t.num_nodes());
+        assert_eq!(g.num_edges(), t.num_edges());
+        for (_, u, v) in t.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn product_of_paths_is_mesh() {
+        let g = cartesian_product(&path(3), &path(4));
+        let m = mesh(&Shape::new(vec![3, 4]));
+        assert_eq!(g.num_edges(), m.num_edges());
+        for (_, u, v) in m.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph substrate for the fault-tolerant torus constructions.
+//!
+//! Provides a compact CSR multigraph ([`Graph`]), an edge-list
+//! [`GraphBuilder`], standard generators (cycles, paths, meshes, tori,
+//! Cartesian products — the paper's "direct product"), traversal utilities
+//! and **embedding verification**: checking that a claimed mapping of the
+//! `d`-dimensional torus into a faulty host graph really is an isomorphism
+//! onto a fault-free subgraph. Every experiment in the repository
+//! ultimately ends with such a verification, so it is deliberately
+//! independent of the construction code it checks.
+
+pub mod csr;
+pub mod embed;
+pub mod gen;
+pub mod traverse;
+
+pub use csr::{Graph, GraphBuilder};
+pub use embed::{verify_mesh_embedding, verify_torus_embedding, EmbedError};
+pub use traverse::{bfs_distances, connected_components, deepest_dfs_path, Components};

@@ -1,0 +1,222 @@
+//! Traversal utilities over faulty graphs: BFS distances, connected
+//! components and DFS deepest paths, all taking an `alive` mask so the
+//! fault models can carve out the surviving subgraph without copying it.
+
+use crate::csr::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances from `src` within the subgraph induced by `alive`
+/// (`u32::MAX` = unreachable). `src` must be alive.
+pub fn bfs_distances(g: &Graph, src: usize, alive: &[bool]) -> Vec<u32> {
+    assert_eq!(alive.len(), g.num_nodes());
+    assert!(alive[src], "BFS source must be alive");
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    dist[src] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for &t in g.neighbors(v) {
+            let t = t as usize;
+            if alive[t] && dist[t] == u32::MAX {
+                dist[t] = dv + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components of the alive-induced subgraph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id of each node (`u32::MAX` for dead nodes).
+    pub comp: Vec<u32>,
+    /// Number of components among alive nodes.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Size of the largest component (0 if none).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes connected components of the subgraph induced by `alive`.
+pub fn connected_components(g: &Graph, alive: &[bool]) -> Components {
+    assert_eq!(alive.len(), g.num_nodes());
+    let mut comp = vec![u32::MAX; g.num_nodes()];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..g.num_nodes() {
+        if !alive[start] || comp[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        sizes.push(0usize);
+        comp[start] = id;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            sizes[id as usize] += 1;
+            for &t in g.neighbors(v) {
+                let t = t as usize;
+                if alive[t] && comp[t] == u32::MAX {
+                    comp[t] = id;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    Components {
+        count: sizes.len(),
+        comp,
+        sizes,
+    }
+}
+
+/// Runs an iterative DFS from `start` in the alive-induced subgraph and
+/// returns the root-to-leaf path of maximum depth in the DFS tree.
+///
+/// This is the extraction procedure for the Alon–Chung baseline: in an
+/// expander with a `c`-fraction of nodes removed, the DFS tree from any
+/// surviving node in the large component is provably deep, so the deepest
+/// root-to-leaf path is a long fault-free path.
+pub fn deepest_dfs_path(g: &Graph, start: usize, alive: &[bool]) -> Vec<usize> {
+    assert_eq!(alive.len(), g.num_nodes());
+    if !alive[start] {
+        return Vec::new();
+    }
+    let n = g.num_nodes();
+    let mut parent = vec![u32::MAX; n];
+    let mut depth = vec![0u32; n];
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    parent[start] = start as u32;
+    let mut deepest = (0u32, start);
+    // Explicit stack of (node, neighbor cursor) for an authentic DFS tree
+    // (depth = tree depth, not just visitation order).
+    let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+    while let Some(&mut (v, ref mut cur)) = stack.last_mut() {
+        let nbrs = g.neighbors(v);
+        let mut advanced = false;
+        while *cur < nbrs.len() {
+            let t = nbrs[*cur] as usize;
+            *cur += 1;
+            if alive[t] && !visited[t] {
+                visited[t] = true;
+                parent[t] = v as u32;
+                depth[t] = depth[v] + 1;
+                if depth[t] > deepest.0 {
+                    deepest = (depth[t], t);
+                }
+                stack.push((t, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            stack.pop();
+        }
+    }
+    // Reconstruct root → deepest leaf.
+    let mut path = Vec::with_capacity(deepest.0 as usize + 1);
+    let mut v = deepest.1;
+    loop {
+        path.push(v);
+        let p = parent[v] as usize;
+        if p == v {
+            break;
+        }
+        v = p;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, path, torus};
+    use ftt_geom::Shape;
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = cycle(8);
+        let alive = vec![true; 8];
+        let d = bfs_distances(&g, 0, &alive);
+        assert_eq!(d[4], 4);
+        assert_eq!(d[7], 1);
+        assert_eq!(d[0], 0);
+    }
+
+    #[test]
+    fn bfs_respects_dead_nodes() {
+        let g = cycle(8);
+        let mut alive = vec![true; 8];
+        alive[1] = false;
+        let d = bfs_distances(&g, 0, &alive);
+        assert_eq!(d[1], u32::MAX);
+        assert_eq!(d[2], 6); // must go the long way round
+    }
+
+    #[test]
+    fn components_split_by_faults() {
+        let g = cycle(8);
+        let mut alive = vec![true; 8];
+        alive[0] = false;
+        alive[4] = false;
+        let c = connected_components(&g, &alive);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.largest(), 3);
+        assert_eq!(c.comp[0], u32::MAX);
+        assert_eq!(c.comp[1], c.comp[3]);
+        assert_ne!(c.comp[3], c.comp[5]);
+    }
+
+    #[test]
+    fn components_all_alive_torus() {
+        let g = torus(&Shape::new(vec![4, 4]));
+        let alive = vec![true; 16];
+        let c = connected_components(&g, &alive);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest(), 16);
+    }
+
+    #[test]
+    fn dfs_path_on_path_graph_is_whole_path() {
+        let g = path(10);
+        let alive = vec![true; 10];
+        let p = deepest_dfs_path(&g, 0, &alive);
+        assert_eq!(p, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dfs_path_is_a_real_path() {
+        let g = torus(&Shape::new(vec![5, 5]));
+        let mut alive = vec![true; 25];
+        alive[7] = false;
+        alive[13] = false;
+        let p = deepest_dfs_path(&g, 0, &alive);
+        assert!(p.len() >= 2);
+        // consecutive nodes adjacent, no repeats, all alive
+        let mut seen = std::collections::HashSet::new();
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        for &v in &p {
+            assert!(alive[v]);
+            assert!(seen.insert(v));
+        }
+    }
+
+    #[test]
+    fn dfs_from_dead_node_is_empty() {
+        let g = cycle(4);
+        let mut alive = vec![true; 4];
+        alive[2] = false;
+        assert!(deepest_dfs_path(&g, 2, &alive).is_empty());
+    }
+}

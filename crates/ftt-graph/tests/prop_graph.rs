@@ -1,0 +1,113 @@
+//! Property-based tests for the CSR multigraph against a naive
+//! adjacency-list reference.
+
+use ftt_geom::Shape;
+use ftt_graph::{verify_torus_embedding, GraphBuilder};
+use proptest::prelude::*;
+
+/// Random edge list on up to 12 nodes (parallel edges allowed).
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..30)
+            .prop_map(move |raw| raw.into_iter().filter(|&(u, v)| u != v).collect::<Vec<_>>());
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// CSR agrees with a naive reference on degrees, neighbour
+    /// multisets and edge lookup.
+    #[test]
+    fn csr_matches_reference((n, edges) in edge_list()) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), edges.len());
+        // reference adjacency with multiplicity
+        let mut reference = vec![Vec::<usize>::new(); n];
+        for &(u, v) in &edges {
+            reference[u].push(v);
+            reference[v].push(u);
+        }
+        let mut degree_sum = 0;
+        for v in 0..n {
+            reference[v].sort_unstable();
+            let got: Vec<usize> = g.neighbors(v).iter().map(|&t| t as usize).collect();
+            prop_assert_eq!(&got, &reference[v], "adjacency of {}", v);
+            prop_assert_eq!(g.degree(v), reference[v].len());
+            degree_sum += g.degree(v);
+        }
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // edge lookup both ways
+        for u in 0..n {
+            for v in 0..n {
+                let expect = reference[u].iter().filter(|&&t| t == v).count();
+                prop_assert_eq!(g.edges_between(u, v).len(), expect);
+                prop_assert_eq!(g.has_edge(u, v), expect > 0);
+                prop_assert_eq!(g.has_edge(u, v), g.has_edge(v, u));
+            }
+        }
+    }
+
+    /// Every edge id maps back to endpoints that list it.
+    #[test]
+    fn edge_ids_consistent((n, edges) in edge_list()) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        for (e, u, v) in g.edges() {
+            prop_assert!(g.edges_between(u, v).contains(&e));
+            prop_assert!(g.edges_between(v, u).contains(&e));
+            let arcs_u: Vec<u32> = g.arcs(u).map(|(_, id)| id).collect();
+            prop_assert!(arcs_u.contains(&e));
+        }
+    }
+
+    /// Torus automorphisms (coordinate rotations) always verify as
+    /// embeddings of the torus into itself.
+    #[test]
+    fn torus_rotations_verify(
+        n1 in 3usize..6,
+        n2 in 3usize..6,
+        r1 in 0usize..6,
+        r2 in 0usize..6,
+    ) {
+        let shape = Shape::new(vec![n1, n2]);
+        let host = ftt_graph::gen::torus(&shape);
+        let map: Vec<usize> = shape
+            .iter()
+            .map(|v| {
+                let a = shape.torus_step(v, 0, (r1 % n1) as isize);
+                shape.torus_step(a, 1, (r2 % n2) as isize)
+            })
+            .collect();
+        prop_assert!(
+            verify_torus_embedding(&shape, &map, &host, |_| true, |_| true).is_ok()
+        );
+    }
+
+    /// Corrupting one entry of a valid embedding map is always detected
+    /// (as duplicate image or missing edge).
+    #[test]
+    fn corrupted_embedding_detected(
+        n in 4usize..7,
+        victim in 0usize..49,
+        target in 0usize..49,
+    ) {
+        let shape = Shape::new(vec![n, n]);
+        let host = ftt_graph::gen::torus(&shape);
+        let mut map: Vec<usize> = shape.iter().collect();
+        let victim = victim % map.len();
+        let target = target % map.len();
+        prop_assume!(map[victim] != target);
+        // moving one node somewhere else either collides or breaks an edge
+        map[victim] = target;
+        prop_assert!(
+            verify_torus_embedding(&shape, &map, &host, |_| true, |_| true).is_err()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Monte-Carlo experiment engine.
+//!
+//! The paper's theorems are probabilistic (Theorems 1–2) or adversarial
+//! (Theorem 3); the experiment harness estimates success probabilities
+//! over seeded random trials, in parallel, and renders the sweep tables
+//! that EXPERIMENTS.md records. Determinism: trial `i` of a run with
+//! master seed `s` always uses seed `splitmix(s, i)`, regardless of
+//! thread scheduling.
+
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use runner::{run_trials, TrialStats};
+pub use stats::{mean, std_dev, wilson_interval};
+pub use table::Table;

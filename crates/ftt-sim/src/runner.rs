@@ -1,0 +1,143 @@
+//! Parallel, deterministic trial running.
+//!
+//! Trials are independent; each gets a seed derived from the master
+//! seed and its index by a splitmix64 step, so results do not depend on
+//! the number of worker threads or scheduling.
+
+use crate::stats::wilson_interval;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Outcome summary of a batch of boolean trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStats {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Number of successful trials.
+    pub successes: usize,
+}
+
+impl TrialStats {
+    /// Empirical success rate.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// 95% Wilson confidence interval for the success probability.
+    pub fn confidence(&self) -> (f64, f64) {
+        wilson_interval(self.successes, self.trials)
+    }
+}
+
+/// splitmix64: derives per-trial seeds from `(master, index)`.
+pub fn trial_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `trials` boolean trials in parallel and tallies successes.
+///
+/// `trial(seed)` must be a pure function of the seed. `threads = 0`
+/// selects the available parallelism.
+pub fn run_trials<F>(trials: usize, master_seed: u64, threads: usize, trial: F) -> TrialStats
+where
+    F: Fn(u64) -> bool + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(trials.max(1));
+    let next = AtomicUsize::new(0);
+    let successes = Mutex::new(0usize);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut local = 0usize;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    if trial(trial_seed(master_seed, i as u64)) {
+                        local += 1;
+                    }
+                }
+                *successes.lock() += local;
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    TrialStats {
+        trials,
+        successes: successes.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_success() {
+        let s = run_trials(100, 1, 4, |_| true);
+        assert_eq!(s.successes, 100);
+        assert_eq!(s.rate(), 1.0);
+    }
+
+    #[test]
+    fn all_failure() {
+        let s = run_trials(50, 1, 4, |_| false);
+        assert_eq!(s.successes, 0);
+        assert_eq!(s.rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let f = |seed: u64| seed.is_multiple_of(3);
+        let a = run_trials(1000, 42, 1, f);
+        let b = run_trials(1000, 42, 8, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(trial_seed(7, i)), "seed collision at {i}");
+        }
+    }
+
+    #[test]
+    fn rate_roughly_matches_bernoulli() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let s = run_trials(2000, 3, 0, |seed| {
+            SmallRng::seed_from_u64(seed).gen_bool(0.3)
+        });
+        assert!((s.rate() - 0.3).abs() < 0.05, "rate {}", s.rate());
+    }
+
+    #[test]
+    fn confidence_brackets_rate() {
+        let s = run_trials(500, 9, 0, |seed| seed % 2 == 0);
+        let (lo, hi) = s.confidence();
+        assert!(lo <= s.rate() && s.rate() <= hi);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let s = run_trials(0, 1, 4, |_| true);
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.rate(), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Summary statistics for experiment outputs.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence
+/// (`z = 1.96`). Returns `(low, high)`; degenerates gracefully for
+/// `trials == 0`.
+pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((centre - half) / denom).max(0.0),
+        ((centre + half) / denom).min(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(80, 100);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!(lo > 0.7 && hi < 0.88);
+    }
+
+    #[test]
+    fn wilson_edge_cases() {
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 50);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.10);
+        let (lo, hi) = wilson_interval(50, 50);
+        assert!(lo > 0.9);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_trials() {
+        let (l1, h1) = wilson_interval(5, 10);
+        let (l2, h2) = wilson_interval(500, 1000);
+        assert!(h2 - l2 < h1 - l1);
+    }
+}

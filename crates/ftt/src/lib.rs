@@ -1,0 +1,50 @@
+//! # ftt — Fault-Tolerant Torus constructions
+//!
+//! A faithful, executable reproduction of
+//! *"Construction of the Mesh and the Torus Tolerating a Large Number of
+//! Faults"* (Hisao Tamaki, SPAA'94 / JCSS 53:371–379, 1996).
+//!
+//! The paper builds redundant host networks that still contain a
+//! fault-free `d`-dimensional torus (and hence mesh) after faults:
+//!
+//! | Theorem | Construction | Degree | Tolerates |
+//! |---------|--------------|--------|-----------|
+//! | 2 | [`Bdn`](core::bdn::Bdn) | `6d−2` | random faults, probability `log^{−3d} n` |
+//! | 1 | [`Adn`](core::adn::Adn) | `O(log log n)` | constant node **and** edge failure probability |
+//! | 3 | [`Ddn`](core::ddn::Ddn) | `4d` | any `k ≤ n^{1−2^{−d}}` worst-case faults |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ftt::core::bdn::{Bdn, BdnParams};
+//! use ftt::core::bdn::extract::extract_after_faults;
+//!
+//! // Theorem 2 instance: d = 2, side ≥ 54 with b = 3.
+//! let params = BdnParams::fit(2, 54, 3, 1).unwrap();
+//! let host = Bdn::build(params);
+//! assert_eq!(host.graph().max_degree(), 6 * 2 - 2);
+//!
+//! // Knock out a node, then extract a fault-free 54×54 torus.
+//! let mut faulty = vec![false; host.num_nodes()];
+//! faulty[host.cols().node(17, 23)] = true;
+//! let embedding = extract_after_faults(&host, &faulty).unwrap();
+//! assert_eq!(embedding.len(), params.n * params.n);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`geom`] — cyclic arithmetic, shapes, tiles, frames
+//! * [`graph`] — CSR multigraphs, generators, embedding verification
+//! * [`faults`] — random/adversarial fault models (incl. half-edges)
+//! * [`core`] — the paper's three constructions and band machinery
+//! * [`expander`] — Margulis expanders, spectral gap (Alon–Chung substrate)
+//! * [`baselines`] — Alon–Chung, FKP-style clusters, BCH analytic models
+//! * [`sim`] — parallel Monte-Carlo trial running and tables
+
+pub use ftt_baselines as baselines;
+pub use ftt_core as core;
+pub use ftt_expander as expander;
+pub use ftt_faults as faults;
+pub use ftt_geom as geom;
+pub use ftt_graph as graph;
+pub use ftt_sim as sim;

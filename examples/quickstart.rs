@@ -1,0 +1,103 @@
+//! Quickstart: build each of the paper's three constructions, inject
+//! faults, and extract a fault-free torus.
+//!
+//! Run with `cargo run --release -p ftt --example quickstart`.
+
+use ftt::core::adn::embed::extract_after_faults_adn;
+use ftt::core::adn::{Adn, AdnParams};
+use ftt::core::bdn::extract::extract_after_faults;
+use ftt::core::bdn::{Bdn, BdnParams};
+use ftt::core::ddn::{Ddn, DdnParams};
+use ftt::faults::{sample_bernoulli_faults, AdversaryPattern, HalfEdgeFaults};
+use ftt::graph::verify_torus_embedding;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+
+    // ── Theorem 2: B²_n, constant degree 10 ─────────────────────────────
+    let params = BdnParams::fit(2, 54, 3, 1).expect("valid B²_n instance");
+    let bdn = Bdn::build(params);
+    println!(
+        "B²_{}: {} nodes (redundancy {:.2}), degree {} (= 6d−2), tolerates p ≤ {:.1e}",
+        params.n,
+        bdn.num_nodes(),
+        params.redundancy(),
+        bdn.graph().max_degree(),
+        params.tolerated_fault_probability(),
+    );
+    let p = params.tolerated_fault_probability();
+    let faults = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+    let faulty: Vec<bool> = (0..bdn.num_nodes())
+        .map(|v| faults.node_faulty(v))
+        .collect();
+    match extract_after_faults(&bdn, &faulty) {
+        Ok(emb) => {
+            verify_torus_embedding(&emb.guest, &emb.map, bdn.graph(), |v| !faulty[v], |_| true)
+                .expect("verified");
+            println!(
+                "  {} random faults → fault-free {}×{} torus extracted and verified ✓",
+                faults.count_node_faults(),
+                params.n,
+                params.n
+            );
+        }
+        Err(e) => println!("  extraction failed (unhealthy instance): {e}"),
+    }
+
+    // ── Theorem 1: A²_n, degree O(log log n) ───────────────────────────
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let aparams = AdnParams::new(inner, 2, 10, 5e-4).expect("valid A²_n instance");
+    let adn = Adn::build(aparams);
+    println!(
+        "A²_{}: {} nodes (c = {:.2}), degree {}, constant fault probabilities p, q",
+        aparams.n(),
+        adn.num_nodes(),
+        aparams.redundancy(),
+        adn.graph().max_degree(),
+    );
+    let q = aparams.sqrt_q * aparams.sqrt_q;
+    let node_faults = sample_bernoulli_faults(adn.graph(), 0.02, 0.0, &mut rng);
+    let node_faulty: Vec<bool> = (0..adn.num_nodes())
+        .map(|v| node_faults.node_faulty(v))
+        .collect();
+    let halves = HalfEdgeFaults::sample(adn.graph(), aparams.sqrt_q, &mut rng);
+    match extract_after_faults_adn(&adn, &node_faulty, &halves) {
+        Ok(emb) => {
+            verify_torus_embedding(
+                &emb.guest,
+                &emb.map,
+                adn.graph(),
+                |v| !node_faulty[v],
+                |e| !halves.edge_faulty(e),
+            )
+            .expect("verified");
+            println!(
+                "  p = 0.02, q = {q:.1e} → fault-free {0}×{0} torus extracted and verified ✓",
+                aparams.n()
+            );
+        }
+        Err(e) => println!("  extraction failed: {e}"),
+    }
+
+    // ── Theorem 3: D²_{n,k}, worst-case faults ─────────────────────────
+    let dparams = DdnParams::fit(2, 60, 2).expect("valid D² instance");
+    let ddn = Ddn::new(dparams);
+    let k = dparams.tolerated_faults();
+    println!(
+        "D²_{{{}, {k}}}: {} nodes, degree {} (= 4d), tolerates ANY {k} faults",
+        dparams.n,
+        dparams.num_nodes(),
+        dparams.expected_degree(),
+    );
+    let faults = AdversaryPattern::ClusteredCube.generate(ddn.shape(), k, &mut rng);
+    let emb = ddn
+        .try_extract(&faults)
+        .expect("Theorem 3 guarantees success");
+    println!(
+        "  {k} clustered adversarial faults → {n}×{n} torus extracted ✓ ({len} guest nodes)",
+        n = dparams.n,
+        len = emb.len()
+    );
+}

@@ -1,0 +1,72 @@
+//! Theorem 1's supernode network under constant fault probabilities:
+//! builds `A²_n`, samples node and (half-)edge faults, reports goodness
+//! statistics, and extracts the guest torus.
+//!
+//! Run with `cargo run --release -p ftt --example supernode_network`.
+
+use ftt::core::adn::goodness::classify;
+use ftt::core::adn::{embed_torus, Adn, AdnParams};
+use ftt::core::bdn::BdnParams;
+use ftt::faults::{sample_bernoulli_faults, HalfEdgeFaults};
+use ftt::graph::verify_torus_embedding;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let inner = BdnParams::new(2, 54, 3, 1).expect("inner B²_54");
+    let sqrt_q = 5e-4f64;
+    let params = AdnParams::new(inner, 2, 12, sqrt_q).expect("valid A²_n");
+    let adn = Adn::build(params);
+    println!(
+        "A²_{}: {} supernodes of size h = {}, {} nodes, {} edges, degree {}",
+        params.n(),
+        params.num_supernodes(),
+        params.h,
+        adn.num_nodes(),
+        adn.graph().num_edges(),
+        adn.graph().max_degree(),
+    );
+    println!(
+        "thresholds: good node ≤ {} bad halves per direction; good supernode ≥ {} good nodes\n",
+        params.max_bad_halves(),
+        params.min_good_nodes()
+    );
+
+    // Finite-size regime: with h = 12 the per-direction half-edge budget
+    // ⌊2√q·h⌋ is 0, so q must be tiny for most nodes to stay good; the
+    // theorem absorbs constant q only as h = Θ(log log n) grows.
+    let p = 0.02f64;
+    let q = sqrt_q * sqrt_q;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let node_faults = sample_bernoulli_faults(adn.graph(), p, 0.0, &mut rng);
+    let node_faulty: Vec<bool> = (0..adn.num_nodes())
+        .map(|v| node_faults.node_faulty(v))
+        .collect();
+    let halves = HalfEdgeFaults::sample(adn.graph(), sqrt_q, &mut rng);
+
+    let goodness = classify(&adn, &node_faulty, &halves);
+    println!(
+        "p = {p}, q = {q:.4}: {:.1}% of nodes good, {} of {} supernodes bad",
+        100.0 * goodness.good_node_fraction(),
+        goodness.bad_supernodes(),
+        params.num_supernodes()
+    );
+
+    match embed_torus(&adn, &goodness, &halves) {
+        Ok(emb) => {
+            verify_torus_embedding(
+                &emb.guest,
+                &emb.map,
+                adn.graph(),
+                |v| !node_faulty[v],
+                |e| !halves.edge_faulty(e),
+            )
+            .expect("verified");
+            println!(
+                "→ fault-free {0}×{0} torus embedded and verified ✓",
+                params.n()
+            );
+        }
+        Err(e) => println!("→ extraction failed: {e}"),
+    }
+}

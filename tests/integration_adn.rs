@@ -1,0 +1,119 @@
+//! Integration: Theorem 1 — constant fault probabilities `p` and `q`,
+//! goodness classification, two-level extraction, independent
+//! verification.
+
+use ftt::core::adn::embed::extract_after_faults_adn;
+use ftt::core::adn::goodness::classify;
+use ftt::core::adn::{Adn, AdnParams};
+use ftt::core::bdn::BdnParams;
+use ftt::faults::{sample_bernoulli_faults, HalfEdgeFaults};
+use ftt::graph::verify_torus_embedding;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build(h: usize, sqrt_q: f64) -> Adn {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    Adn::build(AdnParams::new(inner, 2, h, sqrt_q).unwrap())
+}
+
+fn run_trial(adn: &Adn, p: f64, sqrt_q: f64, seed: u64) -> bool {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nf = sample_bernoulli_faults(adn.graph(), p, 0.0, &mut rng);
+    let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+    let halves = HalfEdgeFaults::sample(adn.graph(), sqrt_q, &mut rng);
+    match extract_after_faults_adn(adn, &faulty, &halves) {
+        Ok(emb) => {
+            verify_torus_embedding(
+                &emb.guest,
+                &emb.map,
+                adn.graph(),
+                |v| !faulty[v],
+                |e| !halves.edge_faulty(e),
+            )
+            .expect("claimed success must verify");
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+#[test]
+fn constant_node_fault_probability() {
+    // p = 0.1, q = 0 with h = 10: supernodes have huge goodness margins,
+    // so extraction should succeed consistently.
+    let adn = build(10, 0.0);
+    let mut ok = 0;
+    for seed in 0..5 {
+        if run_trial(&adn, 0.10, 0.0, seed) {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 4, "only {ok}/5 trials succeeded at p = 0.1");
+}
+
+#[test]
+fn node_and_edge_faults_together() {
+    // Finite-size note: with h = 10 the goodness budget ⌊2√q·h⌋ is 0, so
+    // √q must be small enough that most nodes see no faulty half at all
+    // (the theorem takes h = Θ(log log n) → ∞ to absorb constant q; see
+    // EXPERIMENTS.md). √q = 5·10⁻⁴ keeps the expected bad-supernode
+    // count well below 1.
+    let sqrt_q = 5e-4;
+    let adn = build(10, sqrt_q);
+    let mut ok = 0;
+    for seed in 10..14 {
+        if run_trial(&adn, 0.02, sqrt_q, seed) {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 3, "only {ok}/4 trials succeeded with edge faults");
+}
+
+#[test]
+fn goodness_monotone_in_p() {
+    let adn = build(8, 0.0);
+    let mut rng = SmallRng::seed_from_u64(77);
+    let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+    let mut fractions = Vec::new();
+    for p in [0.0, 0.2, 0.5] {
+        let nf = sample_bernoulli_faults(adn.graph(), p, 0.0, &mut rng);
+        let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+        let g = classify(&adn, &faulty, &halves);
+        fractions.push(g.good_node_fraction());
+    }
+    assert!(fractions[0] > fractions[1] && fractions[1] > fractions[2]);
+    assert_eq!(fractions[0], 1.0);
+}
+
+#[test]
+fn degree_is_loglog_scale() {
+    // Degree = 11h − 1 where h = Θ(k²) = Θ(log log n): for the claim we
+    // check degree tracks h, not n — doubling the inner torus size at
+    // fixed h leaves the degree unchanged.
+    let inner_small = BdnParams::new(2, 54, 3, 1).unwrap();
+    let inner_large = BdnParams::new(2, 108, 3, 1).unwrap();
+    let a_small = Adn::build(AdnParams::new(inner_small, 2, 8, 0.0).unwrap());
+    let a_large = Adn::build(AdnParams::new(inner_large, 2, 8, 0.0).unwrap());
+    assert_eq!(
+        a_small.graph().max_degree(),
+        a_large.graph().max_degree(),
+        "degree must depend on h only"
+    );
+    assert!(a_large.num_nodes() > 3 * a_small.num_nodes());
+}
+
+#[test]
+fn too_aggressive_faults_fail_gracefully() {
+    // p = 0.9 kills most supernodes: must error, not panic.
+    let adn = build(8, 0.0);
+    let mut rng = SmallRng::seed_from_u64(123);
+    let nf = sample_bernoulli_faults(adn.graph(), 0.9, 0.0, &mut rng);
+    let faulty: Vec<bool> = (0..adn.num_nodes()).map(|v| nf.node_faulty(v)).collect();
+    let halves = HalfEdgeFaults::none(adn.graph().num_edges());
+    let err = extract_after_faults_adn(&adn, &faulty, &halves).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("supernode") || msg.contains("frame") || msg.contains("segment"),
+        "unexpected error: {msg}"
+    );
+}

@@ -1,0 +1,129 @@
+//! Integration: the baseline constructions behave as the paper's
+//! comparisons assume.
+
+use ftt::baselines::alon_chung::{AlonChungMesh, AlonChungPath};
+use ftt::baselines::fkp::FkpCluster;
+use ftt::baselines::models;
+use ftt::baselines::naive::{naive_survival_probability, naive_survives};
+use ftt::expander::{margulis_expander, second_eigenvalue};
+use ftt::geom::Shape;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn alon_chung_path_beats_naive_under_faults() {
+    let n = 40usize;
+    let ac = AlonChungPath::build(n, 8.0);
+    let shape = Shape::new(vec![n]);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut ac_wins = 0;
+    let trials = 10;
+    for _ in 0..trials {
+        let alive_ac: Vec<bool> = (0..ac.graph().num_nodes())
+            .map(|_| !rng.gen_bool(0.15))
+            .collect();
+        let naive_faults: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.15)).collect();
+        let ac_ok = ac.survives(&alive_ac);
+        let naive_ok = naive_survives(&shape, &naive_faults);
+        if ac_ok && !naive_ok {
+            ac_wins += 1;
+        }
+        assert!(
+            ac_ok,
+            "expander path should survive 15% faults at 8× redundancy"
+        );
+    }
+    assert!(ac_wins >= trials / 2, "redundancy must pay off");
+}
+
+#[test]
+fn alon_chung_mesh_tolerates_supernode_faults() {
+    let ac = AlonChungMesh::build(10, 2, 8.0);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut ok = 0;
+    for _ in 0..5 {
+        let mut faulty = vec![false; ac.num_nodes()];
+        // kill 10 random nodes (up to 10 supernodes die)
+        for _ in 0..10 {
+            faulty[rng.gen_range(0..ac.num_nodes())] = true;
+        }
+        if let Some(map) = ac.embed_mesh(&faulty) {
+            let mut seen = std::collections::HashSet::new();
+            for &v in &map {
+                assert!(!faulty[v]);
+                assert!(seen.insert(v));
+            }
+            ok += 1;
+        }
+    }
+    assert!(ok >= 4, "only {ok}/5 mesh embeddings succeeded");
+}
+
+#[test]
+fn fkp_reliability_grows_with_cluster_size_but_so_does_degree() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let p = 0.25;
+    let sizes = [2usize, 4, 6];
+    let mut rates = Vec::new();
+    let mut degrees = Vec::new();
+    for c in sizes {
+        let f = FkpCluster::build(6, 2, c);
+        degrees.push(f.degree());
+        let mut ok = 0;
+        for _ in 0..15 {
+            if f.survives_random(p, 0.0, &mut rng) {
+                ok += 1;
+            }
+        }
+        rates.push(ok);
+    }
+    assert!(
+        rates[2] >= rates[0],
+        "reliability should not decrease: {rates:?}"
+    );
+    assert!(
+        degrees.windows(2).all(|w| w[0] < w[1]),
+        "degree grows: {degrees:?}"
+    );
+    assert!(rates[2] >= 13, "cluster 6 at p=0.25 nearly always survives");
+}
+
+#[test]
+fn margulis_is_a_genuine_expander() {
+    let g = margulis_expander(20);
+    let l = second_eigenvalue(&g, 150);
+    assert!(l < 7.3, "Margulis bound λ ≤ 5√2 violated: {l}");
+}
+
+#[test]
+fn naive_probability_matches_simulation() {
+    let shape = Shape::cube(8, 2);
+    let p = 0.01;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let trials = 3000;
+    let mut ok = 0;
+    for _ in 0..trials {
+        let faults: Vec<bool> = (0..shape.len()).map(|_| rng.gen_bool(p)).collect();
+        if naive_survives(&shape, &faults) {
+            ok += 1;
+        }
+    }
+    let rate = ok as f64 / trials as f64;
+    let expect = naive_survival_probability(shape.len(), p);
+    assert!(
+        (rate - expect).abs() < 0.05,
+        "rate {rate} vs analytic {expect}"
+    );
+}
+
+#[test]
+fn crossover_table_shape() {
+    // the paper's prose: BCH wins for small k, Theorem 13 for large k
+    let n = 512usize;
+    let small_k = 4usize;
+    let large_k = 200usize;
+    assert!(models::bch_nodes(n, small_k) < models::tamaki_d2_nodes(n, small_k));
+    assert!(models::bch_nodes(n, large_k) > models::tamaki_d2_nodes(n, large_k));
+    // and at linear redundancy: O(n^{2/3}) vs O(n^{3/4})
+    assert!(models::tamaki_d2_max_k_linear(10_000, 2.0) > models::bch_max_k_linear(10_000, 2.0));
+}

@@ -1,0 +1,128 @@
+//! Integration: Theorem 2 end-to-end across crates — random faults at
+//! the theorem's probability, placement, extraction, and independent
+//! verification against the host graph.
+
+use ftt::core::bdn::extract::extract_after_faults;
+use ftt::core::bdn::{check_health, Bdn, BdnParams};
+use ftt::faults::sample_bernoulli_faults;
+use ftt::graph::{verify_mesh_embedding, verify_torus_embedding};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn faulty_bitmap(bdn: &Bdn, p: f64, seed: u64) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+    (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect()
+}
+
+#[test]
+fn theorem2_structure_claims() {
+    for (d, nmin, b) in [(2usize, 54usize, 3usize), (2, 192, 4), (3, 54, 3)] {
+        let p = BdnParams::fit(d, nmin, b, 1).unwrap();
+        let bdn = Bdn::build(p);
+        // degree exactly 6d−2
+        assert_eq!(bdn.graph().max_degree(), 6 * d - 2);
+        assert_eq!(bdn.graph().min_degree(), 6 * d - 2);
+        // node count (1+ε)·n^d with ε = ε_b/(b−ε_b) < 1 (paper: ε < 1/2
+        // asymptotically; our smallest instances use ε ≤ 1/2)
+        let eps = p.redundancy() - 1.0;
+        assert!(eps <= 0.51, "ε = {eps}");
+        assert_eq!(bdn.num_nodes(), p.num_nodes());
+    }
+}
+
+#[test]
+fn theorem2_random_faults_moderate_regime() {
+    // Finite-size calibration: the theorem's p = b^{−3d} presumes
+    // b = log n; our b = 4 < log 192 ≈ 7.6 instance has a 16×12 tile
+    // grid with radius-1 frames only, so the *measured* tolerance curve
+    // (experiment T2-SUCCESS) is charted against p rather than assumed.
+    // Here we pin a regime with ~2 expected faults where success must
+    // dominate.
+    let params = BdnParams::new(2, 192, 4, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let p = 4e-5;
+    let mut extracted = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let faulty = faulty_bitmap(&bdn, p, seed);
+        if let Ok(emb) = extract_after_faults(&bdn, &faulty) {
+            verify_torus_embedding(&emb.guest, &emb.map, bdn.graph(), |v| !faulty[v], |_| true)
+                .expect("claimed success must verify");
+            extracted += 1;
+        }
+    }
+    assert!(
+        extracted >= trials * 6 / 10,
+        "only {extracted}/{trials} extracted"
+    );
+}
+
+#[test]
+fn healthy_implies_extractable() {
+    let params = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(params);
+    // sweep probabilities above the design point; whenever the checker
+    // says healthy, extraction must succeed (Lemma 5)
+    let mut healthy_seen = 0;
+    for seed in 0..30u64 {
+        let faulty = faulty_bitmap(&bdn, 3e-4, seed);
+        let health = check_health(&params, &faulty);
+        if health.is_healthy() {
+            healthy_seen += 1;
+            extract_after_faults(&bdn, &faulty).unwrap_or_else(|e| {
+                panic!("healthy instance failed extraction (seed {seed}): {e}")
+            });
+        }
+    }
+    assert!(
+        healthy_seen >= 5,
+        "sweep produced too few healthy instances"
+    );
+}
+
+#[test]
+fn mesh_claim_follows() {
+    // "and hence a fault-free d-dimensional mesh of the same size"
+    let params = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let faulty = faulty_bitmap(&bdn, 2e-4, 1);
+    if let Ok(emb) = extract_after_faults(&bdn, &faulty) {
+        verify_mesh_embedding(&emb.guest, &emb.map, bdn.graph(), |v| !faulty[v], |_| true)
+            .expect("mesh embedding");
+    }
+}
+
+#[test]
+fn edge_faults_via_endpoint_ascription() {
+    // Section 3: an edge fault is handled by treating one endpoint as
+    // faulty; the resulting torus avoids that endpoint and hence the edge.
+    let params = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let faults = sample_bernoulli_faults(bdn.graph(), 0.0, 1e-4, &mut rng);
+    let ascribed = faults.ascribe_edges_to_nodes(|e| bdn.graph().edge_endpoints(e));
+    let faulty: Vec<bool> = (0..bdn.num_nodes())
+        .map(|v| ascribed.node_faulty(v))
+        .collect();
+    if let Ok(emb) = extract_after_faults(&bdn, &faulty) {
+        // verify against the *edge* faults: no used edge may be faulty
+        verify_torus_embedding(
+            &emb.guest,
+            &emb.map,
+            bdn.graph(),
+            |v| !faulty[v],
+            |e| faults.edge_alive(e),
+        )
+        .expect("edge-fault-avoiding embedding");
+    }
+}
+
+#[test]
+fn zero_probability_always_succeeds() {
+    let params = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let faulty = vec![false; bdn.num_nodes()];
+    let emb = extract_after_faults(&bdn, &faulty).unwrap();
+    assert_eq!(emb.len(), 54 * 54);
+}

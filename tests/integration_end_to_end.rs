@@ -1,0 +1,95 @@
+//! Integration: cross-construction comparisons — the degree/redundancy/
+//! tolerance trade-off table of the whole paper, executed.
+
+use ftt::core::adn::{Adn, AdnParams};
+use ftt::core::bdn::{Bdn, BdnParams};
+use ftt::core::ddn::{Ddn, DdnParams};
+use ftt::faults::sample_bernoulli_faults;
+use ftt::sim::{run_trials, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn the_paper_in_one_table() {
+    // One row per construction: degree, node count, fault regime.
+    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(bp);
+    let ap = AdnParams::new(bp, 2, 8, 0.0).unwrap();
+    let adn = Adn::build(ap);
+    let dp = DdnParams::fit(2, 54, 2).unwrap();
+    let _ddn = Ddn::new(dp);
+
+    let mut t = Table::new("constructions", &["name", "degree", "nodes", "guest"]);
+    t.row(vec![
+        "B²_n (Thm 2)".into(),
+        bdn.graph().max_degree().to_string(),
+        bdn.num_nodes().to_string(),
+        format!("{0}×{0}", bp.n),
+    ]);
+    t.row(vec![
+        "A²_n (Thm 1)".into(),
+        adn.graph().max_degree().to_string(),
+        adn.num_nodes().to_string(),
+        format!("{0}×{0}", ap.n()),
+    ]);
+    t.row(vec![
+        "D²_{n,k} (Thm 3)".into(),
+        dp.expected_degree().to_string(),
+        dp.num_nodes().to_string(),
+        format!("{0}×{0}", dp.n),
+    ]);
+    let rendered = t.render();
+    assert!(rendered.contains("B²_n"));
+    assert_eq!(t.len(), 3);
+
+    // the degree ordering the paper advertises: 4d < 6d−2 < O(log log n)
+    assert!(dp.expected_degree() < bdn.graph().max_degree());
+    assert!(bdn.graph().max_degree() < adn.graph().max_degree());
+}
+
+#[test]
+fn redundancy_is_linear_everywhere() {
+    // All three constructions promise O(N) nodes for an N-node guest.
+    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    assert!(bp.redundancy() < 2.0);
+    let ap = AdnParams::new(bp, 2, 8, 0.0).unwrap();
+    assert!(ap.redundancy() < 4.0);
+    let dp = DdnParams::fit(2, 54, 2).unwrap();
+    let dn = dp.num_nodes() as f64 / (dp.n as f64 * dp.n as f64);
+    assert!(dn < 2.0, "D² redundancy {dn}");
+}
+
+#[test]
+fn parallel_monte_carlo_agrees_with_serial() {
+    // the sim engine must give identical results independent of thread
+    // count when driving a real construction
+    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(bp);
+    let p = 2e-4;
+    let trial = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+        let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
+        ftt::core::bdn::extract::extract_after_faults(&bdn, &faulty).is_ok()
+    };
+    let serial = run_trials(8, 99, 1, trial);
+    let parallel = run_trials(8, 99, 4, trial);
+    assert_eq!(serial, parallel);
+    assert!(serial.rate() > 0.5);
+}
+
+#[test]
+fn guest_node_ids_are_consistent_across_constructions() {
+    // Bdn and Ddn both emit TorusEmbedding over Shape::cube(n, d) with
+    // row-major guest ids; spot-check the convention agrees.
+    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(bp);
+    let faulty = vec![false; bdn.num_nodes()];
+    let be = ftt::core::bdn::extract::extract_after_faults(&bdn, &faulty).unwrap();
+    assert_eq!(be.guest.dims(), &[54, 54]);
+
+    let dp = DdnParams::fit(2, 54, 2).unwrap();
+    let ddn = Ddn::new(dp);
+    let de = ddn.try_extract(&[]).unwrap();
+    assert_eq!(de.guest.ndim(), 2);
+}
