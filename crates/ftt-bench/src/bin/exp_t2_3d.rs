@@ -9,9 +9,7 @@
 
 use ftt_bench::bdn_trial;
 use ftt_core::bdn::{Bdn, BdnParams};
-use ftt_sim::runner::trial_seed;
-use ftt_sim::Table;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use ftt_sim::{run_multi_trials, Table};
 
 fn main() {
     let params = BdnParams::fit(3, 50, 3, 1).expect("valid B³ instance");
@@ -27,41 +25,21 @@ fn main() {
     assert_eq!(bdn.graph().min_degree(), 16);
 
     let trials = 24usize;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
     let mut table = Table::new(
         "T2-3D: B³_54 under random node faults (236k nodes)",
         &["p", "E[faults]", "P(healthy)", "P(placed)", "P(verified)"],
     );
     for p in [1e-6f64, 4e-6, 1e-5, 4e-5, 1e-4] {
-        let healthy = AtomicUsize::new(0);
-        let placed = AtomicUsize::new(0);
-        let verified = AtomicUsize::new(0);
-        let next = AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.min(trials) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trials {
-                        break;
-                    }
-                    let (h, pl, v) = bdn_trial(&bdn, p, trial_seed(5, i as u64));
-                    healthy.fetch_add(h as usize, Ordering::Relaxed);
-                    placed.fetch_add(pl as usize, Ordering::Relaxed);
-                    verified.fetch_add(v as usize, Ordering::Relaxed);
-                });
-            }
-        })
-        .expect("worker panicked");
-        let frac =
-            |x: &AtomicUsize| format!("{:.2}", x.load(Ordering::Relaxed) as f64 / trials as f64);
+        let [healthy, placed, verified] = run_multi_trials(trials, 5, 0, |seed| {
+            let (h, pl, v) = bdn_trial(&bdn, p, seed);
+            [h, pl, v]
+        });
         table.row(vec![
             format!("{p:.0e}"),
             format!("{:.1}", p * bdn.num_nodes() as f64),
-            frac(&healthy),
-            frac(&placed),
-            frac(&verified),
+            format!("{:.2}", healthy.rate()),
+            format!("{:.2}", placed.rate()),
+            format!("{:.2}", verified.rate()),
         ]);
     }
     println!("{table}");

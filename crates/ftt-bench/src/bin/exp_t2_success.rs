@@ -9,14 +9,20 @@
 //! (`b < log n`, so the design point is optimistic) degrade as `p`
 //! grows — who wins and where the knee sits is the reproducible shape.
 //!
+//! Extraction and verification dispatch through the
+//! [`HostConstruction`] trait (`ftt_sim::extract_verified`); all three
+//! columns are filled by a single sample→place→extract→verify pass per
+//! seed.
+//!
 //! Run: `cargo run --release -p ftt-bench --bin exp_t2_success`
 
 use ftt_bench::{bdn_sweep_2d, bdn_trial};
-use ftt_core::bdn::Bdn;
-use ftt_sim::{run_trials, Table};
+use ftt_core::construct::HostConstruction;
+use ftt_core::Bdn;
+use ftt_sim::{run_multi_trials, Table};
 
 fn main() {
-    let trials = 60;
+    let trials = 60usize;
     let mut table = Table::new(
         "T2-SUCCESS: B²_n under random node faults",
         &[
@@ -30,13 +36,14 @@ fn main() {
         ],
     );
     for params in bdn_sweep_2d() {
-        let bdn = Bdn::build(params);
+        let bdn = <Bdn as HostConstruction>::build(params);
         let p_design = params.tolerated_fault_probability();
         for mult in [0.05, 0.2, 1.0, 4.0] {
             let p = p_design * mult;
-            let healthy = run_trials(trials, 11, 0, |seed| bdn_trial(&bdn, p, seed).0);
-            let placed = run_trials(trials, 11, 0, |seed| bdn_trial(&bdn, p, seed).1);
-            let verified = run_trials(trials, 11, 0, |seed| bdn_trial(&bdn, p, seed).2);
+            let [healthy, placed, verified] = run_multi_trials(trials, 11, 0, |seed| {
+                let (h, pl, v) = bdn_trial(&bdn, p, seed);
+                [h, pl, v]
+            });
             table.row(vec![
                 params.n.to_string(),
                 params.b.to_string(),

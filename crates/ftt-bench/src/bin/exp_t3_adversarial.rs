@@ -5,13 +5,29 @@
 //! bound locates the empirical breaking point of the pigeonhole
 //! placement.
 //!
+//! All trials dispatch through the [`HostConstruction`] trait via
+//! [`run_extraction_trials`], so every success is an extracted **and
+//! verified** fault-free torus.
+//!
 //! Run: `cargo run --release -p ftt-bench --bin exp_t3_adversarial`
 
+use ftt_core::construct::HostConstruction;
 use ftt_core::ddn::{Ddn, DdnParams};
 use ftt_faults::AdversaryPattern;
-use ftt_sim::{run_trials, Table};
+use ftt_sim::{node_list_sampler, run_extraction_trials, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Sampler placing `k` faults from `pattern` (seeded per trial).
+fn adversary_sampler(
+    pattern: AdversaryPattern,
+    k: usize,
+) -> impl Fn(&Ddn, u64) -> ftt_faults::FaultSet + Sync {
+    node_list_sampler(move |host: &Ddn, seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        pattern.generate(host.shape(), k, &mut rng)
+    })
+}
 
 fn main() {
     let trials = 40;
@@ -26,14 +42,10 @@ fn main() {
         &["d", "n", "k", "pattern", "success"],
     );
     for params in instances {
-        let ddn = Ddn::new(params);
+        let ddn = <Ddn as HostConstruction>::build(params);
         let k = params.tolerated_faults();
         for pat in AdversaryPattern::battery(ddn.shape(), params.band_width(0) + 1) {
-            let stats = run_trials(trials, 3, 0, |seed| {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let faults = pat.generate(ddn.shape(), k, &mut rng);
-                ddn.try_extract(&faults).is_ok()
-            });
+            let stats = run_extraction_trials(&ddn, trials, 3, 0, adversary_sampler(pat, k));
             assert_eq!(
                 stats.successes, trials,
                 "Theorem 3 violated: {pat:?} on d={}, k={k}",
@@ -51,7 +63,7 @@ fn main() {
     println!("{table}");
 
     let params = DdnParams::fit(2, 40, 2).unwrap();
-    let ddn = Ddn::new(params);
+    let ddn = <Ddn as HostConstruction>::build(params);
     let k = params.tolerated_faults();
     let mut over = Table::new(
         "T3-ADVERSARIAL: beyond the bound (d=2, random + residue-spread)",
@@ -59,20 +71,26 @@ fn main() {
     );
     for mult in [1usize, 2, 4, 8, 16, 32] {
         let kk = (k * mult).min(ddn.shape().len() / 2);
-        let rnd = run_trials(trials, 5, 0, |seed| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let f = AdversaryPattern::Random.generate(ddn.shape(), kk, &mut rng);
-            ddn.try_extract(&f).is_ok()
-        });
-        let spread = run_trials(trials, 7, 0, |seed| {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let f = AdversaryPattern::ResidueSpread {
-                axis: 0,
-                modulus: params.band_width(0) + 1,
-            }
-            .generate(ddn.shape(), kk, &mut rng);
-            ddn.try_extract(&f).is_ok()
-        });
+        let rnd = run_extraction_trials(
+            &ddn,
+            trials,
+            5,
+            0,
+            adversary_sampler(AdversaryPattern::Random, kk),
+        );
+        let spread = run_extraction_trials(
+            &ddn,
+            trials,
+            7,
+            0,
+            adversary_sampler(
+                AdversaryPattern::ResidueSpread {
+                    axis: 0,
+                    modulus: params.band_width(0) + 1,
+                },
+                kk,
+            ),
+        );
         over.row(vec![
             format!("{mult}×"),
             kk.to_string(),

@@ -6,6 +6,7 @@
 
 use ftt_core::bdn::{Bdn, BdnParams};
 use ftt_faults::sample_bernoulli_faults;
+use ftt_sim::{extract_verified, ExtractionFailure};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -25,26 +26,21 @@ pub fn bdn_sweep_2d() -> Vec<BdnParams> {
 
 /// One Theorem 2 trial: sample Bernoulli node faults at probability `p`
 /// and attempt placement + extraction. Returns `(healthy, placed, ok)`.
+///
+/// Extraction and verification go through `ftt_sim::extract_verified`
+/// — the same success criterion as the Monte-Carlo scenario runner and
+/// the CLI, so experiment tables can never diverge from them.
 pub fn bdn_trial(bdn: &Bdn, p: f64, seed: u64) -> (bool, bool, bool) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let faults = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
     let faulty: Vec<bool> = (0..bdn.num_nodes())
         .map(|v| faults.node_faulty(v))
         .collect();
-    let health = ftt_core::bdn::check_health(bdn.params(), &faulty);
-    match ftt_core::bdn::extract::extract_after_faults(bdn, &faulty) {
-        Ok(emb) => {
-            let ok = ftt_graph::verify_torus_embedding(
-                &emb.guest,
-                &emb.map,
-                bdn.graph(),
-                |v| !faulty[v],
-                |_| true,
-            )
-            .is_ok();
-            (health.is_healthy(), true, ok)
-        }
-        Err(_) => (health.is_healthy(), false, false),
+    let healthy = ftt_core::bdn::check_health(bdn.params(), &faulty).is_healthy();
+    match extract_verified(bdn, &faults) {
+        Ok(_) => (healthy, true, true),
+        Err(ExtractionFailure::Verification(_)) => (healthy, true, false),
+        Err(ExtractionFailure::Placement(_)) => (healthy, false, false),
     }
 }
 

@@ -3,24 +3,29 @@
 //!
 //! ```text
 //! ftt b2     [--n 54] [--b 3] [--eps 1] [--p 1e-4] [--seed 1] [--render]
+//! ftt a2     [--n 108] [--k 2] [--h 6] [--p 0.02] [--q 0.0] [--seed 1]
 //! ftt d2     [--n 60] [--b 2] [--k <budget>] [--pattern random|cluster|line|diag|spread] [--seed 1] [--render]
 //! ftt sweep  [--n 54] [--b 3] [--trials 50] [--seed 1]
 //! ftt help
 //! ```
 //!
-//! `b2` runs one Theorem 2 trial (build `B²_n`, sample faults, place
-//! bands, extract + verify). `d2` runs one Theorem 3 trial with an
-//! adversarial pattern. `sweep` estimates the Theorem 2 success curve.
+//! `b2` runs one Theorem 2 trial, `a2` one Theorem 1 trial, and `d2`
+//! one Theorem 3 trial with an adversarial pattern; `sweep` estimates
+//! the Theorem 2 success curve. Every command dispatches through the
+//! [`HostConstruction`] trait: building, degree audits, extraction, and
+//! verification are construction-generic, and only fault generation and
+//! the optional renders touch concrete types.
 
 mod args;
 
 use args::Args;
-use ftt_core::bdn::extract::extract_after_faults;
+use ftt_core::adn::{Adn, AdnParams};
 use ftt_core::bdn::{check_health, Bdn, BdnParams};
+use ftt_core::construct::HostConstruction;
 use ftt_core::ddn::{place_straight_bands, Ddn, DdnParams};
 use ftt_core::render::{render_banding, render_ddn_axes};
-use ftt_faults::{sample_bernoulli_faults, AdversaryPattern};
-use ftt_sim::{run_trials, Table};
+use ftt_faults::{sample_bernoulli_faults, AdversaryPattern, FaultSet};
+use ftt_sim::{bernoulli_sampler, extract_verified, run_extraction_trials, Table};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "b2" => cmd_b2(&args),
+        "a2" => cmd_a2(&args),
         "d2" => cmd_d2(&args),
         "sweep" => cmd_sweep(&args),
         "help" | "--help" | "-h" => {
@@ -59,9 +65,40 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ftt b2    [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
+  ftt a2    [--n N] [--k K] [--h H] [--p PROB] [--q PROB] [--seed S]
   ftt d2    [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
   ftt sweep [--n N] [--b B] [--trials T] [--seed S]
   ftt help";
+
+/// Prints the standard banner for a built host and audits its degree —
+/// identical for every construction, through the trait.
+fn report_host<C: HostConstruction>(detail: &str, host: &C) -> Result<(), String> {
+    let g = host.graph();
+    println!(
+        "{} {detail}: {} nodes, degree {}",
+        C::NAME,
+        host.num_nodes(),
+        g.max_degree()
+    );
+    if g.max_degree() != host.expected_degree() || g.min_degree() != host.expected_degree() {
+        return Err(format!(
+            "degree audit failed: expected {}, got [{}, {}]",
+            host.expected_degree(),
+            g.min_degree(),
+            g.max_degree()
+        ));
+    }
+    Ok(())
+}
+
+/// Extracts a guest torus through the trait and verifies it against the
+/// fault set — the same success criterion the Monte-Carlo runner uses.
+fn extract_and_verify<C: HostConstruction>(
+    host: &C,
+    faults: &FaultSet,
+) -> Result<ftt_core::bdn::extract::TorusEmbedding, String> {
+    extract_verified(host, faults).map_err(|e| e.to_string())
+}
 
 fn cmd_b2(args: &Args) -> Result<(), String> {
     let n = args.get_usize("n", 54)?;
@@ -70,14 +107,18 @@ fn cmd_b2(args: &Args) -> Result<(), String> {
     let seed = args.get_u64("seed", 1)?;
     let params = BdnParams::fit(2, n, b, eps)?;
     let p = args.get_f64("p", params.tolerated_fault_probability() / 5.0)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--p {p} out of [0, 1]"));
+    }
     let bdn = Bdn::build(params);
-    println!(
-        "B²_{} (m = {}, b = {b}, ε_b = {eps}): {} nodes, degree {}",
-        params.n,
-        params.m(),
-        bdn.num_nodes(),
-        bdn.graph().max_degree()
-    );
+    report_host(
+        &format!(
+            "(n = {}, m = {}, b = {b}, ε_b = {eps})",
+            params.n,
+            params.m()
+        ),
+        &bdn,
+    )?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let faults = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
     let faulty: Vec<bool> = (0..bdn.num_nodes())
@@ -89,32 +130,64 @@ fn cmd_b2(args: &Args) -> Result<(), String> {
         faults.count_node_faults(),
         health.is_healthy()
     );
-    match extract_after_faults(&bdn, &faulty) {
-        Ok(emb) => {
-            ftt_graph::verify_torus_embedding(
-                &emb.guest,
-                &emb.map,
-                bdn.graph(),
-                |v| !faulty[v],
-                |_| true,
-            )
-            .map_err(|e| e.to_string())?;
-            println!(
-                "fault-free {0}×{0} torus extracted and verified ✓",
-                params.n
-            );
-            if args.flag("render") {
-                let placement =
-                    ftt_core::bdn::place::place_bands(&bdn, &faulty).expect("placed above");
-                print!(
-                    "{}",
-                    render_banding(&placement.banding, bdn.cols(), Some(&faulty), None)
-                );
-            }
-            Ok(())
-        }
-        Err(e) => Err(format!("extraction failed: {e}")),
+    extract_and_verify(&bdn, &faults)?;
+    println!(
+        "fault-free {0}×{0} torus extracted and verified ✓",
+        params.n
+    );
+    if args.flag("render") {
+        let placement = ftt_core::bdn::place::place_bands(&bdn, &faulty).expect("placed above");
+        print!(
+            "{}",
+            render_banding(&placement.banding, bdn.cols(), Some(&faulty), None)
+        );
     }
+    Ok(())
+}
+
+fn cmd_a2(args: &Args) -> Result<(), String> {
+    let n = args.get_usize("n", 108)?;
+    let k = args.get_usize("k", 2)?;
+    let h = args.get_usize("h", 6)?;
+    let q = args.get_f64("q", 0.0)?;
+    let seed = args.get_u64("seed", 1)?;
+    if k == 0 {
+        return Err("--k must be ≥ 1".into());
+    }
+    // AdnParams requires √q ≤ 1/16 (the paper's smallness condition),
+    // i.e. q ≤ 1/256; reject in terms of the flag the user supplied.
+    let q_max = 1.0 / 256.0;
+    if !(0.0..=q_max).contains(&q) {
+        return Err(format!("--q {q} out of [0, {q_max:.5}] (need √q ≤ 1/16)"));
+    }
+    let inner = BdnParams::fit(2, n.div_ceil(k), 3, 1)?;
+    let params = AdnParams::new(inner, k, h, q.sqrt())?;
+    let p = args.get_f64("p", 0.02)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--p {p} out of [0, 1]"));
+    }
+    let adn = Adn::build(params);
+    report_host(
+        &format!(
+            "(n = {}, k = {k}, h = {h}, {} supernodes)",
+            params.n(),
+            params.num_supernodes()
+        ),
+        &adn,
+    )?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let faults = sample_bernoulli_faults(adn.graph(), p, q, &mut rng);
+    println!(
+        "p = {p:.2e}, q = {q:.2e}: {} node faults, {} edge faults sampled",
+        faults.count_node_faults(),
+        faults.count_edge_faults()
+    );
+    extract_and_verify(&adn, &faults)?;
+    println!(
+        "fault-free {0}×{0} torus extracted and verified ✓",
+        params.n()
+    );
+    Ok(())
 }
 
 fn cmd_d2(args: &Args) -> Result<(), String> {
@@ -135,25 +208,42 @@ fn cmd_d2(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown pattern `{other}`")),
     };
     let ddn = Ddn::new(params);
-    println!(
-        "D²_{{n={}, k={}}} (m = {}): {} nodes, degree {}",
-        params.n,
-        params.tolerated_faults(),
-        params.m(),
-        params.num_nodes(),
-        params.expected_degree()
-    );
+    let num_nodes = HostConstruction::num_nodes(&ddn);
+    if k > num_nodes {
+        return Err(format!(
+            "--k {k} exceeds the host node count {num_nodes} (n = {}, m = {})",
+            params.n,
+            params.m()
+        ));
+    }
+    report_host(
+        &format!(
+            "(n = {}, m = {}, tolerates any k = {})",
+            params.n,
+            params.m(),
+            params.tolerated_faults()
+        ),
+        &ddn,
+    )?;
     let mut rng = SmallRng::seed_from_u64(seed);
-    let faults = pattern.generate(ddn.shape(), k, &mut rng);
+    let faulty_nodes = pattern.generate(ddn.shape(), k, &mut rng);
+    let faults = FaultSet::from_lists(
+        HostConstruction::num_nodes(&ddn),
+        ddn.graph().num_edges(),
+        &faulty_nodes,
+        &[],
+    );
     println!("{k} adversarial faults ({pattern:?})");
-    match ddn.try_extract(&faults) {
-        Ok(emb) => {
-            println!("fault-free {0}×{0} torus extracted ✓", params.n);
+    match extract_and_verify(&ddn, &faults) {
+        Ok(_) => {
+            println!(
+                "fault-free {0}×{0} torus extracted and verified ✓",
+                params.n
+            );
             if args.flag("render") {
-                let banding = place_straight_bands(&ddn, &faults).expect("placed above");
+                let banding = place_straight_bands(&ddn, &faulty_nodes).expect("placed above");
                 print!("{}", render_ddn_axes(&ddn, &banding));
             }
-            let _ = emb;
             Ok(())
         }
         Err(e) => {
@@ -181,12 +271,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     );
     for mult in [0.05f64, 0.2, 1.0, 4.0] {
         let p = design * mult;
-        let stats = run_trials(trials, seed, 0, |s| {
-            let mut rng = SmallRng::seed_from_u64(s);
-            let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
-            let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
-            extract_after_faults(&bdn, &faulty).is_ok()
-        });
+        let stats = run_extraction_trials(&bdn, trials, seed, 0, bernoulli_sampler(p, 0.0));
         let (lo, hi) = stats.confidence();
         table.row(vec![
             format!("{p:.2e}"),
@@ -209,6 +294,16 @@ mod tests {
     #[test]
     fn b2_succeeds_with_low_p() {
         cmd_b2(&args(&["--n", "54", "--p", "1e-5", "--seed", "2"])).unwrap();
+    }
+
+    #[test]
+    fn a2_succeeds_with_small_faults() {
+        cmd_a2(&args(&["--n", "108", "--p", "0.01", "--seed", "3"])).unwrap();
+    }
+
+    #[test]
+    fn a2_rejects_bad_h() {
+        assert!(cmd_a2(&args(&["--k", "3", "--h", "4"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The construction-generic host interface.
+//!
+//! All three of the paper's constructions answer the same questions —
+//! *build yourself from validated parameters*, *show your host graph*,
+//! *what degree should you have*, and *given faults, extract a
+//! fault-free guest torus* — but the seed exposed them through ad-hoc
+//! inherent methods that every consumer (CLI, experiment binaries,
+//! simulation harness) re-dispatched by hand. [`HostConstruction`]
+//! unifies them so Monte-Carlo runners, sweep tables, and future
+//! constructions are written once, generically.
+//!
+//! Fault handling is normalised to [`FaultSet`]: each implementation
+//! maps whole-node and whole-edge faults onto its own fault formalism
+//! (`B^d_n` ascribes edge faults to an endpoint as in Section 3;
+//! `A^2_n` converts an edge fault into both of its half-edges failing,
+//! the worst case of Section 4's half-edge model; `D^d_{n,k}` ascribes
+//! like `B` and runs the straight-band pigeonhole).
+
+use crate::adn::Adn;
+use crate::bdn::extract::TorusEmbedding;
+use crate::bdn::Bdn;
+use crate::ddn::Ddn;
+use crate::error::PlacementError;
+use ftt_faults::{FaultSet, HalfEdgeFaults};
+use ftt_graph::Graph;
+
+/// A fault-tolerant host network containing a guest torus.
+///
+/// Implementations must uphold two contracts:
+///
+/// 1. **Degree**: every node of [`graph`](Self::graph) has degree
+///    exactly [`expected_degree`](Self::expected_degree).
+/// 2. **Extraction soundness**: a successful
+///    [`try_extract`](Self::try_extract) returns an embedding that
+///    avoids every faulty node and every faulty edge of `faults`
+///    (checkable with `ftt_graph::verify_torus_embedding`).
+pub trait HostConstruction: Sized {
+    /// Validated parameter set of the construction.
+    type Params: Clone + std::fmt::Debug;
+
+    /// Short name for tables and CLI output (e.g. `"B^d_n"`).
+    const NAME: &'static str;
+
+    /// Builds the host for validated parameters.
+    fn build(params: Self::Params) -> Self;
+
+    /// The instance parameters.
+    fn params(&self) -> &Self::Params;
+
+    /// The host graph.
+    ///
+    /// For constructions with arithmetic adjacency (`D^d_{n,k}`) this
+    /// may materialise the graph on first call and cache it.
+    fn graph(&self) -> &Graph;
+
+    /// Total number of host nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// The degree the construction is supposed to have (`6d−2`, `4d`,
+    /// or `11h−1`-style formulas from the theorems).
+    fn expected_degree(&self) -> usize;
+
+    /// Masks `faults` and extracts a fault-free guest torus, or reports
+    /// why the placement machinery could not.
+    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError>;
+}
+
+impl HostConstruction for Bdn {
+    type Params = crate::bdn::BdnParams;
+
+    const NAME: &'static str = "B^d_n";
+
+    fn build(params: Self::Params) -> Self {
+        Bdn::build(params)
+    }
+
+    fn params(&self) -> &Self::Params {
+        Bdn::params(self)
+    }
+
+    fn graph(&self) -> &Graph {
+        Bdn::graph(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Bdn::num_nodes(self)
+    }
+
+    fn expected_degree(&self) -> usize {
+        Bdn::params(self).expected_degree()
+    }
+
+    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
+        Bdn::try_extract(self, faults)
+    }
+}
+
+impl HostConstruction for Adn {
+    type Params = crate::adn::AdnParams;
+
+    const NAME: &'static str = "A^2_n";
+
+    fn build(params: Self::Params) -> Self {
+        Adn::build(params)
+    }
+
+    fn params(&self) -> &Self::Params {
+        Adn::params(self)
+    }
+
+    fn graph(&self) -> &Graph {
+        Adn::graph(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Adn::num_nodes(self)
+    }
+
+    fn expected_degree(&self) -> usize {
+        Adn::params(self).expected_degree()
+    }
+
+    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
+        // A whole-edge fault is both of its half-edges failing — the
+        // worst case of the half-edge model, so goodness thresholds
+        // remain valid and the embedding avoids the edge.
+        let node_faulty: Vec<bool> = (0..self.num_nodes())
+            .map(|v| faults.node_faulty(v))
+            .collect();
+        let mut halves = HalfEdgeFaults::none(self.graph().num_edges());
+        for e in faults.faulty_edges() {
+            halves.kill_half(e, 0);
+            halves.kill_half(e, 1);
+        }
+        crate::adn::embed::extract_after_faults_adn(self, &node_faulty, &halves)
+    }
+}
+
+impl HostConstruction for Ddn {
+    type Params = crate::ddn::DdnParams;
+
+    const NAME: &'static str = "D^d_{n,k}";
+
+    fn build(params: Self::Params) -> Self {
+        Ddn::new(params)
+    }
+
+    fn params(&self) -> &Self::Params {
+        Ddn::params(self)
+    }
+
+    fn graph(&self) -> &Graph {
+        Ddn::graph(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.shape().len()
+    }
+
+    fn expected_degree(&self) -> usize {
+        Ddn::params(self).expected_degree()
+    }
+
+    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
+        // Edge faults are ascribed to an endpoint (the Theorem 3
+        // reduction); avoid materialising the graph when there are none.
+        let faulty: Vec<usize> = if faults.count_edge_faults() > 0 {
+            let g = HostConstruction::graph(self);
+            faults
+                .ascribe_edges_to_nodes(|e| g.edge_endpoints(e))
+                .faulty_nodes()
+                .collect()
+        } else {
+            faults.faulty_nodes().collect()
+        };
+        Ddn::try_extract(self, &faulty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adn::AdnParams;
+    use crate::bdn::BdnParams;
+    use crate::ddn::DdnParams;
+
+    /// Exercises a construction end-to-end through the trait only.
+    fn roundtrip<C: HostConstruction>(params: C::Params, kill: &[usize]) {
+        let host = C::build(params);
+        assert_eq!(
+            host.graph().max_degree(),
+            host.expected_degree(),
+            "{}",
+            C::NAME
+        );
+        assert_eq!(
+            host.graph().min_degree(),
+            host.expected_degree(),
+            "{}",
+            C::NAME
+        );
+        assert_eq!(host.graph().num_nodes(), host.num_nodes(), "{}", C::NAME);
+        let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+        for &v in kill {
+            faults.kill_node(v % host.num_nodes());
+        }
+        let emb = host
+            .try_extract(&faults)
+            .unwrap_or_else(|e| panic!("{} extraction failed: {e}", C::NAME));
+        ftt_graph::verify_torus_embedding(
+            &emb.guest,
+            &emb.map,
+            host.graph(),
+            |v| faults.node_alive(v),
+            |e| faults.edge_alive(e),
+        )
+        .unwrap_or_else(|e| panic!("{} embedding invalid: {e}", C::NAME));
+    }
+
+    #[test]
+    fn bdn_through_trait() {
+        roundtrip::<Bdn>(BdnParams::new(2, 54, 3, 1).unwrap(), &[1234, 999]);
+    }
+
+    #[test]
+    fn adn_through_trait() {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        roundtrip::<Adn>(AdnParams::new(inner, 2, 6, 0.0).unwrap(), &[17, 4242]);
+    }
+
+    #[test]
+    fn ddn_through_trait() {
+        roundtrip::<Ddn>(DdnParams::fit(2, 30, 2).unwrap(), &[5, 77, 4001]);
+    }
+
+    #[test]
+    fn adn_edge_fault_avoided_through_trait() {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+        let mut faults =
+            FaultSet::none(HostConstruction::num_nodes(&host), host.graph().num_edges());
+        faults.kill_edge(5);
+        faults.kill_edge(77_777);
+        let emb = HostConstruction::try_extract(&host, &faults).expect("spare capacity");
+        ftt_graph::verify_torus_embedding(
+            &emb.guest,
+            &emb.map,
+            host.graph(),
+            |_| true,
+            |e| faults.edge_alive(e),
+        )
+        .expect("must avoid the killed edges");
+    }
+
+    #[test]
+    fn ddn_edge_fault_ascribed_through_trait() {
+        let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+        let num_edges = HostConstruction::graph(&host).num_edges();
+        let mut faults = FaultSet::none(HostConstruction::num_nodes(&host), num_edges);
+        faults.kill_edge(3);
+        faults.kill_node(10);
+        let emb = HostConstruction::try_extract(&host, &faults).expect("within budget");
+        ftt_graph::verify_torus_embedding(
+            &emb.guest,
+            &emb.map,
+            HostConstruction::graph(&host),
+            |v| faults.node_alive(v),
+            |e| faults.edge_alive(e),
+        )
+        .expect("must avoid the faulty edge and node");
+    }
+}

@@ -157,18 +157,33 @@ fn lcm(a: usize, b: usize) -> usize {
 
 /// A `D^d_{n,k}` instance. The host graph is implicit (adjacency is
 /// arithmetic); [`Ddn::build_graph`] materialises it for degree audits
-/// and graph-level verification on small instances.
+/// and graph-level verification on small instances, and [`Ddn::graph`]
+/// caches one materialisation for the [`crate::HostConstruction`]
+/// interface.
 #[derive(Debug, Clone)]
 pub struct Ddn {
     params: DdnParams,
     shape: Shape,
+    graph: std::sync::OnceLock<Graph>,
 }
 
 impl Ddn {
     /// Creates the instance geometry.
     pub fn new(params: DdnParams) -> Self {
         let shape = params.host_shape();
-        Self { params, shape }
+        Self {
+            params,
+            shape,
+            graph: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The materialised host graph, built on first call and cached.
+    ///
+    /// Prefer [`Ddn::edge_exists`] when only adjacency queries are
+    /// needed: the graph costs `m^d` nodes and `2d·m^d` edges.
+    pub fn graph(&self) -> &Graph {
+        self.graph.get_or_init(|| self.build_graph())
     }
 
     /// The instance parameters.

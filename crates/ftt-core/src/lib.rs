@@ -12,14 +12,20 @@
 //!   pigeonhole.
 //! * [`band`] — bands (`β : columns → [m]`), the masking formalism shared
 //!   by Theorems 2 and 3.
+//! * [`construct`] — the [`HostConstruction`] trait unifying the three
+//!   constructions behind one build/inspect/extract interface.
 
 pub mod adn;
 pub mod band;
 pub mod bdn;
+pub mod construct;
 pub mod ddn;
 pub mod error;
 pub mod render;
 
+pub use adn::{Adn, AdnParams};
 pub use band::Banding;
 pub use bdn::{Bdn, BdnParams};
+pub use construct::HostConstruction;
+pub use ddn::{Ddn, DdnParams};
 pub use error::PlacementError;

@@ -8,9 +8,14 @@
 //! thread scheduling.
 
 pub mod runner;
+pub mod scenario;
 pub mod stats;
 pub mod table;
 
-pub use runner::{run_trials, TrialStats};
+pub use runner::{run_multi_trials, run_trials, TrialStats};
+pub use scenario::{
+    bernoulli_sampler, extract_verified, node_list_sampler, run_extraction_trials,
+    ExtractionFailure,
+};
 pub use stats::{mean, std_dev, wilson_interval};
 pub use table::Table;

@@ -5,7 +5,6 @@
 //! the number of worker threads or scheduling.
 
 use crate::stats::wilson_interval;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome summary of a batch of boolean trials.
@@ -41,6 +40,17 @@ pub fn trial_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+fn resolve_threads(threads: usize, trials: usize) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    threads.min(trials.max(1))
+}
+
 /// Runs `trials` boolean trials in parallel and tallies successes.
 ///
 /// `trial(seed)` must be a pure function of the seed. `threads = 0`
@@ -49,38 +59,53 @@ pub fn run_trials<F>(trials: usize, master_seed: u64, threads: usize, trial: F) 
 where
     F: Fn(u64) -> bool + Sync,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let threads = threads.min(trials.max(1));
+    let [stats] = run_multi_trials(trials, master_seed, threads, |seed| [trial(seed)]);
+    stats
+}
+
+/// Runs `trials` trials that each report `N` boolean outcomes (e.g.
+/// healthy / placed / verified) and tallies each outcome separately —
+/// one sampling + extraction pass fills every column of a sweep table.
+///
+/// Same contract as [`run_trials`]: `trial(seed)` must be a pure
+/// function of the seed, and the tallies are independent of the worker
+/// thread count.
+pub fn run_multi_trials<const N: usize, F>(
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    trial: F,
+) -> [TrialStats; N]
+where
+    F: Fn(u64) -> [bool; N] + Sync,
+{
+    let threads = resolve_threads(threads, trials);
     let next = AtomicUsize::new(0);
-    let successes = Mutex::new(0usize);
-    crossbeam::scope(|scope| {
+    let tallies: [AtomicUsize; N] = std::array::from_fn(|_| AtomicUsize::new(0));
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut local = 0usize;
+            scope.spawn(|| {
+                let mut local = [0usize; N];
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= trials {
                         break;
                     }
-                    if trial(trial_seed(master_seed, i as u64)) {
-                        local += 1;
+                    let outcomes = trial(trial_seed(master_seed, i as u64));
+                    for (tally, hit) in local.iter_mut().zip(outcomes) {
+                        *tally += hit as usize;
                     }
                 }
-                *successes.lock() += local;
+                for (total, tally) in tallies.iter().zip(local) {
+                    total.fetch_add(tally, Ordering::Relaxed);
+                }
             });
         }
-    })
-    .expect("trial worker panicked");
-    TrialStats {
+    });
+    std::array::from_fn(|i| TrialStats {
         trials,
-        successes: successes.into_inner(),
-    }
+        successes: tallies[i].load(Ordering::Relaxed),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,163 @@
+//! Construction-generic Monte-Carlo scenarios.
+//!
+//! [`run_extraction_trials`] lifts the deterministic trial loop of
+//! [`crate::runner::run_trials`] to any [`HostConstruction`]: each
+//! trial samples a [`FaultSet`] from its per-trial seed, asks the host
+//! to extract a guest torus, and — crucially — *verifies* the returned
+//! embedding against the host graph and the sampled faults, so a trial
+//! only counts as a success when the extracted torus is genuinely
+//! fault-free. The determinism contract of `run_trials` carries over:
+//! results are independent of the worker thread count.
+
+use crate::runner::{run_trials, TrialStats};
+use ftt_core::bdn::extract::TorusEmbedding;
+use ftt_core::construct::HostConstruction;
+use ftt_core::error::PlacementError;
+use ftt_faults::{sample_bernoulli_faults, FaultSet};
+use ftt_graph::{verify_torus_embedding, EmbedError};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a single extraction trial did not produce a verified torus.
+#[derive(Debug)]
+pub enum ExtractionFailure {
+    /// The construction's placement/extraction machinery gave up.
+    Placement(PlacementError),
+    /// An embedding was produced but is not a valid fault-free guest
+    /// torus — always a bug in the construction, never expected.
+    Verification(EmbedError),
+}
+
+impl std::fmt::Display for ExtractionFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractionFailure::Placement(e) => write!(f, "extraction failed: {e}"),
+            ExtractionFailure::Verification(e) => {
+                write!(f, "embedding failed verification: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractionFailure {}
+
+/// One extraction trial: asks `host` to mask `faults` and extract a
+/// guest torus, then verifies the embedding against the host graph and
+/// the fault set. This is *the* success criterion shared by
+/// [`run_extraction_trials`] and single-shot consumers (the CLI), so
+/// Monte-Carlo rates and one-off runs can never diverge.
+pub fn extract_verified<C: HostConstruction>(
+    host: &C,
+    faults: &FaultSet,
+) -> Result<TorusEmbedding, ExtractionFailure> {
+    let emb = host
+        .try_extract(faults)
+        .map_err(ExtractionFailure::Placement)?;
+    verify_torus_embedding(
+        &emb.guest,
+        &emb.map,
+        host.graph(),
+        |v| faults.node_alive(v),
+        |e| faults.edge_alive(e),
+    )
+    .map_err(ExtractionFailure::Verification)?;
+    Ok(emb)
+}
+
+/// Runs `trials` fault-sampling + extraction + verification trials
+/// against `host`, in parallel.
+///
+/// `sampler(host, seed)` must be a pure function of `(host, seed)`
+/// producing the fault set for one trial. A trial succeeds iff
+/// [`extract_verified`] does: extraction succeeds **and** the embedding
+/// is a valid guest torus in the host graph avoiding every sampled node
+/// and edge fault. `threads = 0` selects the available parallelism.
+pub fn run_extraction_trials<C, S>(
+    host: &C,
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    sampler: S,
+) -> TrialStats
+where
+    C: HostConstruction + Sync,
+    S: Fn(&C, u64) -> FaultSet + Sync,
+{
+    run_trials(trials, master_seed, threads, |seed| {
+        extract_verified(host, &sampler(host, seed)).is_ok()
+    })
+}
+
+/// A sampler for [`run_extraction_trials`]: independent Bernoulli node
+/// faults with probability `p` and edge faults with probability `q`.
+pub fn bernoulli_sampler<C: HostConstruction>(
+    p: f64,
+    q: f64,
+) -> impl Fn(&C, u64) -> FaultSet + Sync {
+    move |host, seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        sample_bernoulli_faults(host.graph(), p, q, &mut rng)
+    }
+}
+
+/// A sampler placing exactly `k` faults on the node ids produced by
+/// `pick(host, seed)` — the adversarial-regime counterpart of
+/// [`bernoulli_sampler`].
+pub fn node_list_sampler<C, F>(pick: F) -> impl Fn(&C, u64) -> FaultSet + Sync
+where
+    C: HostConstruction,
+    F: Fn(&C, u64) -> Vec<usize> + Sync,
+{
+    move |host, seed| {
+        let nodes = pick(host, seed);
+        FaultSet::from_lists(host.num_nodes(), host.graph().num_edges(), &nodes, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_core::bdn::{Bdn, BdnParams};
+    use ftt_core::ddn::{Ddn, DdnParams};
+
+    #[test]
+    fn fault_free_always_succeeds() {
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let stats = run_extraction_trials(&host, 8, 1, 0, bernoulli_sampler(0.0, 0.0));
+        assert_eq!(stats.successes, 8);
+    }
+
+    #[test]
+    fn saturated_faults_always_fail() {
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let stats = run_extraction_trials(&host, 4, 1, 0, bernoulli_sampler(1.0, 0.0));
+        assert_eq!(stats.successes, 0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let p = host.params().tolerated_fault_probability() * 40.0;
+        let a = run_extraction_trials(&host, 12, 7, 1, bernoulli_sampler(p, 0.0));
+        let b = run_extraction_trials(&host, 12, 7, 4, bernoulli_sampler(p, 0.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_list_sampler_respects_budget() {
+        let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+        let k = host.params().tolerated_faults();
+        let stats = run_extraction_trials(
+            &host,
+            6,
+            3,
+            0,
+            node_list_sampler(move |host: &Ddn, seed| {
+                (0..k)
+                    .map(|i| (seed as usize + 13 * i) % host.shape().len())
+                    .collect()
+            }),
+        );
+        assert_eq!(stats.successes, 6, "Theorem 3 guarantee through the trait");
+    }
+}

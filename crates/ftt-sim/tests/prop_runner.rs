@@ -1,0 +1,53 @@
+//! Property tests pinning the determinism contract of the trial
+//! runner: for a fixed master seed, results are a pure function of
+//! `(trials, master_seed)` — never of the worker thread count or of
+//! scheduling (each trial's seed is derived by a splitmix64 step from
+//! the master seed and the trial index; see `ftt-sim/src/runner.rs`).
+
+use ftt_sim::run_trials;
+use ftt_sim::runner::trial_seed;
+use proptest::prelude::*;
+
+proptest! {
+    /// `threads = 1`, `4`, and `0` (auto) must produce identical stats
+    /// for any master seed, trial count, and (deterministic) trial
+    /// predicate.
+    #[test]
+    fn thread_count_invariance(
+        master in 0u64..u64::MAX,
+        trials in 0usize..300,
+        modulus in 2u64..17,
+    ) {
+        let trial = |seed: u64| seed.is_multiple_of(modulus);
+        let one = run_trials(trials, master, 1, trial);
+        let four = run_trials(trials, master, 4, trial);
+        let auto = run_trials(trials, master, 0, trial);
+        prop_assert_eq!(&one, &four);
+        prop_assert_eq!(&one, &auto);
+        prop_assert_eq!(one.trials, trials);
+    }
+
+    /// The tally equals the sequential ground truth computed without
+    /// any thread pool at all.
+    #[test]
+    fn matches_sequential_ground_truth(
+        master in 0u64..u64::MAX,
+        trials in 0usize..200,
+        modulus in 2u64..13,
+    ) {
+        let trial = |seed: u64| seed.is_multiple_of(modulus);
+        let expect = (0..trials as u64).filter(|&i| trial(trial_seed(master, i))).count();
+        let got = run_trials(trials, master, 0, trial);
+        prop_assert_eq!(got.successes, expect);
+    }
+
+    /// Per-trial seeds depend on the index (no accidental reuse across
+    /// a run's trials).
+    #[test]
+    fn trial_seeds_distinct_within_run(master in 0u64..u64::MAX, n in 1u64..2000) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            prop_assert!(seen.insert(trial_seed(master, i)), "seed collision at index {}", i);
+        }
+    }
+}

@@ -36,10 +36,12 @@
 //! * [`geom`] — cyclic arithmetic, shapes, tiles, frames
 //! * [`graph`] — CSR multigraphs, generators, embedding verification
 //! * [`faults`] — random/adversarial fault models (incl. half-edges)
-//! * [`core`] — the paper's three constructions and band machinery
+//! * [`core`] — the paper's three constructions and band machinery,
+//!   unified behind [`core::construct::HostConstruction`]
 //! * [`expander`] — Margulis expanders, spectral gap (Alon–Chung substrate)
 //! * [`baselines`] — Alon–Chung, FKP-style clusters, BCH analytic models
-//! * [`sim`] — parallel Monte-Carlo trial running and tables
+//! * [`sim`] — parallel Monte-Carlo trial running and tables, plus the
+//!   construction-generic [`sim::run_extraction_trials`] scenario runner
 
 pub use ftt_baselines as baselines;
 pub use ftt_core as core;

@@ -1,0 +1,169 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the subset of the proptest API its tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(pat in strategy, …) { … }`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * integer-range, tuple, [`strategy::Just`] and
+//!   [`collection::vec`] strategies,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from the real crate: no shrinking (a failing case is
+//! reported with its case index and seed, not minimised), and a fixed
+//! deterministic seed per test derived from the test name. The number
+//! of cases per property defaults to 64 and can be raised with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of the real crate's `prop` facade module (`prop::collection`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// item becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__ftt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __ftt_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, (b, c) in (5u64..9, 0i64..=3)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((0..=3).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u32..100, 2..6), w in prop::collection::vec(0u32..4, 3)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(w.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn map_flat_map_just(x in (2usize..12).prop_flat_map(|n| (Just(n), prop::collection::vec(0..n, 1..4)))) {
+            let (n, picks) = x;
+            prop_assert!(picks.iter().all(|&p| p < n));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "assume must have filtered odd n = {}", n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run("failing_property", |rng| {
+            let x = crate::strategy::Strategy::sample(&(0usize..10), rng);
+            prop_assert!(x > 100);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,94 @@
+//! Construction-generic scenarios: one Monte-Carlo runner
+//! (`ftt::sim::run_extraction_trials`) driving all three constructions
+//! through the `HostConstruction` trait.
+
+use ftt::core::adn::{Adn, AdnParams};
+use ftt::core::bdn::{Bdn, BdnParams};
+use ftt::core::construct::HostConstruction;
+use ftt::core::ddn::{Ddn, DdnParams};
+use ftt::faults::AdversaryPattern;
+use ftt::sim::{bernoulli_sampler, node_list_sampler, run_extraction_trials};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The runner accepts any construction: success means an extracted and
+/// verified fault-free torus, so in the fault-free regime every trial
+/// must succeed — for B, A, and D alike.
+#[test]
+fn fault_free_trials_succeed_for_every_construction() {
+    fn all_pass<C: HostConstruction + Sync>(host: &C) {
+        let stats = run_extraction_trials(host, 5, 1, 0, bernoulli_sampler(0.0, 0.0));
+        assert_eq!(stats.successes, 5, "{} fault-free trial failed", C::NAME);
+    }
+    all_pass(&Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap()));
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    all_pass(&Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap()));
+    all_pass(&Ddn::new(DdnParams::fit(2, 30, 2).unwrap()));
+}
+
+/// Theorem 2 through the generic runner: in the low-fault regime
+/// (well below the asymptotic design point, which is optimistic for
+/// finite instances with `b < log n`) most trials succeed; at
+/// saturation, none do.
+#[test]
+fn bdn_bernoulli_success_curve_endpoints() {
+    let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+    let good = run_extraction_trials(&host, 20, 7, 0, bernoulli_sampler(1e-5, 0.0));
+    assert!(
+        good.rate() >= 0.9,
+        "low-fault success rate {} too low",
+        good.rate()
+    );
+    let bad = run_extraction_trials(&host, 5, 7, 0, bernoulli_sampler(1.0, 0.0));
+    assert_eq!(bad.successes, 0);
+}
+
+/// Theorem 3 through the generic runner: the full adversarial battery
+/// at budget `k` must never fail.
+#[test]
+fn ddn_adversarial_battery_through_runner() {
+    let params = DdnParams::fit(2, 30, 2).unwrap();
+    let host = Ddn::new(params);
+    let k = params.tolerated_faults();
+    for pattern in AdversaryPattern::battery(host.shape(), params.band_width(0) + 1) {
+        let stats = run_extraction_trials(
+            &host,
+            10,
+            3,
+            0,
+            node_list_sampler(move |h: &Ddn, seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                pattern.generate(h.shape(), k, &mut rng)
+            }),
+        );
+        assert_eq!(
+            stats.successes, 10,
+            "Theorem 3 violated through the runner: {pattern:?}"
+        );
+    }
+}
+
+/// The determinism contract survives the generic layer: identical
+/// stats regardless of worker thread count.
+#[test]
+fn generic_runner_thread_count_invariance() {
+    let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+    let p = host.params().tolerated_fault_probability() * 20.0;
+    let one = run_extraction_trials(&host, 16, 42, 1, bernoulli_sampler(p, 0.0));
+    let four = run_extraction_trials(&host, 16, 42, 4, bernoulli_sampler(p, 0.0));
+    let auto = run_extraction_trials(&host, 16, 42, 0, bernoulli_sampler(p, 0.0));
+    assert_eq!(one, four);
+    assert_eq!(one, auto);
+}
+
+/// Theorem 1 through the generic runner with node and edge faults.
+#[test]
+fn adn_node_and_edge_faults_through_runner() {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let host = Adn::build(AdnParams::new(inner, 2, 10, 0.05).unwrap());
+    let stats = run_extraction_trials(&host, 5, 11, 0, bernoulli_sampler(0.01, 0.001));
+    assert_eq!(
+        stats.successes, 5,
+        "A²_n should absorb 1% node + 0.1% edge faults"
+    );
+}
