@@ -1,13 +1,17 @@
 //! Criterion: torus extraction cost — column cycles, Lemma 7 alignment
 //! check, embedding assembly (the full Lemma 6 pipeline given bands),
-//! plus the `D^d_{n,k}` pigeonhole placement.
+//! the `D^d_{n,k}` pigeonhole placement, and the complete Monte-Carlo
+//! trial (sparse sampling + extraction + verification with reused
+//! per-worker scratch) at paper-regime fault probabilities.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftt_core::bdn::extract::extract_torus;
 use ftt_core::bdn::place::place_bands;
 use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::construct::HostConstruction;
 use ftt_core::ddn::{Ddn, DdnParams};
-use ftt_faults::AdversaryPattern;
+use ftt_faults::{sample_bernoulli_faults_into, AdversaryPattern, FaultSet};
+use ftt_sim::extract_verified_with;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -38,12 +42,36 @@ fn bench_ddn_place_extract(c: &mut Criterion) {
     });
 }
 
+fn bench_bdn_trial_pipeline(c: &mut Criterion) {
+    // The acceptance scenario of the sparse fault machinery: one full
+    // B²_n Bernoulli trial (sample → extract → verify) per iteration,
+    // with the fault set and extraction scratch reused in place.
+    let mut group = c.benchmark_group("bdn_trial_pipeline");
+    for (n, b) in [(54usize, 3usize), (192, 4)] {
+        let params = BdnParams::new(2, n, b, 1).unwrap();
+        let p = params.tolerated_fault_probability();
+        let bdn = Bdn::build(params);
+        let mut faults = FaultSet::none(bdn.num_nodes(), bdn.graph().num_edges());
+        let mut scratch = HostConstruction::new_scratch(&bdn);
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |bench, &p| {
+            bench.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                sample_bernoulli_faults_into(bdn.graph(), p, 0.0, &mut rng, &mut faults);
+                black_box(extract_verified_with(&bdn, &faults, &mut scratch).is_ok())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_bdn_extract, bench_ddn_place_extract
+    targets = bench_bdn_extract, bench_ddn_place_extract, bench_bdn_trial_pipeline
 }
 criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion: fault-layer cost — geometric-skip Bernoulli sampling at
+//! paper-regime probabilities (cost proportional to the faults, not the
+//! host), in-place fault-set reuse, and half-edge sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_faults::{sample_bernoulli_faults_into, FaultSet, HalfEdgeFaults};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bernoulli_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_bernoulli");
+    for (n, b) in [(54usize, 3usize), (192, 4)] {
+        let params = BdnParams::new(2, n, b, 1).unwrap();
+        let p = params.tolerated_fault_probability();
+        let bdn = Bdn::build(params);
+        let g = bdn.graph();
+        let mut scratch = FaultSet::none(g.num_nodes(), g.num_edges());
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |bench, &p| {
+            bench.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                sample_bernoulli_faults_into(g, p, 0.0, &mut rng, &mut scratch);
+                black_box(scratch.count_faults())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_faultset_reuse(c: &mut Criterion) {
+    // clear + a paper-regime handful of kills + O(1) queries: the whole
+    // per-trial fault footprint of the Monte-Carlo hot path.
+    let mut scratch = FaultSet::none(100_000, 500_000);
+    c.bench_function("faultset_clear_kill_query", |bench| {
+        bench.iter(|| {
+            scratch.clear();
+            for v in [17usize, 999, 54_321, 99_999] {
+                scratch.kill_node(v);
+            }
+            scratch.kill_edge(123_456);
+            black_box(scratch.node_alive(54_321) as usize + scratch.count_faults())
+        });
+    });
+}
+
+fn bench_half_edge_sampling(c: &mut Criterion) {
+    let params = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let g = bdn.graph();
+    let mut seed = 0u64;
+    c.bench_function("half_edge_sample_sqrt_q_1_16", |bench| {
+        bench.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            black_box(
+                HalfEdgeFaults::sample(g, 1.0 / 16.0, &mut rng)
+                    .touched_edges()
+                    .len(),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_bernoulli_sampling, bench_faultset_reuse, bench_half_edge_sampling
+}
+criterion_main!(benches);

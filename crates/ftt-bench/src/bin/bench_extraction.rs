@@ -1,0 +1,226 @@
+//! Emits `BENCH_extraction.json`: Monte-Carlo extraction throughput
+//! (trials/sec) per construction at paper-regime fault parameters.
+//!
+//! This is the perf trajectory anchor for the trial pipeline: each
+//! scenario runs `--trials` full sampling + extraction + verification
+//! trials through `ftt_sim::run_extraction_trials` and records wall
+//! time. Single-threaded by default so numbers are comparable across
+//! machines and PRs; `--threads 0` uses all cores.
+//!
+//! ```text
+//! bench_extraction [--trials N] [--seed S] [--threads T] [--out PATH]
+//! ```
+
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::construct::HostConstruction;
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_faults::AdversaryPattern;
+use ftt_faults::FaultSet;
+use ftt_sim::{bernoulli_sampler, node_list_sampler, run_extraction_trials, FaultSampler};
+use std::time::Instant;
+
+struct ScenarioResult {
+    name: String,
+    construction: &'static str,
+    params: String,
+    trials: usize,
+    successes: usize,
+    seconds: f64,
+    trials_per_sec: f64,
+}
+
+fn time_scenario<C, S>(
+    name: &str,
+    params: String,
+    host: &C,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    sampler: S,
+) -> ScenarioResult
+where
+    C: HostConstruction + Sync,
+    S: FaultSampler<C>,
+{
+    // One warm-up extraction so lazy host state (e.g. the cached
+    // `D^d_{n,k}` graph) is materialised outside the timed region.
+    let _ = ftt_sim::extract_verified(
+        host,
+        &FaultSet::none(host.num_nodes(), host.graph().num_edges()),
+    );
+    let start = Instant::now();
+    let stats = run_extraction_trials(host, trials, seed, threads, sampler);
+    let seconds = start.elapsed().as_secs_f64();
+    // 0.0 (not ∞) when the clock rounds to zero: the JSON must stay
+    // parseable even for degenerate trial budgets.
+    let tps = if seconds > 0.0 {
+        trials as f64 / seconds
+    } else {
+        0.0
+    };
+    eprintln!(
+        "{name:<28} {trials} trials in {seconds:.3}s  →  {tps:.1} trials/sec \
+         ({} successes)",
+        stats.successes
+    );
+    ScenarioResult {
+        name: name.to_string(),
+        construction: C::NAME,
+        params,
+        trials,
+        successes: stats.successes,
+        seconds,
+        trials_per_sec: tps,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(trials: usize, seed: u64, threads: usize, results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"extraction\",\n");
+    out.push_str(&format!("  \"trials\": {trials},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
+        out.push_str(&format!(
+            "      \"construction\": \"{}\",\n",
+            json_escape(r.construction)
+        ));
+        out.push_str(&format!(
+            "      \"params\": \"{}\",\n",
+            json_escape(&r.params)
+        ));
+        out.push_str(&format!("      \"trials\": {},\n", r.trials));
+        out.push_str(&format!("      \"successes\": {},\n", r.successes));
+        out.push_str(&format!("      \"seconds\": {:.6},\n", r.seconds));
+        out.push_str(&format!(
+            "      \"trials_per_sec\": {:.3}\n",
+            r.trials_per_sec
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_args() -> Result<(usize, u64, usize, String), String> {
+    let mut trials = 200usize;
+    let mut seed = 1u64;
+    let mut threads = 1usize;
+    let mut out = "BENCH_extraction.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--trials" => trials = take(i)?.parse().map_err(|e| format!("--trials: {e}"))?,
+            "--seed" => seed = take(i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => threads = take(i)?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--out" => out = take(i)?.clone(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok((trials, seed, threads, out))
+}
+
+fn main() {
+    let (trials, seed, threads, out_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: bench_extraction [--trials N] [--seed S] [--threads T] [--out PATH]");
+            std::process::exit(1);
+        }
+    };
+    let mut results = Vec::new();
+
+    // B²_54 at the design fault probability p = b^{-3d} (Theorem 2 regime).
+    {
+        let params = BdnParams::new(2, 54, 3, 1).unwrap();
+        let p = params.tolerated_fault_probability();
+        let host = Bdn::build(params);
+        results.push(time_scenario(
+            "b2_n54_bernoulli",
+            format!("n=54 b=3 eps_b=1 p={p:.3e} q=0"),
+            &host,
+            trials,
+            seed,
+            threads,
+            bernoulli_sampler(p, 0.0),
+        ));
+    }
+
+    // B²_192: a larger host, same regime.
+    {
+        let params = BdnParams::new(2, 192, 4, 1).unwrap();
+        let p = params.tolerated_fault_probability();
+        let host = Bdn::build(params);
+        results.push(time_scenario(
+            "b2_n192_bernoulli",
+            format!("n=192 b=4 eps_b=1 p={p:.3e} q=0"),
+            &host,
+            trials,
+            seed,
+            threads,
+            bernoulli_sampler(p, 0.0),
+        ));
+    }
+
+    // A²_108 with sparse node faults (Theorem 1 regime, q = 0).
+    {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let params = AdnParams::new(inner, 2, 6, 0.0).unwrap();
+        let host = Adn::build(params);
+        results.push(time_scenario(
+            "a2_n108_bernoulli",
+            "n=108 k=2 h=6 p=2e-3 q=0".to_string(),
+            &host,
+            trials,
+            seed,
+            threads,
+            bernoulli_sampler(2e-3, 0.0),
+        ));
+    }
+
+    // D²_{n,k} with the full worst-case budget of k random node faults.
+    {
+        let params = DdnParams::fit(2, 60, 2).unwrap();
+        let k = params.tolerated_faults();
+        let host = Ddn::new(params);
+        results.push(time_scenario(
+            "d2_adversarial_random",
+            format!("n={} b=2 k={k}", params.n),
+            &host,
+            trials,
+            seed,
+            threads,
+            node_list_sampler(move |host: &Ddn, seed| {
+                let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+                AdversaryPattern::Random.generate(host.shape(), k, &mut rng)
+            }),
+        ));
+    }
+
+    let json = emit_json(trials, seed, threads, &results);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -19,10 +19,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Sampler placing `k` faults from `pattern` (seeded per trial).
-fn adversary_sampler(
-    pattern: AdversaryPattern,
-    k: usize,
-) -> impl Fn(&Ddn, u64) -> ftt_faults::FaultSet + Sync {
+fn adversary_sampler(pattern: AdversaryPattern, k: usize) -> impl ftt_sim::FaultSampler<Ddn> {
     node_list_sampler(move |host: &Ddn, seed| {
         let mut rng = SmallRng::seed_from_u64(seed);
         pattern.generate(host.shape(), k, &mut rng)

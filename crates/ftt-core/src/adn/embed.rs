@@ -71,10 +71,7 @@ pub fn embed_torus(
                 continue;
             }
             for &img in &images[..ni] {
-                let alive = host_graph
-                    .edges_between(v, img)
-                    .into_iter()
-                    .any(|e| !halves.edge_faulty(e));
+                let alive = host_graph.any_edge_between(v, img, |e| !halves.edge_faulty(e));
                 if !alive {
                     continue 'cand;
                 }

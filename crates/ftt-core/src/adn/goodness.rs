@@ -37,6 +37,10 @@ impl Goodness {
 
 /// Classifies every node and supernode of `adn` under the given node
 /// faults and half-edge faults.
+///
+/// Cost is `O(N + T log T)` where `T` is the number of faulty halves —
+/// driven by [`HalfEdgeFaults::touched_edges`], never by a scan of all
+/// `E` edges, so sparse fault regimes classify in near-linear node time.
 pub fn classify(adn: &Adn, node_faulty: &[bool], halves: &HalfEdgeFaults) -> Goodness {
     let g = adn.graph();
     assert_eq!(node_faulty.len(), g.num_nodes());
@@ -44,37 +48,32 @@ pub fn classify(adn: &Adn, node_faulty: &[bool], halves: &HalfEdgeFaults) -> Goo
     let params = adn.params();
     let max_bad = params.max_bad_halves();
     let num_sus = params.num_supernodes();
-    let mut good_node = vec![false; g.num_nodes()];
-    // Reusable counter keyed by supernode (degree touches ≤ 11 distinct
-    // supernodes; a HashMap per node would allocate, so use a dense
-    // scratch array with a touched-list).
-    let mut scratch = vec![0u32; num_sus];
-    let mut touched: Vec<usize> = Vec::with_capacity(12);
-    for v in 0..g.num_nodes() {
-        if node_faulty[v] {
-            continue;
+    // Start from "alive ⇒ good" and demote nodes whose bad-half budget
+    // toward some supernode is exceeded. Only touched edges can demote,
+    // so group the faulty halves by (node, target supernode) and count
+    // runs instead of scanning every arc of every node.
+    let mut good_node: Vec<bool> = node_faulty.iter().map(|&f| !f).collect();
+    let mut bad_pairs: Vec<(u32, u32)> = Vec::new();
+    for &e in halves.touched_edges() {
+        let (a, b) = g.edge_endpoints(e);
+        if halves.half_faulty(e, 0) && !node_faulty[a] {
+            bad_pairs.push((a as u32, adn.supernode_of(b) as u32));
         }
-        touched.clear();
-        let mut ok = true;
-        for (t, e) in g.arcs(v) {
-            if !halves.half_faulty_at(g, e, v) {
-                continue;
-            }
-            let su = adn.supernode_of(t);
-            if scratch[su] == 0 {
-                touched.push(su);
-            }
-            scratch[su] += 1;
-            if scratch[su] as usize > max_bad {
-                ok = false;
-                // keep counting nothing further; cleanup below
-                break;
-            }
+        if halves.half_faulty(e, 1) && !node_faulty[b] {
+            bad_pairs.push((b as u32, adn.supernode_of(a) as u32));
         }
-        for &su in &touched {
-            scratch[su] = 0;
+    }
+    bad_pairs.sort_unstable();
+    let mut i = 0;
+    while i < bad_pairs.len() {
+        let mut j = i + 1;
+        while j < bad_pairs.len() && bad_pairs[j] == bad_pairs[i] {
+            j += 1;
         }
-        good_node[v] = ok;
+        if j - i > max_bad {
+            good_node[bad_pairs[i].0 as usize] = false;
+        }
+        i = j;
     }
     let mut good_count = vec![0u32; num_sus];
     for (v, &good) in good_node.iter().enumerate() {

@@ -120,7 +120,7 @@ impl Banding {
         // Slope condition per band.
         for (bi, band) in self.starts.iter().enumerate() {
             for z in 0..self.num_columns {
-                for z2 in cols.adjacent_columns(z) {
+                for z2 in cols.adjacent_columns_iter(z) {
                     let off = ring.offset(band[z], band[z2]);
                     if off.unsigned_abs() > 1 {
                         return Err(PlacementError::InvalidBanding {
@@ -132,10 +132,13 @@ impl Banding {
                 }
             }
         }
-        // Untouching: per column, sort starts and check cyclic gaps.
+        // Untouching: per column, sort starts and check cyclic gaps
+        // (one reused buffer — this runs per placement trial).
         if self.num_bands() >= 1 {
+            let mut ss: Vec<usize> = Vec::with_capacity(self.num_bands());
             for z in 0..self.num_columns {
-                let mut ss: Vec<usize> = self.starts.iter().map(|band| band[z]).collect();
+                ss.clear();
+                ss.extend(self.starts.iter().map(|band| band[z]));
                 ss.sort_unstable();
                 let k = ss.len();
                 for i in 0..k {

@@ -36,23 +36,107 @@ impl TorusEmbedding {
     }
 }
 
+/// Per-column band-start index: for every column, the `(start, band)`
+/// pairs sorted by start. Masked-row lookups binary-search `num_bands`
+/// entries — a compact, cache-resident replacement for the `O(N)`
+/// per-node owner table, so extraction never allocates host-sized
+/// buffers.
+struct ColBandIndex {
+    /// `entries[z·nb .. (z+1)·nb]`, sorted by start within each column.
+    entries: Vec<(u32, u32)>,
+    /// Masked-row bitmap, `wpc` words per column — the O(1) fast path
+    /// for the (majority) unmasked lookups.
+    masked: Vec<u64>,
+    wpc: usize,
+    nb: usize,
+    width: usize,
+    ring: CyclicRing,
+}
+
+impl ColBandIndex {
+    fn build(banding: &Banding, ring: CyclicRing) -> Result<Self, PlacementError> {
+        let nb = banding.num_bands();
+        let nc = banding.num_columns();
+        let width = banding.width();
+        let m = banding.m();
+        let wpc = m.div_ceil(64);
+        let mut entries = vec![(0u32, 0u32); nc * nb];
+        let mut masked = vec![0u64; nc * wpc];
+        for z in 0..nc {
+            let run = &mut entries[z * nb..(z + 1) * nb];
+            for (band, e) in run.iter_mut().enumerate() {
+                *e = (banding.start(band, z) as u32, band as u32);
+            }
+            run.sort_unstable();
+            // Overlap guard (the invariant mask_owner enforces):
+            // consecutive starts must be at least `width` apart. A single
+            // band cannot overlap itself, so skip the wrap check then.
+            if nb >= 2 {
+                for k in 0..nb {
+                    let (cur, cb) = run[k];
+                    let (nxt, nb2) = run[(k + 1) % nb];
+                    if ring.sub(nxt as usize, cur as usize) < width {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!("bands {cb} and {nb2} overlap in column {z}"),
+                        });
+                    }
+                }
+            }
+            for band in 0..nb {
+                for i in banding.footprint(band, z).iter() {
+                    masked[z * wpc + (i >> 6)] |= 1 << (i & 63);
+                }
+            }
+        }
+        Ok(Self {
+            entries,
+            masked,
+            wpc,
+            nb,
+            width,
+            ring,
+        })
+    }
+
+    /// Whether row `i` of column `z` is masked by some band.
+    #[inline]
+    fn is_masked(&self, i: usize, z: usize) -> bool {
+        self.masked[z * self.wpc + (i >> 6)] >> (i & 63) & 1 != 0
+    }
+
+    /// The band masking row `i` of column `z`, if any.
+    #[inline]
+    fn band_at(&self, i: usize, z: usize) -> Option<usize> {
+        if !self.is_masked(i, z) {
+            return None;
+        }
+        let run = &self.entries[z * self.nb..(z + 1) * self.nb];
+        let pos = run.partition_point(|&(s, _)| (s as usize) <= i);
+        let (s, band) = if pos == 0 {
+            run[self.nb - 1]
+        } else {
+            run[pos - 1]
+        };
+        debug_assert!(self.ring.sub(i, s as usize) < self.width);
+        Some(band as usize)
+    }
+}
+
 /// One step of the jump-path walk: the height a path at height `i` in
 /// column `from` reaches in adjacent column `to`.
+#[inline]
 fn transit(
     banding: &Banding,
-    owner: &[u32],
-    cols: &ColumnSpace,
+    index: &ColBandIndex,
     ring: CyclicRing,
     b: usize,
     i: usize,
     from: usize,
     to: usize,
 ) -> Result<usize, PlacementError> {
-    let node = cols.node(i, to);
-    if owner[node] == 0 {
+    let Some(band) = index.band_at(i, to) else {
         return Ok(i); // unmasked straight ahead
-    }
-    let band = (owner[node] - 1) as usize;
+    };
     let s_to = banding.start(band, to);
     let s_from = banding.start(band, from);
     if s_from == ring.succ(s_to) {
@@ -82,22 +166,31 @@ pub fn extract_torus(bdn: &Bdn, banding: &Banding) -> Result<TorusEmbedding, Pla
     let cols = bdn.cols();
     let (n, b, m) = (params.n, params.b, params.m());
     let ring = CyclicRing::new(m);
-    let owner = banding.mask_owner(cols)?;
+    let index = ColBandIndex::build(banding, ring)?;
 
     // Column cycles: unmasked rows per column, ascending; check gap
-    // structure (1 or b+1).
+    // structure (1 or b+1). Flat `heights[z·n + idx]` layout, read off
+    // the index's masked bitmap — this runs once per Monte-Carlo trial.
     let nc = cols.num_columns();
-    let mut heights: Vec<Vec<usize>> = Vec::with_capacity(nc);
+    let mut heights = vec![0usize; nc * n];
     for z in 0..nc {
-        let rows = banding.unmasked_rows(z);
-        if rows.len() != n {
+        let mut cnt = 0usize;
+        for i in 0..m {
+            if !index.is_masked(i, z) {
+                if cnt < n {
+                    heights[z * n + cnt] = i;
+                }
+                cnt += 1;
+            }
+        }
+        if cnt != n {
             return Err(PlacementError::InvalidBanding {
-                reason: format!("column {z}: {} unmasked rows, want {n}", rows.len()),
+                reason: format!("column {z}: {cnt} unmasked rows, want {n}"),
             });
         }
-        for idx in 0..rows.len() {
-            let cur = rows[idx];
-            let nxt = rows[(idx + 1) % rows.len()];
+        for idx in 0..n {
+            let cur = heights[z * n + idx];
+            let nxt = heights[z * n + (idx + 1) % n];
             let gap = ring.sub(nxt, cur);
             if gap != 1 && gap != b + 1 {
                 return Err(PlacementError::InvalidBanding {
@@ -105,30 +198,27 @@ pub fn extract_torus(bdn: &Bdn, banding: &Banding) -> Result<TorusEmbedding, Pla
                 });
             }
         }
-        heights.push(rows);
     }
 
     // Alignment: BFS over the column torus from column 0, transporting
     // the cyclic indexing of column 0's unmasked rows.
-    // aligned[z][idx] = height of the idx-th row of the guest torus in
-    // column z.
-    let mut aligned: Vec<Vec<usize>> = vec![Vec::new(); nc];
-    aligned[0] = heights[0].clone();
+    // aligned[z·n + idx] = height of the idx-th row of the guest torus
+    // in column z.
+    let mut aligned = vec![0usize; nc * n];
+    aligned[..n].copy_from_slice(&heights[..n]);
     let mut visited = vec![false; nc];
     visited[0] = true;
     let mut queue = std::collections::VecDeque::new();
     queue.push_back(0usize);
     while let Some(z) = queue.pop_front() {
-        for z2 in cols.adjacent_columns(z) {
+        for z2 in cols.adjacent_columns_iter(z) {
             if visited[z2] {
                 continue;
             }
-            let mut v = Vec::with_capacity(n);
             for idx in 0..n {
-                let h = transit(banding, &owner, cols, ring, b, aligned[z][idx], z, z2)?;
-                v.push(h);
+                let h = transit(banding, &index, ring, b, aligned[z * n + idx], z, z2)?;
+                aligned[z2 * n + idx] = h;
             }
-            aligned[z2] = v;
             visited[z2] = true;
             queue.push_back(z2);
         }
@@ -137,10 +227,10 @@ pub fn extract_torus(bdn: &Bdn, banding: &Banding) -> Result<TorusEmbedding, Pla
 
     // Lemma 7 check: every adjacent pair must agree for every index.
     for z in 0..nc {
-        for z2 in cols.adjacent_columns(z) {
+        for z2 in cols.adjacent_columns_iter(z) {
             for idx in 0..n {
-                let h = transit(banding, &owner, cols, ring, b, aligned[z][idx], z, z2)?;
-                if h != aligned[z2][idx] {
+                let h = transit(banding, &index, ring, b, aligned[z * n + idx], z, z2)?;
+                if h != aligned[z2 * n + idx] {
                     return Err(PlacementError::AlignmentInconsistent { column: z2 });
                 }
             }
@@ -152,7 +242,7 @@ pub fn extract_torus(bdn: &Bdn, banding: &Banding) -> Result<TorusEmbedding, Pla
     let mut map = vec![0usize; guest_cols.len()];
     for z in 0..nc {
         for idx in 0..n {
-            map[guest_cols.node(idx, z)] = cols.node(aligned[z][idx], z);
+            map[guest_cols.node(idx, z)] = cols.node(aligned[z * n + idx], z);
         }
     }
     let guest = Shape::cube(n, params.d);
@@ -163,6 +253,17 @@ pub fn extract_torus(bdn: &Bdn, banding: &Banding) -> Result<TorusEmbedding, Pla
 /// torus in one call. This is "Theorem 2 as an algorithm".
 pub fn extract_after_faults(bdn: &Bdn, faulty: &[bool]) -> Result<TorusEmbedding, PlacementError> {
     let placement = super::place::place_bands(bdn, faulty)?;
+    extract_torus(bdn, &placement.banding)
+}
+
+/// [`extract_after_faults`] driven by an explicit (duplicate-free) list
+/// of faulty node ids — the sparse Monte-Carlo hot path, whose
+/// fault-handling cost is `O(#faults)` instead of `O(N)`.
+pub fn extract_after_faults_ids(
+    bdn: &Bdn,
+    faulty_ids: &[usize],
+) -> Result<TorusEmbedding, PlacementError> {
+    let placement = super::place::place_bands_for_ids(bdn, faulty_ids)?;
     extract_torus(bdn, &placement.banding)
 }
 

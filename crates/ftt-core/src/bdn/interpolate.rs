@@ -47,6 +47,13 @@ pub fn interpolate_bands(
     let num_columns = col_shape.len();
     let den = 2 * tile_side as u64;
     let corners = 1usize << cdim;
+    let denom = den.pow(cdim as u32);
+    // Per-column coordinate buffers, hoisted out of the hot loop: this
+    // runs for every (band, column) pair of every placement, so no
+    // allocation may happen inside.
+    let mut tile_coord = vec![0usize; cdim];
+    let mut nums = vec![0u64; cdim];
+    let mut corner = vec![0usize; cdim];
     let mut bands: Vec<Vec<usize>> = Vec::new();
     for row_vals in corner_values {
         for band_vals in row_vals {
@@ -54,8 +61,6 @@ pub fn interpolate_bands(
             let mut beta = vec![0usize; num_columns];
             for (z, bz) in beta.iter_mut().enumerate() {
                 // locate column tile and within-tile offsets
-                let mut tile_coord = vec![0usize; cdim];
-                let mut nums = vec![0u64; cdim];
                 for a in 0..cdim {
                     let c = col_shape.coord_of(z, a);
                     tile_coord[a] = c / tile_side;
@@ -65,7 +70,6 @@ pub fn interpolate_bands(
                 let mut acc: u64 = 0;
                 for mask in 0..corners {
                     let mut weight: u64 = 1;
-                    let mut corner = vec![0usize; cdim];
                     for a in 0..cdim {
                         if mask & (1 << a) != 0 {
                             weight *= nums[a];
@@ -77,7 +81,6 @@ pub fn interpolate_bands(
                     }
                     acc += weight * band_vals[col_tile_shape.flatten(&corner)];
                 }
-                let denom = den.pow(cdim as u32);
                 *bz = (acc / denom) as usize;
             }
             bands.push(beta);

@@ -303,11 +303,9 @@ impl Bdn {
         &self,
         faults: &ftt_faults::FaultSet,
     ) -> Result<extract::TorusEmbedding, crate::error::PlacementError> {
-        let ascribed = faults.ascribe_edges_to_nodes(|e| self.graph.edge_endpoints(e));
-        let faulty: Vec<bool> = (0..self.num_nodes())
-            .map(|v| ascribed.node_faulty(v))
-            .collect();
-        extract::extract_after_faults(self, &faulty)
+        let mut ascribed = ftt_faults::SparseSet::new(self.num_nodes());
+        faults.ascribe_into(|e| self.graph.edge_endpoints(e), &mut ascribed);
+        extract::extract_after_faults_ids(self, ascribed.ids())
     }
 }
 

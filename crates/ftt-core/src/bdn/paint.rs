@@ -155,7 +155,7 @@ fn find_regions(grid: &TileGrid, color: &[TileColor]) -> (Vec<Region>, Vec<u32>)
         stack.push(start);
         while let Some(t) = stack.pop() {
             tiles.push(t);
-            for nb in gs.torus_neighbors(t) {
+            for nb in gs.torus_neighbors_iter(t) {
                 if color[nb] == TileColor::Black && region_of[nb] == u32::MAX {
                     region_of[nb] = id;
                     stack.push(nb);

@@ -41,17 +41,38 @@ pub fn max_frame_radius(params: &BdnParams) -> usize {
 
 /// Places masking bands for the given node faults (`faulty[node]`).
 ///
+/// Convenience wrapper over [`place_bands_for_ids`] for callers holding
+/// a dense bitmap; costs one `O(N)` scan to gather the fault list.
+pub fn place_bands(bdn: &Bdn, faulty: &[bool]) -> Result<Placement, PlacementError> {
+    assert_eq!(faulty.len(), bdn.cols().len(), "fault bitmap size mismatch");
+    let ids: Vec<usize> = faulty
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &f)| f.then_some(v))
+        .collect();
+    place_bands_for_ids(bdn, &ids)
+}
+
+/// Places masking bands for the given faulty node ids (duplicate-free).
+///
+/// This is the Monte-Carlo hot path: every fault-driven step is
+/// `O(#faults)` — per-tile counts, region fault gathering, and the
+/// masks-all audit walk the id list, never the whole host.
+///
 /// On success the returned banding is validated: slope ≤ 1, mutually
 /// untouching, masks every fault, and leaves exactly `n` unmasked rows
 /// per column.
-pub fn place_bands(bdn: &Bdn, faulty: &[bool]) -> Result<Placement, PlacementError> {
+pub fn place_bands_for_ids(bdn: &Bdn, faulty_ids: &[usize]) -> Result<Placement, PlacementError> {
     let params = *bdn.params();
     let cols = bdn.cols();
-    assert_eq!(faulty.len(), cols.len(), "fault bitmap size mismatch");
     let t = params.tile_side();
     let (b, eps_b, m) = (params.b, params.eps_b, params.m());
     let grid = tile_grid(&params);
-    let tile_faults = grid.count_per_tile(|node| faulty[node]);
+    let mut tile_faults = vec![0u32; grid.num_tiles()];
+    for &node in faulty_ids {
+        debug_assert!(node < cols.len(), "faulty node {node} out of range");
+        tile_faults[grid.tile_of_node(node)] += 1;
+    }
 
     // 1. Paint.
     let painting = paint(&grid, &tile_faults, max_frame_radius(&params))?;
@@ -63,10 +84,7 @@ pub fn place_bands(bdn: &Bdn, faulty: &[bool]) -> Result<Placement, PlacementErr
     {
         // gather fault rel-rows per region
         let mut region_fault_rows: Vec<Vec<usize>> = vec![Vec::new(); painting.regions.len()];
-        for node in 0..cols.len() {
-            if !faulty[node] {
-                continue;
-            }
+        for &node in faulty_ids {
             let tile = grid.tile_of_node(node);
             let rid = painting.region_of[tile];
             debug_assert_ne!(rid, u32::MAX, "faulty node in white tile");
@@ -103,21 +121,20 @@ pub fn place_bands(bdn: &Bdn, faulty: &[bool]) -> Result<Placement, PlacementErr
 
     // 5. Validate all banding invariants.
     banding.validate(cols)?;
-    banding.masks_all(
-        (0..cols.len())
-            .filter(|&v| faulty[v])
-            .map(|v| cols.split(v)),
-    )?;
-    for z in 0..cols.num_columns() {
-        let unmasked = banding.unmasked_rows(z).len();
-        if unmasked != params.n {
-            return Err(PlacementError::InvalidBanding {
-                reason: format!(
-                    "column {z} has {unmasked} unmasked rows, expected {}",
-                    params.n
-                ),
-            });
-        }
+    banding.masks_all(faulty_ids.iter().map(|&v| cols.split(v)))?;
+    // Lemma 6 arithmetic: validate() established that the bands are
+    // mutually untouching, so every column masks exactly num_bands · b
+    // distinct rows — the per-column unmasked count is m − num_bands · b
+    // everywhere, checked once instead of with an O(columns · m) sweep.
+    let unmasked = m - banding.num_bands() * b;
+    if unmasked != params.n {
+        return Err(PlacementError::InvalidBanding {
+            reason: format!(
+                "{} bands of width {b} leave {unmasked} unmasked rows per column, expected {}",
+                banding.num_bands(),
+                params.n
+            ),
+        });
     }
     let num_black_tiles = painting.regions.iter().map(|r| r.tiles.len()).sum();
     Ok(Placement {
@@ -151,18 +168,20 @@ fn assemble_corner_values(
     };
     let mut values: CornerValues = vec![vec![vec![0u64; num_corners]; eps_b]; num_tile_rows];
     let mut full_coord = vec![0usize; 1 + cdim];
+    let mut coord = vec![0usize; cdim];
     for big_r in 0..num_tile_rows {
         for x in 0..num_corners {
             // incident column tiles: x − δ, δ ∈ {0,1}^{cdim}
             let xc = col_tile_shape.unflatten(x);
             let mut dictated: Option<(usize, usize)> = None; // (region, tile)
             for mask in 0..(1usize << cdim) {
-                let mut coord = xc.clone();
                 for a in 0..cdim {
-                    if mask & (1 << a) != 0 {
-                        let n = col_tile_shape.dim(a);
-                        coord[a] = (coord[a] + n - 1) % n;
-                    }
+                    let n = col_tile_shape.dim(a);
+                    coord[a] = if mask & (1 << a) != 0 {
+                        (xc[a] + n - 1) % n
+                    } else {
+                        xc[a]
+                    };
                 }
                 full_coord[0] = big_r;
                 full_coord[1..].copy_from_slice(&coord);

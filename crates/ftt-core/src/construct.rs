@@ -21,7 +21,7 @@ use crate::bdn::extract::TorusEmbedding;
 use crate::bdn::Bdn;
 use crate::ddn::Ddn;
 use crate::error::PlacementError;
-use ftt_faults::{FaultSet, HalfEdgeFaults};
+use ftt_faults::{FaultSet, HalfEdgeFaults, SparseSet};
 use ftt_graph::Graph;
 
 /// A fault-tolerant host network containing a guest torus.
@@ -34,9 +34,20 @@ use ftt_graph::Graph;
 ///    [`try_extract`](Self::try_extract) returns an embedding that
 ///    avoids every faulty node and every faulty edge of `faults`
 ///    (checkable with `ftt_graph::verify_torus_embedding`).
+///
+/// Extraction comes in two flavours: one-shot
+/// [`try_extract`](Self::try_extract), and the Monte-Carlo hot path
+/// [`try_extract_with`](Self::try_extract_with), which threads a
+/// reusable per-worker [`Scratch`](Self::Scratch) so the per-trial
+/// fault-conversion work is `O(#faults)` and allocation-free.
 pub trait HostConstruction: Sized {
     /// Validated parameter set of the construction.
     type Params: Clone + std::fmt::Debug;
+
+    /// Reusable per-worker state for repeated extractions
+    /// (fault-conversion buffers; see
+    /// [`try_extract_with`](Self::try_extract_with)).
+    type Scratch;
 
     /// Short name for tables and CLI output (e.g. `"B^d_n"`).
     const NAME: &'static str;
@@ -60,13 +71,42 @@ pub trait HostConstruction: Sized {
     /// or `11h−1`-style formulas from the theorems).
     fn expected_degree(&self) -> usize;
 
-    /// Masks `faults` and extracts a fault-free guest torus, or reports
-    /// why the placement machinery could not.
-    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError>;
+    /// Fresh extraction scratch sized for this host.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Masks `faults` and extracts a fault-free guest torus, reusing
+    /// `scratch` across calls — conversion to the construction's own
+    /// fault formalism costs `O(#faults)` and performs no steady-state
+    /// allocation. `scratch` carries no information between calls.
+    fn try_extract_with(
+        &self,
+        faults: &FaultSet,
+        scratch: &mut Self::Scratch,
+    ) -> Result<TorusEmbedding, PlacementError>;
+
+    /// One-shot extraction: masks `faults` and extracts a fault-free
+    /// guest torus, or reports why the placement machinery could not.
+    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
+        let mut scratch = self.new_scratch();
+        self.try_extract_with(faults, &mut scratch)
+    }
+}
+
+/// Reusable fault-conversion buffers for `A^2_n` extraction: the dense
+/// node-fault bitmap handed to the goodness classifier (reset via the
+/// fault list, `O(#faults)` per trial) and the half-edge view of
+/// whole-edge faults.
+#[derive(Debug, Clone)]
+pub struct AdnScratch {
+    node_faulty: Vec<bool>,
+    halves: HalfEdgeFaults,
 }
 
 impl HostConstruction for Bdn {
     type Params = crate::bdn::BdnParams;
+
+    /// Ascribed node-fault accumulator (bitmap + id list).
+    type Scratch = SparseSet;
 
     const NAME: &'static str = "B^d_n";
 
@@ -90,13 +130,26 @@ impl HostConstruction for Bdn {
         Bdn::params(self).expected_degree()
     }
 
-    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
-        Bdn::try_extract(self, faults)
+    fn new_scratch(&self) -> SparseSet {
+        SparseSet::new(Bdn::num_nodes(self))
+    }
+
+    fn try_extract_with(
+        &self,
+        faults: &FaultSet,
+        scratch: &mut SparseSet,
+    ) -> Result<TorusEmbedding, PlacementError> {
+        // Edge faults are ascribed to an endpoint as in Section 3; the
+        // whole conversion is O(#faults) into the reused sparse set.
+        faults.ascribe_into(|e| Bdn::graph(self).edge_endpoints(e), scratch);
+        crate::bdn::extract::extract_after_faults_ids(self, scratch.ids())
     }
 }
 
 impl HostConstruction for Adn {
     type Params = crate::adn::AdnParams;
+
+    type Scratch = AdnScratch;
 
     const NAME: &'static str = "A^2_n";
 
@@ -120,24 +173,48 @@ impl HostConstruction for Adn {
         Adn::params(self).expected_degree()
     }
 
-    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
+    fn new_scratch(&self) -> AdnScratch {
+        AdnScratch {
+            node_faulty: vec![false; Adn::num_nodes(self)],
+            halves: HalfEdgeFaults::none(Adn::graph(self).num_edges()),
+        }
+    }
+
+    fn try_extract_with(
+        &self,
+        faults: &FaultSet,
+        scratch: &mut AdnScratch,
+    ) -> Result<TorusEmbedding, PlacementError> {
         // A whole-edge fault is both of its half-edges failing — the
         // worst case of the half-edge model, so goodness thresholds
-        // remain valid and the embedding avoids the edge.
-        let node_faulty: Vec<bool> = (0..self.num_nodes())
-            .map(|v| faults.node_faulty(v))
-            .collect();
-        let mut halves = HalfEdgeFaults::none(self.graph().num_edges());
+        // remain valid and the embedding avoids the edge. Both scratch
+        // buffers are populated and reset through the fault lists, so
+        // the conversion is O(#faults) with no allocation.
+        let AdnScratch {
+            node_faulty,
+            halves,
+        } = scratch;
+        for v in faults.faulty_nodes() {
+            node_faulty[v] = true;
+        }
+        halves.clear();
         for e in faults.faulty_edges() {
             halves.kill_half(e, 0);
             halves.kill_half(e, 1);
         }
-        crate::adn::embed::extract_after_faults_adn(self, &node_faulty, &halves)
+        let result = crate::adn::embed::extract_after_faults_adn(self, node_faulty, halves);
+        for v in faults.faulty_nodes() {
+            node_faulty[v] = false;
+        }
+        result
     }
 }
 
 impl HostConstruction for Ddn {
     type Params = crate::ddn::DdnParams;
+
+    /// Ascribed node-fault accumulator (bitmap + id list).
+    type Scratch = SparseSet;
 
     const NAME: &'static str = "D^d_{n,k}";
 
@@ -161,19 +238,28 @@ impl HostConstruction for Ddn {
         Ddn::params(self).expected_degree()
     }
 
-    fn try_extract(&self, faults: &FaultSet) -> Result<TorusEmbedding, PlacementError> {
+    fn new_scratch(&self) -> SparseSet {
+        SparseSet::new(self.shape().len())
+    }
+
+    fn try_extract_with(
+        &self,
+        faults: &FaultSet,
+        scratch: &mut SparseSet,
+    ) -> Result<TorusEmbedding, PlacementError> {
         // Edge faults are ascribed to an endpoint (the Theorem 3
         // reduction); avoid materialising the graph when there are none.
-        let faulty: Vec<usize> = if faults.count_edge_faults() > 0 {
+        scratch.clear();
+        for v in faults.faulty_nodes() {
+            scratch.insert(v);
+        }
+        if faults.count_edge_faults() > 0 {
             let g = HostConstruction::graph(self);
-            faults
-                .ascribe_edges_to_nodes(|e| g.edge_endpoints(e))
-                .faulty_nodes()
-                .collect()
-        } else {
-            faults.faulty_nodes().collect()
-        };
-        Ddn::try_extract(self, &faulty)
+            for e in faults.faulty_edges() {
+                scratch.insert(g.edge_endpoints(e).0);
+            }
+        }
+        Ddn::try_extract(self, scratch.ids())
     }
 }
 

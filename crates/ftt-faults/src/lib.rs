@@ -11,11 +11,23 @@
 //!   independent across supernodes (Section 4);
 //! * **worst-case faults**: arbitrary sets of `k` node/edge faults
 //!   (Theorem 3), generated here by a family of adversarial patterns.
+//!
+//! # Performance
+//!
+//! All fault state is sparse-first: [`FaultSet`] and [`HalfEdgeFaults`]
+//! pair packed `u64` bitmaps (`O(1)` alive predicates) with explicit
+//! fault-id lists (`O(#faults)` iteration, `O(1)` counts, `O(#faults)`
+//! [`FaultSet::clear`] for in-place reuse), and the Bernoulli samplers
+//! use geometric-skip sampling — `O(pN + qE)` expected RNG draws instead
+//! of one per element. See the `set` and `random` module docs for the
+//! cost model and the per-seed determinism contract.
 
 pub mod adversary;
 pub mod random;
 pub mod set;
 
 pub use adversary::{mixed_adversarial_faults, AdversaryPattern};
-pub use random::{sample_bernoulli_faults, HalfEdgeFaults};
-pub use set::FaultSet;
+pub use random::{
+    sample_bernoulli_faults, sample_bernoulli_faults_into, sample_indices, HalfEdgeFaults,
+};
+pub use set::{FaultSet, SparseSet};

@@ -1,13 +1,95 @@
 //! Random fault sampling: independent Bernoulli node/edge faults and the
 //! half-edge model of Section 4.
+//!
+//! # Performance and the determinism contract
+//!
+//! All samplers here use **geometric-skip (inverse-CDF) Bernoulli
+//! sampling**: instead of one RNG draw per element, the gap to the next
+//! faulty element is drawn directly as `⌊ln U / ln(1−p)⌋` with
+//! `U ~ (0, 1]`, which is exactly geometric with success probability
+//! `p`. Sampling a host with `N` nodes and `E` edges therefore costs
+//! `O(pN + qE)` expected RNG draws — proportional to the *faults*, not
+//! the *host* — which is what the paper's sparse regimes
+//! (`p = log^{−3d} n`, `k ≤ n^{1−2^{−d}}`) demand.
+//!
+//! **Determinism contract**: for a fixed build of this crate, a sampler
+//! is a pure function of `(graph sizes, p, q, seed)` — the same seed
+//! always yields the same fault set, independent of threads or callers.
+//! The RNG *stream positions* differ from a per-element sampler (each
+//! fault consumes one draw, plus one terminating draw), so fault sets
+//! are not comparable across sampler implementations — only across runs
+//! of the same build, which is all the Monte-Carlo contract requires.
 
 use crate::set::FaultSet;
 use ftt_graph::Graph;
 use rand::Rng;
 
+/// One draw from the open-closed unit interval `(0, 1]`, with 53
+/// mantissa bits (exactly representable in an `f64`).
+#[inline]
+fn unit_oc<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Calls `hit(i)` for every `i` in `0..len` that an independent
+/// Bernoulli(`p`) coin marks, in ascending order, using `O(p·len)`
+/// expected RNG draws (geometric-skip sampling).
+///
+/// Deterministic per RNG state; see the module docs for the contract.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn sample_indices<R: Rng + ?Sized>(
+    len: usize,
+    p: f64,
+    rng: &mut R,
+    mut hit: impl FnMut(usize),
+) {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+    if len == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..len {
+            hit(i);
+        }
+        return;
+    }
+    let denom = (1.0 - p).ln();
+    if denom == 0.0 {
+        // p below f64 resolution (1 − p rounds to 1): the success
+        // probability over any representable range is negligible.
+        return;
+    }
+    let mut i = 0usize;
+    loop {
+        // skip ~ Geometric(p): number of failures before the next success.
+        let skip = (unit_oc(rng).ln() / denom).floor();
+        if skip >= (len - i) as f64 {
+            return;
+        }
+        i += skip as usize;
+        hit(i);
+        i += 1;
+        if i >= len {
+            return;
+        }
+    }
+}
+
 /// Samples a fault set where each node fails independently with
-/// probability `p` and each edge with probability `q`.
-pub fn sample_bernoulli_faults<R: Rng>(g: &Graph, p: f64, q: f64, rng: &mut R) -> FaultSet {
+/// probability `p` and each edge with probability `q`, into `out`
+/// (cleared first) — the zero-allocation hot path. Expected cost
+/// `O(pN + qE)` RNG draws.
+pub fn sample_bernoulli_faults_into<R: Rng + ?Sized>(
+    g: &Graph,
+    p: f64,
+    q: f64,
+    rng: &mut R,
+    out: &mut FaultSet,
+) {
+    assert_eq!(out.num_nodes(), g.num_nodes(), "node domain mismatch");
+    assert_eq!(out.num_edges(), g.num_edges(), "edge domain mismatch");
     assert!(
         (0.0..=1.0).contains(&p),
         "node fault probability out of range"
@@ -16,21 +98,16 @@ pub fn sample_bernoulli_faults<R: Rng>(g: &Graph, p: f64, q: f64, rng: &mut R) -
         (0.0..=1.0).contains(&q),
         "edge fault probability out of range"
     );
+    out.clear();
+    sample_indices(g.num_nodes(), p, rng, |v| out.kill_node(v));
+    sample_indices(g.num_edges(), q, rng, |e| out.kill_edge(e as u32));
+}
+
+/// Samples a fault set where each node fails independently with
+/// probability `p` and each edge with probability `q`.
+pub fn sample_bernoulli_faults<R: Rng>(g: &Graph, p: f64, q: f64, rng: &mut R) -> FaultSet {
     let mut s = FaultSet::none(g.num_nodes(), g.num_edges());
-    if p > 0.0 {
-        for v in 0..g.num_nodes() {
-            if rng.gen_bool(p) {
-                s.kill_node(v);
-            }
-        }
-    }
-    if q > 0.0 {
-        for e in 0..g.num_edges() {
-            if rng.gen_bool(q) {
-                s.kill_edge(e as u32);
-            }
-        }
-    }
+    sample_bernoulli_faults_into(g, p, q, rng, &mut s);
     s
 }
 
@@ -41,42 +118,69 @@ pub fn sample_bernoulli_faults<R: Rng>(g: &Graph, p: f64, q: f64, rng: &mut R) -
 /// faulty iff **both** halves are, which makes each edge faulty with
 /// probability exactly `q` while keeping the events "half-edges around
 /// supernode `U` are bad" independent across supernodes.
+///
+/// Like [`FaultSet`], the representation is sparse-first: a packed
+/// bitmap (two bits per edge, lazily grown words) plus the explicit
+/// list of *touched* edges (at least one bad half), so consumers can
+/// walk the faulty halves in `O(#touched)` instead of `O(E)` and
+/// [`HalfEdgeFaults::none`] allocates nothing.
 #[derive(Debug, Clone)]
 pub struct HalfEdgeFaults {
-    /// `half[e] & 1` — half incident to `endpoints(e).0` is faulty;
-    /// `half[e] & 2` — half incident to `endpoints(e).1` is faulty.
-    half: Vec<u8>,
+    num_edges: usize,
+    /// Two bits per edge (32 edges per word): bit `2(e mod 32)` — half
+    /// incident to `endpoints(e).0` is faulty; bit `2(e mod 32) + 1` —
+    /// half incident to `endpoints(e).1`. Missing words read as zero.
+    words: Vec<u64>,
+    /// Edges with at least one faulty half, in first-touch order.
+    touched: Vec<u32>,
 }
 
 impl HalfEdgeFaults {
-    /// Samples half-edge faults with per-half probability `sqrt_q`.
+    /// A fault-free instance over `num_edges` edges. Allocation-free.
+    pub fn none(num_edges: usize) -> Self {
+        Self {
+            num_edges,
+            words: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Samples half-edge faults with per-half probability `sqrt_q`, in
+    /// `O(√q · E)` expected RNG draws.
     pub fn sample<R: Rng>(g: &Graph, sqrt_q: f64, rng: &mut R) -> Self {
         assert!(
             (0.0..=1.0).contains(&sqrt_q),
             "half-edge probability out of range"
         );
-        let mut half = vec![0u8; g.num_edges()];
-        if sqrt_q > 0.0 {
-            for h in half.iter_mut() {
-                let a = rng.gen_bool(sqrt_q) as u8;
-                let b = rng.gen_bool(sqrt_q) as u8;
-                *h = a | (b << 1);
-            }
-        }
-        Self { half }
+        let mut h = Self::none(g.num_edges());
+        // Half-slot 2e is edge e's first-endpoint half, 2e+1 its second.
+        sample_indices(2 * g.num_edges(), sqrt_q, rng, |slot| {
+            h.kill_half((slot / 2) as u32, slot % 2);
+        });
+        h
     }
 
-    /// A fault-free instance over `num_edges` edges.
-    pub fn none(num_edges: usize) -> Self {
-        Self {
-            half: vec![0; num_edges],
+    /// Removes every half-edge fault in `O(#touched)`, keeping capacity.
+    pub fn clear(&mut self) {
+        for &e in &self.touched {
+            self.words[e as usize / 32] &= !(0b11 << (2 * (e as usize % 32)));
         }
+        self.touched.clear();
     }
 
     /// Marks the half of `e` incident to `endpoint_index` (0 or 1) faulty.
     pub fn kill_half(&mut self, e: u32, endpoint_index: usize) {
         assert!(endpoint_index < 2);
-        self.half[e as usize] |= 1 << endpoint_index;
+        assert!((e as usize) < self.num_edges, "edge {e} out of range");
+        let w = e as usize / 32;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let pair_shift = 2 * (e as usize % 32);
+        if self.words[w] >> pair_shift & 0b11 == 0 {
+            self.touched.push(e);
+        }
+        self.words[w] |= 1 << (pair_shift + endpoint_index);
     }
 
     /// Whether the half of edge `e` incident to endpoint `endpoint_index`
@@ -84,7 +188,9 @@ impl HalfEdgeFaults {
     #[inline]
     pub fn half_faulty(&self, e: u32, endpoint_index: usize) -> bool {
         debug_assert!(endpoint_index < 2);
-        self.half[e as usize] & (1 << endpoint_index) != 0
+        self.words
+            .get(e as usize / 32)
+            .is_some_and(|w| w >> (2 * (e as usize % 32) + endpoint_index) & 1 != 0)
     }
 
     /// Whether the half of edge `e` incident to node `v` is faulty.
@@ -103,19 +209,43 @@ impl HalfEdgeFaults {
     /// Whether edge `e` is faulty (both halves down).
     #[inline]
     pub fn edge_faulty(&self, e: u32) -> bool {
-        self.half[e as usize] == 3
+        self.words
+            .get(e as usize / 32)
+            .is_some_and(|w| w >> (2 * (e as usize % 32)) & 0b11 == 0b11)
     }
 
     /// Number of edges covered.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.half.len()
+        self.num_edges
+    }
+
+    /// Edges with at least one faulty half, in first-touch order.
+    #[inline]
+    pub fn touched_edges(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Iterates fully-faulty edge ids (both halves down) in
+    /// `O(#touched)`.
+    pub fn faulty_edges(&self) -> impl Iterator<Item = u32> + '_ {
+        self.touched
+            .iter()
+            .copied()
+            .filter(|&e| self.edge_faulty(e))
+    }
+
+    /// Number of fully-faulty edges. `O(#touched)`.
+    pub fn count_faulty_edges(&self) -> usize {
+        self.faulty_edges().count()
     }
 
     /// Collapses to an edge-level fault bitmap (an edge is faulty iff both
-    /// halves are).
+    /// halves are). `O(E)` — intended for audits, not hot loops.
     pub fn to_edge_faults(&self) -> Vec<bool> {
-        self.half.iter().map(|&h| h == 3).collect()
+        (0..self.num_edges)
+            .map(|e| self.edge_faulty(e as u32))
+            .collect()
     }
 }
 
@@ -158,6 +288,44 @@ mod tests {
     }
 
     #[test]
+    fn sample_into_reuses_scratch() {
+        let g = torus(&Shape::new(vec![6, 6]));
+        let mut scratch = FaultSet::none(g.num_nodes(), g.num_edges());
+        let mut rng = SmallRng::seed_from_u64(9);
+        sample_bernoulli_faults_into(&g, 0.5, 0.5, &mut rng, &mut scratch);
+        assert!(scratch.count_faults() > 0);
+        // A second sample fully overwrites the first.
+        let fresh = sample_bernoulli_faults(&g, 0.1, 0.0, &mut SmallRng::seed_from_u64(10));
+        sample_bernoulli_faults_into(&g, 0.1, 0.0, &mut SmallRng::seed_from_u64(10), &mut scratch);
+        assert_eq!(scratch, fresh);
+    }
+
+    #[test]
+    fn sample_indices_ascending_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut prev = None;
+        sample_indices(10_000, 0.05, &mut rng, |i| {
+            assert!(i < 10_000);
+            if let Some(p) = prev {
+                assert!(i > p, "indices must be strictly ascending");
+            }
+            prev = Some(i);
+        });
+        assert!(prev.is_some(), "p = 0.05 over 10k slots: hits expected");
+    }
+
+    #[test]
+    fn sample_indices_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut hits = 0usize;
+        for _ in 0..200 {
+            sample_indices(1000, 0.02, &mut rng, |_| hits += 1);
+        }
+        let rate = hits as f64 / 200_000.0;
+        assert!((rate - 0.02).abs() < 0.003, "rate {rate}");
+    }
+
+    #[test]
     fn half_edge_conjunction() {
         let g = complete(3);
         let mut h = HalfEdgeFaults::none(g.num_edges());
@@ -167,6 +335,24 @@ mod tests {
         h.kill_half(0, 1);
         assert!(h.edge_faulty(0));
         assert_eq!(h.to_edge_faults(), vec![true, false, false]);
+        assert_eq!(h.touched_edges(), &[0]);
+        assert_eq!(h.faulty_edges().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(h.count_faulty_edges(), 1);
+    }
+
+    #[test]
+    fn half_edge_clear_reuses() {
+        let mut h = HalfEdgeFaults::none(100);
+        h.kill_half(64, 0);
+        h.kill_half(64, 1);
+        h.kill_half(3, 1);
+        assert_eq!(h.count_faulty_edges(), 1);
+        h.clear();
+        assert_eq!(h.touched_edges().len(), 0);
+        assert!(!h.half_faulty(64, 0));
+        assert!(!h.half_faulty(3, 1));
+        h.kill_half(5, 0);
+        assert_eq!(h.touched_edges(), &[5]);
     }
 
     #[test]
@@ -186,10 +372,19 @@ mod tests {
         let q: f64 = 0.09;
         let mut rng = SmallRng::seed_from_u64(3);
         let h = HalfEdgeFaults::sample(&g, q.sqrt(), &mut rng);
-        let rate = h.to_edge_faults().iter().filter(|&&f| f).count() as f64 / g.num_edges() as f64;
+        let rate = h.count_faulty_edges() as f64 / g.num_edges() as f64;
         assert!(
             (rate - q).abs() < 0.02,
             "edge fault rate {rate}, want ≈ {q}"
         );
+    }
+
+    #[test]
+    fn half_edge_sample_deterministic() {
+        let g = complete(50);
+        let a = HalfEdgeFaults::sample(&g, 0.2, &mut SmallRng::seed_from_u64(13));
+        let b = HalfEdgeFaults::sample(&g, 0.2, &mut SmallRng::seed_from_u64(13));
+        assert_eq!(a.to_edge_faults(), b.to_edge_faults());
+        assert_eq!(a.touched_edges(), b.touched_edges());
     }
 }

@@ -1,23 +1,142 @@
 //! Concrete fault sets: which nodes and edges of a host graph are down.
+//!
+//! # Performance
+//!
+//! Every fault regime in the paper is *sparse*: Theorem 2 tolerates
+//! node-failure probability `log^{−3d} n` and Theorem 3 budgets
+//! `k ≤ n^{1−2^{−d}}` faults, so a typical Monte-Carlo trial carries a
+//! handful of faults in a host of `~n^d` nodes. [`FaultSet`] is therefore
+//! a *dual* representation:
+//!
+//! * packed `u64`-word bitmaps — `O(1)` alive/faulty predicates;
+//! * explicit fault-id lists — `O(#faults)` iteration and `O(1)` counts.
+//!
+//! The bitmap words are grown lazily (absent words read as all-alive),
+//! so [`FaultSet::none`] performs **no allocation** and a set stays as
+//! small as the largest fault id it has seen. [`FaultSet::clear`] resets
+//! in `O(#faults)` by walking the id list, which makes a `FaultSet` a
+//! reusable per-worker scratch buffer for trial loops: the hot path
+//! (`clear` + a few `kill_*` + queries) never touches the allocator.
+
+/// A sparse subset of `0..domain`: a packed `u64` bitmap plus the
+/// explicit list of member ids (insertion order, duplicate-free).
+///
+/// Membership tests are `O(1)`; iteration, counting, and [`clear`]
+/// (`SparseSet::clear`) are `O(#members)`. Bitmap words are grown
+/// lazily, so an empty set owns no heap memory and a sparse set only
+/// owns words up to its largest member id.
+#[derive(Debug, Clone)]
+pub struct SparseSet {
+    domain: usize,
+    /// Lazily grown bitmap; words past `words.len()` read as zero.
+    words: Vec<u64>,
+    /// Members in insertion order, no duplicates.
+    ids: Vec<usize>,
+}
+
+impl SparseSet {
+    /// An empty set over `0..domain`. Allocation-free.
+    pub fn new(domain: usize) -> Self {
+        Self {
+            domain,
+            words: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// The exclusive upper bound on member ids.
+    #[inline]
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Whether `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.domain, "id {i} out of domain {}", self.domain);
+        self.words
+            .get(i >> 6)
+            .is_some_and(|w| w >> (i & 63) & 1 != 0)
+    }
+
+    /// Inserts `i`; returns whether it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ domain`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.domain, "id {i} out of domain {}", self.domain);
+        let w = i >> 6;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (i & 63);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.ids.push(i);
+        true
+    }
+
+    /// Removes every member in `O(#members)`, keeping capacity.
+    pub fn clear(&mut self) {
+        for &i in &self.ids {
+            self.words[i >> 6] &= !(1u64 << (i & 63));
+        }
+        self.ids.clear();
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Member ids in insertion order.
+    #[inline]
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+}
+
+/// Membership equality (insertion order is ignored).
+impl PartialEq for SparseSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.domain == other.domain
+            && self.ids.len() == other.ids.len()
+            && self.ids.iter().all(|&i| other.contains(i))
+    }
+}
+
+impl Eq for SparseSet {}
 
 /// A set of faulty nodes and edges of a host graph.
 ///
-/// Node `v` is *alive* iff `!node_faulty[v]`; edge `e` likewise. The
-/// construction algorithms consume fault sets through the two `alive`
-/// predicates so they cannot accidentally depend on how faults were
-/// generated.
+/// Node `v` is *alive* iff it was never [`kill_node`](Self::kill_node)ed;
+/// edge `e` likewise. The construction algorithms consume fault sets
+/// through the two `alive` predicates so they cannot accidentally depend
+/// on how faults were generated. See the [module docs](self) for the
+/// sparse dual representation and its cost model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSet {
-    node_faulty: Vec<bool>,
-    edge_faulty: Vec<bool>,
+    nodes: SparseSet,
+    edges: SparseSet,
 }
 
 impl FaultSet {
     /// A fault-free set over `num_nodes` nodes and `num_edges` edges.
+    /// Allocation-free; suitable as a reusable scratch buffer.
     pub fn none(num_nodes: usize, num_edges: usize) -> Self {
         Self {
-            node_faulty: vec![false; num_nodes],
-            edge_faulty: vec![false; num_edges],
+            nodes: SparseSet::new(num_nodes),
+            edges: SparseSet::new(num_edges),
         }
     }
 
@@ -38,112 +157,132 @@ impl FaultSet {
         s
     }
 
-    /// Builds directly from fault bitmaps.
-    pub fn from_bitmaps(node_faulty: Vec<bool>, edge_faulty: Vec<bool>) -> Self {
-        Self {
-            node_faulty,
-            edge_faulty,
-        }
+    /// Removes every fault in `O(#faults)`, keeping capacity — the
+    /// in-place reuse entry point of the Monte-Carlo hot path.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
     }
 
-    /// Marks a node faulty.
+    /// Marks a node faulty (idempotent).
     #[inline]
     pub fn kill_node(&mut self, v: usize) {
-        self.node_faulty[v] = true;
+        self.nodes.insert(v);
     }
 
-    /// Marks an edge faulty.
+    /// Marks an edge faulty (idempotent).
     #[inline]
     pub fn kill_edge(&mut self, e: u32) {
-        self.edge_faulty[e as usize] = true;
+        self.edges.insert(e as usize);
     }
 
     /// Whether node `v` survives.
     #[inline]
     pub fn node_alive(&self, v: usize) -> bool {
-        !self.node_faulty[v]
+        !self.nodes.contains(v)
     }
 
     /// Whether edge `e` survives.
     #[inline]
     pub fn edge_alive(&self, e: u32) -> bool {
-        !self.edge_faulty[e as usize]
+        !self.edges.contains(e as usize)
     }
 
     /// Whether node `v` is faulty.
     #[inline]
     pub fn node_faulty(&self, v: usize) -> bool {
-        self.node_faulty[v]
+        self.nodes.contains(v)
     }
 
     /// Whether edge `e` is faulty.
     #[inline]
     pub fn edge_faulty(&self, e: u32) -> bool {
-        self.edge_faulty[e as usize]
+        self.edges.contains(e as usize)
     }
 
     /// Number of nodes covered by the set.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.node_faulty.len()
+        self.nodes.domain()
     }
 
     /// Number of edges covered by the set.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edge_faulty.len()
+        self.edges.domain()
     }
 
-    /// Number of faulty nodes.
+    /// Number of faulty nodes. `O(1)`.
+    #[inline]
     pub fn count_node_faults(&self) -> usize {
-        self.node_faulty.iter().filter(|&&f| f).count()
+        self.nodes.len()
     }
 
-    /// Number of faulty edges.
+    /// Number of faulty edges. `O(1)`.
+    #[inline]
     pub fn count_edge_faults(&self) -> usize {
-        self.edge_faulty.iter().filter(|&&f| f).count()
+        self.edges.len()
     }
 
     /// Total number of faults (nodes + edges), the `k` of Theorem 3.
+    #[inline]
     pub fn count_faults(&self) -> usize {
         self.count_node_faults() + self.count_edge_faults()
     }
 
-    /// Iterates faulty node ids.
+    /// Iterates faulty node ids in kill order. `O(#faults)`.
     pub fn faulty_nodes(&self) -> impl Iterator<Item = usize> + '_ {
-        self.node_faulty
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &f)| f.then_some(v))
+        self.nodes.ids().iter().copied()
     }
 
-    /// Iterates faulty edge ids.
+    /// Faulty node ids in kill order, as a slice.
+    #[inline]
+    pub fn faulty_node_ids(&self) -> &[usize] {
+        self.nodes.ids()
+    }
+
+    /// Iterates faulty edge ids in kill order. `O(#faults)`.
     pub fn faulty_edges(&self) -> impl Iterator<Item = u32> + '_ {
-        self.edge_faulty
-            .iter()
-            .enumerate()
-            .filter_map(|(e, &f)| f.then_some(e as u32))
+        self.edges.ids().iter().map(|&e| e as u32)
     }
 
     /// Alive-node bitmap (for the traversal utilities).
     pub fn alive_nodes(&self) -> Vec<bool> {
-        self.node_faulty.iter().map(|&f| !f).collect()
+        (0..self.num_nodes()).map(|v| self.node_alive(v)).collect()
     }
 
     /// Folds every edge fault into one of its endpoints, producing a
     /// node-faults-only set — the reduction used by Theorem 3's proof
     /// ("if an edge is faulty, ascribe the fault to one of its
     /// endpoints") and by the constant-degree part of Theorem 2.
+    /// `O(#faults)` plus the clone of the node side.
     pub fn ascribe_edges_to_nodes(&self, endpoints: impl Fn(u32) -> (usize, usize)) -> FaultSet {
-        let mut out = self.clone();
+        let mut out = FaultSet {
+            nodes: self.nodes.clone(),
+            edges: SparseSet::new(self.num_edges()),
+        };
         for e in self.faulty_edges() {
             let (u, _) = endpoints(e);
             out.kill_node(u);
         }
-        for f in out.edge_faulty.iter_mut() {
-            *f = false;
-        }
         out
+    }
+
+    /// The ascription of [`ascribe_edges_to_nodes`]
+    /// (Self::ascribe_edges_to_nodes) written into a reusable node set —
+    /// the zero-allocation variant used by the trial loop. `out` is
+    /// cleared first; afterwards it holds every faulty node plus the
+    /// first endpoint of every faulty edge.
+    pub fn ascribe_into(&self, endpoints: impl Fn(u32) -> (usize, usize), out: &mut SparseSet) {
+        assert_eq!(out.domain(), self.num_nodes(), "node domain mismatch");
+        out.clear();
+        for v in self.faulty_nodes() {
+            out.insert(v);
+        }
+        for e in self.faulty_edges() {
+            let (u, _) = endpoints(e);
+            out.insert(u);
+        }
     }
 }
 
@@ -184,6 +323,28 @@ mod tests {
     }
 
     #[test]
+    fn clear_resets_and_reuses() {
+        let mut s = FaultSet::from_lists(70, 70, &[0, 65, 69], &[64]);
+        assert_eq!(s.count_faults(), 4);
+        s.clear();
+        assert_eq!(s.count_faults(), 0);
+        assert!((0..70).all(|v| s.node_alive(v)));
+        assert!((0..70u32).all(|e| s.edge_alive(e)));
+        s.kill_node(7);
+        assert_eq!(s.faulty_nodes().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(s.count_node_faults(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_kill_order() {
+        let a = FaultSet::from_lists(10, 10, &[1, 8], &[3]);
+        let b = FaultSet::from_lists(10, 10, &[8, 1], &[3]);
+        assert_eq!(a, b);
+        let c = FaultSet::from_lists(10, 10, &[8], &[3]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn ascribe_edges() {
         let mut s = FaultSet::none(4, 2);
         s.kill_edge(1);
@@ -197,8 +358,39 @@ mod tests {
     }
 
     #[test]
+    fn ascribe_into_matches_owned() {
+        let s = FaultSet::from_lists(6, 3, &[1], &[0, 2]);
+        let ends = |e: u32| ((e as usize) + 2, (e as usize) + 3);
+        let owned = s.ascribe_edges_to_nodes(ends);
+        let mut scratch = SparseSet::new(6);
+        scratch.insert(5); // stale state must be cleared
+        s.ascribe_into(ends, &mut scratch);
+        let mut got: Vec<usize> = scratch.ids().to_vec();
+        got.sort_unstable();
+        let mut want: Vec<usize> = owned.faulty_nodes().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn alive_bitmap() {
         let s = FaultSet::from_lists(3, 0, &[1], &[]);
         assert_eq!(s.alive_nodes(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn sparse_set_basics() {
+        let mut s = SparseSet::new(200);
+        assert!(s.is_empty());
+        assert!(s.insert(130));
+        assert!(!s.insert(130));
+        assert!(s.insert(0));
+        assert!(s.contains(130));
+        assert!(!s.contains(131));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.ids(), &[130, 0]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(130));
     }
 }

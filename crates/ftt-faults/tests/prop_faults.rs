@@ -1,8 +1,13 @@
-//! Property-based tests for the fault models.
+//! Property-based tests for the fault models: bitmap/list consistency of
+//! the sparse [`FaultSet`] representation, the determinism and
+//! statistical contract of geometric-skip sampling, and the half-edge
+//! model.
 
-use ftt_faults::{AdversaryPattern, FaultSet, HalfEdgeFaults};
+use ftt_faults::{
+    sample_bernoulli_faults, sample_indices, AdversaryPattern, FaultSet, HalfEdgeFaults,
+};
 use ftt_geom::Shape;
-use ftt_graph::gen::torus;
+use ftt_graph::gen::{complete, torus};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -64,6 +69,116 @@ proptest! {
         let bitmap = h.to_edge_faults();
         for e in 0..30usize {
             prop_assert_eq!(bitmap[e], h.edge_faulty(e as u32));
+        }
+    }
+
+    /// Bitmap and list views of a `FaultSet` agree on every query, for
+    /// any kill sequence (including duplicates), and `clear` restores
+    /// the all-alive state without disturbing later reuse.
+    #[test]
+    fn bitmap_and_list_views_agree(
+        nodes in prop::collection::vec(0usize..150, 0..40),
+        edges in prop::collection::vec(0u32..90, 0..40),
+        reuse_nodes in prop::collection::vec(0usize..150, 0..10),
+    ) {
+        let mut s = FaultSet::none(150, 90);
+        for &v in &nodes {
+            s.kill_node(v);
+        }
+        for &e in &edges {
+            s.kill_edge(e);
+        }
+        // list view == brute-force bitmap scan, duplicate-free
+        let mut from_list: Vec<usize> = s.faulty_nodes().collect();
+        from_list.sort_unstable();
+        let from_bitmap: Vec<usize> = (0..150).filter(|&v| s.node_faulty(v)).collect();
+        prop_assert_eq!(&from_list, &from_bitmap);
+        prop_assert_eq!(s.count_node_faults(), from_bitmap.len());
+        let mut edge_list: Vec<u32> = s.faulty_edges().collect();
+        edge_list.sort_unstable();
+        let edge_bitmap: Vec<u32> = (0..90u32).filter(|&e| s.edge_faulty(e)).collect();
+        prop_assert_eq!(&edge_list, &edge_bitmap);
+        prop_assert_eq!(s.count_edge_faults(), edge_bitmap.len());
+        for v in 0..150 {
+            prop_assert_eq!(s.node_alive(v), !s.node_faulty(v));
+        }
+        // clear + reuse behaves like a fresh set
+        s.clear();
+        prop_assert_eq!(s.count_faults(), 0);
+        prop_assert!((0..150).all(|v| s.node_alive(v)));
+        prop_assert!((0..90u32).all(|e| s.edge_alive(e)));
+        for &v in &reuse_nodes {
+            s.kill_node(v);
+        }
+        let fresh = FaultSet::from_lists(150, 90, &reuse_nodes, &[]);
+        prop_assert_eq!(&s, &fresh);
+    }
+
+    /// The geometric-skip sampler is a pure function of the seed: same
+    /// seed ⇒ identical fault set, on nodes and edges alike.
+    #[test]
+    fn sparse_sampler_deterministic_per_seed(
+        seed in 0u64..10_000,
+        p_mil in 0u64..500,
+        q_mil in 0u64..500,
+    ) {
+        let (p, q) = (p_mil as f64 / 1000.0, q_mil as f64 / 1000.0);
+        let g = torus(&Shape::new(vec![8, 8]));
+        let a = sample_bernoulli_faults(&g, p, q, &mut SmallRng::seed_from_u64(seed));
+        let b = sample_bernoulli_faults(&g, p, q, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        // kill order is part of the contract too (ascending ids)
+        let ids_a: Vec<usize> = a.faulty_nodes().collect();
+        let ids_b: Vec<usize> = b.faulty_nodes().collect();
+        prop_assert_eq!(ids_a, ids_b);
+    }
+
+    /// Geometric-skip sampling hits each index with probability `p`:
+    /// over many seeds the empirical rate concentrates around `p`, and
+    /// hits are strictly ascending and in range.
+    #[test]
+    fn sparse_sampler_statistically_matches_rate(seed in 0u64..500) {
+        let p = 0.07f64;
+        let len = 4000usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut hits = 0usize;
+        for _ in 0..10 {
+            let mut prev: Option<usize> = None;
+            sample_indices(len, p, &mut rng, |i| {
+                assert!(i < len, "index out of range");
+                if let Some(pv) = prev {
+                    assert!(i > pv, "indices must ascend");
+                }
+                prev = Some(i);
+                hits += 1;
+            });
+        }
+        // 10·4000 = 40k Bernoulli(0.07) draws: mean 2800, σ ≈ 51 — a
+        // ±6σ window keeps this robust across all 500 seeds.
+        let mean = 40_000.0 * p;
+        let sigma = (40_000.0 * p * (1.0 - p)).sqrt();
+        prop_assert!(
+            ((hits as f64) - mean).abs() < 6.0 * sigma,
+            "hits {} out of ±6σ window around {}", hits, mean
+        );
+    }
+
+    /// Half-edge sampling is deterministic per seed and consistent
+    /// between its bitmap and touched-list views.
+    #[test]
+    fn half_edge_sampler_views_agree(seed in 0u64..2000) {
+        let g = complete(40);
+        let h = HalfEdgeFaults::sample(&g, 0.15, &mut SmallRng::seed_from_u64(seed));
+        let h2 = HalfEdgeFaults::sample(&g, 0.15, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(h.touched_edges(), h2.touched_edges());
+        let bitmap = h.to_edge_faults();
+        let mut from_list: Vec<u32> = h.faulty_edges().collect();
+        from_list.sort_unstable();
+        let from_bitmap: Vec<u32> = (0..g.num_edges() as u32).filter(|&e| bitmap[e as usize]).collect();
+        prop_assert_eq!(from_list, from_bitmap);
+        // every touched edge really has a faulty half
+        for &e in h.touched_edges() {
+            prop_assert!(h.half_faulty(e, 0) || h.half_faulty(e, 1));
         }
     }
 

@@ -112,6 +112,14 @@ impl ColumnSpace {
         self.cols.torus_neighbors(z)
     }
 
+    /// Allocation-free form of
+    /// [`adjacent_columns`](Self::adjacent_columns) for hot loops (a
+    /// `[1]` column shape yields no neighbours by construction).
+    #[inline]
+    pub fn adjacent_columns_iter(&self, z: usize) -> impl Iterator<Item = usize> + '_ {
+        self.cols.torus_neighbors_iter(z)
+    }
+
     /// Whether columns `z` and `z′` are adjacent in `T′`.
     #[inline]
     pub fn columns_adjacent(&self, z: usize, z2: usize) -> bool {

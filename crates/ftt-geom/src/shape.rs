@@ -160,19 +160,19 @@ impl Shape {
     /// dimension; extent 2 → a single neighbour). The returned list may
     /// therefore have fewer than `2d` entries.
     pub fn torus_neighbors(&self, idx: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(2 * self.dims.len());
-        for axis in 0..self.dims.len() {
+        self.torus_neighbors_iter(idx).collect()
+    }
+
+    /// Allocation-free form of
+    /// [`torus_neighbors`](Self::torus_neighbors) for hot loops
+    /// (alignment checks, region flood fills).
+    pub fn torus_neighbors_iter(&self, idx: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.dims.len()).flat_map(move |axis| {
             let n = self.dims[axis];
-            if n == 1 {
-                continue;
-            }
-            let up = self.torus_step(idx, axis, 1);
-            out.push(up);
-            if n > 2 {
-                out.push(self.torus_step(idx, axis, -1));
-            }
-        }
-        out
+            let up = (n > 1).then(|| self.torus_step(idx, axis, 1));
+            let down = (n > 2).then(|| self.torus_step(idx, axis, -1));
+            up.into_iter().chain(down)
+        })
     }
 
     /// Whether two flat indices are torus-adjacent (differ by `±1`

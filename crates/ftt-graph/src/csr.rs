@@ -77,22 +77,50 @@ impl Graph {
     /// All undirected edge ids joining `u` and `v` (parallel edges yield
     /// several).
     pub fn edges_between(&self, u: usize, v: usize) -> Vec<u32> {
+        self.edges_between_iter(u, v).collect()
+    }
+
+    /// Whether some `u`–`v` edge satisfies `pred` — the allocation-free
+    /// hot-path form of "is any parallel edge between `u` and `v`
+    /// alive", used by embedding verification on every guest edge.
+    pub fn any_edge_between<F: FnMut(u32) -> bool>(&self, u: usize, v: usize, mut pred: F) -> bool {
         let nbrs = self.neighbors(u);
-        let Ok(mut lo) = nbrs.binary_search(&(v as u32)) else {
-            return Vec::new();
-        };
-        // binary_search may land mid-run; widen to the full run of v's.
-        while lo > 0 && nbrs[lo - 1] == v as u32 {
-            lo -= 1;
-        }
         let base = self.offsets[u];
-        let mut out = Vec::new();
-        let mut i = lo;
-        while i < nbrs.len() && nbrs[i] == v as u32 {
-            out.push(self.edge_ids[base + i]);
-            i += 1;
+        let t = v as u32;
+        // Bounded-degree graphs (everything in the paper) fit the linear
+        // scan; binary search only pays off on long adjacency runs.
+        if nbrs.len() <= 16 {
+            for (k, &nb) in nbrs.iter().enumerate() {
+                if nb == t && pred(self.edge_ids[base + k]) {
+                    return true;
+                }
+            }
+            return false;
         }
-        out
+        self.edges_between_iter(u, v).any(pred)
+    }
+
+    /// Iterates all undirected edge ids joining `u` and `v` without
+    /// allocating — the hot-path form of
+    /// [`edges_between`](Self::edges_between) (binary search + run walk).
+    pub fn edges_between_iter(&self, u: usize, v: usize) -> impl Iterator<Item = u32> + '_ {
+        let nbrs = self.neighbors(u);
+        let lo = match nbrs.binary_search(&(v as u32)) {
+            Ok(mut lo) => {
+                // binary_search may land mid-run; widen to the run start.
+                while lo > 0 && nbrs[lo - 1] == v as u32 {
+                    lo -= 1;
+                }
+                lo
+            }
+            Err(_) => nbrs.len(),
+        };
+        let base = self.offsets[u];
+        nbrs[lo..]
+            .iter()
+            .take_while(move |&&t| t == v as u32)
+            .enumerate()
+            .map(move |(k, _)| self.edge_ids[base + lo + k])
     }
 
     /// Endpoints `(u, v)` of an undirected edge id.
@@ -212,18 +240,41 @@ impl GraphBuilder {
             edge_ids[cursor[v as usize]] = e as u32;
             cursor[v as usize] += 1;
         }
-        // Sort each adjacency run by target (stable pairing with edge ids).
+        // Sort each adjacency run by target (stable pairing with edge
+        // ids). Runs are bounded-degree for every construction in the
+        // paper, so co-sort `targets`/`edge_ids` in place with an
+        // insertion sort — no per-node allocation; a single shared
+        // scratch buffer handles the rare high-degree run.
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
         for v in 0..n {
-            let range = offsets[v]..offsets[v + 1];
-            let mut pairs: Vec<(u32, u32)> = targets[range.clone()]
-                .iter()
-                .copied()
-                .zip(edge_ids[range.clone()].iter().copied())
-                .collect();
-            pairs.sort_unstable();
-            for (k, (t, e)) in pairs.into_iter().enumerate() {
-                targets[offsets[v] + k] = t;
-                edge_ids[offsets[v] + k] = e;
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            if hi - lo <= 32 {
+                for i in lo + 1..hi {
+                    let (t, e) = (targets[i], edge_ids[i]);
+                    let mut j = i;
+                    // Strict `>` keeps equal targets in insertion order,
+                    // i.e. ascending edge id — matching a pair sort.
+                    while j > lo && targets[j - 1] > t {
+                        targets[j] = targets[j - 1];
+                        edge_ids[j] = edge_ids[j - 1];
+                        j -= 1;
+                    }
+                    targets[j] = t;
+                    edge_ids[j] = e;
+                }
+            } else {
+                scratch.clear();
+                scratch.extend(
+                    targets[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(edge_ids[lo..hi].iter().copied()),
+                );
+                scratch.sort_unstable();
+                for (k, &(t, e)) in scratch.iter().enumerate() {
+                    targets[lo + k] = t;
+                    edge_ids[lo + k] = e;
+                }
             }
         }
         Graph {

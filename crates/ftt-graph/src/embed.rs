@@ -106,20 +106,24 @@ fn verify_embedding_impl(
             actual: map.len(),
         });
     }
-    // Injectivity + image validity.
-    let mut owner = vec![u32::MAX; host.num_nodes()];
+    // Injectivity + image validity. A packed bitmap keeps this pass
+    // cache-friendly (64× smaller than a per-node owner table); the
+    // colliding guest is recovered by a rescan only on the error path.
+    let mut seen = vec![0u64; host.num_nodes().div_ceil(64)];
     for (g, &h) in map.iter().enumerate() {
         if h >= host.num_nodes() || !node_alive(h) {
             return Err(EmbedError::BadImage { guest: g, host: h });
         }
-        if owner[h] != u32::MAX {
+        let (w, bit) = (h >> 6, 1u64 << (h & 63));
+        if seen[w] & bit != 0 {
+            let guest_a = map.iter().position(|&x| x == h).unwrap();
             return Err(EmbedError::NotInjective {
-                guest_a: owner[h] as usize,
+                guest_a,
                 guest_b: g,
                 host: h,
             });
         }
-        owner[h] = g as u32;
+        seen[w] |= bit;
     }
     // Edge coverage: iterate guest edges once (v → v+1 along each axis).
     for v in guest.iter() {
@@ -136,7 +140,7 @@ fn verify_embedding_impl(
             }
             let u = guest.torus_step(v, axis, 1);
             let (hu, hv) = (map[v], map[u]);
-            let ok = host.edges_between(hu, hv).into_iter().any(&edge_alive);
+            let ok = host.any_edge_between(hu, hv, &edge_alive);
             if !ok {
                 return Err(EmbedError::MissingEdge {
                     guest_u: v,

@@ -6,16 +6,27 @@
 //! that EXPERIMENTS.md records. Determinism: trial `i` of a run with
 //! master seed `s` always uses seed `splitmix(s, i)`, regardless of
 //! thread scheduling.
+//!
+//! # Performance
+//!
+//! The trial pipeline is sized for the paper's sparse fault regimes:
+//! workers claim trials in chunks (one atomic per ~32 trials), each
+//! worker owns reusable fault and extraction scratch buffers, and the
+//! built-in samplers refill them with geometric-skip draws — so a
+//! steady-state trial costs `O(#faults)` fault work and no heap
+//! allocation. See the `runner` and `scenario` module docs.
 
 pub mod runner;
 pub mod scenario;
 pub mod stats;
 pub mod table;
 
-pub use runner::{run_multi_trials, run_trials, TrialStats};
+pub use runner::{
+    run_multi_trials, run_multi_trials_with, run_trials, run_trials_with, TrialStats,
+};
 pub use scenario::{
-    bernoulli_sampler, extract_verified, node_list_sampler, run_extraction_trials,
-    ExtractionFailure,
+    bernoulli_sampler, extract_verified, extract_verified_with, node_list_sampler,
+    run_extraction_trials, BernoulliSampler, ExtractionFailure, FaultSampler, NodeListSampler,
 };
 pub use stats::{mean, std_dev, wilson_interval};
 pub use table::Table;

@@ -3,9 +3,24 @@
 //! Trials are independent; each gets a seed derived from the master
 //! seed and its index by a splitmix64 step, so results do not depend on
 //! the number of worker threads or scheduling.
+//!
+//! # Performance
+//!
+//! Workers claim trials in chunks of [`CLAIM_CHUNK`] indices (one
+//! `fetch_add` per chunk instead of per trial), and the `*_with`
+//! variants ([`run_trials_with`], [`run_multi_trials_with`]) hand every
+//! worker a private scratch value built once per thread — the hook the
+//! extraction scenarios use to reuse fault-set and conversion buffers
+//! across trials instead of allocating per trial. Tallies are summed
+//! commutatively, so chunking and scratch reuse leave the determinism
+//! contract intact: results are a pure function of
+//! `(trials, master_seed)`.
 
 use crate::stats::wilson_interval;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of trial indices a worker claims per atomic operation.
+pub const CLAIM_CHUNK: usize = 32;
 
 /// Outcome summary of a batch of boolean trials.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +78,27 @@ where
     stats
 }
 
+/// [`run_trials`] with a per-worker scratch value: `init()` runs once
+/// per worker thread and the result is passed mutably to every trial
+/// that worker claims. `trial(scratch, seed)`'s *outcome* must be a
+/// pure function of the seed (the scratch is a buffer, not state).
+pub fn run_trials_with<T, I, F>(
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    init: I,
+    trial: F,
+) -> TrialStats
+where
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, u64) -> bool + Sync,
+{
+    let [stats] = run_multi_trials_with(trials, master_seed, threads, init, |scratch, seed| {
+        [trial(scratch, seed)]
+    });
+    stats
+}
+
 /// Runs `trials` trials that each report `N` boolean outcomes (e.g.
 /// healthy / placed / verified) and tallies each outcome separately —
 /// one sampling + extraction pass fills every column of a sweep table.
@@ -79,21 +115,43 @@ pub fn run_multi_trials<const N: usize, F>(
 where
     F: Fn(u64) -> [bool; N] + Sync,
 {
+    run_multi_trials_with(trials, master_seed, threads, || (), |(), seed| trial(seed))
+}
+
+/// [`run_multi_trials`] with a per-worker scratch value (see
+/// [`run_trials_with`]). Workers claim trial indices in chunks of
+/// [`CLAIM_CHUNK`] to keep atomic contention off the hot path; since
+/// every trial's outcome depends only on its seed and tallies are
+/// summed, the chunking is invisible in the results.
+pub fn run_multi_trials_with<const N: usize, T, I, F>(
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    init: I,
+    trial: F,
+) -> [TrialStats; N]
+where
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, u64) -> [bool; N] + Sync,
+{
     let threads = resolve_threads(threads, trials);
     let next = AtomicUsize::new(0);
     let tallies: [AtomicUsize; N] = std::array::from_fn(|_| AtomicUsize::new(0));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let mut scratch = init();
                 let mut local = [0usize; N];
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trials {
+                    let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                    if start >= trials {
                         break;
                     }
-                    let outcomes = trial(trial_seed(master_seed, i as u64));
-                    for (tally, hit) in local.iter_mut().zip(outcomes) {
-                        *tally += hit as usize;
+                    for i in start..(start + CLAIM_CHUNK).min(trials) {
+                        let outcomes = trial(&mut scratch, trial_seed(master_seed, i as u64));
+                        for (tally, hit) in local.iter_mut().zip(outcomes) {
+                            *tally += hit as usize;
+                        }
                     }
                 }
                 for (total, tally) in tallies.iter().zip(local) {

@@ -8,12 +8,27 @@
 //! only counts as a success when the extracted torus is genuinely
 //! fault-free. The determinism contract of `run_trials` carries over:
 //! results are independent of the worker thread count.
+//!
+//! # Performance
+//!
+//! The trial loop is built for the paper's *sparse* fault regimes:
+//! every worker owns one [`FaultSet`] and one
+//! [`HostConstruction::Scratch`], both built once per thread. A trial
+//! then costs `O(#faults)` fault work — [`FaultSampler::sample_into`]
+//! refills the fault set in place with geometric-skip sampling
+//! (`O(pN + qE)` expected RNG draws), and
+//! [`HostConstruction::try_extract_with`] converts faults into the
+//! construction's own formalism through the reused scratch — so the
+//! steady-state hot path performs no heap allocation for fault
+//! handling. Determinism is unaffected: a trial's fault set is a pure
+//! function of `(host, seed)` regardless of which worker's buffers it
+//! is materialised in.
 
-use crate::runner::{run_trials, TrialStats};
+use crate::runner::{run_trials_with, TrialStats};
 use ftt_core::bdn::extract::TorusEmbedding;
 use ftt_core::construct::HostConstruction;
 use ftt_core::error::PlacementError;
-use ftt_faults::{sample_bernoulli_faults, FaultSet};
+use ftt_faults::{sample_bernoulli_faults_into, FaultSet};
 use ftt_graph::{verify_torus_embedding, EmbedError};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -50,8 +65,19 @@ pub fn extract_verified<C: HostConstruction>(
     host: &C,
     faults: &FaultSet,
 ) -> Result<TorusEmbedding, ExtractionFailure> {
+    let mut scratch = host.new_scratch();
+    extract_verified_with(host, faults, &mut scratch)
+}
+
+/// [`extract_verified`] reusing a per-worker extraction scratch — the
+/// Monte-Carlo hot path (same success criterion, no per-call buffers).
+pub fn extract_verified_with<C: HostConstruction>(
+    host: &C,
+    faults: &FaultSet,
+    scratch: &mut C::Scratch,
+) -> Result<TorusEmbedding, ExtractionFailure> {
     let emb = host
-        .try_extract(faults)
+        .try_extract_with(faults, scratch)
         .map_err(ExtractionFailure::Placement)?;
     verify_torus_embedding(
         &emb.guest,
@@ -64,14 +90,39 @@ pub fn extract_verified<C: HostConstruction>(
     Ok(emb)
 }
 
+/// A per-trial fault generator for [`run_extraction_trials`].
+///
+/// `sample_into(host, seed, out)` must fully overwrite `out` (it is a
+/// reused per-worker buffer) with a fault set that is a pure function
+/// of `(host, seed)` — that purity is what keeps Monte-Carlo results
+/// independent of thread count and scheduling.
+///
+/// Every `Fn(&C, u64) -> FaultSet` closure is a `FaultSampler` via a
+/// blanket impl, so ad-hoc samplers keep working; the built-in samplers
+/// ([`bernoulli_sampler`], [`node_list_sampler`]) implement the trait
+/// directly to refill the buffer in place without allocating.
+pub trait FaultSampler<C>: Sync {
+    /// Overwrites `out` with the fault set of trial `seed`.
+    fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet);
+}
+
+impl<C, F> FaultSampler<C> for F
+where
+    F: Fn(&C, u64) -> FaultSet + Sync,
+{
+    fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet) {
+        *out = self(host, seed);
+    }
+}
+
 /// Runs `trials` fault-sampling + extraction + verification trials
 /// against `host`, in parallel.
 ///
-/// `sampler(host, seed)` must be a pure function of `(host, seed)`
-/// producing the fault set for one trial. A trial succeeds iff
-/// [`extract_verified`] does: extraction succeeds **and** the embedding
-/// is a valid guest torus in the host graph avoiding every sampled node
-/// and edge fault. `threads = 0` selects the available parallelism.
+/// A trial succeeds iff [`extract_verified`] does: extraction succeeds
+/// **and** the embedding is a valid guest torus in the host graph
+/// avoiding every sampled node and edge fault. `threads = 0` selects
+/// the available parallelism. Results are a pure function of
+/// `(host, trials, master_seed, sampler)` — never of the thread count.
 pub fn run_extraction_trials<C, S>(
     host: &C,
     trials: usize,
@@ -81,37 +132,78 @@ pub fn run_extraction_trials<C, S>(
 ) -> TrialStats
 where
     C: HostConstruction + Sync,
-    S: Fn(&C, u64) -> FaultSet + Sync,
+    S: FaultSampler<C>,
 {
-    run_trials(trials, master_seed, threads, |seed| {
-        extract_verified(host, &sampler(host, seed)).is_ok()
-    })
+    run_trials_with(
+        trials,
+        master_seed,
+        threads,
+        || {
+            (
+                FaultSet::none(host.num_nodes(), host.graph().num_edges()),
+                host.new_scratch(),
+            )
+        },
+        |(faults, scratch), seed| {
+            sampler.sample_into(host, seed, faults);
+            extract_verified_with(host, faults, scratch).is_ok()
+        },
+    )
 }
 
 /// A sampler for [`run_extraction_trials`]: independent Bernoulli node
-/// faults with probability `p` and edge faults with probability `q`.
-pub fn bernoulli_sampler<C: HostConstruction>(
-    p: f64,
-    q: f64,
-) -> impl Fn(&C, u64) -> FaultSet + Sync {
-    move |host, seed| {
+/// faults with probability `p` and edge faults with probability `q`,
+/// drawn by geometric skips straight into the per-worker buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliSampler {
+    /// Per-node fault probability.
+    pub p: f64,
+    /// Per-edge fault probability.
+    pub q: f64,
+}
+
+impl<C: HostConstruction> FaultSampler<C> for BernoulliSampler {
+    fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        sample_bernoulli_faults(host.graph(), p, q, &mut rng)
+        sample_bernoulli_faults_into(host.graph(), self.p, self.q, &mut rng, out);
     }
+}
+
+/// Independent Bernoulli node faults with probability `p` and edge
+/// faults with probability `q`.
+pub fn bernoulli_sampler(p: f64, q: f64) -> BernoulliSampler {
+    BernoulliSampler { p, q }
 }
 
 /// A sampler placing exactly `k` faults on the node ids produced by
 /// `pick(host, seed)` — the adversarial-regime counterpart of
-/// [`bernoulli_sampler`].
-pub fn node_list_sampler<C, F>(pick: F) -> impl Fn(&C, u64) -> FaultSet + Sync
+/// [`bernoulli_sampler`]. See [`node_list_sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeListSampler<F> {
+    pick: F,
+}
+
+impl<C, F> FaultSampler<C> for NodeListSampler<F>
 where
     C: HostConstruction,
     F: Fn(&C, u64) -> Vec<usize> + Sync,
 {
-    move |host, seed| {
-        let nodes = pick(host, seed);
-        FaultSet::from_lists(host.num_nodes(), host.graph().num_edges(), &nodes, &[])
+    fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet) {
+        out.clear();
+        for v in (self.pick)(host, seed) {
+            out.kill_node(v);
+        }
     }
+}
+
+/// A sampler placing node faults exactly on the ids produced by
+/// `pick(host, seed)`.
+pub fn node_list_sampler<C, F>(pick: F) -> NodeListSampler<F>
+where
+    C: HostConstruction,
+    F: Fn(&C, u64) -> Vec<usize> + Sync,
+{
+    NodeListSampler { pick }
 }
 
 #[cfg(test)]
@@ -141,6 +233,16 @@ mod tests {
         let a = run_extraction_trials(&host, 12, 7, 1, bernoulli_sampler(p, 0.0));
         let b = run_extraction_trials(&host, 12, 7, 4, bernoulli_sampler(p, 0.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closure_sampler_still_accepted() {
+        // The blanket FaultSampler impl keeps ad-hoc closures working.
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let stats = run_extraction_trials(&host, 4, 1, 0, |host: &Bdn, _seed: u64| {
+            FaultSet::none(host.num_nodes(), host.graph().num_edges())
+        });
+        assert_eq!(stats.successes, 4);
     }
 
     #[test]

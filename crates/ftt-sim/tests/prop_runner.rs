@@ -4,8 +4,8 @@
 //! scheduling (each trial's seed is derived by a splitmix64 step from
 //! the master seed and the trial index; see `ftt-sim/src/runner.rs`).
 
-use ftt_sim::run_trials;
-use ftt_sim::runner::trial_seed;
+use ftt_sim::runner::{trial_seed, CLAIM_CHUNK};
+use ftt_sim::{run_trials, run_trials_with};
 use proptest::prelude::*;
 
 proptest! {
@@ -48,6 +48,55 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for i in 0..n {
             prop_assert!(seen.insert(trial_seed(master, i)), "seed collision at index {}", i);
+        }
+    }
+
+    /// Chunked claiming is invisible: trial counts right at, below, and
+    /// above chunk boundaries all match the sequential ground truth for
+    /// every thread count.
+    #[test]
+    fn chunk_boundaries_are_exact(
+        master in 0u64..u64::MAX,
+        chunk_mult in 0usize..4,
+        delta in 0isize..3,
+        threads in 1usize..9,
+        modulus in 2u64..11,
+    ) {
+        let trials = (chunk_mult * CLAIM_CHUNK) as isize + delta - 1;
+        prop_assume!(trials >= 0);
+        let trials = trials as usize;
+        let trial = |seed: u64| seed.is_multiple_of(modulus);
+        let expect = (0..trials as u64).filter(|&i| trial(trial_seed(master, i))).count();
+        let got = run_trials(trials, master, threads, trial);
+        prop_assert_eq!(got.successes, expect);
+        prop_assert_eq!(got.trials, trials);
+    }
+
+    /// The scratch-threading variant tallies exactly like the plain
+    /// runner: per-worker scratch is a buffer, never state, so results
+    /// are identical across thread counts and to `run_trials`.
+    #[test]
+    fn with_scratch_matches_plain(
+        master in 0u64..u64::MAX,
+        trials in 0usize..300,
+        modulus in 2u64..17,
+    ) {
+        let trial = |seed: u64| seed.is_multiple_of(modulus);
+        let plain = run_trials(trials, master, 0, trial);
+        for threads in [1usize, 4, 0] {
+            let with = run_trials_with(
+                trials,
+                master,
+                threads,
+                Vec::<u64>::new,
+                |scratch, seed| {
+                    // use the scratch as a real buffer to prove reuse
+                    // cannot leak into outcomes
+                    scratch.push(seed);
+                    trial(seed)
+                },
+            );
+            prop_assert_eq!(&with, &plain);
         }
     }
 }
