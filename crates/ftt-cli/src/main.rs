@@ -5,16 +5,30 @@
 //! ftt b2     [--n 54] [--b 3] [--eps 1] [--p 1e-4] [--seed 1] [--render]
 //! ftt a2     [--n 108] [--k 2] [--h 6] [--p 0.02] [--q 0.0] [--seed 1]
 //! ftt d2     [--n 60] [--b 2] [--k <budget>] [--pattern random|cluster|line|diag|spread] [--seed 1] [--render]
-//! ftt sweep  [--n 54] [--b 3] [--trials 50] [--seed 1]
+//! ftt sweep  [--preset smoke|t1|t2|t3] [--n 54] [--b 3] [--trials N] [--seed 1]
+//!            [--threads 0] [--json PATH] [--csv PATH] [--no-artifacts] [--no-baseline]
 //! ftt help
 //! ```
 //!
 //! `b2` runs one Theorem 2 trial, `a2` one Theorem 1 trial, and `d2`
-//! one Theorem 3 trial with an adversarial pattern; `sweep` estimates
-//! the Theorem 2 success curve. Every command dispatches through the
-//! [`HostConstruction`] trait: building, degree audits, extraction, and
-//! verification are construction-generic, and only fault generation and
-//! the optional renders touch concrete types.
+//! one Theorem 3 trial with an adversarial pattern. Every command
+//! dispatches through the [`HostConstruction`] trait: building, degree
+//! audits, extraction, and verification are construction-generic, and
+//! only fault generation and the optional renders touch concrete types.
+//!
+//! `sweep` drives the declarative scenario-sweep engine
+//! (`ftt_sim::sweep`): a `SweepSpec` — constructions × fault regimes ×
+//! trial budget, seeded from one root seed — expands into cells whose
+//! results are invariant under thread count and cell order, and the
+//! report is emitted as a schema-versioned `SWEEP_<name>.json` +
+//! `SWEEP_<name>.csv` (plus an aligned table on stdout). `--preset`
+//! selects a checked-in paper-regime grid (`t1`/`t2`/`t3` reproduce the
+//! Theorem 1/2/3 curves with an Alon–Chung baseline column, `smoke` is
+//! the tiny CI grid); without a preset, `--n`/`--b` build a custom B²
+//! design-probability curve. CI's `sweep-smoke` job runs the `smoke`
+//! and `t2` presets and validates the artifacts with
+//! `tools/check_sweep.py` (schema fields, rates in [0, 1], Theorem 2
+//! monotonicity).
 
 mod args;
 
@@ -25,7 +39,7 @@ use ftt_core::construct::HostConstruction;
 use ftt_core::ddn::{place_straight_bands, Ddn, DdnParams};
 use ftt_core::render::{render_banding, render_ddn_axes};
 use ftt_faults::{sample_bernoulli_faults, AdversaryPattern, FaultSet};
-use ftt_sim::{bernoulli_sampler, extract_verified, run_extraction_trials, Table};
+use ftt_sim::{extract_verified, run_sweep, SweepSpec, SWEEP_SCHEMA_VERSION};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -67,8 +81,29 @@ const USAGE: &str = "usage:
   ftt b2    [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
   ftt a2    [--n N] [--k K] [--h H] [--p PROB] [--q PROB] [--seed S]
   ftt d2    [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
-  ftt sweep [--n N] [--b B] [--trials T] [--seed S]
-  ftt help";
+  ftt sweep [--preset NAME] [--n N] [--b B] [--trials T] [--seed S]
+            [--threads T] [--json PATH] [--csv PATH] [--no-artifacts]
+            [--no-baseline]
+  ftt help
+
+sweep — declarative scenario grids (ftt_sim::sweep::SweepSpec):
+  a spec is constructions × fault regimes × a trial budget, seeded from
+  one root seed; each cell reports success rate, 95% Wilson CI, and
+  trials/sec, and per-cell results are invariant under thread count and
+  cell order (seeds derive from canonical cell ids).
+  --preset smoke|t1|t2|t3  checked-in paper-regime grids:
+      t1: A²_108 under Bernoulli node+edge faults (Theorem 1)
+      t2: B²_{54,108,192} vs multiples of the design probability
+          b^(-3d) — success monotone non-increasing in p (Theorem 2)
+      t3: D²_{n,k} adversarial patterns at budget multiples; the ×1
+          cells must sit at success rate 1 (Theorem 3)
+      smoke: 3-cell B² grid for CI
+      (all four carry an Alon-Chung expander-mesh baseline column)
+  without --preset, --n/--b build a custom B² design-probability curve.
+  artifacts: SWEEP_<name>.json + SWEEP_<name>.csv (schema_version 1;
+  validated and uploaded by CI's sweep-smoke job via
+  tools/check_sweep.py). --json/--csv override paths, --no-artifacts
+  skips writing; --trials/--seed override the preset's budget/seed.";
 
 /// Prints the standard banner for a built host and audits its degree —
 /// identical for every construction, through the trait.
@@ -257,29 +292,58 @@ fn cmd_d2(args: &Args) -> Result<(), String> {
     }
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let n = args.get_usize("n", 54)?;
-    let b = args.get_usize("b", 3)?;
-    let trials = args.get_usize("trials", 50)?;
-    let seed = args.get_u64("seed", 1)?;
-    let params = BdnParams::fit(2, n, b, 1)?;
-    let bdn = Bdn::build(params);
-    let design = params.tolerated_fault_probability();
-    let mut table = Table::new(
-        &format!("B²_{} success curve ({trials} trials per row)", params.n),
-        &["p", "P(success)", "95% CI"],
-    );
-    for mult in [0.05f64, 0.2, 1.0, 4.0] {
-        let p = design * mult;
-        let stats = run_extraction_trials(&bdn, trials, seed, 0, bernoulli_sampler(p, 0.0));
-        let (lo, hi) = stats.confidence();
-        table.row(vec![
-            format!("{p:.2e}"),
-            format!("{:.2}", stats.rate()),
-            format!("[{lo:.2}, {hi:.2}]"),
-        ]);
+/// The custom (non-preset) sweep: a B² design-probability curve over
+/// the `--n`/`--b` instance, mirroring the old hand-rolled sweep.
+fn custom_sweep_spec(n: usize, b: usize, trials: usize, seed: u64) -> SweepSpec {
+    SweepSpec {
+        name: "custom".into(),
+        constructions: vec![ftt_sim::ConstructionSpec::Bdn {
+            d: 2,
+            n_min: n,
+            b,
+            eps_b: 1,
+        }],
+        regimes: [0.05, 0.2, 1.0, 4.0]
+            .into_iter()
+            .map(|mult| ftt_sim::FaultRegime::DesignBernoulli { mult, q: 0.0 })
+            .collect(),
+        trials,
+        root_seed: seed,
+        baseline: Some(ftt_sim::BaselineSpec::default()),
     }
-    println!("{table}");
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let preset = args.get_str("preset", "");
+    let mut spec = if preset.is_empty() {
+        let n = args.get_usize("n", 54)?;
+        let b = args.get_usize("b", 3)?;
+        custom_sweep_spec(
+            n,
+            b,
+            args.get_usize("trials", 50)?,
+            args.get_u64("seed", 1)?,
+        )
+    } else {
+        let mut spec = SweepSpec::preset(&preset)?;
+        spec.trials = args.get_usize("trials", spec.trials)?;
+        spec.root_seed = args.get_u64("seed", spec.root_seed)?;
+        spec
+    };
+    // A spec is data: the grid is fixed here, execution below is
+    // generic. `--threads 0` (default) uses the available parallelism.
+    let threads = args.get_usize("threads", 0)?;
+    if args.flag("no-baseline") {
+        spec.baseline = None;
+    }
+    let report = run_sweep(&spec, threads)?;
+    println!("{}", report.table());
+    if !args.flag("no-artifacts") {
+        let json_path = args.get_str("json", &format!("SWEEP_{}.json", report.name));
+        let csv_path = args.get_str("csv", &format!("SWEEP_{}.csv", report.name));
+        report.write_artifacts(&json_path, &csv_path)?;
+        println!("wrote {json_path} and {csv_path} (schema_version {SWEEP_SCHEMA_VERSION})");
+    }
     Ok(())
 }
 
@@ -324,6 +388,46 @@ mod tests {
 
     #[test]
     fn sweep_runs_small() {
-        cmd_sweep(&args(&["--n", "54", "--trials", "4"])).unwrap();
+        cmd_sweep(&args(&[
+            "--n",
+            "54",
+            "--trials",
+            "4",
+            "--no-baseline",
+            "--no-artifacts",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_preset_writes_artifacts() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("ftt_cli_test_SWEEP_smoke.json");
+        let csv = dir.join("ftt_cli_test_SWEEP_smoke.csv");
+        cmd_sweep(&args(&[
+            "--preset",
+            "smoke",
+            "--trials",
+            "2",
+            "--no-baseline",
+            "--json",
+            json.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"schema_version\": 1"));
+        assert!(body.contains("\"name\": \"smoke\""));
+        let rows = std::fs::read_to_string(&csv).unwrap();
+        assert!(rows.starts_with("id,construction,"));
+        assert_eq!(rows.lines().count(), 1 + 3, "3 smoke cells + header");
+        let _ = std::fs::remove_file(json);
+        let _ = std::fs::remove_file(csv);
+    }
+
+    #[test]
+    fn sweep_unknown_preset_rejected() {
+        assert!(cmd_sweep(&args(&["--preset", "bogus"])).is_err());
     }
 }

@@ -46,8 +46,9 @@ pub trait HostConstruction: Sized {
 
     /// Reusable per-worker state for repeated extractions
     /// (fault-conversion buffers; see
-    /// [`try_extract_with`](Self::try_extract_with)).
-    type Scratch;
+    /// [`try_extract_with`](Self::try_extract_with)). `Send` so worker
+    /// pools can hand scratch values to (and between) worker threads.
+    type Scratch: Send;
 
     /// Short name for tables and CLI output (e.g. `"B^d_n"`).
     const NAME: &'static str;
@@ -207,6 +208,15 @@ impl HostConstruction for Adn {
             node_faulty[v] = false;
         }
         result
+    }
+}
+
+/// `D^d_{n,k}`'s adjacency is arithmetic over its host torus shape, so
+/// adversarial patterns ([`ftt_faults::AdversarySampler`]) can aim at
+/// it directly.
+impl ftt_faults::ShapedHost for Ddn {
+    fn host_shape(&self) -> &ftt_geom::Shape {
+        self.shape()
     }
 }
 

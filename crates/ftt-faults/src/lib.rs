@@ -24,10 +24,12 @@
 
 pub mod adversary;
 pub mod random;
+pub mod sampler;
 pub mod set;
 
 pub use adversary::{mixed_adversarial_faults, AdversaryPattern};
 pub use random::{
     sample_bernoulli_faults, sample_bernoulli_faults_into, sample_indices, HalfEdgeFaults,
 };
+pub use sampler::{AdversarySampler, FaultSampler, ShapedHost};
 pub use set::{FaultSet, SparseSet};

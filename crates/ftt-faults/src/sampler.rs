@@ -1,0 +1,130 @@
+//! The per-trial fault sampling interface shared by every Monte-Carlo
+//! consumer.
+//!
+//! [`FaultSampler`] is the contract between fault *generation* (this
+//! crate) and trial *execution* (`ftt-sim`): a sampler overwrites a
+//! reused per-worker [`FaultSet`] with the faults of one trial, as a
+//! pure function of `(host, seed)`. Keeping the trait here lets the
+//! adversarial machinery ([`AdversarySampler`]) implement it directly —
+//! the worst-case regime plugs into the same runners and sweep cells as
+//! the Bernoulli regimes, without `ftt-sim` knowing about patterns.
+
+use crate::adversary::AdversaryPattern;
+use crate::set::FaultSet;
+use ftt_geom::Shape;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A per-trial fault generator.
+///
+/// `sample_into(host, seed, out)` must fully overwrite `out` (it is a
+/// reused per-worker buffer) with a fault set that is a pure function
+/// of `(host, seed)` — that purity is what keeps Monte-Carlo results
+/// independent of thread count and scheduling.
+///
+/// Every `Fn(&H, u64) -> FaultSet` closure is a `FaultSampler` via a
+/// blanket impl, so ad-hoc samplers keep working; the built-in samplers
+/// (`ftt_sim::bernoulli_sampler`, `ftt_sim::node_list_sampler`, and
+/// [`AdversarySampler`] here) implement the trait directly to refill
+/// the buffer in place without allocating per trial.
+pub trait FaultSampler<H>: Sync {
+    /// Overwrites `out` with the fault set of trial `seed`.
+    fn sample_into(&self, host: &H, seed: u64, out: &mut FaultSet);
+}
+
+impl<H, F> FaultSampler<H> for F
+where
+    F: Fn(&H, u64) -> FaultSet + Sync,
+{
+    fn sample_into(&self, host: &H, seed: u64, out: &mut FaultSet) {
+        *out = self(host, seed);
+    }
+}
+
+/// Hosts whose nodes live on a torus [`Shape`] — the coordinate system
+/// adversarial patterns aim at. Implemented by `ftt_core::ddn::Ddn`
+/// (Theorem 3's `D^d_{n,k}`), whose adjacency is arithmetic over the
+/// host shape.
+pub trait ShapedHost {
+    /// The host torus shape (node id = flattened coordinate).
+    fn host_shape(&self) -> &Shape;
+}
+
+/// A [`FaultSampler`] placing exactly `k` node faults with an
+/// [`AdversaryPattern`] (re-randomised per trial seed) — the
+/// worst-case-regime counterpart of the Bernoulli samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversarySampler {
+    /// Fault placement strategy.
+    pub pattern: AdversaryPattern,
+    /// Number of node faults per trial.
+    pub k: usize,
+}
+
+impl AdversarySampler {
+    /// Sampler placing `k` faults per trial with `pattern`.
+    pub fn new(pattern: AdversaryPattern, k: usize) -> Self {
+        Self { pattern, k }
+    }
+
+    /// Overwrites `out` with this trial's faults, aimed at an explicit
+    /// shape (for hosts that don't implement [`ShapedHost`]).
+    pub fn sample_onto(&self, shape: &Shape, seed: u64, out: &mut FaultSet) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        out.clear();
+        for v in self.pattern.generate(shape, self.k, &mut rng) {
+            out.kill_node(v);
+        }
+    }
+}
+
+impl<H: ShapedHost + Sync> FaultSampler<H> for AdversarySampler {
+    fn sample_into(&self, host: &H, seed: u64, out: &mut FaultSet) {
+        self.sample_onto(host.host_shape(), seed, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Grid(Shape);
+    impl ShapedHost for Grid {
+        fn host_shape(&self) -> &Shape {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn adversary_sampler_places_exactly_k() {
+        let host = Grid(Shape::new(vec![10, 10]));
+        let sampler = AdversarySampler::new(AdversaryPattern::Random, 7);
+        let mut out = FaultSet::none(100, 0);
+        sampler.sample_into(&host, 3, &mut out);
+        assert_eq!(out.count_node_faults(), 7);
+        assert_eq!(out.count_edge_faults(), 0);
+    }
+
+    #[test]
+    fn adversary_sampler_overwrites_previous_trial() {
+        let host = Grid(Shape::new(vec![10, 10]));
+        let sampler = AdversarySampler::new(AdversaryPattern::Diagonal, 4);
+        let mut out = FaultSet::none(100, 0);
+        sampler.sample_into(&host, 1, &mut out);
+        let first: Vec<usize> = out.faulty_nodes().collect();
+        sampler.sample_into(&host, 2, &mut out);
+        assert_eq!(out.count_node_faults(), 4, "stale faults must be cleared");
+        sampler.sample_into(&host, 1, &mut out);
+        let again: Vec<usize> = out.faulty_nodes().collect();
+        assert_eq!(first, again, "pure function of (host, seed)");
+    }
+
+    #[test]
+    fn closure_blanket_impl_works() {
+        let host = Grid(Shape::new(vec![4, 4]));
+        let sampler = |_h: &Grid, _seed: u64| FaultSet::none(16, 0);
+        let mut out = FaultSet::none(16, 0);
+        FaultSampler::sample_into(&sampler, &host, 9, &mut out);
+        assert_eq!(out.count_faults(), 0);
+    }
+}

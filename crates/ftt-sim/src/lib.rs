@@ -7,6 +7,13 @@
 //! master seed `s` always uses seed `splitmix(s, i)`, regardless of
 //! thread scheduling.
 //!
+//! The [`sweep`] module lifts single scenarios to declarative *grids*:
+//! a [`SweepSpec`] (constructions × fault regimes × trial budget)
+//! expands into deterministic cells, runs them through the same
+//! pipeline, and emits schema-versioned `SWEEP_*.json`/`.csv`
+//! artifacts; [`SweepSpec::preset`] ships the paper-regime grids
+//! (`t1`/`t2`/`t3`) plus a CI `smoke` grid.
+//!
 //! # Performance
 //!
 //! The trial pipeline is sized for the paper's sparse fault regimes:
@@ -19,14 +26,20 @@
 pub mod runner;
 pub mod scenario;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 
 pub use runner::{
-    run_multi_trials, run_multi_trials_with, run_trials, run_trials_with, TrialStats,
+    run_multi_trials, run_multi_trials_pooled, run_multi_trials_with, run_trials, run_trials_with,
+    ScratchPool, TrialStats,
 };
 pub use scenario::{
     bernoulli_sampler, extract_verified, extract_verified_with, node_list_sampler,
     run_extraction_trials, BernoulliSampler, ExtractionFailure, FaultSampler, NodeListSampler,
 };
 pub use stats::{mean, std_dev, wilson_interval};
+pub use sweep::{
+    cell_seed, run_sweep, BaselineResult, BaselineSpec, CellResult, ConstructionSpec, FaultRegime,
+    SweepPattern, SweepReport, SweepSpec, PRESET_NAMES, SWEEP_SCHEMA_VERSION,
+};
 pub use table::Table;

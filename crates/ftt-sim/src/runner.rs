@@ -18,6 +18,7 @@
 
 use crate::stats::wilson_interval;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of trial indices a worker claims per atomic operation.
 pub const CLAIM_CHUNK: usize = 32;
@@ -90,6 +91,7 @@ pub fn run_trials_with<T, I, F>(
     trial: F,
 ) -> TrialStats
 where
+    T: Send,
     I: Fn() -> T + Sync,
     F: Fn(&mut T, u64) -> bool + Sync,
 {
@@ -131,6 +133,65 @@ pub fn run_multi_trials_with<const N: usize, T, I, F>(
     trial: F,
 ) -> [TrialStats; N]
 where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, u64) -> [bool; N] + Sync,
+{
+    let pool = ScratchPool::new();
+    run_multi_trials_pooled(trials, master_seed, threads, &pool, init, trial)
+}
+
+/// A pool of per-worker scratch values that outlives a single run.
+///
+/// Each worker of a `*_pooled` run takes one value at startup (creating
+/// it only when the pool is empty) and returns it on exit, so handing
+/// the *same* pool to consecutive runs — the sweep engine runs every
+/// cell of a host this way — reuses fault-set and extraction buffers
+/// across runs instead of rebuilding them per run. Scratch values are
+/// buffers, never state, so pooling cannot affect results.
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    items: Mutex<Vec<T>>,
+}
+
+impl<T> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of idle scratch values currently in the pool.
+    pub fn idle(&self) -> usize {
+        self.items.lock().unwrap().len()
+    }
+
+    fn take(&self) -> Option<T> {
+        self.items.lock().unwrap().pop()
+    }
+
+    fn put(&self, item: T) {
+        self.items.lock().unwrap().push(item);
+    }
+}
+
+/// [`run_multi_trials_with`] drawing per-worker scratch from (and
+/// returning it to) a caller-owned [`ScratchPool`], so buffers survive
+/// across consecutive runs. Workers claim trial indices in chunks of
+/// [`CLAIM_CHUNK`]; every trial's outcome depends only on its seed and
+/// tallies are summed, so neither chunking nor pooling is visible in
+/// the results.
+pub fn run_multi_trials_pooled<const N: usize, T, I, F>(
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    pool: &ScratchPool<T>,
+    init: I,
+    trial: F,
+) -> [TrialStats; N]
+where
+    T: Send,
     I: Fn() -> T + Sync,
     F: Fn(&mut T, u64) -> [bool; N] + Sync,
 {
@@ -140,7 +201,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut scratch = init();
+                let mut scratch = pool.take().unwrap_or_else(&init);
                 let mut local = [0usize; N];
                 loop {
                     let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
@@ -157,6 +218,7 @@ where
                 for (total, tally) in tallies.iter().zip(local) {
                     total.fetch_add(tally, Ordering::Relaxed);
                 }
+                pool.put(scratch);
             });
         }
     });
@@ -222,5 +284,42 @@ mod tests {
         let s = run_trials(0, 1, 4, |_| true);
         assert_eq!(s.trials, 0);
         assert_eq!(s.rate(), 0.0);
+    }
+
+    #[test]
+    fn pool_reuses_scratch_across_runs() {
+        use std::sync::atomic::AtomicUsize;
+        let built = AtomicUsize::new(0);
+        let pool = ScratchPool::new();
+        let init = || {
+            built.fetch_add(1, Ordering::Relaxed);
+            0u64
+        };
+        let trial = |acc: &mut u64, seed: u64| {
+            *acc = acc.wrapping_add(seed);
+            [seed.is_multiple_of(2)]
+        };
+        // Single worker keeps the build count deterministic (with more
+        // workers, an early finisher's scratch can be handed to a
+        // late-spawning worker, making the count racy).
+        let [a] = run_multi_trials_pooled(64, 1, 1, &pool, init, trial);
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.idle(), 1, "worker returns scratch on exit");
+        let [b] = run_multi_trials_pooled(64, 1, 1, &pool, init, trial);
+        assert_eq!(
+            built.load(Ordering::Relaxed),
+            1,
+            "second run must reuse pooled scratch, not build new"
+        );
+        assert_eq!(a, b, "pooling is invisible in the results");
+    }
+
+    #[test]
+    fn pooled_matches_with_variant() {
+        let pool = ScratchPool::new();
+        let trial = |_: &mut Vec<u8>, seed: u64| [seed.is_multiple_of(3), seed.is_multiple_of(5)];
+        let pooled = run_multi_trials_pooled(100, 9, 3, &pool, Vec::new, trial);
+        let plain = run_multi_trials_with(100, 9, 3, Vec::new, trial);
+        assert_eq!(pooled, plain);
     }
 }

@@ -90,30 +90,11 @@ pub fn extract_verified_with<C: HostConstruction>(
     Ok(emb)
 }
 
-/// A per-trial fault generator for [`run_extraction_trials`].
-///
-/// `sample_into(host, seed, out)` must fully overwrite `out` (it is a
-/// reused per-worker buffer) with a fault set that is a pure function
-/// of `(host, seed)` — that purity is what keeps Monte-Carlo results
-/// independent of thread count and scheduling.
-///
-/// Every `Fn(&C, u64) -> FaultSet` closure is a `FaultSampler` via a
-/// blanket impl, so ad-hoc samplers keep working; the built-in samplers
-/// ([`bernoulli_sampler`], [`node_list_sampler`]) implement the trait
-/// directly to refill the buffer in place without allocating.
-pub trait FaultSampler<C>: Sync {
-    /// Overwrites `out` with the fault set of trial `seed`.
-    fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet);
-}
-
-impl<C, F> FaultSampler<C> for F
-where
-    F: Fn(&C, u64) -> FaultSet + Sync,
-{
-    fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet) {
-        *out = self(host, seed);
-    }
-}
+// The per-trial fault generation contract now lives beside the fault
+// models themselves (`ftt_faults::sampler`), so the adversarial
+// machinery can implement it without a dependency cycle; re-exported
+// here because the trial runners consume it.
+pub use ftt_faults::FaultSampler;
 
 /// Runs `trials` fault-sampling + extraction + verification trials
 /// against `host`, in parallel.

@@ -32,9 +32,12 @@ pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let centre = p + z2 / (2.0 * n);
     let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // Mathematically lo ≤ p ≤ hi always holds; the final min/max with
+    // `p` repairs the float-rounding cases (e.g. successes == trials
+    // computes hi = 1 − 2⁻⁵², just below the rate 1.0).
     (
-        ((centre - half) / denom).max(0.0),
-        ((centre + half) / denom).min(1.0),
+        ((centre - half) / denom).max(0.0).min(p),
+        ((centre + half) / denom).min(1.0).max(p),
     )
 }
 
@@ -73,6 +76,19 @@ mod tests {
         let (lo, hi) = wilson_interval(50, 50);
         assert!(lo > 0.9);
         assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_brackets_degenerate_rates() {
+        // Rounding must never push the interval off the point estimate
+        // (successes == trials used to give hi = 1 − 2⁻⁵²).
+        for trials in [1usize, 5, 60, 1000] {
+            for successes in [0, trials] {
+                let p = successes as f64 / trials as f64;
+                let (lo, hi) = wilson_interval(successes, trials);
+                assert!(lo <= p && p <= hi, "{successes}/{trials}: [{lo}, {hi}]");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1237 @@
+//! Declarative scenario sweeps: the paper's *curves*, reproducible in
+//! one call.
+//!
+//! Tamaki's theorems are statements about curves — success probability
+//! of extracting a fault-free torus as a function of the fault rate
+//! `p`/`q` (Theorems 1–2) or the worst-case budget `k` (Theorem 3). A
+//! [`SweepSpec`] describes such a curve declaratively: a set of
+//! constructions ([`ConstructionSpec`]) crossed with a set of fault
+//! regimes ([`FaultRegime`]), a trial budget, and a root seed. The
+//! engine ([`run_sweep`]) expands the cross product into *cells*,
+//! executes every cell through the chunked Monte-Carlo extraction
+//! pipeline, and aggregates per-cell success rate, Wilson confidence
+//! interval, and throughput into a [`SweepReport`] with
+//! schema-versioned JSON and CSV emitters (`SWEEP_*.json` /
+//! `SWEEP_*.csv`, consumed by CI).
+//!
+//! # Determinism
+//!
+//! Every cell owns a seed derived from the root seed and the cell's
+//! *canonical id* (construction + regime, never its position), and
+//! per-trial seeds are split from the cell seed exactly as in
+//! [`crate::runner`]. Per-cell results are therefore a pure function of
+//! `(spec contents, root seed)` — invariant under the worker thread
+//! count, the order cells are listed in, and which other cells share
+//! the sweep.
+//!
+//! # Performance
+//!
+//! Cells of the same construction share one built host and one
+//! [`ScratchPool`] of per-worker `(FaultSet, Scratch)` buffers, so the
+//! steady-state trial loop stays allocation-free *across* cells, not
+//! just within one (see `crate::scenario`).
+//!
+//! # Presets
+//!
+//! Three checked-in paper-regime presets reproduce the theorem curves
+//! ([`SweepSpec::preset`]): `t1` (A²_n under node + edge faults), `t2`
+//! (B²_n success vs multiples of the design probability `b^{−3d}`,
+//! monotone in `p`), and `t3` (D²_{n,k} under adversarial patterns at
+//! multiples of the budget `k`; the `×1` cells are Theorem 3's
+//! guarantee and must sit at success rate 1). A fourth preset, `smoke`,
+//! is a 3-cell grid for CI. Every preset carries an Alon–Chung baseline
+//! column: the expander-product mesh host of the paper's Section 5
+//! comparison, run against the same per-cell fault parameters.
+
+use crate::runner::{run_multi_trials_pooled, ScratchPool, TrialStats};
+use crate::scenario::extract_verified_with;
+use crate::table::{fmt_prob, Table};
+use ftt_baselines::AlonChungMesh;
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::construct::HostConstruction;
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_faults::{
+    sample_bernoulli_faults_into, sample_indices, AdversaryPattern, AdversarySampler, FaultSet,
+};
+use ftt_geom::Shape;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Version stamp of the `SWEEP_*.json` / `SWEEP_*.csv` artifact schema.
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// One construction axis of a sweep grid. Sizes are *minimums*: the
+/// spec uses the `fit` constructors, so `n` rounds up to the nearest
+/// valid instance (divisibility constraints differ per construction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstructionSpec {
+    /// Theorem 2's `B^d_n` (degree `6d−2`, random-fault design point
+    /// `p = b^{−3d}`).
+    Bdn {
+        /// Dimension `d`.
+        d: usize,
+        /// Minimum guest torus side.
+        n_min: usize,
+        /// Band parameter `b`.
+        b: usize,
+        /// Slack parameter `ε_b`.
+        eps_b: usize,
+    },
+    /// Theorem 1's `A²_n` (supernode clusters over an inner `B²`, node
+    /// *and* edge faults via the half-edge model).
+    Adn {
+        /// Minimum guest torus side.
+        n_min: usize,
+        /// Cluster factor `k` (guest side = `k ·` inner side).
+        k: usize,
+        /// Supernode size `h`.
+        h: usize,
+        /// Design half-edge failure rate `√q` (≤ 1/16).
+        sqrt_q: f64,
+    },
+    /// Theorem 3's `D^d_{n,k}` (degree `4d`, tolerates **any**
+    /// `k = b^(2^d − 1)` faults).
+    Ddn {
+        /// Dimension `d`.
+        d: usize,
+        /// Minimum guest torus side.
+        n_min: usize,
+        /// Base jump parameter `b`.
+        b: usize,
+    },
+}
+
+impl ConstructionSpec {
+    fn build(&self) -> Result<BuiltHost, String> {
+        match *self {
+            ConstructionSpec::Bdn { d, n_min, b, eps_b } => Ok(BuiltHost::Bdn(Bdn::build(
+                BdnParams::fit(d, n_min, b, eps_b)?,
+            ))),
+            ConstructionSpec::Adn {
+                n_min,
+                k,
+                h,
+                sqrt_q,
+            } => {
+                if k == 0 {
+                    return Err("A²_n needs k ≥ 1".into());
+                }
+                let inner = BdnParams::fit(2, n_min.div_ceil(k), 3, 1)?;
+                Ok(BuiltHost::Adn(Adn::build(AdnParams::new(
+                    inner, k, h, sqrt_q,
+                )?)))
+            }
+            ConstructionSpec::Ddn { d, n_min, b } => {
+                Ok(BuiltHost::Ddn(Ddn::new(DdnParams::fit(d, n_min, b)?)))
+            }
+        }
+    }
+}
+
+/// A built host of any construction, with the spec-level metadata the
+/// report needs (canonical id, parameter string, guest size).
+enum BuiltHost {
+    Bdn(Bdn),
+    Adn(Adn),
+    Ddn(Ddn),
+}
+
+impl BuiltHost {
+    /// Canonical id of the *resolved* instance — part of every cell id,
+    /// hence of every cell seed.
+    fn id(&self) -> String {
+        match self {
+            BuiltHost::Bdn(h) => {
+                let p = h.params();
+                format!("b{}_n{}b{}e{}", p.d, p.n, p.b, p.eps_b)
+            }
+            BuiltHost::Adn(h) => {
+                let p = h.params();
+                format!("a2_n{}k{}h{}sq{}", p.n(), p.k, p.h, p.sqrt_q)
+            }
+            BuiltHost::Ddn(h) => {
+                let p = h.params();
+                format!("d{}_n{}b{}", p.d, p.n, p.b)
+            }
+        }
+    }
+
+    fn construction_name(&self) -> &'static str {
+        match self {
+            BuiltHost::Bdn(_) => <Bdn as HostConstruction>::NAME,
+            BuiltHost::Adn(_) => <Adn as HostConstruction>::NAME,
+            BuiltHost::Ddn(_) => <Ddn as HostConstruction>::NAME,
+        }
+    }
+
+    fn params_string(&self) -> String {
+        match self {
+            BuiltHost::Bdn(h) => {
+                let p = h.params();
+                format!("d={} n={} b={} eps_b={}", p.d, p.n, p.b, p.eps_b)
+            }
+            BuiltHost::Adn(h) => {
+                let p = h.params();
+                format!("n={} k={} h={} sqrt_q={}", p.n(), p.k, p.h, p.sqrt_q)
+            }
+            BuiltHost::Ddn(h) => {
+                let p = h.params();
+                format!(
+                    "d={} n={} b={} budget={}",
+                    p.d,
+                    p.n,
+                    p.b,
+                    p.tolerated_faults()
+                )
+            }
+        }
+    }
+
+    /// Guest torus side (what the Alon–Chung baseline must host).
+    fn guest_n(&self) -> usize {
+        match self {
+            BuiltHost::Bdn(h) => h.params().n,
+            BuiltHost::Adn(h) => h.params().n(),
+            BuiltHost::Ddn(h) => h.params().n,
+        }
+    }
+
+    fn dimension(&self) -> usize {
+        match self {
+            BuiltHost::Bdn(h) => h.params().d,
+            BuiltHost::Adn(_) => 2,
+            BuiltHost::Ddn(h) => h.params().d,
+        }
+    }
+}
+
+/// Adversarial pattern selector for sweep regimes. Mirrors
+/// [`AdversaryPattern`] except that [`SweepPattern::ResidueSpreadAuto`]
+/// resolves its modulus from the target construction (`b_0 + 1`, the
+/// residue classes of `D^d_{n,k}`'s first dimension) instead of
+/// hard-coding one into the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPattern {
+    /// Uniformly random distinct nodes.
+    Random,
+    /// A contiguous axis-aligned cube.
+    ClusteredCube,
+    /// Evenly spaced nodes on the wrapped main diagonal.
+    Diagonal,
+    /// Consecutive nodes along one axis line.
+    AxisLine {
+        /// Direction of the line.
+        axis: usize,
+    },
+    /// Faults concentrated in a few coordinate-0 hyperplanes.
+    FewRows {
+        /// Number of distinct rows attacked.
+        rows: usize,
+    },
+    /// Residue-class attack on dimension 0, modulus `b_0 + 1` of the
+    /// target `D^d_{n,k}` — the worst case for the cyclic pigeonhole.
+    ResidueSpreadAuto,
+}
+
+impl SweepPattern {
+    fn resolve(&self, params: &DdnParams) -> AdversaryPattern {
+        match *self {
+            SweepPattern::Random => AdversaryPattern::Random,
+            SweepPattern::ClusteredCube => AdversaryPattern::ClusteredCube,
+            SweepPattern::Diagonal => AdversaryPattern::Diagonal,
+            SweepPattern::AxisLine { axis } => AdversaryPattern::AxisLine { axis },
+            SweepPattern::FewRows { rows } => AdversaryPattern::FewRows { rows },
+            SweepPattern::ResidueSpreadAuto => AdversaryPattern::ResidueSpread {
+                axis: 0,
+                modulus: params.band_width(0) + 1,
+            },
+        }
+    }
+
+    fn slug(&self) -> String {
+        match *self {
+            SweepPattern::Random => "random".into(),
+            SweepPattern::ClusteredCube => "cluster".into(),
+            SweepPattern::Diagonal => "diag".into(),
+            SweepPattern::AxisLine { axis } => format!("line{axis}"),
+            SweepPattern::FewRows { rows } => format!("rows{rows}"),
+            SweepPattern::ResidueSpreadAuto => "spread".into(),
+        }
+    }
+}
+
+/// One fault-regime axis of a sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultRegime {
+    /// Independent Bernoulli node faults (`p`) and whole-edge faults
+    /// (`q`); `q > 0` exercises the half-edge model on `A²_n` and edge
+    /// ascription on `B`/`D`.
+    Bernoulli {
+        /// Per-node fault probability.
+        p: f64,
+        /// Per-edge fault probability.
+        q: f64,
+    },
+    /// Bernoulli node faults at `mult ×` the construction's *design*
+    /// probability (`b^{−3d}` for `B^d_n` — the only construction with
+    /// a probabilistic design point), capped at 1.
+    DesignBernoulli {
+        /// Multiple of the design probability.
+        mult: f64,
+        /// Per-edge fault probability (absolute).
+        q: f64,
+    },
+    /// Exactly `k` adversarial node faults per trial (valid on shaped
+    /// hosts, i.e. `D^d_{n,k}`).
+    Adversarial {
+        /// Placement strategy.
+        pattern: SweepPattern,
+        /// Faults per trial.
+        k: usize,
+    },
+    /// Adversarial faults at `mult ×` the construction's worst-case
+    /// budget (`k = b^(2^d − 1)` for `D^d_{n,k}`), clamped to half the
+    /// host so over-budget cells stay meaningful. `mult = 1` is
+    /// Theorem 3's guarantee: success rate must be exactly 1.
+    AdversarialBudget {
+        /// Placement strategy.
+        pattern: SweepPattern,
+        /// Multiple of the tolerated budget.
+        mult: f64,
+    },
+}
+
+/// The Alon–Chung comparison column: for each cell, the same trial
+/// budget is run against the Section 5 expander-product mesh host
+/// (`F_n × (L_n)^{d−1}`) with matching fault parameters — node faults
+/// at the cell's `p` in Bernoulli regimes, `k` uniformly random node
+/// faults in adversarial regimes (edge faults and structured patterns
+/// have no analogue on the expander host and are dropped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineSpec {
+    /// Node redundancy of the expander host (≥ 1; the paper's baseline
+    /// needs a constant factor more nodes than the guest).
+    pub redundancy: f64,
+}
+
+impl Default for BaselineSpec {
+    fn default() -> Self {
+        Self { redundancy: 4.0 }
+    }
+}
+
+/// A declarative scenario sweep: constructions × fault regimes ×
+/// a trial budget, all seeded from `root_seed`.
+///
+/// Expansion is a full cross product; regimes that don't apply to a
+/// construction (e.g. [`FaultRegime::AdversarialBudget`] on `B^d_n`)
+/// make the sweep fail validation rather than silently skip cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Artifact name: emitted as `SWEEP_<name>.json` / `.csv`.
+    pub name: String,
+    /// Construction axis.
+    pub constructions: Vec<ConstructionSpec>,
+    /// Fault-regime axis.
+    pub regimes: Vec<FaultRegime>,
+    /// Monte-Carlo trials per cell.
+    pub trials: usize,
+    /// Root seed; per-cell seeds are derived from it and the cell id.
+    pub root_seed: u64,
+    /// Optional Alon–Chung baseline column.
+    pub baseline: Option<BaselineSpec>,
+}
+
+/// Names accepted by [`SweepSpec::preset`].
+pub const PRESET_NAMES: &[&str] = &["smoke", "t1", "t2", "t3"];
+
+impl SweepSpec {
+    /// A checked-in paper-regime preset: `t1`, `t2`, `t3` reproduce the
+    /// Theorem 1/2/3 curves, `smoke` is a 3-cell CI grid. See the
+    /// module docs.
+    pub fn preset(name: &str) -> Result<SweepSpec, String> {
+        match name {
+            // Tiny grid for CI smoke: one B² instance, three points of
+            // the Theorem 2 curve.
+            "smoke" => Ok(SweepSpec {
+                name: "smoke".into(),
+                constructions: vec![ConstructionSpec::Bdn {
+                    d: 2,
+                    n_min: 54,
+                    b: 3,
+                    eps_b: 1,
+                }],
+                regimes: [0.2, 1.0, 4.0]
+                    .into_iter()
+                    .map(|mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
+                    .collect(),
+                trials: 5,
+                root_seed: 1,
+                baseline: Some(BaselineSpec::default()),
+            }),
+            // Theorem 1: A²_n under simultaneous node and edge faults.
+            "t1" => Ok(SweepSpec {
+                name: "t1".into(),
+                constructions: vec![ConstructionSpec::Adn {
+                    n_min: 108,
+                    k: 2,
+                    h: 10,
+                    sqrt_q: 0.05,
+                }],
+                regimes: vec![
+                    FaultRegime::Bernoulli { p: 0.0, q: 0.0 },
+                    FaultRegime::Bernoulli { p: 0.005, q: 5e-4 },
+                    FaultRegime::Bernoulli { p: 0.01, q: 1e-3 },
+                    FaultRegime::Bernoulli { p: 0.02, q: 2e-3 },
+                ],
+                trials: 60,
+                root_seed: 1,
+                baseline: Some(BaselineSpec::default()),
+            }),
+            // Theorem 2: B²_n success vs multiples of the design
+            // probability b^{−3d}. Multiples are listed in increasing
+            // order so the emitted success column reads as the curve:
+            // monotone non-increasing in p per construction.
+            "t2" => Ok(SweepSpec {
+                name: "t2".into(),
+                constructions: vec![
+                    ConstructionSpec::Bdn {
+                        d: 2,
+                        n_min: 54,
+                        b: 3,
+                        eps_b: 1,
+                    },
+                    ConstructionSpec::Bdn {
+                        d: 2,
+                        n_min: 108,
+                        b: 3,
+                        eps_b: 1,
+                    },
+                    ConstructionSpec::Bdn {
+                        d: 2,
+                        n_min: 192,
+                        b: 4,
+                        eps_b: 1,
+                    },
+                ],
+                regimes: [0.05, 0.2, 1.0, 4.0]
+                    .into_iter()
+                    .map(|mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
+                    .collect(),
+                trials: 60,
+                root_seed: 1,
+                baseline: Some(BaselineSpec::default()),
+            }),
+            // Theorem 3: D²_{n,k} under adversarial patterns at
+            // multiples of the worst-case budget. The ×1 cells are the
+            // theorem's guarantee (success rate exactly 1).
+            "t3" => Ok(SweepSpec {
+                name: "t3".into(),
+                constructions: vec![
+                    ConstructionSpec::Ddn {
+                        d: 2,
+                        n_min: 40,
+                        b: 2,
+                    },
+                    ConstructionSpec::Ddn {
+                        d: 2,
+                        n_min: 60,
+                        b: 3,
+                    },
+                ],
+                regimes: [
+                    SweepPattern::Random,
+                    SweepPattern::ClusteredCube,
+                    SweepPattern::ResidueSpreadAuto,
+                ]
+                .into_iter()
+                .flat_map(|pattern| {
+                    [1.0, 2.0, 4.0]
+                        .into_iter()
+                        .map(move |mult| FaultRegime::AdversarialBudget { pattern, mult })
+                })
+                .collect(),
+                trials: 40,
+                root_seed: 1,
+                baseline: Some(BaselineSpec::default()),
+            }),
+            other => Err(format!(
+                "unknown preset `{other}` (available: {})",
+                PRESET_NAMES.join(", ")
+            )),
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() || !self.name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(format!(
+                "sweep name `{}` must be non-empty alphanumeric/underscore (it names artifacts)",
+                self.name
+            ));
+        }
+        if self.trials == 0 {
+            return Err("sweep needs at least one trial per cell".into());
+        }
+        if self.constructions.is_empty() {
+            return Err("sweep needs at least one construction".into());
+        }
+        if self.regimes.is_empty() {
+            return Err("sweep needs at least one fault regime".into());
+        }
+        if let Some(b) = &self.baseline {
+            if b.redundancy.is_nan() || b.redundancy < 1.0 {
+                return Err(format!("baseline redundancy {} must be ≥ 1", b.redundancy));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-cell seed: a pure function of the root seed and the cell's
+/// canonical id. Hashing the *id* (FNV-1a, then a splitmix64 finisher)
+/// instead of the cell's position is what makes sweep results
+/// invariant under cell reordering and grid extension.
+pub fn cell_seed(root_seed: u64, cell_id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in cell_id.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h ^ root_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A cell's fault generation, resolved to absolute parameters.
+enum ResolvedFaults {
+    Bernoulli { p: f64, q: f64 },
+    Adversarial(AdversarySampler),
+}
+
+/// One fully resolved cell: id, seed, faults, and the report metadata.
+struct ResolvedCell {
+    id: String,
+    seed: u64,
+    faults: ResolvedFaults,
+    regime: &'static str,
+    p: Option<f64>,
+    q: Option<f64>,
+    k: Option<usize>,
+    pattern: Option<String>,
+    mult: Option<f64>,
+}
+
+fn check_prob(label: &str, x: f64) -> Result<(), String> {
+    if (0.0..=1.0).contains(&x) {
+        Ok(())
+    } else {
+        Err(format!("{label} = {x} out of [0, 1]"))
+    }
+}
+
+/// Resolves one regime against one built host (design probabilities,
+/// budgets, and pattern moduli become absolute numbers here) or
+/// explains why the combination is invalid.
+fn resolve_regime(regime: &FaultRegime, host: &BuiltHost) -> Result<ResolvedCellParts, String> {
+    let adversarial = |pattern: &SweepPattern,
+                       k: usize,
+                       mult: Option<f64>|
+     -> Result<ResolvedCellParts, String> {
+        let BuiltHost::Ddn(h) = host else {
+            return Err(format!(
+                "adversarial regimes target shaped hosts only (D^d_{{n,k}}), not {}",
+                host.construction_name()
+            ));
+        };
+        let resolved = pattern.resolve(h.params());
+        let regime_id = match mult {
+            Some(m) => format!("{}_x{m}", pattern.slug()),
+            None => format!("{}_k{k}", pattern.slug()),
+        };
+        Ok(ResolvedCellParts {
+            regime_id,
+            faults: ResolvedFaults::Adversarial(AdversarySampler::new(resolved, k)),
+            regime: "adversarial",
+            p: None,
+            q: None,
+            k: Some(k),
+            pattern: Some(pattern.slug()),
+            mult,
+        })
+    };
+    match regime {
+        FaultRegime::Bernoulli { p, q } => {
+            check_prob("p", *p)?;
+            check_prob("q", *q)?;
+            Ok(ResolvedCellParts {
+                regime_id: format!("p{p}_q{q}"),
+                faults: ResolvedFaults::Bernoulli { p: *p, q: *q },
+                regime: "bernoulli",
+                p: Some(*p),
+                q: Some(*q),
+                k: None,
+                pattern: None,
+                mult: None,
+            })
+        }
+        FaultRegime::DesignBernoulli { mult, q } => {
+            let BuiltHost::Bdn(h) = host else {
+                return Err(format!(
+                    "DesignBernoulli needs a construction with a design fault \
+                     probability (B^d_n), not {}",
+                    host.construction_name()
+                ));
+            };
+            if mult.is_nan() || *mult < 0.0 {
+                return Err(format!("design multiple {mult} must be ≥ 0"));
+            }
+            check_prob("q", *q)?;
+            let p = (h.params().tolerated_fault_probability() * mult).min(1.0);
+            Ok(ResolvedCellParts {
+                regime_id: format!("design_x{mult}_q{q}"),
+                faults: ResolvedFaults::Bernoulli { p, q: *q },
+                regime: "bernoulli",
+                p: Some(p),
+                q: Some(*q),
+                k: None,
+                pattern: None,
+                mult: Some(*mult),
+            })
+        }
+        FaultRegime::Adversarial { pattern, k } => adversarial(pattern, *k, None),
+        FaultRegime::AdversarialBudget { pattern, mult } => {
+            if mult.is_nan() || *mult < 0.0 {
+                return Err(format!("budget multiple {mult} must be ≥ 0"));
+            }
+            let BuiltHost::Ddn(h) = host else {
+                return Err(format!(
+                    "adversarial regimes target shaped hosts only (D^d_{{n,k}}), not {}",
+                    host.construction_name()
+                ));
+            };
+            let budget = h.params().tolerated_faults();
+            let k = (((budget as f64) * mult).round() as usize).min(h.shape().len() / 2);
+            adversarial(pattern, k, Some(*mult))
+        }
+    }
+}
+
+/// The regime-dependent parts of a [`ResolvedCell`].
+struct ResolvedCellParts {
+    regime_id: String,
+    faults: ResolvedFaults,
+    regime: &'static str,
+    p: Option<f64>,
+    q: Option<f64>,
+    k: Option<usize>,
+    pattern: Option<String>,
+    mult: Option<f64>,
+}
+
+/// Result of the Alon–Chung comparison run for one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Successful mesh embeddings out of the cell's trial budget.
+    pub successes: usize,
+    /// Empirical success rate.
+    pub rate: f64,
+}
+
+/// Aggregated outcome of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Canonical cell id (`<construction>/<regime>`), the seed anchor.
+    pub id: String,
+    /// Construction display name (e.g. `B^d_n`).
+    pub construction: String,
+    /// Resolved instance parameters, human-readable.
+    pub params: String,
+    /// `"bernoulli"` or `"adversarial"`.
+    pub regime: String,
+    /// Node-fault probability (Bernoulli regimes).
+    pub p: Option<f64>,
+    /// Edge-fault probability (Bernoulli regimes).
+    pub q: Option<f64>,
+    /// Faults per trial (adversarial regimes).
+    pub k: Option<usize>,
+    /// Pattern slug (adversarial regimes).
+    pub pattern: Option<String>,
+    /// Design/budget multiple, when the regime was specified as one.
+    pub mult: Option<f64>,
+    /// Trial tally.
+    pub stats: TrialStats,
+    /// Wall-clock seconds for this cell's trials.
+    pub seconds: f64,
+    /// Throughput (0 when the clock rounds to zero).
+    pub trials_per_sec: f64,
+    /// Alon–Chung comparison column, when requested and applicable.
+    pub baseline: Option<BaselineResult>,
+}
+
+impl CellResult {
+    /// Empirical success rate.
+    pub fn rate(&self) -> f64 {
+        self.stats.rate()
+    }
+
+    /// 95% Wilson confidence interval.
+    pub fn confidence(&self) -> (f64, f64) {
+        self.stats.confidence()
+    }
+}
+
+/// Aggregated outcome of a whole sweep, with artifact emitters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Sweep name (artifact stem).
+    pub name: String,
+    /// Root seed the cells derived their seeds from.
+    pub root_seed: u64,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Worker threads the sweep ran with (0 = auto); recorded for
+    /// provenance only — results are thread-count-invariant.
+    pub threads: usize,
+    /// Per-cell results, in construction-major spec order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Expands `spec` into cells and executes every cell. `threads = 0`
+/// selects the available parallelism. Per-cell results are a pure
+/// function of `(spec contents, root seed)`; see the module docs.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport, String> {
+    spec.validate()?;
+    let mut cells = Vec::new();
+    for cspec in &spec.constructions {
+        let host = cspec.build()?;
+        let host_id = host.id();
+        let resolved: Vec<ResolvedCell> = spec
+            .regimes
+            .iter()
+            .map(|regime| {
+                let parts = resolve_regime(regime, &host)?;
+                let id = format!("{host_id}/{}", parts.regime_id);
+                Ok(ResolvedCell {
+                    seed: cell_seed(spec.root_seed, &id),
+                    id,
+                    faults: parts.faults,
+                    regime: parts.regime,
+                    p: parts.p,
+                    q: parts.q,
+                    k: parts.k,
+                    pattern: parts.pattern,
+                    mult: parts.mult,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let timings = match &host {
+            BuiltHost::Bdn(h) => run_host_cells(h, None, &resolved, spec.trials, threads),
+            BuiltHost::Adn(h) => run_host_cells(h, None, &resolved, spec.trials, threads),
+            BuiltHost::Ddn(h) => {
+                run_host_cells(h, Some(h.shape()), &resolved, spec.trials, threads)
+            }
+        };
+        let baselines = run_baseline_cells(spec, &host, &resolved, threads);
+        for ((cell, (stats, seconds)), baseline) in resolved.into_iter().zip(timings).zip(baselines)
+        {
+            let trials_per_sec = if seconds > 0.0 {
+                spec.trials as f64 / seconds
+            } else {
+                0.0
+            };
+            cells.push(CellResult {
+                id: cell.id,
+                construction: host.construction_name().to_string(),
+                params: host.params_string(),
+                regime: cell.regime.to_string(),
+                p: cell.p,
+                q: cell.q,
+                k: cell.k,
+                pattern: cell.pattern,
+                mult: cell.mult,
+                stats,
+                seconds,
+                trials_per_sec,
+                baseline,
+            });
+        }
+    }
+    Ok(SweepReport {
+        name: spec.name.clone(),
+        root_seed: spec.root_seed,
+        trials: spec.trials,
+        threads,
+        cells,
+    })
+}
+
+/// Runs every cell of one host through the extraction pipeline. All
+/// cells share one [`ScratchPool`], so per-worker `(FaultSet, Scratch)`
+/// buffers are built once per worker *for the whole host*, not per
+/// cell.
+fn run_host_cells<C: HostConstruction + Sync>(
+    host: &C,
+    shape: Option<&Shape>,
+    cells: &[ResolvedCell],
+    trials: usize,
+    threads: usize,
+) -> Vec<(TrialStats, f64)> {
+    // Materialise lazy host state (e.g. the cached D^d graph) outside
+    // the timed regions.
+    let _ = host.graph();
+    let pool = ScratchPool::new();
+    let init = || {
+        (
+            FaultSet::none(host.num_nodes(), host.graph().num_edges()),
+            host.new_scratch(),
+        )
+    };
+    cells
+        .iter()
+        .map(|cell| {
+            let start = Instant::now();
+            let [stats] = run_multi_trials_pooled(
+                trials,
+                cell.seed,
+                threads,
+                &pool,
+                init,
+                |(faults, scratch), seed| {
+                    match &cell.faults {
+                        ResolvedFaults::Bernoulli { p, q } => {
+                            let mut rng = SmallRng::seed_from_u64(seed);
+                            sample_bernoulli_faults_into(host.graph(), *p, *q, &mut rng, faults);
+                        }
+                        ResolvedFaults::Adversarial(sampler) => sampler.sample_onto(
+                            shape.expect("validated: adversarial cells run on shaped hosts"),
+                            seed,
+                            faults,
+                        ),
+                    }
+                    [extract_verified_with(host, faults, scratch).is_ok()]
+                },
+            );
+            (stats, start.elapsed().as_secs_f64())
+        })
+        .collect()
+}
+
+/// Runs the Alon–Chung column for every cell of one host (all `None`
+/// when no baseline was requested or the guest is 1-dimensional, which
+/// the product-mesh baseline cannot host).
+fn run_baseline_cells(
+    spec: &SweepSpec,
+    host: &BuiltHost,
+    cells: &[ResolvedCell],
+    threads: usize,
+) -> Vec<Option<BaselineResult>> {
+    let Some(baseline) = &spec.baseline else {
+        return vec![None; cells.len()];
+    };
+    if host.dimension() < 2 {
+        return vec![None; cells.len()];
+    }
+    let mesh = AlonChungMesh::build(host.guest_n(), host.dimension(), baseline.redundancy);
+    let num_nodes = mesh.num_nodes();
+    let flat_shape = Shape::new(vec![num_nodes]);
+    // Scratch: the faulty bitmap plus the list of set indices, so reset
+    // between trials is O(#faults).
+    let pool: ScratchPool<(Vec<bool>, Vec<usize>)> = ScratchPool::new();
+    let init = || (vec![false; num_nodes], Vec::new());
+    cells
+        .iter()
+        .map(|cell| {
+            let seed = cell_seed(spec.root_seed, &format!("{}/ac", cell.id));
+            let [stats] = run_multi_trials_pooled(
+                spec.trials,
+                seed,
+                threads,
+                &pool,
+                init,
+                |(faulty, killed), seed| {
+                    for &v in killed.iter() {
+                        faulty[v] = false;
+                    }
+                    killed.clear();
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    match &cell.faults {
+                        // Node faults at the cell's p; edge faults have
+                        // no analogue on the expander host.
+                        ResolvedFaults::Bernoulli { p, .. } => {
+                            sample_indices(num_nodes, *p, &mut rng, |v| {
+                                faulty[v] = true;
+                                killed.push(v);
+                            });
+                        }
+                        // k uniformly random node faults: structured
+                        // torus patterns don't translate.
+                        ResolvedFaults::Adversarial(sampler) => {
+                            for v in
+                                AdversaryPattern::Random.generate(&flat_shape, sampler.k, &mut rng)
+                            {
+                                faulty[v] = true;
+                                killed.push(v);
+                            }
+                        }
+                    }
+                    [mesh.embed_mesh(faulty).is_some()]
+                },
+            );
+            Some(BaselineResult {
+                successes: stats.successes,
+                rate: stats.rate(),
+            })
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt_f64(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".into(), json_f64)
+}
+
+fn json_opt_usize(x: Option<usize>) -> String {
+    x.map_or_else(|| "null".into(), |v| v.to_string())
+}
+
+fn json_opt_str(x: Option<&str>) -> String {
+    x.map_or_else(|| "null".into(), |s| format!("\"{}\"", json_escape(s)))
+}
+
+impl SweepReport {
+    /// The `SWEEP_<name>.json` artifact: schema-versioned, one object
+    /// per cell. Field order and `schema_version` are part of the CI
+    /// contract (`tools/check_sweep.py`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SWEEP_SCHEMA_VERSION},\n"));
+        out.push_str("  \"kind\": \"sweep\",\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(&self.name)));
+        out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let (lo, hi) = c.confidence();
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"id\": \"{}\",\n", json_escape(&c.id)));
+            out.push_str(&format!(
+                "      \"construction\": \"{}\",\n",
+                json_escape(&c.construction)
+            ));
+            out.push_str(&format!(
+                "      \"params\": \"{}\",\n",
+                json_escape(&c.params)
+            ));
+            out.push_str(&format!(
+                "      \"regime\": \"{}\",\n",
+                json_escape(&c.regime)
+            ));
+            out.push_str(&format!("      \"p\": {},\n", json_opt_f64(c.p)));
+            out.push_str(&format!("      \"q\": {},\n", json_opt_f64(c.q)));
+            out.push_str(&format!("      \"k\": {},\n", json_opt_usize(c.k)));
+            out.push_str(&format!(
+                "      \"pattern\": {},\n",
+                json_opt_str(c.pattern.as_deref())
+            ));
+            out.push_str(&format!("      \"mult\": {},\n", json_opt_f64(c.mult)));
+            out.push_str(&format!("      \"trials\": {},\n", c.stats.trials));
+            out.push_str(&format!("      \"successes\": {},\n", c.stats.successes));
+            out.push_str(&format!(
+                "      \"success_rate\": {},\n",
+                json_f64(c.rate())
+            ));
+            out.push_str(&format!("      \"ci_low\": {},\n", json_f64(lo)));
+            out.push_str(&format!("      \"ci_high\": {},\n", json_f64(hi)));
+            out.push_str(&format!("      \"seconds\": {:.6},\n", c.seconds));
+            out.push_str(&format!(
+                "      \"trials_per_sec\": {:.3},\n",
+                c.trials_per_sec
+            ));
+            out.push_str(&format!(
+                "      \"baseline_successes\": {},\n",
+                json_opt_usize(c.baseline.as_ref().map(|b| b.successes))
+            ));
+            out.push_str(&format!(
+                "      \"baseline_rate\": {}\n",
+                json_opt_f64(c.baseline.as_ref().map(|b| b.rate))
+            ));
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The `SWEEP_<name>.csv` artifact: a header row plus one row per
+    /// cell, empty fields where a column doesn't apply to the regime.
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        fn opt_f(x: Option<f64>) -> String {
+            x.map(|v| format!("{v}")).unwrap_or_default()
+        }
+        let mut out = String::from(
+            "id,construction,params,regime,p,q,k,pattern,mult,trials,successes,\
+             success_rate,ci_low,ci_high,seconds,trials_per_sec,baseline_rate\n",
+        );
+        for c in &self.cells {
+            let (lo, hi) = c.confidence();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{}\n",
+                esc(&c.id),
+                esc(&c.construction),
+                esc(&c.params),
+                esc(&c.regime),
+                opt_f(c.p),
+                opt_f(c.q),
+                c.k.map(|v| v.to_string()).unwrap_or_default(),
+                esc(c.pattern.as_deref().unwrap_or("")),
+                opt_f(c.mult),
+                c.stats.trials,
+                c.stats.successes,
+                c.rate(),
+                lo,
+                hi,
+                c.seconds,
+                c.trials_per_sec,
+                opt_f(c.baseline.as_ref().map(|b| b.rate)),
+            ));
+        }
+        out
+    }
+
+    /// Writes the JSON and CSV artifacts — the one emit path shared by
+    /// the CLI and the experiment binaries.
+    pub fn write_artifacts(&self, json_path: &str, csv_path: &str) -> Result<(), String> {
+        std::fs::write(json_path, self.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        std::fs::write(csv_path, self.to_csv())
+            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        Ok(())
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "SWEEP {}: {} cells × {} trials (root seed {})",
+                self.name,
+                self.cells.len(),
+                self.trials,
+                self.root_seed
+            ),
+            &[
+                "cell",
+                "construction",
+                "faults",
+                "success",
+                "trials/sec",
+                "AC baseline",
+            ],
+        );
+        for c in &self.cells {
+            let faults = match (c.p, c.k) {
+                (Some(p), _) => format!("p={p:.2e} q={:.2e}", c.q.unwrap_or(0.0)),
+                (_, Some(k)) => format!("{} k={k}", c.pattern.as_deref().unwrap_or("?"),),
+                _ => "-".into(),
+            };
+            t.row(vec![
+                c.id.clone(),
+                c.construction.clone(),
+                faults,
+                fmt_prob(c.rate(), c.confidence()),
+                format!("{:.1}", c.trials_per_sec),
+                c.baseline
+                    .as_ref()
+                    .map(|b| format!("{:.2}", b.rate))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_b2_spec() -> SweepSpec {
+        SweepSpec {
+            name: "unit".into(),
+            constructions: vec![ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            }],
+            regimes: vec![
+                FaultRegime::DesignBernoulli { mult: 0.0, q: 0.0 },
+                FaultRegime::DesignBernoulli { mult: 1.0, q: 0.0 },
+            ],
+            trials: 4,
+            root_seed: 7,
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn presets_all_build() {
+        for name in PRESET_NAMES {
+            let spec = SweepSpec::preset(name).unwrap();
+            assert_eq!(&spec.name, name);
+            spec.validate().unwrap();
+        }
+        assert!(SweepSpec::preset("bogus").is_err());
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_emits() {
+        let report = run_sweep(&tiny_b2_spec(), 0).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert!((0.0..=1.0).contains(&cell.rate()), "{}", cell.id);
+            assert_eq!(cell.stats.trials, 4);
+        }
+        // The fault-free cell must be a sure success.
+        assert_eq!(report.cells[0].stats.successes, 4);
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"kind\": \"sweep\""));
+        assert!(json.contains("\"success_rate\""));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+        assert!(csv.starts_with("id,construction,"));
+        assert!(!report.table().is_empty());
+    }
+
+    #[test]
+    fn cell_ids_anchor_seeds_not_positions() {
+        let spec = tiny_b2_spec();
+        let mut reversed = spec.clone();
+        reversed.regimes.reverse();
+        let a = run_sweep(&spec, 1).unwrap();
+        let b = run_sweep(&reversed, 1).unwrap();
+        for cell in &a.cells {
+            let twin = b
+                .cells
+                .iter()
+                .find(|c| c.id == cell.id)
+                .expect("same cells, different order");
+            assert_eq!(cell.stats, twin.stats, "{} depends on cell order", cell.id);
+        }
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let mut spec = tiny_b2_spec();
+        spec.regimes = vec![FaultRegime::AdversarialBudget {
+            pattern: SweepPattern::Random,
+            mult: 1.0,
+        }];
+        assert!(run_sweep(&spec, 1).is_err(), "adversarial × B² must fail");
+
+        let mut spec = tiny_b2_spec();
+        spec.constructions = vec![ConstructionSpec::Ddn {
+            d: 2,
+            n_min: 30,
+            b: 2,
+        }];
+        assert!(
+            run_sweep(&spec, 1).is_err(),
+            "DesignBernoulli × D² must fail"
+        );
+
+        let mut spec = tiny_b2_spec();
+        spec.trials = 0;
+        assert!(run_sweep(&spec, 1).is_err());
+
+        let mut spec = tiny_b2_spec();
+        spec.name = "bad name".into();
+        assert!(run_sweep(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn adversarial_budget_cell_honours_theorem_3() {
+        let spec = SweepSpec {
+            name: "t3unit".into(),
+            constructions: vec![ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 30,
+                b: 2,
+            }],
+            regimes: vec![
+                FaultRegime::AdversarialBudget {
+                    pattern: SweepPattern::Random,
+                    mult: 1.0,
+                },
+                FaultRegime::Adversarial {
+                    pattern: SweepPattern::ResidueSpreadAuto,
+                    k: 8,
+                },
+            ],
+            trials: 5,
+            root_seed: 3,
+            baseline: None,
+        };
+        let report = run_sweep(&spec, 0).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            assert_eq!(cell.regime, "adversarial");
+            assert_eq!(
+                cell.stats.successes, 5,
+                "{}: any k ≤ budget faults are tolerated",
+                cell.id
+            );
+        }
+        assert_eq!(report.cells[0].mult, Some(1.0));
+        assert_eq!(report.cells[1].k, Some(8));
+    }
+
+    #[test]
+    fn cell_seed_is_order_free_and_id_sensitive() {
+        let a = cell_seed(1, "b2_n54b3e1/design_x1_q0");
+        let b = cell_seed(1, "b2_n54b3e1/design_x4_q0");
+        assert_ne!(a, b, "different cells must draw different seeds");
+        assert_eq!(a, cell_seed(1, "b2_n54b3e1/design_x1_q0"));
+        assert_ne!(a, cell_seed(2, "b2_n54b3e1/design_x1_q0"));
+    }
+
+    #[test]
+    fn baseline_column_present_when_requested() {
+        let mut spec = tiny_b2_spec();
+        spec.baseline = Some(BaselineSpec { redundancy: 4.0 });
+        spec.trials = 3;
+        let report = run_sweep(&spec, 0).unwrap();
+        for cell in &report.cells {
+            let b = cell.baseline.as_ref().expect("baseline requested");
+            assert!((0.0..=1.0).contains(&b.rate));
+        }
+        // Fault-free cell: the expander path always survives.
+        assert_eq!(report.cells[0].baseline.as_ref().unwrap().successes, 3);
+        assert!(report.to_json().contains("\"baseline_rate\""));
+    }
+}

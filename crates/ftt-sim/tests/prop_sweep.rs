@@ -1,0 +1,81 @@
+//! Property tests anchoring the *shape* of the Theorem-2 sweep curve
+//! and the sweep engine's seed discipline.
+//!
+//! The paper predicts success probability decreasing in the fault rate
+//! `p`; at the tiny `B²_54` size the grid of the `t2` preset (widely
+//! separated multiples of the design probability `b^{−3d}`) keeps the
+//! per-cell estimates far enough apart that the empirical curve is
+//! monotone non-increasing for any root seed — that is the sanity
+//! anchor CI relies on when it validates `SWEEP_t2.json`.
+
+use ftt_sim::{run_sweep, ConstructionSpec, FaultRegime, SweepSpec};
+use proptest::prelude::*;
+
+/// The tiny-size Theorem-2 curve: B²_54 over well-separated multiples
+/// of the design probability (0 → design → far beyond), mirroring the
+/// `t2` preset's regime axis.
+fn t2_tiny(mults: &[f64], trials: usize, root_seed: u64) -> SweepSpec {
+    SweepSpec {
+        name: "proptiny".into(),
+        constructions: vec![ConstructionSpec::Bdn {
+            d: 2,
+            n_min: 54,
+            b: 3,
+            eps_b: 1,
+        }],
+        regimes: mults
+            .iter()
+            .map(|&mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
+            .collect(),
+        trials,
+        root_seed,
+        baseline: None,
+    }
+}
+
+proptest! {
+    /// Success is monotone non-increasing in `p` along the (widely
+    /// separated) Theorem-2 multiplier grid, for any root seed and
+    /// trial budget — the curve shape the paper predicts.
+    #[test]
+    fn t2_success_monotone_non_increasing_in_p(
+        root_seed in 0u64..u64::MAX,
+        trials in 8usize..17,
+    ) {
+        let spec = t2_tiny(&[0.0, 0.2, 1.0, 8.0], trials, root_seed);
+        let report = run_sweep(&spec, 0).expect("valid spec");
+        prop_assert_eq!(report.cells.len(), 4);
+        // p really is increasing along the grid…
+        for pair in report.cells.windows(2) {
+            prop_assert!(pair[0].p.unwrap() < pair[1].p.unwrap());
+        }
+        // …the fault-free endpoint is a sure success…
+        prop_assert_eq!(report.cells[0].stats.successes, trials);
+        // …and the success column never increases.
+        for pair in report.cells.windows(2) {
+            prop_assert!(
+                pair[1].stats.successes <= pair[0].stats.successes,
+                "seed {}: {} ({}/{}) above {} ({}/{})",
+                root_seed,
+                pair[1].id.clone(),
+                pair[1].stats.successes,
+                trials,
+                pair[0].id.clone(),
+                pair[0].stats.successes,
+                trials
+            );
+        }
+    }
+
+    /// Per-cell seeds depend on the root seed (two sweeps of the same
+    /// grid under different roots are different experiments) while the
+    /// trial count is always honoured exactly.
+    #[test]
+    fn sweep_honours_trial_budget(root_seed in 0u64..u64::MAX, trials in 1usize..9) {
+        let spec = t2_tiny(&[0.5], trials, root_seed);
+        let report = run_sweep(&spec, 0).expect("valid spec");
+        prop_assert_eq!(report.cells.len(), 1);
+        prop_assert_eq!(report.cells[0].stats.trials, trials);
+        prop_assert!(report.cells[0].stats.successes <= trials);
+    }
+}

@@ -1,0 +1,162 @@
+//! The sweep engine's determinism contract, end-to-end: per-cell
+//! results are a pure function of `(spec contents, root seed)` —
+//! invariant under the worker thread count, the order cells appear in
+//! the spec, and which other cells share the sweep.
+
+use ftt::sim::{
+    run_sweep, BaselineSpec, ConstructionSpec, FaultRegime, SweepPattern, SweepReport, SweepSpec,
+};
+
+/// A small mixed-construction grid: B²_54 and D²_30 under the same two
+/// Bernoulli regimes (node-only and node+edge), 4 cells total.
+fn mixed_spec() -> SweepSpec {
+    SweepSpec {
+        name: "determinism".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 30,
+                b: 2,
+            },
+        ],
+        regimes: vec![
+            FaultRegime::Bernoulli { p: 2e-3, q: 0.0 },
+            FaultRegime::Bernoulli { p: 1e-3, q: 1e-4 },
+        ],
+        trials: 10,
+        root_seed: 41,
+        baseline: None,
+    }
+}
+
+fn tallies(report: &SweepReport) -> Vec<(String, usize, usize)> {
+    report
+        .cells
+        .iter()
+        .map(|c| (c.id.clone(), c.stats.trials, c.stats.successes))
+        .collect()
+}
+
+/// Same spec + root seed ⇒ identical per-cell tallies across 1, 2, and
+/// 4 worker threads (and auto).
+#[test]
+fn sweep_results_invariant_under_thread_count() {
+    let spec = mixed_spec();
+    let one = run_sweep(&spec, 1).unwrap();
+    assert_eq!(one.cells.len(), 4);
+    for threads in [2, 4, 0] {
+        let other = run_sweep(&spec, threads).unwrap();
+        assert_eq!(
+            tallies(&one),
+            tallies(&other),
+            "threads = {threads} changed sweep results"
+        );
+    }
+}
+
+/// Reversing the construction and regime axes permutes the cells but
+/// must not change any cell's tally: seeds hang off canonical cell
+/// ids, not grid positions.
+#[test]
+fn sweep_results_invariant_under_cell_order() {
+    let spec = mixed_spec();
+    let mut reversed = spec.clone();
+    reversed.constructions.reverse();
+    reversed.regimes.reverse();
+    let a = run_sweep(&spec, 0).unwrap();
+    let b = run_sweep(&reversed, 0).unwrap();
+    assert_ne!(
+        a.cells[0].id, b.cells[0].id,
+        "sanity: the orders really differ"
+    );
+    let mut at = tallies(&a);
+    let mut bt = tallies(&b);
+    at.sort();
+    bt.sort();
+    assert_eq!(at, bt, "cell order changed per-cell results");
+}
+
+/// Dropping cells from the grid must not change the surviving cells:
+/// a sweep can be extended (or split across machines) without
+/// invalidating previous results.
+#[test]
+fn sweep_results_invariant_under_grid_extension() {
+    let spec = mixed_spec();
+    let mut subset = spec.clone();
+    subset.regimes.truncate(1);
+    subset.constructions.truncate(1);
+    let full = run_sweep(&spec, 0).unwrap();
+    let part = run_sweep(&subset, 0).unwrap();
+    for cell in &part.cells {
+        let twin = full
+            .cells
+            .iter()
+            .find(|c| c.id == cell.id)
+            .expect("subset cell present in full grid");
+        assert_eq!(
+            cell.stats, twin.stats,
+            "{}: grid extension changed a cell",
+            cell.id
+        );
+    }
+}
+
+/// The adversarial regime through the engine honours Theorem 3 and is
+/// equally order/thread invariant.
+#[test]
+fn adversarial_sweep_deterministic_and_guaranteed() {
+    let spec = SweepSpec {
+        name: "t3det".into(),
+        constructions: vec![ConstructionSpec::Ddn {
+            d: 2,
+            n_min: 30,
+            b: 2,
+        }],
+        regimes: vec![
+            FaultRegime::AdversarialBudget {
+                pattern: SweepPattern::Random,
+                mult: 1.0,
+            },
+            FaultRegime::AdversarialBudget {
+                pattern: SweepPattern::ResidueSpreadAuto,
+                mult: 1.0,
+            },
+            FaultRegime::AdversarialBudget {
+                pattern: SweepPattern::Random,
+                mult: 8.0,
+            },
+        ],
+        trials: 6,
+        root_seed: 5,
+        baseline: None,
+    };
+    let a = run_sweep(&spec, 1).unwrap();
+    let b = run_sweep(&spec, 4).unwrap();
+    assert_eq!(tallies(&a), tallies(&b));
+    for cell in a.cells.iter().filter(|c| c.mult == Some(1.0)) {
+        assert_eq!(
+            cell.stats.successes, 6,
+            "{}: Theorem 3 guarantee through the sweep engine",
+            cell.id
+        );
+    }
+}
+
+/// The baseline column is part of the determinism contract too.
+#[test]
+fn baseline_column_deterministic() {
+    let mut spec = mixed_spec();
+    spec.trials = 4;
+    spec.baseline = Some(BaselineSpec { redundancy: 4.0 });
+    let a = run_sweep(&spec, 1).unwrap();
+    let b = run_sweep(&spec, 3).unwrap();
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.baseline, y.baseline, "{}", x.id);
+    }
+}

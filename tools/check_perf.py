@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_extraction.json.
+
+Usage:
+    check_perf.py COMMITTED_BASELINE.json FRESH.json [--floor 0.25]
+
+Compares the freshly measured trials/sec of every scenario against the
+committed baseline and fails if any scenario drops below
+``floor * baseline`` (default 25% — deliberately generous: CI runners
+are slower and noisier than the machines that produce committed
+baselines, so this gate catches order-of-magnitude regressions like an
+accidentally quadratic hot path or a lost scratch reuse, not few-percent
+drift; trend inspection uses the uploaded artifacts).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    scenarios = {}
+    for s in data.get("scenarios", []):
+        name, tps = s.get("name"), s.get("trials_per_sec")
+        if not isinstance(name, str) or not isinstance(tps, (int, float)):
+            sys.exit(f"check_perf: {path}: malformed scenario entry {s!r}")
+        scenarios[name] = tps
+    if not scenarios:
+        sys.exit(f"check_perf: {path}: no scenarios")
+    return scenarios
+
+
+def main(argv):
+    usage = "usage: check_perf.py BASELINE.json FRESH.json [--floor F]"
+    floor = 0.25
+    if "--floor" in argv:
+        i = argv.index("--floor")
+        try:
+            floor = float(argv[i + 1])
+        except (IndexError, ValueError):
+            sys.exit(f"{usage}\ncheck_perf: --floor needs a numeric value")
+        del argv[i : i + 2]
+    if len(argv) != 2:
+        sys.exit(usage)
+    baseline, fresh = load(argv[0]), load(argv[1])
+    failures = []
+    print(f"{'scenario':<28} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
+    for name, base_tps in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        fresh_tps = fresh[name]
+        ratio = fresh_tps / base_tps if base_tps > 0 else float("inf")
+        marker = "" if ratio >= floor else "  <-- BELOW FLOOR"
+        print(f"{name:<28} {base_tps:>12.1f} {fresh_tps:>12.1f} {ratio:>8.2f}{marker}")
+        if ratio < floor:
+            failures.append(
+                f"{name}: {fresh_tps:.1f} trials/sec < {floor:.0%} of "
+                f"baseline {base_tps:.1f}"
+            )
+    if failures:
+        print("check_perf: FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_perf: ok ({len(baseline)} scenarios >= {floor:.0%} of baseline)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

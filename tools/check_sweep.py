@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate SWEEP_* artifacts emitted by the scenario-sweep engine.
+
+Usage:
+    check_sweep.py SWEEP.json [SWEEP.csv] [--monotone]
+
+Checks (CI's sweep-smoke job runs this on every emitted artifact):
+  * schema_version matches the version this checker understands;
+  * every cell carries the full field set, success rates and CI bounds
+    are probabilities with ci_low <= rate <= ci_high, tallies are
+    consistent with the declared trial budget;
+  * regime-specific fields are present (p/q for bernoulli, k for
+    adversarial) and baseline columns, when present, are probabilities;
+  * the optional CSV twin has the expected header and one row per cell,
+    in the same order;
+  * with --monotone: within each construction instance, the success
+    rate is monotone non-increasing in p — the Theorem 2 curve shape
+    (applies to cells that define p; adversarial cells are skipped).
+"""
+
+import csv
+import json
+import sys
+
+SCHEMA_VERSION = 1
+CELL_FIELDS = [
+    "id",
+    "construction",
+    "params",
+    "regime",
+    "p",
+    "q",
+    "k",
+    "pattern",
+    "mult",
+    "trials",
+    "successes",
+    "success_rate",
+    "ci_low",
+    "ci_high",
+    "seconds",
+    "trials_per_sec",
+    "baseline_successes",
+    "baseline_rate",
+]
+CSV_HEADER = (
+    "id,construction,params,regime,p,q,k,pattern,mult,trials,successes,"
+    "success_rate,ci_low,ci_high,seconds,trials_per_sec,baseline_rate"
+)
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def is_prob(x):
+    return isinstance(x, (int, float)) and 0.0 <= x <= 1.0
+
+
+def validate_report(report):
+    check(
+        report.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version {report.get('schema_version')!r} != {SCHEMA_VERSION}",
+    )
+    check(report.get("kind") == "sweep", f"kind {report.get('kind')!r} != 'sweep'")
+    check(isinstance(report.get("name"), str) and report["name"], "missing name")
+    for field in ("root_seed", "trials", "threads"):
+        check(isinstance(report.get(field), int), f"missing/odd {field}")
+    cells = report.get("cells")
+    check(isinstance(cells, list) and cells, "cells must be a non-empty list")
+    for cell in cells or []:
+        cid = cell.get("id", "<no id>")
+        for field in CELL_FIELDS:
+            check(field in cell, f"{cid}: missing field {field}")
+        check(is_prob(cell.get("success_rate")), f"{cid}: success_rate not in [0,1]")
+        check(is_prob(cell.get("ci_low")), f"{cid}: ci_low not in [0,1]")
+        check(is_prob(cell.get("ci_high")), f"{cid}: ci_high not in [0,1]")
+        if is_prob(cell.get("ci_low")) and is_prob(cell.get("ci_high")):
+            check(
+                cell["ci_low"] <= cell["success_rate"] <= cell["ci_high"],
+                f"{cid}: CI [{cell['ci_low']}, {cell['ci_high']}] "
+                f"does not bracket rate {cell['success_rate']}",
+            )
+        check(
+            cell.get("trials") == report.get("trials"),
+            f"{cid}: cell trials {cell.get('trials')} != sweep trials",
+        )
+        check(
+            isinstance(cell.get("successes"), int)
+            and 0 <= cell["successes"] <= cell.get("trials", 0),
+            f"{cid}: successes out of range",
+        )
+        regime = cell.get("regime")
+        check(regime in ("bernoulli", "adversarial"), f"{cid}: odd regime {regime!r}")
+        if regime == "bernoulli":
+            check(is_prob(cell.get("p")), f"{cid}: bernoulli cell needs p in [0,1]")
+            check(is_prob(cell.get("q")), f"{cid}: bernoulli cell needs q in [0,1]")
+        if regime == "adversarial":
+            check(
+                isinstance(cell.get("k"), int) and cell["k"] >= 0,
+                f"{cid}: adversarial cell needs k >= 0",
+            )
+            check(isinstance(cell.get("pattern"), str), f"{cid}: needs pattern")
+        if cell.get("baseline_rate") is not None:
+            check(is_prob(cell["baseline_rate"]), f"{cid}: baseline_rate not in [0,1]")
+    return cells or []
+
+
+def validate_csv(path, cells):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    check(bool(rows), f"{path}: empty CSV")
+    if rows:
+        check(
+            ",".join(rows[0]) == CSV_HEADER,
+            f"{path}: header mismatch:\n  got      {','.join(rows[0])}\n"
+            f"  expected {CSV_HEADER}",
+        )
+        check(
+            len(rows) == 1 + len(cells),
+            f"{path}: {len(rows) - 1} data rows for {len(cells)} cells",
+        )
+        for row, cell in zip(rows[1:], cells):
+            check(
+                row and row[0] == cell["id"],
+                f"{path}: row id {row[0] if row else '<empty>'} != {cell['id']}",
+            )
+
+
+def validate_monotone(cells):
+    curves = {}
+    for cell in cells:
+        if cell.get("p") is None:
+            continue
+        curves.setdefault((cell["construction"], cell["params"]), []).append(cell)
+    check(bool(curves), "--monotone: no cells define p")
+    for (construction, params), curve in curves.items():
+        curve.sort(key=lambda c: c["p"])
+        for lo, hi in zip(curve, curve[1:]):
+            check(
+                hi["success_rate"] <= lo["success_rate"],
+                f"{construction} ({params}): success rate rises "
+                f"{lo['success_rate']} -> {hi['success_rate']} as p grows "
+                f"{lo['p']} -> {hi['p']}",
+            )
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    flags = {a for a in argv if a.startswith("--")}
+    unknown = flags - {"--monotone"}
+    if unknown or not 1 <= len(args) <= 2:
+        sys.exit(f"usage: check_sweep.py SWEEP.json [SWEEP.csv] [--monotone]")
+    with open(args[0]) as fh:
+        report = json.load(fh)
+    cells = validate_report(report)
+    if len(args) == 2:
+        validate_csv(args[1], cells)
+    if "--monotone" in flags:
+        validate_monotone(cells)
+    if errors:
+        print(f"check_sweep: {args[0]} FAILED:", file=sys.stderr)
+        for err in errors:
+            print(f"  - {err}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_sweep: {args[0]} ok "
+        f"({len(cells)} cells, schema_version {report['schema_version']}"
+        + (", monotone in p" if "--monotone" in flags else "")
+        + ")"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
