@@ -2,11 +2,13 @@
 //! constructions of Tamaki (SPAA'94 / JCSS'96).
 //!
 //! ```text
-//! ftt b2     [--n 54] [--b 3] [--eps 1] [--p 1e-4] [--seed 1] [--render]
-//! ftt a2     [--n 108] [--k 2] [--h 6] [--p 0.02] [--q 0.0] [--seed 1]
-//! ftt d2     [--n 60] [--b 2] [--k <budget>] [--pattern random|cluster|line|diag|spread] [--seed 1] [--render]
-//! ftt sweep  [--preset smoke|t1|t2|t3] [--n 54] [--b 3] [--trials N] [--seed 1]
-//!            [--threads 0] [--json PATH] [--csv PATH] [--no-artifacts] [--no-baseline]
+//! ftt b2      [--n 54] [--b 3] [--eps 1] [--p 1e-4] [--seed 1] [--render]
+//! ftt a2      [--n 108] [--k 2] [--h 6] [--p 0.02] [--q 0.0] [--seed 1]
+//! ftt d2      [--n 60] [--b 2] [--k <budget>] [--pattern random|cluster|line|diag|spread] [--seed 1] [--render]
+//! ftt sweep   [--preset smoke|t1|t2|t3|exhaustive] [--n 54] [--b 3] [--trials N] [--seed 1]
+//!             [--threads 0] [--json PATH] [--csv PATH] [--no-artifacts] [--no-baseline]
+//! ftt certify [--d 1] [--n 20] [--b 3] [--max-faults K] [--name NAME]
+//!             [--threads 0] [--json PATH] [--no-artifacts] [--corrupt MODE]
 //! ftt help
 //! ```
 //!
@@ -24,11 +26,20 @@
 //! `SWEEP_<name>.csv` (plus an aligned table on stdout). `--preset`
 //! selects a checked-in paper-regime grid (`t1`/`t2`/`t3` reproduce the
 //! Theorem 1/2/3 curves with an Alon–Chung baseline column, `smoke` is
-//! the tiny CI grid); without a preset, `--n`/`--b` build a custom B²
-//! design-probability curve. CI's `sweep-smoke` job runs the `smoke`
-//! and `t2` presets and validates the artifacts with
-//! `tools/check_sweep.py` (schema fields, rates in [0, 1], Theorem 2
-//! monotonicity).
+//! the tiny CI grid, `exhaustive` certifies Theorem 3 combinatorially);
+//! without a preset, `--n`/`--b` build a custom B² design-probability
+//! curve. CI's `sweep-smoke` job runs the `smoke` and `t2` presets and
+//! validates the artifacts with `tools/check_sweep.py` (schema fields,
+//! rates in [0, 1], Theorem 2 monotonicity).
+//!
+//! `certify` drives the exhaustive certification engine
+//! (`ftt_sim::certify`): every canonical fault pattern of size ≤ `k`
+//! on a small `D^d_{n,k}` instance is extracted and the resulting
+//! `EmbeddingCertificate` re-validated by the independent checker
+//! (`ftt_verify::check_certificate`). Incomplete certification exits
+//! non-zero; `--corrupt` probes the failure paths. Artifacts are
+//! schema-versioned `CERT_<name>.json` files, validated by CI's
+//! `certify-smoke` job via `tools/check_cert.py`.
 
 mod args;
 
@@ -39,7 +50,10 @@ use ftt_core::construct::HostConstruction;
 use ftt_core::ddn::{place_straight_bands, Ddn, DdnParams};
 use ftt_core::render::{render_banding, render_ddn_axes};
 use ftt_faults::{sample_bernoulli_faults, AdversaryPattern, FaultSet};
-use ftt_sim::{extract_verified, run_sweep, SweepSpec, SWEEP_SCHEMA_VERSION};
+use ftt_sim::{
+    extract_verified, run_certify, run_sweep, CertifySpec, SweepSpec, CERTIFY_SCHEMA_VERSION,
+    SWEEP_SCHEMA_VERSION,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -62,6 +76,7 @@ fn main() -> ExitCode {
         "a2" => cmd_a2(&args),
         "d2" => cmd_d2(&args),
         "sweep" => cmd_sweep(&args),
+        "certify" => cmd_certify(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -78,12 +93,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  ftt b2    [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
-  ftt a2    [--n N] [--k K] [--h H] [--p PROB] [--q PROB] [--seed S]
-  ftt d2    [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
-  ftt sweep [--preset NAME] [--n N] [--b B] [--trials T] [--seed S]
-            [--threads T] [--json PATH] [--csv PATH] [--no-artifacts]
-            [--no-baseline]
+  ftt b2      [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
+  ftt a2      [--n N] [--k K] [--h H] [--p PROB] [--q PROB] [--seed S]
+  ftt d2      [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
+  ftt sweep   [--preset NAME] [--n N] [--b B] [--trials T] [--seed S]
+              [--threads T] [--json PATH] [--csv PATH] [--no-artifacts]
+              [--no-baseline]
+  ftt certify [--d D] [--n N] [--b B] [--max-faults K] [--name NAME]
+              [--threads T] [--json PATH] [--no-artifacts]
+              [--corrupt dead-node|dup-map|drop-edge|wrong-length]
   ftt help
 
 sweep — declarative scenario grids (ftt_sim::sweep::SweepSpec):
@@ -91,19 +109,37 @@ sweep — declarative scenario grids (ftt_sim::sweep::SweepSpec):
   one root seed; each cell reports success rate, 95% Wilson CI, and
   trials/sec, and per-cell results are invariant under thread count and
   cell order (seeds derive from canonical cell ids).
-  --preset smoke|t1|t2|t3  checked-in paper-regime grids:
+  --preset smoke|t1|t2|t3|exhaustive  checked-in paper-regime grids:
       t1: A²_108 under Bernoulli node+edge faults (Theorem 1)
       t2: B²_{54,108,192} vs multiples of the design probability
           b^(-3d) — success monotone non-increasing in p (Theorem 2)
       t3: D²_{n,k} adversarial patterns at budget multiples; the ×1
           cells must sit at success rate 1 (Theorem 3)
       smoke: 3-cell B² grid for CI
-      (all four carry an Alon-Chung expander-mesh baseline column)
+      exhaustive: D¹/D² cells certifying *every* canonical fault
+          pattern at the full budget (Theorem 3, combinatorially;
+          success must be exactly 1)
+      (t1/t2/t3/smoke carry an Alon-Chung expander-mesh baseline column)
   without --preset, --n/--b build a custom B² design-probability curve.
   artifacts: SWEEP_<name>.json + SWEEP_<name>.csv (schema_version 1;
   validated and uploaded by CI's sweep-smoke job via
   tools/check_sweep.py). --json/--csv override paths, --no-artifacts
-  skips writing; --trials/--seed override the preset's budget/seed.";
+  skips writing; --trials/--seed override the preset's budget/seed.
+
+certify — exhaustive adversarial certification (ftt_sim::certify):
+  enumerates EVERY fault pattern of size <= k on a small D^d_{n,k}
+  instance up to cyclic translation symmetry, extracts each one, and
+  re-validates the resulting EmbeddingCertificate with the independent
+  checker (ftt-verify: injectivity, liveness, torus adjacency — zero
+  code shared with the band machinery). All canonical patterns
+  certified = Theorem 3 proved combinatorially for the instance; any
+  failure exits non-zero. Defaults: --d 1 --n 20 --b 3 (D¹, k = 3);
+  --max-faults caps the pattern size below the budget (never above).
+  artifacts: CERT_<name>.json (schema_version 1; validated and uploaded
+  by CI's certify-smoke job via tools/check_cert.py).
+  --corrupt MODE injects a deliberate certificate corruption and exits
+  non-zero when the checker rejects it (failure-path probe: dead-node,
+  dup-map, drop-edge, wrong-length).";
 
 /// Prints the standard banner for a built host and audits its degree —
 /// identical for every construction, through the trait.
@@ -347,6 +383,108 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_certify(args: &Args) -> Result<(), String> {
+    let corrupt = args.get_str("corrupt", "");
+    if !corrupt.is_empty() {
+        // The probe runs on a fixed tiny instance; silently ignoring
+        // instance flags would let a user believe *their* instance's
+        // failure path was exercised.
+        for flag in ["d", "n", "b", "max-faults", "name", "threads", "json"] {
+            if !args.get_str(flag, "").is_empty() {
+                return Err(format!(
+                    "--corrupt probes a fixed tiny D¹ instance; --{flag} cannot be combined \
+                     with it"
+                ));
+            }
+        }
+        return cmd_certify_corrupt(&corrupt);
+    }
+    let d = args.get_usize("d", 1)?;
+    let n = args.get_usize("n", 20)?;
+    let b = args.get_usize("b", 3)?;
+    let threads = args.get_usize("threads", 0)?;
+    let name = args.get_str("name", &format!("d{d}_{n}_{b}"));
+    let mut spec = CertifySpec::new(&name, d, n, b);
+    let max_faults = args.get_str("max-faults", "");
+    if !max_faults.is_empty() {
+        spec.max_faults = Some(
+            max_faults
+                .parse()
+                .map_err(|_| format!("--max-faults: invalid integer `{max_faults}`"))?,
+        );
+    }
+    let report = run_certify(&spec, threads)?;
+    println!("{}", report.table());
+    println!(
+        "{} canonical patterns (covering {} fault sets via translation), {} certified, \
+         digest {:016x}",
+        report.patterns_total, report.patterns_covered, report.certified, report.cert_digest
+    );
+    if !args.flag("no-artifacts") {
+        let json_path = args.get_str("json", &format!("CERT_{}.json", report.name));
+        report.write_artifact(&json_path)?;
+        println!("wrote {json_path} (schema_version {CERTIFY_SCHEMA_VERSION})");
+    }
+    if !report.complete() {
+        return Err(format!(
+            "certification INCOMPLETE: {}/{} patterns certified; first failures: {:?}",
+            report.certified,
+            report.patterns_total,
+            report.failures.iter().take(3).collect::<Vec<_>>()
+        ));
+    }
+    println!(
+        "Theorem 3 certified exhaustively for {} (all patterns ≤ {} faults) ✓",
+        report.instance_id, report.max_faults
+    );
+    Ok(())
+}
+
+/// Failure-path probe: emit a certificate, deliberately corrupt it (or
+/// the fault set it is checked against), and demand that the
+/// independent checker rejects it. The rejection is propagated as this
+/// command's (non-zero) exit status, so the gate that CI relies on —
+/// "an invalid certificate fails the run" — is itself testable.
+fn cmd_certify_corrupt(mode: &str) -> Result<(), String> {
+    let params = DdnParams::fit(1, 8, 2)?;
+    let host = Ddn::new(params);
+    let graph = HostConstruction::graph(&host);
+    let mut faults = FaultSet::none(HostConstruction::num_nodes(&host), graph.num_edges());
+    faults.kill_node(5);
+    let mut cert = HostConstruction::try_certify(&host, &faults)
+        .map_err(|e| format!("setup extraction failed: {e}"))?;
+    match mode {
+        // map a guest node onto the known-faulty host node
+        "dead-node" => cert.map[0] = 5,
+        // two guest nodes sharing one host image
+        "dup-map" => cert.map[1] = cert.map[0],
+        // the host edge carrying guest edge 0–1 dies after certification
+        "drop-edge" => {
+            let (u, v) = (cert.map[0], cert.map[1]);
+            let (_, e) = graph
+                .arcs(u)
+                .find(|&(w, _)| w == v)
+                .expect("certified edge must exist");
+            faults.kill_edge(e);
+        }
+        // truncated map
+        "wrong-length" => {
+            cert.map.pop();
+        }
+        other => {
+            return Err(format!(
+                "unknown corruption `{other}` (dead-node, dup-map, drop-edge, wrong-length)"
+            ))
+        }
+    }
+    match ftt_verify::check_certificate(&cert, graph, &faults) {
+        Err(e) => Err(format!("corrupted certificate rejected ({mode}): {e}")),
+        Ok(()) => Err(format!(
+            "CHECKER BUG: corrupted certificate ({mode}) was accepted"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +567,67 @@ mod tests {
     #[test]
     fn sweep_unknown_preset_rejected() {
         assert!(cmd_sweep(&args(&["--preset", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn certify_d1_full_budget_completes() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("ftt_cli_test_CERT_d1.json");
+        cmd_certify(&args(&[
+            "--d",
+            "1",
+            "--n",
+            "8",
+            "--b",
+            "2",
+            "--name",
+            "clitest",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"schema_version\": 1"));
+        assert!(body.contains("\"kind\": \"certify\""));
+        assert!(body.contains("\"complete\": true"));
+        let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn certify_rejects_over_budget_max_faults() {
+        // k = 2 for d=1, b=2 — requesting 5 must fail (and not write).
+        assert!(cmd_certify(&args(&[
+            "--d",
+            "1",
+            "--n",
+            "8",
+            "--b",
+            "2",
+            "--max-faults",
+            "5",
+            "--no-artifacts",
+        ]))
+        .is_err());
+    }
+
+    /// The failure-path gate: every corruption mode must end in a
+    /// non-zero exit (an `Err` from the command) carrying the right
+    /// checker verdict.
+    #[test]
+    fn certify_corrupt_modes_exit_nonzero_with_right_variant() {
+        for (mode, expect) in [
+            ("dead-node", "dead host node"),
+            ("dup-map", "both map to host node"),
+            ("drop-edge", "no alive host edge"),
+            ("wrong-length", "entries, guest dims demand"),
+        ] {
+            let err = cmd_certify(&args(&["--corrupt", mode]))
+                .expect_err("corruption must exit non-zero");
+            assert!(
+                err.contains("rejected") && err.contains(expect),
+                "mode {mode}: unexpected verdict `{err}`"
+            );
+        }
+        assert!(cmd_certify(&args(&["--corrupt", "bogus"])).is_err());
     }
 }

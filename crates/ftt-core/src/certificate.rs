@@ -1,0 +1,156 @@
+//! Embedding certificates: extraction results as re-checkable claims.
+//!
+//! A successful extraction is a *claim* — "this map embeds a fault-free
+//! guest torus into the host" — and the band machinery that produced it
+//! is exactly the code whose bugs would falsify the claim. An
+//! [`EmbeddingCertificate`] freezes the claim as pure data (guest torus
+//! dims, the node map, and the band placement that produced it) so an
+//! **independent** checker (`ftt-verify`) can re-validate it against
+//! nothing but the host graph and the fault set: injectivity, every
+//! mapped node and edge alive, torus adjacency preserved. The checker
+//! shares zero code with the placement/extraction machinery, so a
+//! certificate that passes is evidence about the construction, not
+//! about the checker agreeing with itself.
+//!
+//! Certificates are hashed ([`EmbeddingCertificate::content_hash`],
+//! FNV-1a over a canonical byte stream) so determinism claims — same
+//! host, same faults ⇒ same embedding — become one-word assertions, and
+//! so exhaustive certification runs can fold thousands of certificates
+//! into a single order-independent digest (`CERT_*.json`).
+
+/// Version stamp of the certificate content layout. Bump when the
+/// hashed fields or their canonical order change.
+pub const CERT_SCHEMA_VERSION: u32 = 1;
+
+/// A self-contained, independently checkable extraction claim.
+///
+/// Everything the checker needs that is *not* ground truth (the ground
+/// truth being the host graph and the fault set, which the verifier
+/// supplies from its own sources) lives here as plain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingCertificate {
+    /// Construction display name (e.g. `"D^d_{n,k}"`), provenance only.
+    pub construction: String,
+    /// Guest torus extents, dimension 0 slowest (row-major order, the
+    /// layout `map` is indexed in).
+    pub guest_dims: Vec<usize>,
+    /// `map[guest_flat_index] = host node id`.
+    pub map: Vec<usize>,
+    /// Claimed host node count (checked against the real graph).
+    pub host_nodes: usize,
+    /// Claimed host edge count (checked against the real graph).
+    pub host_edges: usize,
+    /// Band placement that produced the embedding, as
+    /// construction-defined coordinate lists (for `D^d_{n,k}`: per-axis
+    /// band start coordinates; for `B^d_n`: per-band column-indexed
+    /// start rows). Provenance for audits and hashing — the checker
+    /// validates the *map*, never the placement.
+    pub placement: Vec<Vec<usize>>,
+}
+
+impl EmbeddingCertificate {
+    /// Number of guest nodes the certificate claims to embed.
+    pub fn guest_len(&self) -> usize {
+        self.guest_dims.iter().product()
+    }
+
+    /// FNV-1a content hash over the canonical byte stream (schema
+    /// version, construction name, dims, map, host sizes, placement).
+    /// A pure function of the certificate's contents — equal
+    /// certificates hash equal across processes and platforms.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(CERT_SCHEMA_VERSION as u64);
+        h.bytes(self.construction.as_bytes());
+        h.word(self.guest_dims.len() as u64);
+        for &d in &self.guest_dims {
+            h.word(d as u64);
+        }
+        h.word(self.map.len() as u64);
+        for &v in &self.map {
+            h.word(v as u64);
+        }
+        h.word(self.host_nodes as u64);
+        h.word(self.host_edges as u64);
+        h.word(self.placement.len() as u64);
+        for axis in &self.placement {
+            h.word(axis.len() as u64);
+            for &s in axis {
+                h.word(s as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// The content hash as fixed-width hex (for artifacts and logs).
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+}
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert() -> EmbeddingCertificate {
+        EmbeddingCertificate {
+            construction: "D^d_{n,k}".into(),
+            guest_dims: vec![3, 3],
+            map: vec![0, 1, 2, 5, 6, 7, 10, 11, 12],
+            host_nodes: 25,
+            host_edges: 50,
+            placement: vec![vec![3], vec![8]],
+        }
+    }
+
+    #[test]
+    fn guest_len_is_dim_product() {
+        assert_eq!(cert().guest_len(), 9);
+    }
+
+    #[test]
+    fn hash_is_content_sensitive() {
+        let a = cert();
+        assert_eq!(a.content_hash(), cert().content_hash());
+        let mut b = cert();
+        b.map[4] = 8;
+        assert_ne!(a.content_hash(), b.content_hash());
+        let mut c = cert();
+        c.placement[0][0] = 4;
+        assert_ne!(a.content_hash(), c.content_hash());
+        let mut d = cert();
+        d.guest_dims = vec![9];
+        assert_ne!(a.content_hash(), d.content_hash(), "dims are hashed");
+    }
+
+    #[test]
+    fn hash_hex_is_sixteen_digits() {
+        let hex = cert().hash_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -19,6 +19,7 @@
 use crate::adn::Adn;
 use crate::bdn::extract::TorusEmbedding;
 use crate::bdn::Bdn;
+use crate::certificate::EmbeddingCertificate;
 use crate::ddn::Ddn;
 use crate::error::PlacementError;
 use ftt_faults::{FaultSet, HalfEdgeFaults, SparseSet};
@@ -91,6 +92,31 @@ pub trait HostConstruction: Sized {
         let mut scratch = self.new_scratch();
         self.try_extract_with(faults, &mut scratch)
     }
+
+    /// Band placement provenance recorded into certificates:
+    /// construction-defined coordinate lists (see
+    /// [`EmbeddingCertificate::placement`]). The default records none —
+    /// constructions with an explicit banding override it.
+    fn placement_provenance(&self, _faults: &FaultSet) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    /// Extracts a guest torus for `faults` and freezes the result as an
+    /// [`EmbeddingCertificate`] — pure data that `ftt-verify` can
+    /// re-validate against only the host graph and the fault set,
+    /// independently of the band machinery that produced it. Not a hot
+    /// path: certification re-runs placement for provenance.
+    fn try_certify(&self, faults: &FaultSet) -> Result<EmbeddingCertificate, PlacementError> {
+        let emb = self.try_extract(faults)?;
+        Ok(EmbeddingCertificate {
+            construction: Self::NAME.to_string(),
+            guest_dims: emb.guest.dims().to_vec(),
+            map: emb.map,
+            host_nodes: self.num_nodes(),
+            host_edges: self.graph().num_edges(),
+            placement: self.placement_provenance(faults),
+        })
+    }
 }
 
 /// Reusable fault-conversion buffers for `A^2_n` extraction: the dense
@@ -144,6 +170,25 @@ impl HostConstruction for Bdn {
         // whole conversion is O(#faults) into the reused sparse set.
         faults.ascribe_into(|e| Bdn::graph(self).edge_endpoints(e), scratch);
         crate::bdn::extract::extract_after_faults_ids(self, scratch.ids())
+    }
+
+    /// One row per band: that band's start row in every column.
+    fn placement_provenance(&self, faults: &FaultSet) -> Vec<Vec<usize>> {
+        let mut ascribed = SparseSet::new(Bdn::num_nodes(self));
+        faults.ascribe_into(|e| Bdn::graph(self).edge_endpoints(e), &mut ascribed);
+        match crate::bdn::place::place_bands_for_ids(self, ascribed.ids()) {
+            Ok(placement) => {
+                let banding = &placement.banding;
+                (0..banding.num_bands())
+                    .map(|band| {
+                        (0..banding.num_columns())
+                            .map(|z| banding.start(band, z))
+                            .collect()
+                    })
+                    .collect()
+            }
+            Err(_) => Vec::new(),
+        }
     }
 }
 
@@ -211,6 +256,24 @@ impl HostConstruction for Adn {
     }
 }
 
+/// The Theorem 3 fault reduction for `D^d_{n,k}`: every faulty node,
+/// plus the first endpoint of every faulty edge, written into `out`
+/// (cleared first). Shared by extraction and certificate provenance so
+/// the recorded banding always describes the embedding it accompanies;
+/// the graph is only materialised when edge faults exist.
+fn ascribe_ddn(host: &Ddn, faults: &FaultSet, out: &mut SparseSet) {
+    out.clear();
+    for v in faults.faulty_nodes() {
+        out.insert(v);
+    }
+    if faults.count_edge_faults() > 0 {
+        let g = HostConstruction::graph(host);
+        for e in faults.faulty_edges() {
+            out.insert(g.edge_endpoints(e).0);
+        }
+    }
+}
+
 /// `D^d_{n,k}`'s adjacency is arithmetic over its host torus shape, so
 /// adversarial patterns ([`ftt_faults::AdversarySampler`]) can aim at
 /// it directly.
@@ -257,19 +320,18 @@ impl HostConstruction for Ddn {
         faults: &FaultSet,
         scratch: &mut SparseSet,
     ) -> Result<TorusEmbedding, PlacementError> {
-        // Edge faults are ascribed to an endpoint (the Theorem 3
-        // reduction); avoid materialising the graph when there are none.
-        scratch.clear();
-        for v in faults.faulty_nodes() {
-            scratch.insert(v);
-        }
-        if faults.count_edge_faults() > 0 {
-            let g = HostConstruction::graph(self);
-            for e in faults.faulty_edges() {
-                scratch.insert(g.edge_endpoints(e).0);
-            }
-        }
+        ascribe_ddn(self, faults, scratch);
         Ddn::try_extract(self, scratch.ids())
+    }
+
+    /// One row per axis: that axis's straight-band start coordinates.
+    fn placement_provenance(&self, faults: &FaultSet) -> Vec<Vec<usize>> {
+        let mut ascribed = SparseSet::new(self.shape().len());
+        ascribe_ddn(self, faults, &mut ascribed);
+        match crate::ddn::place_straight_bands(self, ascribed.ids()) {
+            Ok(banding) => banding.starts,
+            Err(_) => Vec::new(),
+        }
     }
 }
 
@@ -346,6 +408,70 @@ mod tests {
             |e| faults.edge_alive(e),
         )
         .expect("must avoid the killed edges");
+    }
+
+    /// Certificates through the trait: claimed sizes match the host,
+    /// the map matches `try_extract`, and the hash is deterministic.
+    fn certify_roundtrip<C: HostConstruction>(params: C::Params, kill: &[usize]) {
+        let host = C::build(params);
+        let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+        for &v in kill {
+            faults.kill_node(v % host.num_nodes());
+        }
+        let cert = host.try_certify(&faults).expect("within tolerance");
+        assert_eq!(cert.construction, C::NAME);
+        assert_eq!(cert.host_nodes, host.num_nodes(), "{}", C::NAME);
+        assert_eq!(cert.host_edges, host.graph().num_edges(), "{}", C::NAME);
+        let emb = host.try_extract(&faults).unwrap();
+        assert_eq!(cert.guest_dims, emb.guest.dims().to_vec());
+        assert_eq!(cert.map, emb.map, "{}", C::NAME);
+        let again = host.try_certify(&faults).unwrap();
+        assert_eq!(
+            cert.content_hash(),
+            again.content_hash(),
+            "{}: certification must be deterministic",
+            C::NAME
+        );
+    }
+
+    #[test]
+    fn certificates_through_trait() {
+        certify_roundtrip::<Bdn>(BdnParams::new(2, 54, 3, 1).unwrap(), &[1234, 999]);
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        certify_roundtrip::<Adn>(AdnParams::new(inner, 2, 6, 0.0).unwrap(), &[17, 4242]);
+        certify_roundtrip::<Ddn>(DdnParams::fit(2, 30, 2).unwrap(), &[5, 77, 4001]);
+    }
+
+    #[test]
+    fn certificate_placement_provenance_present() {
+        // B and D record their bandings; different faults, different
+        // placements, different hashes.
+        let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+        let g_edges = HostConstruction::graph(&host).num_edges();
+        let n = HostConstruction::num_nodes(&host);
+        let mut a = FaultSet::none(n, g_edges);
+        a.kill_node(7);
+        let cert_a = host.try_certify(&a).unwrap();
+        assert_eq!(cert_a.placement.len(), 2, "one start list per axis");
+        for (axis, starts) in cert_a.placement.iter().enumerate() {
+            assert_eq!(starts.len(), host.params().num_bands(axis));
+        }
+        // A fault two rows down sits in a different axis-0 residue
+        // class, forcing a different anchor choice and banding (faults
+        // in the *same* slot would certify identically — correctly so).
+        let mut b = FaultSet::none(n, g_edges);
+        b.kill_node(7 + 2 * host.params().m());
+        let cert_b = host.try_certify(&b).unwrap();
+        assert_ne!(cert_a.content_hash(), cert_b.content_hash());
+
+        let bdn = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let mut f = FaultSet::none(
+            HostConstruction::num_nodes(&bdn),
+            HostConstruction::graph(&bdn).num_edges(),
+        );
+        f.kill_node(100);
+        let cert = HostConstruction::try_certify(&bdn, &f).unwrap();
+        assert!(!cert.placement.is_empty(), "B^d_n records its banding");
     }
 
     #[test]

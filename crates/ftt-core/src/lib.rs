@@ -14,10 +14,14 @@
 //!   by Theorems 2 and 3.
 //! * [`construct`] — the [`HostConstruction`] trait unifying the three
 //!   constructions behind one build/inspect/extract interface.
+//! * [`certificate`] — extraction results frozen as independently
+//!   re-checkable [`EmbeddingCertificate`]s (validated by `ftt-verify`,
+//!   which shares no code with the band machinery).
 
 pub mod adn;
 pub mod band;
 pub mod bdn;
+pub mod certificate;
 pub mod construct;
 pub mod ddn;
 pub mod error;
@@ -26,6 +30,7 @@ pub mod render;
 pub use adn::{Adn, AdnParams};
 pub use band::Banding;
 pub use bdn::{Bdn, BdnParams};
+pub use certificate::{EmbeddingCertificate, CERT_SCHEMA_VERSION};
 pub use construct::HostConstruction;
 pub use ddn::{Ddn, DdnParams};
 pub use error::PlacementError;

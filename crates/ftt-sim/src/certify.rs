@@ -1,0 +1,471 @@
+//! Exhaustive adversarial certification: Theorem 3 checked
+//! combinatorially.
+//!
+//! Theorem 3 is universally quantified — `D^d_{n,k}` tolerates **any**
+//! `k` worst-case faults — so no amount of Monte-Carlo sampling proves
+//! it for an instance; it only fails to disprove it. On small instances
+//! the quantifier is finite: this engine enumerates *every* fault
+//! pattern of size `≤ k` up to the host's cyclic translation symmetry
+//! ([`ftt_verify::enumerate`]), runs each through extraction, freezes
+//! the result as an [`ftt_core::EmbeddingCertificate`], and has the
+//! independent checker ([`ftt_verify::check_certificate`]) re-validate
+//! it. All canonical patterns certified ⇒ Theorem 3 *proved* for that
+//! instance (translation-invariance of the adjacency carries each
+//! orbit), with an audit trail that never trusts the band machinery.
+//!
+//! The walk is parallelised through the chunked trial runner
+//! ([`crate::runner::run_indexed_multi_pooled`]); tallies and the
+//! summed certificate digest are order-independent, so reports are
+//! invariant under the worker thread count.
+//!
+//! Artifacts are schema-versioned `CERT_<name>.json` files
+//! ([`CertifyReport::to_json`], validated by `tools/check_cert.py` in
+//! CI's `certify-smoke` job).
+
+use crate::runner::{run_indexed_multi_pooled, ScratchPool};
+use crate::table::Table;
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_core::HostConstruction;
+use ftt_faults::FaultSet;
+use ftt_verify::check_certificate;
+use ftt_verify::enumerate::{enumerate_canonical, exhaustive_pattern_count, orbit_size};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version stamp of the `CERT_*.json` artifact schema.
+pub const CERTIFY_SCHEMA_VERSION: u32 = 1;
+
+/// Default ceiling on the candidate-set volume the enumerator may walk
+/// (`Σ C(N−1, s−1)`); requests above it are refused instead of silently
+/// running for hours.
+pub const DEFAULT_CANDIDATE_CAP: usize = 2_000_000;
+
+/// The one policy for exhaustive enumeration, shared by
+/// [`run_certify`] and the sweep engine's `Exhaustive` regime: resolve
+/// the pattern-size ceiling against the instance budget (refusing
+/// beyond-guarantee requests), gate the candidate volume on `cap`, and
+/// enumerate the canonical patterns. Returns `(k_used, patterns)`.
+pub(crate) fn enumerate_for_instance(
+    params: &DdnParams,
+    max_faults: Option<usize>,
+    cap: usize,
+) -> Result<(usize, Vec<Vec<usize>>), String> {
+    let budget = params.tolerated_faults();
+    let k = max_faults.unwrap_or(budget);
+    if k > budget {
+        return Err(format!(
+            "max_faults {k} exceeds the Theorem 3 budget k = {budget}; beyond the \
+             guarantee there is nothing to certify (use the t3 sweep preset to explore it)"
+        ));
+    }
+    let dims = vec![params.m(); params.d];
+    let candidates = exhaustive_pattern_count(&dims, k);
+    if candidates > cap {
+        return Err(format!(
+            "exhaustive enumeration would walk {candidates} candidate sets (cap {cap}); \
+             pick a smaller instance or lower max_faults"
+        ));
+    }
+    Ok((k, enumerate_canonical(&dims, k)))
+}
+
+/// splitmix64 finisher, used to mix `(pattern index, certificate
+/// hash)` pairs into the run digest.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A declarative exhaustive-certification run over one `D^d_{n,k}`
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifySpec {
+    /// Artifact name: emitted as `CERT_<name>.json`.
+    pub name: String,
+    /// Dimension `d` of the instance.
+    pub d: usize,
+    /// Minimum guest torus side (resolved by [`DdnParams::fit`]).
+    pub n_min: usize,
+    /// Base jump parameter `b` (budget `k = b^{2^d − 1}`).
+    pub b: usize,
+    /// Largest pattern size to enumerate; `None` means the full budget
+    /// `k`. Values above `k` are rejected — beyond the guarantee the
+    /// theorem claims nothing, so there is nothing to certify.
+    pub max_faults: Option<usize>,
+    /// Refusal ceiling on the enumerated candidate volume.
+    pub candidate_cap: usize,
+}
+
+impl CertifySpec {
+    /// Spec for one instance at the full budget with the default cap.
+    pub fn new(name: &str, d: usize, n_min: usize, b: usize) -> Self {
+        Self {
+            name: name.into(),
+            d,
+            n_min,
+            b,
+            max_faults: None,
+            candidate_cap: DEFAULT_CANDIDATE_CAP,
+        }
+    }
+}
+
+/// One uncertified pattern: the canonical fault set and what went
+/// wrong (placement refusal or an invalid certificate).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CertifyFailure {
+    /// The canonical fault pattern (sorted host node ids).
+    pub pattern: Vec<usize>,
+    /// Human-readable failure cause.
+    pub error: String,
+}
+
+/// Outcome of an exhaustive certification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifyReport {
+    /// Artifact stem.
+    pub name: String,
+    /// Construction display name.
+    pub construction: String,
+    /// Canonical instance id (`d<d>_n<n>b<b>`).
+    pub instance_id: String,
+    /// Resolved instance parameters, human-readable.
+    pub params: String,
+    /// Theorem 3 budget `k = b^{2^d − 1}` of the instance.
+    pub budget: usize,
+    /// Largest pattern size actually enumerated (≤ budget).
+    pub max_faults: usize,
+    /// Host side `m` and node count.
+    pub host_m: usize,
+    /// Host node count `m^d`.
+    pub host_nodes: usize,
+    /// Canonical pattern count per size `0 ..= max_faults`.
+    pub patterns_by_size: Vec<usize>,
+    /// Total canonical patterns certified against (`Σ patterns_by_size`).
+    pub patterns_total: usize,
+    /// Raw patterns covered once orbits are unfolded (`Σ orbit sizes`) —
+    /// the number of distinct fault sets the run speaks for.
+    pub patterns_covered: usize,
+    /// Patterns whose certificate passed the independent checker.
+    pub certified: usize,
+    /// Uncertified patterns (capped at [`Self::FAILURE_CAP`], sorted).
+    pub failures: Vec<CertifyFailure>,
+    /// Commutative wrapping-sum of index-mixed certificate content
+    /// hashes: one word that pins the entire run (order-independent,
+    /// thread-count-invariant, and — unlike a plain XOR fold —
+    /// sensitive to duplicate certificates, which distinct patterns
+    /// can legitimately produce).
+    pub cert_digest: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Worker threads requested (0 = auto); provenance only.
+    pub threads: usize,
+}
+
+impl CertifyReport {
+    /// Most failures kept in a report (the tally still counts all).
+    pub const FAILURE_CAP: usize = 16;
+
+    /// Whether every canonical pattern certified — Theorem 3, proved
+    /// exhaustively for this instance.
+    pub fn complete(&self) -> bool {
+        self.certified == self.patterns_total
+    }
+
+    /// The `CERT_<name>.json` artifact: schema-versioned, field order
+    /// part of the CI contract (`tools/check_cert.py`).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {CERTIFY_SCHEMA_VERSION},\n"
+        ));
+        out.push_str("  \"kind\": \"certify\",\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", esc(&self.name)));
+        out.push_str(&format!(
+            "  \"construction\": \"{}\",\n",
+            esc(&self.construction)
+        ));
+        out.push_str(&format!(
+            "  \"instance_id\": \"{}\",\n",
+            esc(&self.instance_id)
+        ));
+        out.push_str(&format!("  \"params\": \"{}\",\n", esc(&self.params)));
+        out.push_str(&format!("  \"budget_k\": {},\n", self.budget));
+        out.push_str(&format!("  \"max_faults\": {},\n", self.max_faults));
+        out.push_str("  \"symmetry\": \"translation\",\n");
+        out.push_str(&format!("  \"host_m\": {},\n", self.host_m));
+        out.push_str(&format!("  \"host_nodes\": {},\n", self.host_nodes));
+        out.push_str(&format!(
+            "  \"patterns_by_size\": [{}],\n",
+            self.patterns_by_size
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("  \"patterns_total\": {},\n", self.patterns_total));
+        out.push_str(&format!(
+            "  \"patterns_covered\": {},\n",
+            self.patterns_covered
+        ));
+        out.push_str(&format!("  \"certified\": {},\n", self.certified));
+        out.push_str(&format!("  \"complete\": {},\n", self.complete()));
+        out.push_str("  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pattern\": [{}], \"error\": \"{}\"}}{}\n",
+                f.pattern
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                esc(&f.error),
+                if i + 1 == self.failures.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"cert_digest\": \"{:016x}\",\n",
+            self.cert_digest
+        ));
+        out.push_str(&format!("  \"seconds\": {:.6},\n", self.seconds));
+        out.push_str(&format!("  \"threads\": {}\n", self.threads));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the JSON artifact.
+    pub fn write_artifact(&self, json_path: &str) -> Result<(), String> {
+        std::fs::write(json_path, self.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))
+    }
+
+    /// Renders the report as an aligned text table (one row per size).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "CERT {}: {} over all {} canonical patterns (≤ {} faults, budget {}) — {}",
+                self.name,
+                self.instance_id,
+                self.patterns_total,
+                self.max_faults,
+                self.budget,
+                if self.complete() {
+                    "COMPLETE"
+                } else {
+                    "FAILED"
+                }
+            ),
+            &["size", "canonical", "covered via orbits"],
+        );
+        for (size, &count) in self.patterns_by_size.iter().enumerate() {
+            t.row(vec![
+                size.to_string(),
+                count.to_string(),
+                "-".into(), // per-size orbit volume not tracked; total below
+            ]);
+        }
+        t.row(vec![
+            "total".into(),
+            self.patterns_total.to_string(),
+            self.patterns_covered.to_string(),
+        ]);
+        t
+    }
+}
+
+/// Runs the exhaustive certification described by `spec`. `threads = 0`
+/// selects the available parallelism; results are thread-count
+/// invariant.
+pub fn run_certify(spec: &CertifySpec, threads: usize) -> Result<CertifyReport, String> {
+    if spec.name.is_empty() || !spec.name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(format!(
+            "certify name `{}` must be non-empty alphanumeric/underscore (it names artifacts)",
+            spec.name
+        ));
+    }
+    let params = DdnParams::fit(spec.d, spec.n_min, spec.b)?;
+    let budget = params.tolerated_faults();
+    let (max_faults, patterns) =
+        enumerate_for_instance(&params, spec.max_faults, spec.candidate_cap)?;
+    let host = Ddn::new(params);
+    let dims = vec![params.m(); params.d];
+    let mut patterns_by_size = vec![0usize; max_faults + 1];
+    let mut patterns_covered = 0usize;
+    for p in &patterns {
+        patterns_by_size[p.len()] += 1;
+        patterns_covered = patterns_covered.saturating_add(orbit_size(&dims, p));
+    }
+
+    // Materialise the cached host graph outside the timed region.
+    let graph = HostConstruction::graph(&host);
+    let num_nodes = HostConstruction::num_nodes(&host);
+    let num_edges = graph.num_edges();
+
+    let digest = AtomicU64::new(0);
+    // Only pattern *indices* are collected on the failure path (8 bytes
+    // each, bounded by the candidate cap even if every pattern fails);
+    // the reported subset and its error strings are re-derived after
+    // the run, so the report is a pure function of the instance, not
+    // the thread schedule.
+    let failed_indices: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let pool: ScratchPool<FaultSet> = ScratchPool::new();
+    let certify_pattern = |faults: &mut FaultSet, pattern: &[usize]| -> Result<u64, String> {
+        faults.clear();
+        for &v in pattern {
+            faults.kill_node(v);
+        }
+        match host.try_certify(faults) {
+            Ok(cert) => match check_certificate(&cert, graph, faults) {
+                Ok(()) => Ok(cert.content_hash()),
+                Err(e) => Err(format!("invalid certificate: {e}")),
+            },
+            Err(e) => Err(format!("extraction refused: {e}")),
+        }
+    };
+    let start = Instant::now();
+    let [stats] = run_indexed_multi_pooled(
+        patterns.len(),
+        threads,
+        &pool,
+        || FaultSet::none(num_nodes, num_edges),
+        |faults, i| match certify_pattern(faults, &patterns[i]) {
+            Ok(hash) => {
+                // Wrapping-sum of index-mixed hashes: commutative (so
+                // thread-count-invariant) without XOR's cancellation of
+                // duplicate certificates — distinct patterns *can*
+                // legitimately certify to identical embeddings.
+                digest.fetch_add(splitmix(hash ^ (i as u64 + 1)), Ordering::Relaxed);
+                [true]
+            }
+            Err(_) => {
+                failed_indices.lock().unwrap().push(i);
+                [false]
+            }
+        },
+    );
+    let seconds = start.elapsed().as_secs_f64();
+    // Thread-count-invariant failure report: sort the index set, keep
+    // the first FAILURE_CAP, and re-run just those to recover messages.
+    let mut failed_indices = failed_indices.into_inner().unwrap();
+    failed_indices.sort_unstable();
+    failed_indices.truncate(CertifyReport::FAILURE_CAP);
+    let mut refaults = FaultSet::none(num_nodes, num_edges);
+    let failures: Vec<CertifyFailure> = failed_indices
+        .into_iter()
+        .map(|i| CertifyFailure {
+            pattern: patterns[i].clone(),
+            error: certify_pattern(&mut refaults, &patterns[i])
+                .expect_err("outcome is a pure function of the pattern"),
+        })
+        .collect();
+
+    Ok(CertifyReport {
+        name: spec.name.clone(),
+        construction: <Ddn as HostConstruction>::NAME.to_string(),
+        instance_id: format!("d{}_n{}b{}", params.d, params.n, params.b),
+        params: format!(
+            "d={} n={} m={} b={} budget={}",
+            params.d,
+            params.n,
+            params.m(),
+            params.b,
+            budget
+        ),
+        budget,
+        max_faults,
+        host_m: params.m(),
+        host_nodes: num_nodes,
+        patterns_by_size,
+        patterns_total: patterns.len(),
+        patterns_covered,
+        certified: stats.successes,
+        failures,
+        cert_digest: digest.load(Ordering::Relaxed),
+        seconds,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// D¹ with b = 2 (`fit(1, 8, 2)`: m = 12, k = 2): tiny enough to
+    /// run in unit tests, non-trivial enough to exercise every size.
+    fn d1_spec() -> CertifySpec {
+        CertifySpec::new("unit_d1", 1, 8, 2)
+    }
+
+    #[test]
+    fn d1_full_budget_certifies_completely() {
+        let report = run_certify(&d1_spec(), 0).unwrap();
+        assert!(report.complete(), "failures: {:?}", report.failures);
+        assert_eq!(report.budget, 2);
+        assert_eq!(report.max_faults, 2);
+        // m = 12: sizes 0, 1, 2 → 1 + 1 + 6 canonical patterns.
+        assert_eq!(report.patterns_by_size, vec![1, 1, 6]);
+        assert_eq!(report.patterns_total, 8);
+        // orbit unfolding covers every raw pattern: 1 + 12 + C(12,2).
+        assert_eq!(report.patterns_covered, 1 + 12 + 66);
+        assert!(report.failures.is_empty());
+        assert_ne!(report.cert_digest, 0);
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let one = run_certify(&d1_spec(), 1).unwrap();
+        let four = run_certify(&d1_spec(), 4).unwrap();
+        assert_eq!(one.certified, four.certified);
+        assert_eq!(one.cert_digest, four.cert_digest);
+        assert_eq!(one.patterns_by_size, four.patterns_by_size);
+    }
+
+    #[test]
+    fn tiny_d2_full_budget_certifies() {
+        // d = 2, b = 1: m = 10, k = 1 — 100 host nodes, 2 canonical
+        // patterns (empty + single fault).
+        let report = run_certify(&CertifySpec::new("unit_d2", 2, 8, 1), 0).unwrap();
+        assert!(report.complete());
+        assert_eq!(report.patterns_by_size, vec![1, 1]);
+        assert_eq!(report.patterns_covered, 1 + 100);
+    }
+
+    #[test]
+    fn over_budget_and_oversize_requests_rejected() {
+        let mut spec = d1_spec();
+        spec.max_faults = Some(3); // k = 2
+        assert!(run_certify(&spec, 1).is_err());
+
+        let mut spec = d1_spec();
+        spec.candidate_cap = 2;
+        assert!(run_certify(&spec, 1).is_err(), "cap must refuse the walk");
+
+        let mut spec = d1_spec();
+        spec.name = "bad name".into();
+        assert!(run_certify(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn artifact_json_shape() {
+        let report = run_certify(&d1_spec(), 2).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"kind\": \"certify\""));
+        assert!(json.contains("\"complete\": true"));
+        assert!(json.contains("\"symmetry\": \"translation\""));
+        assert!(json.contains("\"cert_digest\": \""));
+        assert!(!report.table().is_empty());
+    }
+}

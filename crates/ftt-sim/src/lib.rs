@@ -12,7 +12,13 @@
 //! expands into deterministic cells, runs them through the same
 //! pipeline, and emits schema-versioned `SWEEP_*.json`/`.csv`
 //! artifacts; [`SweepSpec::preset`] ships the paper-regime grids
-//! (`t1`/`t2`/`t3`) plus a CI `smoke` grid.
+//! (`t1`/`t2`/`t3`) plus a CI `smoke` grid and an `exhaustive` grid.
+//!
+//! The [`certify`] module goes beyond sampling: on small `D^d_{n,k}`
+//! instances it enumerates **every** fault pattern up to cyclic
+//! symmetry and certifies each through `ftt-verify`'s independent
+//! checker — Theorem 3 proved combinatorially, with `CERT_*.json`
+//! artifacts (also available as the `exhaustive` sweep regime).
 //!
 //! # Performance
 //!
@@ -23,15 +29,19 @@
 //! steady-state trial costs `O(#faults)` fault work and no heap
 //! allocation. See the `runner` and `scenario` module docs.
 
+pub mod certify;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use certify::{
+    run_certify, CertifyFailure, CertifyReport, CertifySpec, CERTIFY_SCHEMA_VERSION,
+};
 pub use runner::{
-    run_multi_trials, run_multi_trials_pooled, run_multi_trials_with, run_trials, run_trials_with,
-    ScratchPool, TrialStats,
+    run_indexed_multi_pooled, run_multi_trials, run_multi_trials_pooled, run_multi_trials_with,
+    run_trials, run_trials_with, ScratchPool, TrialStats,
 };
 pub use scenario::{
     bernoulli_sampler, extract_verified, extract_verified_with, node_list_sampler,

@@ -195,7 +195,32 @@ where
     I: Fn() -> T + Sync,
     F: Fn(&mut T, u64) -> [bool; N] + Sync,
 {
-    let threads = resolve_threads(threads, trials);
+    run_indexed_multi_pooled(trials, threads, pool, init, |scratch, i| {
+        trial(scratch, trial_seed(master_seed, i as u64))
+    })
+}
+
+/// The chunked worker loop underneath every `run_*` variant, exposed
+/// for *enumerated* workloads: the trial closure receives the raw trial
+/// **index** instead of a derived seed, so callers iterating a fixed
+/// work list (the exhaustive certification engine walks a canonical
+/// fault-pattern list) can address their items directly. Same contract
+/// otherwise: `trial(scratch, i)`'s outcome must be a pure function of
+/// `i`, tallies are summed commutatively, and neither the thread count
+/// nor the chunking is visible in the results.
+pub fn run_indexed_multi_pooled<const N: usize, T, I, F>(
+    count: usize,
+    threads: usize,
+    pool: &ScratchPool<T>,
+    init: I,
+    trial: F,
+) -> [TrialStats; N]
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, usize) -> [bool; N] + Sync,
+{
+    let threads = resolve_threads(threads, count);
     let next = AtomicUsize::new(0);
     let tallies: [AtomicUsize; N] = std::array::from_fn(|_| AtomicUsize::new(0));
     std::thread::scope(|scope| {
@@ -205,11 +230,11 @@ where
                 let mut local = [0usize; N];
                 loop {
                     let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                    if start >= trials {
+                    if start >= count {
                         break;
                     }
-                    for i in start..(start + CLAIM_CHUNK).min(trials) {
-                        let outcomes = trial(&mut scratch, trial_seed(master_seed, i as u64));
+                    for i in start..(start + CLAIM_CHUNK).min(count) {
+                        let outcomes = trial(&mut scratch, i);
                         for (tally, hit) in local.iter_mut().zip(outcomes) {
                             *tally += hit as usize;
                         }
@@ -223,7 +248,7 @@ where
         }
     });
     std::array::from_fn(|i| TrialStats {
-        trials,
+        trials: count,
         successes: tallies[i].load(Ordering::Relaxed),
     })
 }
@@ -321,5 +346,19 @@ mod tests {
         let pooled = run_multi_trials_pooled(100, 9, 3, &pool, Vec::new, trial);
         let plain = run_multi_trials_with(100, 9, 3, Vec::new, trial);
         assert_eq!(pooled, plain);
+    }
+
+    #[test]
+    fn indexed_runner_visits_every_index_once() {
+        // Tally index parity: successes must equal the exact count of
+        // even indices, for any thread count — each index visited
+        // exactly once.
+        for threads in [1, 3, 0] {
+            let pool = ScratchPool::new();
+            let [stats] =
+                run_indexed_multi_pooled(101, threads, &pool, || (), |(), i| [i % 2 == 0]);
+            assert_eq!(stats.trials, 101);
+            assert_eq!(stats.successes, 51, "threads = {threads}");
+        }
     }
 }

@@ -43,7 +43,7 @@
 //! column: the expander-product mesh host of the paper's Section 5
 //! comparison, run against the same per-cell fault parameters.
 
-use crate::runner::{run_multi_trials_pooled, ScratchPool, TrialStats};
+use crate::runner::{run_indexed_multi_pooled, run_multi_trials_pooled, ScratchPool, TrialStats};
 use crate::scenario::extract_verified_with;
 use crate::table::{fmt_prob, Table};
 use ftt_baselines::AlonChungMesh;
@@ -301,6 +301,19 @@ pub enum FaultRegime {
         /// Multiple of the tolerated budget.
         mult: f64,
     },
+    /// **Every** fault pattern of size ≤ `max_faults` (default: the
+    /// full budget `k`) up to cyclic translation symmetry, each one
+    /// certified through the independent checker — Theorem 3 proved
+    /// combinatorially rather than sampled. Valid on small `D^d_{n,k}`
+    /// instances only; the cell's trial count becomes the canonical
+    /// pattern count and its success tally the certified count, so a
+    /// complete run reports success rate exactly 1. The sweep's
+    /// `trials` budget does not apply to these cells.
+    Exhaustive {
+        /// Largest pattern size; `None` = the instance budget `k`.
+        /// Values above `k` are rejected.
+        max_faults: Option<usize>,
+    },
 }
 
 /// The Alon–Chung comparison column: for each cell, the same trial
@@ -345,7 +358,7 @@ pub struct SweepSpec {
 }
 
 /// Names accepted by [`SweepSpec::preset`].
-pub const PRESET_NAMES: &[&str] = &["smoke", "t1", "t2", "t3"];
+pub const PRESET_NAMES: &[&str] = &["smoke", "t1", "t2", "t3", "exhaustive"];
 
 impl SweepSpec {
     /// A checked-in paper-regime preset: `t1`, `t2`, `t3` reproduce the
@@ -457,6 +470,29 @@ impl SweepSpec {
                 root_seed: 1,
                 baseline: Some(BaselineSpec::default()),
             }),
+            // Theorem 3 proved combinatorially: small D¹ and D²
+            // instances against *every* canonical fault pattern at the
+            // full budget, certified through the independent checker.
+            // Every cell must sit at success rate exactly 1.
+            "exhaustive" => Ok(SweepSpec {
+                name: "exhaustive".into(),
+                constructions: vec![
+                    ConstructionSpec::Ddn {
+                        d: 1,
+                        n_min: 20,
+                        b: 3,
+                    },
+                    ConstructionSpec::Ddn {
+                        d: 2,
+                        n_min: 8,
+                        b: 1,
+                    },
+                ],
+                regimes: vec![FaultRegime::Exhaustive { max_faults: None }],
+                trials: 1, // ignored: exhaustive cells walk their pattern list
+                root_seed: 1,
+                baseline: None,
+            }),
             other => Err(format!(
                 "unknown preset `{other}` (available: {})",
                 PRESET_NAMES.join(", ")
@@ -507,8 +543,16 @@ pub fn cell_seed(root_seed: u64, cell_id: &str) -> u64 {
 
 /// A cell's fault generation, resolved to absolute parameters.
 enum ResolvedFaults {
-    Bernoulli { p: f64, q: f64 },
+    Bernoulli {
+        p: f64,
+        q: f64,
+    },
     Adversarial(AdversarySampler),
+    /// The canonical fault-pattern list of an exhaustive cell; trial
+    /// `i` *is* pattern `i` (no seeds involved).
+    Exhaustive {
+        patterns: Vec<Vec<usize>>,
+    },
 }
 
 /// One fully resolved cell: id, seed, faults, and the report metadata.
@@ -602,6 +646,31 @@ fn resolve_regime(regime: &FaultRegime, host: &BuiltHost) -> Result<ResolvedCell
             })
         }
         FaultRegime::Adversarial { pattern, k } => adversarial(pattern, *k, None),
+        FaultRegime::Exhaustive { max_faults } => {
+            let BuiltHost::Ddn(h) = host else {
+                return Err(format!(
+                    "the exhaustive regime certifies shaped hosts only (D^d_{{n,k}}), not {}",
+                    host.construction_name()
+                ));
+            };
+            // One shared policy with run_certify: budget refusal,
+            // candidate-cap gate, canonical enumeration.
+            let (k, patterns) = crate::certify::enumerate_for_instance(
+                h.params(),
+                *max_faults,
+                crate::certify::DEFAULT_CANDIDATE_CAP,
+            )?;
+            Ok(ResolvedCellParts {
+                regime_id: format!("exhaustive_k{k}"),
+                faults: ResolvedFaults::Exhaustive { patterns },
+                regime: "exhaustive",
+                p: None,
+                q: None,
+                k: Some(k),
+                pattern: None,
+                mult: None,
+            })
+        }
         FaultRegime::AdversarialBudget { pattern, mult } => {
             if mult.is_nan() || *mult < 0.0 {
                 return Err(format!("budget multiple {mult} must be ≥ 0"));
@@ -793,27 +862,56 @@ fn run_host_cells<C: HostConstruction + Sync>(
         .iter()
         .map(|cell| {
             let start = Instant::now();
-            let [stats] = run_multi_trials_pooled(
-                trials,
-                cell.seed,
-                threads,
-                &pool,
-                init,
-                |(faults, scratch), seed| {
-                    match &cell.faults {
-                        ResolvedFaults::Bernoulli { p, q } => {
-                            let mut rng = SmallRng::seed_from_u64(seed);
-                            sample_bernoulli_faults_into(host.graph(), *p, *q, &mut rng, faults);
+            let [stats] = match &cell.faults {
+                // Exhaustive cells walk their canonical pattern list by
+                // index — every pattern exactly once, certified through
+                // the independent checker; the sweep's trial budget and
+                // seeds do not apply.
+                ResolvedFaults::Exhaustive { patterns } => run_indexed_multi_pooled(
+                    patterns.len(),
+                    threads,
+                    &pool,
+                    init,
+                    |(faults, _scratch), i| {
+                        faults.clear();
+                        for &v in &patterns[i] {
+                            faults.kill_node(v);
                         }
-                        ResolvedFaults::Adversarial(sampler) => sampler.sample_onto(
-                            shape.expect("validated: adversarial cells run on shaped hosts"),
-                            seed,
-                            faults,
-                        ),
-                    }
-                    [extract_verified_with(host, faults, scratch).is_ok()]
-                },
-            );
+                        let certified = host.try_certify(faults).is_ok_and(|cert| {
+                            ftt_verify::check_certificate(&cert, host.graph(), faults).is_ok()
+                        });
+                        [certified]
+                    },
+                ),
+                _ => run_multi_trials_pooled(
+                    trials,
+                    cell.seed,
+                    threads,
+                    &pool,
+                    init,
+                    |(faults, scratch), seed| {
+                        match &cell.faults {
+                            ResolvedFaults::Bernoulli { p, q } => {
+                                let mut rng = SmallRng::seed_from_u64(seed);
+                                sample_bernoulli_faults_into(
+                                    host.graph(),
+                                    *p,
+                                    *q,
+                                    &mut rng,
+                                    faults,
+                                );
+                            }
+                            ResolvedFaults::Adversarial(sampler) => sampler.sample_onto(
+                                shape.expect("validated: adversarial cells run on shaped hosts"),
+                                seed,
+                                faults,
+                            ),
+                            ResolvedFaults::Exhaustive { .. } => unreachable!("handled above"),
+                        }
+                        [extract_verified_with(host, faults, scratch).is_ok()]
+                    },
+                ),
+            };
             (stats, start.elapsed().as_secs_f64())
         })
         .collect()
@@ -844,6 +942,11 @@ fn run_baseline_cells(
     cells
         .iter()
         .map(|cell| {
+            // Exhaustive certification has no Monte-Carlo analogue on
+            // the expander host.
+            if matches!(cell.faults, ResolvedFaults::Exhaustive { .. }) {
+                return None;
+            }
             let seed = cell_seed(spec.root_seed, &format!("{}/ac", cell.id));
             let [stats] = run_multi_trials_pooled(
                 spec.trials,
@@ -875,6 +978,9 @@ fn run_baseline_cells(
                                 faulty[v] = true;
                                 killed.push(v);
                             }
+                        }
+                        ResolvedFaults::Exhaustive { .. } => {
+                            unreachable!("exhaustive cells return None above")
                         }
                     }
                     [mesh.embed_mesh(faulty).is_some()]
@@ -1056,6 +1162,7 @@ impl SweepReport {
         for c in &self.cells {
             let faults = match (c.p, c.k) {
                 (Some(p), _) => format!("p={p:.2e} q={:.2e}", c.q.unwrap_or(0.0)),
+                (_, Some(k)) if c.regime == "exhaustive" => format!("all patterns ≤{k}"),
                 (_, Some(k)) => format!("{} k={k}", c.pattern.as_deref().unwrap_or("?"),),
                 _ => "-".into(),
             };
@@ -1209,6 +1316,58 @@ mod tests {
         }
         assert_eq!(report.cells[0].mult, Some(1.0));
         assert_eq!(report.cells[1].k, Some(8));
+    }
+
+    #[test]
+    fn exhaustive_regime_certifies_theorem_3() {
+        let spec = SweepSpec {
+            name: "exhunit".into(),
+            constructions: vec![ConstructionSpec::Ddn {
+                d: 1,
+                n_min: 8,
+                b: 2,
+            }],
+            regimes: vec![FaultRegime::Exhaustive { max_faults: None }],
+            trials: 999, // must be ignored by exhaustive cells
+            root_seed: 1,
+            baseline: Some(BaselineSpec::default()),
+        };
+        let report = run_sweep(&spec, 0).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.regime, "exhaustive");
+        // m = 12, k = 2: 1 + 1 + 6 canonical patterns, all certified.
+        assert_eq!(cell.stats.trials, 8);
+        assert_eq!(cell.stats.successes, 8, "Theorem 3, combinatorially");
+        assert_eq!(cell.k, Some(2));
+        assert_eq!(cell.id, "d1_n8b2/exhaustive_k2");
+        assert!(cell.baseline.is_none(), "no expander analogue");
+        // the regime is deterministic across thread counts too
+        let again = run_sweep(&spec, 1).unwrap();
+        assert_eq!(again.cells[0].stats, cell.stats);
+    }
+
+    #[test]
+    fn exhaustive_regime_rejected_off_shaped_hosts() {
+        let mut spec = tiny_b2_spec();
+        spec.regimes = vec![FaultRegime::Exhaustive { max_faults: None }];
+        assert!(run_sweep(&spec, 1).is_err(), "exhaustive × B² must fail");
+
+        let spec = SweepSpec {
+            name: "exhbad".into(),
+            constructions: vec![ConstructionSpec::Ddn {
+                d: 1,
+                n_min: 8,
+                b: 2,
+            }],
+            regimes: vec![FaultRegime::Exhaustive {
+                max_faults: Some(3), // budget is 2
+            }],
+            trials: 1,
+            root_seed: 1,
+            baseline: None,
+        };
+        assert!(run_sweep(&spec, 1).is_err(), "over-budget must fail");
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Differential property tests: the sparse Monte-Carlo fast paths
+//! against the dense reference oracles of `ftt-verify`.
+//!
+//! For each construction, the fast path (the `HostConstruction` trait's
+//! scratch-reusing, fault-list-driven extraction) and the slow oracle
+//! (dense full-domain fault application feeding an obviously-correct
+//! re-implementation) must agree on **success/failure and the extracted
+//! embedding** for arbitrary fault sets — node faults, edge faults, in
+//! regimes from fault-free to far beyond tolerance. For `D^d_{n,k}` the
+//! brute-force search over *all* cyclic band offsets additionally
+//! brackets the greedy anchor choice from the complete side: whenever
+//! the fast path extracts, some offset assignment must exist.
+//!
+//! Case budget: each property samples 4 derived fault sets per proptest
+//! case; at the default 64 cases that is ≥ 256 fault sets per
+//! construction (the acceptance floor), scaling with `PROPTEST_CASES`.
+
+use ftt_core::adn::Adn;
+use ftt_core::bdn::Bdn;
+use ftt_core::construct::HostConstruction;
+use ftt_core::ddn::Ddn;
+use ftt_faults::{sample_bernoulli_faults, FaultSet};
+use ftt_sim::runner::trial_seed;
+use ftt_testutil::{tiny_adn, tiny_bdn, tiny_ddn};
+use ftt_verify::{
+    ddn_offset_search, reference_extract_adn, reference_extract_bdn, reference_extract_ddn,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// Sub-seeds derived per case: 4 fault sets per proptest case ⇒ ≥ 256
+/// per construction at the default case count.
+const SUBSEEDS: u64 = 4;
+
+fn bdn() -> &'static Bdn {
+    static HOST: OnceLock<Bdn> = OnceLock::new();
+    HOST.get_or_init(tiny_bdn)
+}
+
+fn adn() -> &'static Adn {
+    static HOST: OnceLock<Adn> = OnceLock::new();
+    HOST.get_or_init(|| tiny_adn(6, 0.0))
+}
+
+fn ddn() -> &'static Ddn {
+    static HOST: OnceLock<Ddn> = OnceLock::new();
+    HOST.get_or_init(tiny_ddn)
+}
+
+/// A seed-derived fault set at the case's fault scale. Scales sweep
+/// from fault-free through the paper regime to saturation, with edge
+/// faults in half of them (exercising ascription and the half-edge
+/// conversion).
+fn sample_faults<C: HostConstruction>(host: &C, seed: u64, scale: usize) -> FaultSet {
+    let n = host.num_nodes() as f64;
+    let (p, q) = match scale {
+        0 => (0.0, 0.0),
+        1 => (2.0 / n, 0.0),
+        2 => (8.0 / n, 4.0 / (2.0 * n)),
+        3 => (40.0 / n, 20.0 / (2.0 * n)),
+        _ => (0.3, 0.05),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sample_bernoulli_faults(host.graph(), p, q, &mut rng)
+}
+
+proptest! {
+    /// `B^d_n`: sparse ascription + id-driven placement + reused
+    /// scratch vs dense bitmap application through the dense entry
+    /// point. Outcomes and embeddings must match exactly.
+    #[test]
+    fn bdn_sparse_path_matches_dense_oracle(
+        seed in 0u64..u64::MAX,
+        scale in 0usize..5,
+    ) {
+        let host = bdn();
+        let mut scratch = host.new_scratch();
+        for sub in 0..SUBSEEDS {
+            let faults = sample_faults(host, trial_seed(seed, sub), scale);
+            let fast = host.try_extract_with(&faults, &mut scratch);
+            let slow = reference_extract_bdn(host, &faults);
+            prop_assert_eq!(
+                fast.is_ok(),
+                slow.is_some(),
+                "scale {}: fast {:?} vs oracle {}",
+                scale,
+                fast.as_ref().err(),
+                slow.is_some()
+            );
+            if let (Ok(f), Some(s)) = (fast, slow) {
+                prop_assert_eq!(f.guest.dims(), &s.guest_dims[..]);
+                prop_assert_eq!(f.map, s.map, "embeddings must be identical");
+            }
+        }
+    }
+
+    /// `A^2_n`: the trait's in-place node-bitmap reset and half-edge
+    /// conversion vs fresh dense buffers. Outcomes and embeddings must
+    /// match exactly — any scratch-reset bug shows up as divergence
+    /// across the 4 consecutive fault sets sharing one scratch.
+    #[test]
+    fn adn_sparse_path_matches_dense_oracle(
+        seed in 0u64..u64::MAX,
+        scale in 0usize..5,
+    ) {
+        let host = adn();
+        let mut scratch = host.new_scratch();
+        for sub in 0..SUBSEEDS {
+            let faults = sample_faults(host, trial_seed(seed, sub), scale);
+            let fast = host.try_extract_with(&faults, &mut scratch);
+            let slow = reference_extract_adn(host, &faults);
+            prop_assert_eq!(
+                fast.is_ok(),
+                slow.is_some(),
+                "scale {}: fast {:?} vs oracle {}",
+                scale,
+                fast.as_ref().err(),
+                slow.is_some()
+            );
+            if let (Ok(f), Some(s)) = (fast, slow) {
+                prop_assert_eq!(f.guest.dims(), &s.guest_dims[..]);
+                prop_assert_eq!(f.map, s.map, "embeddings must be identical");
+            }
+        }
+    }
+
+    /// `D^d_{n,k}`: the sparse pigeonhole placement vs the dense
+    /// re-implementation (exact agreement) and the brute-force offset
+    /// search (completeness: fast success ⇒ some offsets work). Within
+    /// the Theorem 3 budget, all three must succeed.
+    #[test]
+    fn ddn_sparse_path_matches_dense_oracle(
+        seed in 0u64..u64::MAX,
+        scale in 0usize..5,
+    ) {
+        let host = ddn();
+        let budget = host.params().tolerated_faults();
+        let mut scratch = host.new_scratch();
+        for sub in 0..SUBSEEDS {
+            let faults = sample_faults(host, trial_seed(seed, sub), scale);
+            let fast = host.try_extract_with(&faults, &mut scratch);
+            let slow = reference_extract_ddn(host, &faults);
+            prop_assert_eq!(
+                fast.is_ok(),
+                slow.is_some(),
+                "scale {}: fast {:?} vs oracle {}",
+                scale,
+                fast.as_ref().err(),
+                slow.is_some()
+            );
+            if let (Ok(f), Some(s)) = (&fast, &slow) {
+                prop_assert_eq!(f.guest.dims(), &s.guest_dims[..]);
+                prop_assert_eq!(&f.map, &s.map, "identical tie-breaks, identical map");
+            }
+            if fast.is_ok() {
+                prop_assert!(
+                    ddn_offset_search(host, &faults),
+                    "greedy succeeded but the complete offset search found nothing"
+                );
+            }
+            if faults.count_faults() <= budget {
+                prop_assert!(fast.is_ok(), "Theorem 3: {} faults", faults.count_faults());
+            }
+        }
+    }
+}

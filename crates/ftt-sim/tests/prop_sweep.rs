@@ -8,30 +8,9 @@
 //! monotone non-increasing for any root seed — that is the sanity
 //! anchor CI relies on when it validates `SWEEP_t2.json`.
 
-use ftt_sim::{run_sweep, ConstructionSpec, FaultRegime, SweepSpec};
+use ftt_sim::run_sweep;
+use ftt_testutil::t2_tiny_spec as t2_tiny;
 use proptest::prelude::*;
-
-/// The tiny-size Theorem-2 curve: B²_54 over well-separated multiples
-/// of the design probability (0 → design → far beyond), mirroring the
-/// `t2` preset's regime axis.
-fn t2_tiny(mults: &[f64], trials: usize, root_seed: u64) -> SweepSpec {
-    SweepSpec {
-        name: "proptiny".into(),
-        constructions: vec![ConstructionSpec::Bdn {
-            d: 2,
-            n_min: 54,
-            b: 3,
-            eps_b: 1,
-        }],
-        regimes: mults
-            .iter()
-            .map(|&mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
-            .collect(),
-        trials,
-        root_seed,
-        baseline: None,
-    }
-}
 
 proptest! {
     /// Success is monotone non-increasing in `p` along the (widely

@@ -1,0 +1,180 @@
+//! Shared test fixtures for the workspace's integration and property
+//! tests.
+//!
+//! The same handful of tiny paper-regime instances, the same
+//! seed-derived fault sampling, and the same independent embedding
+//! audits were re-declared in every `tests/integration_*.rs` and in the
+//! sweep property tests. This dev-only crate is their single home, so
+//! a fixture change (say, retuning the canonical tiny `B²`) is one
+//! edit, and every consumer agrees on what "the tiny instance" means.
+//!
+//! Everything here is deterministic: fault bitmaps derive from explicit
+//! seeds via the same `SmallRng` discipline the simulators use.
+
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::extract::TorusEmbedding;
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_faults::sample_bernoulli_faults;
+use ftt_graph::Graph;
+use ftt_sim::{ConstructionSpec, FaultRegime, SweepSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The canonical tiny `B²` parameter set (`d = 2, n = 54, b = 3,
+/// ε_b = 1`) — the smallest Theorem 2 instance the test suite builds.
+pub fn tiny_bdn_params() -> BdnParams {
+    BdnParams::new(2, 54, 3, 1).expect("canonical tiny B² is valid")
+}
+
+/// The canonical tiny `B²` host.
+pub fn tiny_bdn() -> Bdn {
+    Bdn::build(tiny_bdn_params())
+}
+
+/// A tiny `A²` over the canonical inner `B²` with cluster factor
+/// `k = 2` and the given supernode size / design half-edge rate.
+pub fn tiny_adn(h: usize, sqrt_q: f64) -> Adn {
+    Adn::build(AdnParams::new(tiny_bdn_params(), 2, h, sqrt_q).expect("valid tiny A²"))
+}
+
+/// The canonical tiny `D²` parameter set (`fit(2, 30, 2)`: `k = 8`,
+/// `m = 45, n = 29`).
+pub fn tiny_ddn_params() -> DdnParams {
+    DdnParams::fit(2, 30, 2).expect("canonical tiny D² is valid")
+}
+
+/// The canonical tiny `D²` host.
+pub fn tiny_ddn() -> Ddn {
+    Ddn::new(tiny_ddn_params())
+}
+
+/// The mid-size `D²` used by the adversarial batteries
+/// (`fit(2, 40, 2)`).
+pub fn ddn_d2_40() -> Ddn {
+    Ddn::new(DdnParams::fit(2, 40, 2).expect("valid D²_40"))
+}
+
+/// Seed-derived Bernoulli node-fault bitmap: the one seed discipline
+/// every integration test shares (`SmallRng::seed_from_u64`, node
+/// probability `p`, no edge faults).
+pub fn bernoulli_node_bitmap(g: &Graph, p: f64, seed: u64) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let f = sample_bernoulli_faults(g, p, 0.0, &mut rng);
+    (0..g.num_nodes()).map(|v| f.node_faulty(v)).collect()
+}
+
+/// Audits a claimed `D^d_{n,k}` embedding arithmetically, without the
+/// graph: injectivity, fault avoidance, and every guest torus edge
+/// carried by `Ddn::edge_exists`.
+///
+/// # Panics
+/// Panics with a diagnostic on the first violation.
+pub fn verify_ddn_embedding(ddn: &Ddn, emb: &TorusEmbedding, faults: &[usize]) {
+    let fs: std::collections::HashSet<usize> = faults.iter().copied().collect();
+    let mut seen = std::collections::HashSet::new();
+    for &h in &emb.map {
+        assert!(seen.insert(h), "map not injective at host {h}");
+        assert!(!fs.contains(&h), "embedding uses faulty node {h}");
+    }
+    for g in emb.guest.iter() {
+        for axis in 0..emb.guest.ndim() {
+            let g2 = emb.guest.torus_step(g, axis, 1);
+            assert!(
+                ddn.edge_exists(emb.map[g], emb.map[g2]),
+                "guest edge {g}-{g2} not carried by the host"
+            );
+        }
+    }
+}
+
+/// The tiny-size Theorem 2 curve: `B²_54` over the given multiples of
+/// the design probability `b^{−3d}` — the grid shape the `t2` preset,
+/// CI monotonicity checks, and the sweep property tests all share.
+pub fn t2_tiny_spec(mults: &[f64], trials: usize, root_seed: u64) -> SweepSpec {
+    SweepSpec {
+        name: "t2tiny".into(),
+        constructions: vec![ConstructionSpec::Bdn {
+            d: 2,
+            n_min: 54,
+            b: 3,
+            eps_b: 1,
+        }],
+        regimes: mults
+            .iter()
+            .map(|&mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
+            .collect(),
+        trials,
+        root_seed,
+        baseline: None,
+    }
+}
+
+/// A small mixed-construction sweep grid (`B²_54` and `D²_30` under a
+/// node-only and a node+edge Bernoulli regime, 4 cells) — the
+/// determinism-contract fixture.
+pub fn mixed_determinism_spec() -> SweepSpec {
+    SweepSpec {
+        name: "determinism".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 30,
+                b: 2,
+            },
+        ],
+        regimes: vec![
+            FaultRegime::Bernoulli { p: 2e-3, q: 0.0 },
+            FaultRegime::Bernoulli { p: 1e-3, q: 1e-4 },
+        ],
+        trials: 10,
+        root_seed: 41,
+        baseline: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(tiny_bdn().graph().max_degree(), 10);
+        assert_eq!(tiny_adn(6, 0.0).graph().num_nodes() % 6, 0);
+        assert_eq!(tiny_ddn_params().tolerated_faults(), 8);
+        assert_eq!(ddn_d2_40().params().b, 2);
+    }
+
+    #[test]
+    fn bitmap_is_seed_deterministic() {
+        let bdn = tiny_bdn();
+        let a = bernoulli_node_bitmap(bdn.graph(), 1e-3, 7);
+        let b = bernoulli_node_bitmap(bdn.graph(), 1e-3, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), bdn.num_nodes());
+    }
+
+    #[test]
+    fn ddn_audit_accepts_valid_embedding() {
+        let ddn = tiny_ddn();
+        let faults = vec![5, 500, 900];
+        let emb = ddn.try_extract(&faults).unwrap();
+        verify_ddn_embedding(&ddn, &emb, &faults);
+    }
+
+    #[test]
+    fn sweep_fixtures_validate() {
+        let spec = t2_tiny_spec(&[0.0, 1.0], 2, 1);
+        assert_eq!(spec.regimes.len(), 2);
+        let mixed = mixed_determinism_spec();
+        assert_eq!(mixed.constructions.len() * mixed.regimes.len(), 4);
+        // both must be runnable specs
+        ftt_sim::run_sweep(&t2_tiny_spec(&[0.0], 1, 1), 1).unwrap();
+    }
+}

@@ -1,0 +1,399 @@
+//! Independent certificate validation.
+//!
+//! [`check_certificate`] re-derives every property a valid embedding
+//! certificate claims — consistent sizes, injectivity, all mapped nodes
+//! alive, and every guest torus edge carried by an alive host edge —
+//! from first principles: its own row-major stride arithmetic (not
+//! `ftt_geom::Shape`), its own adjacency scan (the host graph's public
+//! neighbor lists), and the fault set's `alive` predicates. None of the
+//! band, placement, or extraction code is invoked, so this checker and
+//! the machinery it audits can only agree by both being right.
+//!
+//! Guest torus semantics mirror the paper's: along an axis of extent
+//! `n`, node `c` connects to `c + 1` for `c + 1 < n`, plus the wrap
+//! edge `n−1 → 0` when `n > 2` (extent 2 has a single edge, extent 1
+//! none).
+
+use ftt_core::EmbeddingCertificate;
+use ftt_faults::FaultSet;
+use ftt_graph::Graph;
+use std::collections::HashMap;
+
+/// Why a certificate failed independent validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The guest dims are empty or contain a zero extent.
+    BadGuestDims {
+        /// The offending dims vector.
+        dims: Vec<usize>,
+    },
+    /// The map length does not match the product of the guest dims.
+    WrongLength {
+        /// `guest_dims` product.
+        expected: usize,
+        /// `map.len()`.
+        actual: usize,
+    },
+    /// The claimed host sizes disagree with the actual host graph.
+    HostMismatch {
+        /// Claimed `(nodes, edges)`.
+        claimed: (usize, usize),
+        /// The graph's `(nodes, edges)`.
+        actual: (usize, usize),
+    },
+    /// The fault set was built for a different host than the graph —
+    /// a caller error, not a certificate defect.
+    FaultDomainMismatch {
+        /// The fault set's `(nodes, edges)` domains.
+        fault_domains: (usize, usize),
+        /// The graph's `(nodes, edges)`.
+        actual: (usize, usize),
+    },
+    /// A guest node maps outside the host node range.
+    BadHostNode {
+        /// Guest flat index.
+        guest: usize,
+        /// The out-of-range host id.
+        host: usize,
+    },
+    /// A guest node maps to a faulty host node.
+    DeadNode {
+        /// Guest flat index.
+        guest: usize,
+        /// The dead host node.
+        host: usize,
+    },
+    /// Two guest nodes map to the same host node.
+    NotInjective {
+        /// First guest flat index.
+        guest_a: usize,
+        /// Second guest flat index.
+        guest_b: usize,
+        /// The shared host node.
+        host: usize,
+    },
+    /// A guest torus edge has no alive host edge between its images.
+    MissingEdge {
+        /// Guest flat index of the edge's tail.
+        guest_u: usize,
+        /// Guest flat index of the edge's head.
+        guest_v: usize,
+        /// Image of the tail.
+        host_u: usize,
+        /// Image of the head.
+        host_v: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadGuestDims { dims } => {
+                write!(f, "invalid guest dims {dims:?}")
+            }
+            VerifyError::WrongLength { expected, actual } => {
+                write!(f, "map has {actual} entries, guest dims demand {expected}")
+            }
+            VerifyError::HostMismatch { claimed, actual } => write!(
+                f,
+                "certificate claims host ({}, {}) but graph has ({}, {}) (nodes, edges)",
+                claimed.0, claimed.1, actual.0, actual.1
+            ),
+            VerifyError::FaultDomainMismatch {
+                fault_domains,
+                actual,
+            } => write!(
+                f,
+                "fault set covers ({}, {}) but graph has ({}, {}) (nodes, edges)",
+                fault_domains.0, fault_domains.1, actual.0, actual.1
+            ),
+            VerifyError::BadHostNode { guest, host } => {
+                write!(f, "guest {guest} maps to out-of-range host node {host}")
+            }
+            VerifyError::DeadNode { guest, host } => {
+                write!(f, "guest {guest} maps to dead host node {host}")
+            }
+            VerifyError::NotInjective {
+                guest_a,
+                guest_b,
+                host,
+            } => write!(
+                f,
+                "guests {guest_a} and {guest_b} both map to host node {host}"
+            ),
+            VerifyError::MissingEdge {
+                guest_u,
+                guest_v,
+                host_u,
+                host_v,
+            } => write!(
+                f,
+                "guest edge {guest_u}-{guest_v}: no alive host edge {host_u}-{host_v}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Row-major strides for the guest dims (dimension 0 slowest), the
+/// checker's own arithmetic.
+fn strides(dims: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; dims.len()];
+    for axis in (0..dims.len().saturating_sub(1)).rev() {
+        s[axis] = s[axis + 1] * dims[axis + 1];
+    }
+    s
+}
+
+/// Whether any host edge between `u` and `v` survives `faults`, by
+/// scanning `u`'s public adjacency list (multigraph semantics: parallel
+/// edges each count).
+fn alive_edge_between(host: &Graph, faults: &FaultSet, u: usize, v: usize) -> bool {
+    host.arcs(u).any(|(w, e)| w == v && faults.edge_alive(e))
+}
+
+/// Validates `cert` against the ground truth `host` graph and `faults`.
+///
+/// Checks, in order: guest dims sane; map length; claimed host sizes
+/// match the graph (and the fault set's domains); every image in range,
+/// alive, and hit at most once; every guest torus edge carried by at
+/// least one alive host edge. Returns the first violation found.
+pub fn check_certificate(
+    cert: &EmbeddingCertificate,
+    host: &Graph,
+    faults: &FaultSet,
+) -> Result<(), VerifyError> {
+    let dims = &cert.guest_dims;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(VerifyError::BadGuestDims { dims: dims.clone() });
+    }
+    let expected: usize = dims.iter().product();
+    if cert.map.len() != expected {
+        return Err(VerifyError::WrongLength {
+            expected,
+            actual: cert.map.len(),
+        });
+    }
+    let actual = (host.num_nodes(), host.num_edges());
+    if (cert.host_nodes, cert.host_edges) != actual {
+        return Err(VerifyError::HostMismatch {
+            claimed: (cert.host_nodes, cert.host_edges),
+            actual,
+        });
+    }
+    if (faults.num_nodes(), faults.num_edges()) != actual {
+        return Err(VerifyError::FaultDomainMismatch {
+            fault_domains: (faults.num_nodes(), faults.num_edges()),
+            actual,
+        });
+    }
+
+    // Images: in range, alive, and injective.
+    let mut owner: HashMap<usize, usize> = HashMap::with_capacity(cert.map.len());
+    for (g, &h) in cert.map.iter().enumerate() {
+        if h >= host.num_nodes() {
+            return Err(VerifyError::BadHostNode { guest: g, host: h });
+        }
+        if !faults.node_alive(h) {
+            return Err(VerifyError::DeadNode { guest: g, host: h });
+        }
+        if let Some(&first) = owner.get(&h) {
+            return Err(VerifyError::NotInjective {
+                guest_a: first,
+                guest_b: g,
+                host: h,
+            });
+        }
+        owner.insert(h, g);
+    }
+
+    // Torus adjacency: every guest edge must be carried by an alive
+    // host edge. Guest edges are enumerated with the checker's own
+    // stride arithmetic.
+    let strides = strides(dims);
+    for g in 0..expected {
+        for (&n, &stride) in dims.iter().zip(&strides) {
+            let c = (g / stride) % n;
+            if n < 2 {
+                continue;
+            }
+            // step edge c → c+1; the wrap edge n−1 → 0 only for n > 2.
+            if c + 1 >= n && n <= 2 {
+                continue;
+            }
+            let g2 = if c + 1 < n {
+                g + stride
+            } else {
+                g - c * stride
+            };
+            let (hu, hv) = (cert.map[g], cert.map[g2]);
+            if !alive_edge_between(host, faults, hu, hv) {
+                return Err(VerifyError::MissingEdge {
+                    guest_u: g,
+                    guest_v: g2,
+                    host_u: hu,
+                    host_v: hv,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_graph::gen::torus;
+
+    /// A 4×4 host torus with the identity certificate.
+    fn identity_cert() -> (EmbeddingCertificate, Graph, FaultSet) {
+        let shape = ftt_geom_shape(&[4, 4]);
+        let host = torus(&shape);
+        let faults = FaultSet::none(host.num_nodes(), host.num_edges());
+        let cert = EmbeddingCertificate {
+            construction: "test".into(),
+            guest_dims: vec![4, 4],
+            map: (0..16).collect(),
+            host_nodes: host.num_nodes(),
+            host_edges: host.num_edges(),
+            placement: Vec::new(),
+        };
+        (cert, host, faults)
+    }
+
+    // The tests build hosts with ftt-geom shapes (via ftt-graph's
+    // generators); the checker itself never touches them.
+    fn ftt_geom_shape(dims: &[usize]) -> ftt_geom::Shape {
+        ftt_geom::Shape::new(dims.to_vec())
+    }
+
+    #[test]
+    fn identity_on_fault_free_torus_passes() {
+        let (cert, host, faults) = identity_cert();
+        check_certificate(&cert, &host, &faults).unwrap();
+    }
+
+    #[test]
+    fn dead_node_detected() {
+        let (cert, host, mut faults) = identity_cert();
+        faults.kill_node(5);
+        assert_eq!(
+            check_certificate(&cert, &host, &faults),
+            Err(VerifyError::DeadNode { guest: 5, host: 5 })
+        );
+    }
+
+    #[test]
+    fn non_injective_map_detected() {
+        let (mut cert, host, faults) = identity_cert();
+        cert.map[9] = 3;
+        assert_eq!(
+            check_certificate(&cert, &host, &faults),
+            Err(VerifyError::NotInjective {
+                guest_a: 3,
+                guest_b: 9,
+                host: 3
+            })
+        );
+    }
+
+    #[test]
+    fn missing_edge_detected() {
+        let (cert, host, mut faults) = identity_cert();
+        // kill the unique host edge 0–1 (guest edge 0–1 loses cover)
+        let e = host.arcs(0).find(|&(w, _)| w == 1).map(|(_, e)| e).unwrap();
+        faults.kill_edge(e);
+        match check_certificate(&cert, &host, &faults) {
+            Err(VerifyError::MissingEdge {
+                guest_u, guest_v, ..
+            }) => assert_eq!((guest_u, guest_v), (0, 1)),
+            other => panic!("expected MissingEdge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_length_and_bad_dims_detected() {
+        let (mut cert, host, faults) = identity_cert();
+        cert.map.pop();
+        assert_eq!(
+            check_certificate(&cert, &host, &faults),
+            Err(VerifyError::WrongLength {
+                expected: 16,
+                actual: 15
+            })
+        );
+        let (mut cert, host, faults) = identity_cert();
+        cert.guest_dims = vec![4, 0];
+        assert!(matches!(
+            check_certificate(&cert, &host, &faults),
+            Err(VerifyError::BadGuestDims { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_host_node_detected() {
+        let (mut cert, host, faults) = identity_cert();
+        cert.map[7] = 999;
+        assert_eq!(
+            check_certificate(&cert, &host, &faults),
+            Err(VerifyError::BadHostNode {
+                guest: 7,
+                host: 999
+            })
+        );
+    }
+
+    #[test]
+    fn host_size_claims_checked() {
+        let (mut cert, host, faults) = identity_cert();
+        cert.host_edges += 1;
+        assert!(matches!(
+            check_certificate(&cert, &host, &faults),
+            Err(VerifyError::HostMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_domain_mismatch_distinct_from_host_mismatch() {
+        // A fault set built for a different host is a caller error and
+        // must not be reported as a certificate size claim.
+        let (cert, host, _) = identity_cert();
+        let foreign = FaultSet::none(4, 4);
+        assert!(matches!(
+            check_certificate(&cert, &host, &foreign),
+            Err(VerifyError::FaultDomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extent_two_has_single_edge() {
+        // A 2-extent axis has one edge, not a doubled wrap edge: the
+        // checker must accept a path-shaped host there.
+        let shape = ftt_geom_shape(&[2]);
+        let host = torus(&shape); // C_2 collapses to a single edge
+        let faults = FaultSet::none(host.num_nodes(), host.num_edges());
+        let cert = EmbeddingCertificate {
+            construction: "test".into(),
+            guest_dims: vec![2],
+            map: vec![0, 1],
+            host_nodes: host.num_nodes(),
+            host_edges: host.num_edges(),
+            placement: Vec::new(),
+        };
+        check_certificate(&cert, &host, &faults).unwrap();
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = VerifyError::DeadNode { guest: 1, host: 2 };
+        assert!(e.to_string().contains("dead host node 2"));
+        let e = VerifyError::MissingEdge {
+            guest_u: 0,
+            guest_v: 1,
+            host_u: 2,
+            host_v: 3,
+        };
+        assert!(e.to_string().contains("no alive host edge 2-3"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Exhaustive fault-pattern enumeration up to cyclic symmetry.
+//!
+//! `D^d_{n,k}`'s adjacency is translation-invariant: every edge is a
+//! `±1` or `±(b_i+1)` step along one axis of the host torus, so
+//! translating a fault pattern by any vector of `Z_m^d` yields an
+//! isomorphic instance of the extraction problem. Certifying one
+//! pattern per translation orbit therefore certifies them all — an
+//! `N`-fold reduction that turns "all patterns of size ≤ k" from
+//! `Σ C(N, s)` into a list small instances can walk outright.
+//!
+//! A pattern (a sorted list of flat node ids, row-major with dimension
+//! 0 slowest) is **canonical** iff it is the lexicographically smallest
+//! among all of its translates. Every non-empty canonical pattern
+//! contains node 0 (the translate moving any element to the origin only
+//! lowers the sorted list), which both speeds up the canonicity test —
+//! only the |S| translations mapping an element to 0 can compete — and
+//! lets the enumerator fix node 0 and choose the remaining elements
+//! from `1..N`.
+//!
+//! Only *translations* are quotiented. The host also has reflection
+//! (and for equal band widths, axis-permutation) symmetries; leaving
+//! them in keeps canonicity obviously correct and costs at most a small
+//! constant factor of redundant certificates.
+
+/// Row-major strides (dimension 0 slowest) — the same layout
+/// `ftt_geom::Shape` uses, re-derived here so the enumeration stands on
+/// its own arithmetic.
+fn strides(dims: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; dims.len()];
+    for axis in (0..dims.len().saturating_sub(1)).rev() {
+        s[axis] = s[axis + 1] * dims[axis + 1];
+    }
+    s
+}
+
+/// Translates flat id `v` by `-coords(origin)` on the torus `dims` —
+/// the translation carrying `origin` to node 0.
+fn translate_to_zero(dims: &[usize], strides: &[usize], v: usize, origin: usize) -> usize {
+    let mut out = 0;
+    for (&n, &stride) in dims.iter().zip(strides) {
+        let c = (v / stride) % n;
+        let o = (origin / stride) % n;
+        out += ((c + n - o) % n) * stride;
+    }
+    out
+}
+
+/// The lexicographically smallest translate of `pattern` on the torus
+/// `dims`, as a sorted id list. The canonical representative of the
+/// pattern's translation orbit.
+pub fn canonical_form(dims: &[usize], pattern: &[usize]) -> Vec<usize> {
+    let strides = strides(dims);
+    let mut best: Option<Vec<usize>> = None;
+    for &origin in pattern {
+        let mut cand: Vec<usize> = pattern
+            .iter()
+            .map(|&v| translate_to_zero(dims, &strides, v, origin))
+            .collect();
+        cand.sort_unstable();
+        if best.as_ref().is_none_or(|b| cand < *b) {
+            best = Some(cand);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+/// Whether `pattern` (sorted, duplicate-free) is its own orbit
+/// representative.
+pub fn is_canonical(dims: &[usize], pattern: &[usize]) -> bool {
+    pattern == canonical_form(dims, pattern)
+}
+
+/// Number of distinct translates of `pattern` on the torus `dims` —
+/// `N / |stabiliser|`; the size of the orbit a canonical pattern
+/// stands for.
+pub fn orbit_size(dims: &[usize], pattern: &[usize]) -> usize {
+    let total: usize = dims.iter().product();
+    if pattern.is_empty() {
+        return 1;
+    }
+    let strides = strides(dims);
+    let canon = canonical_form(dims, pattern);
+    // Orbit–stabiliser: |orbit| = N / |Stab(S)|. A stabilising
+    // translation of a set containing 0 must itself be an element of
+    // the set (it is the image of 0), so checking the |S| to-zero
+    // translates counts the full stabiliser — at least 1 (the
+    // identity, origin 0).
+    let mut stab = 0usize;
+    for &origin in &canon {
+        let mut cand: Vec<usize> = canon
+            .iter()
+            .map(|&v| translate_to_zero(dims, &strides, v, origin))
+            .collect();
+        cand.sort_unstable();
+        if cand == canon {
+            stab += 1;
+        }
+    }
+    total / stab
+}
+
+/// Every canonical fault pattern of size `0 ..= max_size` on the torus
+/// `dims`, sizes ascending, lexicographic within a size. Deterministic;
+/// includes the empty pattern (the fault-free case is certified too).
+///
+/// Intended for *small* instances: the engine walks
+/// `Σ_s C(N−1, s−1)` candidate sets. [`exhaustive_pattern_count`]
+/// pre-computes the candidate volume so callers can refuse absurd
+/// requests before enumerating.
+pub fn enumerate_canonical(dims: &[usize], max_size: usize) -> Vec<Vec<usize>> {
+    let total: usize = dims.iter().product();
+    let max_size = max_size.min(total);
+    let mut out = vec![Vec::new()];
+    let mut current = vec![0usize];
+    for size in 1..=max_size {
+        combinations(total, size, &mut current, 1, dims, &mut out);
+    }
+    out
+}
+
+/// Recursively extends `current` (which starts as `[0]`) with `size−1`
+/// ids from `from..total`, keeping canonical completions.
+fn combinations(
+    total: usize,
+    size: usize,
+    current: &mut Vec<usize>,
+    from: usize,
+    dims: &[usize],
+    out: &mut Vec<Vec<usize>>,
+) {
+    if current.len() == size {
+        if is_canonical(dims, current) {
+            out.push(current.clone());
+        }
+        return;
+    }
+    let needed = size - current.len();
+    for v in from..=(total - needed) {
+        current.push(v);
+        combinations(total, size, current, v + 1, dims, out);
+        current.pop();
+    }
+}
+
+/// Number of candidate sets [`enumerate_canonical`] walks for the given
+/// torus and budget: `1 + Σ_{s=1..=max} C(N−1, s−1)`. Saturates instead
+/// of overflowing, so callers can gate on a ceiling.
+pub fn exhaustive_pattern_count(dims: &[usize], max_size: usize) -> usize {
+    let total: usize = dims.iter().product();
+    let max_size = max_size.min(total);
+    let mut sum = 1usize;
+    for s in 1..=max_size {
+        sum = sum.saturating_add(binomial(total - 1, s - 1));
+    }
+    sum
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1usize;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_patterns_contain_zero() {
+        for pat in enumerate_canonical(&[12], 3) {
+            if !pat.is_empty() {
+                assert_eq!(pat[0], 0, "{pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_pair_orbits() {
+        // Necklaces of Z_12 with 2 beads: gaps 1..6 → 6 orbits.
+        let pats: Vec<_> = enumerate_canonical(&[12], 2)
+            .into_iter()
+            .filter(|p| p.len() == 2)
+            .collect();
+        assert_eq!(pats.len(), 6);
+        assert_eq!(pats[0], vec![0, 1]);
+        assert_eq!(pats[5], vec![0, 6]);
+        // the antipodal pair has a 2-element stabiliser
+        assert_eq!(orbit_size(&[12], &[0, 6]), 6);
+        assert_eq!(orbit_size(&[12], &[0, 1]), 12);
+    }
+
+    #[test]
+    fn orbit_sizes_cover_all_patterns() {
+        // Burnside bookkeeping: summing orbit sizes over canonical
+        // patterns of size exactly s must give C(N, s).
+        let dims = [10];
+        for s in 1..=3usize {
+            let total: usize = enumerate_canonical(&dims, s)
+                .into_iter()
+                .filter(|p| p.len() == s)
+                .map(|p| orbit_size(&dims, &p))
+                .sum();
+            assert_eq!(total, binomial(10, s), "size {s}");
+        }
+    }
+
+    #[test]
+    fn two_dimensional_orbits_cover_all_patterns() {
+        let dims = [4, 5];
+        for s in 1..=2usize {
+            let total: usize = enumerate_canonical(&dims, s)
+                .into_iter()
+                .filter(|p| p.len() == s)
+                .map(|p| orbit_size(&dims, &p))
+                .sum();
+            assert_eq!(total, binomial(20, s), "size {s}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_translation_invariant() {
+        let dims = [4, 5];
+        let strides = strides(&dims);
+        let pat = vec![3, 7, 11];
+        let canon = canonical_form(&dims, &pat);
+        assert!(is_canonical(&dims, &canon));
+        // every translate canonicalises to the same representative
+        for t in 0..20usize {
+            let translated: Vec<usize> = pat
+                .iter()
+                .map(|&v| {
+                    let mut out = 0;
+                    for (&n, &stride) in dims.iter().zip(&strides) {
+                        let c = (v / stride) % n;
+                        let tc = (t / stride) % n;
+                        out += ((c + tc) % n) * stride;
+                    }
+                    out
+                })
+                .collect();
+            assert_eq!(canonical_form(&dims, &translated), canon, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_is_canonical() {
+        assert!(is_canonical(&[6], &[]));
+        assert_eq!(orbit_size(&[6], &[]), 1);
+        assert_eq!(enumerate_canonical(&[6], 0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn pattern_count_formula() {
+        // N = 12: 1 + C(11,0) + C(11,1) + C(11,2) = 1 + 1 + 11 + 55.
+        assert_eq!(exhaustive_pattern_count(&[12], 3), 68);
+        assert_eq!(exhaustive_pattern_count(&[3, 4], 3), 68);
+        assert_eq!(exhaustive_pattern_count(&[12], 0), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Dense reference oracles for differential testing.
+//!
+//! The Monte-Carlo hot paths earn their speed from sparse bookkeeping:
+//! fault-id lists, lazily grown bitmaps, reused scratch buffers,
+//! geometric-skip sampling. Each of those optimisations is a place for
+//! a bug that a green test suite built on the *same* machinery would
+//! never see. The oracles here are the slow, dense, obviously-correct
+//! counterparts:
+//!
+//! * **Fault application** is dense: every node and every edge of the
+//!   host is queried individually ([`dense_node_faults`],
+//!   [`dense_edge_faults`]) and conversions (edge ascription, the
+//!   half-edge worst case) walk the full domain, never a fault list.
+//! * **`D^d_{n,k}` extraction** is re-implemented from the paper's
+//!   proof in [`reference_extract_ddn`]: per-axis residue counting,
+//!   anchor choice, slot masking and deferral with plain dense arrays
+//!   and the oracle's own coordinate arithmetic — no `Shape`, no
+//!   `SparseSet`, no placement code. It mirrors the fast path's
+//!   deterministic tie-breaks (lowest best class, dirty slots then
+//!   clean slots in ascending order), so fast path and oracle must
+//!   agree *exactly* — success, failure, and the embedding itself.
+//! * **[`ddn_offset_search`]** goes further: a brute-force search over
+//!   **all** cyclic band offsets (every anchor class combination in
+//!   every dimension). Whenever the fast path extracts, the search must
+//!   find at least its witness; on over-budget inputs it may succeed
+//!   where the greedy anchor choice fails, which is exactly the
+//!   one-sidedness the differential tests assert.
+//! * **`B^d_n` / `A^2_n`** extraction reuses the constructions' dense
+//!   entry points (`extract_after_faults`, `extract_after_faults_adn`)
+//!   fed by the oracle's dense fault conversion — differential coverage
+//!   for the sparse ascription, half-edge conversion, and scratch-reuse
+//!   layers that PR 2 put in front of them.
+
+use ftt_core::adn::embed::extract_after_faults_adn;
+use ftt_core::adn::Adn;
+use ftt_core::bdn::extract::extract_after_faults;
+use ftt_core::bdn::Bdn;
+use ftt_core::ddn::Ddn;
+use ftt_core::HostConstruction;
+use ftt_faults::{FaultSet, HalfEdgeFaults};
+use ftt_graph::Graph;
+
+/// An embedding as the oracles report it: plain data, comparable
+/// against the fast path's `TorusEmbedding` field by field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleEmbedding {
+    /// Guest torus extents (row-major, dimension 0 slowest).
+    pub guest_dims: Vec<usize>,
+    /// `map[guest_flat_index] = host node id`.
+    pub map: Vec<usize>,
+}
+
+/// Dense node-fault bitmap: every node queried individually.
+pub fn dense_node_faults(faults: &FaultSet) -> Vec<bool> {
+    (0..faults.num_nodes())
+        .map(|v| faults.node_faulty(v))
+        .collect()
+}
+
+/// Dense edge-fault bitmap: every edge queried individually.
+pub fn dense_edge_faults(faults: &FaultSet) -> Vec<bool> {
+    (0..faults.num_edges())
+        .map(|e| faults.edge_faulty(e as u32))
+        .collect()
+}
+
+/// Dense Section-3 ascription: node faults plus, for every faulty
+/// edge, its first endpoint — computed by scanning the whole edge set.
+fn dense_ascribed(g: &Graph, faults: &FaultSet) -> Vec<bool> {
+    let mut faulty = dense_node_faults(faults);
+    for e in 0..g.num_edges() as u32 {
+        if faults.edge_faulty(e) {
+            faulty[g.edge_endpoints(e).0] = true;
+        }
+    }
+    faulty
+}
+
+/// Reference `B^d_n` extraction: dense fault application (full-domain
+/// ascription) feeding the dense placement entry point.
+pub fn reference_extract_bdn(bdn: &Bdn, faults: &FaultSet) -> Option<OracleEmbedding> {
+    let faulty = dense_ascribed(HostConstruction::graph(bdn), faults);
+    extract_after_faults(bdn, &faulty)
+        .ok()
+        .map(|emb| OracleEmbedding {
+            guest_dims: emb.guest.dims().to_vec(),
+            map: emb.map,
+        })
+}
+
+/// Reference `A^2_n` extraction: a fresh dense node bitmap and a fresh
+/// half-edge view in which both halves of every faulty edge fail (the
+/// worst case of the Section 4 half-edge model), built by scanning the
+/// whole edge set.
+pub fn reference_extract_adn(adn: &Adn, faults: &FaultSet) -> Option<OracleEmbedding> {
+    let node_faulty = dense_node_faults(faults);
+    let num_edges = HostConstruction::graph(adn).num_edges();
+    let mut halves = HalfEdgeFaults::none(num_edges);
+    for e in 0..num_edges as u32 {
+        if faults.edge_faulty(e) {
+            halves.kill_half(e, 0);
+            halves.kill_half(e, 1);
+        }
+    }
+    extract_after_faults_adn(adn, &node_faulty, &halves)
+        .ok()
+        .map(|emb| OracleEmbedding {
+            guest_dims: emb.guest.dims().to_vec(),
+            map: emb.map,
+        })
+}
+
+/// One axis of the straight-band simulation with a *fixed* anchor
+/// class: returns `(masked coordinate bitmap, deferred fault ids)` or
+/// `None` when the dirty slots exceed the axis quota.
+///
+/// Mirrors the fast path's slot policy: dirty slots are banded first in
+/// ascending order, then clean slots ascending until the quota is
+/// spent.
+fn simulate_axis(
+    m: usize,
+    stride: usize,
+    width: usize,
+    quota: usize,
+    class: usize,
+    remaining: &[usize],
+) -> Option<(Vec<bool>, Vec<usize>)> {
+    let period = width + 1;
+    let num_slots = m / period;
+    let mut slot_dirty = vec![false; num_slots];
+    let mut deferred = Vec::new();
+    for &v in remaining {
+        let x = (v / stride) % m;
+        if x % period == class {
+            deferred.push(v);
+        } else {
+            slot_dirty[((x + m - class) % m) / period] = true;
+        }
+    }
+    if slot_dirty.iter().filter(|&&d| d).count() > quota {
+        return None;
+    }
+    let mut masked = vec![false; m];
+    let mut banded = 0usize;
+    for dirty_pass in [true, false] {
+        for (slot, &d) in slot_dirty.iter().enumerate() {
+            if banded == quota {
+                break;
+            }
+            if d == dirty_pass {
+                let start = (class + 1 + slot * period) % m;
+                for off in 0..width {
+                    masked[(start + off) % m] = true;
+                }
+                banded += 1;
+            }
+        }
+    }
+    Some((masked, deferred))
+}
+
+/// Reference `D^d_{n,k}` extraction, re-implemented densely from the
+/// paper's proof with the fast path's deterministic tie-breaks. Agrees
+/// with `Ddn::try_extract` (through the trait's ascription) exactly:
+/// same success/failure and, on success, the same embedding.
+pub fn reference_extract_ddn(ddn: &Ddn, faults: &FaultSet) -> Option<OracleEmbedding> {
+    let p = *ddn.params();
+    let (m, d, n) = (p.m(), p.d, p.n);
+    let faulty = dense_ascribed(HostConstruction::graph(ddn), faults);
+    let mut remaining: Vec<usize> = (0..faulty.len()).filter(|&v| faulty[v]).collect();
+    // axis strides of the m×…×m host, dimension 0 slowest
+    let stride = |axis: usize| m.pow((d - 1 - axis) as u32);
+
+    let mut axis_unmasked: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for axis in 0..d {
+        let width = p.band_width(axis);
+        // choose the lowest class with the fewest projected faults
+        let period = width + 1;
+        let mut counts = vec![0usize; period];
+        for &v in &remaining {
+            counts[((v / stride(axis)) % m) % period] += 1;
+        }
+        let best = (0..period).min_by_key(|&c| counts[c]).expect("period ≥ 2");
+        let (masked, deferred) =
+            simulate_axis(m, stride(axis), width, p.num_bands(axis), best, &remaining)?;
+        axis_unmasked.push((0..m).filter(|&x| !masked[x]).collect());
+        remaining = deferred;
+    }
+    if !remaining.is_empty() {
+        return None; // faults survived every dimension: over budget
+    }
+    for u in &axis_unmasked {
+        if u.len() != n {
+            return None; // cannot happen for disjoint slot-aligned bands
+        }
+    }
+
+    // guest (n)^d → host: coordinate-wise through the unmasked lists
+    let guest_len = n.pow(d as u32);
+    let mut map = vec![0usize; guest_len];
+    for (g, slot) in map.iter_mut().enumerate() {
+        let mut host = 0usize;
+        let mut rem = g;
+        for (axis, unmasked) in axis_unmasked.iter().enumerate() {
+            let gstride = n.pow((d - 1 - axis) as u32);
+            let c = rem / gstride;
+            rem %= gstride;
+            host += unmasked[c] * stride(axis);
+        }
+        *slot = host;
+    }
+    Some(OracleEmbedding {
+        guest_dims: vec![n; d],
+        map,
+    })
+}
+
+/// Brute force over **all** cyclic band offsets: does *any* sequence of
+/// anchor classes (one per dimension) mask every fault within the
+/// per-axis band quotas? Complete where the greedy anchor choice is
+/// merely sound, at cost `Π (b_i + 1)` simulations.
+pub fn ddn_offset_search(ddn: &Ddn, faults: &FaultSet) -> bool {
+    let p = *ddn.params();
+    let (m, d) = (p.m(), p.d);
+    let faulty = dense_ascribed(HostConstruction::graph(ddn), faults);
+    let initial: Vec<usize> = (0..faulty.len()).filter(|&v| faulty[v]).collect();
+    let stride = |axis: usize| m.pow((d - 1 - axis) as u32);
+
+    fn search(
+        p: &ftt_core::DdnParams,
+        m: usize,
+        axis: usize,
+        remaining: &[usize],
+        stride: &dyn Fn(usize) -> usize,
+    ) -> bool {
+        if axis == p.d {
+            return remaining.is_empty();
+        }
+        let width = p.band_width(axis);
+        for class in 0..=width {
+            if let Some((_, deferred)) =
+                simulate_axis(m, stride(axis), width, p.num_bands(axis), class, remaining)
+            {
+                if search(p, m, axis + 1, &deferred, stride) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    search(&p, m, 0, &initial, &stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_core::ddn::DdnParams;
+
+    fn tiny_ddn() -> Ddn {
+        Ddn::new(DdnParams::fit(2, 30, 2).unwrap())
+    }
+
+    fn faults_of(ddn: &Ddn, nodes: &[usize]) -> FaultSet {
+        FaultSet::from_lists(
+            HostConstruction::num_nodes(ddn),
+            HostConstruction::graph(ddn).num_edges(),
+            nodes,
+            &[],
+        )
+    }
+
+    #[test]
+    fn ddn_oracle_matches_fast_path_on_budget_faults() {
+        let ddn = tiny_ddn();
+        let k = ddn.params().tolerated_faults();
+        let faults = faults_of(&ddn, &(0..k).map(|i| 13 * i + 7).collect::<Vec<_>>());
+        let fast = HostConstruction::try_extract(&ddn, &faults).expect("Theorem 3");
+        let slow = reference_extract_ddn(&ddn, &faults).expect("oracle agrees");
+        assert_eq!(slow.guest_dims, fast.guest.dims().to_vec());
+        assert_eq!(slow.map, fast.map, "identical tie-breaks, identical map");
+        assert!(ddn_offset_search(&ddn, &faults));
+    }
+
+    #[test]
+    fn ddn_oracle_handles_edge_ascription() {
+        let ddn = tiny_ddn();
+        let mut faults = faults_of(&ddn, &[10]);
+        faults.kill_edge(3);
+        faults.kill_edge(77);
+        let fast = HostConstruction::try_extract(&ddn, &faults).expect("within budget");
+        let slow = reference_extract_ddn(&ddn, &faults).expect("oracle agrees");
+        assert_eq!(slow.map, fast.map);
+    }
+
+    #[test]
+    fn ddn_oracle_rejects_saturated_faults() {
+        let ddn = tiny_ddn();
+        // every third coordinate of axis 0 faulty in distinct columns
+        let m = ddn.params().m();
+        let nodes: Vec<usize> = (0..m / 2).map(|j| (2 * j % m) * m + (j % m)).collect();
+        let faults = faults_of(&ddn, &nodes);
+        assert!(HostConstruction::try_extract(&ddn, &faults).is_err());
+        assert!(reference_extract_ddn(&ddn, &faults).is_none());
+    }
+
+    #[test]
+    fn offset_search_is_complete_for_greedy_successes() {
+        let ddn = tiny_ddn();
+        for seed in 0..20usize {
+            let nodes: Vec<usize> = (0..ddn.params().tolerated_faults())
+                .map(|i| (seed * 131 + i * 37) % HostConstruction::num_nodes(&ddn))
+                .collect();
+            let faults = faults_of(&ddn, &nodes);
+            assert!(
+                ddn_offset_search(&ddn, &faults),
+                "seed {seed}: within budget, some offset must work"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_fault_maps_match_queries() {
+        let ddn = tiny_ddn();
+        let mut faults = faults_of(&ddn, &[1, 63]);
+        faults.kill_edge(9);
+        let nodes = dense_node_faults(&faults);
+        assert!(nodes[1] && nodes[63]);
+        assert_eq!(nodes.iter().filter(|&&f| f).count(), 2);
+        let edges = dense_edge_faults(&faults);
+        assert!(edges[9]);
+        assert_eq!(edges.iter().filter(|&&f| f).count(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Failure paths on *real* certificates: take what the constructions
+//! actually emit, corrupt it in each of the documented ways, and demand
+//! the precise `VerifyError` variant — for all three constructions.
+//!
+//! The unit tests in `check.rs` pin the variants on a synthetic torus;
+//! these tests close the loop against the genuine `try_certify` output,
+//! so a certificate-layout change that silently broke checking would
+//! surface here.
+
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_core::{EmbeddingCertificate, HostConstruction};
+use ftt_faults::FaultSet;
+use ftt_verify::{check_certificate, VerifyError};
+
+/// Emits a genuine certificate for `host` with a few node faults.
+fn emit<C: HostConstruction>(host: &C, kill: &[usize]) -> (EmbeddingCertificate, FaultSet) {
+    let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+    for &v in kill {
+        faults.kill_node(v % host.num_nodes());
+    }
+    let cert = host.try_certify(&faults).expect("within tolerance");
+    (cert, faults)
+}
+
+/// The corruption battery, generic over the construction: the genuine
+/// certificate passes; each corruption is rejected with its variant.
+fn battery<C: HostConstruction>(host: &C, kill: &[usize]) {
+    let graph = host.graph();
+    let (cert, faults) = emit(host, kill);
+    check_certificate(&cert, graph, &faults)
+        .unwrap_or_else(|e| panic!("{}: genuine certificate rejected: {e}", C::NAME));
+
+    // dead node: remap guest 0 onto a known-faulty host node
+    let dead = faults.faulty_nodes().next().expect("battery kills nodes");
+    let mut c = cert.clone();
+    c.map[0] = dead;
+    match check_certificate(&c, graph, &faults) {
+        Err(VerifyError::DeadNode { guest: 0, host }) => assert_eq!(host, dead),
+        other => panic!("{}: want DeadNode, got {other:?}", C::NAME),
+    }
+
+    // non-injective: two guests sharing an image
+    let mut c = cert.clone();
+    c.map[3] = c.map[0];
+    match check_certificate(&c, graph, &faults) {
+        Err(VerifyError::NotInjective {
+            guest_a: 0,
+            guest_b: 3,
+            host,
+        }) => assert_eq!(host, cert.map[0]),
+        other => panic!("{}: want NotInjective, got {other:?}", C::NAME),
+    }
+
+    // missing edge: the host edge carrying guest edge 0–1 dies after
+    // certification (certificate now stale against the fault set)
+    let (u, v) = (cert.map[0], cert.map[1]);
+    let mut stale = faults.clone();
+    for (w, e) in graph.arcs(u) {
+        if w == v {
+            stale.kill_edge(e);
+        }
+    }
+    match check_certificate(&cert, graph, &stale) {
+        Err(VerifyError::MissingEdge { host_u, host_v, .. }) => {
+            assert_eq!((host_u, host_v), (u, v))
+        }
+        other => panic!("{}: want MissingEdge, got {other:?}", C::NAME),
+    }
+
+    // wrong length: truncated map
+    let mut c = cert.clone();
+    c.map.pop();
+    assert!(
+        matches!(
+            check_certificate(&c, graph, &faults),
+            Err(VerifyError::WrongLength { .. })
+        ),
+        "{}: want WrongLength",
+        C::NAME
+    );
+
+    // out-of-range image
+    let mut c = cert.clone();
+    c.map[1] = host.num_nodes();
+    assert!(
+        matches!(
+            check_certificate(&c, graph, &faults),
+            Err(VerifyError::BadHostNode { guest: 1, .. })
+        ),
+        "{}: want BadHostNode",
+        C::NAME
+    );
+
+    // host-size claim mismatch
+    let mut c = cert.clone();
+    c.host_nodes += 1;
+    assert!(
+        matches!(
+            check_certificate(&c, graph, &faults),
+            Err(VerifyError::HostMismatch { .. })
+        ),
+        "{}: want HostMismatch",
+        C::NAME
+    );
+}
+
+#[test]
+fn bdn_certificates_fail_closed() {
+    battery(&Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap()), &[700]);
+}
+
+#[test]
+fn adn_certificates_fail_closed() {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    battery(
+        &Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap()),
+        &[41],
+    );
+}
+
+#[test]
+fn ddn_certificates_fail_closed() {
+    battery(&Ddn::new(DdnParams::fit(2, 30, 2).unwrap()), &[5, 99]);
+}
+
+/// Guest edge 0–1 must exist in the guest torus for the stale-edge
+/// probe above; `n ≥ 2` on axis `d−1` guarantees map[0] and map[1] are
+/// guest-adjacent. This pins that assumption.
+#[test]
+fn probe_assumption_guest_zero_one_adjacent() {
+    let host = Ddn::new(DdnParams::fit(1, 8, 2).unwrap());
+    let (cert, _) = emit(&host, &[3]);
+    assert!(cert.guest_dims[cert.guest_dims.len() - 1] >= 2);
+}

@@ -40,8 +40,13 @@
 //!   unified behind [`core::construct::HostConstruction`]
 //! * [`expander`] — Margulis expanders, spectral gap (Alon–Chung substrate)
 //! * [`baselines`] — Alon–Chung, FKP-style clusters, BCH analytic models
-//! * [`sim`] — parallel Monte-Carlo trial running and tables, plus the
-//!   construction-generic [`sim::run_extraction_trials`] scenario runner
+//! * [`verify`] — the trusted-checker layer: independent certificate
+//!   validation, dense reference oracles, exhaustive pattern
+//!   enumeration up to cyclic symmetry
+//! * [`sim`] — parallel Monte-Carlo trial running and tables, the
+//!   construction-generic [`sim::run_extraction_trials`] scenario
+//!   runner, declarative sweeps, and the exhaustive certification
+//!   engine ([`sim::run_certify`])
 
 pub use ftt_baselines as baselines;
 pub use ftt_core as core;
@@ -50,3 +55,4 @@ pub use ftt_faults as faults;
 pub use ftt_geom as geom;
 pub use ftt_graph as graph;
 pub use ftt_sim as sim;
+pub use ftt_verify as verify;

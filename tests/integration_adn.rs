@@ -8,12 +8,12 @@ use ftt::core::adn::{Adn, AdnParams};
 use ftt::core::bdn::BdnParams;
 use ftt::faults::{sample_bernoulli_faults, HalfEdgeFaults};
 use ftt::graph::verify_torus_embedding;
+use ftt_testutil::{tiny_adn, tiny_bdn_params};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn build(h: usize, sqrt_q: f64) -> Adn {
-    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
-    Adn::build(AdnParams::new(inner, 2, h, sqrt_q).unwrap())
+    tiny_adn(h, sqrt_q)
 }
 
 fn run_trial(adn: &Adn, p: f64, sqrt_q: f64, seed: u64) -> bool {
@@ -90,7 +90,7 @@ fn degree_is_loglog_scale() {
     // Degree = 11h − 1 where h = Θ(k²) = Θ(log log n): for the claim we
     // check degree tracks h, not n — doubling the inner torus size at
     // fixed h leaves the degree unchanged.
-    let inner_small = BdnParams::new(2, 54, 3, 1).unwrap();
+    let inner_small = tiny_bdn_params();
     let inner_large = BdnParams::new(2, 108, 3, 1).unwrap();
     let a_small = Adn::build(AdnParams::new(inner_small, 2, 8, 0.0).unwrap());
     let a_large = Adn::build(AdnParams::new(inner_large, 2, 8, 0.0).unwrap());

@@ -6,13 +6,12 @@ use ftt::core::bdn::extract::extract_after_faults;
 use ftt::core::bdn::{check_health, Bdn, BdnParams};
 use ftt::faults::sample_bernoulli_faults;
 use ftt::graph::{verify_mesh_embedding, verify_torus_embedding};
+use ftt_testutil::{bernoulli_node_bitmap, tiny_bdn, tiny_bdn_params};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn faulty_bitmap(bdn: &Bdn, p: f64, seed: u64) -> Vec<bool> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
-    (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect()
+    bernoulli_node_bitmap(bdn.graph(), p, seed)
 }
 
 #[test]
@@ -60,8 +59,8 @@ fn theorem2_random_faults_moderate_regime() {
 
 #[test]
 fn healthy_implies_extractable() {
-    let params = BdnParams::new(2, 54, 3, 1).unwrap();
-    let bdn = Bdn::build(params);
+    let params = tiny_bdn_params();
+    let bdn = tiny_bdn();
     // sweep probabilities above the design point; whenever the checker
     // says healthy, extraction must succeed (Lemma 5)
     let mut healthy_seen = 0;
@@ -84,8 +83,7 @@ fn healthy_implies_extractable() {
 #[test]
 fn mesh_claim_follows() {
     // "and hence a fault-free d-dimensional mesh of the same size"
-    let params = BdnParams::new(2, 54, 3, 1).unwrap();
-    let bdn = Bdn::build(params);
+    let bdn = tiny_bdn();
     let faulty = faulty_bitmap(&bdn, 2e-4, 1);
     if let Ok(emb) = extract_after_faults(&bdn, &faulty) {
         verify_mesh_embedding(&emb.guest, &emb.map, bdn.graph(), |v| !faulty[v], |_| true)
@@ -97,8 +95,7 @@ fn mesh_claim_follows() {
 fn edge_faults_via_endpoint_ascription() {
     // Section 3: an edge fault is handled by treating one endpoint as
     // faulty; the resulting torus avoids that endpoint and hence the edge.
-    let params = BdnParams::new(2, 54, 3, 1).unwrap();
-    let bdn = Bdn::build(params);
+    let bdn = tiny_bdn();
     let mut rng = SmallRng::seed_from_u64(5);
     let faults = sample_bernoulli_faults(bdn.graph(), 0.0, 1e-4, &mut rng);
     let ascribed = faults.ascribe_edges_to_nodes(|e| bdn.graph().edge_endpoints(e));
@@ -120,8 +117,7 @@ fn edge_faults_via_endpoint_ascription() {
 
 #[test]
 fn zero_probability_always_succeeds() {
-    let params = BdnParams::new(2, 54, 3, 1).unwrap();
-    let bdn = Bdn::build(params);
+    let bdn = tiny_bdn();
     let faulty = vec![false; bdn.num_nodes()];
     let emb = extract_after_faults(&bdn, &faulty).unwrap();
     assert_eq!(emb.len(), 54 * 54);

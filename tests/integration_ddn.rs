@@ -4,28 +4,14 @@
 
 use ftt::core::ddn::{Ddn, DdnParams};
 use ftt::faults::{mixed_adversarial_faults, AdversaryPattern};
+use ftt_testutil::{ddn_d2_40, verify_ddn_embedding as verify};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn verify(ddn: &Ddn, emb: &ftt::core::bdn::extract::TorusEmbedding, faults: &[usize]) {
-    let fs: std::collections::HashSet<usize> = faults.iter().copied().collect();
-    let mut seen = std::collections::HashSet::new();
-    for &h in &emb.map {
-        assert!(seen.insert(h), "not injective");
-        assert!(!fs.contains(&h), "faulty node used");
-    }
-    for g in emb.guest.iter() {
-        for axis in 0..emb.guest.ndim() {
-            let g2 = emb.guest.torus_step(g, axis, 1);
-            assert!(ddn.edge_exists(emb.map[g], emb.map[g2]));
-        }
-    }
-}
-
 #[test]
 fn theorem3_battery_at_full_budget_d2() {
-    let params = DdnParams::fit(2, 40, 2).unwrap();
-    let ddn = Ddn::new(params);
+    let ddn = ddn_d2_40();
+    let params = *ddn.params();
     let k = params.tolerated_faults();
     let mut rng = SmallRng::seed_from_u64(100);
     for pat in AdversaryPattern::battery(ddn.shape(), params.band_width(0) + 1) {
@@ -72,8 +58,8 @@ fn theorem3_larger_b_d2() {
 #[test]
 fn mixed_node_and_edge_faults() {
     // Theorem 3 covers nodes AND edges; edges are ascribed to an endpoint.
-    let params = DdnParams::fit(2, 40, 2).unwrap();
-    let ddn = Ddn::new(params);
+    let ddn = ddn_d2_40();
+    let params = *ddn.params();
     let g = ddn.build_graph();
     let k = params.tolerated_faults();
     let mut rng = SmallRng::seed_from_u64(400);
@@ -115,8 +101,8 @@ fn degree_and_size_claims() {
 
 #[test]
 fn beyond_budget_fails_gracefully() {
-    let params = DdnParams::fit(2, 40, 2).unwrap();
-    let ddn = Ddn::new(params);
+    let ddn = ddn_d2_40();
+    let params = *ddn.params();
     let m = params.m();
     // a pathological pattern far beyond k: full diagonal
     let faults: Vec<usize> = (0..m).map(|i| i * m + i).collect();

@@ -2,17 +2,18 @@
 //! tolerance trade-off table of the whole paper, executed.
 
 use ftt::core::adn::{Adn, AdnParams};
-use ftt::core::bdn::{Bdn, BdnParams};
+use ftt::core::bdn::Bdn;
 use ftt::core::ddn::{Ddn, DdnParams};
 use ftt::faults::sample_bernoulli_faults;
 use ftt::sim::{run_trials, Table};
+use ftt_testutil::tiny_bdn_params;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 #[test]
 fn the_paper_in_one_table() {
     // One row per construction: degree, node count, fault regime.
-    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bp = tiny_bdn_params();
     let bdn = Bdn::build(bp);
     let ap = AdnParams::new(bp, 2, 8, 0.0).unwrap();
     let adn = Adn::build(ap);
@@ -50,7 +51,7 @@ fn the_paper_in_one_table() {
 #[test]
 fn redundancy_is_linear_everywhere() {
     // All three constructions promise O(N) nodes for an N-node guest.
-    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bp = tiny_bdn_params();
     assert!(bp.redundancy() < 2.0);
     let ap = AdnParams::new(bp, 2, 8, 0.0).unwrap();
     assert!(ap.redundancy() < 4.0);
@@ -63,7 +64,7 @@ fn redundancy_is_linear_everywhere() {
 fn parallel_monte_carlo_agrees_with_serial() {
     // the sim engine must give identical results independent of thread
     // count when driving a real construction
-    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bp = tiny_bdn_params();
     let bdn = Bdn::build(bp);
     let p = 2e-4;
     let trial = |seed: u64| {
@@ -82,7 +83,7 @@ fn parallel_monte_carlo_agrees_with_serial() {
 fn guest_node_ids_are_consistent_across_constructions() {
     // Bdn and Ddn both emit TorusEmbedding over Shape::cube(n, d) with
     // row-major guest ids; spot-check the convention agrees.
-    let bp = BdnParams::new(2, 54, 3, 1).unwrap();
+    let bp = tiny_bdn_params();
     let bdn = Bdn::build(bp);
     let faulty = vec![false; bdn.num_nodes()];
     let be = ftt::core::bdn::extract::extract_after_faults(&bdn, &faulty).unwrap();

@@ -2,12 +2,11 @@
 //! (`ftt::sim::run_extraction_trials`) driving all three constructions
 //! through the `HostConstruction` trait.
 
-use ftt::core::adn::{Adn, AdnParams};
-use ftt::core::bdn::{Bdn, BdnParams};
 use ftt::core::construct::HostConstruction;
-use ftt::core::ddn::{Ddn, DdnParams};
+use ftt::core::ddn::Ddn;
 use ftt::faults::AdversaryPattern;
 use ftt::sim::{bernoulli_sampler, node_list_sampler, run_extraction_trials};
+use ftt_testutil::{tiny_adn, tiny_bdn, tiny_ddn, tiny_ddn_params};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -20,10 +19,9 @@ fn fault_free_trials_succeed_for_every_construction() {
         let stats = run_extraction_trials(host, 5, 1, 0, bernoulli_sampler(0.0, 0.0));
         assert_eq!(stats.successes, 5, "{} fault-free trial failed", C::NAME);
     }
-    all_pass(&Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap()));
-    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
-    all_pass(&Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap()));
-    all_pass(&Ddn::new(DdnParams::fit(2, 30, 2).unwrap()));
+    all_pass(&tiny_bdn());
+    all_pass(&tiny_adn(6, 0.0));
+    all_pass(&tiny_ddn());
 }
 
 /// Theorem 2 through the generic runner: in the low-fault regime
@@ -32,7 +30,7 @@ fn fault_free_trials_succeed_for_every_construction() {
 /// saturation, none do.
 #[test]
 fn bdn_bernoulli_success_curve_endpoints() {
-    let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+    let host = tiny_bdn();
     let good = run_extraction_trials(&host, 20, 7, 0, bernoulli_sampler(1e-5, 0.0));
     assert!(
         good.rate() >= 0.9,
@@ -47,8 +45,8 @@ fn bdn_bernoulli_success_curve_endpoints() {
 /// at budget `k` must never fail.
 #[test]
 fn ddn_adversarial_battery_through_runner() {
-    let params = DdnParams::fit(2, 30, 2).unwrap();
-    let host = Ddn::new(params);
+    let params = tiny_ddn_params();
+    let host = tiny_ddn();
     let k = params.tolerated_faults();
     for pattern in AdversaryPattern::battery(host.shape(), params.band_width(0) + 1) {
         let stats = run_extraction_trials(
@@ -72,7 +70,7 @@ fn ddn_adversarial_battery_through_runner() {
 /// stats regardless of worker thread count.
 #[test]
 fn generic_runner_thread_count_invariance() {
-    let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+    let host = tiny_bdn();
     let p = host.params().tolerated_fault_probability() * 20.0;
     let one = run_extraction_trials(&host, 16, 42, 1, bernoulli_sampler(p, 0.0));
     let four = run_extraction_trials(&host, 16, 42, 4, bernoulli_sampler(p, 0.0));
@@ -84,8 +82,7 @@ fn generic_runner_thread_count_invariance() {
 /// Theorem 1 through the generic runner with node and edge faults.
 #[test]
 fn adn_node_and_edge_faults_through_runner() {
-    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
-    let host = Adn::build(AdnParams::new(inner, 2, 10, 0.05).unwrap());
+    let host = tiny_adn(10, 0.05);
     let stats = run_extraction_trials(&host, 5, 11, 0, bernoulli_sampler(0.01, 0.001));
     assert_eq!(
         stats.successes, 5,

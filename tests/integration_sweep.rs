@@ -6,34 +6,7 @@
 use ftt::sim::{
     run_sweep, BaselineSpec, ConstructionSpec, FaultRegime, SweepPattern, SweepReport, SweepSpec,
 };
-
-/// A small mixed-construction grid: B²_54 and D²_30 under the same two
-/// Bernoulli regimes (node-only and node+edge), 4 cells total.
-fn mixed_spec() -> SweepSpec {
-    SweepSpec {
-        name: "determinism".into(),
-        constructions: vec![
-            ConstructionSpec::Bdn {
-                d: 2,
-                n_min: 54,
-                b: 3,
-                eps_b: 1,
-            },
-            ConstructionSpec::Ddn {
-                d: 2,
-                n_min: 30,
-                b: 2,
-            },
-        ],
-        regimes: vec![
-            FaultRegime::Bernoulli { p: 2e-3, q: 0.0 },
-            FaultRegime::Bernoulli { p: 1e-3, q: 1e-4 },
-        ],
-        trials: 10,
-        root_seed: 41,
-        baseline: None,
-    }
-}
+use ftt_testutil::mixed_determinism_spec as mixed_spec;
 
 fn tallies(report: &SweepReport) -> Vec<(String, usize, usize)> {
     report

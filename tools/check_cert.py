@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate CERT_* artifacts emitted by the exhaustive certification
+engine (`ftt certify` / ftt_sim::certify).
+
+Usage:
+    check_cert.py CERT.json [CERT2.json ...] [--allow-incomplete]
+                  [--expect-full-budget]
+
+Checks (CI's certify-smoke job runs this on every emitted artifact):
+  * schema_version matches the version this checker understands and
+    kind is "certify";
+  * the full field set is present with sane types, symmetry is the
+    documented "translation" quotient;
+  * counting is consistent: patterns_total == sum(patterns_by_size),
+    certified <= patterns_total, patterns_covered >= patterns_total
+    (orbits only unfold), complete == (certified == patterns_total),
+    and a complete run carries no failures;
+  * max_faults <= budget_k (the engine must refuse beyond-guarantee
+    requests), host_nodes == host_m ** d inferred from the instance id;
+  * cert_digest is a 16-digit hex word;
+  * unless --allow-incomplete: the run must be COMPLETE — every
+    canonical pattern certified (Theorem 3, combinatorially);
+  * with --expect-full-budget: max_faults == budget_k, i.e. the run
+    exhausted the theorem's entire quantifier, not a truncation.
+"""
+
+import json
+import re
+import sys
+
+SCHEMA_VERSION = 1
+FIELDS = [
+    "schema_version",
+    "kind",
+    "name",
+    "construction",
+    "instance_id",
+    "params",
+    "budget_k",
+    "max_faults",
+    "symmetry",
+    "host_m",
+    "host_nodes",
+    "patterns_by_size",
+    "patterns_total",
+    "patterns_covered",
+    "certified",
+    "complete",
+    "failures",
+    "cert_digest",
+    "seconds",
+    "threads",
+]
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate_report(path, report, allow_incomplete, expect_full_budget):
+    check(
+        report.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version {report.get('schema_version')!r} != {SCHEMA_VERSION}",
+    )
+    check(report.get("kind") == "certify", f"kind {report.get('kind')!r} != 'certify'")
+    for field in FIELDS:
+        check(field in report, f"missing field {field}")
+    check(
+        isinstance(report.get("name"), str) and report["name"],
+        "missing/empty name",
+    )
+    check(
+        report.get("symmetry") == "translation",
+        f"symmetry {report.get('symmetry')!r} != 'translation'",
+    )
+    for field in ("budget_k", "max_faults", "host_m", "host_nodes", "threads"):
+        check(
+            isinstance(report.get(field), int) and report[field] >= 0,
+            f"{field} must be a non-negative integer",
+        )
+    sizes = report.get("patterns_by_size")
+    check(
+        isinstance(sizes, list)
+        and sizes
+        and all(isinstance(c, int) and c >= 0 for c in sizes),
+        "patterns_by_size must be a non-empty list of counts",
+    )
+    if isinstance(sizes, list) and isinstance(report.get("max_faults"), int):
+        check(
+            len(sizes) == report["max_faults"] + 1,
+            f"patterns_by_size has {len(sizes)} entries for max_faults "
+            f"{report['max_faults']}",
+        )
+    total = report.get("patterns_total")
+    check(isinstance(total, int) and total > 0, "patterns_total must be positive")
+    if isinstance(sizes, list) and isinstance(total, int):
+        check(
+            sum(sizes) == total,
+            f"patterns_total {total} != sum(patterns_by_size) {sum(sizes)}",
+        )
+    covered = report.get("patterns_covered")
+    if isinstance(covered, int) and isinstance(total, int):
+        check(
+            covered >= total,
+            f"patterns_covered {covered} < patterns_total {total} "
+            "(orbits can only unfold)",
+        )
+    certified = report.get("certified")
+    if isinstance(certified, int) and isinstance(total, int):
+        check(0 <= certified <= total, "certified out of range")
+        check(
+            report.get("complete") == (certified == total),
+            "complete flag inconsistent with certified/patterns_total",
+        )
+    if isinstance(report.get("budget_k"), int) and isinstance(
+        report.get("max_faults"), int
+    ):
+        check(
+            report["max_faults"] <= report["budget_k"],
+            f"max_faults {report['max_faults']} > budget_k {report['budget_k']} "
+            "(the engine must refuse beyond-guarantee runs)",
+        )
+    failures = report.get("failures")
+    check(isinstance(failures, list), "failures must be a list")
+    if report.get("complete") is True and isinstance(failures, list):
+        check(not failures, "complete run must carry no failures")
+    check(
+        isinstance(report.get("cert_digest"), str)
+        and re.fullmatch(r"[0-9a-f]{16}", report.get("cert_digest") or "") is not None,
+        f"cert_digest {report.get('cert_digest')!r} is not a 16-digit hex word",
+    )
+    # host_nodes == host_m ** d, with d parsed from the instance id.
+    m = re.match(r"d(\d+)_n\d+b\d+$", report.get("instance_id") or "")
+    check(m is not None, f"odd instance_id {report.get('instance_id')!r}")
+    if m and isinstance(report.get("host_m"), int):
+        check(
+            report.get("host_nodes") == report["host_m"] ** int(m.group(1)),
+            f"host_nodes {report.get('host_nodes')} != host_m^d "
+            f"{report['host_m']}^{m.group(1)}",
+        )
+    if not allow_incomplete:
+        check(
+            report.get("complete") is True,
+            f"{path}: certification INCOMPLETE "
+            f"({report.get('certified')}/{report.get('patterns_total')})",
+        )
+    if expect_full_budget:
+        check(
+            report.get("max_faults") == report.get("budget_k"),
+            f"max_faults {report.get('max_faults')} != budget_k "
+            f"{report.get('budget_k')} (full-budget run expected)",
+        )
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    flags = {a for a in argv if a.startswith("--")}
+    unknown = flags - {"--allow-incomplete", "--expect-full-budget"}
+    if unknown or not args:
+        sys.exit(
+            "usage: check_cert.py CERT.json [CERT2.json ...] "
+            "[--allow-incomplete] [--expect-full-budget]"
+        )
+    for path in args:
+        with open(path) as fh:
+            report = json.load(fh)
+        validate_report(
+            path,
+            report,
+            "--allow-incomplete" in flags,
+            "--expect-full-budget" in flags,
+        )
+        if errors:
+            print(f"check_cert: {path} FAILED:", file=sys.stderr)
+            for err in errors:
+                print(f"  - {err}", file=sys.stderr)
+            sys.exit(1)
+        print(
+            f"check_cert: {path} ok ({report['instance_id']}: "
+            f"{report['certified']}/{report['patterns_total']} canonical patterns "
+            f"covering {report['patterns_covered']} fault sets, "
+            f"digest {report['cert_digest']})"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

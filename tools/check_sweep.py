@@ -84,17 +84,23 @@ def validate_report(report):
                 f"{cid}: CI [{cell['ci_low']}, {cell['ci_high']}] "
                 f"does not bracket rate {cell['success_rate']}",
             )
-        check(
-            cell.get("trials") == report.get("trials"),
-            f"{cid}: cell trials {cell.get('trials')} != sweep trials",
-        )
+        regime = cell.get("regime")
+        if regime != "exhaustive":
+            # exhaustive cells walk their canonical pattern list; their
+            # trial count is the pattern count, not the sweep budget
+            check(
+                cell.get("trials") == report.get("trials"),
+                f"{cid}: cell trials {cell.get('trials')} != sweep trials",
+            )
         check(
             isinstance(cell.get("successes"), int)
             and 0 <= cell["successes"] <= cell.get("trials", 0),
             f"{cid}: successes out of range",
         )
-        regime = cell.get("regime")
-        check(regime in ("bernoulli", "adversarial"), f"{cid}: odd regime {regime!r}")
+        check(
+            regime in ("bernoulli", "adversarial", "exhaustive"),
+            f"{cid}: odd regime {regime!r}",
+        )
         if regime == "bernoulli":
             check(is_prob(cell.get("p")), f"{cid}: bernoulli cell needs p in [0,1]")
             check(is_prob(cell.get("q")), f"{cid}: bernoulli cell needs q in [0,1]")
@@ -104,6 +110,16 @@ def validate_report(report):
                 f"{cid}: adversarial cell needs k >= 0",
             )
             check(isinstance(cell.get("pattern"), str), f"{cid}: needs pattern")
+        if regime == "exhaustive":
+            check(
+                isinstance(cell.get("k"), int) and cell["k"] >= 0,
+                f"{cid}: exhaustive cell needs k >= 0",
+            )
+            check(
+                cell.get("successes") == cell.get("trials"),
+                f"{cid}: exhaustive cell must certify every pattern "
+                f"({cell.get('successes')}/{cell.get('trials')})",
+            )
         if cell.get("baseline_rate") is not None:
             check(is_prob(cell["baseline_rate"]), f"{cid}: baseline_rate not in [0,1]")
     return cells or []
