@@ -51,7 +51,8 @@ use ftt_core::ddn::{place_straight_bands, Ddn, DdnParams};
 use ftt_core::render::{render_banding, render_ddn_axes};
 use ftt_faults::{sample_bernoulli_faults, AdversaryPattern, FaultSet};
 use ftt_sim::{
-    extract_verified, run_certify, run_sweep, CertifySpec, SweepSpec, CERTIFY_SCHEMA_VERSION,
+    extract_verified, run_certify, run_lifetime, run_sweep, CertifySpec, LifetimeSpec, SweepSpec,
+    CERTIFY_SCHEMA_VERSION, LIFETIME_PRESETS, LIFE_SCHEMA_VERSION, SWEEP_PRESETS,
     SWEEP_SCHEMA_VERSION,
 };
 use rand::rngs::SmallRng;
@@ -61,13 +62,13 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
+            eprintln!("error: {e}\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -77,8 +78,9 @@ fn main() -> ExitCode {
         "d2" => cmd_d2(&args),
         "sweep" => cmd_sweep(&args),
         "certify" => cmd_certify(&args),
+        "lifetime" => cmd_lifetime(&args),
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -92,16 +94,52 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:
-  ftt b2      [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
-  ftt a2      [--n N] [--k K] [--h H] [--p PROB] [--q PROB] [--seed S]
-  ftt d2      [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
-  ftt sweep   [--preset NAME] [--n N] [--b B] [--trials T] [--seed S]
-              [--threads T] [--json PATH] [--csv PATH] [--no-artifacts]
-              [--no-baseline]
-  ftt certify [--d D] [--n N] [--b B] [--max-faults K] [--name NAME]
-              [--threads T] [--json PATH] [--no-artifacts]
-              [--corrupt dead-node|dup-map|drop-edge|wrong-length]
+/// Renders one preset registry as an indented `name: summary` table.
+/// The registries are the single source of truth
+/// (`ftt_sim::SWEEP_PRESETS`, `ftt_sim::LIFETIME_PRESETS`), so a new
+/// preset appears here without touching the CLI.
+fn preset_table<'a>(entries: impl Iterator<Item = (&'a str, &'a str)>) -> String {
+    let mut out = String::new();
+    for (name, summary) in entries {
+        let mut lines = summary.lines();
+        out.push_str(&format!("      {name}: {}\n", lines.next().unwrap_or("")));
+        for line in lines {
+            out.push_str(&format!("          {line}\n"));
+        }
+    }
+    out.pop(); // trailing newline; callers place their own
+    out
+}
+
+/// The full usage text; preset tables are generated from the
+/// `ftt-sim` preset registries.
+fn usage() -> String {
+    let sweep_presets = preset_table(SWEEP_PRESETS.iter().map(|p| (p.name, p.summary)));
+    let sweep_names = SWEEP_PRESETS
+        .iter()
+        .map(|p| p.name)
+        .collect::<Vec<_>>()
+        .join("|");
+    let life_presets = preset_table(LIFETIME_PRESETS.iter().map(|p| (p.name, p.summary)));
+    let life_names = LIFETIME_PRESETS
+        .iter()
+        .map(|p| p.name)
+        .collect::<Vec<_>>()
+        .join("|");
+    format!(
+        "usage:
+  ftt b2       [--n N] [--b B] [--eps E] [--p PROB] [--seed S] [--render]
+  ftt a2       [--n N] [--k K] [--h H] [--p PROB] [--q PROB] [--seed S]
+  ftt d2       [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
+  ftt sweep    [--preset NAME] [--n N] [--b B] [--trials T] [--seed S]
+               [--threads T] [--json PATH] [--csv PATH] [--no-artifacts]
+               [--no-baseline]
+  ftt certify  [--d D] [--n N] [--b B] [--max-faults K] [--name NAME]
+               [--threads T] [--json PATH] [--no-artifacts]
+               [--corrupt dead-node|dup-map|drop-edge|wrong-length]
+  ftt lifetime [--preset NAME] [--trials T] [--seed S] [--threads T]
+               [--certify-every N] [--json PATH] [--csv PATH]
+               [--no-artifacts]
   ftt help
 
 sweep — declarative scenario grids (ftt_sim::sweep::SweepSpec):
@@ -109,16 +147,8 @@ sweep — declarative scenario grids (ftt_sim::sweep::SweepSpec):
   one root seed; each cell reports success rate, 95% Wilson CI, and
   trials/sec, and per-cell results are invariant under thread count and
   cell order (seeds derive from canonical cell ids).
-  --preset smoke|t1|t2|t3|exhaustive  checked-in paper-regime grids:
-      t1: A²_108 under Bernoulli node+edge faults (Theorem 1)
-      t2: B²_{54,108,192} vs multiples of the design probability
-          b^(-3d) — success monotone non-increasing in p (Theorem 2)
-      t3: D²_{n,k} adversarial patterns at budget multiples; the ×1
-          cells must sit at success rate 1 (Theorem 3)
-      smoke: 3-cell B² grid for CI
-      exhaustive: D¹/D² cells certifying *every* canonical fault
-          pattern at the full budget (Theorem 3, combinatorially;
-          success must be exactly 1)
+  --preset {sweep_names}  checked-in paper-regime grids:
+{sweep_presets}
       (t1/t2/t3/smoke carry an Alon-Chung expander-mesh baseline column)
   without --preset, --n/--b build a custom B² design-probability curve.
   artifacts: SWEEP_<name>.json + SWEEP_<name>.csv (schema_version 1;
@@ -127,7 +157,7 @@ sweep — declarative scenario grids (ftt_sim::sweep::SweepSpec):
   skips writing; --trials/--seed override the preset's budget/seed.
 
 certify — exhaustive adversarial certification (ftt_sim::certify):
-  enumerates EVERY fault pattern of size <= k on a small D^d_{n,k}
+  enumerates EVERY fault pattern of size <= k on a small D^d_{{n,k}}
   instance up to cyclic translation symmetry, extracts each one, and
   re-validates the resulting EmbeddingCertificate with the independent
   checker (ftt-verify: injectivity, liveness, torus adjacency — zero
@@ -139,7 +169,27 @@ certify — exhaustive adversarial certification (ftt_sim::certify):
   by CI's certify-smoke job via tools/check_cert.py).
   --corrupt MODE injects a deliberate certificate corruption and exits
   non-zero when the checker rejects it (failure-path probe: dead-node,
-  dup-map, drop-edge, wrong-length).";
+  dup-map, drop-edge, wrong-length).
+
+lifetime — online fault streams + incremental repair (ftt-online):
+  faults arrive one at a time (Bernoulli trickle, clustered bursts, or
+  the adaptive targeted adversary aiming at the live embedding) and
+  each arrival is REPAIRED — O(1) absorption, a local band shift, or a
+  full rebuild, always agreeing with the batch extractor — until the
+  first unrepairable fault. Cells report the lifetime distribution
+  (mean/median/p90 with Wilson-style order-statistic CIs), the repair
+  cost mix, and repair throughput; --certify-every N re-validates the
+  live embedding through the independent ftt-verify checker every N
+  repairs (failures exit non-zero). Per-cell results are invariant
+  under thread count and cell order.
+  --preset {life_names}:
+{life_presets}
+  artifacts: LIFE_<name>.json + LIFE_<name>.csv (schema_version 1;
+  validated and uploaded by CI's lifetime-smoke job via
+  tools/check_life.py). --trials/--seed/--certify-every override the
+  preset's values."
+    )
+}
 
 /// Prints the standard banner for a built host and audits its degree —
 /// identical for every construction, through the trait.
@@ -440,6 +490,41 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lifetime(args: &Args) -> Result<(), String> {
+    let preset = args.get_str("preset", "life-smoke");
+    let mut spec = LifetimeSpec::preset(&preset)?;
+    spec.trials = args.get_usize("trials", spec.trials)?;
+    spec.root_seed = args.get_u64("seed", spec.root_seed)?;
+    spec.certify_every = args.get_usize("certify-every", spec.certify_every)?;
+    let threads = args.get_usize("threads", 0)?;
+    let report = run_lifetime(&spec, threads)?;
+    println!("{}", report.table());
+    if !args.flag("no-artifacts") {
+        let json_path = args.get_str("json", &format!("LIFE_{}.json", report.name));
+        let csv_path = args.get_str("csv", &format!("LIFE_{}.csv", report.name));
+        report.write_artifacts(&json_path, &csv_path)?;
+        println!("wrote {json_path} and {csv_path} (schema_version {LIFE_SCHEMA_VERSION})");
+    }
+    // The two hard guarantees are enforced here, not just in CI: every
+    // independent certificate check must pass, and ×1-budget cells must
+    // survive their full budget (Theorem 3, online form).
+    for cell in &report.cells {
+        if cell.cert_failures > 0 {
+            return Err(format!(
+                "{}: {} live-embedding certificates failed the independent checker",
+                cell.id, cell.cert_failures
+            ));
+        }
+        if cell.mult == Some(1.0) && cell.deaths > 0 {
+            return Err(format!(
+                "{}: {} trials died within the Theorem 3 budget (online form violated)",
+                cell.id, cell.deaths
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Failure-path probe: emit a certificate, deliberately corrupt it (or
 /// the fault set it is checked against), and demand that the
 /// independent checker rejects it. The rejection is propagated as this
@@ -608,6 +693,50 @@ mod tests {
             "--no-artifacts",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn lifetime_smoke_runs_and_writes_artifacts() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("ftt_cli_test_LIFE_smoke.json");
+        let csv = dir.join("ftt_cli_test_LIFE_smoke.csv");
+        cmd_lifetime(&args(&[
+            "--preset",
+            "life-smoke",
+            "--trials",
+            "2",
+            "--json",
+            json.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"schema_version\": 1"));
+        assert!(body.contains("\"kind\": \"lifetime\""));
+        assert!(body.contains("\"lifetime_median\""));
+        let rows = std::fs::read_to_string(&csv).unwrap();
+        assert!(rows.starts_with("id,construction,"));
+        assert_eq!(rows.lines().count(), 1 + 2, "2 smoke cells + header");
+        let _ = std::fs::remove_file(json);
+        let _ = std::fs::remove_file(csv);
+    }
+
+    #[test]
+    fn lifetime_unknown_preset_rejected() {
+        assert!(cmd_lifetime(&args(&["--preset", "bogus", "--no-artifacts"])).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_registered_preset() {
+        let text = usage();
+        for p in SWEEP_PRESETS {
+            assert!(text.contains(p.name), "sweep preset {} missing", p.name);
+        }
+        for p in LIFETIME_PRESETS {
+            assert!(text.contains(p.name), "lifetime preset {} missing", p.name);
+        }
+        assert!(text.contains("ftt lifetime"));
     }
 
     /// The failure-path gate: every corruption mode must end in a

@@ -59,7 +59,7 @@ impl EmbeddingCertificate {
     /// A pure function of the certificate's contents — equal
     /// certificates hash equal across processes and platforms.
     pub fn content_hash(&self) -> u64 {
-        let mut h = Fnv::new();
+        let mut h = ftt_geom::Fnv1a::new();
         h.word(CERT_SCHEMA_VERSION as u64);
         h.bytes(self.construction.as_bytes());
         h.word(self.guest_dims.len() as u64);
@@ -85,30 +85,6 @@ impl EmbeddingCertificate {
     /// The content hash as fixed-width hex (for artifacts and logs).
     pub fn hash_hex(&self) -> String {
         format!("{:016x}", self.content_hash())
-    }
-}
-
-/// Incremental FNV-1a (64-bit).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn word(&mut self, w: u64) {
-        self.bytes(&w.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

@@ -22,7 +22,8 @@ use crate::bdn::Bdn;
 use crate::certificate::EmbeddingCertificate;
 use crate::ddn::Ddn;
 use crate::error::PlacementError;
-use ftt_faults::{FaultSet, HalfEdgeFaults, SparseSet};
+use crate::online::{self, RepairOutcome, RepairState};
+use ftt_faults::{Fault, FaultSet, HalfEdgeFaults, SparseSet};
 use ftt_graph::Graph;
 
 /// A fault-tolerant host network containing a guest torus.
@@ -51,6 +52,14 @@ pub trait HostConstruction: Sized {
     /// pools can hand scratch values to (and between) worker threads.
     type Scratch: Send;
 
+    /// Cached placement tallies for **online repair** (see
+    /// [`crate::online`]): whatever internal state lets
+    /// [`apply_fault_incremental`](Self::apply_fault_incremental)
+    /// absorb or locally repair an arriving fault without re-running
+    /// the batch pipeline. Constructions without an incremental path
+    /// use `()` and inherit the generic rebuild-per-arrival behaviour.
+    type RepairCache: Send;
+
     /// Short name for tables and CLI output (e.g. `"B^d_n"`).
     const NAME: &'static str;
 
@@ -75,6 +84,39 @@ pub trait HostConstruction: Sized {
 
     /// Fresh extraction scratch sized for this host.
     fn new_scratch(&self) -> Self::Scratch;
+
+    /// Fresh online-repair cache sized for this host.
+    fn new_repair_cache(&self) -> Self::RepairCache;
+
+    /// Rebuilds `state`'s embedding and cache from its accumulated
+    /// fault set through the batch pipeline — the full-rebuild repair
+    /// tier and the [`RepairState::reset`] path. Implementations must
+    /// leave the state dead (and its death recorded) on failure.
+    fn rebuild_repair(&self, state: &mut RepairState<Self>) -> Result<(), PlacementError> {
+        online::rebuild_generic(self, state)
+    }
+
+    /// Feeds one arriving fault to the online repair engine: records it
+    /// in the accumulated set, then absorbs it (O(1)), repairs the
+    /// placement locally, or falls back to the full batch rebuild —
+    /// always preserving **batch parity** (the outcome and the live
+    /// embedding equal what [`try_extract_with`](Self::try_extract_with)
+    /// would produce for the accumulated set; see [`crate::online`]).
+    /// The default implementation absorbs exact duplicates and rebuilds
+    /// for everything else.
+    fn apply_fault_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::apply_generic(self, state, fault)
+    }
+
+    /// Materialises a deferred guest→host map (repairs maintain the
+    /// *placement* eagerly; lazy-map constructions rebuild the flat map
+    /// only on demand — see [`RepairState::live_embedding`]). No-op by
+    /// default: most constructions keep the map current eagerly.
+    fn materialize_embedding(&self, _state: &mut RepairState<Self>) {}
 
     /// Masks `faults` and extracts a fault-free guest torus, reusing
     /// `scratch` across calls — conversion to the construction's own
@@ -135,6 +177,10 @@ impl HostConstruction for Bdn {
     /// Ascribed node-fault accumulator (bitmap + id list).
     type Scratch = SparseSet;
 
+    /// Dirty `(tile, row)` pairs + the current banding (see
+    /// [`crate::online`]).
+    type RepairCache = online::BdnRepairCache;
+
     const NAME: &'static str = "B^d_n";
 
     fn build(params: Self::Params) -> Self {
@@ -159,6 +205,26 @@ impl HostConstruction for Bdn {
 
     fn new_scratch(&self) -> SparseSet {
         SparseSet::new(Bdn::num_nodes(self))
+    }
+
+    fn new_repair_cache(&self) -> online::BdnRepairCache {
+        online::bdn_new_cache(self)
+    }
+
+    fn rebuild_repair(&self, state: &mut RepairState<Self>) -> Result<(), PlacementError> {
+        online::bdn_rebuild(self, state)
+    }
+
+    fn apply_fault_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::bdn_apply(self, state, fault)
+    }
+
+    fn materialize_embedding(&self, state: &mut RepairState<Self>) {
+        online::bdn_materialize(self, state)
     }
 
     fn try_extract_with(
@@ -197,6 +263,10 @@ impl HostConstruction for Adn {
 
     type Scratch = AdnScratch;
 
+    /// The greedy supernode embedding has no incremental form; `A²_n`
+    /// uses the generic duplicate-absorb + rebuild-per-arrival path.
+    type RepairCache = ();
+
     const NAME: &'static str = "A^2_n";
 
     fn build(params: Self::Params) -> Self {
@@ -225,6 +295,8 @@ impl HostConstruction for Adn {
             halves: HalfEdgeFaults::none(Adn::graph(self).num_edges()),
         }
     }
+
+    fn new_repair_cache(&self) {}
 
     fn try_extract_with(
         &self,
@@ -289,6 +361,10 @@ impl HostConstruction for Ddn {
     /// Ascribed node-fault accumulator (bitmap + id list).
     type Scratch = SparseSet;
 
+    /// Cached pigeonhole tallies + the current straight-band placement
+    /// (see [`crate::online`]).
+    type RepairCache = online::DdnRepairCache;
+
     const NAME: &'static str = "D^d_{n,k}";
 
     fn build(params: Self::Params) -> Self {
@@ -313,6 +389,22 @@ impl HostConstruction for Ddn {
 
     fn new_scratch(&self) -> SparseSet {
         SparseSet::new(self.shape().len())
+    }
+
+    fn new_repair_cache(&self) -> online::DdnRepairCache {
+        online::ddn_new_cache(self)
+    }
+
+    fn rebuild_repair(&self, state: &mut RepairState<Self>) -> Result<(), PlacementError> {
+        online::ddn_rebuild(self, state)
+    }
+
+    fn apply_fault_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::ddn_apply(self, state, fault)
     }
 
     fn try_extract_with(

@@ -25,6 +25,7 @@ pub mod certificate;
 pub mod construct;
 pub mod ddn;
 pub mod error;
+pub mod online;
 pub mod render;
 
 pub use adn::{Adn, AdnParams};
@@ -34,3 +35,4 @@ pub use certificate::{EmbeddingCertificate, CERT_SCHEMA_VERSION};
 pub use construct::HostConstruction;
 pub use ddn::{Ddn, DdnParams};
 pub use error::PlacementError;
+pub use online::{live_certificate, RepairClass, RepairOutcome, RepairState};

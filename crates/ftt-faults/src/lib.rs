@@ -12,6 +12,12 @@
 //! * **worst-case faults**: arbitrary sets of `k` node/edge faults
 //!   (Theorem 3), generated here by a family of adversarial patterns.
 //!
+//! Faults can also arrive **over time** instead of all at once: the
+//! [`stream`] module provides deterministic, seed-derived arrival
+//! processes ([`BernoulliTrickle`], [`Burst`], the adaptive
+//! [`TargetedAdversary`]) and the replayable [`FaultJournal`] — the
+//! generation side of the online repair subsystem (`ftt-online`).
+//!
 //! # Performance
 //!
 //! All fault state is sparse-first: [`FaultSet`] and [`HalfEdgeFaults`]
@@ -26,10 +32,15 @@ pub mod adversary;
 pub mod random;
 pub mod sampler;
 pub mod set;
+pub mod stream;
 
 pub use adversary::{mixed_adversarial_faults, AdversaryPattern};
 pub use random::{
     sample_bernoulli_faults, sample_bernoulli_faults_into, sample_indices, HalfEdgeFaults,
 };
 pub use sampler::{AdversarySampler, FaultSampler, ShapedHost};
-pub use set::{FaultSet, SparseSet};
+pub use set::{Fault, FaultSet, SparseSet};
+pub use stream::{
+    BernoulliTrickle, BuiltStream, Burst, FaultJournal, FaultStream, JournalStream, NoFeedback,
+    StreamFeedback, StreamSpec, TargetedAdversary, TimedFault,
+};

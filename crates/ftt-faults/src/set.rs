@@ -18,6 +18,19 @@
 //! reusable per-worker scratch buffer for trial loops: the hot path
 //! (`clear` + a few `kill_*` + queries) never touches the allocator.
 
+/// A single fault event: one host node or one host edge going down.
+///
+/// The atom of the online fault-stream machinery ([`crate::stream`]):
+/// batch pipelines consume whole [`FaultSet`]s, streaming pipelines
+/// consume one `Fault` at a time and accumulate them into a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Host node `v` fails.
+    Node(usize),
+    /// Host edge `e` fails.
+    Edge(u32),
+}
+
 /// A sparse subset of `0..domain`: a packed `u64` bitmap plus the
 /// explicit list of member ids (insertion order, duplicate-free).
 ///
@@ -168,6 +181,25 @@ impl FaultSet {
     #[inline]
     pub fn kill_node(&mut self, v: usize) {
         self.nodes.insert(v);
+    }
+
+    /// Marks a single [`Fault`] — the streaming entry point. Returns
+    /// whether the fault was new (not already recorded).
+    #[inline]
+    pub fn kill(&mut self, fault: Fault) -> bool {
+        match fault {
+            Fault::Node(v) => self.nodes.insert(v),
+            Fault::Edge(e) => self.edges.insert(e as usize),
+        }
+    }
+
+    /// Whether `fault` is already recorded.
+    #[inline]
+    pub fn contains(&self, fault: Fault) -> bool {
+        match fault {
+            Fault::Node(v) => self.nodes.contains(v),
+            Fault::Edge(e) => self.edges.contains(e as usize),
+        }
     }
 
     /// Marks an edge faulty (idempotent).

@@ -1,0 +1,713 @@
+//! Fault *streams*: faults arriving one at a time over a machine's
+//! lifetime.
+//!
+//! Every batch pipeline in the workspace applies one static [`FaultSet`]
+//! and extracts from scratch; the online subsystem (`ftt-core::online`,
+//! `ftt_sim::lifetime`) instead consumes a **stream** of timed fault
+//! events and *repairs* the embedding incrementally. This module is the
+//! generation side of that subsystem:
+//!
+//! * [`FaultStream`] — the arrival-process contract: a deterministic,
+//!   seed-derived sequence of [`TimedFault`]s;
+//! * [`BernoulliTrickle`] — independent geometric-skip inter-arrival
+//!   times, with separate node and edge fault rates;
+//! * [`Burst`] — geometrically spaced *batches* of faults, clustered in
+//!   both time (one timestamp per burst) and space (a run of adjacent
+//!   node ids);
+//! * [`TargetedAdversary`] — an **adaptive** adversary: each arrival is
+//!   aimed at a host node the live embedding currently occupies (the
+//!   in-use band/row), obtained through [`StreamFeedback`]. On shaped
+//!   hosts ([`crate::ShapedHost`], i.e. `D^d_{n,k}`) that is precisely
+//!   the worst-case regime of Theorem 3, delivered online;
+//! * [`FaultJournal`] — a replayable record of `(time, fault)` events;
+//!   [`JournalStream`] turns a journal back into a stream, so any
+//!   lifetime trial can be reproduced exactly, event by event.
+//!
+//! # Determinism
+//!
+//! A stream built by [`StreamSpec::stream`] is a pure function of
+//! `(host sizes, spec, seed, feedback responses)`. The feedback itself
+//! is deterministic in the lifetime engine (it exposes the current
+//! repair state, which is a pure function of the prefix), so whole
+//! trials are pure functions of their trial seed — the same contract
+//! the Monte-Carlo runners enforce, extended to adaptive adversaries.
+
+use crate::set::{Fault, FaultSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One fault arrival: discrete arrival time plus the fault itself.
+/// Times within one stream are non-decreasing (bursts share one time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFault {
+    /// Discrete arrival time (time steps since the stream started).
+    pub time: u64,
+    /// The arriving fault.
+    pub fault: Fault,
+}
+
+/// What a stream may observe about the system it is attacking.
+///
+/// Non-adaptive streams ignore it; [`TargetedAdversary`] uses
+/// [`occupied_node`](Self::occupied_node) to aim at the live embedding,
+/// and the samplers use the `*_faulty` predicates to prefer fresh
+/// targets (a repeat of an already-delivered fault is legal but
+/// uninformative).
+pub trait StreamFeedback {
+    /// A host node currently occupied by the live embedding, chosen by
+    /// the stream-supplied `selector` (implementations typically index
+    /// the guest→host map by `selector % guest_len`). `None` when no
+    /// live embedding is tracked.
+    fn occupied_node(&self, selector: u64) -> Option<usize>;
+
+    /// Whether node `v` has already failed.
+    fn node_faulty(&self, v: usize) -> bool;
+
+    /// Whether edge `e` has already failed.
+    fn edge_faulty(&self, e: u32) -> bool;
+}
+
+/// The trivial feedback: no embedding tracked, nothing faulty yet.
+/// Streams degrade gracefully (the targeted adversary falls back to
+/// uniform targets).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFeedback;
+
+impl StreamFeedback for NoFeedback {
+    fn occupied_node(&self, _selector: u64) -> Option<usize> {
+        None
+    }
+    fn node_faulty(&self, _v: usize) -> bool {
+        false
+    }
+    fn edge_faulty(&self, _e: u32) -> bool {
+        false
+    }
+}
+
+/// A deterministic, seed-derived arrival process of fault events.
+///
+/// `next` returns arrivals with non-decreasing times until the stream
+/// is exhausted (`None`); a stream must be a pure function of its
+/// construction inputs and the feedback answers it has received.
+pub trait FaultStream {
+    /// The next arrival, or `None` when the stream has ended.
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault>;
+
+    /// Whether this stream reads [`StreamFeedback::occupied_node`] —
+    /// consumers that maintain the live embedding lazily materialise it
+    /// before each arrival only for adaptive streams.
+    fn adaptive(&self) -> bool {
+        false
+    }
+}
+
+/// How many uniform redraws a sampler spends avoiding already-faulty
+/// targets before delivering whatever it drew (duplicates are absorbed
+/// as O(1) no-op repairs downstream, so a rare repeat is harmless).
+const FRESH_RETRIES: usize = 16;
+
+/// Draws a uniform target in `0..len`, retrying a bounded number of
+/// times while `is_stale` says the draw has already failed.
+fn fresh_uniform(rng: &mut SmallRng, len: usize, is_stale: impl Fn(usize) -> bool) -> usize {
+    let mut pick = rng.gen_range(0..len);
+    for _ in 0..FRESH_RETRIES {
+        if !is_stale(pick) {
+            break;
+        }
+        pick = rng.gen_range(0..len);
+    }
+    pick
+}
+
+/// Geometric inter-arrival skip for a per-time-step arrival probability
+/// `rate`: the number of empty steps before the next arrival, or `None`
+/// when `rate` is too small to ever fire.
+fn geometric_skip(rng: &mut SmallRng, rate: f64) -> Option<u64> {
+    if rate <= 0.0 {
+        return None;
+    }
+    if rate >= 1.0 {
+        return Some(0);
+    }
+    let denom = (1.0 - rate).ln();
+    if denom == 0.0 {
+        return None; // below f64 resolution
+    }
+    // (0, 1] draw with 53 mantissa bits, as in `crate::random`.
+    let u = (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64);
+    Some((u.ln() / denom).floor() as u64)
+}
+
+/// Independent node- and edge-fault trickles: at every discrete time
+/// step each process fires with its own probability, and firing times
+/// are drawn directly by geometric skips (`O(1)` RNG draws per
+/// *arrival*, not per step — the streaming analogue of the batch
+/// samplers' geometric-skip discipline). Targets are uniform over the
+/// host, preferring not-yet-faulty elements.
+#[derive(Debug, Clone)]
+pub struct BernoulliTrickle {
+    num_nodes: usize,
+    num_edges: usize,
+    next_node_at: Option<u64>,
+    next_edge_at: Option<u64>,
+    node_rate: f64,
+    edge_rate: f64,
+    rng: SmallRng,
+}
+
+impl BernoulliTrickle {
+    /// A trickle over `num_nodes` nodes and `num_edges` edges with
+    /// per-step arrival probabilities `node_rate` / `edge_rate`.
+    pub fn new(
+        num_nodes: usize,
+        num_edges: usize,
+        node_rate: f64,
+        edge_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&node_rate), "node_rate out of [0, 1]");
+        assert!((0.0..=1.0).contains(&edge_rate), "edge_rate out of [0, 1]");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let next_node_at = if num_nodes > 0 {
+            geometric_skip(&mut rng, node_rate).map(|s| 1 + s)
+        } else {
+            None
+        };
+        let next_edge_at = if num_edges > 0 {
+            geometric_skip(&mut rng, edge_rate).map(|s| 1 + s)
+        } else {
+            None
+        };
+        Self {
+            num_nodes,
+            num_edges,
+            next_node_at,
+            next_edge_at,
+            node_rate,
+            edge_rate,
+            rng,
+        }
+    }
+}
+
+impl FaultStream for BernoulliTrickle {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        // Deliver whichever process fires first; ties go to the node
+        // process (a fixed, documented order keeps replays exact).
+        let node_first = match (self.next_node_at, self.next_edge_at) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(tn), Some(te)) => tn <= te,
+        };
+        if node_first {
+            let time = self.next_node_at.unwrap();
+            let v = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v));
+            self.next_node_at = geometric_skip(&mut self.rng, self.node_rate).map(|s| time + 1 + s);
+            Some(TimedFault {
+                time,
+                fault: Fault::Node(v),
+            })
+        } else {
+            let time = self.next_edge_at.unwrap();
+            let e = fresh_uniform(&mut self.rng, self.num_edges, |e| {
+                feedback.edge_faulty(e as u32)
+            }) as u32;
+            self.next_edge_at = geometric_skip(&mut self.rng, self.edge_rate).map(|s| time + 1 + s);
+            Some(TimedFault {
+                time,
+                fault: Fault::Edge(e),
+            })
+        }
+    }
+}
+
+/// Clustered fault batches: burst start times are geometrically spaced
+/// (per-step probability `rate`), and each burst delivers `size` node
+/// faults at the *same* timestamp on a run of adjacent node ids — the
+/// "a rack dies" regime, maximally unlike the trickle's isolated
+/// arrivals.
+#[derive(Debug, Clone)]
+pub struct Burst {
+    num_nodes: usize,
+    rate: f64,
+    size: usize,
+    next_burst_at: Option<u64>,
+    /// Remaining faults of the current burst: (time, next id, left).
+    pending: Option<(u64, usize, usize)>,
+    rng: SmallRng,
+}
+
+impl Burst {
+    /// A burst stream over `num_nodes` nodes: bursts of `size` faults
+    /// with per-step start probability `rate`.
+    pub fn new(num_nodes: usize, rate: f64, size: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "burst rate out of [0, 1]");
+        assert!(size >= 1, "bursts need at least one fault");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let next_burst_at = if num_nodes > 0 {
+            geometric_skip(&mut rng, rate).map(|s| 1 + s)
+        } else {
+            None
+        };
+        Self {
+            num_nodes,
+            rate,
+            size,
+            next_burst_at,
+            pending: None,
+            rng,
+        }
+    }
+}
+
+impl FaultStream for Burst {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        if let Some((time, id, left)) = self.pending {
+            let fault = Fault::Node(id % self.num_nodes);
+            self.pending = (left > 1).then(|| (time, id + 1, left - 1));
+            return Some(TimedFault { time, fault });
+        }
+        let time = self.next_burst_at?;
+        self.next_burst_at = geometric_skip(&mut self.rng, self.rate).map(|s| time + 1 + s);
+        let start = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v));
+        self.pending = (self.size > 1).then(|| (time, start + 1, self.size - 1));
+        Some(TimedFault {
+            time,
+            fault: Fault::Node(start),
+        })
+    }
+}
+
+/// The adaptive worst case: every arrival (one per time step) is aimed
+/// at a host node the live embedding **currently occupies** — the
+/// in-use band/row — via [`StreamFeedback::occupied_node`]. An occupied
+/// node is alive by definition, so every arrival is a fresh fault and a
+/// budget-`k` `D^d_{n,k}` instance faces exactly the universally
+/// quantified regime of Theorem 3, online. Falls back to fresh uniform
+/// targets when no embedding is tracked.
+#[derive(Debug, Clone)]
+pub struct TargetedAdversary {
+    num_nodes: usize,
+    time: u64,
+    rng: SmallRng,
+}
+
+impl TargetedAdversary {
+    /// A targeted adversary over `num_nodes` nodes.
+    pub fn new(num_nodes: usize, seed: u64) -> Self {
+        Self {
+            num_nodes,
+            time: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultStream for TargetedAdversary {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        if self.num_nodes == 0 {
+            return None;
+        }
+        self.time += 1;
+        let selector = self.rng.next_u64();
+        let v = feedback.occupied_node(selector).unwrap_or_else(|| {
+            fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v))
+        });
+        Some(TimedFault {
+            time: self.time,
+            fault: Fault::Node(v),
+        })
+    }
+
+    fn adaptive(&self) -> bool {
+        true
+    }
+}
+
+/// A replayable record of `(time, fault)` events, in delivery order.
+///
+/// Journals make lifetime trials reproducible *as data*: record once,
+/// then [`JournalStream`] replays the identical arrival sequence into
+/// any consumer — across thread counts, chunk boundaries, and machine
+/// boundaries (the events are plain integers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultJournal {
+    events: Vec<TimedFault>,
+}
+
+impl FaultJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one delivered event.
+    ///
+    /// # Panics
+    /// Panics if `event.time` decreases (journals record one stream).
+    pub fn record(&mut self, event: TimedFault) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                event.time >= last.time,
+                "journal times must be non-decreasing ({} after {})",
+                event.time,
+                last.time
+            );
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, in delivery order.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A [`FaultStream`] replaying this journal verbatim.
+    pub fn replay(&self) -> JournalStream<'_> {
+        JournalStream {
+            events: &self.events,
+            next: 0,
+        }
+    }
+
+    /// Accumulates every journaled fault into a [`FaultSet`] — the
+    /// batch view of the stream, for differential comparisons.
+    pub fn to_fault_set(&self, num_nodes: usize, num_edges: usize) -> FaultSet {
+        let mut out = FaultSet::none(num_nodes, num_edges);
+        for ev in &self.events {
+            out.kill(ev.fault);
+        }
+        out
+    }
+}
+
+/// A stream replaying a recorded [`FaultJournal`] event by event
+/// (feedback is ignored — the decisions were made at record time).
+#[derive(Debug, Clone)]
+pub struct JournalStream<'a> {
+    events: &'a [TimedFault],
+    next: usize,
+}
+
+impl FaultStream for JournalStream<'_> {
+    fn next(&mut self, _feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        let ev = self.events.get(self.next)?;
+        self.next += 1;
+        Some(*ev)
+    }
+}
+
+/// A declarative stream description — the unit the lifetime sweep
+/// grids cross with constructions, and the single source of stream
+/// cell-id slugs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamSpec {
+    /// [`BernoulliTrickle`] with the given per-step rates.
+    Trickle {
+        /// Per-step node-fault arrival probability.
+        node_rate: f64,
+        /// Per-step edge-fault arrival probability.
+        edge_rate: f64,
+    },
+    /// [`Burst`]s of `size` faults with per-step start probability
+    /// `rate`.
+    Burst {
+        /// Per-step burst start probability.
+        rate: f64,
+        /// Faults per burst.
+        size: usize,
+    },
+    /// [`TargetedAdversary`] aiming at the live embedding.
+    Targeted,
+}
+
+/// A built stream of any kind (enum dispatch, so per-trial stream
+/// construction stays allocation-light).
+#[derive(Debug, Clone)]
+pub enum BuiltStream {
+    /// A [`BernoulliTrickle`].
+    Trickle(BernoulliTrickle),
+    /// A [`Burst`] stream.
+    Burst(Burst),
+    /// A [`TargetedAdversary`].
+    Targeted(TargetedAdversary),
+}
+
+impl FaultStream for BuiltStream {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        match self {
+            BuiltStream::Trickle(s) => s.next(feedback),
+            BuiltStream::Burst(s) => s.next(feedback),
+            BuiltStream::Targeted(s) => s.next(feedback),
+        }
+    }
+
+    fn adaptive(&self) -> bool {
+        matches!(self, BuiltStream::Targeted(_))
+    }
+}
+
+impl StreamSpec {
+    /// Builds the stream for one trial: a pure function of
+    /// `(host sizes, self, seed)`.
+    pub fn stream(&self, num_nodes: usize, num_edges: usize, seed: u64) -> BuiltStream {
+        match *self {
+            StreamSpec::Trickle {
+                node_rate,
+                edge_rate,
+            } => BuiltStream::Trickle(BernoulliTrickle::new(
+                num_nodes, num_edges, node_rate, edge_rate, seed,
+            )),
+            StreamSpec::Burst { rate, size } => {
+                BuiltStream::Burst(Burst::new(num_nodes, rate, size, seed))
+            }
+            StreamSpec::Targeted => BuiltStream::Targeted(TargetedAdversary::new(num_nodes, seed)),
+        }
+    }
+
+    /// Canonical slug for cell ids (part of the seed-derivation
+    /// contract, like the sweep regime ids).
+    pub fn slug(&self) -> String {
+        match *self {
+            StreamSpec::Trickle {
+                node_rate,
+                edge_rate,
+            } => format!("trickle_n{node_rate}_e{edge_rate}"),
+            StreamSpec::Burst { rate, size } => format!("burst_r{rate}_s{size}"),
+            StreamSpec::Targeted => "targeted".into(),
+        }
+    }
+
+    /// Validates the spec's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |label: &str, x: f64| {
+            if (0.0..=1.0).contains(&x) {
+                Ok(())
+            } else {
+                Err(format!("{label} = {x} out of [0, 1]"))
+            }
+        };
+        match *self {
+            StreamSpec::Trickle {
+                node_rate,
+                edge_rate,
+            } => {
+                prob("node_rate", node_rate)?;
+                prob("edge_rate", edge_rate)?;
+                if node_rate <= 0.0 && edge_rate <= 0.0 {
+                    return Err("trickle needs a positive node or edge rate".into());
+                }
+                Ok(())
+            }
+            StreamSpec::Burst { rate, size } => {
+                prob("rate", rate)?;
+                if rate <= 0.0 {
+                    return Err("burst rate must be positive".into());
+                }
+                if size == 0 {
+                    return Err("burst size must be ≥ 1".into());
+                }
+                Ok(())
+            }
+            StreamSpec::Targeted => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(spec: &StreamSpec, n: usize, e: usize, seed: u64, count: usize) -> Vec<TimedFault> {
+        let mut s = spec.stream(n, e, seed);
+        (0..count).map_while(|_| s.next(&NoFeedback)).collect()
+    }
+
+    #[test]
+    fn trickle_is_deterministic_and_time_ordered() {
+        let spec = StreamSpec::Trickle {
+            node_rate: 0.05,
+            edge_rate: 0.02,
+        };
+        let a = drain(&spec, 100, 200, 7, 50);
+        let b = drain(&spec, 100, 200, 7, 50);
+        assert_eq!(a, b, "pure function of (sizes, spec, seed)");
+        assert_eq!(a.len(), 50, "positive rates never exhaust");
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time, "times must be non-decreasing");
+        }
+        assert!(a.iter().any(|ev| matches!(ev.fault, Fault::Node(_))));
+        assert!(a.iter().any(|ev| matches!(ev.fault, Fault::Edge(_))));
+        let c = drain(&spec, 100, 200, 8, 50);
+        assert_ne!(a, c, "different seeds draw different streams");
+    }
+
+    #[test]
+    fn trickle_rate_zero_sides_are_silent() {
+        let spec = StreamSpec::Trickle {
+            node_rate: 0.2,
+            edge_rate: 0.0,
+        };
+        let evs = drain(&spec, 50, 50, 3, 40);
+        assert!(evs.iter().all(|ev| matches!(ev.fault, Fault::Node(_))));
+        // inter-arrival gaps roughly match 1/rate = 5
+        let mean_gap = evs.last().unwrap().time as f64 / evs.len() as f64;
+        assert!((2.0..12.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn burst_delivers_adjacent_ids_at_one_time() {
+        let spec = StreamSpec::Burst { rate: 0.1, size: 4 };
+        let evs = drain(&spec, 1000, 0, 5, 12);
+        assert_eq!(evs.len(), 12);
+        for chunk in evs.chunks(4) {
+            let t0 = chunk[0].time;
+            assert!(chunk.iter().all(|ev| ev.time == t0), "burst shares a time");
+            let Fault::Node(first) = chunk[0].fault else {
+                panic!("bursts are node faults")
+            };
+            for (off, ev) in chunk.iter().enumerate() {
+                assert_eq!(ev.fault, Fault::Node((first + off) % 1000), "adjacent run");
+            }
+        }
+        assert!(evs[4].time > evs[3].time, "bursts are separated in time");
+    }
+
+    #[test]
+    fn targeted_aims_at_occupied_nodes() {
+        struct Occ;
+        impl StreamFeedback for Occ {
+            fn occupied_node(&self, selector: u64) -> Option<usize> {
+                Some(10 + (selector % 5) as usize)
+            }
+            fn node_faulty(&self, _v: usize) -> bool {
+                false
+            }
+            fn edge_faulty(&self, _e: u32) -> bool {
+                false
+            }
+        }
+        let mut s = TargetedAdversary::new(100, 9);
+        for _ in 0..20 {
+            let ev = s.next(&Occ).unwrap();
+            let Fault::Node(v) = ev.fault else {
+                panic!("targeted adversary only kills nodes")
+            };
+            assert!((10..15).contains(&v), "aimed at the occupied set, got {v}");
+        }
+        // Without feedback it still produces (uniform) arrivals.
+        let mut s = TargetedAdversary::new(100, 9);
+        assert!(s.next(&NoFeedback).is_some());
+    }
+
+    #[test]
+    fn samplers_prefer_fresh_targets() {
+        struct HalfStale;
+        impl StreamFeedback for HalfStale {
+            fn occupied_node(&self, _selector: u64) -> Option<usize> {
+                None
+            }
+            fn node_faulty(&self, v: usize) -> bool {
+                v < 10
+            }
+            fn edge_faulty(&self, _e: u32) -> bool {
+                true
+            }
+        }
+        // Half the domain is stale; with 16 retries a stale delivery has
+        // probability 2^-17 per arrival, so all 30 land fresh.
+        let mut s = BernoulliTrickle::new(20, 0, 1.0, 0.0, 2);
+        let fresh = (0..30)
+            .filter(|_| matches!(s.next(&HalfStale).unwrap().fault, Fault::Node(v) if v >= 10))
+            .count();
+        assert!(fresh >= 29, "only {fresh}/30 arrivals hit fresh nodes");
+    }
+
+    #[test]
+    fn journal_roundtrip_and_fault_set_view() {
+        let spec = StreamSpec::Trickle {
+            node_rate: 0.1,
+            edge_rate: 0.05,
+        };
+        let mut journal = FaultJournal::new();
+        let mut s = spec.stream(40, 60, 11);
+        for _ in 0..25 {
+            journal.record(s.next(&NoFeedback).unwrap());
+        }
+        assert_eq!(journal.len(), 25);
+        let replayed: Vec<TimedFault> = {
+            let mut r = journal.replay();
+            std::iter::from_fn(|| r.next(&NoFeedback)).collect()
+        };
+        assert_eq!(replayed, journal.events());
+        let set = journal.to_fault_set(40, 60);
+        assert!(set.count_faults() > 0);
+        for ev in journal.events() {
+            assert!(set.contains(ev.fault));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn journal_rejects_time_travel() {
+        let mut j = FaultJournal::new();
+        j.record(TimedFault {
+            time: 5,
+            fault: Fault::Node(0),
+        });
+        j.record(TimedFault {
+            time: 4,
+            fault: Fault::Node(1),
+        });
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(StreamSpec::Trickle {
+            node_rate: 0.1,
+            edge_rate: 0.0
+        }
+        .validate()
+        .is_ok());
+        assert!(StreamSpec::Trickle {
+            node_rate: 0.0,
+            edge_rate: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(StreamSpec::Trickle {
+            node_rate: 1.5,
+            edge_rate: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(StreamSpec::Burst { rate: 0.1, size: 0 }.validate().is_err());
+        assert!(StreamSpec::Burst { rate: 0.0, size: 3 }.validate().is_err());
+        assert!(StreamSpec::Targeted.validate().is_ok());
+        assert_eq!(
+            StreamSpec::Trickle {
+                node_rate: 0.1,
+                edge_rate: 0.0
+            }
+            .slug(),
+            "trickle_n0.1_e0"
+        );
+        assert_eq!(
+            StreamSpec::Burst { rate: 0.1, size: 4 }.slug(),
+            "burst_r0.1_s4"
+        );
+        assert_eq!(StreamSpec::Targeted.slug(), "targeted");
+    }
+}

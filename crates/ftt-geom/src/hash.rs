@@ -1,0 +1,142 @@
+//! The workspace's one deterministic hashing toolbox: incremental
+//! 64-bit FNV-1a and the splitmix64 finisher.
+//!
+//! Three subsystems need platform-independent, process-independent
+//! hashes — certificate content hashes (`ftt-core`), canonical-cell-id
+//! seed derivation (`ftt-sim::sweep`, `ftt-sim::lifetime`), and the
+//! order-independent digest folding of exhaustive certification
+//! (`ftt-sim::certify`). They used to carry three hand-rolled copies of
+//! the same constants; this module is the single definition they all
+//! share. The functions are pure and stable: hashes are part of
+//! artifact schemas (`CERT_*.json` digests) and of the determinism
+//! contract (cell seeds), so the constants and byte order here must
+//! never change observably.
+
+/// Incremental 64-bit FNV-1a over a canonical byte stream.
+///
+/// Words are folded in little-endian byte order so hashes agree across
+/// platforms.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds one `u64` as its little-endian bytes.
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        self.bytes(&w.to_le_bytes())
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+/// The splitmix64 finisher: a fast, well-mixed bijection on `u64`, used
+/// to turn structured values (FNV hashes of ids, indices) into seeds
+/// and digest contributions.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a seed from a root seed and a canonical string id (FNV-1a
+/// over the id, mixed with the root, splitmix64-finished). Hashing the
+/// *id* instead of any positional index is what makes results invariant
+/// under reordering and grid extension — the contract `ftt-sim` sweep
+/// and lifetime cells rely on.
+pub fn seed_for_id(root_seed: u64, id: &str) -> u64 {
+    let h = fnv1a(id.as_bytes());
+    // Pre-mix the root multiplicatively, then finish; equivalent to the
+    // historical sweep cell_seed derivation.
+    let z = h ^ root_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix_finish(z)
+}
+
+/// The splitmix64 *mixing* steps without the additive increment —
+/// retained verbatim from the historical sweep-seed derivation so
+/// existing cell seeds are unchanged by the consolidation.
+fn splitmix_finish(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.bytes(b"foo").bytes(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn word_is_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.word(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.bytes(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn splitmix_is_injective_on_a_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)), "collision at {i}");
+        }
+        assert_ne!(splitmix64(0), 0, "zero must not be a fixed point");
+    }
+
+    #[test]
+    fn seed_for_id_is_id_and_root_sensitive() {
+        let a = seed_for_id(1, "b2_n54b3e1/design_x1_q0");
+        assert_ne!(a, seed_for_id(1, "b2_n54b3e1/design_x4_q0"));
+        assert_ne!(a, seed_for_id(2, "b2_n54b3e1/design_x1_q0"));
+        assert_eq!(a, seed_for_id(1, "b2_n54b3e1/design_x1_q0"));
+    }
+}

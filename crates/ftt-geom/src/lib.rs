@@ -15,12 +15,14 @@
 //! with coordinate 0 ("vertical" / first dimension) varying slowest.
 
 pub mod cyclic;
+pub mod hash;
 pub mod interval;
 pub mod lines;
 pub mod shape;
 pub mod tiles;
 
 pub use cyclic::{cyc_add, cyc_dist, cyc_sub, CyclicRing};
+pub use hash::{fnv1a, seed_for_id, splitmix64, Fnv1a};
 pub use interval::CyclicInterval;
 pub use lines::ColumnSpace;
 pub use shape::{Coord, Shape};

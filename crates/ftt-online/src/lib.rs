@@ -1,0 +1,52 @@
+//! # ftt-online — the online fault-stream subsystem, in one place
+//!
+//! Tamaki's constructions are motivated by machines whose components
+//! fail *over time*, yet batch pipelines apply one static fault set and
+//! extract from scratch. The online subsystem spans four layers; this
+//! façade crate re-exports each layer's public surface so consumers can
+//! depend on the subsystem as a unit:
+//!
+//! | Layer | Home | Exports |
+//! |-------|------|---------|
+//! | Fault streams | `ftt-faults::stream` | [`FaultStream`], [`StreamSpec`], [`BernoulliTrickle`], [`Burst`], [`TargetedAdversary`], [`FaultJournal`] |
+//! | Incremental repair | `ftt-core::online` | [`RepairState`], [`RepairOutcome`], [`RepairClass`], [`live_certificate`] |
+//! | Lifetime engine | `ftt-sim::lifetime` | [`LifetimeSpec`], [`run_lifetime`], [`run_lifetime_trials`], [`LifetimeReport`], [`LIFETIME_PRESETS`] |
+//! | CLI / bench | `ftt-cli`, `ftt-bench` | `ftt lifetime --preset …`, `bench_online` → `BENCH_online.json` |
+//!
+//! ## The contract
+//!
+//! Each arriving [`Fault`] is *repaired*, not re-extracted: O(1)
+//! absorption when it lands under the current banding's already-dirty
+//! granularity, a local re-placement (one `D^d` axis band shifted via
+//! cached pigeonhole tallies; a `B^d` re-place that keeps the map when
+//! the banding holds still), or a full batch rebuild — with **batch
+//! parity** guaranteed throughout: the online outcome and embedding
+//! always equal what `try_extract_with` would produce for the
+//! accumulated fault set (differentially tested in
+//! `ftt-sim/tests/prop_online.rs`), and every repaired embedding can be
+//! re-validated by the independent `ftt-verify` checker.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ftt_online::{run_lifetime, LifetimeSpec};
+//!
+//! let spec = LifetimeSpec::preset("life-smoke").unwrap();
+//! let report = run_lifetime(&spec, 0).unwrap();
+//! assert!(!report.cells.is_empty());
+//! for cell in &report.cells {
+//!     assert_eq!(cell.cert_failures, 0, "{}", cell.id);
+//! }
+//! ```
+
+pub use ftt_core::online::{live_certificate, RepairClass, RepairOutcome, RepairState};
+pub use ftt_faults::stream::{
+    BernoulliTrickle, BuiltStream, Burst, FaultJournal, FaultStream, JournalStream, NoFeedback,
+    StreamFeedback, StreamSpec, TargetedAdversary, TimedFault,
+};
+pub use ftt_faults::Fault;
+pub use ftt_sim::lifetime::{
+    run_lifetime, run_lifetime_trial, run_lifetime_trials, ArrivalCap, LifetimeCellResult,
+    LifetimePreset, LifetimeReport, LifetimeSpec, StreamDef, TrialRecord, LIFETIME_PRESETS,
+    LIFETIME_PRESET_NAMES, LIFE_SCHEMA_VERSION,
+};

@@ -27,6 +27,9 @@ use crate::table::Table;
 use ftt_core::ddn::{Ddn, DdnParams};
 use ftt_core::HostConstruction;
 use ftt_faults::FaultSet;
+// Digest folding mixes `(pattern index, certificate hash)` pairs with
+// the shared splitmix64 finisher.
+use ftt_geom::splitmix64 as splitmix;
 use ftt_verify::check_certificate;
 use ftt_verify::enumerate::{enumerate_canonical, exhaustive_pattern_count, orbit_size};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,15 +71,6 @@ pub(crate) fn enumerate_for_instance(
         ));
     }
     Ok((k, enumerate_canonical(&dims, k)))
-}
-
-/// splitmix64 finisher, used to mix `(pattern index, certificate
-/// hash)` pairs into the run digest.
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// A declarative exhaustive-certification run over one `D^d_{n,k}`

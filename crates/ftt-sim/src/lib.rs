@@ -30,6 +30,7 @@
 //! allocation. See the `runner` and `scenario` module docs.
 
 pub mod certify;
+pub mod lifetime;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
@@ -39,6 +40,11 @@ pub mod table;
 pub use certify::{
     run_certify, CertifyFailure, CertifyReport, CertifySpec, CERTIFY_SCHEMA_VERSION,
 };
+pub use lifetime::{
+    run_lifetime, run_lifetime_trial, run_lifetime_trials, ArrivalCap, LifetimeCellResult,
+    LifetimePreset, LifetimeReport, LifetimeSpec, StreamDef, TrialRecord, LIFETIME_PRESETS,
+    LIFETIME_PRESET_NAMES, LIFE_SCHEMA_VERSION,
+};
 pub use runner::{
     run_indexed_multi_pooled, run_multi_trials, run_multi_trials_pooled, run_multi_trials_with,
     run_trials, run_trials_with, ScratchPool, TrialStats,
@@ -47,9 +53,10 @@ pub use scenario::{
     bernoulli_sampler, extract_verified, extract_verified_with, node_list_sampler,
     run_extraction_trials, BernoulliSampler, ExtractionFailure, FaultSampler, NodeListSampler,
 };
-pub use stats::{mean, std_dev, wilson_interval};
+pub use stats::{mean, quantile, quantile_ci, std_dev, wilson_interval};
 pub use sweep::{
     cell_seed, run_sweep, BaselineResult, BaselineSpec, CellResult, ConstructionSpec, FaultRegime,
-    SweepPattern, SweepReport, SweepSpec, PRESET_NAMES, SWEEP_SCHEMA_VERSION,
+    SweepPattern, SweepPreset, SweepReport, SweepSpec, PRESET_NAMES, SWEEP_PRESETS,
+    SWEEP_SCHEMA_VERSION,
 };
 pub use table::Table;

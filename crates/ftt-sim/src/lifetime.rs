@@ -1,0 +1,1105 @@
+//! Lifetime scenarios: fault *streams* driven through incremental
+//! repair until the embedding dies.
+//!
+//! The sweep engine ([`crate::sweep`]) asks "does one static fault set
+//! extract?"; this module asks the machine-lifetime question the
+//! paper's motivation is really about: **faults arrive over time — how
+//! many does the construction survive, and what does each repair
+//! cost?** A [`LifetimeSpec`] crosses constructions
+//! ([`ConstructionSpec`]) with fault streams
+//! ([`ftt_faults::StreamSpec`]: Bernoulli trickles, bursts, the
+//! adaptive targeted adversary) and drives each cell's trials through
+//! the online repair engine (`ftt_core::online`): every arrival is
+//! absorbed (O(1)), locally repaired, or full-rebuilt — never silently
+//! dropped — until the first unrepairable fault ends the trial.
+//!
+//! Reported per cell: the lifetime distribution (mean, min/max, median
+//! and p90 with Wilson-style order-statistic CIs), the repair cost mix
+//! (fractions of O(1)/local/rebuild repairs), repair throughput
+//! (faults/sec), and optional end-to-end certification of the live
+//! embedding every `certify_every` repairs through the **independent**
+//! checker (`ftt_verify::check_certificate`).
+//!
+//! # Determinism
+//!
+//! Identical discipline to the sweep engine: per-cell seeds derive from
+//! canonical cell ids (`<instance>/<stream-slug>`), per-trial seeds by
+//! the [`crate::runner`] splitmix step, and trials run through the
+//! chunked pooled runner ([`run_indexed_multi_pooled`]) with per-trial
+//! records written to their own slots — reports are a pure function of
+//! `(spec contents, root seed)`, invariant under thread count, chunk
+//! boundaries, and cell order. Streams are adaptive (the targeted
+//! adversary reads the live embedding), but the feedback is itself a
+//! pure function of the trial prefix, so determinism survives.
+//!
+//! # Presets
+//!
+//! [`LIFETIME_PRESETS`]: `life-smoke` (tiny CI grid), `life-t2` (B²
+//! grid × trickle and burst arrivals, run to death), `life-t3` (D² ×
+//! the targeted adversary at budget multiples; the ×1 cells must
+//! survive *exactly* the Theorem 3 budget `k` with every repair
+//! succeeding — the theorem's online form, asserted in tests and CI).
+//! Artifacts are schema-versioned `LIFE_<name>.json` / `.csv`
+//! (validated by `tools/check_life.py`).
+
+use crate::runner::{run_indexed_multi_pooled, trial_seed, ScratchPool};
+use crate::stats::{quantile, quantile_ci};
+use crate::sweep::{cell_seed, BuiltHost, ConstructionSpec};
+use crate::table::Table;
+use ftt_core::construct::HostConstruction;
+use ftt_core::online::{live_certificate, RepairClass, RepairOutcome, RepairState};
+use ftt_faults::{FaultJournal, FaultSet, FaultStream, StreamFeedback, StreamSpec};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version stamp of the `LIFE_*.json` / `LIFE_*.csv` artifact schema.
+pub const LIFE_SCHEMA_VERSION: u32 = 1;
+
+/// When does a stream cell stop delivering faults?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalCap {
+    /// Run until the first unrepairable fault (a hard safety cap of
+    /// `4 × host nodes` arrivals bounds pathological streams).
+    UntilDeath,
+    /// Stop after exactly this many arrivals.
+    Arrivals(usize),
+    /// Stop after `mult ×` the instance's worst-case fault budget `k`
+    /// (constructions with a discrete budget only, i.e. `D^d_{n,k}`).
+    /// `mult = 1` is Theorem 3's online guarantee: every arrival must
+    /// be repaired.
+    BudgetMult(f64),
+}
+
+impl ArrivalCap {
+    fn slug(&self) -> String {
+        match *self {
+            ArrivalCap::UntilDeath => String::new(),
+            ArrivalCap::Arrivals(n) => format!("_a{n}"),
+            ArrivalCap::BudgetMult(m) => format!("_x{m}"),
+        }
+    }
+}
+
+/// One stream axis entry: an arrival process plus its stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamDef {
+    /// The arrival process.
+    pub spec: StreamSpec,
+    /// The stopping rule.
+    pub cap: ArrivalCap,
+}
+
+/// A declarative lifetime sweep: constructions × fault streams × a
+/// trial budget, seeded from `root_seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeSpec {
+    /// Artifact name: emitted as `LIFE_<name>.json` / `.csv`.
+    pub name: String,
+    /// Construction axis (shared with the sweep engine).
+    pub constructions: Vec<ConstructionSpec>,
+    /// Stream axis.
+    pub streams: Vec<StreamDef>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Root seed; per-cell seeds derive from it and the cell id.
+    pub root_seed: u64,
+    /// Certify the live embedding through the independent checker every
+    /// this many successful repairs (0 = never).
+    pub certify_every: usize,
+}
+
+/// Names accepted by [`LifetimeSpec::preset`] (mirrors
+/// [`LIFETIME_PRESETS`]).
+pub const LIFETIME_PRESET_NAMES: &[&str] = &["life-smoke", "life-t2", "life-t3"];
+
+/// One entry of the lifetime preset registry (see [`crate::sweep::SWEEP_PRESETS`]
+/// for the pattern): name, help summary, builder. The CLI renders its
+/// preset table from this registry, so new presets appear in `ftt help`
+/// automatically.
+pub struct LifetimePreset {
+    /// Canonical preset name (`--preset <name>`).
+    pub name: &'static str,
+    /// Help-text summary.
+    pub summary: &'static str,
+    build: fn() -> LifetimeSpec,
+}
+
+impl LifetimePreset {
+    /// Builds the preset's spec.
+    pub fn spec(&self) -> LifetimeSpec {
+        (self.build)()
+    }
+}
+
+/// The single registry of checked-in lifetime presets.
+pub const LIFETIME_PRESETS: &[LifetimePreset] = &[
+    LifetimePreset {
+        name: "life-smoke",
+        summary: "tiny B²+D² × trickle grid for CI (runs to death)",
+        build: preset_life_smoke,
+    },
+    LifetimePreset {
+        name: "life-t2",
+        summary: "B²_{54,108,192} × trickle/burst arrivals, run to death —\n\
+                  lifetime-to-failure curves for the Theorem 2 host",
+        build: preset_life_t2,
+    },
+    LifetimePreset {
+        name: "life-t3",
+        summary: "D²_{44,79} × targeted adversary at budget multiples; ×1\n\
+                  cells survive exactly k faults with 100% repair success\n\
+                  (Theorem 3, online form — asserted)",
+        build: preset_life_t3,
+    },
+];
+
+fn preset_life_smoke() -> LifetimeSpec {
+    LifetimeSpec {
+        name: "smoke".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 40,
+                b: 2,
+            },
+        ],
+        streams: vec![StreamDef {
+            spec: StreamSpec::Trickle {
+                node_rate: 2e-3,
+                edge_rate: 2e-4,
+            },
+            cap: ArrivalCap::UntilDeath,
+        }],
+        trials: 4,
+        root_seed: 1,
+        certify_every: 8,
+    }
+}
+
+fn preset_life_t2() -> LifetimeSpec {
+    LifetimeSpec {
+        name: "t2".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 108,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 192,
+                b: 4,
+                eps_b: 1,
+            },
+        ],
+        streams: vec![
+            StreamDef {
+                spec: StreamSpec::Trickle {
+                    node_rate: 1e-3,
+                    edge_rate: 0.0,
+                },
+                cap: ArrivalCap::UntilDeath,
+            },
+            StreamDef {
+                spec: StreamSpec::Trickle {
+                    node_rate: 1e-3,
+                    edge_rate: 1e-4,
+                },
+                cap: ArrivalCap::UntilDeath,
+            },
+            StreamDef {
+                spec: StreamSpec::Burst {
+                    rate: 0.01,
+                    size: 4,
+                },
+                cap: ArrivalCap::UntilDeath,
+            },
+        ],
+        trials: 30,
+        root_seed: 1,
+        certify_every: 0,
+    }
+}
+
+fn preset_life_t3() -> LifetimeSpec {
+    LifetimeSpec {
+        name: "t3".into(),
+        constructions: vec![
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 40,
+                b: 2,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 60,
+                b: 3,
+            },
+        ],
+        streams: vec![
+            StreamDef {
+                spec: StreamSpec::Targeted,
+                cap: ArrivalCap::BudgetMult(1.0),
+            },
+            StreamDef {
+                spec: StreamSpec::Targeted,
+                cap: ArrivalCap::BudgetMult(2.0),
+            },
+        ],
+        trials: 40,
+        root_seed: 1,
+        certify_every: 8,
+    }
+}
+
+impl LifetimeSpec {
+    /// A checked-in preset from [`LIFETIME_PRESETS`].
+    pub fn preset(name: &str) -> Result<LifetimeSpec, String> {
+        LIFETIME_PRESETS
+            .iter()
+            .find(|p| p.name == name)
+            .map(LifetimePreset::spec)
+            .ok_or_else(|| {
+                format!(
+                    "unknown lifetime preset `{name}` (available: {})",
+                    LIFETIME_PRESET_NAMES.join(", ")
+                )
+            })
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() || !self.name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(format!(
+                "lifetime name `{}` must be non-empty alphanumeric/underscore (it names artifacts)",
+                self.name
+            ));
+        }
+        if self.trials == 0 {
+            return Err("lifetime sweep needs at least one trial per cell".into());
+        }
+        if self.constructions.is_empty() {
+            return Err("lifetime sweep needs at least one construction".into());
+        }
+        if self.streams.is_empty() {
+            return Err("lifetime sweep needs at least one stream".into());
+        }
+        for s in &self.streams {
+            s.spec.validate()?;
+            match s.cap {
+                ArrivalCap::Arrivals(0) => {
+                    return Err("arrival cap must be ≥ 1".into());
+                }
+                ArrivalCap::BudgetMult(m) if m.is_nan() || m <= 0.0 => {
+                    return Err(format!("budget multiple {m} must be > 0"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-trial outcome of one lifetime run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Faults delivered by the stream.
+    pub arrivals: usize,
+    /// Faults successfully repaired (the *lifetime* when the trial
+    /// died; equals `arrivals` when the stream ended first).
+    pub survived: usize,
+    /// O(1) repairs.
+    pub fast: usize,
+    /// Local repairs.
+    pub local: usize,
+    /// Full-rebuild repairs.
+    pub rebuild: usize,
+    /// Whether the trial ended at an unrepairable fault.
+    pub died: bool,
+    /// Stream time of the killing fault (0 when the trial survived).
+    pub death_time: u64,
+    /// Independent certificate checks performed.
+    pub cert_checks: usize,
+    /// Certificate checks that failed (must stay 0; a nonzero count is
+    /// an engine bug surfaced, never hidden).
+    pub cert_failures: usize,
+}
+
+/// The lifetime engine's view of the repair state, handed to adaptive
+/// streams: accumulated faults plus the live guest→host map (the
+/// targeted adversary aims at the currently occupied band/row through
+/// it).
+struct RepairFeedback<'a> {
+    faults: &'a FaultSet,
+    map: Option<&'a [usize]>,
+}
+
+impl StreamFeedback for RepairFeedback<'_> {
+    fn occupied_node(&self, selector: u64) -> Option<usize> {
+        let map = self.map?;
+        if map.is_empty() {
+            return None;
+        }
+        Some(map[(selector % map.len() as u64) as usize])
+    }
+
+    fn node_faulty(&self, v: usize) -> bool {
+        self.faults.node_faulty(v)
+    }
+
+    fn edge_faulty(&self, e: u32) -> bool {
+        self.faults.edge_faulty(e)
+    }
+}
+
+/// Drives one lifetime trial: resets `state`, then feeds `stream` into
+/// the incremental repair engine until the first unrepairable fault,
+/// the stream's end, or `cap` arrivals. With `certify_every > 0` the
+/// live embedding is frozen and re-validated by the independent checker
+/// every that many successful repairs; a `journal` records every
+/// delivered event for exact replay.
+pub fn run_lifetime_trial<C, S>(
+    host: &C,
+    state: &mut RepairState<C>,
+    stream: &mut S,
+    cap: usize,
+    certify_every: usize,
+    mut journal: Option<&mut FaultJournal>,
+) -> TrialRecord
+where
+    C: HostConstruction,
+    S: FaultStream + ?Sized,
+{
+    state
+        .reset(host)
+        .expect("fault-free extraction must succeed on a valid instance");
+    // Lazy-map constructions only pay map materialisation when someone
+    // actually reads the map — an adaptive stream, every `certify_every`
+    // repairs, and once at the end of the trial.
+    let adaptive = stream.adaptive();
+    let mut rec = TrialRecord::default();
+    while rec.arrivals < cap {
+        if adaptive {
+            let _ = state.live_embedding(host);
+        }
+        let event = {
+            let feedback = RepairFeedback {
+                faults: state.faults(),
+                map: state.embedding().map(|emb| emb.map.as_slice()),
+            };
+            stream.next(&feedback)
+        };
+        let Some(event) = event else { break };
+        if let Some(j) = journal.as_deref_mut() {
+            j.record(event);
+        }
+        rec.arrivals += 1;
+        match state.apply(host, event.fault) {
+            RepairOutcome::Repaired(class) => {
+                rec.survived += 1;
+                match class {
+                    RepairClass::Fast => rec.fast += 1,
+                    RepairClass::Local => rec.local += 1,
+                    RepairClass::Rebuild => rec.rebuild += 1,
+                }
+                if certify_every > 0 && rec.survived.is_multiple_of(certify_every) {
+                    rec.cert_checks += 1;
+                    let ok = live_certificate(host, state).is_some_and(|cert| {
+                        ftt_verify::check_certificate(&cert, host.graph(), state.faults()).is_ok()
+                    });
+                    if !ok {
+                        rec.cert_failures += 1;
+                    }
+                }
+            }
+            RepairOutcome::Dead => {
+                rec.died = true;
+                rec.death_time = event.time;
+                break;
+            }
+        }
+    }
+    // Every trial ends with a concrete embedding (or a dead state):
+    // deferred maps are materialised inside the timed region, so
+    // lazy-map constructions cannot hide the cost from benchmarks.
+    let _ = state.live_embedding(host);
+    rec
+}
+
+/// Runs one cell's trials through the chunked pooled runner — the same
+/// seed-per-trial discipline as [`run_indexed_multi_pooled`]'s other
+/// consumers; per-trial [`RepairState`]s are pooled per worker and
+/// reset per trial. Returns the per-trial records in trial order.
+pub fn run_lifetime_trials<C: HostConstruction + Sync>(
+    host: &C,
+    stream: &StreamSpec,
+    cap: usize,
+    trials: usize,
+    cell_seed: u64,
+    threads: usize,
+    certify_every: usize,
+) -> Vec<TrialRecord> {
+    let _ = host.graph(); // materialise lazy host state once
+    let num_nodes = host.num_nodes();
+    let num_edges = host.graph().num_edges();
+    let pool: ScratchPool<RepairState<C>> = ScratchPool::new();
+    let records: Mutex<Vec<TrialRecord>> = Mutex::new(vec![TrialRecord::default(); trials]);
+    let [_survivors] = run_indexed_multi_pooled(
+        trials,
+        threads,
+        &pool,
+        // Idle states: run_lifetime_trial resets before the first
+        // arrival, so the factory never runs a throwaway extraction.
+        || RepairState::new_idle(host),
+        |state, i| {
+            let mut stream = stream.stream(num_nodes, num_edges, trial_seed(cell_seed, i as u64));
+            let rec = run_lifetime_trial(host, state, &mut stream, cap, certify_every, None);
+            let survived_cap = !rec.died;
+            records.lock().unwrap()[i] = rec;
+            [survived_cap]
+        },
+    );
+    records.into_inner().unwrap()
+}
+
+/// Aggregated outcome of one lifetime cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeCellResult {
+    /// Canonical cell id (`<instance>/<stream-slug>[<cap-slug>]`).
+    pub id: String,
+    /// Construction display name.
+    pub construction: String,
+    /// Resolved instance parameters, human-readable.
+    pub params: String,
+    /// Stream slug (also part of the id).
+    pub stream: String,
+    /// Resolved arrival cap for this cell.
+    pub cap_arrivals: usize,
+    /// Budget multiple, when the cap was specified as one.
+    pub mult: Option<f64>,
+    /// The instance's worst-case fault budget `k` (`D^d_{n,k}` cells).
+    pub budget_k: Option<usize>,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials that hit an unrepairable fault.
+    pub deaths: usize,
+    /// Trials that survived every delivered arrival.
+    pub survived_all: usize,
+    /// Total faults delivered across trials.
+    pub arrivals_total: usize,
+    /// O(1) repairs across trials.
+    pub repairs_fast: usize,
+    /// Local repairs across trials.
+    pub repairs_local: usize,
+    /// Full-rebuild repairs across trials.
+    pub repairs_rebuild: usize,
+    /// Mean lifetime (faults survived).
+    pub lifetime_mean: f64,
+    /// Smallest observed lifetime.
+    pub lifetime_min: usize,
+    /// Largest observed lifetime.
+    pub lifetime_max: usize,
+    /// Median lifetime (nearest rank).
+    pub lifetime_median: f64,
+    /// Wilson-style order-statistic CI for the median.
+    pub median_ci: (f64, f64),
+    /// 90th-percentile lifetime.
+    pub lifetime_p90: f64,
+    /// Wilson-style order-statistic CI for the p90.
+    pub p90_ci: (f64, f64),
+    /// Mean *stream time* of the killing fault over died trials — the
+    /// lifetime in time units rather than arrival counts (rates give
+    /// the two axes different shapes). `None` when no trial died.
+    pub death_time_mean: Option<f64>,
+    /// Independent certificate checks performed.
+    pub cert_checks: usize,
+    /// Certificate checks that failed (must be 0).
+    pub cert_failures: usize,
+    /// Wall-clock seconds for this cell.
+    pub seconds: f64,
+    /// Repair throughput: faults delivered per second (0 when the
+    /// clock rounds to zero).
+    pub faults_per_sec: f64,
+}
+
+impl LifetimeCellResult {
+    /// Total successful repairs.
+    pub fn repairs_total(&self) -> usize {
+        self.repairs_fast + self.repairs_local + self.repairs_rebuild
+    }
+
+    /// Fraction of repairs in each class `(fast, local, rebuild)`;
+    /// zeros when no repairs happened.
+    pub fn repair_fractions(&self) -> (f64, f64, f64) {
+        let total = self.repairs_total();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.repairs_fast as f64 / t,
+            self.repairs_local as f64 / t,
+            self.repairs_rebuild as f64 / t,
+        )
+    }
+}
+
+/// Aggregated outcome of a lifetime sweep, with artifact emitters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeReport {
+    /// Sweep name (artifact stem).
+    pub name: String,
+    /// Root seed.
+    pub root_seed: u64,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Worker threads requested (0 = auto); provenance only.
+    pub threads: usize,
+    /// Certification cadence (0 = never).
+    pub certify_every: usize,
+    /// Per-cell results, construction-major.
+    pub cells: Vec<LifetimeCellResult>,
+}
+
+fn aggregate_cell(
+    id: String,
+    host: &BuiltHost,
+    stream: &StreamDef,
+    cap: usize,
+    mult: Option<f64>,
+    budget_k: Option<usize>,
+    records: &[TrialRecord],
+    seconds: f64,
+) -> LifetimeCellResult {
+    let mut lifetimes: Vec<f64> = records.iter().map(|r| r.survived as f64).collect();
+    lifetimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let arrivals_total: usize = records.iter().map(|r| r.arrivals).sum();
+    let death_times: Vec<f64> = records
+        .iter()
+        .filter(|r| r.died)
+        .map(|r| r.death_time as f64)
+        .collect();
+    LifetimeCellResult {
+        id,
+        construction: host.construction_name().to_string(),
+        params: host.params_string(),
+        stream: stream.spec.slug(),
+        cap_arrivals: cap,
+        mult,
+        budget_k,
+        trials: records.len(),
+        deaths: records.iter().filter(|r| r.died).count(),
+        survived_all: records.iter().filter(|r| !r.died).count(),
+        arrivals_total,
+        repairs_fast: records.iter().map(|r| r.fast).sum(),
+        repairs_local: records.iter().map(|r| r.local).sum(),
+        repairs_rebuild: records.iter().map(|r| r.rebuild).sum(),
+        lifetime_mean: crate::stats::mean(&lifetimes),
+        lifetime_min: lifetimes.first().copied().unwrap_or(0.0) as usize,
+        lifetime_max: lifetimes.last().copied().unwrap_or(0.0) as usize,
+        lifetime_median: quantile(&lifetimes, 0.5),
+        median_ci: quantile_ci(&lifetimes, 0.5),
+        lifetime_p90: quantile(&lifetimes, 0.9),
+        p90_ci: quantile_ci(&lifetimes, 0.9),
+        death_time_mean: (!death_times.is_empty()).then(|| crate::stats::mean(&death_times)),
+        cert_checks: records.iter().map(|r| r.cert_checks).sum(),
+        cert_failures: records.iter().map(|r| r.cert_failures).sum(),
+        seconds,
+        faults_per_sec: if seconds > 0.0 {
+            arrivals_total as f64 / seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Resolves a stream's arrival cap against a built host. The hard
+/// safety cap for run-to-death cells is `4 × host nodes` — far beyond
+/// any survivable prefix, but it bounds pathological streams.
+fn resolve_cap(
+    def: &StreamDef,
+    host: &BuiltHost,
+    num_nodes: usize,
+) -> Result<(usize, Option<f64>, Option<usize>), String> {
+    let budget_k = match host {
+        BuiltHost::Ddn(h) => Some(h.params().tolerated_faults()),
+        _ => None,
+    };
+    match def.cap {
+        ArrivalCap::UntilDeath => Ok((4 * num_nodes.max(1), None, budget_k)),
+        ArrivalCap::Arrivals(n) => Ok((n, None, budget_k)),
+        ArrivalCap::BudgetMult(mult) => {
+            let Some(k) = budget_k else {
+                return Err(format!(
+                    "budget-multiple caps need a construction with a discrete fault \
+                     budget (D^d_{{n,k}}), not {}",
+                    host.construction_name()
+                ));
+            };
+            let cap = ((k as f64) * mult).round() as usize;
+            Ok((cap.max(1), Some(mult), budget_k))
+        }
+    }
+}
+
+/// Expands `spec` into cells and runs every cell. `threads = 0` selects
+/// the available parallelism. Results are a pure function of
+/// `(spec contents, root seed)`; see the module docs.
+pub fn run_lifetime(spec: &LifetimeSpec, threads: usize) -> Result<LifetimeReport, String> {
+    spec.validate()?;
+    let mut cells = Vec::new();
+    for cspec in &spec.constructions {
+        let host = cspec.build()?;
+        let host_id = host.id();
+        for def in &spec.streams {
+            let num_nodes = match &host {
+                BuiltHost::Bdn(h) => HostConstruction::num_nodes(h),
+                BuiltHost::Adn(h) => HostConstruction::num_nodes(h),
+                BuiltHost::Ddn(h) => HostConstruction::num_nodes(h),
+            };
+            let (cap, mult, budget_k) = resolve_cap(def, &host, num_nodes)?;
+            let id = format!("{host_id}/{}{}", def.spec.slug(), def.cap.slug());
+            let seed = cell_seed(spec.root_seed, &id);
+            let start = Instant::now();
+            let records = match &host {
+                BuiltHost::Bdn(h) => run_lifetime_trials(
+                    h,
+                    &def.spec,
+                    cap,
+                    spec.trials,
+                    seed,
+                    threads,
+                    spec.certify_every,
+                ),
+                BuiltHost::Adn(h) => run_lifetime_trials(
+                    h,
+                    &def.spec,
+                    cap,
+                    spec.trials,
+                    seed,
+                    threads,
+                    spec.certify_every,
+                ),
+                BuiltHost::Ddn(h) => run_lifetime_trials(
+                    h,
+                    &def.spec,
+                    cap,
+                    spec.trials,
+                    seed,
+                    threads,
+                    spec.certify_every,
+                ),
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            cells.push(aggregate_cell(
+                id, &host, def, cap, mult, budget_k, &records, seconds,
+            ));
+        }
+    }
+    Ok(LifetimeReport {
+        name: spec.name.clone(),
+        root_seed: spec.root_seed,
+        trials: spec.trials,
+        threads,
+        certify_every: spec.certify_every,
+        cells,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+impl LifetimeReport {
+    /// The `LIFE_<name>.json` artifact: schema-versioned, one object
+    /// per cell. Field order and `schema_version` are part of the CI
+    /// contract (`tools/check_life.py`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {LIFE_SCHEMA_VERSION},\n"));
+        out.push_str("  \"kind\": \"lifetime\",\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(&self.name)));
+        out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"certify_every\": {},\n", self.certify_every));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let (ff, fl, fr) = c.repair_fractions();
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"id\": \"{}\",\n", json_escape(&c.id)));
+            out.push_str(&format!(
+                "      \"construction\": \"{}\",\n",
+                json_escape(&c.construction)
+            ));
+            out.push_str(&format!(
+                "      \"params\": \"{}\",\n",
+                json_escape(&c.params)
+            ));
+            out.push_str(&format!(
+                "      \"stream\": \"{}\",\n",
+                json_escape(&c.stream)
+            ));
+            out.push_str(&format!("      \"cap_arrivals\": {},\n", c.cap_arrivals));
+            out.push_str(&format!(
+                "      \"mult\": {},\n",
+                c.mult.map_or_else(|| "null".into(), json_f64)
+            ));
+            out.push_str(&format!(
+                "      \"budget_k\": {},\n",
+                c.budget_k
+                    .map_or_else(|| "null".to_string(), |k| k.to_string())
+            ));
+            out.push_str(&format!("      \"trials\": {},\n", c.trials));
+            out.push_str(&format!("      \"deaths\": {},\n", c.deaths));
+            out.push_str(&format!("      \"survived_all\": {},\n", c.survived_all));
+            out.push_str(&format!(
+                "      \"arrivals_total\": {},\n",
+                c.arrivals_total
+            ));
+            out.push_str(&format!("      \"repairs_fast\": {},\n", c.repairs_fast));
+            out.push_str(&format!("      \"repairs_local\": {},\n", c.repairs_local));
+            out.push_str(&format!(
+                "      \"repairs_rebuild\": {},\n",
+                c.repairs_rebuild
+            ));
+            out.push_str(&format!("      \"frac_fast\": {},\n", json_f64(ff)));
+            out.push_str(&format!("      \"frac_local\": {},\n", json_f64(fl)));
+            out.push_str(&format!("      \"frac_rebuild\": {},\n", json_f64(fr)));
+            out.push_str(&format!(
+                "      \"lifetime_mean\": {},\n",
+                json_f64(c.lifetime_mean)
+            ));
+            out.push_str(&format!("      \"lifetime_min\": {},\n", c.lifetime_min));
+            out.push_str(&format!("      \"lifetime_max\": {},\n", c.lifetime_max));
+            out.push_str(&format!(
+                "      \"lifetime_median\": {},\n",
+                json_f64(c.lifetime_median)
+            ));
+            out.push_str(&format!(
+                "      \"median_ci_low\": {},\n",
+                json_f64(c.median_ci.0)
+            ));
+            out.push_str(&format!(
+                "      \"median_ci_high\": {},\n",
+                json_f64(c.median_ci.1)
+            ));
+            out.push_str(&format!(
+                "      \"lifetime_p90\": {},\n",
+                json_f64(c.lifetime_p90)
+            ));
+            out.push_str(&format!(
+                "      \"p90_ci_low\": {},\n",
+                json_f64(c.p90_ci.0)
+            ));
+            out.push_str(&format!(
+                "      \"p90_ci_high\": {},\n",
+                json_f64(c.p90_ci.1)
+            ));
+            out.push_str(&format!(
+                "      \"death_time_mean\": {},\n",
+                c.death_time_mean.map_or_else(|| "null".into(), json_f64)
+            ));
+            out.push_str(&format!("      \"cert_checks\": {},\n", c.cert_checks));
+            out.push_str(&format!("      \"cert_failures\": {},\n", c.cert_failures));
+            out.push_str(&format!("      \"seconds\": {:.6},\n", c.seconds));
+            out.push_str(&format!(
+                "      \"faults_per_sec\": {:.3}\n",
+                c.faults_per_sec
+            ));
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The `LIFE_<name>.csv` artifact: a header row plus one row per
+    /// cell, in the JSON's cell order.
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::from(
+            "id,construction,params,stream,cap_arrivals,mult,budget_k,trials,deaths,\
+             survived_all,arrivals_total,repairs_fast,repairs_local,repairs_rebuild,\
+             lifetime_mean,lifetime_min,lifetime_max,lifetime_median,median_ci_low,\
+             median_ci_high,lifetime_p90,death_time_mean,cert_checks,cert_failures,\
+             seconds,faults_per_sec\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3}\n",
+                esc(&c.id),
+                esc(&c.construction),
+                esc(&c.params),
+                esc(&c.stream),
+                c.cap_arrivals,
+                c.mult.map(|m| format!("{m}")).unwrap_or_default(),
+                c.budget_k.map(|k| k.to_string()).unwrap_or_default(),
+                c.trials,
+                c.deaths,
+                c.survived_all,
+                c.arrivals_total,
+                c.repairs_fast,
+                c.repairs_local,
+                c.repairs_rebuild,
+                c.lifetime_mean,
+                c.lifetime_min,
+                c.lifetime_max,
+                c.lifetime_median,
+                c.median_ci.0,
+                c.median_ci.1,
+                c.lifetime_p90,
+                c.death_time_mean
+                    .map(|t| format!("{t}"))
+                    .unwrap_or_default(),
+                c.cert_checks,
+                c.cert_failures,
+                c.seconds,
+                c.faults_per_sec,
+            ));
+        }
+        out
+    }
+
+    /// Writes the JSON and CSV artifacts.
+    pub fn write_artifacts(&self, json_path: &str, csv_path: &str) -> Result<(), String> {
+        std::fs::write(json_path, self.to_json())
+            .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        std::fs::write(csv_path, self.to_csv())
+            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+        Ok(())
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "LIFE {}: {} cells × {} trials (root seed {})",
+                self.name,
+                self.cells.len(),
+                self.trials,
+                self.root_seed
+            ),
+            &[
+                "cell",
+                "construction",
+                "deaths",
+                "median life [CI]",
+                "mean",
+                "fast/local/rebuild",
+                "faults/sec",
+            ],
+        );
+        for c in &self.cells {
+            let (ff, fl, fr) = c.repair_fractions();
+            t.row(vec![
+                c.id.clone(),
+                c.construction.clone(),
+                format!("{}/{}", c.deaths, c.trials),
+                format!(
+                    "{:.0} [{:.0}, {:.0}]",
+                    c.lifetime_median, c.median_ci.0, c.median_ci.1
+                ),
+                format!("{:.1}", c.lifetime_mean),
+                format!("{ff:.2}/{fl:.2}/{fr:.2}"),
+                format!("{:.1}", c.faults_per_sec),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> LifetimeSpec {
+        LifetimeSpec {
+            name: "unit".into(),
+            constructions: vec![ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 30,
+                b: 2,
+            }],
+            streams: vec![
+                StreamDef {
+                    spec: StreamSpec::Targeted,
+                    cap: ArrivalCap::BudgetMult(1.0),
+                },
+                StreamDef {
+                    spec: StreamSpec::Trickle {
+                        node_rate: 5e-3,
+                        edge_rate: 0.0,
+                    },
+                    cap: ArrivalCap::UntilDeath,
+                },
+            ],
+            trials: 6,
+            root_seed: 9,
+            certify_every: 4,
+        }
+    }
+
+    #[test]
+    fn presets_all_build_and_registry_is_synced() {
+        for name in LIFETIME_PRESET_NAMES {
+            let spec = LifetimeSpec::preset(name).unwrap();
+            spec.validate().unwrap();
+        }
+        assert!(LifetimeSpec::preset("bogus").is_err());
+        let registry: Vec<&str> = LIFETIME_PRESETS.iter().map(|p| p.name).collect();
+        assert_eq!(registry, LIFETIME_PRESET_NAMES);
+        for p in LIFETIME_PRESETS {
+            assert!(!p.summary.is_empty(), "{}: empty help summary", p.name);
+        }
+    }
+
+    #[test]
+    fn theorem_3_online_form_budget_cells_survive_exactly_k() {
+        let report = run_lifetime(&tiny_spec(), 0).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let cell = &report.cells[0];
+        let k = cell.budget_k.expect("D² cell carries its budget");
+        assert_eq!(cell.cap_arrivals, k);
+        assert_eq!(cell.deaths, 0, "within budget every fault is repairable");
+        assert_eq!(cell.survived_all, cell.trials);
+        assert_eq!(cell.lifetime_min, k, "every trial survives exactly k");
+        assert_eq!(cell.lifetime_max, k);
+        assert_eq!(cell.cert_failures, 0);
+        assert!(cell.cert_checks > 0, "certify_every=4 must fire");
+    }
+
+    #[test]
+    fn run_to_death_cells_die_and_report_distribution() {
+        let report = run_lifetime(&tiny_spec(), 0).unwrap();
+        let cell = &report.cells[1];
+        assert_eq!(cell.deaths, cell.trials, "the trickle eventually kills");
+        assert!(cell.lifetime_mean > 0.0);
+        let dtm = cell.death_time_mean.expect("deaths ⇒ a mean death time");
+        assert!(
+            dtm >= cell.lifetime_mean,
+            "stream time advances at least one step per arrival"
+        );
+        assert!(
+            report.cells[0].death_time_mean.is_none(),
+            "no deaths ⇒ no death time"
+        );
+        assert!(cell.lifetime_min <= cell.lifetime_max);
+        assert!(cell.median_ci.0 <= cell.lifetime_median);
+        assert!(cell.lifetime_median <= cell.median_ci.1);
+        assert!(cell.repairs_total() > 0);
+        let (ff, fl, fr) = cell.repair_fractions();
+        assert!((ff + fl + fr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_are_thread_count_invariant() {
+        let one = run_lifetime(&tiny_spec(), 1).unwrap();
+        let four = run_lifetime(&tiny_spec(), 4).unwrap();
+        assert_eq!(one.cells.len(), four.cells.len());
+        for (a, b) in one.cells.iter().zip(&four.cells) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.deaths, b.deaths, "{}", a.id);
+            assert_eq!(a.arrivals_total, b.arrivals_total, "{}", a.id);
+            assert_eq!(a.lifetime_mean, b.lifetime_mean, "{}", a.id);
+            assert_eq!(
+                (a.repairs_fast, a.repairs_local, a.repairs_rebuild),
+                (b.repairs_fast, b.repairs_local, b.repairs_rebuild),
+                "{}",
+                a.id
+            );
+        }
+    }
+
+    #[test]
+    fn artifacts_have_the_schema_shape() {
+        let report = run_lifetime(&tiny_spec(), 0).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"kind\": \"lifetime\""));
+        assert!(json.contains("\"lifetime_median\""));
+        assert!(json.contains("\"frac_fast\""));
+        assert!(json.contains("\"death_time_mean\""));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+        assert!(csv.starts_with("id,construction,"));
+        assert!(!report.table().is_empty());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut spec = tiny_spec();
+        spec.trials = 0;
+        assert!(run_lifetime(&spec, 1).is_err());
+
+        let mut spec = tiny_spec();
+        spec.name = "bad name".into();
+        assert!(run_lifetime(&spec, 1).is_err());
+
+        let mut spec = tiny_spec();
+        spec.streams = vec![];
+        assert!(run_lifetime(&spec, 1).is_err());
+
+        // Budget caps need a budgeted construction.
+        let mut spec = tiny_spec();
+        spec.constructions = vec![ConstructionSpec::Bdn {
+            d: 2,
+            n_min: 54,
+            b: 3,
+            eps_b: 1,
+        }];
+        assert!(run_lifetime(&spec, 1).is_err(), "BudgetMult × B² must fail");
+
+        let mut spec = tiny_spec();
+        spec.streams[0].cap = ArrivalCap::BudgetMult(0.0);
+        assert!(run_lifetime(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn cell_ids_anchor_seeds_not_positions() {
+        let spec = tiny_spec();
+        let mut reversed = spec.clone();
+        reversed.streams.reverse();
+        let a = run_lifetime(&spec, 1).unwrap();
+        let b = run_lifetime(&reversed, 1).unwrap();
+        for cell in &a.cells {
+            let twin = b
+                .cells
+                .iter()
+                .find(|c| c.id == cell.id)
+                .expect("same cells, different order");
+            assert_eq!(cell.arrivals_total, twin.arrivals_total, "{}", cell.id);
+            assert_eq!(cell.deaths, twin.deaths, "{}", cell.id);
+        }
+    }
+}

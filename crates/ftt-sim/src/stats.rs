@@ -41,6 +41,36 @@ pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
     )
 }
 
+/// Nearest-rank `q`-quantile of an ascending sample (0 for empty
+/// input). `q = 0.5` is the median.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Wilson-style confidence interval for the `q`-quantile of an
+/// ascending sample: the Wilson score interval around the CDF position
+/// `q` ([`wilson_interval`] at `⌈q·n⌉` pseudo-successes) is mapped back
+/// through the empirical CDF to order statistics. Distribution-free and
+/// conservative at the sample edges; degenerates to the full range for
+/// tiny samples.
+pub fn quantile_ci(sorted: &[f64], q: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+    if sorted.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = sorted.len();
+    let pseudo = ((q * n as f64).ceil() as usize).min(n);
+    let (lo_p, hi_p) = wilson_interval(pseudo, n);
+    let lo_idx = ((lo_p * n as f64).floor() as usize).min(n - 1);
+    let hi_idx = ((hi_p * n as f64).ceil() as usize).clamp(lo_idx + 1, n) - 1;
+    (sorted[lo_idx], sorted[hi_idx])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +126,40 @@ mod tests {
         let (l1, h1) = wilson_interval(5, 10);
         let (l2, h2) = wilson_interval(500, 1000);
         assert!(h2 - l2 < h1 - l1);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.0], 0.5), 7.0);
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.9), 9.0);
+    }
+
+    #[test]
+    fn quantile_ci_brackets_the_quantile() {
+        let xs: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        for q in [0.1, 0.5, 0.9] {
+            let point = quantile(&xs, q);
+            let (lo, hi) = quantile_ci(&xs, q);
+            assert!(lo <= point && point <= hi, "q={q}: [{lo}, {hi}] vs {point}");
+            assert!(lo >= xs[0] && hi <= xs[99]);
+        }
+        // More samples, tighter interval.
+        let big: Vec<f64> = (1..=1000).map(|x| x as f64).collect();
+        let (l1, h1) = quantile_ci(&xs, 0.5);
+        let (l2, h2) = quantile_ci(&big, 0.5);
+        assert!((h2 - l2) / 1000.0 < (h1 - l1) / 100.0);
+    }
+
+    #[test]
+    fn quantile_ci_degenerate_samples() {
+        assert_eq!(quantile_ci(&[], 0.5), (0.0, 0.0));
+        let one = [42.0];
+        let (lo, hi) = quantile_ci(&one, 0.5);
+        assert_eq!((lo, hi), (42.0, 42.0));
     }
 }

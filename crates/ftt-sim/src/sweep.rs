@@ -104,7 +104,7 @@ pub enum ConstructionSpec {
 }
 
 impl ConstructionSpec {
-    fn build(&self) -> Result<BuiltHost, String> {
+    pub(crate) fn build(&self) -> Result<BuiltHost, String> {
         match *self {
             ConstructionSpec::Bdn { d, n_min, b, eps_b } => Ok(BuiltHost::Bdn(Bdn::build(
                 BdnParams::fit(d, n_min, b, eps_b)?,
@@ -131,8 +131,10 @@ impl ConstructionSpec {
 }
 
 /// A built host of any construction, with the spec-level metadata the
-/// report needs (canonical id, parameter string, guest size).
-enum BuiltHost {
+/// report needs (canonical id, parameter string, guest size). Shared
+/// with the lifetime engine (`crate::lifetime`), which crosses the same
+/// construction axis with fault streams instead of fault regimes.
+pub(crate) enum BuiltHost {
     Bdn(Bdn),
     Adn(Adn),
     Ddn(Ddn),
@@ -141,7 +143,7 @@ enum BuiltHost {
 impl BuiltHost {
     /// Canonical id of the *resolved* instance — part of every cell id,
     /// hence of every cell seed.
-    fn id(&self) -> String {
+    pub(crate) fn id(&self) -> String {
         match self {
             BuiltHost::Bdn(h) => {
                 let p = h.params();
@@ -158,7 +160,7 @@ impl BuiltHost {
         }
     }
 
-    fn construction_name(&self) -> &'static str {
+    pub(crate) fn construction_name(&self) -> &'static str {
         match self {
             BuiltHost::Bdn(_) => <Bdn as HostConstruction>::NAME,
             BuiltHost::Adn(_) => <Adn as HostConstruction>::NAME,
@@ -166,7 +168,7 @@ impl BuiltHost {
         }
     }
 
-    fn params_string(&self) -> String {
+    pub(crate) fn params_string(&self) -> String {
         match self {
             BuiltHost::Bdn(h) => {
                 let p = h.params();
@@ -357,147 +359,220 @@ pub struct SweepSpec {
     pub baseline: Option<BaselineSpec>,
 }
 
-/// Names accepted by [`SweepSpec::preset`].
+/// Names accepted by [`SweepSpec::preset`] (mirrors [`SWEEP_PRESETS`];
+/// kept as a plain const for cheap error messages and tests).
 pub const PRESET_NAMES: &[&str] = &["smoke", "t1", "t2", "t3", "exhaustive"];
 
+/// One entry of the sweep preset registry: the canonical name, the
+/// one-line help summary (rendered into `ftt help` so new presets show
+/// up there automatically), and the spec builder.
+pub struct SweepPreset {
+    /// Canonical preset name (`--preset <name>`).
+    pub name: &'static str,
+    /// Help-text summary (may span lines; pre-indented continuation).
+    pub summary: &'static str,
+    build: fn() -> SweepSpec,
+}
+
+impl SweepPreset {
+    /// Builds the preset's spec.
+    pub fn spec(&self) -> SweepSpec {
+        (self.build)()
+    }
+}
+
+/// The single registry of checked-in sweep presets — the source of
+/// truth for [`SweepSpec::preset`] **and** for the preset table in the
+/// CLI help text.
+pub const SWEEP_PRESETS: &[SweepPreset] = &[
+    SweepPreset {
+        name: "smoke",
+        summary: "3-cell B² grid for CI",
+        build: preset_smoke,
+    },
+    SweepPreset {
+        name: "t1",
+        summary: "A²_108 under Bernoulli node+edge faults (Theorem 1)",
+        build: preset_t1,
+    },
+    SweepPreset {
+        name: "t2",
+        summary: "B²_{54,108,192} vs multiples of the design probability\n\
+                  b^(-3d) — success monotone non-increasing in p (Theorem 2)",
+        build: preset_t2,
+    },
+    SweepPreset {
+        name: "t3",
+        summary: "D²_{n,k} adversarial patterns at budget multiples; the ×1\n\
+                  cells must sit at success rate 1 (Theorem 3)",
+        build: preset_t3,
+    },
+    SweepPreset {
+        name: "exhaustive",
+        summary: "D¹/D² cells certifying *every* canonical fault pattern at\n\
+                  the full budget (Theorem 3, combinatorially; success must\n\
+                  be exactly 1)",
+        build: preset_exhaustive,
+    },
+];
+
+// Tiny grid for CI smoke: one B² instance, three points of the
+// Theorem 2 curve.
+fn preset_smoke() -> SweepSpec {
+    SweepSpec {
+        name: "smoke".into(),
+        constructions: vec![ConstructionSpec::Bdn {
+            d: 2,
+            n_min: 54,
+            b: 3,
+            eps_b: 1,
+        }],
+        regimes: [0.2, 1.0, 4.0]
+            .into_iter()
+            .map(|mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
+            .collect(),
+        trials: 5,
+        root_seed: 1,
+        baseline: Some(BaselineSpec::default()),
+    }
+}
+
+// Theorem 1: A²_n under simultaneous node and edge faults.
+fn preset_t1() -> SweepSpec {
+    SweepSpec {
+        name: "t1".into(),
+        constructions: vec![ConstructionSpec::Adn {
+            n_min: 108,
+            k: 2,
+            h: 10,
+            sqrt_q: 0.05,
+        }],
+        regimes: vec![
+            FaultRegime::Bernoulli { p: 0.0, q: 0.0 },
+            FaultRegime::Bernoulli { p: 0.005, q: 5e-4 },
+            FaultRegime::Bernoulli { p: 0.01, q: 1e-3 },
+            FaultRegime::Bernoulli { p: 0.02, q: 2e-3 },
+        ],
+        trials: 60,
+        root_seed: 1,
+        baseline: Some(BaselineSpec::default()),
+    }
+}
+
+// Theorem 2: B²_n success vs multiples of the design probability
+// b^{−3d}. Multiples are listed in increasing order so the emitted
+// success column reads as the curve: monotone non-increasing in p per
+// construction.
+fn preset_t2() -> SweepSpec {
+    SweepSpec {
+        name: "t2".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 108,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 192,
+                b: 4,
+                eps_b: 1,
+            },
+        ],
+        regimes: [0.05, 0.2, 1.0, 4.0]
+            .into_iter()
+            .map(|mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
+            .collect(),
+        trials: 60,
+        root_seed: 1,
+        baseline: Some(BaselineSpec::default()),
+    }
+}
+
+// Theorem 3: D²_{n,k} under adversarial patterns at multiples of the
+// worst-case budget. The ×1 cells are the theorem's guarantee (success
+// rate exactly 1).
+fn preset_t3() -> SweepSpec {
+    SweepSpec {
+        name: "t3".into(),
+        constructions: vec![
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 40,
+                b: 2,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 60,
+                b: 3,
+            },
+        ],
+        regimes: [
+            SweepPattern::Random,
+            SweepPattern::ClusteredCube,
+            SweepPattern::ResidueSpreadAuto,
+        ]
+        .into_iter()
+        .flat_map(|pattern| {
+            [1.0, 2.0, 4.0]
+                .into_iter()
+                .map(move |mult| FaultRegime::AdversarialBudget { pattern, mult })
+        })
+        .collect(),
+        trials: 40,
+        root_seed: 1,
+        baseline: Some(BaselineSpec::default()),
+    }
+}
+
+// Theorem 3 proved combinatorially: small D¹ and D² instances against
+// *every* canonical fault pattern at the full budget, certified through
+// the independent checker. Every cell must sit at success rate 1.
+fn preset_exhaustive() -> SweepSpec {
+    SweepSpec {
+        name: "exhaustive".into(),
+        constructions: vec![
+            ConstructionSpec::Ddn {
+                d: 1,
+                n_min: 20,
+                b: 3,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 8,
+                b: 1,
+            },
+        ],
+        regimes: vec![FaultRegime::Exhaustive { max_faults: None }],
+        trials: 1, // ignored: exhaustive cells walk their pattern list
+        root_seed: 1,
+        baseline: None,
+    }
+}
+
 impl SweepSpec {
-    /// A checked-in paper-regime preset: `t1`, `t2`, `t3` reproduce the
-    /// Theorem 1/2/3 curves, `smoke` is a 3-cell CI grid. See the
+    /// A checked-in paper-regime preset from [`SWEEP_PRESETS`]: `t1`,
+    /// `t2`, `t3` reproduce the Theorem 1/2/3 curves, `smoke` is a
+    /// 3-cell CI grid, `exhaustive` certifies combinatorially. See the
     /// module docs.
     pub fn preset(name: &str) -> Result<SweepSpec, String> {
-        match name {
-            // Tiny grid for CI smoke: one B² instance, three points of
-            // the Theorem 2 curve.
-            "smoke" => Ok(SweepSpec {
-                name: "smoke".into(),
-                constructions: vec![ConstructionSpec::Bdn {
-                    d: 2,
-                    n_min: 54,
-                    b: 3,
-                    eps_b: 1,
-                }],
-                regimes: [0.2, 1.0, 4.0]
-                    .into_iter()
-                    .map(|mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
-                    .collect(),
-                trials: 5,
-                root_seed: 1,
-                baseline: Some(BaselineSpec::default()),
-            }),
-            // Theorem 1: A²_n under simultaneous node and edge faults.
-            "t1" => Ok(SweepSpec {
-                name: "t1".into(),
-                constructions: vec![ConstructionSpec::Adn {
-                    n_min: 108,
-                    k: 2,
-                    h: 10,
-                    sqrt_q: 0.05,
-                }],
-                regimes: vec![
-                    FaultRegime::Bernoulli { p: 0.0, q: 0.0 },
-                    FaultRegime::Bernoulli { p: 0.005, q: 5e-4 },
-                    FaultRegime::Bernoulli { p: 0.01, q: 1e-3 },
-                    FaultRegime::Bernoulli { p: 0.02, q: 2e-3 },
-                ],
-                trials: 60,
-                root_seed: 1,
-                baseline: Some(BaselineSpec::default()),
-            }),
-            // Theorem 2: B²_n success vs multiples of the design
-            // probability b^{−3d}. Multiples are listed in increasing
-            // order so the emitted success column reads as the curve:
-            // monotone non-increasing in p per construction.
-            "t2" => Ok(SweepSpec {
-                name: "t2".into(),
-                constructions: vec![
-                    ConstructionSpec::Bdn {
-                        d: 2,
-                        n_min: 54,
-                        b: 3,
-                        eps_b: 1,
-                    },
-                    ConstructionSpec::Bdn {
-                        d: 2,
-                        n_min: 108,
-                        b: 3,
-                        eps_b: 1,
-                    },
-                    ConstructionSpec::Bdn {
-                        d: 2,
-                        n_min: 192,
-                        b: 4,
-                        eps_b: 1,
-                    },
-                ],
-                regimes: [0.05, 0.2, 1.0, 4.0]
-                    .into_iter()
-                    .map(|mult| FaultRegime::DesignBernoulli { mult, q: 0.0 })
-                    .collect(),
-                trials: 60,
-                root_seed: 1,
-                baseline: Some(BaselineSpec::default()),
-            }),
-            // Theorem 3: D²_{n,k} under adversarial patterns at
-            // multiples of the worst-case budget. The ×1 cells are the
-            // theorem's guarantee (success rate exactly 1).
-            "t3" => Ok(SweepSpec {
-                name: "t3".into(),
-                constructions: vec![
-                    ConstructionSpec::Ddn {
-                        d: 2,
-                        n_min: 40,
-                        b: 2,
-                    },
-                    ConstructionSpec::Ddn {
-                        d: 2,
-                        n_min: 60,
-                        b: 3,
-                    },
-                ],
-                regimes: [
-                    SweepPattern::Random,
-                    SweepPattern::ClusteredCube,
-                    SweepPattern::ResidueSpreadAuto,
-                ]
-                .into_iter()
-                .flat_map(|pattern| {
-                    [1.0, 2.0, 4.0]
-                        .into_iter()
-                        .map(move |mult| FaultRegime::AdversarialBudget { pattern, mult })
-                })
-                .collect(),
-                trials: 40,
-                root_seed: 1,
-                baseline: Some(BaselineSpec::default()),
-            }),
-            // Theorem 3 proved combinatorially: small D¹ and D²
-            // instances against *every* canonical fault pattern at the
-            // full budget, certified through the independent checker.
-            // Every cell must sit at success rate exactly 1.
-            "exhaustive" => Ok(SweepSpec {
-                name: "exhaustive".into(),
-                constructions: vec![
-                    ConstructionSpec::Ddn {
-                        d: 1,
-                        n_min: 20,
-                        b: 3,
-                    },
-                    ConstructionSpec::Ddn {
-                        d: 2,
-                        n_min: 8,
-                        b: 1,
-                    },
-                ],
-                regimes: vec![FaultRegime::Exhaustive { max_faults: None }],
-                trials: 1, // ignored: exhaustive cells walk their pattern list
-                root_seed: 1,
-                baseline: None,
-            }),
-            other => Err(format!(
-                "unknown preset `{other}` (available: {})",
-                PRESET_NAMES.join(", ")
-            )),
-        }
+        SWEEP_PRESETS
+            .iter()
+            .find(|p| p.name == name)
+            .map(SweepPreset::spec)
+            .ok_or_else(|| {
+                format!(
+                    "unknown preset `{name}` (available: {})",
+                    PRESET_NAMES.join(", ")
+                )
+            })
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -526,19 +601,11 @@ impl SweepSpec {
 }
 
 /// Per-cell seed: a pure function of the root seed and the cell's
-/// canonical id. Hashing the *id* (FNV-1a, then a splitmix64 finisher)
-/// instead of the cell's position is what makes sweep results
-/// invariant under cell reordering and grid extension.
+/// canonical id. Hashing the *id* (FNV-1a, then a splitmix64 finisher —
+/// see [`ftt_geom::hash`]) instead of the cell's position is what makes
+/// sweep results invariant under cell reordering and grid extension.
 pub fn cell_seed(root_seed: u64, cell_id: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for byte in cell_id.bytes() {
-        h ^= byte as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    let mut z = h ^ root_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    ftt_geom::seed_for_id(root_seed, cell_id)
 }
 
 /// A cell's fault generation, resolved to absolute parameters.
@@ -1213,6 +1280,15 @@ mod tests {
             spec.validate().unwrap();
         }
         assert!(SweepSpec::preset("bogus").is_err());
+    }
+
+    #[test]
+    fn preset_names_mirror_the_registry() {
+        let registry: Vec<&str> = SWEEP_PRESETS.iter().map(|p| p.name).collect();
+        assert_eq!(registry, PRESET_NAMES, "PRESET_NAMES out of sync");
+        for p in SWEEP_PRESETS {
+            assert!(!p.summary.is_empty(), "{}: empty help summary", p.name);
+        }
     }
 
     #[test]

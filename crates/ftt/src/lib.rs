@@ -45,8 +45,15 @@
 //!   enumeration up to cyclic symmetry
 //! * [`sim`] — parallel Monte-Carlo trial running and tables, the
 //!   construction-generic [`sim::run_extraction_trials`] scenario
-//!   runner, declarative sweeps, and the exhaustive certification
-//!   engine ([`sim::run_certify`])
+//!   runner, declarative sweeps, the exhaustive certification engine
+//!   ([`sim::run_certify`]), and the lifetime engine
+//!   ([`sim::run_lifetime`])
+//! * [`online`] — the online fault-stream subsystem as one façade:
+//!   streaming fault models ([`online::StreamSpec`], the replayable
+//!   [`online::FaultJournal`]), incremental embedding repair
+//!   ([`online::RepairState`] — O(1)/local/rebuild tiers with batch
+//!   parity), and lifetime scenarios ([`online::run_lifetime`],
+//!   presets `life-smoke`/`life-t2`/`life-t3`)
 
 pub use ftt_baselines as baselines;
 pub use ftt_core as core;
@@ -54,5 +61,6 @@ pub use ftt_expander as expander;
 pub use ftt_faults as faults;
 pub use ftt_geom as geom;
 pub use ftt_graph as graph;
+pub use ftt_online as online;
 pub use ftt_sim as sim;
 pub use ftt_verify as verify;

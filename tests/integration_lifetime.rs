@@ -1,0 +1,170 @@
+//! Integration tests for the online lifetime engine: stream
+//! determinism, journal replay, chunk-boundary invariance, and the
+//! Theorem 3 online guarantee through the public `ftt` facade.
+//!
+//! Extends the determinism patterns of `integration_sweep.rs` to the
+//! streaming subsystem: lifetime reports must be a pure function of
+//! `(spec contents, root seed)` — never of the worker thread count or
+//! the chunked trial claiming — and any individual trial must be
+//! reproducible from its recorded `FaultJournal`, event for event.
+
+use ftt::core::construct::HostConstruction;
+use ftt::core::ddn::{Ddn, DdnParams};
+use ftt::online::{
+    run_lifetime, run_lifetime_trial, ArrivalCap, FaultJournal, LifetimeSpec, RepairState,
+    StreamDef, StreamSpec,
+};
+use ftt::sim::lifetime::run_lifetime_trials;
+use ftt::sim::runner::{trial_seed, CLAIM_CHUNK};
+use ftt::sim::{cell_seed, ConstructionSpec};
+
+fn d2_trickle_spec(trials: usize) -> LifetimeSpec {
+    LifetimeSpec {
+        name: "integration".into(),
+        constructions: vec![ConstructionSpec::Ddn {
+            d: 2,
+            n_min: 30,
+            b: 2,
+        }],
+        streams: vec![StreamDef {
+            spec: StreamSpec::Trickle {
+                node_rate: 5e-3,
+                edge_rate: 5e-4,
+            },
+            cap: ArrivalCap::UntilDeath,
+        }],
+        trials,
+        root_seed: 42,
+        certify_every: 8,
+    }
+}
+
+/// Reports are invariant under the worker thread count.
+#[test]
+fn lifetime_reports_thread_count_invariant() {
+    let spec = d2_trickle_spec(10);
+    let one = run_lifetime(&spec, 1).unwrap();
+    let four = run_lifetime(&spec, 4).unwrap();
+    let auto = run_lifetime(&spec, 0).unwrap();
+    for other in [&four, &auto] {
+        for (a, b) in one.cells.iter().zip(&other.cells) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.deaths, b.deaths, "{}", a.id);
+            assert_eq!(a.survived_all, b.survived_all, "{}", a.id);
+            assert_eq!(a.arrivals_total, b.arrivals_total, "{}", a.id);
+            assert_eq!(a.lifetime_mean, b.lifetime_mean, "{}", a.id);
+            assert_eq!(a.lifetime_median, b.lifetime_median, "{}", a.id);
+            assert_eq!(
+                (a.repairs_fast, a.repairs_local, a.repairs_rebuild),
+                (b.repairs_fast, b.repairs_local, b.repairs_rebuild),
+                "{}",
+                a.id
+            );
+            assert_eq!(a.cert_checks, b.cert_checks, "{}", a.id);
+            assert_eq!(a.cert_failures, 0, "{}", a.id);
+        }
+    }
+}
+
+/// Trial counts right at, below, and above the claim-chunk boundary
+/// produce identical per-trial records for every thread count — the
+/// chunked claiming is invisible in lifetime results.
+#[test]
+fn lifetime_chunk_boundaries_are_exact() {
+    let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+    let stream = StreamSpec::Trickle {
+        node_rate: 5e-3,
+        edge_rate: 0.0,
+    };
+    let seed = cell_seed(7, "chunk_test");
+    for trials in [CLAIM_CHUNK - 1, CLAIM_CHUNK, CLAIM_CHUNK + 3] {
+        let sequential = run_lifetime_trials(&host, &stream, 10_000, trials, seed, 1, 0);
+        for threads in [3, 0] {
+            let parallel = run_lifetime_trials(&host, &stream, 10_000, trials, seed, threads, 0);
+            assert_eq!(
+                sequential, parallel,
+                "trials={trials}, threads={threads}: records diverge"
+            );
+        }
+    }
+}
+
+/// A journal recorded from a live trial replays to the identical
+/// outcome: same lifetime, same repair classes, same death.
+#[test]
+fn journal_replay_reproduces_the_trial() {
+    let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+    let num_nodes = HostConstruction::num_nodes(&host);
+    let num_edges = host.graph().num_edges();
+    let stream_spec = StreamSpec::Trickle {
+        node_rate: 5e-3,
+        edge_rate: 5e-4,
+    };
+    let mut state = RepairState::new(&host).unwrap();
+    for trial in 0..12u64 {
+        let mut journal = FaultJournal::new();
+        let mut stream = stream_spec.stream(num_nodes, num_edges, trial_seed(99, trial));
+        let live = run_lifetime_trial(
+            &host,
+            &mut state,
+            &mut stream,
+            10_000,
+            4,
+            Some(&mut journal),
+        );
+        assert_eq!(journal.len(), live.arrivals, "every arrival is journaled");
+
+        let mut replayed_stream = journal.replay();
+        let replayed = run_lifetime_trial(&host, &mut state, &mut replayed_stream, 10_000, 4, None);
+        assert_eq!(live, replayed, "trial {trial}: replay diverged");
+
+        // The journal's batch view agrees with the online outcome: the
+        // accumulated set extracts iff the trial survived.
+        let all = journal.to_fault_set(num_nodes, num_edges);
+        let batch_all = HostConstruction::try_extract(&host, &all);
+        assert_eq!(batch_all.is_ok(), !live.died, "trial {trial}: batch parity");
+    }
+}
+
+/// The targeted adversary is adaptive (it reads the live embedding),
+/// yet trials remain pure functions of the trial seed.
+#[test]
+fn targeted_adversary_trials_are_deterministic() {
+    let host = Ddn::new(DdnParams::fit(2, 40, 2).unwrap());
+    let k = host.params().tolerated_faults();
+    let seed = cell_seed(3, "targeted_det");
+    let a = run_lifetime_trials(&host, &StreamSpec::Targeted, 2 * k, 8, seed, 1, 0);
+    let b = run_lifetime_trials(&host, &StreamSpec::Targeted, 2 * k, 8, seed, 4, 0);
+    assert_eq!(a, b, "adaptive streams must stay deterministic");
+    // Every trial survives at least the budget (Theorem 3, online).
+    for (i, rec) in a.iter().enumerate() {
+        assert!(
+            rec.survived >= k,
+            "trial {i}: died after {} < k = {k} faults",
+            rec.survived
+        );
+    }
+}
+
+/// The life-t3 preset's ×1 cells assert Theorem 3's online form:
+/// exactly k targeted faults, all repaired, across every trial.
+/// (Scaled-down trial budget to keep the integration suite quick.)
+#[test]
+fn life_t3_budget_cells_survive_exactly_k() {
+    let mut spec = LifetimeSpec::preset("life-t3").unwrap();
+    spec.trials = 6;
+    let report = run_lifetime(&spec, 0).unwrap();
+    let mut asserted = 0;
+    for cell in &report.cells {
+        assert_eq!(cell.cert_failures, 0, "{}", cell.id);
+        if cell.mult == Some(1.0) {
+            let k = cell.budget_k.expect("life-t3 runs on D²");
+            assert_eq!(cell.cap_arrivals, k, "{}", cell.id);
+            assert_eq!(cell.deaths, 0, "{}: Theorem 3 online form", cell.id);
+            assert_eq!(cell.lifetime_min, k, "{}", cell.id);
+            assert_eq!(cell.lifetime_max, k, "{}", cell.id);
+            asserted += 1;
+        }
+    }
+    assert_eq!(asserted, 2, "both D² instances carry a ×1 cell");
+}

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Validate LIFE_* artifacts emitted by the lifetime engine.
+
+Usage:
+    check_life.py LIFE.json [LIFE.csv]
+
+Checks (CI's lifetime-smoke job runs this on every emitted artifact):
+  * schema_version matches the version this checker understands;
+  * every cell carries the full field set, death/survival tallies are
+    consistent with the trial budget, and the lifetime distribution is
+    sane (min <= median <= max, Wilson order-statistic CIs bracket
+    their quantiles, p90 >= median);
+  * repair-class fractions are probabilities summing to ~1 (when any
+    repairs happened) and every independent certificate check passed
+    (cert_failures == 0 — a nonzero count is an engine bug);
+  * Theorem 3, online form: every x1-budget targeted-adversary cell
+    survived *exactly* its budget k — cap_arrivals == k, zero deaths,
+    and lifetime_min == lifetime_max == k;
+  * the optional CSV twin has the expected header and one row per cell,
+    in the same order.
+"""
+
+import csv
+import json
+import sys
+
+SCHEMA_VERSION = 1
+CELL_FIELDS = [
+    "id",
+    "construction",
+    "params",
+    "stream",
+    "cap_arrivals",
+    "mult",
+    "budget_k",
+    "trials",
+    "deaths",
+    "survived_all",
+    "arrivals_total",
+    "repairs_fast",
+    "repairs_local",
+    "repairs_rebuild",
+    "frac_fast",
+    "frac_local",
+    "frac_rebuild",
+    "lifetime_mean",
+    "lifetime_min",
+    "lifetime_max",
+    "lifetime_median",
+    "median_ci_low",
+    "median_ci_high",
+    "lifetime_p90",
+    "p90_ci_low",
+    "p90_ci_high",
+    "death_time_mean",
+    "cert_checks",
+    "cert_failures",
+    "seconds",
+    "faults_per_sec",
+]
+CSV_HEADER = (
+    "id,construction,params,stream,cap_arrivals,mult,budget_k,trials,deaths,"
+    "survived_all,arrivals_total,repairs_fast,repairs_local,repairs_rebuild,"
+    "lifetime_mean,lifetime_min,lifetime_max,lifetime_median,median_ci_low,"
+    "median_ci_high,lifetime_p90,death_time_mean,cert_checks,cert_failures,"
+    "seconds,faults_per_sec"
+)
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float))
+
+
+def validate_cell(cell):
+    cid = cell.get("id", "<no id>")
+    for field in CELL_FIELDS:
+        check(field in cell, f"{cid}: missing field {field}")
+    trials = cell.get("trials")
+    check(isinstance(trials, int) and trials > 0, f"{cid}: odd trial count")
+    deaths, survived = cell.get("deaths"), cell.get("survived_all")
+    if isinstance(trials, int) and isinstance(deaths, int) and isinstance(survived, int):
+        check(
+            deaths + survived == trials,
+            f"{cid}: deaths {deaths} + survived {survived} != trials {trials}",
+        )
+    # Lifetime distribution sanity.
+    lo, med, hi = (
+        cell.get("lifetime_min"),
+        cell.get("lifetime_median"),
+        cell.get("lifetime_max"),
+    )
+    p90 = cell.get("lifetime_p90")
+    if all(is_num(x) for x in (lo, med, hi, p90)):
+        check(lo <= med <= hi, f"{cid}: min {lo} <= median {med} <= max {hi} violated")
+        check(med <= p90 <= hi, f"{cid}: p90 {p90} outside [median, max]")
+    for q, ci_lo_f, ci_hi_f in (
+        ("lifetime_median", "median_ci_low", "median_ci_high"),
+        ("lifetime_p90", "p90_ci_low", "p90_ci_high"),
+    ):
+        point, ci_lo, ci_hi = cell.get(q), cell.get(ci_lo_f), cell.get(ci_hi_f)
+        if all(is_num(x) for x in (point, ci_lo, ci_hi)):
+            check(
+                ci_lo <= point <= ci_hi,
+                f"{cid}: CI [{ci_lo}, {ci_hi}] does not bracket {q} {point}",
+            )
+            if is_num(lo) and is_num(hi):
+                check(
+                    lo <= ci_lo and ci_hi <= hi,
+                    f"{cid}: {q} CI escapes the observed range",
+                )
+    # Lifetime in stream-time units: present iff any trial died.
+    dtm = cell.get("death_time_mean")
+    if isinstance(deaths, int):
+        if deaths > 0:
+            check(
+                is_num(dtm) and dtm > 0,
+                f"{cid}: {deaths} deaths but death_time_mean is {dtm!r}",
+            )
+        else:
+            check(dtm is None, f"{cid}: no deaths but death_time_mean {dtm!r}")
+    # Repair-class mix.
+    fracs = [cell.get(f) for f in ("frac_fast", "frac_local", "frac_rebuild")]
+    repairs = sum(
+        cell.get(f, 0)
+        for f in ("repairs_fast", "repairs_local", "repairs_rebuild")
+        if isinstance(cell.get(f), int)
+    )
+    if all(is_num(f) for f in fracs):
+        check(all(0.0 <= f <= 1.0 for f in fracs), f"{cid}: repair fraction out of [0,1]")
+        if repairs > 0:
+            check(
+                abs(sum(fracs) - 1.0) < 1e-6,
+                f"{cid}: repair fractions sum to {sum(fracs)}",
+            )
+    # Every independent certificate check must have passed.
+    check(
+        cell.get("cert_failures") == 0,
+        f"{cid}: {cell.get('cert_failures')} certificate checks FAILED "
+        "(live embedding rejected by the independent checker)",
+    )
+    # Theorem 3, online form: x1-budget targeted cells survive exactly k.
+    if cell.get("stream") == "targeted" and cell.get("mult") == 1:
+        k = cell.get("budget_k")
+        check(isinstance(k, int) and k > 0, f"{cid}: x1 targeted cell without budget_k")
+        check(
+            cell.get("cap_arrivals") == k,
+            f"{cid}: x1 cap {cell.get('cap_arrivals')} != budget k {k}",
+        )
+        check(
+            cell.get("deaths") == 0,
+            f"{cid}: {cell.get('deaths')} deaths within the Theorem 3 budget",
+        )
+        check(
+            cell.get("lifetime_min") == k and cell.get("lifetime_max") == k,
+            f"{cid}: lifetimes [{cell.get('lifetime_min')}, {cell.get('lifetime_max')}] "
+            f"!= exactly k = {k} (online Theorem 3)",
+        )
+
+
+def validate_report(report):
+    check(
+        report.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version {report.get('schema_version')!r} != {SCHEMA_VERSION}",
+    )
+    check(report.get("kind") == "lifetime", f"kind {report.get('kind')!r} != 'lifetime'")
+    check(isinstance(report.get("name"), str) and report["name"], "missing name")
+    for field in ("root_seed", "trials", "threads", "certify_every"):
+        check(isinstance(report.get(field), int), f"missing/odd {field}")
+    cells = report.get("cells")
+    check(isinstance(cells, list) and cells, "cells must be a non-empty list")
+    for cell in cells or []:
+        validate_cell(cell)
+    return cells or []
+
+
+def validate_csv(path, cells):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    check(bool(rows), f"{path}: empty CSV")
+    if rows:
+        check(
+            ",".join(rows[0]) == CSV_HEADER,
+            f"{path}: header mismatch:\n  got      {','.join(rows[0])}\n"
+            f"  expected {CSV_HEADER}",
+        )
+        check(
+            len(rows) == 1 + len(cells),
+            f"{path}: {len(rows) - 1} data rows for {len(cells)} cells",
+        )
+        for row, cell in zip(rows[1:], cells):
+            check(
+                row and row[0] == cell["id"],
+                f"{path}: row id {row[0] if row else '<empty>'} != {cell['id']}",
+            )
+
+
+def main(argv):
+    if not 1 <= len(argv) <= 2:
+        sys.exit("usage: check_life.py LIFE.json [LIFE.csv]")
+    with open(argv[0]) as fh:
+        report = json.load(fh)
+    cells = validate_report(report)
+    if len(argv) == 2:
+        validate_csv(argv[1], cells)
+    if errors:
+        print(f"check_life: {argv[0]} FAILED:", file=sys.stderr)
+        for err in errors:
+            print(f"  - {err}", file=sys.stderr)
+        sys.exit(1)
+    x1 = sum(1 for c in cells if c.get("stream") == "targeted" and c.get("mult") == 1)
+    print(
+        f"check_life: {argv[0]} ok ({len(cells)} cells, schema_version "
+        f"{report['schema_version']}"
+        + (f", {x1} x1-budget cells at exactly k" if x1 else "")
+        + ")"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_extraction.json.
+"""Perf gates over the bench emitters' JSON artifacts.
 
 Usage:
     check_perf.py COMMITTED_BASELINE.json FRESH.json [--floor 0.25]
+    check_perf.py --online BENCH_online.json [--min-speedup 2.0]
 
-Compares the freshly measured trials/sec of every scenario against the
-committed baseline and fails if any scenario drops below
-``floor * baseline`` (default 25% — deliberately generous: CI runners
-are slower and noisier than the machines that produce committed
-baselines, so this gate catches order-of-magnitude regressions like an
-accidentally quadratic hot path or a lost scratch reuse, not few-percent
-drift; trend inspection uses the uploaded artifacts).
+Two-file mode compares the freshly measured trials/sec of every
+scenario in BENCH_extraction.json against the committed baseline and
+fails if any scenario drops below ``floor * baseline`` (default 25% —
+deliberately generous: CI runners are slower and noisier than the
+machines that produce committed baselines, so this gate catches
+order-of-magnitude regressions like an accidentally quadratic hot path
+or a lost scratch reuse, not few-percent drift; trend inspection uses
+the uploaded artifacts).
+
+``--online`` mode validates a BENCH_online.json artifact (incremental
+repair vs from-scratch re-extraction on identical fault streams) and
+gates the per-scenario *speedup* — a machine-relative ratio, so it is
+noise-robust — at ``--min-speedup`` (default 2.0, the online
+subsystem's acceptance floor).
 """
 
 import json
@@ -31,7 +39,68 @@ def load(path):
     return scenarios
 
 
+def check_online(argv):
+    usage = "usage: check_perf.py --online BENCH_online.json [--min-speedup S]"
+    min_speedup = 2.0
+    if "--min-speedup" in argv:
+        i = argv.index("--min-speedup")
+        try:
+            min_speedup = float(argv[i + 1])
+        except (IndexError, ValueError):
+            sys.exit(f"{usage}\ncheck_perf: --min-speedup needs a numeric value")
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        sys.exit(usage)
+    path = argv[0]
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("bench") != "online":
+        sys.exit(f"check_perf: {path}: bench kind {data.get('bench')!r} != 'online'")
+    scenarios = data.get("scenarios", [])
+    if not scenarios:
+        sys.exit(f"check_perf: {path}: no scenarios")
+    failures = []
+    print(f"{'scenario':<24} {'arrivals':>9} {'incr/s':>12} {'rebuild/s':>12} {'speedup':>8}")
+    for s in scenarios:
+        name = s.get("name")
+        speedup = s.get("speedup")
+        if not isinstance(name, str) or not isinstance(speedup, (int, float)):
+            sys.exit(f"check_perf: {path}: malformed scenario entry {s!r}")
+        for field in (
+            "arrivals",
+            "incremental_arrivals_per_sec",
+            "rebuild_arrivals_per_sec",
+            "frac_fast",
+            "frac_local",
+            "frac_rebuild",
+        ):
+            if not isinstance(s.get(field), (int, float)):
+                sys.exit(f"check_perf: {path}: {name}: missing/odd field {field}")
+        marker = "" if speedup >= min_speedup else "  <-- BELOW FLOOR"
+        print(
+            f"{name:<24} {s['arrivals']:>9} {s['incremental_arrivals_per_sec']:>12.1f} "
+            f"{s['rebuild_arrivals_per_sec']:>12.1f} {speedup:>8.2f}{marker}"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"{name}: incremental repair only {speedup:.2f}x faster than "
+                f"from-scratch re-extraction (floor {min_speedup:.1f}x)"
+            )
+    if failures:
+        print("check_perf: FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_perf: ok ({len(scenarios)} online scenarios, "
+        f"speedup >= {min_speedup:.1f}x)"
+    )
+
+
 def main(argv):
+    if "--online" in argv:
+        argv.remove("--online")
+        return check_online(argv)
     usage = "usage: check_perf.py BASELINE.json FRESH.json [--floor F]"
     floor = 0.25
     if "--floor" in argv:
