@@ -1,8 +1,12 @@
 //! Criterion: band placement cost (painting + segments + interpolation)
-//! as a function of fault density (supports T2-SUCCESS / ABL-HEALTH).
+//! as a function of fault density (supports T2-SUCCESS / ABL-HEALTH),
+//! plus full re-placement vs tile-local repaint for one arrival (the
+//! online Local tier's headroom).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftt_core::bdn::place::place_bands;
+use ftt_core::bdn::place::{
+    place_bands, place_bands_cached, place_bands_for_ids, repaint_tile_local,
+};
 use ftt_core::bdn::{Bdn, BdnParams};
 use ftt_faults::sample_bernoulli_faults;
 use rand::rngs::SmallRng;
@@ -38,12 +42,39 @@ fn bench_place_random(c: &mut Criterion) {
     });
 }
 
+/// One isolated arrival on top of two existing faults: the full batch
+/// re-placement the Rebuild tier used to pay, against the tile-local
+/// repaint the Local tier pays now. Identical inputs, identical
+/// resulting banding (debug builds assert it inside the repaint).
+fn bench_repaint_vs_full(c: &mut Criterion) {
+    let params = BdnParams::new(2, 192, 4, 1).unwrap();
+    let bdn = Bdn::build(params);
+    let existing = vec![bdn.cols().node(20, 20), bdn.cols().node(100, 100)];
+    let arrival = bdn.cols().node(200, 60);
+    let mut all = existing.clone();
+    all.push(arrival);
+    c.bench_function("b2_192_arrival_full_replace", |b| {
+        b.iter(|| black_box(place_bands_for_ids(&bdn, &all).unwrap()));
+    });
+    // The online engine pays exactly this pair on every arrival it
+    // absorbs locally: restore the pristine-region scratch, then
+    // repaint the one dirtied tile.
+    let pristine = place_bands_cached(&bdn, &existing).unwrap();
+    let mut work = pristine.clone();
+    c.bench_function("b2_192_arrival_repaint_tile_local", |b| {
+        b.iter(|| {
+            work.restore_from(&pristine);
+            black_box(repaint_tile_local(&bdn, &mut work, arrival, &all).unwrap())
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_place, bench_place_random
+    targets = bench_place, bench_place_random, bench_repaint_vs_full
 }
 criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Scratch profiler: where does an `A²_108` extraction trial spend
+//! its time? Not part of any artifact — run by hand with
+//! `cargo run --release -p ftt-bench --example profile_a2`.
+
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::BdnParams;
+use ftt_core::construct::HostConstruction;
+use ftt_faults::{sample_bernoulli_faults_into, FaultSet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+    let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+    let p = 2e-3; // the BENCH_extraction a2_n108_bernoulli regime
+    let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+    let mut scratch = host.new_scratch();
+    let trials = 300;
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let t = Instant::now();
+    for _ in 0..trials {
+        sample_bernoulli_faults_into(host.graph(), p, 0.0, &mut rng, &mut faults);
+        black_box(&faults);
+    }
+    println!("sampling:   {:?}/trial", t.elapsed() / trials);
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let t = Instant::now();
+    let halves = ftt_faults::HalfEdgeFaults::none(host.graph().num_edges());
+    let mut goodness = ftt_core::adn::Goodness {
+        good_node: Vec::new(),
+        good_supernode: Vec::new(),
+        good_count: Vec::new(),
+    };
+    let mut node_faulty = vec![false; host.num_nodes()];
+    for _ in 0..trials {
+        sample_bernoulli_faults_into(host.graph(), p, 0.0, &mut rng, &mut faults);
+        for v in faults.faulty_nodes() {
+            node_faulty[v] = true;
+        }
+        ftt_core::adn::goodness::classify_into(
+            &host,
+            &node_faulty,
+            faults.faulty_node_ids(),
+            &halves,
+            &mut goodness,
+        );
+        for v in faults.faulty_nodes() {
+            node_faulty[v] = false;
+        }
+        black_box(&goodness);
+    }
+    println!("+classify:  {:?}/trial", t.elapsed() / trials);
+
+    let su_faulty: Vec<bool> = goodness.good_supernode.iter().map(|&g| !g).collect();
+    let t = Instant::now();
+    for _ in 0..trials {
+        let _ = black_box(ftt_core::bdn::extract::extract_after_faults(
+            host.inner(),
+            &su_faulty,
+        ));
+    }
+    println!("inner:      {:?}/trial", t.elapsed() / trials);
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let t = Instant::now();
+    for _ in 0..trials {
+        sample_bernoulli_faults_into(host.graph(), p, 0.0, &mut rng, &mut faults);
+        let _ = black_box(host.try_extract_with(&faults, &mut scratch));
+    }
+    println!("+extract:   {:?}/trial", t.elapsed() / trials);
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let t = Instant::now();
+    for _ in 0..trials {
+        sample_bernoulli_faults_into(host.graph(), p, 0.0, &mut rng, &mut faults);
+        let _ = black_box(ftt_sim::extract_verified_with(&host, &faults, &mut scratch));
+    }
+    println!("+verify:    {:?}/trial", t.elapsed() / trials);
+
+    let emb = host
+        .try_extract_with(&faults, &mut scratch)
+        .expect("extractable");
+    let t = Instant::now();
+    for _ in 0..trials {
+        let _ = black_box(ftt_graph::verify_torus_embedding(
+            &emb.guest,
+            &emb.map,
+            host.graph(),
+            |_| true,
+            |_| true,
+        ));
+    }
+    println!("verify-raw: {:?}/trial", t.elapsed() / trials);
+}

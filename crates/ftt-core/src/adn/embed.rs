@@ -29,68 +29,150 @@ pub fn embed_torus(
     goodness: &Goodness,
     halves: &HalfEdgeFaults,
 ) -> Result<TorusEmbedding, PlacementError> {
-    let params = adn.params();
-    let (k, h) = (params.k, params.h);
-    let inner = adn.inner();
-    let big_n = params.inner.n;
-    let n = params.n();
+    let n = adn.params().n();
 
     // Level 1: extract the supernode torus.
     let su_faulty: Vec<bool> = goodness.good_supernode.iter().map(|&g| !g).collect();
-    let inner_emb = extract_after_faults(inner, &su_faulty)
+    let inner_emb = extract_after_faults(adn.inner(), &su_faulty)
         .map_err(|e| PlacementError::SupernodeLevelFailed { inner: Box::new(e) })?;
 
     // Level 2: greedy node embedding.
-    let guest = Shape::new(vec![n, n]);
+    let mut map = Vec::new();
+    let mut used = Vec::new();
+    let mut suspect = Vec::new();
+    greedy_level2_into(
+        adn,
+        goodness,
+        halves,
+        &inner_emb.map,
+        &mut map,
+        &mut used,
+        &mut suspect,
+    )?;
+    Ok(TorusEmbedding {
+        guest: Shape::new(vec![n, n]),
+        map,
+    })
+}
+
+/// The level-2 greedy node embedding into reused buffers: maps every
+/// guest node of the `n × n` torus to an unused good node of the
+/// supernode `inner_map` assigns to its block, joined by alive edges to
+/// the images of its already-placed guest neighbours.
+///
+/// `map`/`used`/`suspect` are cleared and refilled (`map` ends holding
+/// the guest→host assignment, `used` the host-node usage bitmap), so
+/// the hot paths — Monte-Carlo extraction and online re-greedy — run
+/// allocation-free in the steady state.
+///
+/// The alive-edge check is where the batch pipeline used to spend its
+/// time, and the construction makes almost all of it redundant: every
+/// candidate/image pair lies in the same or adjacent supernodes, which
+/// `A^2_n` joins completely, so an edge *exists* unconditionally and
+/// can only be rejected if one of its halves failed. Only endpoints of
+/// touched edges ([`HalfEdgeFaults::touched_edges`]) can be incident
+/// to a faulty half, so the check is skipped entirely unless candidate
+/// or image is such a *suspect* — with node-only fault sets the greedy
+/// never scans an adjacency list at all.
+pub(crate) fn greedy_level2_into(
+    adn: &Adn,
+    goodness: &Goodness,
+    halves: &HalfEdgeFaults,
+    inner_map: &[usize],
+    map: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    suspect: &mut Vec<bool>,
+) -> Result<(), PlacementError> {
+    let params = adn.params();
+    let k = params.k;
+    let h = params.h;
+    let big_n = params.inner.n;
+    let n = params.n();
     let host_graph = adn.graph();
-    let mut map = vec![usize::MAX; guest.len()];
-    let mut used = vec![false; adn.num_nodes()];
-    // supernode hosting guest block (I, J): inner guest node (I, J)
-    let inner_guest = Shape::new(vec![big_n, big_n]);
-    for g in guest.iter() {
-        let (i, j) = (guest.coord_of(g, 0), guest.coord_of(g, 1));
-        let block = inner_guest.flatten(&[i / k, j / k]);
-        let su = inner_emb.map[block];
-        // assigned guest neighbours
-        let mut images: [usize; 4] = [usize::MAX; 4];
-        let mut ni = 0;
-        for axis in 0..2 {
-            for step in [-1isize, 1] {
-                let gn = guest.torus_step(g, axis, step);
-                if map[gn] != usize::MAX {
-                    images[ni] = map[gn];
-                    ni += 1;
-                }
-            }
+    map.clear();
+    map.reserve(n * n);
+    used.clear();
+    used.resize(adn.num_nodes(), false);
+    let touched = halves.touched_edges();
+    let check_edges = !touched.is_empty();
+    suspect.clear();
+    if check_edges {
+        suspect.resize(adn.num_nodes(), false);
+        for &e in touched {
+            let (a, b) = host_graph.edge_endpoints(e);
+            suspect[a] = true;
+            suspect[b] = true;
         }
-        // candidate: unused good node of `su` with alive edges to all
-        // assigned neighbour images
-        let mut chosen = None;
-        'cand: for v in adn.nodes_of(su) {
-            if used[v] || !goodness.good_node[v] {
-                continue;
-            }
-            for &img in &images[..ni] {
-                let alive = host_graph.any_edge_between(v, img, |e| !halves.edge_faulty(e));
-                if !alive {
-                    continue 'cand;
-                }
-            }
-            chosen = Some(v);
-            break;
-        }
-        let Some(v) = chosen else {
-            return Err(PlacementError::EmbeddingStuck { guest: g });
-        };
-        used[v] = true;
-        map[g] = v;
     }
-    debug_assert_eq!(
-        map.iter().filter(|&&v| v != usize::MAX).count(),
-        guest.len()
-    );
-    let _ = h;
-    Ok(TorusEmbedding { guest, map })
+    // Guest nodes in row-major order, every placed neighbour read by
+    // direct index arithmetic (up `g−n`, left `g−1`, and the torus
+    // wraps back to row/column 0 from the last row/column) — the
+    // division-heavy `coord_of`/`torus_step`/`flatten` per-node path
+    // costs more than the candidate scan itself at Monte-Carlo rates.
+    // Supernode hosting guest block (I, J): inner guest node (I, J).
+    for i in 0..n {
+        let row = i * n;
+        let block_row = (i / k) * big_n;
+        let up = i > 0;
+        let wrap_up = i == n - 1 && i > 0;
+        let mut in_block = 0;
+        let mut block = block_row;
+        for j in 0..n {
+            let g = row + j;
+            let su = inner_map[block];
+            // assigned guest neighbours (all already pushed: every
+            // index below is < g)
+            let mut images: [usize; 4] = [usize::MAX; 4];
+            let mut ni = 0;
+            if up {
+                images[ni] = map[g - n];
+                ni += 1;
+            }
+            if wrap_up {
+                images[ni] = map[j];
+                ni += 1;
+            }
+            if j > 0 {
+                images[ni] = map[g - 1];
+                ni += 1;
+            }
+            if j == n - 1 && j > 0 {
+                images[ni] = map[row];
+                ni += 1;
+            }
+            // candidate: unused good node of `su` with alive edges to
+            // all assigned neighbour images
+            let mut chosen = None;
+            'cand: for v in su * h..(su + 1) * h {
+                if used[v] || !goodness.good_node[v] {
+                    continue;
+                }
+                if check_edges {
+                    for &img in &images[..ni] {
+                        if (suspect[v] || suspect[img])
+                            && !host_graph.any_edge_between(v, img, |e| !halves.edge_faulty(e))
+                        {
+                            continue 'cand;
+                        }
+                    }
+                }
+                chosen = Some(v);
+                break;
+            }
+            let Some(v) = chosen else {
+                return Err(PlacementError::EmbeddingStuck { guest: g });
+            };
+            used[v] = true;
+            map.push(v);
+            in_block += 1;
+            if in_block == k {
+                in_block = 0;
+                block += 1;
+            }
+        }
+    }
+    debug_assert_eq!(map.len(), n * n);
+    Ok(())
 }
 
 /// Convenience: classify goodness and embed in one call — "Theorem 1 as

@@ -42,17 +42,56 @@ impl Goodness {
 /// driven by [`HalfEdgeFaults::touched_edges`], never by a scan of all
 /// `E` edges, so sparse fault regimes classify in near-linear node time.
 pub fn classify(adn: &Adn, node_faulty: &[bool], halves: &HalfEdgeFaults) -> Goodness {
+    let mut out = Goodness {
+        good_node: Vec::new(),
+        good_supernode: Vec::new(),
+        good_count: Vec::new(),
+    };
+    let marked: Vec<usize> = (0..node_faulty.len()).filter(|&v| node_faulty[v]).collect();
+    classify_into(adn, node_faulty, &marked, halves, &mut out);
+    out
+}
+
+/// [`classify`] into reused buffers — the Monte-Carlo and online-repair
+/// form: `out`'s vectors are cleared and refilled, so repeated
+/// classification performs no steady-state allocation.
+///
+/// `marked` is the duplicate-free list of nodes set in `node_faulty`
+/// (the sparse view every hot caller already maintains). With it the
+/// demotion work is `O(#faults + T log T)` on top of three bulk
+/// memsets — no per-node scan of the host, which is what the
+/// Monte-Carlo extraction throughput of `A²` lives on.
+pub fn classify_into(
+    adn: &Adn,
+    node_faulty: &[bool],
+    marked: &[usize],
+    halves: &HalfEdgeFaults,
+    out: &mut Goodness,
+) {
     let g = adn.graph();
     assert_eq!(node_faulty.len(), g.num_nodes());
     assert_eq!(halves.num_edges(), g.num_edges());
     let params = adn.params();
+    let h = params.h;
     let max_bad = params.max_bad_halves();
     let num_sus = params.num_supernodes();
-    // Start from "alive ⇒ good" and demote nodes whose bad-half budget
-    // toward some supernode is exceeded. Only touched edges can demote,
-    // so group the faulty halves by (node, target supernode) and count
-    // runs instead of scanning every arc of every node.
-    let mut good_node: Vec<bool> = node_faulty.iter().map(|&f| !f).collect();
+    let min_good = params.min_good_nodes() as u32;
+    // Start from the pristine classification (every node good, every
+    // count h) and demote: node faults from `marked`, half-edge budget
+    // violations from the touched edges grouped by (node, target
+    // supernode). Only supernodes that lost a node need their goodness
+    // re-evaluated, so the pristine `good_supernode` fill survives
+    // everywhere else.
+    out.good_node.clear();
+    out.good_node.resize(g.num_nodes(), true);
+    out.good_count.clear();
+    out.good_count.resize(num_sus, h as u32);
+    for &v in marked {
+        debug_assert!(node_faulty[v], "marked node {v} not set in node_faulty");
+        debug_assert!(out.good_node[v], "duplicate marked node {v}");
+        out.good_node[v] = false;
+        out.good_count[v / h] -= 1;
+    }
     let mut bad_pairs: Vec<(u32, u32)> = Vec::new();
     for &e in halves.touched_edges() {
         let (a, b) = g.edge_endpoints(e);
@@ -70,23 +109,22 @@ pub fn classify(adn: &Adn, node_faulty: &[bool], halves: &HalfEdgeFaults) -> Goo
         while j < bad_pairs.len() && bad_pairs[j] == bad_pairs[i] {
             j += 1;
         }
-        if j - i > max_bad {
-            good_node[bad_pairs[i].0 as usize] = false;
+        let v = bad_pairs[i].0 as usize;
+        if j - i > max_bad && out.good_node[v] {
+            out.good_node[v] = false;
+            out.good_count[v / h] -= 1;
         }
         i = j;
     }
-    let mut good_count = vec![0u32; num_sus];
-    for (v, &good) in good_node.iter().enumerate() {
-        if good {
-            good_count[adn.supernode_of(v)] += 1;
-        }
+    out.good_supernode.clear();
+    out.good_supernode.resize(num_sus, h as u32 >= min_good);
+    for &v in marked {
+        let su = v / h;
+        out.good_supernode[su] = out.good_count[su] >= min_good;
     }
-    let min_good = params.min_good_nodes() as u32;
-    let good_supernode: Vec<bool> = good_count.iter().map(|&c| c >= min_good).collect();
-    Goodness {
-        good_node,
-        good_supernode,
-        good_count,
+    for &(v, _) in &bad_pairs {
+        let su = v as usize / h;
+        out.good_supernode[su] = out.good_count[su] >= min_good;
     }
 }
 

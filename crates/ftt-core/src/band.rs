@@ -73,6 +73,29 @@ impl Banding {
         self.starts[band][column]
     }
 
+    /// Mutable access to one band's start row, for the tile-local
+    /// repaint path (`crate::bdn::place::repaint_tile_local`), which
+    /// rewrites exactly the bands of a dirtied tile row in place. The
+    /// caller is responsible for re-establishing the band axioms
+    /// ([`Banding::validate`]-level invariants) before the banding is
+    /// used again.
+    #[inline]
+    pub(crate) fn band_mut(&mut self, band: usize) -> &mut Vec<usize> {
+        &mut self.starts[band]
+    }
+
+    /// Allocation-reusing copy of `other`'s start rows (the repair
+    /// engine restores a memoised fault-free banding on every trial
+    /// reset, so this must not reallocate the per-band buffers).
+    pub(crate) fn copy_starts_from(&mut self, other: &Banding) {
+        debug_assert_eq!(
+            (self.width, self.m, self.num_columns),
+            (other.width, other.m, other.num_columns),
+            "copy_starts_from across differently-shaped bandings"
+        );
+        self.starts.clone_from(&other.starts);
+    }
+
     /// The masked arc of `band` in `column`.
     #[inline]
     pub fn footprint(&self, band: usize, column: usize) -> CyclicInterval {

@@ -42,9 +42,32 @@ pub fn interpolate_bands(
     m: usize,
     width: usize,
 ) -> Banding {
+    let num_columns = col_shape.len();
+    let mut bands: Vec<Vec<usize>> = Vec::new();
+    for row_vals in corner_values {
+        for band_vals in row_vals {
+            let mut beta = vec![0usize; num_columns];
+            interpolate_band_into(band_vals, col_shape, tile_side, &mut beta);
+            bands.push(beta);
+        }
+    }
+    Banding::new(bands, width, m, num_columns)
+}
+
+/// Interpolates a single band's corner values at every column — the
+/// inner loop of [`interpolate_bands`], exposed separately so the
+/// tile-local repaint path can re-evaluate only the bands of a changed
+/// tile row into a reusable buffer.
+pub(crate) fn interpolate_band_into(
+    band_vals: &[u64],
+    col_shape: &Shape,
+    tile_side: usize,
+    out: &mut [usize],
+) {
     let cdim = col_shape.ndim();
     let col_tile_shape = Shape::new((0..cdim).map(|a| col_shape.dim(a) / tile_side).collect());
-    let num_columns = col_shape.len();
+    debug_assert_eq!(band_vals.len(), col_tile_shape.len());
+    debug_assert_eq!(out.len(), col_shape.len());
     let den = 2 * tile_side as u64;
     let corners = 1usize << cdim;
     let denom = den.pow(cdim as u32);
@@ -54,39 +77,30 @@ pub fn interpolate_bands(
     let mut tile_coord = vec![0usize; cdim];
     let mut nums = vec![0u64; cdim];
     let mut corner = vec![0usize; cdim];
-    let mut bands: Vec<Vec<usize>> = Vec::new();
-    for row_vals in corner_values {
-        for band_vals in row_vals {
-            debug_assert_eq!(band_vals.len(), col_tile_shape.len());
-            let mut beta = vec![0usize; num_columns];
-            for (z, bz) in beta.iter_mut().enumerate() {
-                // locate column tile and within-tile offsets
-                for a in 0..cdim {
-                    let c = col_shape.coord_of(z, a);
-                    tile_coord[a] = c / tile_side;
-                    nums[a] = (2 * (c % tile_side) + 1) as u64;
-                }
-                // exact multilinear sum over the 2^{d−1} corners
-                let mut acc: u64 = 0;
-                for mask in 0..corners {
-                    let mut weight: u64 = 1;
-                    for a in 0..cdim {
-                        if mask & (1 << a) != 0 {
-                            weight *= nums[a];
-                            corner[a] = (tile_coord[a] + 1) % col_tile_shape.dim(a);
-                        } else {
-                            weight *= den - nums[a];
-                            corner[a] = tile_coord[a];
-                        }
-                    }
-                    acc += weight * band_vals[col_tile_shape.flatten(&corner)];
-                }
-                *bz = (acc / denom) as usize;
-            }
-            bands.push(beta);
+    for (z, bz) in out.iter_mut().enumerate() {
+        // locate column tile and within-tile offsets
+        for a in 0..cdim {
+            let c = col_shape.coord_of(z, a);
+            tile_coord[a] = c / tile_side;
+            nums[a] = (2 * (c % tile_side) + 1) as u64;
         }
+        // exact multilinear sum over the 2^{d−1} corners
+        let mut acc: u64 = 0;
+        for mask in 0..corners {
+            let mut weight: u64 = 1;
+            for a in 0..cdim {
+                if mask & (1 << a) != 0 {
+                    weight *= nums[a];
+                    corner[a] = (tile_coord[a] + 1) % col_tile_shape.dim(a);
+                } else {
+                    weight *= den - nums[a];
+                    corner[a] = tile_coord[a];
+                }
+            }
+            acc += weight * band_vals[col_tile_shape.flatten(&corner)];
+        }
+        *bz = (acc / denom) as usize;
     }
-    Banding::new(bands, width, m, num_columns)
 }
 
 #[cfg(test)]

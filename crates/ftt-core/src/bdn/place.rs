@@ -5,13 +5,13 @@
 //! multilinear interpolation → a validated [`Banding`] masking every
 //! fault.
 
-use super::interpolate::{interpolate_bands, CornerValues};
-use super::paint::{paint, Painting};
+use super::interpolate::{interpolate_band_into, interpolate_bands, CornerValues};
+use super::paint::{paint, Painting, Region, TileColor};
 use super::segments::place_region_segments;
 use super::{Bdn, BdnParams};
 use crate::band::Banding;
 use crate::error::PlacementError;
-use ftt_geom::{Shape, TileGrid};
+use ftt_geom::{CyclicRing, Shape, TileGrid};
 
 /// Result of a successful placement, including diagnostics.
 #[derive(Debug, Clone)]
@@ -22,6 +22,87 @@ pub struct Placement {
     pub num_regions: usize,
     /// Number of black tiles.
     pub num_black_tiles: usize,
+}
+
+/// Every intermediate of the placement pipeline, kept alive so an
+/// online arrival can be absorbed by recomputing only what it dirtied
+/// ([`repaint_tile_local`]): per-tile fault counts, the painting, each
+/// region's placed segment rows, the corner-value table, and the
+/// banding itself. A cache built by [`place_bands_cached`] is always
+/// *exactly* the batch pipeline's output for its fault set — repaint
+/// preserves that equality (debug builds assert it).
+#[derive(Debug, Clone)]
+pub struct PlacementCache {
+    grid: TileGrid,
+    tile_faults: Vec<u32>,
+    painting: Painting,
+    /// Per region: (absolute tile row, sorted absolute segment starts).
+    region_rows: Vec<Vec<(usize, Vec<usize>)>>,
+    corner_values: CornerValues,
+    banding: Banding,
+    num_black_tiles: usize,
+    // Repaint scratch, reused across arrivals (contents meaningless
+    // between calls; cloned empty).
+    scratch_row: Vec<usize>,
+    fault_rows: Vec<usize>,
+    changed_rows: Vec<usize>,
+    changed_cols: Vec<usize>,
+    gap_buf: Vec<usize>,
+}
+
+impl PlacementCache {
+    /// The masking bands (batch-identical for the cache's fault set).
+    #[inline]
+    pub fn banding(&self) -> &Banding {
+        &self.banding
+    }
+
+    /// Number of black regions.
+    #[inline]
+    pub fn num_regions(&self) -> usize {
+        self.painting.regions.len()
+    }
+
+    /// Number of black tiles.
+    #[inline]
+    pub fn num_black_tiles(&self) -> usize {
+        self.num_black_tiles
+    }
+
+    /// Restores this cache to `other`'s placement without reallocating
+    /// the large buffers — the repair engine resets to a memoised
+    /// fault-free placement once per lifetime trial, so this path must
+    /// stay cheap. Both caches must come from the same `Bdn` instance.
+    pub fn restore_from(&mut self, other: &PlacementCache) {
+        debug_assert_eq!(self.tile_faults.len(), other.tile_faults.len());
+        self.tile_faults.copy_from_slice(&other.tile_faults);
+        self.painting.color.copy_from_slice(&other.painting.color);
+        self.painting
+            .region_of
+            .copy_from_slice(&other.painting.region_of);
+        self.painting.regions.clone_from(&other.painting.regions);
+        self.region_rows.clone_from(&other.region_rows);
+        self.corner_values.clone_from(&other.corner_values);
+        self.banding.copy_starts_from(&other.banding);
+        self.num_black_tiles = other.num_black_tiles;
+    }
+}
+
+/// Outcome of a successful [`repaint_tile_local`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepaintOutcome {
+    /// Cache updated; the banding is byte-identical to before (the
+    /// dirtied region re-placed to the same segments, or interpolation
+    /// floored the move away).
+    Unchanged,
+    /// Cache and banding updated in place with work bounded by the
+    /// dirtied region's rows and columns.
+    Updated,
+    /// The arrival's effect is not provably tile-local (a fresh faulty
+    /// tile within reach of existing frames can reshape the painting);
+    /// the caller must re-place from scratch. The cache is left
+    /// unusable until rebuilt.
+    NeedsFullPlacement,
 }
 
 /// The tile grid of a `B^d_n` instance (tiles of side `b²` in every
@@ -63,6 +144,21 @@ pub fn place_bands(bdn: &Bdn, faulty: &[bool]) -> Result<Placement, PlacementErr
 /// untouching, masks every fault, and leaves exactly `n` unmasked rows
 /// per column.
 pub fn place_bands_for_ids(bdn: &Bdn, faulty_ids: &[usize]) -> Result<Placement, PlacementError> {
+    let cache = place_bands_cached(bdn, faulty_ids)?;
+    Ok(Placement {
+        num_regions: cache.num_regions(),
+        num_black_tiles: cache.num_black_tiles,
+        banding: cache.banding,
+    })
+}
+
+/// [`place_bands_for_ids`], but returning the full [`PlacementCache`]
+/// so subsequent arrivals can be absorbed by [`repaint_tile_local`].
+/// Identical pipeline, identical results, identical errors.
+pub fn place_bands_cached(
+    bdn: &Bdn,
+    faulty_ids: &[usize],
+) -> Result<PlacementCache, PlacementError> {
     let params = *bdn.params();
     let cols = bdn.cols();
     let t = params.tile_side();
@@ -137,11 +233,264 @@ pub fn place_bands_for_ids(bdn: &Bdn, faulty_ids: &[usize]) -> Result<Placement,
         });
     }
     let num_black_tiles = painting.regions.iter().map(|r| r.tiles.len()).sum();
-    Ok(Placement {
+    Ok(PlacementCache {
+        grid,
+        tile_faults,
+        painting,
+        region_rows,
+        corner_values,
         banding,
-        num_regions: painting.regions.len(),
         num_black_tiles,
+        scratch_row: Vec::new(),
+        fault_rows: Vec::new(),
+        changed_rows: Vec::new(),
+        changed_cols: Vec::new(),
+        gap_buf: Vec::new(),
     })
+}
+
+/// Absorbs one fresh node fault into a [`PlacementCache`] with
+/// tile-local work, preserving exact batch parity: on `Ok(Unchanged)` /
+/// `Ok(Updated)` the cache equals what [`place_bands_cached`] would
+/// build for `faulty_ids` from scratch (up to region numbering, which
+/// the banding does not observe); on `Err` the batch pipeline fails on
+/// the same fault set too.
+///
+/// `new_node` must already be counted in `faulty_ids` (the accumulated
+/// duplicate-free fault list, one entry per ascribed node).
+///
+/// The local cases:
+///
+/// * the fault lands in an **already-faulty tile** — `paint` reads tile
+///   fault counts only as zero/non-zero, so the painting is unchanged
+///   and only the owning region's segments can move;
+/// * the fault lands in a fresh tile **isolated** from every other
+///   faulty tile — far enough that no existing frame search can see it
+///   and its own concentric radius-1 frame has a clean shell, so the
+///   batch painting is exactly the cached painting plus this one tile
+///   painted black (its white shell repaint is a no-op).
+///
+/// Anything else returns [`RepaintOutcome::NeedsFullPlacement`].
+pub fn repaint_tile_local(
+    bdn: &Bdn,
+    cache: &mut PlacementCache,
+    new_node: usize,
+    faulty_ids: &[usize],
+) -> Result<RepaintOutcome, PlacementError> {
+    let params = *bdn.params();
+    let cols = bdn.cols();
+    let t = params.tile_side();
+    let (b, eps_b, m) = (params.b, params.eps_b, params.m());
+    let num_tile_rows = params.num_tile_rows();
+    debug_assert!(faulty_ids.contains(&new_node));
+
+    let tile = cache.grid.tile_of_node(new_node);
+    let was_faulty = cache.tile_faults[tile] > 0;
+    cache.tile_faults[tile] += 1;
+
+    let rid = if was_faulty {
+        cache.painting.region_of[tile] as usize
+    } else {
+        // Fresh faulty tile: local only when it is provably out of
+        // reach of every existing frame. A frame for fault tile `U`
+        // has its center within `r_max − 1` of `U` and radius at most
+        // `r_max`, so its shell and interior stay within `2·r_max − 1`
+        // of `U`. With clearance `2·r_max` this tile is unpainted in
+        // the cache and no existing frame search changes; at
+        // `r_max ≥ 2` one extra tile of clearance keeps this tile's
+        // own radius-1 shell clear of other regions' black tiles,
+        // whose white-override would otherwise make the batch painting
+        // order-dependent (at `r_max = 1` black tiles are exactly the
+        // faulty tiles, so `2·r_max` already guarantees that).
+        let r_max = max_frame_radius(&params);
+        let min_clear = if r_max == 1 { 2 } else { 2 * r_max + 1 };
+        let isolated = faulty_ids.iter().all(|&v| {
+            let tv = cache.grid.tile_of_node(v);
+            tv == tile || cache.grid.tile_chebyshev(tile, tv) >= min_clear
+        });
+        if !isolated {
+            return Ok(RepaintOutcome::NeedsFullPlacement);
+        }
+        debug_assert_eq!(cache.painting.color[tile], TileColor::White);
+        cache.painting.color[tile] = TileColor::Black;
+        let rid = cache.painting.regions.len();
+        cache.painting.region_of[tile] = rid as u32;
+        let gs = cache.grid.grid_shape();
+        let origin = gs.unflatten(tile);
+        let extent = vec![1; gs.ndim()];
+        cache.painting.regions.push(Region {
+            tiles: vec![tile],
+            origin,
+            extent,
+        });
+        cache.region_rows.push(Vec::new());
+        cache.num_black_tiles += 1;
+        rid
+    };
+
+    // Re-place the dirtied region's straight segments from its
+    // accumulated fault rows. An error here is batch-exact: the batch
+    // pipeline reaches the identical `place_region_segments` call for
+    // this region and fails the same way.
+    let (origin0, extent0) = {
+        let region = &cache.painting.regions[rid];
+        (region.origin[0], region.extent[0])
+    };
+    cache.fault_rows.clear();
+    for &v in faulty_ids {
+        let tv = cache.grid.tile_of_node(v);
+        if cache.painting.region_of[tv] == rid as u32 {
+            let (i, _z) = cols.split(v);
+            cache.fault_rows.push((i + m - origin0 * t) % m);
+        }
+    }
+    let segs = place_region_segments(&cache.fault_rows, extent0, t, b, eps_b, rid)?;
+
+    // Diff the re-placed rows against the cached ones.
+    cache.changed_rows.clear();
+    let old_rows = std::mem::take(&mut cache.region_rows[rid]);
+    let mut new_rows = Vec::with_capacity(extent0);
+    for (rel_row, starts) in segs.rows.iter().enumerate() {
+        let abs_row = (origin0 + rel_row) % num_tile_rows;
+        let abs_starts: Vec<usize> = starts.iter().map(|&s| (origin0 * t + s) % m).collect();
+        if !old_rows
+            .iter()
+            .any(|(r, s)| *r == abs_row && *s == abs_starts)
+        {
+            cache.changed_rows.push(abs_row);
+        }
+        new_rows.push((abs_row, abs_starts));
+    }
+    cache.region_rows[rid] = new_rows;
+    if cache.changed_rows.is_empty() {
+        debug_assert_batch_parity(bdn, cache, faulty_ids);
+        return Ok(RepaintOutcome::Unchanged);
+    }
+
+    // Recompute the changed tile rows' corners and re-interpolate only
+    // their bands, rewriting the affected start rows in place.
+    let col_shape = cols.column_shape();
+    cache.changed_cols.clear();
+    for idx in 0..cache.changed_rows.len() {
+        let big_r = cache.changed_rows[idx];
+        assemble_corner_row(
+            &params,
+            &cache.grid,
+            &cache.painting,
+            &cache.region_rows,
+            big_r,
+            &mut cache.corner_values[big_r],
+        )?;
+        for j in 0..eps_b {
+            let band = big_r * eps_b + j;
+            cache.scratch_row.resize(cols.num_columns(), 0);
+            interpolate_band_into(
+                &cache.corner_values[big_r][j],
+                col_shape,
+                t,
+                &mut cache.scratch_row,
+            );
+            let row = cache.banding.band_mut(band);
+            for (z, (&new_s, &old_s)) in cache.scratch_row.iter().zip(row.iter()).enumerate() {
+                if new_s != old_s {
+                    cache.changed_cols.push(z);
+                }
+            }
+            std::mem::swap(row, &mut cache.scratch_row);
+        }
+    }
+    if cache.changed_cols.is_empty() {
+        debug_assert_batch_parity(bdn, cache, faulty_ids);
+        return Ok(RepaintOutcome::Unchanged);
+    }
+    cache.changed_cols.sort_unstable();
+    cache.changed_cols.dedup();
+
+    // Targeted re-validation: exactly `Banding::validate`'s checks (plus
+    // masks-all), restricted to what can have changed. A slope
+    // violation needs a changed endpoint; a touching pair needs a
+    // changed column; a fault can lose its mask only if a band of its
+    // own or the preceding tile row moved (band footprints spill one
+    // row down). Any failure maps to the same `InvalidBanding` the
+    // batch pipeline would report.
+    let ring = CyclicRing::new(m);
+    for &big_r in &cache.changed_rows {
+        for j in 0..eps_b {
+            let band = big_r * eps_b + j;
+            for &z in &cache.changed_cols {
+                let s = cache.banding.start(band, z);
+                for z2 in cols.adjacent_columns_iter(z) {
+                    let off = ring.offset(s, cache.banding.start(band, z2));
+                    if off.unsigned_abs() > 1 {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!(
+                                "band {band} jumps by {off} between adjacent columns {z} and {z2}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let width = cache.banding.width();
+    let num_bands = cache.banding.num_bands();
+    for &z in &cache.changed_cols {
+        cache.gap_buf.clear();
+        cache
+            .gap_buf
+            .extend((0..num_bands).map(|band| cache.banding.start(band, z)));
+        cache.gap_buf.sort_unstable();
+        let k = cache.gap_buf.len();
+        for i in 0..k {
+            let cur = cache.gap_buf[i];
+            let next = cache.gap_buf[(i + 1) % k];
+            let gap = if k == 1 { m } else { ring.sub(next, cur) };
+            if gap < width + 1 {
+                return Err(PlacementError::InvalidBanding {
+                    reason: format!(
+                        "bands touch in column {z}: starts {cur} and {next} (gap {gap}, need ≥ {})",
+                        width + 1
+                    ),
+                });
+            }
+        }
+    }
+    for &v in faulty_ids {
+        let (i, z) = cols.split(v);
+        let row_tile = i / t;
+        let touched = cache
+            .changed_rows
+            .iter()
+            .any(|&r| r == row_tile || (r + 1) % num_tile_rows == row_tile);
+        if touched && !cache.banding.masks(i, z) {
+            return Err(PlacementError::InvalidBanding {
+                reason: format!("fault at ({i}, {z}) is unmasked"),
+            });
+        }
+    }
+    // Lemma 6 arithmetic is automatic: the band count never changes.
+    debug_assert_batch_parity(bdn, cache, faulty_ids);
+    Ok(RepaintOutcome::Updated)
+}
+
+/// Debug-build cross-check: the repainted cache must equal a
+/// from-scratch batch placement on the accumulated fault set.
+fn debug_assert_batch_parity(bdn: &Bdn, cache: &PlacementCache, faulty_ids: &[usize]) {
+    #[cfg(debug_assertions)]
+    {
+        let batch = place_bands_for_ids(bdn, faulty_ids)
+            .expect("repaint succeeded ⇒ batch placement must succeed");
+        assert_eq!(
+            cache.banding, batch.banding,
+            "tile-local repaint must reproduce the batch banding"
+        );
+        assert_eq!(cache.num_regions(), batch.num_regions);
+        assert_eq!(cache.num_black_tiles, batch.num_black_tiles);
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (bdn, cache, faulty_ids);
+    }
 }
 
 /// Builds the corner-value table: dictated at corners incident to black
@@ -152,13 +501,36 @@ fn assemble_corner_values(
     painting: &Painting,
     region_rows: &[Vec<(usize, Vec<usize>)>],
 ) -> Result<CornerValues, PlacementError> {
+    let eps_b = params.eps_b;
+    let num_tile_rows = params.num_tile_rows();
+    let gs = grid.grid_shape();
+    let cdim = params.d - 1;
+    let num_corners: usize = (0..cdim).map(|a| gs.dim(a + 1)).product();
+    let mut values: CornerValues = vec![vec![vec![0u64; num_corners]; eps_b]; num_tile_rows];
+    for (big_r, row_values) in values.iter_mut().enumerate() {
+        assemble_corner_row(params, grid, painting, region_rows, big_r, row_values)?;
+    }
+    Ok(values)
+}
+
+/// Assembles the corner values of one tile row — the per-row body of
+/// [`assemble_corner_values`], exposed so the tile-local repaint path
+/// can refresh exactly the rows a re-placed region dirtied.
+fn assemble_corner_row(
+    params: &BdnParams,
+    grid: &TileGrid,
+    painting: &Painting,
+    region_rows: &[Vec<(usize, Vec<usize>)>],
+    big_r: usize,
+    row_values: &mut [Vec<u64>],
+) -> Result<(), PlacementError> {
     let t = params.tile_side();
     let (b, eps_b) = (params.b, params.eps_b);
-    let num_tile_rows = params.num_tile_rows();
     let gs = grid.grid_shape();
     let cdim = params.d - 1;
     let col_tile_shape = Shape::new((0..cdim).map(|a| gs.dim(a + 1)).collect());
     let num_corners = col_tile_shape.len();
+    debug_assert_eq!(row_values.len(), eps_b);
     // fast lookup: region → abs row → starts
     let lookup = |rid: usize, abs_row: usize| -> Option<&Vec<usize>> {
         region_rows[rid]
@@ -166,60 +538,57 @@ fn assemble_corner_values(
             .find(|(r, _)| *r == abs_row)
             .map(|(_, s)| s)
     };
-    let mut values: CornerValues = vec![vec![vec![0u64; num_corners]; eps_b]; num_tile_rows];
     let mut full_coord = vec![0usize; 1 + cdim];
     let mut coord = vec![0usize; cdim];
-    for big_r in 0..num_tile_rows {
-        for x in 0..num_corners {
-            // incident column tiles: x − δ, δ ∈ {0,1}^{cdim}
-            let xc = col_tile_shape.unflatten(x);
-            let mut dictated: Option<(usize, usize)> = None; // (region, tile)
-            for mask in 0..(1usize << cdim) {
-                for a in 0..cdim {
-                    let n = col_tile_shape.dim(a);
-                    coord[a] = if mask & (1 << a) != 0 {
-                        (xc[a] + n - 1) % n
-                    } else {
-                        xc[a]
-                    };
-                }
-                full_coord[0] = big_r;
-                full_coord[1..].copy_from_slice(&coord);
-                let tile = gs.flatten(&full_coord);
-                let rid = painting.region_of[tile];
-                if rid != u32::MAX {
-                    if let Some((prev, _)) = dictated {
-                        if prev != rid as usize {
-                            return Err(PlacementError::InvalidBanding {
-                                reason: format!(
-                                    "corner ({big_r}, {x}) dictated by two regions {prev} and {rid}"
-                                ),
-                            });
-                        }
+    for x in 0..num_corners {
+        // incident column tiles: x − δ, δ ∈ {0,1}^{cdim}
+        let xc = col_tile_shape.unflatten(x);
+        let mut dictated: Option<(usize, usize)> = None; // (region, tile)
+        for mask in 0..(1usize << cdim) {
+            for a in 0..cdim {
+                let n = col_tile_shape.dim(a);
+                coord[a] = if mask & (1 << a) != 0 {
+                    (xc[a] + n - 1) % n
+                } else {
+                    xc[a]
+                };
+            }
+            full_coord[0] = big_r;
+            full_coord[1..].copy_from_slice(&coord);
+            let tile = gs.flatten(&full_coord);
+            let rid = painting.region_of[tile];
+            if rid != u32::MAX {
+                if let Some((prev, _)) = dictated {
+                    if prev != rid as usize {
+                        return Err(PlacementError::InvalidBanding {
+                            reason: format!(
+                                "corner ({big_r}, {x}) dictated by two regions {prev} and {rid}"
+                            ),
+                        });
                     }
-                    dictated = Some((rid as usize, tile));
+                }
+                dictated = Some((rid as usize, tile));
+            }
+        }
+        match dictated {
+            Some((rid, _)) => {
+                let Some(starts) = lookup(rid, big_r) else {
+                    return Err(PlacementError::InvalidBanding {
+                        reason: format!("region {rid} has no segments for tile row {big_r}"),
+                    });
+                };
+                for j in 0..eps_b {
+                    row_values[j][x] = starts[j] as u64;
                 }
             }
-            match dictated {
-                Some((rid, _)) => {
-                    let Some(starts) = lookup(rid, big_r) else {
-                        return Err(PlacementError::InvalidBanding {
-                            reason: format!("region {rid} has no segments for tile row {big_r}"),
-                        });
-                    };
-                    for j in 0..eps_b {
-                        values[big_r][j][x] = starts[j] as u64;
-                    }
-                }
-                None => {
-                    for j in 0..eps_b {
-                        values[big_r][j][x] = (big_r * t + b + j * (b + 1)) as u64;
-                    }
+            None => {
+                for j in 0..eps_b {
+                    row_values[j][x] = (big_r * t + b + j * (b + 1)) as u64;
                 }
             }
         }
     }
-    Ok(values)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -326,6 +695,79 @@ mod tests {
         ] {
             assert!(placement.banding.masks(i, z));
         }
+    }
+
+    #[test]
+    fn repaint_absorbs_isolated_arrivals() {
+        let bdn = small_bdn();
+        let mut cache = place_bands_cached(&bdn, &[]).unwrap();
+        let mut ids: Vec<usize> = Vec::new();
+        let victims = [
+            bdn.cols().node(5, 5),
+            bdn.cols().node(100, 100),
+            bdn.cols().node(200, 30),
+            bdn.cols().node(60, 170),
+            bdn.cols().node(6, 6), // same tile as the first victim
+        ];
+        for &v in &victims {
+            ids.push(v);
+            let out = repaint_tile_local(&bdn, &mut cache, v, &ids).unwrap();
+            // debug builds assert full batch parity inside repaint
+            assert_ne!(out, RepaintOutcome::NeedsFullPlacement, "victim {v}");
+        }
+        assert_eq!(cache.num_regions(), 4);
+        for &v in &ids {
+            let (i, z) = bdn.cols().split(v);
+            assert!(cache.banding().masks(i, z));
+        }
+    }
+
+    #[test]
+    fn repaint_demands_full_placement_for_adjacent_tiles() {
+        let bdn = small_bdn();
+        let v1 = bdn.cols().node(8, 8);
+        let v2 = bdn.cols().node(8, 24); // next tile over (tile side 16)
+        let mut cache = place_bands_cached(&bdn, &[v1]).unwrap();
+        let out = repaint_tile_local(&bdn, &mut cache, v2, &[v1, v2]).unwrap();
+        assert_eq!(out, RepaintOutcome::NeedsFullPlacement);
+        // ... and the batch pipeline indeed refuses this set, so the
+        // fallback reproduces the batch outcome.
+        assert!(place_bands_for_ids(&bdn, &[v1, v2]).is_err());
+    }
+
+    #[test]
+    fn repaint_clearance_threshold_with_radius_two() {
+        // b = 5 → r_max = 2: fresh tiles need Chebyshev clearance
+        // 2·r_max + 1 = 5; anything closer falls back to full placement
+        // even when the batch pipeline would cope.
+        let p = BdnParams::fit(2, 100, 5, 1).unwrap();
+        let bdn = Bdn::build(p);
+        let t = p.tile_side();
+        let v1 = bdn.cols().node(5 * t + 5, 5 * t + 5); // tile (5, 5)
+        let near = bdn.cols().node(9 * t + 5, 5 * t + 5); // tile (9, 5): distance 4
+        let mut cache = place_bands_cached(&bdn, &[v1]).unwrap();
+        assert_eq!(
+            repaint_tile_local(&bdn, &mut cache, near, &[v1, near]).unwrap(),
+            RepaintOutcome::NeedsFullPlacement
+        );
+        let far = bdn.cols().node(10 * t + 5, 5 * t + 5); // tile (10, 5): distance 5
+        let mut cache = place_bands_cached(&bdn, &[v1]).unwrap();
+        let out = repaint_tile_local(&bdn, &mut cache, far, &[v1, far]).unwrap();
+        assert_ne!(out, RepaintOutcome::NeedsFullPlacement);
+    }
+
+    #[test]
+    fn restore_from_recovers_pristine_placement() {
+        let bdn = small_bdn();
+        let pristine = place_bands_cached(&bdn, &[]).unwrap();
+        let mut cache = pristine.clone();
+        let v = bdn.cols().node(37, 100);
+        repaint_tile_local(&bdn, &mut cache, v, &[v]).unwrap();
+        assert_ne!(cache.banding(), pristine.banding());
+        cache.restore_from(&pristine);
+        assert_eq!(cache.banding(), pristine.banding());
+        assert_eq!(cache.num_regions(), 0);
+        assert_eq!(cache.num_black_tiles(), 0);
     }
 
     #[test]

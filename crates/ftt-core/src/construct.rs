@@ -161,14 +161,24 @@ pub trait HostConstruction: Sized {
     }
 }
 
-/// Reusable fault-conversion buffers for `A^2_n` extraction: the dense
+/// Reusable per-trial buffers for `A^2_n` extraction: the dense
 /// node-fault bitmap handed to the goodness classifier (reset via the
-/// fault list, `O(#faults)` per trial) and the half-edge view of
-/// whole-edge faults.
+/// fault list, `O(#faults)` per trial), the half-edge view of
+/// whole-edge faults, and the classification/greedy working sets —
+/// everything the Theorem 1 pipeline touches except the returned map
+/// itself, so repeated extraction allocates only its output.
 #[derive(Debug, Clone)]
 pub struct AdnScratch {
     node_faulty: Vec<bool>,
     halves: HalfEdgeFaults,
+    goodness: crate::adn::Goodness,
+    bad_sus: Vec<usize>,
+    /// The fault-free inner embedding, computed once per scratch: in
+    /// sparse regimes most trials demote no supernode at all, and then
+    /// level 1 is exactly this map — no inner extraction runs.
+    pristine_inner: Vec<usize>,
+    used: Vec<bool>,
+    suspect: Vec<bool>,
 }
 
 impl HostConstruction for Bdn {
@@ -263,9 +273,9 @@ impl HostConstruction for Adn {
 
     type Scratch = AdnScratch;
 
-    /// The greedy supernode embedding has no incremental form; `A²_n`
-    /// uses the generic duplicate-absorb + rebuild-per-arrival path.
-    type RepairCache = ();
+    /// Cached goodness classification + nested inner-`B²` repair state
+    /// + live-map usage bitmap (see [`crate::online`]).
+    type RepairCache = online::AdnRepairCache;
 
     const NAME: &'static str = "A^2_n";
 
@@ -293,10 +303,35 @@ impl HostConstruction for Adn {
         AdnScratch {
             node_faulty: vec![false; Adn::num_nodes(self)],
             halves: HalfEdgeFaults::none(Adn::graph(self).num_edges()),
+            goodness: crate::adn::Goodness {
+                good_node: Vec::new(),
+                good_supernode: Vec::new(),
+                good_count: Vec::new(),
+            },
+            bad_sus: Vec::new(),
+            pristine_inner: crate::bdn::extract::extract_after_faults_ids(self.inner(), &[])
+                .expect("fault-free inner extraction")
+                .map,
+            used: Vec::new(),
+            suspect: Vec::new(),
         }
     }
 
-    fn new_repair_cache(&self) {}
+    fn new_repair_cache(&self) -> online::AdnRepairCache {
+        online::adn_new_cache(self)
+    }
+
+    fn rebuild_repair(&self, state: &mut RepairState<Self>) -> Result<(), PlacementError> {
+        online::adn_rebuild(self, state)
+    }
+
+    fn apply_fault_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::adn_apply(self, state, fault)
+    }
 
     fn try_extract_with(
         &self,
@@ -305,12 +340,18 @@ impl HostConstruction for Adn {
     ) -> Result<TorusEmbedding, PlacementError> {
         // A whole-edge fault is both of its half-edges failing — the
         // worst case of the half-edge model, so goodness thresholds
-        // remain valid and the embedding avoids the edge. Both scratch
-        // buffers are populated and reset through the fault lists, so
-        // the conversion is O(#faults) with no allocation.
+        // remain valid and the embedding avoids the edge. Every stage
+        // runs through reused scratch buffers: fault conversion is
+        // O(#faults), and classification + level-2 greedy allocate
+        // nothing but the returned map.
         let AdnScratch {
             node_faulty,
             halves,
+            goodness,
+            bad_sus,
+            pristine_inner,
+            used,
+            suspect,
         } = scratch;
         for v in faults.faulty_nodes() {
             node_faulty[v] = true;
@@ -320,7 +361,45 @@ impl HostConstruction for Adn {
             halves.kill_half(e, 0);
             halves.kill_half(e, 1);
         }
-        let result = crate::adn::embed::extract_after_faults_adn(self, node_faulty, halves);
+        crate::adn::goodness::classify_into(
+            self,
+            node_faulty,
+            faults.faulty_node_ids(),
+            halves,
+            goodness,
+        );
+        bad_sus.clear();
+        bad_sus.extend((0..goodness.good_supernode.len()).filter(|&s| !goodness.good_supernode[s]));
+        // Level 1: with no bad supernode — the common sparse-regime
+        // case — the inner extraction is the cached pristine map.
+        let inner_emb;
+        let inner_map: &[usize] = if bad_sus.is_empty() {
+            pristine_inner
+        } else {
+            match crate::bdn::extract::extract_after_faults_ids(self.inner(), bad_sus) {
+                Ok(emb) => {
+                    inner_emb = emb;
+                    &inner_emb.map
+                }
+                Err(e) => {
+                    for v in faults.faulty_nodes() {
+                        node_faulty[v] = false;
+                    }
+                    return Err(PlacementError::SupernodeLevelFailed { inner: Box::new(e) });
+                }
+            }
+        };
+        let mut map = Vec::new();
+        let result = crate::adn::embed::greedy_level2_into(
+            self, goodness, halves, inner_map, &mut map, used, suspect,
+        )
+        .map(|()| {
+            let n = Adn::params(self).n();
+            TorusEmbedding {
+                guest: ftt_geom::Shape::new(vec![n, n]),
+                map,
+            }
+        });
         for v in faults.faulty_nodes() {
             node_faulty[v] = false;
         }

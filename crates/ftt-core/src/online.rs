@@ -16,11 +16,16 @@
 //!   row)` with an earlier one). Nothing is recomputed.
 //! * [`RepairClass::Local`] — a bounded local step: `D^d` shifts one
 //!   axis-0 band onto the newly dirty slot via the cached pigeonhole
-//!   tallies and refreshes only that axis; `B^d` re-runs placement and
-//!   finds the banding unchanged, so the map survives untouched.
+//!   tallies and refreshes only that axis; `B^d` repaints only the
+//!   dirtied tile's region through the cached placement pipeline
+//!   ([`crate::bdn::place::repaint_tile_local`]); `A²` re-classifies
+//!   only the touched supernodes and lets the inner `B²` absorb a
+//!   goodness flip tile-locally.
 //! * [`RepairClass::Rebuild`] — the full batch re-placement (a `D^d`
 //!   fault on the anchor class re-runs every pigeonhole round; a `B^d`
-//!   fault moves the banding).
+//!   fault lands within frame reach of existing faults so the painting
+//!   may reshape; an `A²` arrival touches used host nodes or moves the
+//!   inner banding, forcing a full level-2 re-greedy).
 //!
 //! # The batch-parity invariant
 //!
@@ -60,15 +65,16 @@
 //! the **independent** checker `ftt_verify::check_certificate`, which
 //! shares no code with any of this.
 
-use crate::band::Banding;
+use crate::adn::{Adn, Goodness};
 use crate::bdn::extract::TorusEmbedding;
+use crate::bdn::place::{PlacementCache, RepaintOutcome};
 use crate::bdn::Bdn;
 use crate::certificate::EmbeddingCertificate;
 use crate::construct::HostConstruction;
 use crate::ddn::place::DdnBanding;
 use crate::ddn::Ddn;
 use crate::error::PlacementError;
-use ftt_faults::{Fault, FaultSet, SparseSet};
+use ftt_faults::{Fault, FaultSet, HalfEdgeFaults, SparseSet};
 use ftt_geom::TileGrid;
 use std::collections::HashSet;
 
@@ -213,8 +219,7 @@ fn die<C: HostConstruction>(state: &mut RepairState<C>, err: PlacementError) -> 
 
 /// The construction-generic rebuild: batch-extract the accumulated
 /// fault set through the reused scratch. Default body of
-/// [`HostConstruction::rebuild_repair`]; cache-less hosts (`A²_n`) use
-/// it directly.
+/// [`HostConstruction::rebuild_repair`] for cache-less hosts.
 pub(crate) fn rebuild_generic<C: HostConstruction>(
     host: &C,
     state: &mut RepairState<C>,
@@ -265,23 +270,32 @@ pub(crate) fn apply_generic<C: HostConstruction>(
 }
 
 // ---------------------------------------------------------------------
-// B^d_n: tile/row-granular absorption + banding-diffed re-placement,
-// lazy map materialisation.
+// B^d_n: tile/row-granular absorption + tile-local repaint of the
+// cached placement pipeline, lazy map materialisation.
 // ---------------------------------------------------------------------
 
 /// `B^d_n` repair cache. Batch placement consumes faults only through
 /// the *set* of dirty `(tile, row)` pairs (tile fault counts act as
 /// booleans in painting, and region segment rows are deduplicated), so
 /// that set is cached verbatim: an arrival whose pair is already dirty
-/// is a [`RepairClass::Fast`] repair by batch-parity; any other arrival
-/// re-places and diffs the banding. The guest→host map is materialised
-/// lazily from the cached banding (jump-path extraction is the `O(N)`
-/// part; the banding itself already pins which rows every column
-/// contributes).
+/// is a [`RepairClass::Fast`] repair by batch-parity. Any other arrival
+/// is absorbed by [`crate::bdn::place::repaint_tile_local`] against the
+/// cached [`PlacementCache`] — the full pipeline state (painting,
+/// per-region segments, corner values, banding), repainted only where
+/// the dirtied tile's region reaches — falling back to a from-scratch
+/// placement only when the fresh tile sits within frame reach of
+/// existing faults. The guest→host map is materialised lazily from the
+/// cached banding (jump-path extraction is the `O(N)` part; the banding
+/// itself already pins which rows every column contributes).
 #[derive(Debug)]
 pub struct BdnRepairCache {
     grid: TileGrid,
-    banding: Option<Banding>,
+    /// The live placement pipeline state; `None` until the first
+    /// rebuild establishes it.
+    placement: Option<PlacementCache>,
+    /// Memoised fault-free placement: per-trial resets restore buffers
+    /// in place instead of re-running the batch pipeline.
+    pristine: Option<Box<PlacementCache>>,
     /// Accumulated ascribed fault node ids (nodes + first endpoints of
     /// faulty edges) — the exact id list batch placement receives.
     ascribed: SparseSet,
@@ -292,7 +306,8 @@ pub struct BdnRepairCache {
 pub(crate) fn bdn_new_cache(host: &Bdn) -> BdnRepairCache {
     BdnRepairCache {
         grid: crate::bdn::place::tile_grid(host.params()),
-        banding: None,
+        placement: None,
+        pristine: None,
         ascribed: SparseSet::new(host.num_nodes()),
         pairs: HashSet::new(),
     }
@@ -310,29 +325,16 @@ fn bdn_note_ascribed(host: &Bdn, cache: &mut BdnRepairCache, u: usize) -> bool {
         .insert((cache.grid.tile_of_node(u) as u32, i as u32))
 }
 
-/// Re-places bands for the accumulated ascribed set. When the banding
-/// did not move, the (possibly deferred) map is still current; when it
-/// moved, the cached map is invalidated and re-materialised on demand.
-fn bdn_replace(host: &Bdn, state: &mut RepairState<Bdn>) -> Result<RepairClass, PlacementError> {
-    let placement = crate::bdn::place::place_bands_for_ids(host, state.cache.ascribed.ids())?;
-    if state.cache.banding.as_ref() == Some(&placement.banding) {
-        return Ok(RepairClass::Local);
-    }
-    state.cache.banding = Some(placement.banding);
-    state.embedding = None; // deferred; see materialize
-    state.alive = true;
-    Ok(RepairClass::Rebuild)
-}
-
 pub(crate) fn bdn_materialize(host: &Bdn, state: &mut RepairState<Bdn>) {
     if !state.alive || state.embedding.is_some() {
         return;
     }
     let banding = state
         .cache
-        .banding
+        .placement
         .as_ref()
-        .expect("alive B^d state holds a banding");
+        .expect("alive B^d state holds a placement")
+        .banding();
     match crate::bdn::extract::extract_torus(host, banding) {
         Ok(emb) => state.embedding = Some(emb),
         // Unreachable for a validated banding (Lemmas 6–7); surfaced as
@@ -343,12 +345,35 @@ pub(crate) fn bdn_materialize(host: &Bdn, state: &mut RepairState<Bdn>) {
     }
 }
 
+/// Installs the batch placement for the accumulated ascribed set into
+/// the cache. The fault-free case — every per-trial reset — restores
+/// the memoised pristine placement buffer-for-buffer instead of
+/// re-running the pipeline.
+fn bdn_install_placement(host: &Bdn, state: &mut RepairState<Bdn>) -> Result<(), PlacementError> {
+    if state.cache.ascribed.is_empty() {
+        if state.cache.pristine.is_none() {
+            state.cache.pristine =
+                Some(Box::new(crate::bdn::place::place_bands_cached(host, &[])?));
+        }
+        if let Some(placement) = state.cache.placement.as_mut() {
+            placement.restore_from(state.cache.pristine.as_deref().expect("just installed"));
+        } else {
+            state.cache.placement = Some(crate::bdn::place::place_bands_cached(host, &[])?);
+        }
+    } else {
+        state.cache.placement = Some(crate::bdn::place::place_bands_cached(
+            host,
+            state.cache.ascribed.ids(),
+        )?);
+    }
+    Ok(())
+}
+
 pub(crate) fn bdn_rebuild(host: &Bdn, state: &mut RepairState<Bdn>) -> Result<(), PlacementError> {
     // Re-derive the ascription caches from the accumulated fault set,
-    // then run the batch placement once.
+    // then install the batch placement once.
     state.cache.ascribed.clear();
     state.cache.pairs.clear();
-    state.cache.banding = None;
     let node_ids: Vec<usize> = state.faults.faulty_nodes().collect();
     for v in node_ids {
         bdn_note_ascribed(host, &mut state.cache, v);
@@ -359,8 +384,9 @@ pub(crate) fn bdn_rebuild(host: &Bdn, state: &mut RepairState<Bdn>) -> Result<()
         bdn_note_ascribed(host, &mut state.cache, u);
     }
     state.embedding = None;
-    match bdn_replace(host, state) {
-        Ok(_) => {
+    match bdn_install_placement(host, state) {
+        Ok(()) => {
+            state.alive = true;
             state.death = None;
             Ok(())
         }
@@ -391,8 +417,30 @@ pub(crate) fn bdn_apply(host: &Bdn, state: &mut RepairState<Bdn>, fault: Fault) 
         // whole tile (region segments are straight) — is unchanged.
         return RepairOutcome::Repaired(RepairClass::Fast);
     }
-    match bdn_replace(host, state) {
-        Ok(class) => RepairOutcome::Repaired(class),
+    let BdnRepairCache {
+        placement,
+        ascribed,
+        ..
+    } = &mut state.cache;
+    let cache = placement
+        .as_mut()
+        .expect("alive B^d state holds a placement");
+    match crate::bdn::place::repaint_tile_local(host, cache, u, ascribed.ids()) {
+        Ok(RepaintOutcome::Unchanged) => RepairOutcome::Repaired(RepairClass::Local),
+        Ok(RepaintOutcome::Updated) => {
+            state.embedding = None; // deferred; see materialize
+            RepairOutcome::Repaired(RepairClass::Local)
+        }
+        Ok(RepaintOutcome::NeedsFullPlacement) => {
+            match crate::bdn::place::place_bands_cached(host, state.cache.ascribed.ids()) {
+                Ok(c) => {
+                    state.cache.placement = Some(c);
+                    state.embedding = None;
+                    RepairOutcome::Repaired(RepairClass::Rebuild)
+                }
+                Err(e) => die(state, e),
+            }
+        }
         Err(e) => die(state, e),
     }
 }
@@ -715,6 +763,377 @@ fn ddn_rebuild_after_arrival(
     }
 }
 
+// ---------------------------------------------------------------------
+// A^2_n: incremental goodness repair over a cached classification, with
+// the level-1 supernode torus maintained by the inner B²'s own online
+// engine and the level-2 greedy re-run only when its inputs moved.
+// ---------------------------------------------------------------------
+
+/// `A^2_n` repair cache. Batch extraction is classify → inner `B²`
+/// extraction over the bad supernodes → deterministic level-2 greedy;
+/// all three stages are cached here and repaired in place:
+///
+/// * **Classification** ([`Goodness`]) is maintained by exact deltas —
+///   goodness is monotone non-increasing under fault arrivals, and an
+///   arrival can only demote the arriving node or, for an edge fault,
+///   its two endpoints (each rechecked toward one supernode in
+///   `O(degree)`), so re-classifying the whole host is never needed.
+/// * **Level 1** is a nested [`RepairState`]`<Bdn>`: a supernode that
+///   flips bad becomes a node-fault arrival of the inner `B²`, which
+///   absorbs it through its own Fast/repaint tiers. Its batch-parity
+///   invariant makes the cached inner map equal the batch
+///   `extract_after_faults` on the bad-supernode set.
+/// * **Level 2**: the greedy is a pure function of (goodness, halves,
+///   inner map, usage order). The cached `used` bitmap witnesses which
+///   hosts the live map touches; an arrival that demotes only unused
+///   nodes, kills only edges with unused endpoints, and leaves the
+///   inner map unchanged provably cannot change any greedy choice
+///   (the old run replays verbatim), so the live map is kept. Anything
+///   else re-runs the full greedy — [`RepairClass::Rebuild`].
+#[derive(Debug)]
+pub struct AdnRepairCache {
+    /// Dense node-fault bitmap (the classifier's input form).
+    node_faulty: Vec<bool>,
+    /// Ids set in `node_faulty`, for `O(#faults)` reset.
+    marked: Vec<usize>,
+    /// Half-edge view of the accumulated whole-edge faults.
+    halves: HalfEdgeFaults,
+    /// Cached classification; `None` until the first rebuild.
+    goodness: Option<Goodness>,
+    /// The inner `B²` online engine, fed bad supernodes as node faults.
+    inner: RepairState<Bdn>,
+    /// Host nodes used by the live map (maintained by the greedy).
+    used: Vec<bool>,
+    /// Supernodes flipped bad by the current arrival (scratch).
+    flipped_sus: Vec<usize>,
+    /// Suspect-endpoint scratch for the greedy.
+    suspect: Vec<bool>,
+}
+
+pub(crate) fn adn_new_cache(host: &Adn) -> AdnRepairCache {
+    AdnRepairCache {
+        node_faulty: vec![false; host.num_nodes()],
+        marked: Vec::new(),
+        halves: HalfEdgeFaults::none(host.graph().num_edges()),
+        goodness: None,
+        inner: RepairState::new_idle(host.inner()),
+        used: vec![false; host.num_nodes()],
+        flipped_sus: Vec::new(),
+        suspect: Vec::new(),
+    }
+}
+
+/// Rebuilds classification, inner state, and map from the accumulated
+/// fault set — the batch pipeline over the cache's reused buffers.
+fn adn_install(host: &Adn, state: &mut RepairState<Adn>) -> Result<(), PlacementError> {
+    let RepairState {
+        faults,
+        embedding,
+        cache,
+        ..
+    } = state;
+    // Reset the conversion buffers through the fault lists: O(#faults).
+    for &v in &cache.marked {
+        cache.node_faulty[v] = false;
+    }
+    cache.marked.clear();
+    cache.halves.clear();
+    for v in faults.faulty_nodes() {
+        cache.node_faulty[v] = true;
+        cache.marked.push(v);
+    }
+    for e in faults.faulty_edges() {
+        cache.halves.kill_half(e, 0);
+        cache.halves.kill_half(e, 1);
+    }
+    // Full classification into the reused buffers.
+    let mut goodness = cache.goodness.take().unwrap_or_else(|| Goodness {
+        good_node: Vec::new(),
+        good_supernode: Vec::new(),
+        good_count: Vec::new(),
+    });
+    crate::adn::goodness::classify_into(
+        host,
+        &cache.node_faulty,
+        &cache.marked,
+        &cache.halves,
+        &mut goodness,
+    );
+    // Level 1: bad supernodes are the inner B²'s fault set. The
+    // fault-free case (per-trial resets) hits the pristine-restore path.
+    cache.inner.faults.clear();
+    for (su, &good) in goodness.good_supernode.iter().enumerate() {
+        if !good {
+            cache.inner.faults.kill_node(su);
+        }
+    }
+    cache.goodness = Some(goodness);
+    bdn_rebuild(host.inner(), &mut cache.inner)
+        .map_err(|e| PlacementError::SupernodeLevelFailed { inner: Box::new(e) })?;
+    bdn_materialize(host.inner(), &mut cache.inner);
+    let inner_map = match cache.inner.embedding.as_ref() {
+        Some(emb) => &emb.map,
+        None => {
+            return Err(PlacementError::SupernodeLevelFailed {
+                inner: Box::new(cache.inner.death.clone().expect("dead inner records death")),
+            })
+        }
+    };
+    // Level 2: the full greedy, reusing the live map's buffer.
+    let n = host.params().n();
+    let mut emb = embedding.take().unwrap_or_else(|| TorusEmbedding {
+        guest: ftt_geom::Shape::new(vec![n, n]),
+        map: Vec::new(),
+    });
+    crate::adn::embed::greedy_level2_into(
+        host,
+        cache.goodness.as_ref().expect("just installed"),
+        &cache.halves,
+        inner_map,
+        &mut emb.map,
+        &mut cache.used,
+        &mut cache.suspect,
+    )?;
+    *embedding = Some(emb);
+    Ok(())
+}
+
+pub(crate) fn adn_rebuild(host: &Adn, state: &mut RepairState<Adn>) -> Result<(), PlacementError> {
+    match adn_install(host, state) {
+        Ok(()) => {
+            state.alive = true;
+            state.death = None;
+            Ok(())
+        }
+        Err(e) => {
+            state.alive = false;
+            state.embedding = None;
+            state.death = Some(e.clone());
+            Err(e)
+        }
+    }
+}
+
+/// Demotes node `x` in the cached classification (if currently good),
+/// recording a supernode flip and whether the live map used `x`.
+fn adn_demote(
+    goodness: &mut Goodness,
+    used: &[bool],
+    h: usize,
+    min_good: u32,
+    x: usize,
+    flipped_sus: &mut Vec<usize>,
+    demoted_used: &mut bool,
+) -> bool {
+    if !goodness.good_node[x] {
+        return false;
+    }
+    goodness.good_node[x] = false;
+    if used[x] {
+        *demoted_used = true;
+    }
+    let su = x / h;
+    goodness.good_count[su] -= 1;
+    if goodness.good_supernode[su] && goodness.good_count[su] < min_good {
+        goodness.good_supernode[su] = false;
+        flipped_sus.push(su);
+    }
+    true
+}
+
+pub(crate) fn adn_apply(host: &Adn, state: &mut RepairState<Adn>, fault: Fault) -> RepairOutcome {
+    if !state.alive {
+        return RepairOutcome::Dead;
+    }
+    if !state.faults.kill(fault) {
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    let params = host.params();
+    let h = params.h;
+    let max_bad = params.max_bad_halves();
+    let min_good = params.min_good_nodes() as u32;
+
+    enum Verdict {
+        Keep(RepairClass),
+        Regreedy,
+        Die(PlacementError),
+    }
+    let verdict = {
+        let RepairState { cache, .. } = state;
+        let AdnRepairCache {
+            node_faulty,
+            marked,
+            halves,
+            goodness,
+            inner,
+            used,
+            flipped_sus,
+            ..
+        } = cache;
+        let goodness = goodness
+            .as_mut()
+            .expect("alive A² state holds a classification");
+        flipped_sus.clear();
+        let mut demoted_used = false;
+        let mut endpoint_used = false;
+        let mut any_demotion = false;
+        match fault {
+            Fault::Node(v) => {
+                debug_assert!(!node_faulty[v], "FaultSet::kill admitted a duplicate");
+                node_faulty[v] = true;
+                marked.push(v);
+                // A used node is good, so a used arrival demotes below.
+                any_demotion |= adn_demote(
+                    goodness,
+                    used,
+                    h,
+                    min_good,
+                    v,
+                    flipped_sus,
+                    &mut demoted_used,
+                );
+                // If `v` was already bad, the batch classification loses
+                // `v`'s bad-pair entries — which only ever demoted `v`
+                // itself, already bad: no observable change.
+            }
+            Fault::Edge(e) => {
+                // Whole-edge fault = both halves fail (batch conversion).
+                halves.kill_half(e, 0);
+                halves.kill_half(e, 1);
+                let (a, b) = host.graph().edge_endpoints(e);
+                // The greedy only ever queries edges whose image-side
+                // endpoint is used; killing an edge with two unused
+                // endpoints replays the old run verbatim.
+                endpoint_used = used[a] || used[b];
+                for (x, y) in [(a, b), (b, a)] {
+                    if !goodness.good_node[x] {
+                        continue;
+                    }
+                    // Only x's budget toward su(y) gained a faulty half;
+                    // every other (node, supernode) count is unchanged.
+                    let su_y = y / h;
+                    let bad = host
+                        .graph()
+                        .arcs(x)
+                        .filter(|&(t, e2)| {
+                            t / h == su_y && halves.half_faulty_at(host.graph(), e2, x)
+                        })
+                        .count();
+                    if bad > max_bad {
+                        any_demotion |= adn_demote(
+                            goodness,
+                            used,
+                            h,
+                            min_good,
+                            x,
+                            flipped_sus,
+                            &mut demoted_used,
+                        );
+                    }
+                }
+            }
+        }
+        // Level 1: feed flipped supernodes to the inner B² engine.
+        // Goodness is monotone, so every flip is a fresh inner arrival.
+        let mut verdict = None;
+        for &su in flipped_sus.iter() {
+            match bdn_apply(host.inner(), inner, Fault::Node(su)) {
+                RepairOutcome::Repaired(_) => {}
+                RepairOutcome::Dead => {
+                    verdict = Some(Verdict::Die(PlacementError::SupernodeLevelFailed {
+                        inner: Box::new(inner.death.clone().expect("dead inner records death")),
+                    }));
+                    break;
+                }
+            }
+        }
+        verdict.unwrap_or_else(|| {
+            // The inner map is kept materialised between arrivals, so a
+            // `None` here means the inner banding moved (repaint Updated
+            // or full re-placement) — the level-2 block→supernode
+            // assignment may differ and the greedy must re-run.
+            let inner_changed = inner.embedding.is_none();
+            if demoted_used || endpoint_used || inner_changed {
+                Verdict::Regreedy
+            } else if any_demotion {
+                // Demotions confined to unused nodes (and flips the
+                // inner banding absorbed verbatim — a flipped supernode
+                // with an unchanged banding was already masked, so it
+                // hosted no block): the old greedy run replays
+                // unchanged.
+                Verdict::Keep(RepairClass::Local)
+            } else {
+                Verdict::Keep(RepairClass::Fast)
+            }
+        })
+    };
+
+    let outcome = match verdict {
+        Verdict::Die(e) => die(state, e),
+        Verdict::Regreedy => {
+            let RepairState {
+                embedding, cache, ..
+            } = state;
+            bdn_materialize(host.inner(), &mut cache.inner);
+            let inner_map = match cache.inner.embedding.as_ref() {
+                Some(emb) => &emb.map,
+                None => {
+                    let e = PlacementError::SupernodeLevelFailed {
+                        inner: Box::new(
+                            cache.inner.death.clone().expect("dead inner records death"),
+                        ),
+                    };
+                    return die(state, e);
+                }
+            };
+            let n = host.params().n();
+            let mut emb = embedding.take().unwrap_or_else(|| TorusEmbedding {
+                guest: ftt_geom::Shape::new(vec![n, n]),
+                map: Vec::new(),
+            });
+            match crate::adn::embed::greedy_level2_into(
+                host,
+                cache.goodness.as_ref().expect("alive A² state"),
+                &cache.halves,
+                inner_map,
+                &mut emb.map,
+                &mut cache.used,
+                &mut cache.suspect,
+            ) {
+                Ok(()) => {
+                    *embedding = Some(emb);
+                    RepairOutcome::Repaired(RepairClass::Rebuild)
+                }
+                Err(e) => die(state, e),
+            }
+        }
+        Verdict::Keep(class) => RepairOutcome::Repaired(class),
+    };
+    #[cfg(debug_assertions)]
+    adn_debug_assert_parity(host, state);
+    outcome
+}
+
+/// Debug cross-check: the incremental outcome and live map must equal
+/// the batch pipeline on the accumulated fault set.
+#[cfg(debug_assertions)]
+fn adn_debug_assert_parity(host: &Adn, state: &mut RepairState<Adn>) {
+    let RepairState {
+        faults, scratch, ..
+    } = state;
+    match host.try_extract_with(faults, scratch) {
+        Ok(batch) => {
+            assert!(state.alive, "A² incremental died where batch succeeds");
+            assert_eq!(
+                state.embedding.as_ref().expect("alive A² map is eager").map,
+                batch.map,
+                "A² incremental map diverged from batch"
+            );
+        }
+        Err(_) => assert!(!state.alive, "A² incremental alive where batch refuses"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -841,7 +1260,9 @@ mod tests {
         let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
         let mut state = RepairState::new(&host).unwrap();
         let outcome = state.apply(&host, Fault::Node(host.cols().node(17, 40)));
-        assert_eq!(outcome, RepairOutcome::Repaired(RepairClass::Rebuild));
+        // An isolated single-tile fault is absorbed by tile-local
+        // repaint — never a full re-placement.
+        assert_eq!(outcome, RepairOutcome::Repaired(RepairClass::Local));
         assert!(state.alive());
         assert!(
             state.embedding().is_none(),
@@ -850,6 +1271,22 @@ mod tests {
         let emb = state.live_embedding(&host).expect("materialises on demand");
         assert!(!emb.map.is_empty());
         assert!(state.embedding().is_some(), "now cached");
+    }
+
+    #[test]
+    fn bdn_reset_restores_pristine_placement() {
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let mut state = RepairState::new(&host).unwrap();
+        state.apply(&host, Fault::Node(host.cols().node(17, 40)));
+        state.reset(&host).unwrap();
+        assert!(state.alive());
+        assert_eq!(state.faults().count_faults(), 0);
+        let mut fresh = RepairState::new(&host).unwrap();
+        assert_eq!(
+            state.live_embedding(&host).unwrap().map,
+            fresh.live_embedding(&host).unwrap().map,
+            "pristine restore must equal a fresh fault-free placement"
+        );
     }
 
     #[test]
@@ -865,16 +1302,66 @@ mod tests {
     }
 
     #[test]
-    fn adn_generic_path_repairs_and_dies_with_batch() {
+    fn adn_incremental_repairs_with_batch_parity() {
         let inner = BdnParams::new(2, 54, 3, 1).unwrap();
         let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
         let outcomes = drive(&host, &[Fault::Node(17), Fault::Node(17), Fault::Edge(5)]);
-        assert!(matches!(
-            outcomes[0],
-            RepairOutcome::Repaired(RepairClass::Rebuild)
-        ));
+        // Node 17 is the 6th node of its supernode — never chosen by the
+        // greedy (which takes the first k² = 4 good ones), so demoting
+        // it repairs locally without touching the map.
+        assert_eq!(outcomes[0], RepairOutcome::Repaired(RepairClass::Local));
         assert_eq!(outcomes[1], RepairOutcome::Repaired(RepairClass::Fast));
         assert!(matches!(outcomes[2], RepairOutcome::Repaired(_)));
+    }
+
+    #[test]
+    fn adn_supernode_flip_streams_through_inner_engine() {
+        // h = 6, min_good = k² = 4: killing the two spare nodes of a
+        // supernode demotes without flipping; the third kill drops the
+        // good count to 3 < 4, flips the supernode bad, and feeds it to
+        // the inner B² as a node fault. drive() asserts batch parity
+        // and embedding validity after every arrival.
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+        let h = host.params().h;
+        let su = 1000;
+        let outcomes = drive(
+            &host,
+            &[
+                Fault::Node(su * h + 4),
+                Fault::Node(su * h + 5),
+                Fault::Node(su * h + 3),
+            ],
+        );
+        assert_eq!(outcomes[0], RepairOutcome::Repaired(RepairClass::Local));
+        assert_eq!(outcomes[1], RepairOutcome::Repaired(RepairClass::Local));
+        assert!(
+            matches!(outcomes[2], RepairOutcome::Repaired(_)),
+            "an isolated supernode flip is absorbable: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn adn_edge_fault_on_used_nodes_regreedies() {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+        let mut state = RepairState::new(&host).unwrap();
+        // Find an intra-supernode edge between two used host nodes.
+        let map = &state.embedding().expect("A² map is eager").map;
+        let (a, b) = (map[0], map[1]);
+        let e = host
+            .graph()
+            .arcs(a)
+            .find(|&(t, _)| t == b)
+            .map(|(_, e)| e)
+            .expect("adjacent guest images are host-adjacent");
+        let outcome = state.apply(&host, Fault::Edge(e));
+        assert_eq!(
+            outcome,
+            RepairOutcome::Repaired(RepairClass::Rebuild),
+            "killing a map-adjacent edge forces the full re-greedy"
+        );
+        verify_state(&host, &mut state);
     }
 
     #[test]

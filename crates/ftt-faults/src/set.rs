@@ -64,12 +64,20 @@ impl SparseSet {
     }
 
     /// Whether `i` is a member.
+    ///
+    /// The empty-set check short-circuits on the (hot, predictable) id
+    /// list length before touching the bitmap: membership probes
+    /// against an empty set — e.g. edge-alive checks during
+    /// verification of node-fault-only regimes — then never take a
+    /// cache miss on the scattered word.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.domain, "id {i} out of domain {}", self.domain);
-        self.words
-            .get(i >> 6)
-            .is_some_and(|w| w >> (i & 63) & 1 != 0)
+        !self.ids.is_empty()
+            && self
+                .words
+                .get(i >> 6)
+                .is_some_and(|w| w >> (i & 63) & 1 != 0)
     }
 
     /// Inserts `i`; returns whether it was newly added.

@@ -88,7 +88,7 @@ impl Graph {
         let base = self.offsets[u];
         let t = v as u32;
         // Bounded-degree graphs (everything in the paper) fit the linear
-        // scan; binary search only pays off on long adjacency runs.
+        // scan; longer adjacency runs use the branch-free count below.
         if nbrs.len() <= 16 {
             for (k, &nb) in nbrs.iter().enumerate() {
                 if nb == t && pred(self.edge_ids[base + k]) {
@@ -97,7 +97,113 @@ impl Graph {
             }
             return false;
         }
-        self.edges_between_iter(u, v).any(pred)
+        // Run start by counting neighbours below `t`: no early exit, so
+        // the comparison loop vectorizes and never mispredicts — faster
+        // than binary search at the degrees the constructions produce
+        // (tens of entries), and exact because each group is sorted.
+        let mut idx = nbrs.iter().map(|&x| (x < t) as u32).sum::<u32>() as usize;
+        while idx < nbrs.len() && nbrs[idx] == t {
+            if pred(self.edge_ids[base + idx]) {
+                return true;
+            }
+            idx += 1;
+        }
+        false
+    }
+
+    /// Whether some `u`–`t1` edge and some `u`–`t2` edge each satisfy
+    /// `pred` — two [`any_edge_between`](Self::any_edge_between) probes
+    /// fused into one pass over `u`'s adjacency window, for callers
+    /// (embedding verification) that check several guest edges from the
+    /// same endpoint. Returns `(ok1, ok2)`.
+    pub fn edges_to_pair<F: FnMut(u32) -> bool>(
+        &self,
+        u: usize,
+        t1: usize,
+        t2: usize,
+        mut pred: F,
+    ) -> (bool, bool) {
+        let nbrs = self.neighbors(u);
+        let base = self.offsets[u];
+        let (t1, t2) = (t1 as u32, t2 as u32);
+        if nbrs.len() <= 16 {
+            let (mut ok1, mut ok2) = (false, false);
+            for (k, &nb) in nbrs.iter().enumerate() {
+                if nb == t1 && !ok1 && pred(self.edge_ids[base + k]) {
+                    ok1 = true;
+                }
+                if nb == t2 && !ok2 && pred(self.edge_ids[base + k]) {
+                    ok2 = true;
+                }
+            }
+            return (ok1, ok2);
+        }
+        // One vectorized pass computes both run starts (see
+        // `any_edge_between` for why counting beats binary search here).
+        let (mut i1, mut i2) = (0u32, 0u32);
+        for &x in nbrs {
+            i1 += (x < t1) as u32;
+            i2 += (x < t2) as u32;
+        }
+        let walk = |t: u32, mut idx: usize, pred: &mut F| {
+            while idx < nbrs.len() && nbrs[idx] == t {
+                if pred(self.edge_ids[base + idx]) {
+                    return true;
+                }
+                idx += 1;
+            }
+            false
+        };
+        let ok1 = walk(t1, i1 as usize, &mut pred);
+        let ok2 = walk(t2, i2 as usize, &mut pred);
+        (ok1, ok2)
+    }
+
+    /// Hints the CPU to pull node `v`'s arc window (targets + edge ids)
+    /// into cache. Embedding verification visits one scattered window
+    /// per guest node; issuing this a few nodes ahead hides most of the
+    /// miss latency. No-op on architectures without a prefetch hint.
+    #[inline]
+    pub fn prefetch_arcs(&self, v: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let lo = self.offsets[v];
+            let hi = self.offsets[v + 1];
+            // SAFETY: prefetch has no memory effects; the pointers lie
+            // inside (or one past) the owned allocations.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                let t = self.targets.as_ptr().add(lo) as *const i8;
+                let e = self.edge_ids.as_ptr().add(lo) as *const i8;
+                // 4-byte entries: 16 per cache line.
+                let lines = (hi - lo).div_ceil(16).min(5);
+                for l in 0..lines {
+                    _mm_prefetch(t.add(64 * l), _MM_HINT_T0);
+                }
+                _mm_prefetch(e, _MM_HINT_T0);
+                _mm_prefetch(e.add(64 * (lines - 1)), _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
+    }
+
+    /// Hints the CPU to pull node `v`'s *offset* pair into cache.
+    /// [`prefetch_arcs`](Self::prefetch_arcs) must itself read
+    /// `offsets[v..=v+1]` before it can compute the window addresses, so
+    /// a verifier pipelines two stages: offsets at a farther distance,
+    /// arc windows nearer. No-op without a prefetch hint.
+    #[inline]
+    pub fn prefetch_offsets(&self, v: usize) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch has no memory effects; `v` is in bounds so
+        // the pointer lies inside the owned allocation.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.offsets.as_ptr().add(v) as *const i8, _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = v;
     }
 
     /// Iterates all undirected edge ids joining `u` and `v` without

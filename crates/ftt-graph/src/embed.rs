@@ -125,30 +125,84 @@ fn verify_embedding_impl(
         }
         seen[w] |= bit;
     }
-    // Edge coverage: iterate guest edges once (v → v+1 along each axis).
-    for v in guest.iter() {
-        for axis in 0..guest.ndim() {
+    // Edge coverage: iterate guest edges once, each checked from its
+    // *later* endpoint in flat order (the back edge `c−1 → c` at `c`,
+    // the wrap edge `n−1 → 0` at `c = n−1`). Every probe of iteration
+    // `v` then searches the one adjacency window of `map[v]`, which a
+    // software prefetch issued a few guest nodes ahead has already
+    // pulled in — the loop is otherwise bound by the latency of those
+    // scattered windows, not by compute. Guest coordinates are carried
+    // as an odometer: at Monte-Carlo verification rates, per-edge
+    // `coord_of`/`torus_step` divisions are measurable.
+    // Two-stage prefetch pipeline: the arc-window prefetch must read
+    // `offsets[hv]` first, so that offset pair is itself prefetched at
+    // twice the distance.
+    const PREFETCH_AHEAD: usize = 16;
+    let ndim = guest.ndim();
+    let mut coords = vec![0usize; ndim];
+    let missing = |u: usize, v: usize, hu: usize, hv: usize| EmbedError::MissingEdge {
+        guest_u: u,
+        guest_v: v,
+        host_u: hu,
+        host_v: hv,
+    };
+    for v in 0..guest.len() {
+        if v + 2 * PREFETCH_AHEAD < guest.len() {
+            host.prefetch_offsets(map[v + 2 * PREFETCH_AHEAD]);
+        }
+        if v + PREFETCH_AHEAD < guest.len() {
+            host.prefetch_arcs(map[v + PREFETCH_AHEAD]);
+        }
+        let hv = map[v];
+        // Collect this node's back/wrap guest neighbours, then probe
+        // them — the interior-node case (exactly two) in one fused pass.
+        let mut pairs = [(0usize, 0usize); 8];
+        let mut np = 0;
+        for axis in 0..ndim {
             let n = guest.dim(axis);
             if n < 2 {
                 continue;
             }
-            let c = guest.coord_of(v, axis);
-            // step edge always; the wrap edge (c = n−1 → 0) only for the
-            // torus and only when extent > 2 (extent 2 has one edge).
-            if c + 1 >= n && !(wrap && n > 2) {
-                continue;
+            let c = coords[axis];
+            let stride = guest.stride(axis);
+            // back edge whenever c > 0; the wrap edge (c = n−1 → 0) only
+            // for the torus and only when extent > 2 (extent 2 has one
+            // edge).
+            if c > 0 {
+                pairs[np] = (v - stride, map[v - stride]);
+                np += 1;
             }
-            let u = guest.torus_step(v, axis, 1);
-            let (hu, hv) = (map[v], map[u]);
-            let ok = host.any_edge_between(hu, hv, &edge_alive);
-            if !ok {
-                return Err(EmbedError::MissingEdge {
-                    guest_u: v,
-                    guest_v: u,
-                    host_u: hu,
-                    host_v: hv,
-                });
+            if c + 1 == n && wrap && n > 2 {
+                let u = v - (n - 1) * stride;
+                if np < pairs.len() {
+                    pairs[np] = (u, map[u]);
+                    np += 1;
+                } else if !host.any_edge_between(hv, map[u], &edge_alive) {
+                    return Err(missing(u, v, map[u], hv));
+                }
             }
+        }
+        if np == 2 {
+            let (ok1, ok2) = host.edges_to_pair(hv, pairs[0].1, pairs[1].1, &edge_alive);
+            if !ok1 {
+                return Err(missing(pairs[0].0, v, pairs[0].1, hv));
+            }
+            if !ok2 {
+                return Err(missing(pairs[1].0, v, pairs[1].1, hv));
+            }
+        } else {
+            for &(u, hu) in &pairs[..np] {
+                if !host.any_edge_between(hv, hu, &edge_alive) {
+                    return Err(missing(u, v, hu, hv));
+                }
+            }
+        }
+        for axis in (0..ndim).rev() {
+            coords[axis] += 1;
+            if coords[axis] < guest.dim(axis) {
+                break;
+            }
+            coords[axis] = 0;
         }
     }
     Ok(())

@@ -17,10 +17,10 @@
 //!
 //! Each arriving [`Fault`] is *repaired*, not re-extracted: O(1)
 //! absorption when it lands under the current banding's already-dirty
-//! granularity, a local re-placement (one `D^d` axis band shifted via
-//! cached pigeonhole tallies; a `B^d` re-place that keeps the map when
-//! the banding holds still), or a full batch rebuild — with **batch
-//! parity** guaranteed throughout: the online outcome and embedding
+//! granularity, a local repair (one `D^d` axis band shifted via cached
+//! pigeonhole tallies; a `B^d` tile-local repaint of only the dirtied
+//! region; an `A²` goodness delta over the touched supernodes), or a
+//! full batch rebuild — with **batch parity** guaranteed throughout: the online outcome and embedding
 //! always equal what `try_extract_with` would produce for the
 //! accumulated fault set (differentially tested in
 //! `ftt-sim/tests/prop_online.rs`), and every repaired embedding can be

@@ -98,10 +98,11 @@ fn check_stream<C: HostConstruction>(
         arrivals += 1;
 
         // Property 1: outcome (and embedding) parity with the batch
-        // pipeline on the accumulated fault set. Skipped for hosts on
-        // the generic repair path (`check_batch = false`): there,
-        // `apply` already *is* a `try_extract_with` call, so the
-        // comparison would re-run identical code.
+        // pipeline on the accumulated fault set. `check_batch = false`
+        // is reserved for hosts on the generic repair path, where
+        // `apply` already *is* a `try_extract_with` call and the
+        // comparison would re-run identical code — every current
+        // construction repairs incrementally, so all batteries check.
         if check_batch {
             let batch = host.try_extract_with(state.faults(), scratch);
             assert_eq!(
@@ -177,8 +178,10 @@ fn bdn_host() -> ftt_core::Bdn {
 }
 
 fn adn_host() -> ftt_core::Adn {
-    // Smallest valid A² (k = 1, h = 4): debug-build extraction is slow,
-    // and this battery re-extracts per prefix.
+    // Smallest valid A² (k = 1, h = 4): the parity check re-extracts
+    // per prefix, and debug-build batch extraction is slow. The k = 2
+    // tier taxonomy has dedicated drive()-style unit tests in
+    // `ftt-core::online`.
     let inner = ftt_core::BdnParams::new(2, 54, 3, 1).unwrap();
     ftt_core::Adn::build(ftt_core::AdnParams::new(inner, 1, 4, 0.0).unwrap())
 }
@@ -200,13 +203,31 @@ fn differential_battery_ddn_256_streams() {
     battery(&ddn_host(), 256, 0xD0, 30, true);
 }
 
-/// `A²_n` runs the generic rebuild-per-arrival path, where `apply` *is*
-/// a batch extraction — so only the independent-checker property is
-/// asserted (short prefixes; the duplicate-absorb parity corner has a
-/// dedicated unit test in `ftt-core::online`). All 256 streams run.
+/// `A²_n` repairs incrementally (cached goodness deltas + nested inner
+/// `B²` engine + conditional re-greedy), so it gets the full treatment:
+/// outcome **and** embedding parity against `try_extract_with` on every
+/// prefix, plus the independent checker. All 256 streams run.
 #[test]
 fn differential_battery_adn_256_streams() {
-    battery(&adn_host(), 256, 0xA0, 3, false);
+    battery(&adn_host(), 256, 0xA0, 6, true);
+}
+
+/// A single fault on a fault-free `B²` always lands in an isolated
+/// tile, so the tile-local repaint must absorb it — the Rebuild tier
+/// (and death) are unreachable for the first arrival.
+#[test]
+fn bdn_single_fault_never_rebuilds() {
+    let host = bdn_host();
+    let mut state = RepairState::new(&host).expect("fault-free extraction");
+    for v in (0..host.num_nodes()).step_by(37) {
+        state.reset(&host).expect("fault-free reset");
+        let outcome = state.apply(&host, ftt_faults::Fault::Node(v));
+        assert_eq!(
+            outcome,
+            ftt_core::online::RepairOutcome::Repaired(ftt_core::online::RepairClass::Local),
+            "single-tile fault at node {v} must be absorbed by repaint"
+        );
+    }
 }
 
 proptest! {

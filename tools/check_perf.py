@@ -3,7 +3,10 @@
 
 Usage:
     check_perf.py COMMITTED_BASELINE.json FRESH.json [--floor 0.25]
-    check_perf.py --online BENCH_online.json [--min-speedup 2.0]
+                  [--baseline-floor NAME=TPS ...]
+    check_perf.py --online BENCH_online.json [--min-speedup S]
+                  [--min-speedup-bdn S] [--max-frac-rebuild-bdn F]
+                  [--min-speedup-adn S]
 
 Two-file mode compares the freshly measured trials/sec of every
 scenario in BENCH_extraction.json against the committed baseline and
@@ -12,17 +15,55 @@ deliberately generous: CI runners are slower and noisier than the
 machines that produce committed baselines, so this gate catches
 order-of-magnitude regressions like an accidentally quadratic hot path
 or a lost scratch reuse, not few-percent drift; trend inspection uses
-the uploaded artifacts).
+the uploaded artifacts). ``--baseline-floor name=tps`` additionally
+pins an *absolute* floor on the **committed** baseline itself — a
+noise-free number measured once on a reference machine — so headline
+throughput claims (e.g. the suspect-skip greedy putting ``A²_108``
+extraction above 2 000 trials/sec) cannot silently rot out of the
+committed artifact.
 
 ``--online`` mode validates a BENCH_online.json artifact (incremental
 repair vs from-scratch re-extraction on identical fault streams) and
-gates the per-scenario *speedup* — a machine-relative ratio, so it is
-noise-robust — at ``--min-speedup`` (default 2.0, the online
-subsystem's acceptance floor).
+gates each scenario by its ``construction``:
+
+* ``B^d_n`` — the tile-local repaint killed the Rebuild tier, so the
+  bar is high: speedup >= ``--min-speedup-bdn`` (default 25) **and**
+  ``frac_rebuild`` <= ``--max-frac-rebuild-bdn`` (default 0.20).
+* ``A^2_n`` — goodness deltas + the nested inner engine: speedup >=
+  ``--min-speedup-adn`` (default 2).
+* anything else — speedup >= ``--min-speedup`` (default 2, the online
+  subsystem's original acceptance floor).
+
+Speedups are same-machine ratios (noise-robust); ``frac_rebuild`` is a
+deterministic tier count, so both gate tightly even on CI runners.
 """
 
 import json
 import sys
+
+
+def pop_flag(argv, flag, default, parse=float, usage=""):
+    if flag not in argv:
+        return default
+    i = argv.index(flag)
+    try:
+        value = parse(argv[i + 1])
+    except (IndexError, ValueError):
+        sys.exit(f"{usage}\ncheck_perf: {flag} needs a valid value")
+    del argv[i : i + 2]
+    return value
+
+
+def pop_repeated(argv, flag, parse, usage=""):
+    values = []
+    while flag in argv:
+        i = argv.index(flag)
+        try:
+            values.append(parse(argv[i + 1]))
+        except (IndexError, ValueError):
+            sys.exit(f"{usage}\ncheck_perf: {flag} needs a valid value")
+        del argv[i : i + 2]
+    return values
 
 
 def load(path):
@@ -40,15 +81,14 @@ def load(path):
 
 
 def check_online(argv):
-    usage = "usage: check_perf.py --online BENCH_online.json [--min-speedup S]"
-    min_speedup = 2.0
-    if "--min-speedup" in argv:
-        i = argv.index("--min-speedup")
-        try:
-            min_speedup = float(argv[i + 1])
-        except (IndexError, ValueError):
-            sys.exit(f"{usage}\ncheck_perf: --min-speedup needs a numeric value")
-        del argv[i : i + 2]
+    usage = (
+        "usage: check_perf.py --online BENCH_online.json [--min-speedup S]\n"
+        "       [--min-speedup-bdn S] [--max-frac-rebuild-bdn F] [--min-speedup-adn S]"
+    )
+    min_speedup = pop_flag(argv, "--min-speedup", 2.0, usage=usage)
+    min_speedup_bdn = pop_flag(argv, "--min-speedup-bdn", 25.0, usage=usage)
+    max_frac_rebuild_bdn = pop_flag(argv, "--max-frac-rebuild-bdn", 0.20, usage=usage)
+    min_speedup_adn = pop_flag(argv, "--min-speedup-adn", 2.0, usage=usage)
     if len(argv) != 1:
         sys.exit(usage)
     path = argv[0]
@@ -60,11 +100,19 @@ def check_online(argv):
     if not scenarios:
         sys.exit(f"check_perf: {path}: no scenarios")
     failures = []
-    print(f"{'scenario':<24} {'arrivals':>9} {'incr/s':>12} {'rebuild/s':>12} {'speedup':>8}")
+    print(
+        f"{'scenario':<24} {'constr':>8} {'arrivals':>9} {'incr/s':>12} "
+        f"{'rebuild/s':>12} {'speedup':>8} {'f_rb':>6}"
+    )
     for s in scenarios:
         name = s.get("name")
         speedup = s.get("speedup")
-        if not isinstance(name, str) or not isinstance(speedup, (int, float)):
+        construction = s.get("construction")
+        if (
+            not isinstance(name, str)
+            or not isinstance(speedup, (int, float))
+            or not isinstance(construction, str)
+        ):
             sys.exit(f"check_perf: {path}: malformed scenario entry {s!r}")
         for field in (
             "arrivals",
@@ -76,44 +124,74 @@ def check_online(argv):
         ):
             if not isinstance(s.get(field), (int, float)):
                 sys.exit(f"check_perf: {path}: {name}: missing/odd field {field}")
-        marker = "" if speedup >= min_speedup else "  <-- BELOW FLOOR"
-        print(
-            f"{name:<24} {s['arrivals']:>9} {s['incremental_arrivals_per_sec']:>12.1f} "
-            f"{s['rebuild_arrivals_per_sec']:>12.1f} {speedup:>8.2f}{marker}"
-        )
-        if speedup < min_speedup:
-            failures.append(
-                f"{name}: incremental repair only {speedup:.2f}x faster than "
-                f"from-scratch re-extraction (floor {min_speedup:.1f}x)"
+        if construction == "B^d_n":
+            floor = min_speedup_bdn
+        elif construction == "A^2_n":
+            floor = min_speedup_adn
+        else:
+            floor = min_speedup
+        bad = []
+        if speedup < floor:
+            bad.append(
+                f"incremental repair only {speedup:.2f}x faster than "
+                f"from-scratch re-extraction (floor {floor:.1f}x)"
             )
+        if construction == "B^d_n" and s["frac_rebuild"] > max_frac_rebuild_bdn:
+            bad.append(
+                f"frac_rebuild {s['frac_rebuild']:.4f} > {max_frac_rebuild_bdn:.2f} "
+                f"(the tile-local repaint should absorb almost every arrival)"
+            )
+        marker = "" if not bad else "  <-- BELOW FLOOR"
+        print(
+            f"{name:<24} {construction:>8} {s['arrivals']:>9} "
+            f"{s['incremental_arrivals_per_sec']:>12.1f} "
+            f"{s['rebuild_arrivals_per_sec']:>12.1f} {speedup:>8.2f} "
+            f"{s['frac_rebuild']:>6.3f}{marker}"
+        )
+        failures.extend(f"{name}: {b}" for b in bad)
     if failures:
         print("check_perf: FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         sys.exit(1)
     print(
-        f"check_perf: ok ({len(scenarios)} online scenarios, "
-        f"speedup >= {min_speedup:.1f}x)"
+        f"check_perf: ok ({len(scenarios)} online scenarios; "
+        f"B^d >= {min_speedup_bdn:.0f}x & frac_rebuild <= {max_frac_rebuild_bdn:.2f}, "
+        f"A^2 >= {min_speedup_adn:.0f}x, others >= {min_speedup:.0f}x)"
     )
+
+
+def parse_baseline_floor(arg):
+    name, _, tps = arg.partition("=")
+    if not name or not tps:
+        raise ValueError(arg)
+    return name, float(tps)
 
 
 def main(argv):
     if "--online" in argv:
         argv.remove("--online")
         return check_online(argv)
-    usage = "usage: check_perf.py BASELINE.json FRESH.json [--floor F]"
-    floor = 0.25
-    if "--floor" in argv:
-        i = argv.index("--floor")
-        try:
-            floor = float(argv[i + 1])
-        except (IndexError, ValueError):
-            sys.exit(f"{usage}\ncheck_perf: --floor needs a numeric value")
-        del argv[i : i + 2]
+    usage = (
+        "usage: check_perf.py BASELINE.json FRESH.json [--floor F] "
+        "[--baseline-floor NAME=TPS ...]"
+    )
+    floor = pop_flag(argv, "--floor", 0.25, usage=usage)
+    baseline_floors = dict(
+        pop_repeated(argv, "--baseline-floor", parse_baseline_floor, usage=usage)
+    )
     if len(argv) != 2:
         sys.exit(usage)
     baseline, fresh = load(argv[0]), load(argv[1])
     failures = []
+    for name, min_tps in sorted(baseline_floors.items()):
+        if name not in baseline:
+            failures.append(f"{name}: absolute floor set but scenario missing from baseline")
+        elif baseline[name] < min_tps:
+            failures.append(
+                f"{name}: committed baseline {baseline[name]:.1f} trials/sec "
+                f"< absolute floor {min_tps:.1f}"
+            )
     print(f"{'scenario':<28} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
     for name, base_tps in sorted(baseline.items()):
         if name not in fresh:
@@ -133,7 +211,10 @@ def main(argv):
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         sys.exit(1)
-    print(f"check_perf: ok ({len(baseline)} scenarios >= {floor:.0%} of baseline)")
+    floors = (
+        f", {len(baseline_floors)} absolute baseline floor(s)" if baseline_floors else ""
+    )
+    print(f"check_perf: ok ({len(baseline)} scenarios >= {floor:.0%} of baseline{floors})")
 
 
 if __name__ == "__main__":
