@@ -35,7 +35,7 @@ use ftt_core::bdn::{Bdn, BdnParams};
 use ftt_core::construct::HostConstruction;
 use ftt_core::ddn::{Ddn, DdnParams};
 use ftt_core::online::RepairState;
-use ftt_faults::{FaultJournal, FaultSet, StreamSpec};
+use ftt_faults::{FaultEvent, FaultJournal, FaultSet, StreamSpec};
 use ftt_sim::lifetime::run_lifetime_trial;
 use ftt_sim::runner::trial_seed;
 use ftt_sim::scenario::extract_verified_with;
@@ -75,7 +75,7 @@ fn bench_scenario<C: HostConstruction>(
         .map(|i| {
             let mut journal = FaultJournal::new();
             let mut s = stream.stream(num_nodes, num_edges, trial_seed(seed, i));
-            run_lifetime_trial(host, &mut state, &mut s, cap, 0, Some(&mut journal));
+            run_lifetime_trial(host, &mut state, &mut s, cap, 0, 0, Some(&mut journal));
             journal
         })
         .collect();
@@ -96,7 +96,7 @@ fn bench_scenario<C: HostConstruction>(
         let start = Instant::now();
         for journal in &journals {
             let mut replay = journal.replay();
-            let rec = run_lifetime_trial(host, &mut state, &mut replay, usize::MAX, 0, None);
+            let rec = run_lifetime_trial(host, &mut state, &mut replay, usize::MAX, 0, 0, None);
             arrivals += rec.arrivals;
             if rep == 0 {
                 fast += rec.fast;
@@ -123,7 +123,14 @@ fn bench_scenario<C: HostConstruction>(
         for journal in &journals {
             faults.clear();
             for event in journal.events() {
-                faults.kill(event.fault);
+                match event.event {
+                    FaultEvent::Kill(f) => {
+                        faults.kill(f);
+                    }
+                    FaultEvent::Repair(f) => {
+                        faults.revive(f);
+                    }
+                }
                 batch_arrivals += 1;
                 if extract_verified_with(host, &faults, &mut scratch).is_err() {
                     break;

@@ -172,19 +172,24 @@ certify — exhaustive adversarial certification (ftt_sim::certify):
   dup-map, drop-edge, wrong-length).
 
 lifetime — online fault streams + incremental repair (ftt-online):
-  faults arrive one at a time (Bernoulli trickle, clustered bursts, or
-  the adaptive targeted adversary aiming at the live embedding) and
-  each arrival is REPAIRED — O(1) absorption, a local band shift, or a
-  full rebuild, always agreeing with the batch extractor — until the
-  first unrepairable fault. Cells report the lifetime distribution
-  (mean/median/p90 with Wilson-style order-statistic CIs), the repair
-  cost mix, and repair throughput; --certify-every N re-validates the
-  live embedding through the independent ftt-verify checker every N
-  repairs (failures exit non-zero). Per-cell results are invariant
-  under thread count and cell order.
+  events arrive one at a time (Bernoulli trickle, Weibull ageing
+  hazard, clustered bursts, geometry-aware track bursts, the adaptive
+  targeted adversary aiming at the live embedding, or a renewal
+  wrapper that repairs every kill a fixed delay later) and each event
+  is REPAIRED — O(1) absorption, a local band shift, or a full
+  rebuild, always agreeing with the batch extractor — until the first
+  unrepairable fault (kill-only streams) or the event budget (renewal
+  streams, where repairs can resurrect a dead placement). Cells report
+  the lifetime distribution (mean/median/p90 with Wilson-style
+  order-statistic CIs), the repair cost mix, repair throughput, and —
+  under renewal — steady-state availability with mean up/down spell
+  lengths plus coincidence-window burst counts; --certify-every N
+  re-validates the live embedding through the independent ftt-verify
+  checker every N repairs (failures exit non-zero). Per-cell results
+  are invariant under thread count and cell order.
   --preset {life_names}:
 {life_presets}
-  artifacts: LIFE_<name>.json + LIFE_<name>.csv (schema_version 1;
+  artifacts: LIFE_<name>.json + LIFE_<name>.csv (schema_version 2;
   validated and uploaded by CI's lifetime-smoke job via
   tools/check_life.py). --trials/--seed/--certify-every override the
   preset's values."
@@ -712,9 +717,10 @@ mod tests {
         ]))
         .unwrap();
         let body = std::fs::read_to_string(&json).unwrap();
-        assert!(body.contains("\"schema_version\": 1"));
+        assert!(body.contains("\"schema_version\": 2"));
         assert!(body.contains("\"kind\": \"lifetime\""));
         assert!(body.contains("\"lifetime_median\""));
+        assert!(body.contains("\"availability\""));
         let rows = std::fs::read_to_string(&csv).unwrap();
         assert!(rows.starts_with("id,construction,"));
         assert_eq!(rows.lines().count(), 1 + 2, "2 smoke cells + header");

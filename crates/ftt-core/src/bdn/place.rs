@@ -278,10 +278,6 @@ pub fn repaint_tile_local(
     faulty_ids: &[usize],
 ) -> Result<RepaintOutcome, PlacementError> {
     let params = *bdn.params();
-    let cols = bdn.cols();
-    let t = params.tile_side();
-    let (b, eps_b, m) = (params.b, params.eps_b, params.m());
-    let num_tile_rows = params.num_tile_rows();
     debug_assert!(faulty_ids.contains(&new_node));
 
     let tile = cache.grid.tile_of_node(new_node);
@@ -328,10 +324,113 @@ pub fn repaint_tile_local(
         rid
     };
 
-    // Re-place the dirtied region's straight segments from its
-    // accumulated fault rows. An error here is batch-exact: the batch
-    // pipeline reaches the identical `place_region_segments` call for
-    // this region and fails the same way.
+    replace_region_rows(bdn, cache, rid, faulty_ids)?;
+    refresh_changed_rows(bdn, cache, faulty_ids)
+}
+
+/// Removes one node fault from a [`PlacementCache`] with tile-local
+/// work — the repair-path mirror of [`repaint_tile_local`], under the
+/// same exact batch-parity contract: on `Ok(Unchanged)` / `Ok(Updated)`
+/// the cache equals what [`place_bands_cached`] builds for the reduced
+/// `faulty_ids` from scratch.
+///
+/// `removed_node` must already be gone from `faulty_ids` (the remaining
+/// accumulated duplicate-free fault list).
+///
+/// The local cases mirror the kill path:
+///
+/// * the tile **keeps other faults** — the zero/non-zero tile pattern
+///   is unchanged, so the painting is unchanged and only the owning
+///   region's segments can relax;
+/// * the tile **empties** and its region is an isolated singleton
+///   (exactly this tile, every other faulty tile at least the kill
+///   path's clearance away) — the batch painting on the reduced set is
+///   exactly the cached painting minus this one black tile, so unpaint
+///   it and refresh its rows.
+///
+/// A multi-tile region or an emptied tile within clearance of other
+/// faults returns [`RepaintOutcome::NeedsFullPlacement`].
+pub fn repaint_tile_local_remove(
+    bdn: &Bdn,
+    cache: &mut PlacementCache,
+    removed_node: usize,
+    faulty_ids: &[usize],
+) -> Result<RepaintOutcome, PlacementError> {
+    let params = *bdn.params();
+    debug_assert!(!faulty_ids.contains(&removed_node));
+
+    let tile = cache.grid.tile_of_node(removed_node);
+    debug_assert!(cache.tile_faults[tile] > 0, "removal from a clean tile");
+    // Recompute the tile's count from the remaining list instead of
+    // decrementing: kill-path pair-duplicates skip the repaint (and its
+    // increment) entirely, so the cached count may undercount the
+    // batch-built one — only the zero/non-zero boolean is parity-exact,
+    // and this scan makes the count exact again.
+    let remaining = faulty_ids
+        .iter()
+        .filter(|&&v| cache.grid.tile_of_node(v) == tile)
+        .count() as u32;
+    cache.tile_faults[tile] = remaining;
+    let rid = cache.painting.region_of[tile];
+    debug_assert_ne!(rid, u32::MAX, "faulty tile must be in a region");
+    let rid = rid as usize;
+
+    if remaining > 0 {
+        // Painting unchanged; the owning region's segments can relax.
+        replace_region_rows(bdn, cache, rid, faulty_ids)?;
+        return refresh_changed_rows(bdn, cache, faulty_ids);
+    }
+
+    // The tile emptied. Local only when the region is an isolated
+    // singleton: the reverse of the kill path's fresh-tile argument —
+    // with the same clearance no other frame search ever saw this tile,
+    // so the batch painting on the reduced set is the cached painting
+    // minus exactly this black tile.
+    let r_max = max_frame_radius(&params);
+    let min_clear = if r_max == 1 { 2 } else { 2 * r_max + 1 };
+    let singleton = cache.painting.regions[rid].tiles == [tile];
+    let isolated = faulty_ids.iter().all(|&v| {
+        let tv = cache.grid.tile_of_node(v);
+        cache.grid.tile_chebyshev(tile, tv) >= min_clear
+    });
+    if !(singleton && isolated) {
+        return Ok(RepaintOutcome::NeedsFullPlacement);
+    }
+    cache.painting.color[tile] = TileColor::White;
+    cache.painting.region_of[tile] = u32::MAX;
+    cache.painting.regions.swap_remove(rid);
+    let removed_rows = cache.region_rows.swap_remove(rid);
+    if rid < cache.painting.regions.len() {
+        // swap_remove moved the last region into slot `rid`.
+        for i in 0..cache.painting.regions[rid].tiles.len() {
+            let tv = cache.painting.regions[rid].tiles[i];
+            cache.painting.region_of[tv] = rid as u32;
+        }
+    }
+    cache.num_black_tiles -= 1;
+    cache.changed_rows.clear();
+    cache
+        .changed_rows
+        .extend(removed_rows.iter().map(|(r, _)| *r));
+    refresh_changed_rows(bdn, cache, faulty_ids)
+}
+
+/// Re-places region `rid`'s straight segments from its accumulated
+/// fault rows and diffs them against the cached ones into
+/// `cache.changed_rows`. An error is batch-exact: the batch pipeline
+/// reaches the identical `place_region_segments` call for this region
+/// and fails the same way.
+fn replace_region_rows(
+    bdn: &Bdn,
+    cache: &mut PlacementCache,
+    rid: usize,
+    faulty_ids: &[usize],
+) -> Result<(), PlacementError> {
+    let params = *bdn.params();
+    let cols = bdn.cols();
+    let t = params.tile_side();
+    let (b, eps_b, m) = (params.b, params.eps_b, params.m());
+    let num_tile_rows = params.num_tile_rows();
     let (origin0, extent0) = {
         let region = &cache.painting.regions[rid];
         (region.origin[0], region.extent[0])
@@ -346,7 +445,6 @@ pub fn repaint_tile_local(
     }
     let segs = place_region_segments(&cache.fault_rows, extent0, t, b, eps_b, rid)?;
 
-    // Diff the re-placed rows against the cached ones.
     cache.changed_rows.clear();
     let old_rows = std::mem::take(&mut cache.region_rows[rid]);
     let mut new_rows = Vec::with_capacity(extent0);
@@ -362,6 +460,23 @@ pub fn repaint_tile_local(
         new_rows.push((abs_row, abs_starts));
     }
     cache.region_rows[rid] = new_rows;
+    Ok(())
+}
+
+/// Refreshes the bands of `cache.changed_rows` (corner re-assembly +
+/// re-interpolation) and runs the targeted re-validation, asserting
+/// batch parity on every success path. Shared tail of
+/// [`repaint_tile_local`] and [`repaint_tile_local_remove`].
+fn refresh_changed_rows(
+    bdn: &Bdn,
+    cache: &mut PlacementCache,
+    faulty_ids: &[usize],
+) -> Result<RepaintOutcome, PlacementError> {
+    let params = *bdn.params();
+    let cols = bdn.cols();
+    let t = params.tile_side();
+    let (eps_b, m) = (params.eps_b, params.m());
+    let num_tile_rows = params.num_tile_rows();
     if cache.changed_rows.is_empty() {
         debug_assert_batch_parity(bdn, cache, faulty_ids);
         return Ok(RepaintOutcome::Unchanged);
@@ -754,6 +869,60 @@ mod tests {
         let mut cache = place_bands_cached(&bdn, &[v1]).unwrap();
         let out = repaint_tile_local(&bdn, &mut cache, far, &[v1, far]).unwrap();
         assert_ne!(out, RepaintOutcome::NeedsFullPlacement);
+    }
+
+    #[test]
+    fn repaint_remove_mirrors_the_kill_path() {
+        let bdn = small_bdn();
+        let mut cache = place_bands_cached(&bdn, &[]).unwrap();
+        let a = bdn.cols().node(5, 5);
+        let a2 = bdn.cols().node(6, 6); // same tile as `a`
+        let c = bdn.cols().node(100, 100);
+        let mut ids: Vec<usize> = Vec::new();
+        for &v in &[a, a2, c] {
+            ids.push(v);
+            repaint_tile_local(&bdn, &mut cache, v, &ids).unwrap();
+        }
+        // Remove a2: its tile keeps `a`, painting unchanged, segments
+        // relax (debug builds assert batch parity inside).
+        ids.retain(|&v| v != a2);
+        let out = repaint_tile_local_remove(&bdn, &mut cache, a2, &ids).unwrap();
+        assert_ne!(out, RepaintOutcome::NeedsFullPlacement);
+        assert_eq!(cache.num_regions(), 2);
+        // Remove a: the tile empties and its isolated singleton region
+        // is unpainted.
+        ids.retain(|&v| v != a);
+        let out = repaint_tile_local_remove(&bdn, &mut cache, a, &ids).unwrap();
+        assert_ne!(out, RepaintOutcome::NeedsFullPlacement);
+        assert_eq!(cache.num_regions(), 1);
+        // Remove c: back to the pristine fault-free placement.
+        ids.clear();
+        let out = repaint_tile_local_remove(&bdn, &mut cache, c, &ids).unwrap();
+        assert_ne!(out, RepaintOutcome::NeedsFullPlacement);
+        assert_eq!(cache.num_regions(), 0);
+        assert_eq!(cache.num_black_tiles(), 0);
+        let pristine = place_bands_cached(&bdn, &[]).unwrap();
+        assert_eq!(cache.banding(), pristine.banding());
+    }
+
+    #[test]
+    fn repaint_remove_demands_full_placement_near_other_faults() {
+        // b = 5 → r_max = 2: the emptied tile sits within clearance of
+        // the surviving fault (and/or shares a multi-tile region), so
+        // the removal is not provably tile-local.
+        let p = BdnParams::fit(2, 100, 5, 1).unwrap();
+        let bdn = Bdn::build(p);
+        let t = p.tile_side();
+        let v1 = bdn.cols().node(5 * t + 5, 5 * t + 5);
+        let v2 = bdn.cols().node(6 * t + 5, 6 * t + 5);
+        let mut cache = place_bands_cached(&bdn, &[v1, v2]).unwrap();
+        assert_eq!(
+            repaint_tile_local_remove(&bdn, &mut cache, v2, &[v1]).unwrap(),
+            RepaintOutcome::NeedsFullPlacement
+        );
+        // ... and the batch pipeline indeed accepts the reduced set, so
+        // the caller's fallback rebuild succeeds.
+        assert!(place_bands_for_ids(&bdn, &[v1]).is_ok());
     }
 
     #[test]

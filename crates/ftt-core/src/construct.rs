@@ -112,6 +112,30 @@ pub trait HostConstruction: Sized {
         online::apply_generic(self, state, fault)
     }
 
+    /// Feeds one *repair* (a renewal stream reviving a fault) to the
+    /// online engine: removes it from the accumulated set, then absorbs
+    /// it, repairs the placement locally, or rebuilds — under the same
+    /// batch-parity contract as
+    /// [`apply_fault_incremental`](Self::apply_fault_incremental). On a
+    /// dead state a repair may *resurrect* the embedding (batch success
+    /// is not monotone in the fault set). The default implementation
+    /// absorbs no-op revives and rebuilds for everything else.
+    fn apply_repair_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::apply_repair_generic(self, state, fault)
+    }
+
+    /// The host torus shape, when the construction's node ids are
+    /// coordinates of a torus (geometry-aware fault streams aim
+    /// correlated track bursts at it). `None` for constructions whose
+    /// host is not itself a torus.
+    fn torus_shape(&self) -> Option<&ftt_geom::Shape> {
+        None
+    }
+
     /// Materialises a deferred guest→host map (repairs maintain the
     /// *placement* eagerly; lazy-map constructions rebuild the flat map
     /// only on demand — see [`RepairState::live_embedding`]). No-op by
@@ -233,6 +257,14 @@ impl HostConstruction for Bdn {
         online::bdn_apply(self, state, fault)
     }
 
+    fn apply_repair_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::bdn_apply_repair(self, state, fault)
+    }
+
     fn materialize_embedding(&self, state: &mut RepairState<Self>) {
         online::bdn_materialize(self, state)
     }
@@ -331,6 +363,14 @@ impl HostConstruction for Adn {
         fault: Fault,
     ) -> RepairOutcome {
         online::adn_apply(self, state, fault)
+    }
+
+    fn apply_repair_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::adn_apply_repair(self, state, fault)
     }
 
     fn try_extract_with(
@@ -484,6 +524,18 @@ impl HostConstruction for Ddn {
         fault: Fault,
     ) -> RepairOutcome {
         online::ddn_apply(self, state, fault)
+    }
+
+    fn apply_repair_incremental(
+        &self,
+        state: &mut RepairState<Self>,
+        fault: Fault,
+    ) -> RepairOutcome {
+        online::ddn_apply_repair(self, state, fault)
+    }
+
+    fn torus_shape(&self) -> Option<&ftt_geom::Shape> {
+        Some(self.shape())
     }
 
     fn try_extract_with(

@@ -27,6 +27,26 @@
 //!   may reshape; an `A²` arrival touches used host nodes or moves the
 //!   inner banding, forcing a full level-2 re-greedy).
 //!
+//! # Repairs (renewal streams)
+//!
+//! Under a renewal fault model elements also come *back*:
+//! [`RepairState::apply_repair`] removes a fault from the accumulated
+//! set and relaxes the placement under the same tiers and the same
+//! batch-parity invariant, each path mirroring its kill-path twin —
+//! `D^d` decrements the cached pigeonhole tallies and shifts the freed
+//! band back off a cleaned slot; `B^d` removes the `(tile, row)` pair
+//! and repaints the emptied tile's region
+//! ([`crate::bdn::place::repaint_tile_local_remove`]); `A²` re-promotes
+//! the revived node and mirrors a supernode flipping *good* into the
+//! inner `B²` as an inner repair. Because batch success is **not**
+//! monotone in the fault set (removing a fault can move the `D^d`
+//! anchor-class argmin, and in principle kill a live placement), a
+//! repair can also end in [`RepairOutcome::Dead`] — parity decides, not
+//! intuition. Symmetrically, a dead state is not sticky under renewal:
+//! every event delivered while dead still lands in the accumulated set
+//! and re-runs the batch pipeline, so a repair (or any event that turns
+//! the accumulated set extractable again) **resurrects** the state.
+//!
 //! # The batch-parity invariant
 //!
 //! The one invariant everything rests on: **after every repair, the
@@ -74,7 +94,7 @@ use crate::construct::HostConstruction;
 use crate::ddn::place::DdnBanding;
 use crate::ddn::Ddn;
 use crate::error::PlacementError;
-use ftt_faults::{Fault, FaultSet, HalfEdgeFaults, SparseSet};
+use ftt_faults::{Fault, FaultEvent, FaultSet, HalfEdgeFaults, SparseSet};
 use ftt_geom::TileGrid;
 use std::collections::HashSet;
 
@@ -90,14 +110,16 @@ pub enum RepairClass {
     Rebuild,
 }
 
-/// Outcome of feeding one fault to [`RepairState::apply`].
+/// Outcome of feeding one event to [`RepairState::apply`] /
+/// [`RepairState::apply_repair`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairOutcome {
-    /// The fault was masked; the placement is live and fault-free.
+    /// The event was absorbed; the placement is live and fault-free.
     Repaired(RepairClass),
     /// Unrepairable: the batch pipeline refuses the accumulated fault
     /// set. The state is dead ([`RepairState::death`] has the error)
-    /// and stays dead.
+    /// until a later event — typically a renewal repair — makes the
+    /// accumulated set extractable again and resurrects it.
     Dead,
 }
 
@@ -157,6 +179,21 @@ impl<C: HostConstruction> RepairState<C> {
     /// Feeds one fault arrival; see [`HostConstruction::apply_fault_incremental`].
     pub fn apply(&mut self, host: &C, fault: Fault) -> RepairOutcome {
         host.apply_fault_incremental(self, fault)
+    }
+
+    /// Feeds one repair (revival) event; see
+    /// [`HostConstruction::apply_repair_incremental`].
+    pub fn apply_repair(&mut self, host: &C, fault: Fault) -> RepairOutcome {
+        host.apply_repair_incremental(self, fault)
+    }
+
+    /// Feeds one timed stream event, dispatching on its kind — the
+    /// lifetime engine's single entry point.
+    pub fn apply_event(&mut self, host: &C, event: FaultEvent) -> RepairOutcome {
+        match event {
+            FaultEvent::Kill(f) => self.apply(host, f),
+            FaultEvent::Repair(f) => self.apply_repair(host, f),
+        }
     }
 
     /// Whether the placement is live.
@@ -248,6 +285,32 @@ pub(crate) fn rebuild_generic<C: HostConstruction>(
     }
 }
 
+/// Applies one event to a **dead** state. The event still lands in the
+/// accumulated set (parity is over the whole event history, not the
+/// live prefix), and the batch pipeline re-runs on it: batch success is
+/// not monotone in the fault set, so a repair — or even a kill that
+/// moves the `D^d` anchor choice — can resurrect the placement. A
+/// no-op event (duplicate kill, repair of a non-fault) leaves the set
+/// and the verdict unchanged.
+fn apply_event_while_dead<C: HostConstruction>(
+    host: &C,
+    state: &mut RepairState<C>,
+    event: FaultEvent,
+) -> RepairOutcome {
+    debug_assert!(!state.alive);
+    let changed = match event {
+        FaultEvent::Kill(f) => state.faults.kill(f),
+        FaultEvent::Repair(f) => state.faults.revive(f),
+    };
+    if !changed {
+        return RepairOutcome::Dead;
+    }
+    match host.rebuild_repair(state) {
+        Ok(()) => RepairOutcome::Repaired(RepairClass::Rebuild),
+        Err(_) => RepairOutcome::Dead,
+    }
+}
+
 /// The construction-generic arrival path: absorb exact duplicates in
 /// O(1) (the accumulated set — the batch input — is unchanged),
 /// otherwise run the full batch rebuild. Default body of
@@ -258,9 +321,30 @@ pub(crate) fn apply_generic<C: HostConstruction>(
     fault: Fault,
 ) -> RepairOutcome {
     if !state.alive {
-        return RepairOutcome::Dead;
+        return apply_event_while_dead(host, state, FaultEvent::Kill(fault));
     }
     if !state.faults.kill(fault) {
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    match host.rebuild_repair(state) {
+        Ok(()) => RepairOutcome::Repaired(RepairClass::Rebuild),
+        Err(_) => RepairOutcome::Dead,
+    }
+}
+
+/// The construction-generic repair path: absorb repairs of non-faults
+/// in O(1), otherwise shrink the accumulated set and run the full batch
+/// rebuild. Default body of
+/// [`HostConstruction::apply_repair_incremental`].
+pub(crate) fn apply_repair_generic<C: HostConstruction>(
+    host: &C,
+    state: &mut RepairState<C>,
+    fault: Fault,
+) -> RepairOutcome {
+    if !state.alive {
+        return apply_event_while_dead(host, state, FaultEvent::Repair(fault));
+    }
+    if !state.faults.revive(fault) {
         return RepairOutcome::Repaired(RepairClass::Fast);
     }
     match host.rebuild_repair(state) {
@@ -400,7 +484,7 @@ pub(crate) fn bdn_rebuild(host: &Bdn, state: &mut RepairState<Bdn>) -> Result<()
 
 pub(crate) fn bdn_apply(host: &Bdn, state: &mut RepairState<Bdn>, fault: Fault) -> RepairOutcome {
     if !state.alive {
-        return RepairOutcome::Dead;
+        return apply_event_while_dead(host, state, FaultEvent::Kill(fault));
     }
     if !state.faults.kill(fault) {
         return RepairOutcome::Repaired(RepairClass::Fast);
@@ -445,6 +529,81 @@ pub(crate) fn bdn_apply(host: &Bdn, state: &mut RepairState<Bdn>, fault: Fault) 
     }
 }
 
+/// The `B^d` repair (revival) path — the kill path's mirror. Batch
+/// placement consumes only the dirty `(tile, row)` pair set, so a
+/// revival whose ascribed id or pair survives (the node is still an
+/// edge-fault ascription target, or another ascribed id shares the
+/// pair) is Fast; otherwise the pair is removed and the emptied tile
+/// repainted tile-locally ([`repaint_tile_local_remove`]'s mirror of
+/// the arrival repaint), falling back to a from-scratch placement when
+/// the removal is not provably local.
+pub(crate) fn bdn_apply_repair(
+    host: &Bdn,
+    state: &mut RepairState<Bdn>,
+    fault: Fault,
+) -> RepairOutcome {
+    if !state.alive {
+        return apply_event_while_dead(host, state, FaultEvent::Repair(fault));
+    }
+    if !state.faults.revive(fault) {
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    let u = match fault {
+        Fault::Node(v) => v,
+        Fault::Edge(e) => host.graph().edge_endpoints(e).0,
+    };
+    // Section 3 ascription in reverse: `u` leaves the ascribed set only
+    // when no remaining fault ascribes to it.
+    let still_ascribed = !state.faults.node_alive(u)
+        || state
+            .faults
+            .faulty_edges()
+            .any(|e| host.graph().edge_endpoints(e).0 == u);
+    if still_ascribed {
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    let removed = state.cache.ascribed.remove(u);
+    debug_assert!(removed, "alive B^d cache tracks every ascribed fault");
+    let (i, _z) = host.cols().split(u);
+    let pair = (state.cache.grid.tile_of_node(u) as u32, i as u32);
+    let pair_shared = state.cache.ascribed.ids().iter().any(|&v| {
+        let (iv, _z) = host.cols().split(v);
+        (state.cache.grid.tile_of_node(v) as u32, iv as u32) == pair
+    });
+    if pair_shared {
+        // The dirty pair set — the only thing batch placement observes
+        // — is unchanged, so the cached banding is still batch-exact.
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    state.cache.pairs.remove(&pair);
+    let BdnRepairCache {
+        placement,
+        ascribed,
+        ..
+    } = &mut state.cache;
+    let cache = placement
+        .as_mut()
+        .expect("alive B^d state holds a placement");
+    match crate::bdn::place::repaint_tile_local_remove(host, cache, u, ascribed.ids()) {
+        Ok(RepaintOutcome::Unchanged) => RepairOutcome::Repaired(RepairClass::Local),
+        Ok(RepaintOutcome::Updated) => {
+            state.embedding = None; // deferred; see materialize
+            RepairOutcome::Repaired(RepairClass::Local)
+        }
+        Ok(RepaintOutcome::NeedsFullPlacement) => {
+            match crate::bdn::place::place_bands_cached(host, state.cache.ascribed.ids()) {
+                Ok(c) => {
+                    state.cache.placement = Some(c);
+                    state.embedding = None;
+                    RepairOutcome::Repaired(RepairClass::Rebuild)
+                }
+                Err(e) => die(state, e),
+            }
+        }
+        Err(e) => die(state, e),
+    }
+}
+
 // ---------------------------------------------------------------------
 // D^d_{n,k}: cached pigeonhole tallies + single-band slot shifts, with
 // an in-place map refresh from cached per-axis coordinates.
@@ -469,11 +628,13 @@ pub struct DdnRepairCache {
     period: usize,
     /// Axis-0 band quota `k_0`.
     quota: usize,
-    /// Fault count per axis-0 residue class — recomputed on every full
-    /// rebuild, where it picks the anchor class. Not maintained
-    /// incrementally: off-anchor arrivals provably cannot move the
-    /// (first) argmin, so the cached `best_class` stays valid between
-    /// rebuilds without it.
+    /// Fault count per axis-0 residue class, maintained incrementally
+    /// (incremented per ascribed arrival, decremented per ascription
+    /// removal) and recomputed on every full rebuild, where it picks
+    /// the anchor class. Kill arrivals off the anchor class provably
+    /// cannot move the (first) argmin; repair *removals* can — the
+    /// repair path recomputes the argmin from these counts and
+    /// rebuilds when it moved.
     class_counts: Vec<usize>,
     /// The batch algorithm's anchor class (first argmin of the counts).
     best_class: usize,
@@ -681,7 +842,7 @@ fn ddn_place_and_sync(host: &Ddn, state: &mut RepairState<Ddn>) -> Result<(), Pl
 
 pub(crate) fn ddn_apply(host: &Ddn, state: &mut RepairState<Ddn>, fault: Fault) -> RepairOutcome {
     if !state.alive {
-        return RepairOutcome::Dead;
+        return apply_event_while_dead(host, state, FaultEvent::Kill(fault));
     }
     if !state.faults.kill(fault) {
         return RepairOutcome::Repaired(RepairClass::Fast);
@@ -698,6 +859,7 @@ pub(crate) fn ddn_apply(host: &Ddn, state: &mut RepairState<Ddn>, fault: Fault) 
     let m = host.params().m();
     let x = host.shape().coord_of(u, 0);
     let class = x % state.cache.period;
+    state.cache.class_counts[class] += 1;
     if class == state.cache.best_class {
         // An anchor-class fault is deferred to the deeper axes and may
         // even move the anchor choice: full batch re-placement.
@@ -760,6 +922,105 @@ fn ddn_rebuild_after_arrival(
             state.death = Some(e.clone());
             Err(e)
         }
+    }
+}
+
+/// Incremental `D^d_n` repair under the batch-parity invariant — the
+/// inverse of [`ddn_apply`]'s tiers. Removing a fault can do what an
+/// arrival provably cannot: decrementing a class tally may move the
+/// (first) argmin, so the anchor choice is re-derived from the
+/// incrementally maintained counts and a moved anchor rebuilds.
+pub(crate) fn ddn_apply_repair(
+    host: &Ddn,
+    state: &mut RepairState<Ddn>,
+    fault: Fault,
+) -> RepairOutcome {
+    if !state.alive {
+        return apply_event_while_dead(host, state, FaultEvent::Repair(fault));
+    }
+    if !state.faults.revive(fault) {
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    let u = match fault {
+        Fault::Node(v) => v,
+        Fault::Edge(e) => HostConstruction::graph(host).edge_endpoints(e).0,
+    };
+    let still_ascribed = !state.faults.node_alive(u) || {
+        let g = HostConstruction::graph(host);
+        state
+            .faults
+            .faulty_edges()
+            .any(|e| g.edge_endpoints(e).0 == u)
+    };
+    if still_ascribed {
+        // Ascribed set unchanged ⇒ batch input unchanged.
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    let removed = state.cache.ascribed.remove(u);
+    debug_assert!(removed, "alive D^d cache tracks every ascribed fault");
+    let m = host.params().m();
+    let x = host.shape().coord_of(u, 0);
+    let class = x % state.cache.period;
+    state.cache.class_counts[class] -= 1;
+    if class == state.cache.best_class {
+        // Anchor-class faults are deferred to the deeper axes; removing
+        // one changes the deferred set those axes were placed for. (The
+        // anchor itself cannot move: decrementing the minimum keeps it
+        // the first argmin.)
+        return match ddn_rebuild_after_arrival(host, state) {
+            Ok(()) => RepairOutcome::Repaired(RepairClass::Rebuild),
+            Err(_) => RepairOutcome::Dead,
+        };
+    }
+    let new_best = (0..state.cache.period)
+        .min_by_key(|&c| state.cache.class_counts[c])
+        .expect("period ≥ 2");
+    if new_best != state.cache.best_class {
+        // The batch's pigeonhole now anchors elsewhere: every axis-0
+        // slot boundary shifts with it.
+        return match ddn_rebuild_after_arrival(host, state) {
+            Ok(()) => RepairOutcome::Repaired(RepairClass::Rebuild),
+            Err(_) => RepairOutcome::Dead,
+        };
+    }
+    let slot = ((x + m - state.cache.best_class) % m) / state.cache.period;
+    debug_assert!(
+        state.cache.slot_dirty[slot],
+        "every off-anchor ascribed fault sits in a dirty slot"
+    );
+    let shape = host.shape();
+    let period = state.cache.period;
+    let best = state.cache.best_class;
+    let slot_still_dirty = state.cache.ascribed.ids().iter().any(|&v| {
+        let xv = shape.coord_of(v, 0);
+        xv % period != best && ((xv + m - best) % m) / period == slot
+    });
+    if slot_still_dirty {
+        // Another ascribed fault keeps the slot banded ⇒ banding
+        // unchanged.
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    state.cache.slot_dirty[slot] = false;
+    state.cache.dirty_count -= 1;
+    // Shift the freed band back onto the first clean filler slot
+    // (batch-identical start list), keep every deeper axis, refresh
+    // axis 0 and the map.
+    let mut banding = state
+        .cache
+        .banding
+        .take()
+        .expect("alive state holds a banding");
+    banding.starts[0] = ddn_axis0_starts(&state.cache, m);
+    debug_assert_eq!(
+        banding,
+        crate::ddn::place::place_straight_bands(host, state.cache.ascribed.ids())
+            .expect("a subset of a placeable fault set stays placeable"),
+        "local slot clear must reproduce the batch placement"
+    );
+    state.cache.banding = Some(banding);
+    match ddn_sync_embedding(host, state) {
+        Ok(()) => RepairOutcome::Repaired(RepairClass::Local),
+        Err(e) => die(state, e),
     }
 }
 
@@ -941,9 +1202,95 @@ fn adn_demote(
     true
 }
 
+/// Exact re-check of one node's goodness against the cached fault
+/// state, mirroring the batch classifier: a node is good iff it is
+/// alive and, toward every adjacent supernode, its count of faulty
+/// half-edges (on its own side) stays within the budget. `O(degree)`.
+fn adn_node_good(host: &Adn, node_faulty: &[bool], halves: &HalfEdgeFaults, x: usize) -> bool {
+    if node_faulty[x] {
+        return false;
+    }
+    let h = host.params().h;
+    let max_bad = host.params().max_bad_halves();
+    // Group x's faulty-half arcs by adjacent supernode; degree is tiny
+    // (2d·h at most), so a linear-scan Vec beats a map.
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for (t, e) in host.graph().arcs(x) {
+        if halves.half_faulty_at(host.graph(), e, x) {
+            let su = t / h;
+            match counts.iter_mut().find(|(s, _)| *s == su) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((su, 1)),
+            }
+        }
+    }
+    counts.iter().all(|&(_, c)| c <= max_bad)
+}
+
+/// Promotes node `x` in the cached classification (if currently bad),
+/// recording a supernode flip back to good.
+fn adn_promote(
+    goodness: &mut Goodness,
+    h: usize,
+    min_good: u32,
+    x: usize,
+    flipped_sus: &mut Vec<usize>,
+) -> bool {
+    if goodness.good_node[x] {
+        return false;
+    }
+    goodness.good_node[x] = true;
+    let su = x / h;
+    goodness.good_count[su] += 1;
+    if !goodness.good_supernode[su] && goodness.good_count[su] >= min_good {
+        goodness.good_supernode[su] = true;
+        flipped_sus.push(su);
+    }
+    true
+}
+
+/// Re-runs the level-2 greedy over the cached classification and the
+/// (re-materialised) inner map — the shared Rebuild tier for fault
+/// arrivals and repairs alike.
+fn adn_regreedy(host: &Adn, state: &mut RepairState<Adn>) -> RepairOutcome {
+    let RepairState {
+        embedding, cache, ..
+    } = state;
+    bdn_materialize(host.inner(), &mut cache.inner);
+    let inner_map = match cache.inner.embedding.as_ref() {
+        Some(emb) => &emb.map,
+        None => {
+            let e = PlacementError::SupernodeLevelFailed {
+                inner: Box::new(cache.inner.death.clone().expect("dead inner records death")),
+            };
+            return die(state, e);
+        }
+    };
+    let n = host.params().n();
+    let mut emb = embedding.take().unwrap_or_else(|| TorusEmbedding {
+        guest: ftt_geom::Shape::new(vec![n, n]),
+        map: Vec::new(),
+    });
+    match crate::adn::embed::greedy_level2_into(
+        host,
+        cache.goodness.as_ref().expect("alive A² state"),
+        &cache.halves,
+        inner_map,
+        &mut emb.map,
+        &mut cache.used,
+        &mut cache.suspect,
+    ) {
+        Ok(()) => {
+            *embedding = Some(emb);
+            RepairOutcome::Repaired(RepairClass::Rebuild)
+        }
+        Err(e) => die(state, e),
+    }
+}
+
 pub(crate) fn adn_apply(host: &Adn, state: &mut RepairState<Adn>, fault: Fault) -> RepairOutcome {
     if !state.alive {
-        return RepairOutcome::Dead;
+        return apply_event_while_dead(host, state, FaultEvent::Kill(fault));
     }
     if !state.faults.kill(fault) {
         return RepairOutcome::Repaired(RepairClass::Fast);
@@ -1070,43 +1417,134 @@ pub(crate) fn adn_apply(host: &Adn, state: &mut RepairState<Adn>, fault: Fault) 
 
     let outcome = match verdict {
         Verdict::Die(e) => die(state, e),
-        Verdict::Regreedy => {
-            let RepairState {
-                embedding, cache, ..
-            } = state;
-            bdn_materialize(host.inner(), &mut cache.inner);
-            let inner_map = match cache.inner.embedding.as_ref() {
-                Some(emb) => &emb.map,
-                None => {
-                    let e = PlacementError::SupernodeLevelFailed {
-                        inner: Box::new(
-                            cache.inner.death.clone().expect("dead inner records death"),
-                        ),
-                    };
-                    return die(state, e);
+        Verdict::Regreedy => adn_regreedy(host, state),
+        Verdict::Keep(class) => RepairOutcome::Repaired(class),
+    };
+    #[cfg(debug_assertions)]
+    adn_debug_assert_parity(host, state);
+    outcome
+}
+
+/// Incremental `A²_n` repair — the inverse of [`adn_apply`]'s tiers.
+/// Goodness is monotone non-decreasing under repairs: a revival can
+/// only promote the revived node or, for an edge, its two endpoints
+/// (each rechecked exactly in `O(degree)`). A promotion is *visible* to
+/// the cached greedy run when its `h`-block contains a used node — a
+/// newly good node earlier in block order can steal the greedy's
+/// choice — so visibility forces the re-run even though nothing used
+/// was harmed.
+pub(crate) fn adn_apply_repair(
+    host: &Adn,
+    state: &mut RepairState<Adn>,
+    fault: Fault,
+) -> RepairOutcome {
+    if !state.alive {
+        return apply_event_while_dead(host, state, FaultEvent::Repair(fault));
+    }
+    if !state.faults.revive(fault) {
+        return RepairOutcome::Repaired(RepairClass::Fast);
+    }
+    let params = host.params();
+    let h = params.h;
+    let min_good = params.min_good_nodes() as u32;
+
+    enum Verdict {
+        Keep(RepairClass),
+        Regreedy,
+        Die(PlacementError),
+    }
+    let verdict = {
+        let RepairState { cache, .. } = state;
+        let AdnRepairCache {
+            node_faulty,
+            marked,
+            halves,
+            goodness,
+            inner,
+            used,
+            flipped_sus,
+            ..
+        } = cache;
+        let goodness = goodness
+            .as_mut()
+            .expect("alive A² state holds a classification");
+        flipped_sus.clear();
+        let mut promoted: Vec<usize> = Vec::new();
+        let mut endpoint_used = false;
+        match fault {
+            Fault::Node(v) => {
+                debug_assert!(node_faulty[v], "FaultSet::revive admitted a live node");
+                node_faulty[v] = false;
+                let pos = marked
+                    .iter()
+                    .position(|&x| x == v)
+                    .expect("marked mirrors node_faulty");
+                marked.swap_remove(pos);
+                // Other nodes' budgets never consult v's liveness, so
+                // only v itself can change class.
+                if adn_node_good(host, node_faulty, halves, v)
+                    && adn_promote(goodness, h, min_good, v, flipped_sus)
+                {
+                    promoted.push(v);
                 }
-            };
-            let n = host.params().n();
-            let mut emb = embedding.take().unwrap_or_else(|| TorusEmbedding {
-                guest: ftt_geom::Shape::new(vec![n, n]),
-                map: Vec::new(),
-            });
-            match crate::adn::embed::greedy_level2_into(
-                host,
-                cache.goodness.as_ref().expect("alive A² state"),
-                &cache.halves,
-                inner_map,
-                &mut emb.map,
-                &mut cache.used,
-                &mut cache.suspect,
-            ) {
-                Ok(()) => {
-                    *embedding = Some(emb);
-                    RepairOutcome::Repaired(RepairClass::Rebuild)
+            }
+            Fault::Edge(e) => {
+                let revived = halves.revive_edge(e);
+                debug_assert!(revived, "FaultSet::revive admitted a live edge");
+                let (a, b) = host.graph().edge_endpoints(e);
+                // The greedy queries edges whose image-side endpoint is
+                // used; reviving such an edge can clear a suspect and
+                // change its choices.
+                endpoint_used = used[a] || used[b];
+                for x in [a, b] {
+                    if !goodness.good_node[x]
+                        && adn_node_good(host, node_faulty, halves, x)
+                        && adn_promote(goodness, h, min_good, x, flipped_sus)
+                    {
+                        promoted.push(x);
+                    }
                 }
-                Err(e) => die(state, e),
             }
         }
+        // Level 1: a supernode flipping back good is a repair of the
+        // inner B²'s node fault. Goodness is monotone under repairs, so
+        // every flip is a genuine inner revival.
+        let mut verdict = None;
+        for &su in flipped_sus.iter() {
+            match bdn_apply_repair(host.inner(), inner, Fault::Node(su)) {
+                RepairOutcome::Repaired(_) => {}
+                RepairOutcome::Dead => {
+                    verdict = Some(Verdict::Die(PlacementError::SupernodeLevelFailed {
+                        inner: Box::new(inner.death.clone().expect("dead inner records death")),
+                    }));
+                    break;
+                }
+            }
+        }
+        verdict.unwrap_or_else(|| {
+            let inner_changed = inner.embedding.is_none();
+            let promoted_visible = promoted.iter().any(|&x| {
+                let su = x / h;
+                (su * h..(su + 1) * h).any(|y| used[y])
+            });
+            if promoted_visible || endpoint_used || inner_changed {
+                Verdict::Regreedy
+            } else if !promoted.is_empty() {
+                // Promotions confined to blocks the live map never
+                // touches (and flips the inner banding absorbed
+                // verbatim — a revived supernode with an unchanged
+                // banding stays masked, so it still hosts no block):
+                // the old greedy run replays unchanged.
+                Verdict::Keep(RepairClass::Local)
+            } else {
+                Verdict::Keep(RepairClass::Fast)
+            }
+        })
+    };
+
+    let outcome = match verdict {
+        Verdict::Die(e) => die(state, e),
+        Verdict::Regreedy => adn_regreedy(host, state),
         Verdict::Keep(class) => RepairOutcome::Repaired(class),
     };
     #[cfg(debug_assertions)]
@@ -1414,6 +1852,212 @@ mod tests {
             "no resurrection"
         );
         assert!(state.live_embedding(&host).is_none());
+    }
+
+    /// Feeds kill/repair events one at a time, checking batch parity
+    /// (outcome *and* map) after every event; returns the outcomes.
+    fn drive_events<C: HostConstruction>(host: &C, events: &[FaultEvent]) -> Vec<RepairOutcome> {
+        let mut state = RepairState::new(host).expect("fault-free extraction");
+        let mut out = Vec::new();
+        let mut scratch = host.new_scratch();
+        for &ev in events {
+            let outcome = state.apply_event(host, ev);
+            let batch = host.try_extract_with(state.faults(), &mut scratch);
+            assert_eq!(
+                state.alive(),
+                batch.is_ok(),
+                "{}: outcome parity broken after {ev:?}",
+                C::NAME
+            );
+            match batch {
+                Ok(b) => {
+                    let emb = state.live_embedding(host).expect("alive");
+                    assert_eq!(
+                        emb.map,
+                        b.map,
+                        "{}: map parity broken after {ev:?}",
+                        C::NAME
+                    );
+                    verify_state(host, &mut state);
+                }
+                Err(_) => assert_eq!(outcome, RepairOutcome::Dead),
+            }
+            out.push(outcome);
+        }
+        out
+    }
+
+    #[test]
+    fn bdn_repair_reverses_the_kill_tiers() {
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let a = host.cols().node(17, 40);
+        let b = host.cols().node(17, 41); // same tile, same row
+        let events = [
+            FaultEvent::Kill(Fault::Node(a)),
+            FaultEvent::Kill(Fault::Node(b)),
+            FaultEvent::Repair(Fault::Node(b)), // pair still held by a
+            FaultEvent::Repair(Fault::Node(a)), // tile empties: unpaint
+        ];
+        let outcomes = drive_events(&host, &events);
+        assert_eq!(outcomes[1], RepairOutcome::Repaired(RepairClass::Fast));
+        assert_eq!(outcomes[2], RepairOutcome::Repaired(RepairClass::Fast));
+        assert_eq!(
+            outcomes[3],
+            RepairOutcome::Repaired(RepairClass::Local),
+            "an isolated tile emptying unpaints without full re-placement"
+        );
+    }
+
+    #[test]
+    fn repairs_resurrect_dead_states() {
+        let host = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
+        let a = host.cols().node(8, 8);
+        let b = host.cols().node(8, 12); // adjacent tiles: painting dies
+        let events = [
+            FaultEvent::Kill(Fault::Node(a)),
+            FaultEvent::Kill(Fault::Node(b)),
+            FaultEvent::Repair(Fault::Node(b)),
+        ];
+        let outcomes = drive_events(&host, &events);
+        assert_eq!(outcomes[1], RepairOutcome::Dead);
+        assert_eq!(
+            outcomes[2],
+            RepairOutcome::Repaired(RepairClass::Rebuild),
+            "removing one of the killing pair must resurrect the state"
+        );
+    }
+
+    #[test]
+    fn ddn_repair_tiers_mirror_the_kill_tiers() {
+        let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+        let v1 = host.shape().flatten(&[1, 5]);
+        let v2 = host.shape().flatten(&[2, 9]); // same axis-0 slot
+        let events = [
+            FaultEvent::Kill(Fault::Node(v1)),
+            FaultEvent::Kill(Fault::Node(v2)),
+            FaultEvent::Repair(Fault::Node(v1)), // slot still dirty via v2
+            FaultEvent::Repair(Fault::Node(v2)), // slot empties: band shifts back
+        ];
+        let outcomes = drive_events(&host, &events);
+        assert_eq!(outcomes[2], RepairOutcome::Repaired(RepairClass::Fast));
+        assert_eq!(outcomes[3], RepairOutcome::Repaired(RepairClass::Local));
+    }
+
+    #[test]
+    fn ddn_anchor_class_repair_rebuilds() {
+        let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+        let mut state = RepairState::new(&host).unwrap();
+        let v = host.shape().flatten(&[0, 7]); // pristine anchor class
+        assert_eq!(
+            state.apply(&host, Fault::Node(v)),
+            RepairOutcome::Repaired(RepairClass::Rebuild)
+        );
+        // Removing it either changes the deferred set of the (possibly
+        // moved) anchor class or moves the argmin back: full rebuild.
+        assert_eq!(
+            state.apply_event(&host, FaultEvent::Repair(Fault::Node(v))),
+            RepairOutcome::Repaired(RepairClass::Rebuild)
+        );
+        verify_state(&host, &mut state);
+    }
+
+    #[test]
+    fn ddn_mixed_event_stream_holds_parity() {
+        let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
+        let g = HostConstruction::graph(&host);
+        let (u, _) = g.edge_endpoints(7);
+        let events = [
+            FaultEvent::Kill(Fault::Edge(7)),
+            FaultEvent::Kill(Fault::Node(u)), // same ascription: absorbed
+            FaultEvent::Repair(Fault::Edge(7)), // u still faulty: still ascribed
+            FaultEvent::Kill(Fault::Node(500)),
+            FaultEvent::Repair(Fault::Node(u)),
+            FaultEvent::Repair(Fault::Node(500)),
+            FaultEvent::Repair(Fault::Node(500)), // no-op revive
+        ];
+        let outcomes = drive_events(&host, &events);
+        assert_eq!(outcomes[2], RepairOutcome::Repaired(RepairClass::Fast));
+        assert_eq!(outcomes[6], RepairOutcome::Repaired(RepairClass::Fast));
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| matches!(o, RepairOutcome::Repaired(_))),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn adn_promotion_in_unused_block_repairs_locally() {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+        let mut state = RepairState::new(&host).unwrap();
+        let h = host.params().h;
+        let mut used = vec![false; HostConstruction::num_nodes(&host)];
+        for &v in &state.embedding().expect("A² map is eager").map {
+            used[v] = true;
+        }
+        let su = (0..HostConstruction::num_nodes(&host) / h)
+            .find(|&s| (s * h..(s + 1) * h).all(|y| !used[y]))
+            .expect("the inner banding masks some supernodes");
+        let v = su * h;
+        assert_eq!(
+            state.apply(&host, Fault::Node(v)),
+            RepairOutcome::Repaired(RepairClass::Local)
+        );
+        assert_eq!(
+            state.apply_event(&host, FaultEvent::Repair(Fault::Node(v))),
+            RepairOutcome::Repaired(RepairClass::Local),
+            "a promotion invisible to the live map replays the old greedy"
+        );
+        verify_state(&host, &mut state);
+    }
+
+    #[test]
+    fn adn_flip_back_good_streams_through_inner_engine() {
+        // h = 6, min_good = 4: three kills flip the supernode bad (an
+        // inner B² node fault); repairing one flips it back good (an
+        // inner B² repair). Parity and validity hold throughout.
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+        let h = host.params().h;
+        let su = 1000;
+        let events = [
+            FaultEvent::Kill(Fault::Node(su * h + 4)),
+            FaultEvent::Kill(Fault::Node(su * h + 5)),
+            FaultEvent::Kill(Fault::Node(su * h + 3)),
+            FaultEvent::Repair(Fault::Node(su * h + 3)),
+            FaultEvent::Repair(Fault::Node(su * h + 5)),
+            FaultEvent::Repair(Fault::Node(su * h + 4)),
+        ];
+        let outcomes = drive_events(&host, &events);
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| matches!(o, RepairOutcome::Repaired(_))),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn adn_edge_repair_on_used_nodes_regreedies() {
+        let inner = BdnParams::new(2, 54, 3, 1).unwrap();
+        let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
+        let mut state = RepairState::new(&host).unwrap();
+        let map = &state.embedding().expect("A² map is eager").map;
+        let (a, b) = (map[0], map[1]);
+        let e = host
+            .graph()
+            .arcs(a)
+            .find(|&(t, _)| t == b)
+            .map(|(_, e)| e)
+            .expect("adjacent guest images are host-adjacent");
+        state.apply(&host, Fault::Edge(e));
+        assert_eq!(
+            state.apply_event(&host, FaultEvent::Repair(Fault::Edge(e))),
+            RepairOutcome::Repaired(RepairClass::Rebuild),
+            "reviving a map-adjacent edge forces the full re-greedy"
+        );
+        verify_state(&host, &mut state);
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //!
 //! Faults can also arrive **over time** instead of all at once: the
 //! [`stream`] module provides deterministic, seed-derived arrival
-//! processes ([`BernoulliTrickle`], [`Burst`], the adaptive
-//! [`TargetedAdversary`]) and the replayable [`FaultJournal`] — the
-//! generation side of the online repair subsystem (`ftt-online`).
+//! processes ([`BernoulliTrickle`], [`Burst`], the ageing
+//! [`WeibullTrickle`], the geometry-aware [`TrackBurst`], the adaptive
+//! [`TargetedAdversary`], and the [`Renewal`] recovery wrapper that
+//! schedules a repair after every kill) and the replayable
+//! [`FaultJournal`] — the generation side of the online repair
+//! subsystem (`ftt-online`). [`FaultSet::revive`] undoes a kill in
+//! `O(#faults)`, so renewal streams keep the sparse-first cost model.
 //!
 //! # Performance
 //!
@@ -41,6 +45,7 @@ pub use random::{
 pub use sampler::{AdversarySampler, FaultSampler, ShapedHost};
 pub use set::{Fault, FaultSet, SparseSet};
 pub use stream::{
-    BernoulliTrickle, BuiltStream, Burst, FaultJournal, FaultStream, JournalStream, NoFeedback,
-    StreamFeedback, StreamSpec, TargetedAdversary, TimedFault,
+    BernoulliTrickle, BuiltStream, Burst, FaultEvent, FaultJournal, FaultStream, JournalStream,
+    NoFeedback, Renewal, StreamFeedback, StreamSpec, StreamSpecError, TargetedAdversary,
+    TimedFault, TrackBurst, WeibullTrickle,
 };

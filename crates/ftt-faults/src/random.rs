@@ -183,6 +183,30 @@ impl HalfEdgeFaults {
         self.words[w] |= 1 << (pair_shift + endpoint_index);
     }
 
+    /// Revives both halves of edge `e` — the renewal-model counterpart
+    /// of the two whole-edge `kill_half` calls. Returns whether any half
+    /// was faulty; on `true` the edge is swap-removed from the touched
+    /// list, so the `O(#touched)` walk invariants are preserved.
+    pub fn revive_edge(&mut self, e: u32) -> bool {
+        assert!((e as usize) < self.num_edges, "edge {e} out of range");
+        let w = e as usize / 32;
+        let pair_shift = 2 * (e as usize % 32);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        if *word >> pair_shift & 0b11 == 0 {
+            return false;
+        }
+        *word &= !(0b11u64 << pair_shift);
+        let pos = self
+            .touched
+            .iter()
+            .position(|&t| t == e)
+            .expect("touched tracks every edge with a faulty half");
+        self.touched.swap_remove(pos);
+        true
+    }
+
     /// Whether the half of edge `e` incident to endpoint `endpoint_index`
     /// (0 = first endpoint, 1 = second) is faulty.
     #[inline]
@@ -353,6 +377,25 @@ mod tests {
         assert!(!h.half_faulty(3, 1));
         h.kill_half(5, 0);
         assert_eq!(h.touched_edges(), &[5]);
+    }
+
+    #[test]
+    fn half_edge_revive_undoes_whole_edge_kill() {
+        let mut h = HalfEdgeFaults::none(100);
+        h.kill_half(64, 0);
+        h.kill_half(64, 1);
+        h.kill_half(3, 1);
+        assert!(h.revive_edge(64));
+        assert!(!h.half_faulty(64, 0) && !h.half_faulty(64, 1));
+        assert_eq!(h.touched_edges(), &[3], "other touched edges survive");
+        assert!(h.revive_edge(3), "a single faulty half also revives");
+        assert!(!h.revive_edge(3), "second revive is a no-op");
+        assert!(!h.revive_edge(99), "never-touched edge (word unallocated)");
+        assert!(h.touched_edges().is_empty());
+        // Kill-revive-kill round-trips.
+        h.kill_half(64, 1);
+        assert_eq!(h.touched_edges(), &[64]);
+        assert!(h.half_faulty(64, 1) && !h.half_faulty(64, 0));
     }
 
     #[test]

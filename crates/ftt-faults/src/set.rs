@@ -100,6 +100,31 @@ impl SparseSet {
         true
     }
 
+    /// Removes `i`; returns whether it was a member. The bitmap bit is
+    /// cleared and the id is swap-removed from the member list, so the
+    /// call is `O(#members)` and the set's invariants (duplicate-free
+    /// list mirroring the bitmap) are preserved — the renewal-model
+    /// entry point.
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.domain, "id {i} out of domain {}", self.domain);
+        let w = i >> 6;
+        let bit = 1u64 << (i & 63);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        let pos = self
+            .ids
+            .iter()
+            .position(|&x| x == i)
+            .expect("bitmap and id list agree");
+        self.ids.swap_remove(pos);
+        true
+    }
+
     /// Removes every member in `O(#members)`, keeping capacity.
     pub fn clear(&mut self) {
         for &i in &self.ids {
@@ -214,6 +239,31 @@ impl FaultSet {
     #[inline]
     pub fn kill_edge(&mut self, e: u32) {
         self.edges.insert(e as usize);
+    }
+
+    /// Revives (un-faults) a node — the renewal-model counterpart of
+    /// [`kill_node`](Self::kill_node). Returns whether the node was
+    /// faulty. `O(#node faults)`.
+    #[inline]
+    pub fn revive_node(&mut self, v: usize) -> bool {
+        self.nodes.remove(v)
+    }
+
+    /// Revives (un-faults) an edge. Returns whether the edge was
+    /// faulty. `O(#edge faults)`.
+    #[inline]
+    pub fn revive_edge(&mut self, e: u32) -> bool {
+        self.edges.remove(e as usize)
+    }
+
+    /// Removes a single [`Fault`] — the streaming repair entry point.
+    /// Returns whether the fault was present.
+    #[inline]
+    pub fn revive(&mut self, fault: Fault) -> bool {
+        match fault {
+            Fault::Node(v) => self.revive_node(v),
+            Fault::Edge(e) => self.revive_edge(e),
+        }
     }
 
     /// Whether node `v` survives.
@@ -416,6 +466,47 @@ mod tests {
     fn alive_bitmap() {
         let s = FaultSet::from_lists(3, 0, &[1], &[]);
         assert_eq!(s.alive_nodes(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn revive_undoes_kill() {
+        let mut s = FaultSet::none(100, 100);
+        s.kill_node(70);
+        s.kill_node(3);
+        s.kill_edge(9);
+        assert!(s.revive_node(70), "present fault revives");
+        assert!(!s.revive_node(70), "revive is not idempotent-true");
+        assert!(s.node_alive(70));
+        assert!(!s.node_alive(3), "other faults untouched");
+        assert!(s.revive(Fault::Edge(9)));
+        assert!(s.edge_alive(9));
+        assert_eq!(s.count_faults(), 1);
+        // Kill-revive-kill round-trips to the same set.
+        s.kill_node(70);
+        assert_eq!(s, FaultSet::from_lists(100, 100, &[3, 70], &[]));
+    }
+
+    #[test]
+    fn revive_of_absent_fault_is_a_noop() {
+        let mut s = FaultSet::none(10, 10);
+        assert!(!s.revive(Fault::Node(4)));
+        assert!(!s.revive(Fault::Edge(4)));
+        assert_eq!(s.count_faults(), 0);
+    }
+
+    #[test]
+    fn sparse_set_remove() {
+        let mut s = SparseSet::new(200);
+        s.insert(130);
+        s.insert(0);
+        s.insert(64);
+        assert!(s.remove(130));
+        assert!(!s.remove(130));
+        assert!(!s.contains(130));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(64));
+        assert!(!s.remove(199), "never-inserted id (word unallocated)");
+        assert!(s.insert(130), "removed ids can be re-inserted");
     }
 
     #[test]

@@ -8,20 +8,32 @@
 //! generation side of that subsystem:
 //!
 //! * [`FaultStream`] — the arrival-process contract: a deterministic,
-//!   seed-derived sequence of [`TimedFault`]s;
+//!   seed-derived sequence of [`TimedFault`]s ([`FaultEvent::Kill`] and,
+//!   for renewing streams, [`FaultEvent::Repair`]);
 //! * [`BernoulliTrickle`] — independent geometric-skip inter-arrival
 //!   times, with separate node and edge fault rates;
+//! * [`WeibullTrickle`] — a *non-homogeneous* Poisson process whose
+//!   hazard grows with stream time (`Λ(t) = rate · t^shape`), the
+//!   detector-ageing regime: components fail faster as they age;
 //! * [`Burst`] — geometrically spaced *batches* of faults, clustered in
 //!   both time (one timestamp per burst) and space (a run of adjacent
 //!   node ids);
+//! * [`TrackBurst`] — the geometry-aware burst: a cosmic-ray-track
+//!   regime killing a line of *torus-adjacent* host coordinates (one
+//!   random axis, `len` consecutive steps) at one timestamp; degrades
+//!   to an id-adjacent run on hosts without a coordinate shape;
+//! * [`Renewal`] — the recovery wrapper: every kill delivered by the
+//!   inner stream schedules a matching [`FaultEvent::Repair`] a fixed
+//!   stream-time `delay` later, turning time-to-death experiments into
+//!   steady-state availability experiments;
 //! * [`TargetedAdversary`] — an **adaptive** adversary: each arrival is
 //!   aimed at a host node the live embedding currently occupies (the
 //!   in-use band/row), obtained through [`StreamFeedback`]. On shaped
 //!   hosts ([`crate::ShapedHost`], i.e. `D^d_{n,k}`) that is precisely
 //!   the worst-case regime of Theorem 3, delivered online;
-//! * [`FaultJournal`] — a replayable record of `(time, fault)` events;
-//!   [`JournalStream`] turns a journal back into a stream, so any
-//!   lifetime trial can be reproduced exactly, event by event.
+//! * [`FaultJournal`] — a replayable record of timed events (both
+//!   kinds); [`JournalStream`] turns a journal back into a stream, so
+//!   any lifetime trial can be reproduced exactly, event by event.
 //!
 //! # Determinism
 //!
@@ -33,17 +45,78 @@
 //! the Monte-Carlo runners enforce, extended to adaptive adversaries.
 
 use crate::set::{Fault, FaultSet};
+use ftt_geom::Shape;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
 
-/// One fault arrival: discrete arrival time plus the fault itself.
-/// Times within one stream are non-decreasing (bursts share one time).
+/// What happened to the faulted element: it went down, or (under a
+/// renewal model) it came back up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The element fails.
+    Kill(Fault),
+    /// The element is repaired (renewal streams only).
+    Repair(Fault),
+}
+
+impl FaultEvent {
+    /// The affected node/edge, regardless of direction.
+    #[inline]
+    pub fn fault(&self) -> Fault {
+        match *self {
+            FaultEvent::Kill(f) | FaultEvent::Repair(f) => f,
+        }
+    }
+
+    /// Whether this is a repair (renewal) event.
+    #[inline]
+    pub fn is_repair(&self) -> bool {
+        matches!(self, FaultEvent::Repair(_))
+    }
+}
+
+/// One timed arrival: discrete arrival time plus the event. Times
+/// within one stream are non-decreasing (bursts share one time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedFault {
     /// Discrete arrival time (time steps since the stream started).
     pub time: u64,
-    /// The arriving fault.
-    pub fault: Fault,
+    /// The arriving event (kill or repair).
+    pub event: FaultEvent,
+}
+
+impl TimedFault {
+    /// A kill arrival.
+    #[inline]
+    pub fn kill(time: u64, fault: Fault) -> Self {
+        Self {
+            time,
+            event: FaultEvent::Kill(fault),
+        }
+    }
+
+    /// A repair arrival.
+    #[inline]
+    pub fn repair(time: u64, fault: Fault) -> Self {
+        Self {
+            time,
+            event: FaultEvent::Repair(fault),
+        }
+    }
+
+    /// The affected node/edge, regardless of direction.
+    #[inline]
+    pub fn fault(&self) -> Fault {
+        self.event.fault()
+    }
+
+    /// Whether this is a repair (renewal) event.
+    #[inline]
+    pub fn is_repair(&self) -> bool {
+        self.event.is_repair()
+    }
 }
 
 /// What a stream may observe about the system it is attacking.
@@ -100,24 +173,58 @@ pub trait FaultStream {
     fn adaptive(&self) -> bool {
         false
     }
+
+    /// Whether this stream may emit [`FaultEvent::Repair`] events —
+    /// consumers that would otherwise stop at the first death keep
+    /// draining a renewing stream (the repair may resurrect the
+    /// embedding) and report availability instead of lifetime.
+    fn renewing(&self) -> bool {
+        false
+    }
 }
 
 /// How many uniform redraws a sampler spends avoiding already-faulty
-/// targets before delivering whatever it drew (duplicates are absorbed
-/// as O(1) no-op repairs downstream, so a rare repeat is harmless).
+/// targets before falling back to a bounded linear scan.
 const FRESH_RETRIES: usize = 16;
 
-/// Draws a uniform target in `0..len`, retrying a bounded number of
-/// times while `is_stale` says the draw has already failed.
-fn fresh_uniform(rng: &mut SmallRng, len: usize, is_stale: impl Fn(usize) -> bool) -> usize {
-    let mut pick = rng.gen_range(0..len);
-    for _ in 0..FRESH_RETRIES {
-        if !is_stale(pick) {
-            break;
-        }
-        pick = rng.gen_range(0..len);
+/// Draws a uniform not-yet-stale target in `0..len`: a bounded number
+/// of rejection redraws, then one `O(len)` scan from a random offset —
+/// so a fresh target is found iff one exists. `None` means the whole
+/// domain is stale (or empty): under a saturating adversarial stream
+/// the old unbounded-retry scheme either span forever or delivered a
+/// stale pick; callers now observe saturation and end (or idle) their
+/// process instead.
+fn fresh_uniform(
+    rng: &mut SmallRng,
+    len: usize,
+    is_stale: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    if len == 0 {
+        return None;
     }
-    pick
+    for _ in 0..FRESH_RETRIES {
+        let pick = rng.gen_range(0..len);
+        if !is_stale(pick) {
+            return Some(pick);
+        }
+    }
+    let start = rng.gen_range(0..len);
+    (0..len)
+        .map(|i| {
+            let v = start + i;
+            if v >= len {
+                v - len
+            } else {
+                v
+            }
+        })
+        .find(|&v| !is_stale(v))
+}
+
+/// A `(0, 1]` uniform draw with 53 mantissa bits, as in `crate::random`.
+#[inline]
+fn unit_draw(rng: &mut SmallRng) -> f64 {
+    (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Geometric inter-arrival skip for a per-time-step arrival probability
@@ -134,8 +241,7 @@ fn geometric_skip(rng: &mut SmallRng, rate: f64) -> Option<u64> {
     if denom == 0.0 {
         return None; // below f64 resolution
     }
-    // (0, 1] draw with 53 mantissa bits, as in `crate::random`.
-    let u = (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64);
+    let u = unit_draw(rng);
     Some((u.ln() / denom).floor() as u64)
 }
 
@@ -144,7 +250,8 @@ fn geometric_skip(rng: &mut SmallRng, rate: f64) -> Option<u64> {
 /// are drawn directly by geometric skips (`O(1)` RNG draws per
 /// *arrival*, not per step — the streaming analogue of the batch
 /// samplers' geometric-skip discipline). Targets are uniform over the
-/// host, preferring not-yet-faulty elements.
+/// host, preferring not-yet-faulty elements; a process whose whole
+/// domain is already faulty goes silent.
 #[derive(Debug, Clone)]
 pub struct BernoulliTrickle {
     num_nodes: usize,
@@ -193,33 +300,93 @@ impl BernoulliTrickle {
 
 impl FaultStream for BernoulliTrickle {
     fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
-        // Deliver whichever process fires first; ties go to the node
-        // process (a fixed, documented order keeps replays exact).
-        let node_first = match (self.next_node_at, self.next_edge_at) {
-            (None, None) => return None,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some(tn), Some(te)) => tn <= te,
-        };
-        if node_first {
-            let time = self.next_node_at.unwrap();
-            let v = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v));
-            self.next_node_at = geometric_skip(&mut self.rng, self.node_rate).map(|s| time + 1 + s);
-            Some(TimedFault {
-                time,
-                fault: Fault::Node(v),
-            })
-        } else {
-            let time = self.next_edge_at.unwrap();
-            let e = fresh_uniform(&mut self.rng, self.num_edges, |e| {
-                feedback.edge_faulty(e as u32)
-            }) as u32;
-            self.next_edge_at = geometric_skip(&mut self.rng, self.edge_rate).map(|s| time + 1 + s);
-            Some(TimedFault {
-                time,
-                fault: Fault::Edge(e),
-            })
+        loop {
+            // Deliver whichever process fires first; ties go to the node
+            // process (a fixed, documented order keeps replays exact).
+            let node_first = match (self.next_node_at, self.next_edge_at) {
+                (None, None) => return None,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(tn), Some(te)) => tn <= te,
+            };
+            if node_first {
+                let time = self.next_node_at.unwrap();
+                self.next_node_at =
+                    geometric_skip(&mut self.rng, self.node_rate).map(|s| time + 1 + s);
+                match fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v)) {
+                    Some(v) => return Some(TimedFault::kill(time, Fault::Node(v))),
+                    // Every node already faulty: the node process goes
+                    // silent (the edge process, if any, keeps firing).
+                    None => self.next_node_at = None,
+                }
+            } else {
+                let time = self.next_edge_at.unwrap();
+                self.next_edge_at =
+                    geometric_skip(&mut self.rng, self.edge_rate).map(|s| time + 1 + s);
+                match fresh_uniform(&mut self.rng, self.num_edges, |e| {
+                    feedback.edge_faulty(e as u32)
+                }) {
+                    Some(e) => return Some(TimedFault::kill(time, Fault::Edge(e as u32))),
+                    None => self.next_edge_at = None,
+                }
+            }
         }
+    }
+}
+
+/// The detector-ageing regime: a non-homogeneous Poisson process with
+/// Weibull cumulative hazard `Λ(t) = rate · t^shape`. With `shape > 1`
+/// arrivals accelerate as the stream ages (scintillator degradation);
+/// `shape = 1` recovers a homogeneous exponential trickle of intensity
+/// `rate`. Arrival times come from the inverse transform — `Λ` is
+/// advanced by an `Exp(1)` increment per arrival and inverted to
+/// `t = (Λ/rate)^{1/shape}` — so the stream is `O(1)` RNG draws per
+/// arrival and deterministic per seed, exactly like the geometric-skip
+/// samplers. Kills nodes only, uniform over the host.
+#[derive(Debug, Clone)]
+pub struct WeibullTrickle {
+    num_nodes: usize,
+    rate: f64,
+    shape: f64,
+    /// Cumulative hazard accumulated so far (Λ at the last arrival).
+    cum_hazard: f64,
+    rng: SmallRng,
+}
+
+impl WeibullTrickle {
+    /// An ageing trickle over `num_nodes` nodes with hazard scale
+    /// `rate > 0` and Weibull shape `shape > 0`.
+    pub fn new(num_nodes: usize, rate: f64, shape: f64, seed: u64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "hazard rate must be > 0");
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Weibull shape must be > 0"
+        );
+        Self {
+            num_nodes,
+            rate,
+            shape,
+            cum_hazard: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FaultStream for WeibullTrickle {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        if self.num_nodes == 0 {
+            return None;
+        }
+        self.cum_hazard += -unit_draw(&mut self.rng).ln();
+        let t = (self.cum_hazard / self.rate).powf(1.0 / self.shape);
+        if !t.is_finite() || t >= u64::MAX as f64 {
+            return None;
+        }
+        // Λ is strictly increasing and the inverse is monotone, so the
+        // floored discrete times are non-decreasing; +1 keeps them ≥ 1.
+        let time = 1 + t as u64;
+        let v = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v))?;
+        Some(TimedFault::kill(time, Fault::Node(v)))
     }
 }
 
@@ -227,7 +394,9 @@ impl FaultStream for BernoulliTrickle {
 /// (per-step probability `rate`), and each burst delivers `size` node
 /// faults at the *same* timestamp on a run of adjacent node ids — the
 /// "a rack dies" regime, maximally unlike the trickle's isolated
-/// arrivals.
+/// arrivals. Already-faulty ids inside the run are skipped (the run is
+/// extended past them), so `size` counts **live kills**, not deliveries
+/// that downstream absorbs as no-ops.
 #[derive(Debug, Clone)]
 pub struct Burst {
     num_nodes: usize,
@@ -265,18 +434,174 @@ impl Burst {
 impl FaultStream for Burst {
     fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
         if let Some((time, id, left)) = self.pending {
-            let fault = Fault::Node(id % self.num_nodes);
-            self.pending = (left > 1).then(|| (time, id + 1, left - 1));
-            return Some(TimedFault { time, fault });
+            // Skip ids that already failed so the burst delivers `size`
+            // *live* kills; one bounded wrap of the id space suffices —
+            // if it finds nothing, every node is dead and the burst
+            // cannot complete.
+            let mut id = id;
+            let mut scanned = 0;
+            while scanned < self.num_nodes && feedback.node_faulty(id % self.num_nodes) {
+                id += 1;
+                scanned += 1;
+            }
+            if scanned < self.num_nodes {
+                let fault = Fault::Node(id % self.num_nodes);
+                self.pending = (left > 1).then_some((time, id + 1, left - 1));
+                return Some(TimedFault::kill(time, fault));
+            }
+            self.pending = None;
         }
         let time = self.next_burst_at?;
         self.next_burst_at = geometric_skip(&mut self.rng, self.rate).map(|s| time + 1 + s);
-        let start = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v));
-        self.pending = (self.size > 1).then(|| (time, start + 1, self.size - 1));
-        Some(TimedFault {
-            time,
-            fault: Fault::Node(start),
-        })
+        let start = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v))?;
+        self.pending = (self.size > 1).then_some((time, start + 1, self.size - 1));
+        Some(TimedFault::kill(time, Fault::Node(start)))
+    }
+}
+
+/// The spatially correlated burst: a cosmic-ray *track*. Burst start
+/// times are geometrically spaced like [`Burst`], but each burst kills
+/// a line of `len` **torus-adjacent host coordinates** — a fresh anchor
+/// node, then `len − 1` unit steps along one uniformly chosen torus
+/// axis — all at one timestamp. On hosts without a coordinate shape the
+/// track degrades to an id-adjacent run (documented, still one
+/// timestamp). Track geometry is fixed when the burst starts; ids that
+/// die between deliveries of one burst are skipped without extending
+/// the track.
+#[derive(Debug, Clone)]
+pub struct TrackBurst {
+    num_nodes: usize,
+    rate: f64,
+    len: usize,
+    shape: Option<Shape>,
+    next_burst_at: Option<u64>,
+    /// Remaining kills of the current track, reversed (pop = in order).
+    pending: Vec<(u64, usize)>,
+    rng: SmallRng,
+}
+
+impl TrackBurst {
+    /// A track-burst stream over `num_nodes` nodes: tracks of `len`
+    /// adjacent kills with per-step start probability `rate`. `shape`
+    /// is the host's torus coordinate shape (`None` degrades to
+    /// id-adjacency); when present, its length must equal `num_nodes`.
+    pub fn new(num_nodes: usize, rate: f64, len: usize, shape: Option<Shape>, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "track rate out of [0, 1]");
+        assert!(len >= 1, "tracks need at least one kill");
+        if let Some(s) = &shape {
+            assert_eq!(s.len(), num_nodes, "shape/num_nodes mismatch");
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let next_burst_at = if num_nodes > 0 {
+            geometric_skip(&mut rng, rate).map(|s| 1 + s)
+        } else {
+            None
+        };
+        Self {
+            num_nodes,
+            rate,
+            len,
+            shape,
+            next_burst_at,
+            pending: Vec::new(),
+            rng,
+        }
+    }
+}
+
+impl FaultStream for TrackBurst {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        while let Some((time, v)) = self.pending.pop() {
+            if !feedback.node_faulty(v) {
+                return Some(TimedFault::kill(time, Fault::Node(v)));
+            }
+        }
+        let time = self.next_burst_at?;
+        self.next_burst_at = geometric_skip(&mut self.rng, self.rate).map(|s| time + 1 + s);
+        let anchor = fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v))?;
+        match &self.shape {
+            Some(shape) => {
+                let axis = (self.rng.next_u64() % shape.ndim() as u64) as usize;
+                let mut v = anchor;
+                for _ in 1..self.len {
+                    v = shape.torus_step(v, axis, 1);
+                    if v == anchor {
+                        break; // wrapped the whole axis: track is maximal
+                    }
+                    self.pending.push((time, v));
+                }
+            }
+            None => {
+                for off in 1..self.len.min(self.num_nodes) {
+                    self.pending.push((time, (anchor + off) % self.num_nodes));
+                }
+            }
+        }
+        self.pending.reverse();
+        Some(TimedFault::kill(time, Fault::Node(anchor)))
+    }
+}
+
+/// The recovery model: wraps any kill stream and schedules a
+/// [`FaultEvent::Repair`] of the same element a fixed stream-time
+/// `delay` after each kill, merging the two event sequences in time
+/// order (ties deliver the repair first, so a same-instant
+/// kill-after-repair cycle nets to the kill — a fixed, documented
+/// order that keeps replays exact). Repairs outliving the inner stream
+/// are drained at the end, so every kill is eventually matched by its
+/// repair.
+#[derive(Debug, Clone)]
+pub struct Renewal<S> {
+    inner: S,
+    delay: u64,
+    /// The next not-yet-delivered inner event, if already drawn.
+    lookahead: Option<TimedFault>,
+    /// Scheduled repairs, FIFO. Kill times are non-decreasing and the
+    /// delay is constant, so this queue stays sorted by time.
+    repairs: VecDeque<TimedFault>,
+}
+
+impl<S: FaultStream> Renewal<S> {
+    /// Wraps `inner`, repairing every killed element `delay ≥ 1` time
+    /// steps after its kill.
+    pub fn new(inner: S, delay: u64) -> Self {
+        assert!(delay >= 1, "renewal delay must be ≥ 1");
+        Self {
+            inner,
+            delay,
+            lookahead: None,
+            repairs: VecDeque::new(),
+        }
+    }
+}
+
+impl<S: FaultStream> FaultStream for Renewal<S> {
+    fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.inner.next(feedback);
+        }
+        let deliver_repair = match (&self.lookahead, self.repairs.front()) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some(k), Some(r)) => r.time <= k.time,
+        };
+        if deliver_repair {
+            return self.repairs.pop_front();
+        }
+        let ev = self.lookahead.take()?;
+        if let FaultEvent::Kill(f) = ev.event {
+            self.repairs
+                .push_back(TimedFault::repair(ev.time + self.delay, f));
+        }
+        Some(ev)
+    }
+
+    fn adaptive(&self) -> bool {
+        self.inner.adaptive()
+    }
+
+    fn renewing(&self) -> bool {
+        true
     }
 }
 
@@ -286,7 +611,8 @@ impl FaultStream for Burst {
 /// node is alive by definition, so every arrival is a fresh fault and a
 /// budget-`k` `D^d_{n,k}` instance faces exactly the universally
 /// quantified regime of Theorem 3, online. Falls back to fresh uniform
-/// targets when no embedding is tracked.
+/// targets when no embedding is tracked, and ends once every node has
+/// failed.
 #[derive(Debug, Clone)]
 pub struct TargetedAdversary {
     num_nodes: usize,
@@ -312,13 +638,11 @@ impl FaultStream for TargetedAdversary {
         }
         self.time += 1;
         let selector = self.rng.next_u64();
-        let v = feedback.occupied_node(selector).unwrap_or_else(|| {
-            fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v))
-        });
-        Some(TimedFault {
-            time: self.time,
-            fault: Fault::Node(v),
-        })
+        let v = match feedback.occupied_node(selector) {
+            Some(v) => v,
+            None => fresh_uniform(&mut self.rng, self.num_nodes, |v| feedback.node_faulty(v))?,
+        };
+        Some(TimedFault::kill(self.time, Fault::Node(v)))
     }
 
     fn adaptive(&self) -> bool {
@@ -326,7 +650,8 @@ impl FaultStream for TargetedAdversary {
     }
 }
 
-/// A replayable record of `(time, fault)` events, in delivery order.
+/// A replayable record of timed events (kills *and* repairs), in
+/// delivery order.
 ///
 /// Journals make lifetime trials reproducible *as data*: record once,
 /// then [`JournalStream`] replays the identical arrival sequence into
@@ -382,12 +707,20 @@ impl FaultJournal {
         }
     }
 
-    /// Accumulates every journaled fault into a [`FaultSet`] — the
-    /// batch view of the stream, for differential comparisons.
+    /// Accumulates every journaled event into a [`FaultSet`] — kills
+    /// recorded, repairs reverted, in order — the batch view of the
+    /// stream's *net* fault set, for differential comparisons.
     pub fn to_fault_set(&self, num_nodes: usize, num_edges: usize) -> FaultSet {
         let mut out = FaultSet::none(num_nodes, num_edges);
         for ev in &self.events {
-            out.kill(ev.fault);
+            match ev.event {
+                FaultEvent::Kill(f) => {
+                    out.kill(f);
+                }
+                FaultEvent::Repair(f) => {
+                    out.revive(f);
+                }
+            }
         }
         out
     }
@@ -407,12 +740,87 @@ impl FaultStream for JournalStream<'_> {
         self.next += 1;
         Some(*ev)
     }
+
+    fn renewing(&self) -> bool {
+        self.events.iter().any(|ev| ev.is_repair())
+    }
 }
+
+/// Why a [`StreamSpec`] was rejected — one variant per validation rule,
+/// so tooling can match on the failure instead of parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSpecError {
+    /// A rate parameter is NaN or infinite.
+    RateNotFinite {
+        /// Which parameter.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-step probability lies outside `[0, 1]` (negative rates
+    /// land here too).
+    RateOutOfRange {
+        /// Which parameter.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A rate that must be strictly positive is ≤ 0.
+    RateNotPositive {
+        /// Which parameter.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A trickle with both rates zero never fires.
+    NoPositiveRate,
+    /// Bursts must deliver at least one fault.
+    ZeroBurstSize,
+    /// A Weibull shape must be finite and strictly positive.
+    BadShape {
+        /// The offending value.
+        value: f64,
+    },
+    /// Tracks must kill at least one node.
+    ZeroTrackLength,
+    /// Renewal delays of 0 would repair within the kill's timestamp.
+    ZeroRenewDelay,
+    /// Renewal wrappers do not nest.
+    NestedRenew,
+}
+
+impl fmt::Display for StreamSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamSpecError::RateNotFinite { field, value } => {
+                write!(f, "{field} = {value} is not finite")
+            }
+            StreamSpecError::RateOutOfRange { field, value } => {
+                write!(f, "{field} = {value} out of [0, 1]")
+            }
+            StreamSpecError::RateNotPositive { field, value } => {
+                write!(f, "{field} = {value} must be > 0")
+            }
+            StreamSpecError::NoPositiveRate => {
+                write!(f, "trickle needs a positive node or edge rate")
+            }
+            StreamSpecError::ZeroBurstSize => write!(f, "burst size must be ≥ 1"),
+            StreamSpecError::BadShape { value } => {
+                write!(f, "Weibull shape = {value} must be finite and > 0")
+            }
+            StreamSpecError::ZeroTrackLength => write!(f, "track length must be ≥ 1"),
+            StreamSpecError::ZeroRenewDelay => write!(f, "renewal delay must be ≥ 1"),
+            StreamSpecError::NestedRenew => write!(f, "renewal wrappers do not nest"),
+        }
+    }
+}
+
+impl std::error::Error for StreamSpecError {}
 
 /// A declarative stream description — the unit the lifetime sweep
 /// grids cross with constructions, and the single source of stream
 /// cell-id slugs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StreamSpec {
     /// [`BernoulliTrickle`] with the given per-step rates.
     Trickle {
@@ -421,6 +829,13 @@ pub enum StreamSpec {
         /// Per-step edge-fault arrival probability.
         edge_rate: f64,
     },
+    /// [`WeibullTrickle`] ageing hazard `Λ(t) = rate · t^shape`.
+    Ageing {
+        /// Hazard scale (> 0).
+        rate: f64,
+        /// Weibull shape (> 0; > 1 means accelerating failures).
+        shape: f64,
+    },
     /// [`Burst`]s of `size` faults with per-step start probability
     /// `rate`.
     Burst {
@@ -428,6 +843,22 @@ pub enum StreamSpec {
         rate: f64,
         /// Faults per burst.
         size: usize,
+    },
+    /// [`TrackBurst`]s of `len` torus-adjacent kills with per-step
+    /// start probability `rate`.
+    Track {
+        /// Per-step track start probability.
+        rate: f64,
+        /// Kills per track.
+        len: usize,
+    },
+    /// [`Renewal`]: the inner stream's kills, each repaired `delay`
+    /// steps later.
+    Renew {
+        /// Stream-time delay between a kill and its repair (≥ 1).
+        delay: u64,
+        /// The wrapped kill stream (must not itself be `Renew`).
+        inner: Box<StreamSpec>,
     },
     /// [`TargetedAdversary`] aiming at the live embedding.
     Targeted,
@@ -439,8 +870,14 @@ pub enum StreamSpec {
 pub enum BuiltStream {
     /// A [`BernoulliTrickle`].
     Trickle(BernoulliTrickle),
+    /// A [`WeibullTrickle`].
+    Ageing(WeibullTrickle),
     /// A [`Burst`] stream.
     Burst(Burst),
+    /// A [`TrackBurst`] stream.
+    Track(TrackBurst),
+    /// A [`Renewal`]-wrapped stream.
+    Renew(Box<Renewal<BuiltStream>>),
     /// A [`TargetedAdversary`].
     Targeted(TargetedAdversary),
 }
@@ -449,30 +886,69 @@ impl FaultStream for BuiltStream {
     fn next(&mut self, feedback: &dyn StreamFeedback) -> Option<TimedFault> {
         match self {
             BuiltStream::Trickle(s) => s.next(feedback),
+            BuiltStream::Ageing(s) => s.next(feedback),
             BuiltStream::Burst(s) => s.next(feedback),
+            BuiltStream::Track(s) => s.next(feedback),
+            BuiltStream::Renew(s) => s.next(feedback),
             BuiltStream::Targeted(s) => s.next(feedback),
         }
     }
 
     fn adaptive(&self) -> bool {
-        matches!(self, BuiltStream::Targeted(_))
+        match self {
+            BuiltStream::Targeted(_) => true,
+            BuiltStream::Renew(s) => s.adaptive(),
+            _ => false,
+        }
+    }
+
+    fn renewing(&self) -> bool {
+        matches!(self, BuiltStream::Renew(_))
     }
 }
 
 impl StreamSpec {
     /// Builds the stream for one trial: a pure function of
-    /// `(host sizes, self, seed)`.
+    /// `(host sizes, self, seed)`. Geometry-blind — [`StreamSpec::Track`]
+    /// degrades to id-adjacent runs; use
+    /// [`stream_shaped`](Self::stream_shaped) on shaped hosts.
     pub fn stream(&self, num_nodes: usize, num_edges: usize, seed: u64) -> BuiltStream {
-        match *self {
+        self.stream_shaped(num_nodes, num_edges, None, seed)
+    }
+
+    /// [`stream`](Self::stream) with the host's torus coordinate shape,
+    /// which [`StreamSpec::Track`] uses to walk geometric lines.
+    pub fn stream_shaped(
+        &self,
+        num_nodes: usize,
+        num_edges: usize,
+        shape: Option<&Shape>,
+        seed: u64,
+    ) -> BuiltStream {
+        match self {
             StreamSpec::Trickle {
                 node_rate,
                 edge_rate,
             } => BuiltStream::Trickle(BernoulliTrickle::new(
-                num_nodes, num_edges, node_rate, edge_rate, seed,
+                num_nodes, num_edges, *node_rate, *edge_rate, seed,
             )),
-            StreamSpec::Burst { rate, size } => {
-                BuiltStream::Burst(Burst::new(num_nodes, rate, size, seed))
+            StreamSpec::Ageing { rate, shape: sh } => {
+                BuiltStream::Ageing(WeibullTrickle::new(num_nodes, *rate, *sh, seed))
             }
+            StreamSpec::Burst { rate, size } => {
+                BuiltStream::Burst(Burst::new(num_nodes, *rate, *size, seed))
+            }
+            StreamSpec::Track { rate, len } => BuiltStream::Track(TrackBurst::new(
+                num_nodes,
+                *rate,
+                *len,
+                shape.cloned(),
+                seed,
+            )),
+            StreamSpec::Renew { delay, inner } => BuiltStream::Renew(Box::new(Renewal::new(
+                inner.stream_shaped(num_nodes, num_edges, shape, seed),
+                *delay,
+            ))),
             StreamSpec::Targeted => BuiltStream::Targeted(TargetedAdversary::new(num_nodes, seed)),
         }
     }
@@ -480,46 +956,95 @@ impl StreamSpec {
     /// Canonical slug for cell ids (part of the seed-derivation
     /// contract, like the sweep regime ids).
     pub fn slug(&self) -> String {
-        match *self {
+        match self {
             StreamSpec::Trickle {
                 node_rate,
                 edge_rate,
             } => format!("trickle_n{node_rate}_e{edge_rate}"),
+            StreamSpec::Ageing { rate, shape } => format!("age_r{rate}_k{shape}"),
             StreamSpec::Burst { rate, size } => format!("burst_r{rate}_s{size}"),
+            StreamSpec::Track { rate, len } => format!("track_r{rate}_l{len}"),
+            StreamSpec::Renew { delay, inner } => format!("renew_d{delay}_{}", inner.slug()),
             StreamSpec::Targeted => "targeted".into(),
         }
     }
 
-    /// Validates the spec's parameters.
-    pub fn validate(&self) -> Result<(), String> {
-        let prob = |label: &str, x: f64| {
-            if (0.0..=1.0).contains(&x) {
-                Ok(())
+    /// Validates the spec's parameters; every rejection is a typed
+    /// [`StreamSpecError`].
+    pub fn validate(&self) -> Result<(), StreamSpecError> {
+        let prob = |field: &'static str, x: f64| {
+            if !x.is_finite() {
+                Err(StreamSpecError::RateNotFinite { field, value: x })
+            } else if !(0.0..=1.0).contains(&x) {
+                Err(StreamSpecError::RateOutOfRange { field, value: x })
             } else {
-                Err(format!("{label} = {x} out of [0, 1]"))
+                Ok(())
             }
         };
-        match *self {
+        match self {
             StreamSpec::Trickle {
                 node_rate,
                 edge_rate,
             } => {
-                prob("node_rate", node_rate)?;
-                prob("edge_rate", edge_rate)?;
-                if node_rate <= 0.0 && edge_rate <= 0.0 {
-                    return Err("trickle needs a positive node or edge rate".into());
+                prob("node_rate", *node_rate)?;
+                prob("edge_rate", *edge_rate)?;
+                if *node_rate <= 0.0 && *edge_rate <= 0.0 {
+                    return Err(StreamSpecError::NoPositiveRate);
+                }
+                Ok(())
+            }
+            StreamSpec::Ageing { rate, shape } => {
+                if !rate.is_finite() {
+                    return Err(StreamSpecError::RateNotFinite {
+                        field: "rate",
+                        value: *rate,
+                    });
+                }
+                if *rate <= 0.0 {
+                    return Err(StreamSpecError::RateNotPositive {
+                        field: "rate",
+                        value: *rate,
+                    });
+                }
+                if !shape.is_finite() || *shape <= 0.0 {
+                    return Err(StreamSpecError::BadShape { value: *shape });
                 }
                 Ok(())
             }
             StreamSpec::Burst { rate, size } => {
-                prob("rate", rate)?;
-                if rate <= 0.0 {
-                    return Err("burst rate must be positive".into());
+                prob("rate", *rate)?;
+                if *rate <= 0.0 {
+                    return Err(StreamSpecError::RateNotPositive {
+                        field: "rate",
+                        value: *rate,
+                    });
                 }
-                if size == 0 {
-                    return Err("burst size must be ≥ 1".into());
+                if *size == 0 {
+                    return Err(StreamSpecError::ZeroBurstSize);
                 }
                 Ok(())
+            }
+            StreamSpec::Track { rate, len } => {
+                prob("rate", *rate)?;
+                if *rate <= 0.0 {
+                    return Err(StreamSpecError::RateNotPositive {
+                        field: "rate",
+                        value: *rate,
+                    });
+                }
+                if *len == 0 {
+                    return Err(StreamSpecError::ZeroTrackLength);
+                }
+                Ok(())
+            }
+            StreamSpec::Renew { delay, inner } => {
+                if *delay == 0 {
+                    return Err(StreamSpecError::ZeroRenewDelay);
+                }
+                if matches!(**inner, StreamSpec::Renew { .. }) {
+                    return Err(StreamSpecError::NestedRenew);
+                }
+                inner.validate()
             }
             StreamSpec::Targeted => Ok(()),
         }
@@ -548,8 +1073,9 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[0].time <= w[1].time, "times must be non-decreasing");
         }
-        assert!(a.iter().any(|ev| matches!(ev.fault, Fault::Node(_))));
-        assert!(a.iter().any(|ev| matches!(ev.fault, Fault::Edge(_))));
+        assert!(a.iter().any(|ev| matches!(ev.fault(), Fault::Node(_))));
+        assert!(a.iter().any(|ev| matches!(ev.fault(), Fault::Edge(_))));
+        assert!(a.iter().all(|ev| !ev.is_repair()));
         let c = drain(&spec, 100, 200, 8, 50);
         assert_ne!(a, c, "different seeds draw different streams");
     }
@@ -561,10 +1087,37 @@ mod tests {
             edge_rate: 0.0,
         };
         let evs = drain(&spec, 50, 50, 3, 40);
-        assert!(evs.iter().all(|ev| matches!(ev.fault, Fault::Node(_))));
+        assert!(evs.iter().all(|ev| matches!(ev.fault(), Fault::Node(_))));
         // inter-arrival gaps roughly match 1/rate = 5
         let mean_gap = evs.last().unwrap().time as f64 / evs.len() as f64;
         assert!((2.0..12.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn trickle_goes_silent_when_saturated() {
+        // Every node already faulty: the node process must neither hang
+        // (the old unbounded rejection loop) nor deliver stale ids — it
+        // goes silent, leaving the edge process.
+        struct AllNodesDead;
+        impl StreamFeedback for AllNodesDead {
+            fn occupied_node(&self, _selector: u64) -> Option<usize> {
+                None
+            }
+            fn node_faulty(&self, _v: usize) -> bool {
+                true
+            }
+            fn edge_faulty(&self, _e: u32) -> bool {
+                false
+            }
+        }
+        let mut s = BernoulliTrickle::new(8, 8, 0.5, 0.5, 3);
+        for _ in 0..20 {
+            let ev = s.next(&AllNodesDead).expect("edge process still fires");
+            assert!(matches!(ev.fault(), Fault::Edge(_)));
+        }
+        // Both domains saturated: the stream ends instead of hanging.
+        let mut s = BernoulliTrickle::new(8, 0, 0.5, 0.0, 3);
+        assert!(s.next(&AllNodesDead).is_none());
     }
 
     #[test]
@@ -575,14 +1128,198 @@ mod tests {
         for chunk in evs.chunks(4) {
             let t0 = chunk[0].time;
             assert!(chunk.iter().all(|ev| ev.time == t0), "burst shares a time");
-            let Fault::Node(first) = chunk[0].fault else {
+            let Fault::Node(first) = chunk[0].fault() else {
                 panic!("bursts are node faults")
             };
             for (off, ev) in chunk.iter().enumerate() {
-                assert_eq!(ev.fault, Fault::Node((first + off) % 1000), "adjacent run");
+                assert_eq!(
+                    ev.fault(),
+                    Fault::Node((first + off) % 1000),
+                    "adjacent run"
+                );
             }
         }
         assert!(evs[4].time > evs[3].time, "bursts are separated in time");
+    }
+
+    #[test]
+    fn burst_skips_already_dead_ids() {
+        // Nodes 0..500 are dead; a burst anchored below the boundary
+        // must skip over the dead run so `size` counts live kills.
+        struct LowDead;
+        impl StreamFeedback for LowDead {
+            fn occupied_node(&self, _selector: u64) -> Option<usize> {
+                None
+            }
+            fn node_faulty(&self, v: usize) -> bool {
+                v < 500
+            }
+            fn edge_faulty(&self, _e: u32) -> bool {
+                false
+            }
+        }
+        let mut s = Burst::new(1000, 0.5, 3, 11);
+        for _ in 0..60 {
+            let ev = s.next(&LowDead).unwrap();
+            let Fault::Node(v) = ev.fault() else {
+                panic!("bursts are node faults")
+            };
+            assert!(v >= 500, "delivered dead id {v}");
+        }
+    }
+
+    #[test]
+    fn ageing_arrivals_accelerate() {
+        let spec = StreamSpec::Ageing {
+            rate: 1e-4,
+            shape: 2.0,
+        };
+        let a = drain(&spec, 1000, 0, 7, 200);
+        assert_eq!(a, drain(&spec, 1000, 0, 7, 200), "deterministic per seed");
+        assert_eq!(a.len(), 200);
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time, "times must be non-decreasing");
+        }
+        // Λ(t) = r·t² ⇒ the k-th arrival lands near √(k/r): the first
+        // half of the arrivals spans a longer time range than the
+        // second half — inter-arrival gaps shrink as the host ages.
+        let first_span = a[99].time - a[0].time;
+        let second_span = a[199].time - a[100].time;
+        assert!(
+            second_span < first_span,
+            "ageing must accelerate: first 100 span {first_span}, next 100 span {second_span}"
+        );
+    }
+
+    #[test]
+    fn ageing_shape_one_is_homogeneous() {
+        let spec = StreamSpec::Ageing {
+            rate: 0.05,
+            shape: 1.0,
+        };
+        let evs = drain(&spec, 1000, 0, 3, 300);
+        let mean_gap = evs.last().unwrap().time as f64 / evs.len() as f64;
+        assert!(
+            (10.0..30.0).contains(&mean_gap),
+            "shape 1 ≈ exponential(rate): mean gap {mean_gap}, want ≈ 20"
+        );
+    }
+
+    #[test]
+    fn track_kills_torus_adjacent_coordinates() {
+        let shape = Shape::new(vec![10, 10]);
+        let mut s = TrackBurst::new(100, 0.2, 4, Some(shape.clone()), 9);
+        for _ in 0..15 {
+            let mut track = Vec::new();
+            let t0 = {
+                let ev = s.next(&NoFeedback).unwrap();
+                track.push(ev);
+                ev.time
+            };
+            for _ in 1..4 {
+                track.push(s.next(&NoFeedback).unwrap());
+            }
+            assert!(track.iter().all(|ev| ev.time == t0), "track shares a time");
+            // Consecutive kills are torus-adjacent along one fixed axis.
+            let ids: Vec<usize> = track
+                .iter()
+                .map(|ev| match ev.fault() {
+                    Fault::Node(v) => v,
+                    _ => panic!("tracks are node faults"),
+                })
+                .collect();
+            let axis = (0..2)
+                .find(|&a| shape.torus_step(ids[0], a, 1) == ids[1])
+                .expect("second kill adjacent to the anchor");
+            for w in ids.windows(2) {
+                assert_eq!(
+                    shape.torus_step(w[0], axis, 1),
+                    w[1],
+                    "track walks unit steps along axis {axis}: {ids:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn track_without_shape_degrades_to_id_runs() {
+        let spec = StreamSpec::Track { rate: 0.2, len: 3 };
+        let evs = drain(&spec, 100, 0, 5, 9);
+        for chunk in evs.chunks(3) {
+            let Fault::Node(first) = chunk[0].fault() else {
+                panic!("tracks are node faults")
+            };
+            for (off, ev) in chunk.iter().enumerate() {
+                assert_eq!(ev.fault(), Fault::Node((first + off) % 100));
+                assert_eq!(ev.time, chunk[0].time);
+            }
+        }
+    }
+
+    #[test]
+    fn renewal_repairs_each_kill_after_the_delay() {
+        let spec = StreamSpec::Renew {
+            delay: 10,
+            inner: Box::new(StreamSpec::Trickle {
+                node_rate: 0.05,
+                edge_rate: 0.02,
+            }),
+        };
+        let mut s = spec.stream(50, 80, 7);
+        assert!(s.renewing());
+        let mut events = Vec::new();
+        for _ in 0..200 {
+            match s.next(&NoFeedback) {
+                Some(ev) => events.push(ev),
+                None => break,
+            }
+        }
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time, "merged times must be ordered");
+        }
+        // Every kill is followed by a repair of the same fault exactly
+        // `delay` later.
+        let kills: Vec<&TimedFault> = events.iter().filter(|ev| !ev.is_repair()).collect();
+        let repairs: Vec<&TimedFault> = events.iter().filter(|ev| ev.is_repair()).collect();
+        assert!(!kills.is_empty() && !repairs.is_empty());
+        for r in &repairs {
+            assert!(
+                kills
+                    .iter()
+                    .any(|k| k.fault() == r.fault() && k.time + 10 == r.time),
+                "repair {r:?} must match a kill 10 steps earlier"
+            );
+        }
+    }
+
+    #[test]
+    fn renewal_drains_repairs_after_the_inner_stream_ends() {
+        let mut journal = FaultJournal::new();
+        journal.record(TimedFault::kill(1, Fault::Node(4)));
+        journal.record(TimedFault::kill(5, Fault::Node(7)));
+        let mut s = Renewal::new(journal.replay(), 3);
+        let got: Vec<TimedFault> = std::iter::from_fn(|| s.next(&NoFeedback)).collect();
+        assert_eq!(
+            got,
+            vec![
+                TimedFault::kill(1, Fault::Node(4)),
+                TimedFault::repair(4, Fault::Node(4)),
+                TimedFault::kill(5, Fault::Node(7)),
+                TimedFault::repair(8, Fault::Node(7)),
+            ],
+            "repairs merge in time order and outlive the inner stream"
+        );
+    }
+
+    #[test]
+    fn renewal_ties_deliver_the_repair_first() {
+        let mut journal = FaultJournal::new();
+        journal.record(TimedFault::kill(1, Fault::Node(4)));
+        journal.record(TimedFault::kill(4, Fault::Node(5)));
+        let mut s = Renewal::new(journal.replay(), 3);
+        let got: Vec<TimedFault> = std::iter::from_fn(|| s.next(&NoFeedback)).collect();
+        assert_eq!(got[1], TimedFault::repair(4, Fault::Node(4)));
+        assert_eq!(got[2], TimedFault::kill(4, Fault::Node(5)));
     }
 
     #[test]
@@ -602,7 +1339,7 @@ mod tests {
         let mut s = TargetedAdversary::new(100, 9);
         for _ in 0..20 {
             let ev = s.next(&Occ).unwrap();
-            let Fault::Node(v) = ev.fault else {
+            let Fault::Node(v) = ev.fault() else {
                 panic!("targeted adversary only kills nodes")
             };
             assert!((10..15).contains(&v), "aimed at the occupied set, got {v}");
@@ -626,20 +1363,23 @@ mod tests {
                 true
             }
         }
-        // Half the domain is stale; with 16 retries a stale delivery has
-        // probability 2^-17 per arrival, so all 30 land fresh.
+        // Half the domain is stale; the bounded-retry + linear-scan
+        // sampler always lands fresh while fresh targets exist.
         let mut s = BernoulliTrickle::new(20, 0, 1.0, 0.0, 2);
         let fresh = (0..30)
-            .filter(|_| matches!(s.next(&HalfStale).unwrap().fault, Fault::Node(v) if v >= 10))
+            .filter(|_| matches!(s.next(&HalfStale).unwrap().fault(), Fault::Node(v) if v >= 10))
             .count();
-        assert!(fresh >= 29, "only {fresh}/30 arrivals hit fresh nodes");
+        assert_eq!(fresh, 30, "only {fresh}/30 arrivals hit fresh nodes");
     }
 
     #[test]
     fn journal_roundtrip_and_fault_set_view() {
-        let spec = StreamSpec::Trickle {
-            node_rate: 0.1,
-            edge_rate: 0.05,
+        let spec = StreamSpec::Renew {
+            delay: 4,
+            inner: Box::new(StreamSpec::Trickle {
+                node_rate: 0.1,
+                edge_rate: 0.05,
+            }),
         };
         let mut journal = FaultJournal::new();
         let mut s = spec.stream(40, 60, 11);
@@ -647,15 +1387,45 @@ mod tests {
             journal.record(s.next(&NoFeedback).unwrap());
         }
         assert_eq!(journal.len(), 25);
+        assert!(
+            journal.events().iter().any(|ev| ev.is_repair()),
+            "renewal journals record repair events"
+        );
         let replayed: Vec<TimedFault> = {
             let mut r = journal.replay();
             std::iter::from_fn(|| r.next(&NoFeedback)).collect()
         };
         assert_eq!(replayed, journal.events());
+        assert!(journal.replay().renewing());
+        // The fault-set view nets repairs against kills in order.
         let set = journal.to_fault_set(40, 60);
-        assert!(set.count_faults() > 0);
+        let mut expect = FaultSet::none(40, 60);
         for ev in journal.events() {
-            assert!(set.contains(ev.fault));
+            match ev.event {
+                FaultEvent::Kill(f) => {
+                    expect.kill(f);
+                }
+                FaultEvent::Repair(f) => {
+                    expect.revive(f);
+                }
+            }
+        }
+        assert_eq!(set, expect);
+        let repaired = journal
+            .events()
+            .iter()
+            .filter(|ev| ev.is_repair())
+            .map(|ev| ev.fault())
+            .find(|&f| {
+                journal
+                    .events()
+                    .iter()
+                    .rev()
+                    .find(|ev| ev.fault() == f)
+                    .is_some_and(|last| last.is_repair())
+            });
+        if let Some(f) = repaired {
+            assert!(!set.contains(f), "a netted-out fault is not in the set");
         }
     }
 
@@ -663,14 +1433,8 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn journal_rejects_time_travel() {
         let mut j = FaultJournal::new();
-        j.record(TimedFault {
-            time: 5,
-            fault: Fault::Node(0),
-        });
-        j.record(TimedFault {
-            time: 4,
-            fault: Fault::Node(1),
-        });
+        j.record(TimedFault::kill(5, Fault::Node(0)));
+        j.record(TimedFault::kill(4, Fault::Node(1)));
     }
 
     #[test]
@@ -681,20 +1445,36 @@ mod tests {
         }
         .validate()
         .is_ok());
-        assert!(StreamSpec::Trickle {
-            node_rate: 0.0,
-            edge_rate: 0.0
-        }
-        .validate()
-        .is_err());
-        assert!(StreamSpec::Trickle {
-            node_rate: 1.5,
-            edge_rate: 0.0
-        }
-        .validate()
-        .is_err());
-        assert!(StreamSpec::Burst { rate: 0.1, size: 0 }.validate().is_err());
-        assert!(StreamSpec::Burst { rate: 0.0, size: 3 }.validate().is_err());
+        assert_eq!(
+            StreamSpec::Trickle {
+                node_rate: 0.0,
+                edge_rate: 0.0
+            }
+            .validate(),
+            Err(StreamSpecError::NoPositiveRate)
+        );
+        assert_eq!(
+            StreamSpec::Trickle {
+                node_rate: 1.5,
+                edge_rate: 0.0
+            }
+            .validate(),
+            Err(StreamSpecError::RateOutOfRange {
+                field: "node_rate",
+                value: 1.5
+            })
+        );
+        assert_eq!(
+            StreamSpec::Burst { rate: 0.1, size: 0 }.validate(),
+            Err(StreamSpecError::ZeroBurstSize)
+        );
+        assert_eq!(
+            StreamSpec::Burst { rate: 0.0, size: 3 }.validate(),
+            Err(StreamSpecError::RateNotPositive {
+                field: "rate",
+                value: 0.0
+            })
+        );
         assert!(StreamSpec::Targeted.validate().is_ok());
         assert_eq!(
             StreamSpec::Trickle {
@@ -709,5 +1489,123 @@ mod tests {
             "burst_r0.1_s4"
         );
         assert_eq!(StreamSpec::Targeted.slug(), "targeted");
+    }
+
+    #[test]
+    fn spec_validation_hardening() {
+        // Non-finite rates are typed rejections, not silent NaN flows
+        // (NaN != NaN, so match on the variant instead of assert_eq).
+        match (StreamSpec::Trickle {
+            node_rate: f64::NAN,
+            edge_rate: 0.0,
+        })
+        .validate()
+        {
+            Err(StreamSpecError::RateNotFinite {
+                field: "node_rate",
+                value,
+            }) => assert!(value.is_nan()),
+            other => panic!("expected RateNotFinite, got {other:?}"),
+        }
+        // Negative rates.
+        assert_eq!(
+            StreamSpec::Track { rate: -0.1, len: 3 }.validate(),
+            Err(StreamSpecError::RateOutOfRange {
+                field: "rate",
+                value: -0.1
+            })
+        );
+        assert_eq!(
+            StreamSpec::Ageing {
+                rate: -1.0,
+                shape: 2.0
+            }
+            .validate(),
+            Err(StreamSpecError::RateNotPositive {
+                field: "rate",
+                value: -1.0
+            })
+        );
+        assert_eq!(
+            StreamSpec::Ageing {
+                rate: 1e-4,
+                shape: 0.0
+            }
+            .validate(),
+            Err(StreamSpecError::BadShape { value: 0.0 })
+        );
+        assert!(StreamSpec::Ageing {
+            rate: 1e-4,
+            shape: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        // Zero-length tracks.
+        assert_eq!(
+            StreamSpec::Track { rate: 0.1, len: 0 }.validate(),
+            Err(StreamSpecError::ZeroTrackLength)
+        );
+        // Renewal hardening: zero delay, nested renew, bad inner.
+        let trickle = StreamSpec::Trickle {
+            node_rate: 0.1,
+            edge_rate: 0.0,
+        };
+        assert_eq!(
+            StreamSpec::Renew {
+                delay: 0,
+                inner: Box::new(trickle.clone())
+            }
+            .validate(),
+            Err(StreamSpecError::ZeroRenewDelay)
+        );
+        assert_eq!(
+            StreamSpec::Renew {
+                delay: 5,
+                inner: Box::new(StreamSpec::Renew {
+                    delay: 5,
+                    inner: Box::new(trickle.clone())
+                })
+            }
+            .validate(),
+            Err(StreamSpecError::NestedRenew)
+        );
+        assert_eq!(
+            StreamSpec::Renew {
+                delay: 5,
+                inner: Box::new(StreamSpec::Burst { rate: 0.1, size: 0 })
+            }
+            .validate(),
+            Err(StreamSpecError::ZeroBurstSize)
+        );
+        assert!(StreamSpec::Renew {
+            delay: 5,
+            inner: Box::new(trickle)
+        }
+        .validate()
+        .is_ok());
+        // New slugs are stable (cell-id/seed contract).
+        assert_eq!(
+            StreamSpec::Ageing {
+                rate: 0.0001,
+                shape: 2.0
+            }
+            .slug(),
+            "age_r0.0001_k2"
+        );
+        assert_eq!(
+            StreamSpec::Track { rate: 0.01, len: 5 }.slug(),
+            "track_r0.01_l5"
+        );
+        assert_eq!(
+            StreamSpec::Renew {
+                delay: 64,
+                inner: Box::new(StreamSpec::Trickle {
+                    node_rate: 0.002,
+                    edge_rate: 0.0
+                })
+            }
+            .slug(),
+            "renew_d64_trickle_n0.002_e0"
+        );
     }
 }

@@ -8,12 +8,19 @@
 //!
 //! | Layer | Home | Exports |
 //! |-------|------|---------|
-//! | Fault streams | `ftt-faults::stream` | [`FaultStream`], [`StreamSpec`], [`BernoulliTrickle`], [`Burst`], [`TargetedAdversary`], [`FaultJournal`] |
+//! | Fault streams | `ftt-faults::stream` | [`FaultStream`], [`StreamSpec`], [`BernoulliTrickle`], [`WeibullTrickle`], [`Burst`], [`TrackBurst`], [`Renewal`], [`TargetedAdversary`], [`FaultJournal`] |
 //! | Incremental repair | `ftt-core::online` | [`RepairState`], [`RepairOutcome`], [`RepairClass`], [`live_certificate`] |
 //! | Lifetime engine | `ftt-sim::lifetime` | [`LifetimeSpec`], [`run_lifetime`], [`run_lifetime_trials`], [`LifetimeReport`], [`LIFETIME_PRESETS`] |
 //! | CLI / bench | `ftt-cli`, `ftt-bench` | `ftt lifetime --preset …`, `bench_online` → `BENCH_online.json` |
 //!
 //! ## The contract
+//!
+//! Streams deliver [`FaultEvent`]s — kills, and under the [`Renewal`]
+//! model also repairs that revive a previously-killed element. Both
+//! directions flow through the same incremental engine: repairs can
+//! resurrect a dead placement (batch extractability is not monotone in
+//! the fault set), and the lifetime engine turns the resulting up/down
+//! spells into steady-state availability.
 //!
 //! Each arriving [`Fault`] is *repaired*, not re-extracted: O(1)
 //! absorption when it lands under the current banding's already-dirty
@@ -41,8 +48,9 @@
 
 pub use ftt_core::online::{live_certificate, RepairClass, RepairOutcome, RepairState};
 pub use ftt_faults::stream::{
-    BernoulliTrickle, BuiltStream, Burst, FaultJournal, FaultStream, JournalStream, NoFeedback,
-    StreamFeedback, StreamSpec, TargetedAdversary, TimedFault,
+    BernoulliTrickle, BuiltStream, Burst, FaultEvent, FaultJournal, FaultStream, JournalStream,
+    NoFeedback, Renewal, StreamFeedback, StreamSpec, StreamSpecError, TargetedAdversary,
+    TimedFault, TrackBurst, WeibullTrickle,
 };
 pub use ftt_faults::Fault;
 pub use ftt_sim::lifetime::{

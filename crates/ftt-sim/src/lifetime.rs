@@ -20,6 +20,21 @@
 //! embedding every `certify_every` repairs through the **independent**
 //! checker (`ftt_verify::check_certificate`).
 //!
+//! # Renewal and availability
+//!
+//! Streams that *repair* faults ([`StreamSpec::Renew`] schedules a
+//! revival a fixed stream-time delay after every kill) turn the
+//! run-to-death question into a steady-state one. Renewing cells keep
+//! running past a death — a later repair can resurrect the embedding —
+//! and the trial ledger splits stream time into up/down spells, from
+//! which cells report **availability** (fraction of stream time with a
+//! live embedding), mean up/down spell lengths, and resurrection
+//! counts. Orthogonally, a coincidence window (`burst_window`, the
+//! LIGO/TAMA trigger-clustering idiom) clusters kill arrivals by stream
+//! time: clusters of ≥ 2 are reported as bursts, with the largest
+//! observed cluster size alongside — correlated track bursts
+//! ([`StreamSpec::Track`]) light this up, independent trickles don't.
+//!
 //! # Determinism
 //!
 //! Identical discipline to the sweep engine: per-cell seeds derive from
@@ -38,7 +53,11 @@
 //! grid × trickle and burst arrivals, run to death), `life-t3` (D² ×
 //! the targeted adversary at budget multiples; the ×1 cells must
 //! survive *exactly* the Theorem 3 budget `k` with every repair
-//! succeeding — the theorem's online form, asserted in tests and CI).
+//! succeeding — the theorem's online form, asserted in tests and CI),
+//! `life-age` (Weibull ageing hazard, run to death), `life-track`
+//! (geometry-aware correlated track bursts on the `D²` torus), and
+//! `life-renew` (renewal/recovery: trickle kills with delayed repairs —
+//! steady-state availability with zero deaths, asserted in CI).
 //! Artifacts are schema-versioned `LIFE_<name>.json` / `.csv`
 //! (validated by `tools/check_life.py`).
 
@@ -53,7 +72,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Version stamp of the `LIFE_*.json` / `LIFE_*.csv` artifact schema.
-pub const LIFE_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the renewal/availability fields (`repairs_applied`,
+/// `resurrections`, `availability`, spell means, burst counts) and the
+/// top-level `burst_window`.
+pub const LIFE_SCHEMA_VERSION: u32 = 2;
 
 /// When does a stream cell stop delivering faults?
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +103,7 @@ impl ArrivalCap {
 }
 
 /// One stream axis entry: an arrival process plus its stopping rule.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamDef {
     /// The arrival process.
     pub spec: StreamSpec,
@@ -106,11 +128,22 @@ pub struct LifetimeSpec {
     /// Certify the live embedding through the independent checker every
     /// this many successful repairs (0 = never).
     pub certify_every: usize,
+    /// Coincidence window for burst detection: kill arrivals whose
+    /// stream-time gap is ≤ this cluster together; clusters of ≥ 2 are
+    /// reported as bursts. 0 still clusters same-timestamp kills.
+    pub burst_window: u64,
 }
 
 /// Names accepted by [`LifetimeSpec::preset`] (mirrors
 /// [`LIFETIME_PRESETS`]).
-pub const LIFETIME_PRESET_NAMES: &[&str] = &["life-smoke", "life-t2", "life-t3"];
+pub const LIFETIME_PRESET_NAMES: &[&str] = &[
+    "life-smoke",
+    "life-t2",
+    "life-t3",
+    "life-age",
+    "life-track",
+    "life-renew",
+];
 
 /// One entry of the lifetime preset registry (see [`crate::sweep::SWEEP_PRESETS`]
 /// for the pattern): name, help summary, builder. The CLI renders its
@@ -151,6 +184,26 @@ pub const LIFETIME_PRESETS: &[LifetimePreset] = &[
                   (Theorem 3, online form — asserted)",
         build: preset_life_t3,
     },
+    LifetimePreset {
+        name: "life-age",
+        summary: "B²+D² × Weibull ageing hazard (shape 2: wear-out), run\n\
+                  to death — lifetime under an increasing failure rate",
+        build: preset_life_age,
+    },
+    LifetimePreset {
+        name: "life-track",
+        summary: "D² × correlated track bursts (geometric line segments\n\
+                  killed at one timestamp), run to death, with\n\
+                  coincidence-window burst detection",
+        build: preset_life_track,
+    },
+    LifetimePreset {
+        name: "life-renew",
+        summary: "B²+D² × renewal trickle (every kill schedules a delayed\n\
+                  repair) — steady-state availability; zero deaths and\n\
+                  clean certificates asserted in CI",
+        build: preset_life_renew,
+    },
 ];
 
 fn preset_life_smoke() -> LifetimeSpec {
@@ -179,6 +232,7 @@ fn preset_life_smoke() -> LifetimeSpec {
         trials: 4,
         root_seed: 1,
         certify_every: 8,
+        burst_window: 0,
     }
 }
 
@@ -231,6 +285,7 @@ fn preset_life_t2() -> LifetimeSpec {
         trials: 30,
         root_seed: 1,
         certify_every: 0,
+        burst_window: 0,
     }
 }
 
@@ -262,6 +317,111 @@ fn preset_life_t3() -> LifetimeSpec {
         trials: 40,
         root_seed: 1,
         certify_every: 8,
+        burst_window: 0,
+    }
+}
+
+fn preset_life_age() -> LifetimeSpec {
+    LifetimeSpec {
+        name: "age".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 40,
+                b: 2,
+            },
+        ],
+        streams: vec![
+            // Shape 2 (Rayleigh-like wear-out: hazard grows linearly in
+            // time, the scintillator-ageing picture) vs the shape-1
+            // control (constant hazard — a plain exponential trickle).
+            StreamDef {
+                spec: StreamSpec::Ageing {
+                    rate: 1e-4,
+                    shape: 2.0,
+                },
+                cap: ArrivalCap::UntilDeath,
+            },
+            StreamDef {
+                spec: StreamSpec::Ageing {
+                    rate: 1e-4,
+                    shape: 1.0,
+                },
+                cap: ArrivalCap::UntilDeath,
+            },
+        ],
+        trials: 8,
+        root_seed: 1,
+        certify_every: 0,
+        burst_window: 0,
+    }
+}
+
+fn preset_life_track() -> LifetimeSpec {
+    LifetimeSpec {
+        name: "track".into(),
+        constructions: vec![ConstructionSpec::Ddn {
+            d: 2,
+            n_min: 40,
+            b: 2,
+        }],
+        streams: vec![
+            StreamDef {
+                spec: StreamSpec::Track { rate: 2e-3, len: 3 },
+                cap: ArrivalCap::UntilDeath,
+            },
+            StreamDef {
+                spec: StreamSpec::Track { rate: 2e-3, len: 5 },
+                cap: ArrivalCap::UntilDeath,
+            },
+        ],
+        trials: 8,
+        root_seed: 1,
+        certify_every: 0,
+        burst_window: 2,
+    }
+}
+
+fn preset_life_renew() -> LifetimeSpec {
+    LifetimeSpec {
+        name: "renew".into(),
+        constructions: vec![
+            ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 40,
+                b: 2,
+            },
+        ],
+        // Sparse trickle with a repair delay far below the mean
+        // inter-kill gap: at most a couple of faults coexist, so every
+        // arrival stays repairable — the zero-death steady state CI
+        // asserts (tools/check_life.py).
+        streams: vec![StreamDef {
+            spec: StreamSpec::Renew {
+                delay: 8,
+                inner: Box::new(StreamSpec::Trickle {
+                    node_rate: 2e-5,
+                    edge_rate: 2e-6,
+                }),
+            },
+            cap: ArrivalCap::Arrivals(48),
+        }],
+        trials: 6,
+        root_seed: 1,
+        certify_every: 8,
+        burst_window: 0,
     }
 }
 
@@ -297,7 +457,7 @@ impl LifetimeSpec {
             return Err("lifetime sweep needs at least one stream".into());
         }
         for s in &self.streams {
-            s.spec.validate()?;
+            s.spec.validate().map_err(|e| e.to_string())?;
             match s.cap {
                 ArrivalCap::Arrivals(0) => {
                     return Err("arrival cap must be ≥ 1".into());
@@ -335,6 +495,24 @@ pub struct TrialRecord {
     /// Certificate checks that failed (must stay 0; a nonzero count is
     /// an engine bug surfaced, never hidden).
     pub cert_failures: usize,
+    /// Repair (revival) events delivered by the stream.
+    pub repairs: usize,
+    /// Dead→alive transitions: a repair resurrected the embedding.
+    pub resurrections: usize,
+    /// Stream time spent with a live embedding.
+    pub up_time: u64,
+    /// Stream time spent dead, awaiting a resurrecting repair.
+    pub down_time: u64,
+    /// Up spells entered (≥ 1: every trial starts alive).
+    pub up_spells: usize,
+    /// Down spells entered.
+    pub down_spells: usize,
+    /// Kill clusters of ≥ 2 arrivals within the coincidence window.
+    pub bursts: usize,
+    /// Largest kill cluster observed.
+    pub max_coincident: usize,
+    /// Stream time of the last delivered event.
+    pub end_time: u64,
 }
 
 /// The lifetime engine's view of the repair state, handed to adaptive
@@ -365,17 +543,27 @@ impl StreamFeedback for RepairFeedback<'_> {
 }
 
 /// Drives one lifetime trial: resets `state`, then feeds `stream` into
-/// the incremental repair engine until the first unrepairable fault,
-/// the stream's end, or `cap` arrivals. With `certify_every > 0` the
-/// live embedding is frozen and re-validated by the independent checker
-/// every that many successful repairs; a `journal` records every
-/// delivered event for exact replay.
+/// the incremental repair engine until the stream ends, `cap` *kill*
+/// arrivals have been delivered, or — for non-renewing streams — the
+/// first unrepairable fault. Renewing streams (`stream.renewing()`)
+/// keep running through deaths: events keep flowing while the state is
+/// dead and a later repair may resurrect it, which is what turns the
+/// trial into an up/down availability ledger. Repair events scheduled
+/// before the next kill still drain after the kill cap is reached.
+///
+/// With `certify_every > 0` the live embedding is frozen and
+/// re-validated by the independent checker every that many successful
+/// repairs; a `journal` records every delivered event for exact replay.
+/// Kill arrivals whose stream-time gap is ≤ `burst_window` cluster into
+/// bursts (clusters of ≥ 2 are counted; 0 clusters same-timestamp
+/// kills, which is exactly what a track burst emits).
 pub fn run_lifetime_trial<C, S>(
     host: &C,
     state: &mut RepairState<C>,
     stream: &mut S,
     cap: usize,
     certify_every: usize,
+    burst_window: u64,
     mut journal: Option<&mut FaultJournal>,
 ) -> TrialRecord
 where
@@ -389,9 +577,17 @@ where
     // actually reads the map — an adaptive stream, every `certify_every`
     // repairs, and once at the end of the trial.
     let adaptive = stream.adaptive();
-    let mut rec = TrialRecord::default();
-    while rec.arrivals < cap {
-        if adaptive {
+    let renewing = stream.renewing();
+    let mut rec = TrialRecord {
+        up_spells: 1,
+        ..TrialRecord::default()
+    };
+    let mut alive = true;
+    let mut prev_t: u64 = 0;
+    let mut last_kill: Option<u64> = None;
+    let mut cluster = 0usize;
+    loop {
+        if adaptive && alive {
             let _ = state.live_embedding(host);
         }
         let event = {
@@ -402,19 +598,50 @@ where
             stream.next(&feedback)
         };
         let Some(event) = event else { break };
+        if !event.is_repair() && rec.arrivals >= cap {
+            break;
+        }
         if let Some(j) = journal.as_deref_mut() {
             j.record(event);
         }
-        rec.arrivals += 1;
-        match state.apply(host, event.fault) {
+        // Stream-time ledger: the span since the previous event belongs
+        // to whichever state we were in.
+        let t = event.time;
+        if alive {
+            rec.up_time += t.saturating_sub(prev_t);
+        } else {
+            rec.down_time += t.saturating_sub(prev_t);
+        }
+        prev_t = t;
+        if event.is_repair() {
+            rec.repairs += 1;
+        } else {
+            rec.arrivals += 1;
+            // Coincidence clustering over kill times (non-decreasing).
+            match last_kill {
+                Some(lk) if t.saturating_sub(lk) <= burst_window => cluster += 1,
+                _ => {
+                    if cluster >= 2 {
+                        rec.bursts += 1;
+                    }
+                    cluster = 1;
+                }
+            }
+            last_kill = Some(t);
+            rec.max_coincident = rec.max_coincident.max(cluster);
+        }
+        match state.apply_event(host, event.event) {
             RepairOutcome::Repaired(class) => {
-                rec.survived += 1;
+                if !event.is_repair() {
+                    rec.survived += 1;
+                }
                 match class {
                     RepairClass::Fast => rec.fast += 1,
                     RepairClass::Local => rec.local += 1,
                     RepairClass::Rebuild => rec.rebuild += 1,
                 }
-                if certify_every > 0 && rec.survived.is_multiple_of(certify_every) {
+                let total = rec.fast + rec.local + rec.rebuild;
+                if certify_every > 0 && total.is_multiple_of(certify_every) {
                     rec.cert_checks += 1;
                     let ok = live_certificate(host, state).is_some_and(|cert| {
                         ftt_verify::check_certificate(&cert, host.graph(), state.faults()).is_ok()
@@ -424,12 +651,32 @@ where
                     }
                 }
             }
-            RepairOutcome::Dead => {
+            RepairOutcome::Dead => {}
+        }
+        let now_alive = state.alive();
+        if alive && !now_alive {
+            rec.down_spells += 1;
+            rec.death_time = t;
+            alive = false;
+            if !renewing {
+                // No repairs are coming: the first unrepairable fault
+                // ends the trial, exactly the pre-renewal semantics.
                 rec.died = true;
-                rec.death_time = event.time;
                 break;
             }
+        } else if !alive && now_alive {
+            rec.up_spells += 1;
+            rec.resurrections += 1;
+            alive = true;
         }
+    }
+    if cluster >= 2 {
+        rec.bursts += 1;
+    }
+    rec.end_time = prev_t;
+    rec.died = !state.alive();
+    if !rec.died {
+        rec.death_time = 0;
     }
     // Every trial ends with a concrete embedding (or a dead state):
     // deferred maps are materialised inside the timed region, so
@@ -450,10 +697,15 @@ pub fn run_lifetime_trials<C: HostConstruction + Sync>(
     cell_seed: u64,
     threads: usize,
     certify_every: usize,
+    burst_window: u64,
 ) -> Vec<TrialRecord> {
     let _ = host.graph(); // materialise lazy host state once
     let num_nodes = host.num_nodes();
     let num_edges = host.graph().num_edges();
+    // Geometry-aware streams (track bursts) walk the host torus when
+    // the construction has one; geometry-blind hosts degrade to
+    // id-adjacent runs.
+    let shape = host.torus_shape();
     let pool: ScratchPool<RepairState<C>> = ScratchPool::new();
     let records: Mutex<Vec<TrialRecord>> = Mutex::new(vec![TrialRecord::default(); trials]);
     let [_survivors] = run_indexed_multi_pooled(
@@ -464,8 +716,17 @@ pub fn run_lifetime_trials<C: HostConstruction + Sync>(
         // arrival, so the factory never runs a throwaway extraction.
         || RepairState::new_idle(host),
         |state, i| {
-            let mut stream = stream.stream(num_nodes, num_edges, trial_seed(cell_seed, i as u64));
-            let rec = run_lifetime_trial(host, state, &mut stream, cap, certify_every, None);
+            let mut stream =
+                stream.stream_shaped(num_nodes, num_edges, shape, trial_seed(cell_seed, i as u64));
+            let rec = run_lifetime_trial(
+                host,
+                state,
+                &mut stream,
+                cap,
+                certify_every,
+                burst_window,
+                None,
+            );
             let survived_cap = !rec.died;
             records.lock().unwrap()[i] = rec;
             [survived_cap]
@@ -527,11 +788,28 @@ pub struct LifetimeCellResult {
     pub cert_checks: usize,
     /// Certificate checks that failed (must be 0).
     pub cert_failures: usize,
+    /// Repair (revival) events delivered across trials.
+    pub repairs_applied: usize,
+    /// Dead→alive resurrections across trials.
+    pub resurrections: usize,
+    /// Steady-state availability: fraction of stream time with a live
+    /// embedding (`up / (up + down)`; 1.0 when no stream time elapsed).
+    pub availability: f64,
+    /// Mean up-spell length in stream time (0 with no spells).
+    pub up_spell_mean: f64,
+    /// Mean down-spell length in stream time (0 with no down spells).
+    pub down_spell_mean: f64,
+    /// Coincidence-window kill clusters (≥ 2 kills) across trials.
+    pub bursts_total: usize,
+    /// Largest kill cluster observed in any trial.
+    pub max_coincident: usize,
     /// Wall-clock seconds for this cell.
     pub seconds: f64,
     /// Repair throughput: faults delivered per second (0 when the
     /// clock rounds to zero).
     pub faults_per_sec: f64,
+    /// Revival throughput: repair events delivered per second.
+    pub repairs_per_sec: f64,
 }
 
 impl LifetimeCellResult {
@@ -569,6 +847,8 @@ pub struct LifetimeReport {
     pub threads: usize,
     /// Certification cadence (0 = never).
     pub certify_every: usize,
+    /// Coincidence window used for burst detection.
+    pub burst_window: u64,
     /// Per-cell results, construction-major.
     pub cells: Vec<LifetimeCellResult>,
 }
@@ -591,6 +871,11 @@ fn aggregate_cell(
         .filter(|r| r.died)
         .map(|r| r.death_time as f64)
         .collect();
+    let repairs_applied: usize = records.iter().map(|r| r.repairs).sum();
+    let up_time: u64 = records.iter().map(|r| r.up_time).sum();
+    let down_time: u64 = records.iter().map(|r| r.down_time).sum();
+    let up_spells: usize = records.iter().map(|r| r.up_spells).sum();
+    let down_spells: usize = records.iter().map(|r| r.down_spells).sum();
     LifetimeCellResult {
         id,
         construction: host.construction_name().to_string(),
@@ -616,9 +901,33 @@ fn aggregate_cell(
         death_time_mean: (!death_times.is_empty()).then(|| crate::stats::mean(&death_times)),
         cert_checks: records.iter().map(|r| r.cert_checks).sum(),
         cert_failures: records.iter().map(|r| r.cert_failures).sum(),
+        repairs_applied,
+        resurrections: records.iter().map(|r| r.resurrections).sum(),
+        availability: if up_time + down_time == 0 {
+            1.0
+        } else {
+            up_time as f64 / (up_time + down_time) as f64
+        },
+        up_spell_mean: if up_spells == 0 {
+            0.0
+        } else {
+            up_time as f64 / up_spells as f64
+        },
+        down_spell_mean: if down_spells == 0 {
+            0.0
+        } else {
+            down_time as f64 / down_spells as f64
+        },
+        bursts_total: records.iter().map(|r| r.bursts).sum(),
+        max_coincident: records.iter().map(|r| r.max_coincident).max().unwrap_or(0),
         seconds,
         faults_per_sec: if seconds > 0.0 {
             arrivals_total as f64 / seconds
+        } else {
+            0.0
+        },
+        repairs_per_sec: if seconds > 0.0 {
+            repairs_applied as f64 / seconds
         } else {
             0.0
         },
@@ -682,6 +991,7 @@ pub fn run_lifetime(spec: &LifetimeSpec, threads: usize) -> Result<LifetimeRepor
                     seed,
                     threads,
                     spec.certify_every,
+                    spec.burst_window,
                 ),
                 BuiltHost::Adn(h) => run_lifetime_trials(
                     h,
@@ -691,6 +1001,7 @@ pub fn run_lifetime(spec: &LifetimeSpec, threads: usize) -> Result<LifetimeRepor
                     seed,
                     threads,
                     spec.certify_every,
+                    spec.burst_window,
                 ),
                 BuiltHost::Ddn(h) => run_lifetime_trials(
                     h,
@@ -700,6 +1011,7 @@ pub fn run_lifetime(spec: &LifetimeSpec, threads: usize) -> Result<LifetimeRepor
                     seed,
                     threads,
                     spec.certify_every,
+                    spec.burst_window,
                 ),
             };
             let seconds = start.elapsed().as_secs_f64();
@@ -714,6 +1026,7 @@ pub fn run_lifetime(spec: &LifetimeSpec, threads: usize) -> Result<LifetimeRepor
         trials: spec.trials,
         threads,
         certify_every: spec.certify_every,
+        burst_window: spec.burst_window,
         cells,
     })
 }
@@ -744,6 +1057,7 @@ impl LifetimeReport {
         out.push_str(&format!("  \"trials\": {},\n", self.trials));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"certify_every\": {},\n", self.certify_every));
+        out.push_str(&format!("  \"burst_window\": {},\n", self.burst_window));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let (ff, fl, fr) = c.repair_fractions();
@@ -823,10 +1137,36 @@ impl LifetimeReport {
             ));
             out.push_str(&format!("      \"cert_checks\": {},\n", c.cert_checks));
             out.push_str(&format!("      \"cert_failures\": {},\n", c.cert_failures));
+            out.push_str(&format!(
+                "      \"repairs_applied\": {},\n",
+                c.repairs_applied
+            ));
+            out.push_str(&format!("      \"resurrections\": {},\n", c.resurrections));
+            out.push_str(&format!(
+                "      \"availability\": {},\n",
+                json_f64(c.availability)
+            ));
+            out.push_str(&format!(
+                "      \"up_spell_mean\": {},\n",
+                json_f64(c.up_spell_mean)
+            ));
+            out.push_str(&format!(
+                "      \"down_spell_mean\": {},\n",
+                json_f64(c.down_spell_mean)
+            ));
+            out.push_str(&format!("      \"bursts_total\": {},\n", c.bursts_total));
+            out.push_str(&format!(
+                "      \"max_coincident\": {},\n",
+                c.max_coincident
+            ));
             out.push_str(&format!("      \"seconds\": {:.6},\n", c.seconds));
             out.push_str(&format!(
-                "      \"faults_per_sec\": {:.3}\n",
+                "      \"faults_per_sec\": {:.3},\n",
                 c.faults_per_sec
+            ));
+            out.push_str(&format!(
+                "      \"repairs_per_sec\": {:.3}\n",
+                c.repairs_per_sec
             ));
             out.push_str(if i + 1 == self.cells.len() {
                 "    }\n"
@@ -853,11 +1193,12 @@ impl LifetimeReport {
              survived_all,arrivals_total,repairs_fast,repairs_local,repairs_rebuild,\
              lifetime_mean,lifetime_min,lifetime_max,lifetime_median,median_ci_low,\
              median_ci_high,lifetime_p90,death_time_mean,cert_checks,cert_failures,\
-             seconds,faults_per_sec\n",
+             repairs_applied,resurrections,availability,up_spell_mean,down_spell_mean,\
+             bursts_total,max_coincident,seconds,faults_per_sec,repairs_per_sec\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.3},{:.3}\n",
                 esc(&c.id),
                 esc(&c.construction),
                 esc(&c.params),
@@ -884,8 +1225,16 @@ impl LifetimeReport {
                     .unwrap_or_default(),
                 c.cert_checks,
                 c.cert_failures,
+                c.repairs_applied,
+                c.resurrections,
+                c.availability,
+                c.up_spell_mean,
+                c.down_spell_mean,
+                c.bursts_total,
+                c.max_coincident,
                 c.seconds,
                 c.faults_per_sec,
+                c.repairs_per_sec,
             ));
         }
         out
@@ -917,6 +1266,8 @@ impl LifetimeReport {
                 "median life [CI]",
                 "mean",
                 "fast/local/rebuild",
+                "avail",
+                "bursts",
                 "faults/sec",
             ],
         );
@@ -932,6 +1283,8 @@ impl LifetimeReport {
                 ),
                 format!("{:.1}", c.lifetime_mean),
                 format!("{ff:.2}/{fl:.2}/{fr:.2}"),
+                format!("{:.3}", c.availability),
+                format!("{}", c.bursts_total),
                 format!("{:.1}", c.faults_per_sec),
             ]);
         }
@@ -967,6 +1320,7 @@ mod tests {
             trials: 6,
             root_seed: 9,
             certify_every: 4,
+            burst_window: 0,
         }
     }
 
@@ -1045,11 +1399,14 @@ mod tests {
     fn artifacts_have_the_schema_shape() {
         let report = run_lifetime(&tiny_spec(), 0).unwrap();
         let json = report.to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"kind\": \"lifetime\""));
         assert!(json.contains("\"lifetime_median\""));
         assert!(json.contains("\"frac_fast\""));
         assert!(json.contains("\"death_time_mean\""));
+        assert!(json.contains("\"availability\""));
+        assert!(json.contains("\"burst_window\""));
+        assert!(json.contains("\"repairs_applied\""));
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 1 + report.cells.len());
         assert!(csv.starts_with("id,construction,"));
@@ -1083,6 +1440,105 @@ mod tests {
         let mut spec = tiny_spec();
         spec.streams[0].cap = ArrivalCap::BudgetMult(0.0);
         assert!(run_lifetime(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn kill_only_cells_have_trivial_availability_ledger() {
+        // Without repairs the state is up until the death and the
+        // ledger must say so: availability equals up/(up+down), no
+        // resurrections, no repair events.
+        let report = run_lifetime(&tiny_spec(), 0).unwrap();
+        for cell in &report.cells {
+            assert_eq!(cell.repairs_applied, 0, "{}", cell.id);
+            assert_eq!(cell.resurrections, 0, "{}", cell.id);
+            assert!(
+                (0.0..=1.0).contains(&cell.availability),
+                "{}: availability {}",
+                cell.id,
+                cell.availability
+            );
+            assert_eq!(
+                cell.down_spell_mean, 0.0,
+                "non-renewing trials end at death"
+            );
+        }
+    }
+
+    #[test]
+    fn renewal_cells_deliver_repairs_and_report_availability() {
+        let spec = LifetimeSpec {
+            name: "renew_unit".into(),
+            constructions: vec![ConstructionSpec::Ddn {
+                d: 2,
+                n_min: 30,
+                b: 2,
+            }],
+            streams: vec![StreamDef {
+                spec: StreamSpec::Renew {
+                    delay: 8,
+                    inner: Box::new(StreamSpec::Trickle {
+                        node_rate: 1e-4,
+                        edge_rate: 0.0,
+                    }),
+                },
+                cap: ArrivalCap::Arrivals(12),
+            }],
+            trials: 4,
+            root_seed: 5,
+            certify_every: 4,
+            burst_window: 0,
+        };
+        let report = run_lifetime(&spec, 0).unwrap();
+        let cell = &report.cells[0];
+        assert!(cell.repairs_applied > 0, "renewal must deliver repairs");
+        assert!((0.0..=1.0).contains(&cell.availability));
+        assert!(cell.up_spell_mean > 0.0);
+        assert_eq!(cell.cert_failures, 0, "repairs must keep batch parity");
+        assert!(cell.cert_checks > 0);
+    }
+
+    #[test]
+    fn coincident_kills_are_detected_as_bursts() {
+        // A burst stream kills `size` live nodes at one timestamp:
+        // window 0 clusters them, independent trickles stay burst-free.
+        let spec = LifetimeSpec {
+            name: "burst_unit".into(),
+            constructions: vec![ConstructionSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            }],
+            streams: vec![
+                StreamDef {
+                    spec: StreamSpec::Burst {
+                        rate: 0.05,
+                        size: 3,
+                    },
+                    cap: ArrivalCap::Arrivals(9),
+                },
+                StreamDef {
+                    spec: StreamSpec::Trickle {
+                        node_rate: 1e-4,
+                        edge_rate: 0.0,
+                    },
+                    cap: ArrivalCap::Arrivals(6),
+                },
+            ],
+            trials: 3,
+            root_seed: 3,
+            certify_every: 0,
+            burst_window: 0,
+        };
+        let report = run_lifetime(&spec, 0).unwrap();
+        let burst_cell = &report.cells[0];
+        assert!(burst_cell.bursts_total > 0, "same-time kills must cluster");
+        assert!(burst_cell.max_coincident >= 2);
+        let trickle_cell = &report.cells[1];
+        assert_eq!(
+            trickle_cell.bursts_total, 0,
+            "a sparse trickle never lands two kills on one timestamp"
+        );
     }
 
     #[test]

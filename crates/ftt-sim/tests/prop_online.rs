@@ -1,29 +1,37 @@
 //! Differential property tests for the online repair engine: **batch
 //! parity on every stream prefix**.
 //!
-//! After any prefix of any fault stream, two things must hold:
+//! After any prefix of any fault stream — kills *and* renewal repairs —
+//! two things must hold:
 //!
 //! 1. the incrementally-repaired state and a from-scratch
-//!    `try_extract_with` on the accumulated `FaultSet` agree on the
-//!    outcome (alive ⇔ batch extracts), and — when alive — on the
-//!    embedding itself, node for node;
+//!    `try_extract_with` on the accumulated *live* `FaultSet` (kills
+//!    recorded, repairs reverted) agree on the outcome (alive ⇔ batch
+//!    extracts), and — when alive — on the embedding itself, node for
+//!    node;
 //! 2. the repaired embedding passes the **independent** checker
 //!    (`ftt_verify::check_certificate`), which shares zero code with
 //!    the band machinery and the repair engine.
 //!
-//! Each construction is driven by ≥ 256 random streams (trickle,
+//! Each construction is driven by ≥ 256 random kill streams (trickle,
 //! burst, and targeted-adversary arrivals, seed-derived), checked
-//! prefix by prefix up to and including the killing fault. The
-//! proptest wrappers add arbitrary root seeds on top of the fixed
-//! battery (64 cases × 4 streams ≥ 256 at the default case count).
+//! prefix by prefix up to and including the killing fault, **plus**
+//! ≥ 256 renewal interleavings (kill/repair sequences with varying
+//! delays and inner hazards) where death does not end the trial —
+//! repairs may resurrect the state, and parity must hold through every
+//! down spell. Every renewal drive is journaled and the journal replay
+//! is checked byte-exact: the replayed event sequence equals the
+//! recorded one, and a fresh state driven from the replay reaches the
+//! identical outcome and embedding. The proptest wrappers add
+//! arbitrary root seeds on top of the fixed batteries.
 
 use ftt_core::construct::HostConstruction;
 use ftt_core::online::{live_certificate, RepairState};
-use ftt_faults::{FaultStream, StreamFeedback, StreamSpec};
+use ftt_faults::{FaultJournal, FaultStream, StreamFeedback, StreamSpec};
 use ftt_sim::cell_seed;
 use proptest::prelude::*;
 
-/// The stream battery: spec variety cycled by stream index.
+/// The kill-stream battery: spec variety cycled by stream index.
 fn stream_spec(index: u64) -> StreamSpec {
     match index % 4 {
         0 => StreamSpec::Trickle {
@@ -39,6 +47,32 @@ fn stream_spec(index: u64) -> StreamSpec {
             size: 3,
         },
         _ => StreamSpec::Targeted,
+    }
+}
+
+/// The renewal battery: kill/repair interleavings with cycled repair
+/// delays and inner hazards. Delay 1 maximises interleaving churn
+/// (repair lands immediately after the next kill opportunity); longer
+/// delays pile up outstanding faults so repairs arrive into a state
+/// that has absorbed several kills — and sometimes into a dead one.
+fn renewal_spec(index: u64) -> StreamSpec {
+    let inner = match index % 3 {
+        0 => StreamSpec::Trickle {
+            node_rate: 5e-4,
+            edge_rate: 0.0,
+        },
+        1 => StreamSpec::Trickle {
+            node_rate: 2e-4,
+            edge_rate: 1e-4,
+        },
+        _ => StreamSpec::Ageing {
+            rate: 0.5,
+            shape: 1.5,
+        },
+    };
+    StreamSpec::Renew {
+        delay: 1 + (index % 4) * 5,
+        inner: Box::new(inner),
     }
 }
 
@@ -66,24 +100,70 @@ impl StreamFeedback for Feedback<'_> {
     }
 }
 
+/// Checks both differential properties on the current state.
+fn check_parity<C: HostConstruction>(
+    host: &C,
+    state: &mut RepairState<C>,
+    scratch: &mut C::Scratch,
+    context: &dyn Fn() -> String,
+) {
+    let batch = host.try_extract_with(state.faults(), scratch);
+    assert_eq!(
+        state.alive(),
+        batch.is_ok(),
+        "{}: outcome parity broken ({})",
+        C::NAME,
+        context()
+    );
+    if !state.alive() {
+        assert!(state.death().is_some());
+        return;
+    }
+    let live = state
+        .live_embedding(host)
+        .expect("alive state materialises");
+    assert_eq!(
+        live.map,
+        batch.unwrap().map,
+        "{}: embedding parity broken ({})",
+        C::NAME,
+        context()
+    );
+
+    // Property 2: the repaired embedding passes the independent
+    // checker.
+    let cert = live_certificate(host, state).expect("alive");
+    ftt_verify::check_certificate(&cert, host.graph(), state.faults()).unwrap_or_else(|e| {
+        panic!(
+            "{}: repaired embedding rejected by the independent checker ({}): {e}",
+            C::NAME,
+            context()
+        )
+    });
+}
+
 /// Drives one stream against `host`, checking both differential
-/// properties after every prefix. Returns the number of arrivals
-/// checked.
+/// properties after every prefix. Kill-only streams stop at the first
+/// death; renewing streams run to the event cap — pending repairs may
+/// resurrect a dead state, and parity is checked while dead too.
+/// When `journal` is given, every delivered event is recorded.
+/// Returns the number of events delivered.
 fn check_stream<C: HostConstruction>(
     host: &C,
     state: &mut RepairState<C>,
     scratch: &mut C::Scratch,
+    spec: StreamSpec,
     stream_index: u64,
     seed: u64,
-    max_arrivals: usize,
-    check_batch: bool,
+    max_events: usize,
+    mut journal: Option<&mut FaultJournal>,
 ) -> usize {
-    let spec = stream_spec(stream_index);
     let mut stream = spec.stream(host.num_nodes(), host.graph().num_edges(), seed);
+    let renewing = stream.renewing();
     state.reset(host).expect("fault-free extraction");
-    let mut arrivals = 0;
-    while arrivals < max_arrivals {
-        if stream.adaptive() {
+    let mut events = 0;
+    while events < max_events {
+        if stream.adaptive() && state.alive() {
             let _ = state.live_embedding(host);
         }
         let event = {
@@ -94,64 +174,30 @@ fn check_stream<C: HostConstruction>(
             stream.next(&feedback)
         };
         let Some(event) = event else { break };
-        state.apply(host, event.fault);
-        arrivals += 1;
-
-        // Property 1: outcome (and embedding) parity with the batch
-        // pipeline on the accumulated fault set. `check_batch = false`
-        // is reserved for hosts on the generic repair path, where
-        // `apply` already *is* a `try_extract_with` call and the
-        // comparison would re-run identical code — every current
-        // construction repairs incrementally, so all batteries check.
-        if check_batch {
-            let batch = host.try_extract_with(state.faults(), scratch);
-            assert_eq!(
-                state.alive(),
-                batch.is_ok(),
-                "{}: outcome parity broken (stream {stream_index}, seed {seed}, \
-                 arrival {arrivals}, fault {:?})",
-                C::NAME,
-                event.fault
-            );
-            if state.alive() {
-                let live = state
-                    .live_embedding(host)
-                    .expect("alive state materialises");
-                assert_eq!(
-                    live.map,
-                    batch.unwrap().map,
-                    "{}: embedding parity broken (stream {stream_index}, arrival {arrivals})",
-                    C::NAME
-                );
-            }
+        if let Some(j) = journal.as_deref_mut() {
+            j.record(event);
         }
-        if !state.alive() {
-            assert!(state.death().is_some());
-            break;
-        }
+        state.apply_event(host, event.event);
+        events += 1;
 
-        // Property 2: the repaired embedding passes the independent
-        // checker.
-        let cert = live_certificate(host, state).expect("alive");
-        ftt_verify::check_certificate(&cert, host.graph(), state.faults()).unwrap_or_else(|e| {
-            panic!(
-                "{}: repaired embedding rejected by the independent checker \
-                 (stream {stream_index}, arrival {arrivals}): {e}",
-                C::NAME
+        // Property 1 (and 2 when alive): parity with the batch
+        // pipeline on the accumulated live fault set.
+        let count = events;
+        check_parity(host, state, scratch, &|| {
+            format!(
+                "stream {stream_index}, seed {seed}, event {count}, {:?}",
+                event.event
             )
         });
+        if !state.alive() && !renewing {
+            break;
+        }
     }
-    arrivals
+    events
 }
 
-/// Runs `streams` seed-derived streams against a fresh host.
-fn battery<C: HostConstruction>(
-    host: &C,
-    streams: u64,
-    root: u64,
-    max_arrivals: usize,
-    check_batch: bool,
-) {
+/// Runs `streams` seed-derived kill streams against a fresh host.
+fn battery<C: HostConstruction>(host: &C, streams: u64, root: u64, max_events: usize) {
     let mut state = RepairState::new(host).expect("fault-free extraction");
     let mut scratch = host.new_scratch();
     let mut total = 0;
@@ -160,15 +206,85 @@ fn battery<C: HostConstruction>(
             host,
             &mut state,
             &mut scratch,
+            stream_spec(i),
             i,
             cell_seed(root, &format!("prop_online/{i}")),
-            max_arrivals,
-            check_batch,
+            max_events,
+            None,
         );
     }
     assert!(
         total >= streams as usize,
         "{}: battery produced almost no arrivals ({total})",
+        C::NAME
+    );
+}
+
+/// Runs `streams` renewal interleavings, each journaled, parity-checked
+/// per prefix, and replayed byte-exact from the journal.
+fn renewal_battery<C: HostConstruction>(host: &C, streams: u64, root: u64, max_events: usize) {
+    let mut state = RepairState::new(host).expect("fault-free extraction");
+    let mut replayed = RepairState::new(host).expect("fault-free extraction");
+    let mut scratch = host.new_scratch();
+    let mut total = 0;
+    let mut repairs = 0usize;
+    for i in 0..streams {
+        let mut journal = FaultJournal::new();
+        total += check_stream(
+            host,
+            &mut state,
+            &mut scratch,
+            renewal_spec(i),
+            i,
+            cell_seed(root, &format!("prop_online/renew/{i}")),
+            max_events,
+            Some(&mut journal),
+        );
+        repairs += journal.events().iter().filter(|ev| ev.is_repair()).count();
+
+        // Journal replay is byte-exact: the replay stream yields the
+        // recorded sequence verbatim, and a fresh state driven from it
+        // lands on the identical outcome and embedding.
+        let mut replay = journal.replay();
+        let noop = Feedback {
+            faults: state.faults(),
+            map: None,
+        };
+        replayed.reset(host).expect("fault-free extraction");
+        let mut seen = Vec::with_capacity(journal.len());
+        while let Some(ev) = replay.next(&noop) {
+            seen.push(ev);
+            replayed.apply_event(host, ev.event);
+        }
+        assert_eq!(
+            seen,
+            journal.events(),
+            "{}: replay altered the event sequence (stream {i})",
+            C::NAME
+        );
+        assert_eq!(
+            replayed.alive(),
+            state.alive(),
+            "{}: replay diverged on outcome (stream {i})",
+            C::NAME
+        );
+        if state.alive() {
+            assert_eq!(
+                replayed.live_embedding(host).expect("alive").map,
+                state.live_embedding(host).expect("alive").map,
+                "{}: replay diverged on the embedding (stream {i})",
+                C::NAME
+            );
+        }
+    }
+    assert!(
+        total >= streams as usize,
+        "{}: renewal battery produced almost no events ({total})",
+        C::NAME
+    );
+    assert!(
+        repairs > 0,
+        "{}: renewal battery delivered no repair events — delays/rates too timid",
         C::NAME
     );
 }
@@ -195,12 +311,12 @@ fn ddn_host() -> ftt_core::Ddn {
 /// `PROPTEST_CASES`.
 #[test]
 fn differential_battery_bdn_256_streams() {
-    battery(&bdn_host(), 256, 0xB0, 32, true);
+    battery(&bdn_host(), 256, 0xB0, 32);
 }
 
 #[test]
 fn differential_battery_ddn_256_streams() {
-    battery(&ddn_host(), 256, 0xD0, 30, true);
+    battery(&ddn_host(), 256, 0xD0, 30);
 }
 
 /// `A²_n` repairs incrementally (cached goodness deltas + nested inner
@@ -209,7 +325,26 @@ fn differential_battery_ddn_256_streams() {
 /// prefix, plus the independent checker. All 256 streams run.
 #[test]
 fn differential_battery_adn_256_streams() {
-    battery(&adn_host(), 256, 0xA0, 6, true);
+    battery(&adn_host(), 256, 0xA0, 6);
+}
+
+/// ≥ 256 renewal interleavings per construction: kills and repairs
+/// alternate per the renewal delay, parity holds on every prefix
+/// (through deaths and resurrections), and every journal replays
+/// byte-exact.
+#[test]
+fn renewal_parity_battery_bdn_256_interleavings() {
+    renewal_battery(&bdn_host(), 256, 0xB1, 36);
+}
+
+#[test]
+fn renewal_parity_battery_ddn_256_interleavings() {
+    renewal_battery(&ddn_host(), 256, 0xD1, 34);
+}
+
+#[test]
+fn renewal_parity_battery_adn_256_interleavings() {
+    renewal_battery(&adn_host(), 256, 0xA1, 8);
 }
 
 /// A single fault on a fault-free `B²` always lands in an isolated
@@ -231,16 +366,28 @@ fn bdn_single_fault_never_rebuilds() {
 }
 
 proptest! {
-    /// Arbitrary root seeds on top of the fixed battery: 4 fresh
+    /// Arbitrary root seeds on top of the fixed batteries: 4 fresh
     /// streams per case per construction (64 default cases ⇒ another
     /// 256 streams each for B and D).
     #[test]
     fn differential_holds_for_arbitrary_seeds_bdn(root in 0u64..u64::MAX) {
-        battery(&bdn_host(), 4, root, 25, true);
+        battery(&bdn_host(), 4, root, 25);
     }
 
     #[test]
     fn differential_holds_for_arbitrary_seeds_ddn(root in 0u64..u64::MAX) {
-        battery(&ddn_host(), 4, root, 25, true);
+        battery(&ddn_host(), 4, root, 25);
+    }
+
+    /// Renewal interleavings under arbitrary seeds: resurrection and
+    /// repair-while-dead paths get fuzzed beyond the fixed battery.
+    #[test]
+    fn renewal_parity_holds_for_arbitrary_seeds_bdn(root in 0u64..u64::MAX) {
+        renewal_battery(&bdn_host(), 3, root, 25);
+    }
+
+    #[test]
+    fn renewal_parity_holds_for_arbitrary_seeds_ddn(root in 0u64..u64::MAX) {
+        renewal_battery(&ddn_host(), 3, root, 25);
     }
 }

@@ -36,6 +36,7 @@ fn d2_trickle_spec(trials: usize) -> LifetimeSpec {
         trials,
         root_seed: 42,
         certify_every: 8,
+        burst_window: 0,
     }
 }
 
@@ -78,9 +79,9 @@ fn lifetime_chunk_boundaries_are_exact() {
     };
     let seed = cell_seed(7, "chunk_test");
     for trials in [CLAIM_CHUNK - 1, CLAIM_CHUNK, CLAIM_CHUNK + 3] {
-        let sequential = run_lifetime_trials(&host, &stream, 10_000, trials, seed, 1, 0);
+        let sequential = run_lifetime_trials(&host, &stream, 10_000, trials, seed, 1, 0, 0);
         for threads in [3, 0] {
-            let parallel = run_lifetime_trials(&host, &stream, 10_000, trials, seed, threads, 0);
+            let parallel = run_lifetime_trials(&host, &stream, 10_000, trials, seed, threads, 0, 0);
             assert_eq!(
                 sequential, parallel,
                 "trials={trials}, threads={threads}: records diverge"
@@ -110,12 +111,14 @@ fn journal_replay_reproduces_the_trial() {
             &mut stream,
             10_000,
             4,
+            0,
             Some(&mut journal),
         );
         assert_eq!(journal.len(), live.arrivals, "every arrival is journaled");
 
         let mut replayed_stream = journal.replay();
-        let replayed = run_lifetime_trial(&host, &mut state, &mut replayed_stream, 10_000, 4, None);
+        let replayed =
+            run_lifetime_trial(&host, &mut state, &mut replayed_stream, 10_000, 4, 0, None);
         assert_eq!(live, replayed, "trial {trial}: replay diverged");
 
         // The journal's batch view agrees with the online outcome: the
@@ -133,8 +136,8 @@ fn targeted_adversary_trials_are_deterministic() {
     let host = Ddn::new(DdnParams::fit(2, 40, 2).unwrap());
     let k = host.params().tolerated_faults();
     let seed = cell_seed(3, "targeted_det");
-    let a = run_lifetime_trials(&host, &StreamSpec::Targeted, 2 * k, 8, seed, 1, 0);
-    let b = run_lifetime_trials(&host, &StreamSpec::Targeted, 2 * k, 8, seed, 4, 0);
+    let a = run_lifetime_trials(&host, &StreamSpec::Targeted, 2 * k, 8, seed, 1, 0, 0);
+    let b = run_lifetime_trials(&host, &StreamSpec::Targeted, 2 * k, 8, seed, 4, 0, 0);
     assert_eq!(a, b, "adaptive streams must stay deterministic");
     // Every trial survives at least the budget (Theorem 3, online).
     for (i, rec) in a.iter().enumerate() {

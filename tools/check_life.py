@@ -13,6 +13,13 @@ Checks (CI's lifetime-smoke job runs this on every emitted artifact):
   * repair-class fractions are probabilities summing to ~1 (when any
     repairs happened) and every independent certificate check passed
     (cert_failures == 0 — a nonzero count is an engine bug);
+  * the renewal/availability ledger (schema v2) is consistent:
+    availability in [0, 1], spell means non-negative, a cell with no
+    repair events reports availability as a pure up-time fraction and
+    zero resurrections, and renewal cells (stream slug renew_*) report
+    repairs_applied > 0 when any kill arrived;
+  * burst accounting is sane: max_coincident >= 2 whenever bursts were
+    counted, and never exceeds arrivals_total;
   * Theorem 3, online form: every x1-budget targeted-adversary cell
     survived *exactly* its budget k — cap_arrivals == k, zero deaths,
     and lifetime_min == lifetime_max == k;
@@ -24,7 +31,7 @@ import csv
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 CELL_FIELDS = [
     "id",
     "construction",
@@ -55,15 +62,24 @@ CELL_FIELDS = [
     "death_time_mean",
     "cert_checks",
     "cert_failures",
+    "repairs_applied",
+    "resurrections",
+    "availability",
+    "up_spell_mean",
+    "down_spell_mean",
+    "bursts_total",
+    "max_coincident",
     "seconds",
     "faults_per_sec",
+    "repairs_per_sec",
 ]
 CSV_HEADER = (
     "id,construction,params,stream,cap_arrivals,mult,budget_k,trials,deaths,"
     "survived_all,arrivals_total,repairs_fast,repairs_local,repairs_rebuild,"
     "lifetime_mean,lifetime_min,lifetime_max,lifetime_median,median_ci_low,"
     "median_ci_high,lifetime_p90,death_time_mean,cert_checks,cert_failures,"
-    "seconds,faults_per_sec"
+    "repairs_applied,resurrections,availability,up_spell_mean,down_spell_mean,"
+    "bursts_total,max_coincident,seconds,faults_per_sec,repairs_per_sec"
 )
 
 errors = []
@@ -139,6 +155,51 @@ def validate_cell(cell):
                 abs(sum(fracs) - 1.0) < 1e-6,
                 f"{cid}: repair fractions sum to {sum(fracs)}",
             )
+    # Renewal/availability ledger (schema v2).
+    avail = cell.get("availability")
+    check(
+        is_num(avail) and 0.0 <= avail <= 1.0,
+        f"{cid}: availability {avail!r} outside [0, 1]",
+    )
+    for f in ("up_spell_mean", "down_spell_mean"):
+        check(
+            is_num(cell.get(f)) and cell.get(f) >= 0,
+            f"{cid}: {f} {cell.get(f)!r} must be a non-negative number",
+        )
+    repairs_applied = cell.get("repairs_applied")
+    resurrections = cell.get("resurrections")
+    if repairs_applied == 0:
+        check(
+            resurrections == 0,
+            f"{cid}: {resurrections} resurrections without any repair events",
+        )
+        check(
+            cell.get("down_spell_mean") == 0,
+            f"{cid}: down spells measured without repair events",
+        )
+    stream = cell.get("stream")
+    if isinstance(stream, str) and stream.startswith("renew_"):
+        arrivals = cell.get("arrivals_total")
+        if isinstance(arrivals, int) and arrivals > 0:
+            check(
+                isinstance(repairs_applied, int) and repairs_applied > 0,
+                f"{cid}: renewal cell saw {arrivals} kills but applied no repairs "
+                "(steady state never reached)",
+            )
+    # Burst accounting.
+    bursts, max_co = cell.get("bursts_total"), cell.get("max_coincident")
+    if isinstance(bursts, int) and isinstance(max_co, int):
+        if bursts > 0:
+            check(
+                max_co >= 2,
+                f"{cid}: {bursts} bursts counted but max_coincident {max_co} < 2",
+            )
+        arrivals = cell.get("arrivals_total")
+        if isinstance(arrivals, int):
+            check(
+                max_co <= arrivals,
+                f"{cid}: max_coincident {max_co} exceeds arrivals_total {arrivals}",
+            )
     # Every independent certificate check must have passed.
     check(
         cell.get("cert_failures") == 0,
@@ -171,7 +232,7 @@ def validate_report(report):
     )
     check(report.get("kind") == "lifetime", f"kind {report.get('kind')!r} != 'lifetime'")
     check(isinstance(report.get("name"), str) and report["name"], "missing name")
-    for field in ("root_seed", "trials", "threads", "certify_every"):
+    for field in ("root_seed", "trials", "threads", "certify_every", "burst_window"):
         check(isinstance(report.get(field), int), f"missing/odd {field}")
     cells = report.get("cells")
     check(isinstance(cells, list) and cells, "cells must be a non-empty list")
