@@ -51,14 +51,14 @@ fn bench_bdn_trial_pipeline(c: &mut Criterion) {
         let params = BdnParams::new(2, n, b, 1).unwrap();
         let p = params.tolerated_fault_probability();
         let bdn = Bdn::build(params);
-        let mut faults = FaultSet::none(bdn.num_nodes(), bdn.graph().num_edges());
+        let mut faults = FaultSet::none(bdn.num_nodes(), HostConstruction::num_edges(&bdn));
         let mut scratch = HostConstruction::new_scratch(&bdn);
         let mut seed = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(n), &p, |bench, &p| {
             bench.iter(|| {
                 seed = seed.wrapping_add(1);
                 let mut rng = SmallRng::seed_from_u64(seed);
-                sample_bernoulli_faults_into(bdn.graph(), p, 0.0, &mut rng, &mut faults);
+                sample_bernoulli_faults_into(bdn.oracle(), p, 0.0, &mut rng, &mut faults);
                 black_box(extract_verified_with(&bdn, &faults, &mut scratch).is_ok())
             });
         });

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftt_core::bdn::{Bdn, BdnParams};
 use ftt_faults::{sample_bernoulli_faults_into, FaultSet, HalfEdgeFaults};
+use ftt_graph::AdjacencyOracle;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -15,8 +16,8 @@ fn bench_bernoulli_sampling(c: &mut Criterion) {
         let params = BdnParams::new(2, n, b, 1).unwrap();
         let p = params.tolerated_fault_probability();
         let bdn = Bdn::build(params);
-        let g = bdn.graph();
-        let mut scratch = FaultSet::none(g.num_nodes(), g.num_edges());
+        let g = bdn.oracle();
+        let mut scratch = FaultSet::none(bdn.num_nodes(), g.num_edges());
         let mut seed = 0u64;
         group.bench_with_input(BenchmarkId::from_parameter(n), &p, |bench, &p| {
             bench.iter(|| {
@@ -49,7 +50,7 @@ fn bench_faultset_reuse(c: &mut Criterion) {
 fn bench_half_edge_sampling(c: &mut Criterion) {
     let params = BdnParams::new(2, 54, 3, 1).unwrap();
     let bdn = Bdn::build(params);
-    let g = bdn.graph();
+    let g = bdn.oracle();
     let mut seed = 0u64;
     c.bench_function("half_edge_sample_sqrt_q_1_16", |bench| {
         bench.iter(|| {

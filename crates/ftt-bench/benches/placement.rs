@@ -35,7 +35,7 @@ fn bench_place_random(c: &mut Criterion) {
     let params = BdnParams::new(2, 192, 4, 1).unwrap();
     let bdn = Bdn::build(params);
     let mut rng = SmallRng::seed_from_u64(1);
-    let f = sample_bernoulli_faults(bdn.graph(), 2e-5, 0.0, &mut rng);
+    let f = sample_bernoulli_faults(bdn.oracle(), 2e-5, 0.0, &mut rng);
     let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
     c.bench_function("place_bands_192_random_p2e-5", |b| {
         b.iter(|| black_box(place_bands(&bdn, &faulty)));

@@ -9,7 +9,20 @@
 //!
 //! ```text
 //! bench_extraction [--trials N] [--seed S] [--threads T] [--out PATH]
+//!                  [--giant] [--giant-only] [--giant-nmin N] [--giant-b B]
 //! ```
+//!
+//! `--giant` additionally runs ONE implicit-host demonstration: a
+//! `D³_{n,k}` instance far too large to materialise (default
+//! `n ≥ 254`, `b = 2`: 510³ ≈ 1.3·10⁸ host nodes, ≈ 8·10⁸ edges) is
+//! extracted after a worst-case budget of random node faults and the
+//! resulting certificate is re-validated by the independent checker —
+//! entirely through the algebraic adjacency oracle, memory
+//! `O(#faults + guest map)`. The outcome lands in a top-level
+//! `"giant"` object (separate from `"scenarios"`, which stays a
+//! homogeneous trials/sec table) with peak RSS recorded from
+//! `/proc/self/status`. `--giant-only` skips the throughput scenarios
+//! (CI's `giant-smoke` uses it with a ≥10⁷-node `b = 1` instance).
 
 use ftt_core::adn::{Adn, AdnParams};
 use ftt_core::bdn::{Bdn, BdnParams};
@@ -45,10 +58,7 @@ where
 {
     // One warm-up extraction so lazy host state (e.g. the cached
     // `D^d_{n,k}` graph) is materialised outside the timed region.
-    let _ = ftt_sim::extract_verified(
-        host,
-        &FaultSet::none(host.num_nodes(), host.graph().num_edges()),
-    );
+    let _ = ftt_sim::extract_verified(host, &FaultSet::none(host.num_nodes(), host.num_edges()));
     let start = Instant::now();
     let stats = run_extraction_trials(host, trials, seed, threads, sampler);
     let seconds = start.elapsed().as_secs_f64();
@@ -79,7 +89,96 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn emit_json(trials: usize, seed: u64, threads: usize, results: &[ScenarioResult]) -> String {
+/// Outcome of the `--giant` implicit-host demonstration.
+struct GiantResult {
+    params: String,
+    host_nodes: usize,
+    host_edges: usize,
+    guest_nodes: usize,
+    faults: usize,
+    extract_seconds: f64,
+    certify_seconds: f64,
+    certified: bool,
+    peak_rss_mb: f64,
+}
+
+/// Peak resident set size in MiB (`VmHWM` from `/proc/self/status`);
+/// 0.0 where the proc filesystem is unavailable.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<f64>().ok())
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Extracts and independently certifies one giant implicit `D³`
+/// instance. Every adjacency question is answered arithmetically by
+/// the algebraic oracle — nothing host-sized is ever allocated except
+/// the guest map itself.
+fn run_giant(n_min: usize, b: usize, seed: u64) -> GiantResult {
+    let params = DdnParams::fit(3, n_min, b).expect("giant D^3 parameters");
+    let host = Ddn::new(params);
+    let k = params.tolerated_faults();
+    let num_nodes = HostConstruction::num_nodes(&host);
+    let num_edges = HostConstruction::num_edges(&host);
+    eprintln!(
+        "giant: D^3 n={} m={} — {num_nodes} host nodes, {num_edges} edges, \
+         k={k} worst-case faults (implicit host, no CSR)",
+        params.n,
+        params.m()
+    );
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    let faulty = AdversaryPattern::Random.generate(host.shape(), k, &mut rng);
+    let mut faults = FaultSet::none(num_nodes, num_edges);
+    for &v in &faulty {
+        faults.kill_node(v);
+    }
+    let start = Instant::now();
+    let cert = host
+        .try_certify(&faults)
+        .expect("within the Theorem 3 budget");
+    let extract_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let verdict = ftt_verify::check_certificate(&cert, HostConstruction::oracle(&host), &faults);
+    let certify_seconds = start.elapsed().as_secs_f64();
+    let certified = verdict.is_ok();
+    if let Err(e) = &verdict {
+        eprintln!("giant: certificate REJECTED: {e}");
+    }
+    debug_assert!(
+        host.materialized_graph().is_none(),
+        "giant path stayed implicit"
+    );
+    let rss = peak_rss_mb();
+    eprintln!(
+        "giant: {} guest nodes extracted in {extract_seconds:.2}s, \
+         independently certified in {certify_seconds:.2}s (peak RSS {rss:.0} MiB)",
+        cert.map.len()
+    );
+    GiantResult {
+        params: format!("d=3 n={} m={} b={b} k={k}", params.n, params.m()),
+        host_nodes: num_nodes,
+        host_edges: num_edges,
+        guest_nodes: cert.map.len(),
+        faults: k,
+        extract_seconds,
+        certify_seconds,
+        certified,
+        peak_rss_mb: rss,
+    }
+}
+
+fn emit_json(
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    results: &[ScenarioResult],
+    giant: Option<&GiantResult>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"extraction\",\n");
@@ -111,15 +210,60 @@ fn emit_json(trials: usize, seed: u64, threads: usize, results: &[ScenarioResult
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    if let Some(g) = giant {
+        out.push_str("  ],\n");
+        out.push_str("  \"giant\": {\n");
+        out.push_str("    \"name\": \"giant\",\n");
+        out.push_str("    \"construction\": \"D^d_{n,k}\",\n");
+        out.push_str(&format!(
+            "    \"params\": \"{}\",\n",
+            json_escape(&g.params)
+        ));
+        out.push_str(&format!("    \"host_nodes\": {},\n", g.host_nodes));
+        out.push_str(&format!("    \"host_edges\": {},\n", g.host_edges));
+        out.push_str(&format!("    \"guest_nodes\": {},\n", g.guest_nodes));
+        out.push_str(&format!("    \"faults\": {},\n", g.faults));
+        out.push_str(&format!(
+            "    \"extract_seconds\": {:.6},\n",
+            g.extract_seconds
+        ));
+        out.push_str(&format!(
+            "    \"certify_seconds\": {:.6},\n",
+            g.certify_seconds
+        ));
+        out.push_str(&format!("    \"certified\": {},\n", g.certified));
+        out.push_str(&format!("    \"peak_rss_mb\": {:.1}\n", g.peak_rss_mb));
+        out.push_str("  }\n}\n");
+    } else {
+        out.push_str("  ]\n}\n");
+    }
     out
 }
 
-fn parse_args() -> Result<(usize, u64, usize, String), String> {
-    let mut trials = 200usize;
-    let mut seed = 1u64;
-    let mut threads = 1usize;
-    let mut out = "BENCH_extraction.json".to_string();
+struct Args {
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    out: String,
+    giant: bool,
+    giant_only: bool,
+    giant_nmin: usize,
+    giant_b: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        trials: 200,
+        seed: 1,
+        threads: 1,
+        out: "BENCH_extraction.json".to_string(),
+        giant: false,
+        giant_only: false,
+        // Defaults give 510³ = 132 651 000 host nodes — the ≥10⁸
+        // implicit-host headline instance.
+        giant_nmin: 254,
+        giant_b: 2,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -128,30 +272,62 @@ fn parse_args() -> Result<(usize, u64, usize, String), String> {
                 .ok_or_else(|| format!("{} needs a value", argv[i]))
         };
         match argv[i].as_str() {
-            "--trials" => trials = take(i)?.parse().map_err(|e| format!("--trials: {e}"))?,
-            "--seed" => seed = take(i)?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--threads" => threads = take(i)?.parse().map_err(|e| format!("--threads: {e}"))?,
-            "--out" => out = take(i)?.clone(),
+            "--trials" => {
+                args.trials = take(i)?.parse().map_err(|e| format!("--trials: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = take(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--threads" => {
+                args.threads = take(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                args.out = take(i)?.clone();
+                i += 2;
+            }
+            "--giant" => {
+                args.giant = true;
+                i += 1;
+            }
+            "--giant-only" => {
+                args.giant = true;
+                args.giant_only = true;
+                i += 1;
+            }
+            "--giant-nmin" => {
+                args.giant_nmin = take(i)?.parse().map_err(|e| format!("--giant-nmin: {e}"))?;
+                i += 2;
+            }
+            "--giant-b" => {
+                args.giant_b = take(i)?.parse().map_err(|e| format!("--giant-b: {e}"))?;
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
-        i += 2;
     }
-    Ok((trials, seed, threads, out))
+    Ok(args)
 }
 
 fn main() {
-    let (trials, seed, threads, out_path) = match parse_args() {
+    let args = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: bench_extraction [--trials N] [--seed S] [--threads T] [--out PATH]");
+            eprintln!(
+                "usage: bench_extraction [--trials N] [--seed S] [--threads T] [--out PATH]\n\
+                 \x20                    [--giant] [--giant-only] [--giant-nmin N] [--giant-b B]"
+            );
             std::process::exit(1);
         }
     };
+    let (trials, seed, threads, out_path) = (args.trials, args.seed, args.threads, &args.out);
     let mut results = Vec::new();
 
     // B²_54 at the design fault probability p = b^{-3d} (Theorem 2 regime).
-    {
+    if !args.giant_only {
         let params = BdnParams::new(2, 54, 3, 1).unwrap();
         let p = params.tolerated_fault_probability();
         let host = Bdn::build(params);
@@ -167,7 +343,7 @@ fn main() {
     }
 
     // B²_192: a larger host, same regime.
-    {
+    if !args.giant_only {
         let params = BdnParams::new(2, 192, 4, 1).unwrap();
         let p = params.tolerated_fault_probability();
         let host = Bdn::build(params);
@@ -183,7 +359,7 @@ fn main() {
     }
 
     // A²_108 with sparse node faults (Theorem 1 regime, q = 0).
-    {
+    if !args.giant_only {
         let inner = BdnParams::new(2, 54, 3, 1).unwrap();
         let params = AdnParams::new(inner, 2, 6, 0.0).unwrap();
         let host = Adn::build(params);
@@ -199,7 +375,7 @@ fn main() {
     }
 
     // D²_{n,k} with the full worst-case budget of k random node faults.
-    {
+    if !args.giant_only {
         let params = DdnParams::fit(2, 60, 2).unwrap();
         let k = params.tolerated_faults();
         let host = Ddn::new(params);
@@ -217,8 +393,20 @@ fn main() {
         ));
     }
 
-    let json = emit_json(trials, seed, threads, &results);
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+    // The implicit-host giant: extraction + independent certification
+    // through the algebraic oracle, no CSR ever materialised.
+    let giant = args
+        .giant
+        .then(|| run_giant(args.giant_nmin, args.giant_b, seed));
+    if let Some(g) = &giant {
+        if !g.certified {
+            eprintln!("error: giant instance failed independent certification");
+            std::process::exit(1);
+        }
+    }
+
+    let json = emit_json(trials, seed, threads, &results, giant.as_ref());
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     });

@@ -67,7 +67,7 @@ fn bench_scenario<C: HostConstruction>(
     seed: u64,
 ) -> ScenarioResult {
     let num_nodes = host.num_nodes();
-    let num_edges = host.graph().num_edges();
+    let num_edges = host.num_edges();
     let mut state = RepairState::new_idle(host);
 
     // Record the streams once; both contenders replay these journals.

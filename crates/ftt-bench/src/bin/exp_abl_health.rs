@@ -40,7 +40,7 @@ fn main() {
         let mut placed_given_healthy = 0usize;
         for seed in 0..trials as u64 {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let f = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+            let f = sample_bernoulli_faults(bdn.oracle(), p, 0.0, &mut rng);
             let faulty: Vec<bool> = (0..bdn.num_nodes()).map(|v| f.node_faulty(v)).collect();
             let h = check_health(&params, &faulty);
             c1 += (h.cond1_violations > 0) as usize;

@@ -32,7 +32,7 @@ pub fn bdn_sweep_2d() -> Vec<BdnParams> {
 /// the CLI, so experiment tables can never diverge from them.
 pub fn bdn_trial(bdn: &Bdn, p: f64, seed: u64) -> (bool, bool, bool) {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let faults = sample_bernoulli_faults(bdn.graph(), p, 0.0, &mut rng);
+    let faults = sample_bernoulli_faults(bdn.oracle(), p, 0.0, &mut rng);
     let faulty: Vec<bool> = (0..bdn.num_nodes())
         .map(|v| faults.node_faulty(v))
         .collect();

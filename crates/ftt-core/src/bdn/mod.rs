@@ -28,6 +28,7 @@
 pub mod extract;
 pub mod health;
 pub mod interpolate;
+pub mod oracle;
 pub mod paint;
 pub mod place;
 pub mod segments;
@@ -37,6 +38,7 @@ use ftt_graph::{Graph, GraphBuilder};
 
 pub use extract::TorusEmbedding;
 pub use health::{check_health, HealthReport};
+pub use oracle::BdnOracle;
 pub use place::place_bands;
 
 /// Classification of the edges of `B^d_n`.
@@ -202,63 +204,30 @@ fn lcm_m_unit(b: usize, eps_b: usize) -> usize {
     den * b
 }
 
-/// A constructed `B^d_n` instance: host graph plus geometry.
+/// A constructed `B^d_n` instance. The host is implicit: adjacency is
+/// answered by the algebraic [`BdnOracle`] (`O(1)` state, any size),
+/// and [`Bdn::graph`] caches one CSR materialisation for
+/// small-instance degree audits and differential tests only —
+/// production paths never call it.
 #[derive(Debug, Clone)]
 pub struct Bdn {
     params: BdnParams,
-    cols: ColumnSpace,
-    graph: Graph,
-    edge_kinds: Vec<EdgeKind>,
+    oracle: BdnOracle,
+    graph: std::sync::OnceLock<Graph>,
 }
 
 impl Bdn {
-    /// Builds the augmented torus for validated parameters.
+    /// Builds the augmented torus for validated parameters. Only the
+    /// geometry and the algebraic oracle are constructed — the CSR
+    /// graph stays implicit until someone asks for [`Bdn::graph`].
     ///
     /// Node ids follow [`ColumnSpace`]: node `(i, z)` has id
     /// `i · n^{d−1} + z`.
     pub fn build(params: BdnParams) -> Self {
-        let m = params.m();
-        let n = params.n;
-        let b = params.b;
-        let cols = ColumnSpace::cube(m, n, params.d);
-        let nc = cols.num_columns();
-        let mut builder = GraphBuilder::new(cols.len());
-        let mut kinds = Vec::new();
-        // Per-node edge budget: 1 vertical torus + (d−1) row torus
-        // + 1 vertical jump + 2(d−1) diagonal jumps (forward columns only).
-        builder.reserve_edges(cols.len() * (3 * params.d - 1));
-        let col_shape = cols.column_shape();
-        for i in 0..m {
-            for z in 0..nc {
-                let v = cols.node(i, z);
-                // vertical torus edge (i, z)–(i+1, z)
-                builder.add_edge(v, cols.node((i + 1) % m, z));
-                kinds.push(EdgeKind::TorusVertical);
-                // vertical jump (i, z)–(i + b + 1, z)
-                builder.add_edge(v, cols.node((i + b + 1) % m, z));
-                kinds.push(EdgeKind::VerticalJump);
-                // row torus edges + diagonal jumps: forward column steps only
-                for axis in 0..col_shape.ndim() {
-                    if col_shape.dim(axis) < 2 {
-                        continue;
-                    }
-                    let z2 = col_shape.torus_step(z, axis, 1);
-                    builder.add_edge(v, cols.node(i, z2));
-                    kinds.push(EdgeKind::TorusRow);
-                    builder.add_edge(v, cols.node((i + b) % m, z2));
-                    kinds.push(EdgeKind::DiagonalJump);
-                    builder.add_edge(v, cols.node((i + m - b) % m, z2));
-                    kinds.push(EdgeKind::DiagonalJump);
-                }
-            }
-        }
-        let graph = builder.build();
-        debug_assert_eq!(graph.num_edges(), kinds.len());
         Self {
             params,
-            cols,
-            graph,
-            edge_kinds: kinds,
+            oracle: BdnOracle::new(params),
+            graph: std::sync::OnceLock::new(),
         }
     }
 
@@ -271,25 +240,79 @@ impl Bdn {
     /// The column-space geometry (node id ↔ `(i, z)` mapping).
     #[inline]
     pub fn cols(&self) -> &ColumnSpace {
-        &self.cols
+        self.oracle.cols()
     }
 
-    /// The host graph.
+    /// The algebraic adjacency oracle — the production interface to the
+    /// host's edges.
     #[inline]
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    pub fn oracle(&self) -> &BdnOracle {
+        &self.oracle
     }
 
-    /// The kind of each edge (indexed by edge id).
+    /// The materialised host graph, built on first call and cached.
+    ///
+    /// Prefer [`Bdn::oracle`] when adjacency queries are all that is
+    /// needed: the graph costs `m·n^{d−1}` nodes and `(3d−1)` times as
+    /// many edges.
+    pub fn graph(&self) -> &Graph {
+        self.graph.get_or_init(|| self.build_graph())
+    }
+
+    /// The CSR graph if some caller already materialised it.
+    #[inline]
+    pub fn materialized_graph(&self) -> Option<&Graph> {
+        self.graph.get()
+    }
+
+    /// Materialises the host graph in the oracle's canonical edge order
+    /// (use only for small instances).
+    pub fn build_graph(&self) -> Graph {
+        let m = self.params.m();
+        let b = self.params.b;
+        let cols = self.cols();
+        let nc = cols.num_columns();
+        let mut builder = GraphBuilder::new(cols.len());
+        // Per-node edge budget: 1 vertical torus + (d−1) row torus
+        // + 1 vertical jump + 2(d−1) diagonal jumps (forward columns only).
+        builder.reserve_edges(cols.len() * (3 * self.params.d - 1));
+        let col_shape = cols.column_shape();
+        for i in 0..m {
+            for z in 0..nc {
+                let v = cols.node(i, z);
+                // vertical torus edge (i, z)–(i+1, z)
+                builder.add_edge(v, cols.node((i + 1) % m, z));
+                // vertical jump (i, z)–(i + b + 1, z)
+                builder.add_edge(v, cols.node((i + b + 1) % m, z));
+                // row torus edges + diagonal jumps: forward column steps only
+                for axis in 0..col_shape.ndim() {
+                    let z2 = col_shape.torus_step(z, axis, 1);
+                    builder.add_edge(v, cols.node(i, z2));
+                    builder.add_edge(v, cols.node((i + b) % m, z2));
+                    builder.add_edge(v, cols.node((i + m - b) % m, z2));
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// The kind of each edge (indexed by edge id), from slot arithmetic.
     #[inline]
     pub fn edge_kind(&self, e: u32) -> EdgeKind {
-        self.edge_kinds[e as usize]
+        self.oracle.edge_kind(e)
+    }
+
+    /// Endpoints of a canonical edge id, by arithmetic (never
+    /// materialises).
+    #[inline]
+    pub fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        ftt_graph::AdjacencyOracle::edge_endpoints(&self.oracle, e)
     }
 
     /// Number of nodes `m · n^{d−1}`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.cols.len()
+        self.cols().len()
     }
 
     /// Theorem 2 as an algorithm: masks the faults of `faults` (edge
@@ -304,7 +327,7 @@ impl Bdn {
         faults: &ftt_faults::FaultSet,
     ) -> Result<extract::TorusEmbedding, crate::error::PlacementError> {
         let mut ascribed = ftt_faults::SparseSet::new(self.num_nodes());
-        faults.ascribe_into(|e| self.graph.edge_endpoints(e), &mut ascribed);
+        faults.ascribe_into(|e| self.edge_endpoints(e), &mut ascribed);
         extract::extract_after_faults_ids(self, ascribed.ids())
     }
 }

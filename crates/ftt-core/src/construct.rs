@@ -24,18 +24,26 @@ use crate::ddn::Ddn;
 use crate::error::PlacementError;
 use crate::online::{self, RepairOutcome, RepairState};
 use ftt_faults::{Fault, FaultSet, HalfEdgeFaults, SparseSet};
-use ftt_graph::Graph;
+use ftt_graph::{AdjacencyOracle, Graph};
 
 /// A fault-tolerant host network containing a guest torus.
 ///
 /// Implementations must uphold two contracts:
 ///
-/// 1. **Degree**: every node of [`graph`](Self::graph) has degree
+/// 1. **Degree**: every node of [`oracle`](Self::oracle) has degree
 ///    exactly [`expected_degree`](Self::expected_degree).
 /// 2. **Extraction soundness**: a successful
 ///    [`try_extract`](Self::try_extract) returns an embedding that
 ///    avoids every faulty node and every faulty edge of `faults`
 ///    (checkable with `ftt_graph::verify_torus_embedding`).
+///
+/// The host's edges are exposed through an [`AdjacencyOracle`] — for
+/// `B^d_n`/`D^d_{n,k}` an *algebraic* oracle answering from modular
+/// arithmetic, so instance size is bounded by the theorems rather than
+/// by RAM; `A^2_n`'s half-edge multigraph keeps a CSR oracle. A CSR
+/// graph is only ever materialised through
+/// [`materialized_graph`](Self::materialized_graph)-adjacent inherent
+/// APIs, which small-instance differential tests use.
 ///
 /// Extraction comes in two flavours: one-shot
 /// [`try_extract`](Self::try_extract), and the Monte-Carlo hot path
@@ -45,6 +53,11 @@ use ftt_graph::Graph;
 pub trait HostConstruction: Sized {
     /// Validated parameter set of the construction.
     type Params: Clone + std::fmt::Debug;
+
+    /// The host's adjacency oracle (algebraic for `B^d`/`D^d`, the CSR
+    /// graph itself for `A²`). `Sync` so trial runners can share the
+    /// host across worker threads.
+    type Oracle: AdjacencyOracle + Sync;
 
     /// Reusable per-worker state for repeated extractions
     /// (fault-conversion buffers; see
@@ -69,14 +82,32 @@ pub trait HostConstruction: Sized {
     /// The instance parameters.
     fn params(&self) -> &Self::Params;
 
-    /// The host graph.
-    ///
-    /// For constructions with arithmetic adjacency (`D^d_{n,k}`) this
-    /// may materialise the graph on first call and cache it.
-    fn graph(&self) -> &Graph;
+    /// The host's adjacency oracle — the production interface to the
+    /// host's edges. Never materialises a CSR graph.
+    fn oracle(&self) -> &Self::Oracle;
+
+    /// The CSR host graph, **if** some caller already materialised it
+    /// (or the construction is inherently materialised, like `A²`).
+    /// Production paths must not force materialisation; small-instance
+    /// audits and differential tests reach a graph through the
+    /// constructions' inherent `graph()` methods instead.
+    fn materialized_graph(&self) -> Option<&Graph> {
+        None
+    }
 
     /// Total number of host nodes.
     fn num_nodes(&self) -> usize;
+
+    /// Total number of host edges (from the oracle; never materialises).
+    fn num_edges(&self) -> usize {
+        self.oracle().num_edges()
+    }
+
+    /// Endpoints of a host edge id (from the oracle; never
+    /// materialises).
+    fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        self.oracle().edge_endpoints(e)
+    }
 
     /// The degree the construction is supposed to have (`6d−2`, `4d`,
     /// or `11h−1`-style formulas from the theorems).
@@ -179,7 +210,7 @@ pub trait HostConstruction: Sized {
             guest_dims: emb.guest.dims().to_vec(),
             map: emb.map,
             host_nodes: self.num_nodes(),
-            host_edges: self.graph().num_edges(),
+            host_edges: self.num_edges(),
             placement: self.placement_provenance(faults),
         })
     }
@@ -208,6 +239,9 @@ pub struct AdnScratch {
 impl HostConstruction for Bdn {
     type Params = crate::bdn::BdnParams;
 
+    /// Algebraic column-space arithmetic — no stored edges.
+    type Oracle = crate::bdn::BdnOracle;
+
     /// Ascribed node-fault accumulator (bitmap + id list).
     type Scratch = SparseSet;
 
@@ -225,8 +259,12 @@ impl HostConstruction for Bdn {
         Bdn::params(self)
     }
 
-    fn graph(&self) -> &Graph {
-        Bdn::graph(self)
+    fn oracle(&self) -> &Self::Oracle {
+        Bdn::oracle(self)
+    }
+
+    fn materialized_graph(&self) -> Option<&Graph> {
+        Bdn::materialized_graph(self)
     }
 
     fn num_nodes(&self) -> usize {
@@ -276,14 +314,14 @@ impl HostConstruction for Bdn {
     ) -> Result<TorusEmbedding, PlacementError> {
         // Edge faults are ascribed to an endpoint as in Section 3; the
         // whole conversion is O(#faults) into the reused sparse set.
-        faults.ascribe_into(|e| Bdn::graph(self).edge_endpoints(e), scratch);
+        faults.ascribe_into(|e| Bdn::edge_endpoints(self, e), scratch);
         crate::bdn::extract::extract_after_faults_ids(self, scratch.ids())
     }
 
     /// One row per band: that band's start row in every column.
     fn placement_provenance(&self, faults: &FaultSet) -> Vec<Vec<usize>> {
         let mut ascribed = SparseSet::new(Bdn::num_nodes(self));
-        faults.ascribe_into(|e| Bdn::graph(self).edge_endpoints(e), &mut ascribed);
+        faults.ascribe_into(|e| Bdn::edge_endpoints(self, e), &mut ascribed);
         match crate::bdn::place::place_bands_for_ids(self, ascribed.ids()) {
             Ok(placement) => {
                 let banding = &placement.banding;
@@ -303,6 +341,10 @@ impl HostConstruction for Bdn {
 impl HostConstruction for Adn {
     type Params = crate::adn::AdnParams;
 
+    /// `A²`'s half-edge multigraph is inherently materialised — its CSR
+    /// graph *is* the oracle.
+    type Oracle = Graph;
+
     type Scratch = AdnScratch;
 
     /// Cached goodness classification + nested inner-`B²` repair state
@@ -319,8 +361,12 @@ impl HostConstruction for Adn {
         Adn::params(self)
     }
 
-    fn graph(&self) -> &Graph {
+    fn oracle(&self) -> &Self::Oracle {
         Adn::graph(self)
+    }
+
+    fn materialized_graph(&self) -> Option<&Graph> {
+        Some(Adn::graph(self))
     }
 
     fn num_nodes(&self) -> usize {
@@ -450,18 +496,16 @@ impl HostConstruction for Adn {
 /// The Theorem 3 fault reduction for `D^d_{n,k}`: every faulty node,
 /// plus the first endpoint of every faulty edge, written into `out`
 /// (cleared first). Shared by extraction and certificate provenance so
-/// the recorded banding always describes the embedding it accompanies;
-/// the graph is only materialised when edge faults exist.
+/// the recorded banding always describes the embedding it accompanies.
+/// Edge endpoints come from the algebraic oracle — no graph is ever
+/// materialised, whatever the fault mix.
 fn ascribe_ddn(host: &Ddn, faults: &FaultSet, out: &mut SparseSet) {
     out.clear();
     for v in faults.faulty_nodes() {
         out.insert(v);
     }
-    if faults.count_edge_faults() > 0 {
-        let g = HostConstruction::graph(host);
-        for e in faults.faulty_edges() {
-            out.insert(g.edge_endpoints(e).0);
-        }
+    for e in faults.faulty_edges() {
+        out.insert(Ddn::edge_endpoints(host, e).0);
     }
 }
 
@@ -476,6 +520,9 @@ impl ftt_faults::ShapedHost for Ddn {
 
 impl HostConstruction for Ddn {
     type Params = crate::ddn::DdnParams;
+
+    /// Algebraic torus + jump-edge arithmetic — no stored edges.
+    type Oracle = crate::ddn::DdnOracle;
 
     /// Ascribed node-fault accumulator (bitmap + id list).
     type Scratch = SparseSet;
@@ -494,8 +541,12 @@ impl HostConstruction for Ddn {
         Ddn::params(self)
     }
 
-    fn graph(&self) -> &Graph {
-        Ddn::graph(self)
+    fn oracle(&self) -> &Self::Oracle {
+        Ddn::oracle(self)
+    }
+
+    fn materialized_graph(&self) -> Option<&Graph> {
+        Ddn::materialized_graph(self)
     }
 
     fn num_nodes(&self) -> usize {
@@ -565,23 +616,18 @@ mod tests {
     use crate::bdn::BdnParams;
     use crate::ddn::DdnParams;
 
-    /// Exercises a construction end-to-end through the trait only.
+    /// Exercises a construction end-to-end through the trait only —
+    /// including the adjacency oracle, which is all the verifier sees.
     fn roundtrip<C: HostConstruction>(params: C::Params, kill: &[usize]) {
         let host = C::build(params);
-        assert_eq!(
-            host.graph().max_degree(),
-            host.expected_degree(),
+        assert!(
+            (0..host.num_nodes()).all(|v| host.oracle().degree(v) == host.expected_degree()),
             "{}",
             C::NAME
         );
-        assert_eq!(
-            host.graph().min_degree(),
-            host.expected_degree(),
-            "{}",
-            C::NAME
-        );
-        assert_eq!(host.graph().num_nodes(), host.num_nodes(), "{}", C::NAME);
-        let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+        assert_eq!(host.oracle().num_nodes(), host.num_nodes(), "{}", C::NAME);
+        assert_eq!(host.oracle().num_edges(), host.num_edges(), "{}", C::NAME);
+        let mut faults = FaultSet::none(host.num_nodes(), host.num_edges());
         for &v in kill {
             faults.kill_node(v % host.num_nodes());
         }
@@ -591,7 +637,7 @@ mod tests {
         ftt_graph::verify_torus_embedding(
             &emb.guest,
             &emb.map,
-            host.graph(),
+            host.oracle(),
             |v| faults.node_alive(v),
             |e| faults.edge_alive(e),
         )
@@ -618,15 +664,17 @@ mod tests {
     fn adn_edge_fault_avoided_through_trait() {
         let inner = BdnParams::new(2, 54, 3, 1).unwrap();
         let host = Adn::build(AdnParams::new(inner, 2, 6, 0.0).unwrap());
-        let mut faults =
-            FaultSet::none(HostConstruction::num_nodes(&host), host.graph().num_edges());
+        let mut faults = FaultSet::none(
+            HostConstruction::num_nodes(&host),
+            HostConstruction::num_edges(&host),
+        );
         faults.kill_edge(5);
         faults.kill_edge(77_777);
         let emb = HostConstruction::try_extract(&host, &faults).expect("spare capacity");
         ftt_graph::verify_torus_embedding(
             &emb.guest,
             &emb.map,
-            host.graph(),
+            HostConstruction::oracle(&host),
             |_| true,
             |e| faults.edge_alive(e),
         )
@@ -637,14 +685,14 @@ mod tests {
     /// the map matches `try_extract`, and the hash is deterministic.
     fn certify_roundtrip<C: HostConstruction>(params: C::Params, kill: &[usize]) {
         let host = C::build(params);
-        let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+        let mut faults = FaultSet::none(host.num_nodes(), host.num_edges());
         for &v in kill {
             faults.kill_node(v % host.num_nodes());
         }
         let cert = host.try_certify(&faults).expect("within tolerance");
         assert_eq!(cert.construction, C::NAME);
         assert_eq!(cert.host_nodes, host.num_nodes(), "{}", C::NAME);
-        assert_eq!(cert.host_edges, host.graph().num_edges(), "{}", C::NAME);
+        assert_eq!(cert.host_edges, host.num_edges(), "{}", C::NAME);
         let emb = host.try_extract(&faults).unwrap();
         assert_eq!(cert.guest_dims, emb.guest.dims().to_vec());
         assert_eq!(cert.map, emb.map, "{}", C::NAME);
@@ -670,7 +718,7 @@ mod tests {
         // B and D record their bandings; different faults, different
         // placements, different hashes.
         let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
-        let g_edges = HostConstruction::graph(&host).num_edges();
+        let g_edges = HostConstruction::num_edges(&host);
         let n = HostConstruction::num_nodes(&host);
         let mut a = FaultSet::none(n, g_edges);
         a.kill_node(7);
@@ -690,7 +738,7 @@ mod tests {
         let bdn = Bdn::build(BdnParams::new(2, 54, 3, 1).unwrap());
         let mut f = FaultSet::none(
             HostConstruction::num_nodes(&bdn),
-            HostConstruction::graph(&bdn).num_edges(),
+            HostConstruction::num_edges(&bdn),
         );
         f.kill_node(100);
         let cert = HostConstruction::try_certify(&bdn, &f).unwrap();
@@ -700,7 +748,7 @@ mod tests {
     #[test]
     fn ddn_edge_fault_ascribed_through_trait() {
         let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
-        let num_edges = HostConstruction::graph(&host).num_edges();
+        let num_edges = HostConstruction::num_edges(&host);
         let mut faults = FaultSet::none(HostConstruction::num_nodes(&host), num_edges);
         faults.kill_edge(3);
         faults.kill_node(10);
@@ -708,10 +756,14 @@ mod tests {
         ftt_graph::verify_torus_embedding(
             &emb.guest,
             &emb.map,
-            HostConstruction::graph(&host),
+            HostConstruction::oracle(&host),
             |v| faults.node_alive(v),
             |e| faults.edge_alive(e),
         )
         .expect("must avoid the faulty edge and node");
+        assert!(
+            host.materialized_graph().is_none(),
+            "edge-fault ascription must not materialise the D^d host"
+        );
     }
 }

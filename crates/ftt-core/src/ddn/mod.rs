@@ -21,12 +21,14 @@
 //! cycle exactly — the paper waives such round-off. [`DdnParams::fit`]
 //! rounds `n` up accordingly.
 
+pub mod oracle;
 pub mod place;
 
 use crate::error::PlacementError;
 use ftt_geom::Shape;
 use ftt_graph::{Graph, GraphBuilder};
 
+pub use oracle::DdnOracle;
 pub use place::{extract_after_faults, place_straight_bands, DdnBanding};
 
 /// Validated parameters of a `D^d_{n,k}` instance.
@@ -155,35 +157,55 @@ fn lcm(a: usize, b: usize) -> usize {
     a / gcd(a, b) * b
 }
 
-/// A `D^d_{n,k}` instance. The host graph is implicit (adjacency is
-/// arithmetic); [`Ddn::build_graph`] materialises it for degree audits
-/// and graph-level verification on small instances, and [`Ddn::graph`]
-/// caches one materialisation for the [`crate::HostConstruction`]
-/// interface.
+/// A `D^d_{n,k}` instance. The host is implicit: adjacency is answered
+/// by the algebraic [`DdnOracle`] (`O(1)` state, any size), and
+/// [`Ddn::graph`] caches one CSR materialisation for small-instance
+/// degree audits and differential tests only — production paths never
+/// call it.
 #[derive(Debug, Clone)]
 pub struct Ddn {
     params: DdnParams,
-    shape: Shape,
+    oracle: DdnOracle,
     graph: std::sync::OnceLock<Graph>,
 }
 
 impl Ddn {
     /// Creates the instance geometry.
     pub fn new(params: DdnParams) -> Self {
-        let shape = params.host_shape();
         Self {
             params,
-            shape,
+            oracle: DdnOracle::new(params),
             graph: std::sync::OnceLock::new(),
         }
     }
 
+    /// The algebraic adjacency oracle — the production interface to the
+    /// host's edges.
+    #[inline]
+    pub fn oracle(&self) -> &DdnOracle {
+        &self.oracle
+    }
+
     /// The materialised host graph, built on first call and cached.
     ///
-    /// Prefer [`Ddn::edge_exists`] when only adjacency queries are
-    /// needed: the graph costs `m^d` nodes and `2d·m^d` edges.
+    /// Prefer [`Ddn::oracle`] (or [`Ddn::edge_exists`]) when adjacency
+    /// queries are all that is needed: the graph costs `m^d` nodes and
+    /// `2d·m^d` edges.
     pub fn graph(&self) -> &Graph {
         self.graph.get_or_init(|| self.build_graph())
+    }
+
+    /// The CSR graph if some caller already materialised it.
+    #[inline]
+    pub fn materialized_graph(&self) -> Option<&Graph> {
+        self.graph.get()
+    }
+
+    /// Endpoints of a canonical edge id, by arithmetic (never
+    /// materialises).
+    #[inline]
+    pub fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        ftt_graph::AdjacencyOracle::edge_endpoints(&self.oracle, e)
     }
 
     /// The instance parameters.
@@ -193,7 +215,7 @@ impl Ddn {
 
     /// Host torus shape.
     pub fn shape(&self) -> &Shape {
-        &self.shape
+        self.oracle.shape()
     }
 
     /// Whether host nodes `u` and `v` are joined by an edge of
@@ -205,7 +227,10 @@ impl Ddn {
         let m = self.params.m();
         let mut diff_axis = None;
         for axis in 0..self.params.d {
-            let (cu, cv) = (self.shape.coord_of(u, axis), self.shape.coord_of(v, axis));
+            let (cu, cv) = (
+                self.shape().coord_of(u, axis),
+                self.shape().coord_of(v, axis),
+            );
             if cu == cv {
                 continue;
             }
@@ -225,16 +250,16 @@ impl Ddn {
     pub fn build_graph(&self) -> Graph {
         let m = self.params.m();
         let d = self.params.d;
-        let mut builder = GraphBuilder::new(self.shape.len());
-        builder.reserve_edges(self.shape.len() * 2 * d);
-        for v in self.shape.iter() {
+        let mut builder = GraphBuilder::new(self.shape().len());
+        builder.reserve_edges(self.shape().len() * 2 * d);
+        for v in self.shape().iter() {
             for axis in 0..d {
                 // torus edge +1 (each undirected edge added once)
-                builder.add_edge(v, self.shape.torus_step(v, axis, 1));
+                builder.add_edge(v, self.shape().torus_step(v, axis, 1));
                 // jump edge +(b_i + 1)
                 let jump = (self.params.band_width(axis) + 1) as isize;
                 debug_assert!((jump as usize) < m);
-                builder.add_edge(v, self.shape.torus_step(v, axis, jump));
+                builder.add_edge(v, self.shape().torus_step(v, axis, jump));
             }
         }
         builder.build()

@@ -1,0 +1,248 @@
+//! Algebraic adjacency oracle for `D^d_{n,k}` — the host without edges.
+//!
+//! `D^d_{n,k}` is an `m^d` torus plus jump edges: along axis `i`, node
+//! `v` is joined to `v ±_m 1` (torus) and `v ±_m (b_i + 1)` (jump).
+//! Every adjacency question is therefore modular arithmetic on
+//! `(params, node_id)` — nothing needs storing, which is what lets one
+//! machine run instances with 10⁸⁺ nodes.
+//!
+//! ## Canonical edge numbering
+//!
+//! Edge ids reproduce [`super::Ddn::build_graph`]'s insertion order
+//! byte-for-byte: the builder walks nodes `v = 0, 1, …` and per node
+//! adds, for each axis, the `+1` torus edge then the `+(b_i+1)` jump —
+//! so the undirected edge leaving `v` along `axis` is
+//!
+//! ```text
+//! e = v·2d + 2·axis + {0 = torus (+1), 1 = jump (+(b_i+1))}
+//! ```
+//!
+//! and `num_edges = 2d·m^d`. Fault sets, journals, and certificates
+//! keyed on these ids are interchangeable between the algebraic oracle
+//! and a materialised CSR host. Parameter validation guarantees
+//! `m > 2(b_i + 1)`, so all `4d` arcs of a node are distinct and the
+//! degree is exactly `4d` — the same simple-graph regime the builder
+//! produces.
+
+use super::DdnParams;
+use ftt_geom::Shape;
+use ftt_graph::AdjacencyOracle;
+
+/// Upper bound on arcs per node: `4d` with `d ≤ 4`.
+const MAX_ARCS: usize = 16;
+
+/// Implicit `D^d_{n,k}` adjacency: answers every [`AdjacencyOracle`]
+/// query from `(params, node_id)` arithmetic in `O(d log d)` time and
+/// zero heap.
+#[derive(Debug, Clone)]
+pub struct DdnOracle {
+    params: DdnParams,
+    shape: Shape,
+}
+
+impl DdnOracle {
+    /// Builds the oracle for validated parameters.
+    pub fn new(params: DdnParams) -> Self {
+        let shape = params.host_shape();
+        assert!(
+            shape
+                .len()
+                .checked_mul(2 * params.d)
+                .is_some_and(|e| e <= u32::MAX as usize),
+            "edge ids must fit u32 for FaultSet/CSR interchangeability"
+        );
+        Self { params, shape }
+    }
+
+    /// The instance parameters.
+    #[inline]
+    pub fn params(&self) -> &DdnParams {
+        &self.params
+    }
+
+    /// Host torus shape `(m, …, m)`.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The canonical edge id of the arc leaving `v` along `axis`:
+    /// `jump = false` is the `+1` torus edge, `jump = true` the
+    /// `+(b_axis+1)` jump edge.
+    #[inline]
+    pub fn edge_id(&self, v: usize, axis: usize, jump: bool) -> u32 {
+        debug_assert!(axis < self.params.d);
+        (v * 2 * self.params.d + 2 * axis + jump as usize) as u32
+    }
+
+    /// Visits `v`'s arcs in generation order (NOT the CSR order) — the
+    /// sort-free form the probe overrides use, since edge probes don't
+    /// care about ordering and the sort dominates their cost.
+    #[inline]
+    fn visit_arcs_unordered(&self, v: usize, mut f: impl FnMut(usize, u32)) {
+        let d = self.params.d;
+        for axis in 0..d {
+            let jump = (self.params.band_width(axis) + 1) as isize;
+            // out-arcs: ids keyed on v itself
+            f(
+                self.shape.torus_step(v, axis, 1),
+                self.edge_id(v, axis, false),
+            );
+            f(
+                self.shape.torus_step(v, axis, jump),
+                self.edge_id(v, axis, true),
+            );
+            // in-arcs: the nodes whose +1 / +(b_i+1) edges land on v
+            let w1 = self.shape.torus_step(v, axis, -1);
+            f(w1, self.edge_id(w1, axis, false));
+            let w2 = self.shape.torus_step(v, axis, -jump);
+            f(w2, self.edge_id(w2, axis, true));
+        }
+    }
+
+    /// Collects `v`'s arcs into `buf` in CSR order; returns the count.
+    #[inline]
+    fn arcs_into(&self, v: usize, buf: &mut [(usize, u32); MAX_ARCS]) -> usize {
+        let mut n = 0;
+        self.visit_arcs_unordered(v, |target, e| {
+            buf[n] = (target, e);
+            n += 1;
+        });
+        // CSR adjacency windows are sorted by (target, edge id); match
+        // them exactly so differential tests can compare byte-for-byte.
+        buf[..n].sort_unstable();
+        n
+    }
+}
+
+impl AdjacencyOracle for DdnOracle {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.shape.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.shape.len() * 2 * self.params.d
+    }
+
+    #[inline]
+    fn degree(&self, _v: usize) -> usize {
+        4 * self.params.d
+    }
+
+    #[inline]
+    fn for_each_arc(&self, v: usize, mut f: impl FnMut(usize, u32)) {
+        let mut buf = [(0usize, 0u32); MAX_ARCS];
+        let n = self.arcs_into(v, &mut buf);
+        for &(t, e) in &buf[..n] {
+            f(t, e);
+        }
+    }
+
+    // Direct arithmetic probe — the hottest oracle query (one per
+    // guest edge in embedding verification, ~5·10⁷ on the giant
+    // instances). Two nodes are adjacent iff they differ along exactly
+    // one axis by a cyclic step of 1 (torus) or `b_axis+1` (jump), and
+    // the candidate edge id follows immediately; no arc enumeration.
+    // Coincident step lengths (tiny `m`) are handled by checking every
+    // holding condition, matching the enumeration's "any" semantics.
+    #[inline]
+    fn any_edge_between(&self, u: usize, v: usize, mut pred: impl FnMut(u32) -> bool) -> bool {
+        if u == v {
+            return false;
+        }
+        let m = self.params.m();
+        let mut axis = usize::MAX;
+        for a in 0..self.params.d {
+            if self.shape.coord_of(u, a) != self.shape.coord_of(v, a) {
+                if axis != usize::MAX {
+                    return false;
+                }
+                axis = a;
+            }
+        }
+        let (cu, cv) = (self.shape.coord_of(u, axis), self.shape.coord_of(v, axis));
+        let fwd = (cv + m - cu) % m;
+        let bwd = m - fwd;
+        let b1 = self.params.band_width(axis) + 1;
+        (fwd == 1 && pred(self.edge_id(u, axis, false)))
+            || (fwd == b1 && pred(self.edge_id(u, axis, true)))
+            || (bwd == 1 && pred(self.edge_id(v, axis, false)))
+            || (bwd == b1 && pred(self.edge_id(v, axis, true)))
+    }
+
+    #[inline]
+    fn edges_to_pair(
+        &self,
+        u: usize,
+        t1: usize,
+        t2: usize,
+        mut pred: impl FnMut(u32) -> bool,
+    ) -> (bool, bool) {
+        (
+            self.any_edge_between(u, t1, &mut pred),
+            self.any_edge_between(u, t2, &mut pred),
+        )
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        let d = self.params.d;
+        let v = e as usize / (2 * d);
+        let slot = e as usize % (2 * d);
+        let axis = slot / 2;
+        let step = if slot.is_multiple_of(2) {
+            1
+        } else {
+            (self.params.band_width(axis) + 1) as isize
+        };
+        (v, self.shape.torus_step(v, axis, step))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Ddn;
+    use super::*;
+
+    fn assert_oracle_matches_csr(params: DdnParams) {
+        let ddn = Ddn::new(params);
+        let oracle = DdnOracle::new(params);
+        let g = ddn.build_graph();
+        assert_eq!(oracle.num_nodes(), g.num_nodes());
+        assert_eq!(oracle.num_edges(), g.num_edges());
+        for v in 0..g.num_nodes() {
+            assert_eq!(oracle.degree(v), g.degree(v), "degree at {v}");
+            let mut alg = Vec::new();
+            oracle.for_each_arc(v, |t, e| alg.push((t, e)));
+            let csr: Vec<(usize, u32)> = g.arcs(v).collect();
+            assert_eq!(alg, csr, "arc window at {v}");
+        }
+        for e in 0..g.num_edges() as u32 {
+            assert_eq!(oracle.edge_endpoints(e), g.edge_endpoints(e), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn d1_matches_csr() {
+        assert_oracle_matches_csr(DdnParams::fit(1, 12, 2).unwrap());
+    }
+
+    #[test]
+    fn d2_matches_csr() {
+        assert_oracle_matches_csr(DdnParams::fit(2, 20, 2).unwrap());
+    }
+
+    #[test]
+    fn has_edge_matches_edge_exists() {
+        let params = DdnParams::fit(2, 20, 2).unwrap();
+        let ddn = Ddn::new(params);
+        let oracle = DdnOracle::new(params);
+        for u in (0..oracle.num_nodes()).step_by(131) {
+            for v in 0..oracle.num_nodes() {
+                assert_eq!(oracle.has_edge(u, v), ddn.edge_exists(u, v), "u={u} v={v}");
+            }
+        }
+    }
+}

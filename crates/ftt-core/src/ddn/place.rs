@@ -177,16 +177,27 @@ pub fn extract_torus(
         axes.push(u);
     }
     // Map: guest coord (g_0, …) → host coord (axes[0][g_0], …).
+    // Odometer iteration: the host index is maintained incrementally from
+    // per-axis stride contributions, so giant guests (10⁷–10⁸ nodes) cost
+    // zero allocations beyond the map itself.
     let guest = p.guest_shape();
     let host = ddn.shape();
     let mut map = vec![0usize; guest.len()];
     let d = p.d;
-    for (g, coord) in guest.coords().enumerate() {
-        let mut hc = vec![0usize; d];
-        for a in 0..d {
-            hc[a] = axes[a][coord[a]];
+    let mut coord = vec![0usize; d];
+    let mut h: usize = (0..d).map(|a| axes[a][0] * host.stride(a)).sum();
+    for slot in map.iter_mut() {
+        *slot = h;
+        for a in (0..d).rev() {
+            let old = axes[a][coord[a]] * host.stride(a);
+            coord[a] += 1;
+            if coord[a] < guest.dim(a) {
+                h = h - old + axes[a][coord[a]] * host.stride(a);
+                break;
+            }
+            coord[a] = 0;
+            h = h - old + axes[a][0] * host.stride(a);
         }
-        map[g] = host.flatten(&hc);
     }
     // All faults must be masked (map avoids them by construction; audit).
     let fault_set: std::collections::HashSet<usize> = faulty_nodes.iter().copied().collect();

@@ -159,7 +159,7 @@ impl<C: HostConstruction> RepairState<C> {
     /// building idle avoids a discarded initial extraction per worker.
     pub fn new_idle(host: &C) -> Self {
         Self {
-            faults: FaultSet::none(host.num_nodes(), host.graph().num_edges()),
+            faults: FaultSet::none(host.num_nodes(), host.num_edges()),
             alive: false,
             embedding: None,
             cache: host.new_repair_cache(),
@@ -241,7 +241,7 @@ pub fn live_certificate<C: HostConstruction>(
         guest_dims: emb.guest.dims().to_vec(),
         map: emb.map.clone(),
         host_nodes: host.num_nodes(),
-        host_edges: host.graph().num_edges(),
+        host_edges: host.num_edges(),
         placement: Vec::new(),
     })
 }
@@ -464,7 +464,7 @@ pub(crate) fn bdn_rebuild(host: &Bdn, state: &mut RepairState<Bdn>) -> Result<()
     }
     let edge_ids: Vec<u32> = state.faults.faulty_edges().collect();
     for e in edge_ids {
-        let (u, _) = host.graph().edge_endpoints(e);
+        let (u, _) = host.edge_endpoints(e);
         bdn_note_ascribed(host, &mut state.cache, u);
     }
     state.embedding = None;
@@ -492,7 +492,7 @@ pub(crate) fn bdn_apply(host: &Bdn, state: &mut RepairState<Bdn>, fault: Fault) 
     // Section 3 ascription, exactly as the batch path does it.
     let u = match fault {
         Fault::Node(v) => v,
-        Fault::Edge(e) => host.graph().edge_endpoints(e).0,
+        Fault::Edge(e) => host.edge_endpoints(e).0,
     };
     if !bdn_note_ascribed(host, &mut state.cache, u) {
         // Batch-parity: painting sees the same dirty tiles and the
@@ -550,7 +550,7 @@ pub(crate) fn bdn_apply_repair(
     }
     let u = match fault {
         Fault::Node(v) => v,
-        Fault::Edge(e) => host.graph().edge_endpoints(e).0,
+        Fault::Edge(e) => host.edge_endpoints(e).0,
     };
     // Section 3 ascription in reverse: `u` leaves the ascribed set only
     // when no remaining fault ascribes to it.
@@ -558,7 +558,7 @@ pub(crate) fn bdn_apply_repair(
         || state
             .faults
             .faulty_edges()
-            .any(|e| host.graph().edge_endpoints(e).0 == u);
+            .any(|e| host.edge_endpoints(e).0 == u);
     if still_ascribed {
         return RepairOutcome::Repaired(RepairClass::Fast);
     }
@@ -812,11 +812,8 @@ pub(crate) fn ddn_rebuild(host: &Ddn, state: &mut RepairState<Ddn>) -> Result<()
     for v in state.faults.faulty_nodes() {
         cache.ascribed.insert(v);
     }
-    if state.faults.count_edge_faults() > 0 {
-        let g = HostConstruction::graph(host);
-        for e in state.faults.faulty_edges() {
-            cache.ascribed.insert(g.edge_endpoints(e).0);
-        }
+    for e in state.faults.faulty_edges() {
+        cache.ascribed.insert(Ddn::edge_endpoints(host, e).0);
     }
     match ddn_place_and_sync(host, state) {
         Ok(()) => {
@@ -849,7 +846,7 @@ pub(crate) fn ddn_apply(host: &Ddn, state: &mut RepairState<Ddn>, fault: Fault) 
     }
     let u = match fault {
         Fault::Node(v) => v,
-        Fault::Edge(e) => HostConstruction::graph(host).edge_endpoints(e).0,
+        Fault::Edge(e) => Ddn::edge_endpoints(host, e).0,
     };
     if !state.cache.ascribed.insert(u) {
         // Ascribed set unchanged ⇒ batch input unchanged ⇒ the cached
@@ -943,15 +940,13 @@ pub(crate) fn ddn_apply_repair(
     }
     let u = match fault {
         Fault::Node(v) => v,
-        Fault::Edge(e) => HostConstruction::graph(host).edge_endpoints(e).0,
+        Fault::Edge(e) => Ddn::edge_endpoints(host, e).0,
     };
-    let still_ascribed = !state.faults.node_alive(u) || {
-        let g = HostConstruction::graph(host);
-        state
+    let still_ascribed = !state.faults.node_alive(u)
+        || state
             .faults
             .faulty_edges()
-            .any(|e| g.edge_endpoints(e).0 == u)
-    };
+            .any(|e| Ddn::edge_endpoints(host, e).0 == u);
     if still_ascribed {
         // Ascribed set unchanged ⇒ batch input unchanged.
         return RepairOutcome::Repaired(RepairClass::Fast);
@@ -1586,7 +1581,7 @@ mod tests {
         verify_torus_embedding(
             &emb.guest,
             &emb.map,
-            host.graph(),
+            host.oracle(),
             |v| faults.node_alive(v),
             |e| faults.edge_alive(e),
         )
@@ -1676,8 +1671,7 @@ mod tests {
     #[test]
     fn ddn_edge_faults_ascribe_and_absorb() {
         let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
-        let g = HostConstruction::graph(&host);
-        let (u, _) = g.edge_endpoints(7);
+        let (u, _) = host.edge_endpoints(7);
         let outcomes = drive(&host, &[Fault::Edge(7), Fault::Node(u)]);
         // The edge ascribes to u; the later node fault at u is absorbed.
         assert_eq!(outcomes[1], RepairOutcome::Repaired(RepairClass::Fast));
@@ -1964,8 +1958,7 @@ mod tests {
     #[test]
     fn ddn_mixed_event_stream_holds_parity() {
         let host = Ddn::new(DdnParams::fit(2, 30, 2).unwrap());
-        let g = HostConstruction::graph(&host);
-        let (u, _) = g.edge_endpoints(7);
+        let (u, _) = host.edge_endpoints(7);
         let events = [
             FaultEvent::Kill(Fault::Edge(7)),
             FaultEvent::Kill(Fault::Node(u)), // same ascription: absorbed

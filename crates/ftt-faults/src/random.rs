@@ -21,7 +21,7 @@
 //! of the same build, which is all the Monte-Carlo contract requires.
 
 use crate::set::FaultSet;
-use ftt_graph::Graph;
+use ftt_graph::AdjacencyOracle;
 use rand::Rng;
 
 /// One draw from the open-closed unit interval `(0, 1]`, with 53
@@ -80,9 +80,11 @@ pub fn sample_indices<R: Rng + ?Sized>(
 /// Samples a fault set where each node fails independently with
 /// probability `p` and each edge with probability `q`, into `out`
 /// (cleared first) — the zero-allocation hot path. Expected cost
-/// `O(pN + qE)` RNG draws.
-pub fn sample_bernoulli_faults_into<R: Rng + ?Sized>(
-    g: &Graph,
+/// `O(pN + qE)` RNG draws. Only the host's *sizes* are read, so any
+/// [`AdjacencyOracle`] works — a CSR graph or an implicit algebraic
+/// host with no edges in memory.
+pub fn sample_bernoulli_faults_into<O: AdjacencyOracle + ?Sized, R: Rng + ?Sized>(
+    g: &O,
     p: f64,
     q: f64,
     rng: &mut R,
@@ -104,8 +106,14 @@ pub fn sample_bernoulli_faults_into<R: Rng + ?Sized>(
 }
 
 /// Samples a fault set where each node fails independently with
-/// probability `p` and each edge with probability `q`.
-pub fn sample_bernoulli_faults<R: Rng>(g: &Graph, p: f64, q: f64, rng: &mut R) -> FaultSet {
+/// probability `p` and each edge with probability `q`. Generic over the
+/// host's [`AdjacencyOracle`]; only sizes are read.
+pub fn sample_bernoulli_faults<O: AdjacencyOracle + ?Sized, R: Rng>(
+    g: &O,
+    p: f64,
+    q: f64,
+    rng: &mut R,
+) -> FaultSet {
     let mut s = FaultSet::none(g.num_nodes(), g.num_edges());
     sample_bernoulli_faults_into(g, p, q, rng, &mut s);
     s
@@ -146,8 +154,9 @@ impl HalfEdgeFaults {
     }
 
     /// Samples half-edge faults with per-half probability `sqrt_q`, in
-    /// `O(√q · E)` expected RNG draws.
-    pub fn sample<R: Rng>(g: &Graph, sqrt_q: f64, rng: &mut R) -> Self {
+    /// `O(√q · E)` expected RNG draws. Only the host's edge count is
+    /// read.
+    pub fn sample<O: AdjacencyOracle + ?Sized, R: Rng>(g: &O, sqrt_q: f64, rng: &mut R) -> Self {
         assert!(
             (0.0..=1.0).contains(&sqrt_q),
             "half-edge probability out of range"
@@ -220,7 +229,7 @@ impl HalfEdgeFaults {
     /// Whether the half of edge `e` incident to node `v` is faulty.
     /// `v` must be one of the edge's endpoints.
     #[inline]
-    pub fn half_faulty_at(&self, g: &Graph, e: u32, v: usize) -> bool {
+    pub fn half_faulty_at<O: AdjacencyOracle + ?Sized>(&self, g: &O, e: u32, v: usize) -> bool {
         let (a, b) = g.edge_endpoints(e);
         debug_assert!(v == a || v == b, "node {v} is not an endpoint of edge {e}");
         if v == a {

@@ -17,6 +17,16 @@
 //! in `O(#faults)` by walking the id list, which makes a `FaultSet` a
 //! reusable per-worker scratch buffer for trial loops: the hot path
 //! (`clear` + a few `kill_*` + queries) never touches the allocator.
+//!
+//! Above a domain-size threshold — the *implicit-giant* regime, hosts
+//! whose edges exist only as arithmetic — even a lazily grown bitmap is
+//! the wrong shape (one high edge id would commission megabytes of
+//! words), so [`SparseSet`] transparently *folds* ids into a
+//! bounded-size filter bitmap and confirms the rare positive probe
+//! against the id list. The probe instruction sequence is identical in
+//! both modes — no branch on the representation — which matters because
+//! `contains` sits inside every verification inner loop. Same public
+//! API, chosen per set at construction.
 
 /// A single fault event: one host node or one host edge going down.
 ///
@@ -31,17 +41,44 @@ pub enum Fault {
     Edge(u32),
 }
 
+/// Domains up to this size index membership with an *exact* lazily
+/// grown packed bitmap (worst case 8 MiB of words); larger —
+/// *implicit-giant* — domains fold ids through [`FILTER_MASK`] into a
+/// bounded filter bitmap instead. `2^26` edge ids is past every
+/// materialisable instance in the test matrix, so the exact regime
+/// keeps its branch-free word probe on all of them.
+const DENSE_DOMAIN_MAX: usize = 1 << 26;
+
+/// Filter range for implicit-giant domains: ids are folded to their low
+/// 20 bits, bounding the bitmap at 128 KiB however large the host is.
+/// With the paper's fault budgets (`k ≤ n^{1−2^{−d}}`, hundreds of
+/// faults on the 10⁸-node demos) the load factor stays ≪ 1%, so a set
+/// bit almost always means a genuine member and the `O(#members)`
+/// confirmation scan is off the hot path.
+const FILTER_MASK: usize = (1 << 20) - 1;
+
 /// A sparse subset of `0..domain`: a packed `u64` bitmap plus the
 /// explicit list of member ids (insertion order, duplicate-free).
 ///
 /// Membership tests are `O(1)`; iteration, counting, and [`clear`]
 /// (`SparseSet::clear`) are `O(#members)`. Bitmap words are grown
-/// lazily, so an empty set owns no heap memory and a sparse set only
-/// owns words up to its largest member id.
+/// lazily, so an empty set owns no heap memory. The bitmap's *meaning*
+/// depends on domain size: up to [`DENSE_DOMAIN_MAX`] it is exact (bit
+/// `i` ⇔ member `i`); above it — implicit-giant hosts whose edges exist
+/// only as arithmetic — ids are folded through [`FILTER_MASK`], the
+/// bitmap becomes a one-sided filter (bit clear ⇒ definitely absent),
+/// and the rare set-bit probe is confirmed against the id list. Either
+/// way a fault set over a billion-edge host costs `O(#faults)` ids plus
+/// a ≤ 128 KiB filter, not `O(domain)` — and the miss-path probe (the
+/// one inside every verification loop) is the same three instructions
+/// in both modes.
 #[derive(Debug, Clone)]
 pub struct SparseSet {
     domain: usize,
-    /// Lazily grown bitmap; words past `words.len()` read as zero.
+    /// Bit-index mask: `usize::MAX` (identity — exact bitmap) for dense
+    /// domains, [`FILTER_MASK`] for implicit-giant ones.
+    mask: usize,
+    /// Lazily grown bitmap over masked ids; absent words read as zero.
     words: Vec<u64>,
     /// Members in insertion order, no duplicates.
     ids: Vec<usize>,
@@ -50,11 +87,32 @@ pub struct SparseSet {
 impl SparseSet {
     /// An empty set over `0..domain`. Allocation-free.
     pub fn new(domain: usize) -> Self {
+        let mask = if domain <= DENSE_DOMAIN_MAX {
+            usize::MAX
+        } else {
+            FILTER_MASK
+        };
         Self {
             domain,
+            mask,
             words: Vec::new(),
             ids: Vec::new(),
         }
+    }
+
+    /// Whether the bitmap is exact (dense domain) rather than a folded
+    /// filter.
+    #[inline]
+    fn exact(&self) -> bool {
+        self.mask == usize::MAX
+    }
+
+    /// Confirmation scan for a set filter bit: is `i` really a member?
+    /// Off the hot path — reached only when the filter says "maybe"
+    /// (genuine member or a ≪ 1% collision).
+    #[cold]
+    fn confirm(&self, i: usize) -> bool {
+        self.ids.contains(&i)
     }
 
     /// The exclusive upper bound on member ids.
@@ -66,18 +124,20 @@ impl SparseSet {
     /// Whether `i` is a member.
     ///
     /// The empty-set check short-circuits on the (hot, predictable) id
-    /// list length before touching the bitmap: membership probes
+    /// list length before touching the index: membership probes
     /// against an empty set — e.g. edge-alive checks during
     /// verification of node-fault-only regimes — then never take a
     /// cache miss on the scattered word.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.domain, "id {i} out of domain {}", self.domain);
+        let j = i & self.mask;
         !self.ids.is_empty()
             && self
                 .words
-                .get(i >> 6)
-                .is_some_and(|w| w >> (i & 63) & 1 != 0)
+                .get(j >> 6)
+                .is_some_and(|w| w >> (j & 63) & 1 != 0)
+            && (self.exact() || self.confirm(i))
     }
 
     /// Inserts `i`; returns whether it was newly added.
@@ -87,48 +147,57 @@ impl SparseSet {
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
         assert!(i < self.domain, "id {i} out of domain {}", self.domain);
-        let w = i >> 6;
+        let j = i & self.mask;
+        let w = j >> 6;
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
         }
-        let bit = 1u64 << (i & 63);
+        let bit = 1u64 << (j & 63);
         if self.words[w] & bit != 0 {
-            return false;
+            // Exact bitmap: definite duplicate. Filter: duplicate or a
+            // collision — only a genuine duplicate is rejected.
+            if self.exact() || self.confirm(i) {
+                return false;
+            }
         }
         self.words[w] |= bit;
         self.ids.push(i);
         true
     }
 
-    /// Removes `i`; returns whether it was a member. The bitmap bit is
+    /// Removes `i`; returns whether it was a member. The index entry is
     /// cleared and the id is swap-removed from the member list, so the
     /// call is `O(#members)` and the set's invariants (duplicate-free
-    /// list mirroring the bitmap) are preserved — the renewal-model
+    /// list mirroring the index) are preserved — the renewal-model
     /// entry point.
     pub fn remove(&mut self, i: usize) -> bool {
         debug_assert!(i < self.domain, "id {i} out of domain {}", self.domain);
-        let w = i >> 6;
-        let bit = 1u64 << (i & 63);
-        let Some(word) = self.words.get_mut(w) else {
+        let j = i & self.mask;
+        let bit = 1u64 << (j & 63);
+        if self.words.get(j >> 6).is_none_or(|w| w & bit == 0) {
+            return false; // bit clear ⇒ definitely absent, both modes
+        }
+        // Bit set: in filter mode this may still be a collision, so the
+        // id list is the membership authority.
+        let Some(pos) = self.ids.iter().position(|&x| x == i) else {
             return false;
         };
-        if *word & bit == 0 {
-            return false;
-        }
-        *word &= !bit;
-        let pos = self
-            .ids
-            .iter()
-            .position(|&x| x == i)
-            .expect("bitmap and id list agree");
         self.ids.swap_remove(pos);
+        // Clear the bit unless another member folds onto the same slot
+        // (impossible in exact mode, where slots are ids).
+        if self.exact() || !self.ids.iter().any(|&x| x & self.mask == j) {
+            self.words[j >> 6] &= !bit;
+        }
         true
     }
 
     /// Removes every member in `O(#members)`, keeping capacity.
     pub fn clear(&mut self) {
+        // Clearing a folded slot twice (two members colliding on it) is
+        // an idempotent no-op, so one pass handles both modes.
         for &i in &self.ids {
-            self.words[i >> 6] &= !(1u64 << (i & 63));
+            let j = i & self.mask;
+            self.words[j >> 6] &= !(1u64 << (j & 63));
         }
         self.ids.clear();
     }
@@ -337,6 +406,12 @@ impl FaultSet {
     }
 
     /// Alive-node bitmap (for the traversal utilities).
+    ///
+    /// **`O(num_nodes)` time and memory** — deliberately demoted to
+    /// materialisable (small-instance) hosts. Implicit-giant hosts must
+    /// stay on the sparse predicates ([`node_alive`](Self::node_alive))
+    /// and the fault-id lists; allocating this bitmap for a 10⁸-node
+    /// host would dwarf every other allocation in the pipeline.
     pub fn alive_nodes(&self) -> Vec<bool> {
         (0..self.num_nodes()).map(|v| self.node_alive(v)).collect()
     }
@@ -507,6 +582,90 @@ mod tests {
         assert!(s.contains(0) && s.contains(64));
         assert!(!s.remove(199), "never-inserted id (word unallocated)");
         assert!(s.insert(130), "removed ids can be re-inserted");
+    }
+
+    #[test]
+    fn giant_domain_uses_folded_filter() {
+        // Past the dense threshold the bitmap must stay bounded: a
+        // fault at the top of a 10⁹ domain would commission ~16 MB of
+        // exact bitmap words, so insertion near the top proves the
+        // fold (words stay within the 2^20-bit filter range).
+        let mut s = SparseSet::new(1_000_000_000);
+        assert!(!s.exact());
+        assert!(s.insert(999_999_999));
+        assert!(s.words.len() <= (FILTER_MASK + 1) / 64);
+        assert!(!s.insert(999_999_999));
+        assert!(s.insert(0));
+        assert!(s.contains(999_999_999) && s.contains(0));
+        assert!(!s.contains(999_999_998));
+        assert_eq!(s.ids(), &[999_999_999, 0]);
+        assert!(s.remove(999_999_999));
+        assert!(!s.remove(999_999_999));
+        s.clear();
+        assert!(s.is_empty() && !s.contains(0));
+        assert!(s.insert(0), "cleared filter reuses");
+    }
+
+    #[test]
+    fn folded_filter_handles_collisions() {
+        // Two ids a filter-range apart share a slot: both must be
+        // distinguishable members, and removing one must not evict the
+        // other (the slot bit stays set while a member still folds to
+        // it).
+        let lo = 5usize;
+        let hi = 5 + (FILTER_MASK + 1);
+        let mut s = SparseSet::new(1_000_000_000);
+        assert_eq!(lo & FILTER_MASK, hi & FILTER_MASK, "test ids collide");
+        assert!(s.insert(lo));
+        assert!(s.insert(hi), "collision must not report duplicate");
+        assert!(!s.insert(hi), "true duplicate still rejected");
+        assert!(s.contains(lo) && s.contains(hi));
+        assert!(
+            !s.contains(5 + 2 * (FILTER_MASK + 1)),
+            "colliding non-member"
+        );
+        assert!(s.remove(lo));
+        assert!(s.contains(hi), "surviving collider still a member");
+        assert!(!s.contains(lo));
+        assert!(s.remove(hi));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn giant_fault_set_round_trips() {
+        // FaultSet over an implicit-giant host: same public API, same
+        // behaviour, O(#faults) memory.
+        let mut s = FaultSet::none(132_651_000, 795_906_000);
+        s.kill_node(132_650_999);
+        s.kill_edge(795_905_999);
+        assert!(!s.node_alive(132_650_999));
+        assert!(!s.edge_alive(795_905_999));
+        assert!(s.node_alive(0) && s.edge_alive(0));
+        assert_eq!(s.count_faults(), 2);
+        assert!(s.revive_node(132_650_999));
+        assert!(s.revive_edge(795_905_999));
+        assert_eq!(s.count_faults(), 0);
+    }
+
+    #[test]
+    fn dense_and_filter_modes_agree() {
+        // The same operation sequence through both modes must be
+        // observationally identical.
+        let ops: &[usize] = &[5, 900_000, 5, 63, 64, 65, 12_345, 63];
+        let mut dense = SparseSet::new(1 << 20);
+        let mut filt = SparseSet::new(DENSE_DOMAIN_MAX + 1);
+        assert!(dense.exact());
+        assert!(!filt.exact());
+        for &i in ops {
+            assert_eq!(dense.insert(i), filt.insert(i), "insert {i}");
+        }
+        assert_eq!(dense.len(), filt.len());
+        assert_eq!(dense.ids(), filt.ids(), "insertion order preserved");
+        for &i in ops {
+            assert_eq!(dense.remove(i), filt.remove(i), "remove {i}");
+            assert_eq!(dense.contains(i), filt.contains(i));
+        }
+        assert!(dense.is_empty() && filt.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! subgraph: injective, images alive, and every torus (or mesh) edge
 //! carried by at least one alive host edge.
 
-use crate::csr::Graph;
+use crate::oracle::AdjacencyOracle;
 use ftt_geom::Shape;
 
 /// Why an embedding verification failed.
@@ -70,10 +70,12 @@ impl std::error::Error for EmbedError {}
 ///
 /// An edge of the guest torus is satisfied if **any** parallel alive host
 /// edge joins the two images (multigraph semantics, needed by `A^d_n`).
-pub fn verify_torus_embedding(
+/// The host is any [`AdjacencyOracle`] — CSR graphs keep their
+/// prefetch-pipelined fast path, algebraic hosts never materialise.
+pub fn verify_torus_embedding<O: AdjacencyOracle>(
     guest: &Shape,
     map: &[usize],
-    host: &Graph,
+    host: &O,
     node_alive: impl Fn(usize) -> bool,
     edge_alive: impl Fn(u32) -> bool,
 ) -> Result<(), EmbedError> {
@@ -82,20 +84,73 @@ pub fn verify_torus_embedding(
 
 /// Verifies a mesh embedding (same as [`verify_torus_embedding`] but
 /// without the wraparound edges).
-pub fn verify_mesh_embedding(
+pub fn verify_mesh_embedding<O: AdjacencyOracle>(
     guest: &Shape,
     map: &[usize],
-    host: &Graph,
+    host: &O,
     node_alive: impl Fn(usize) -> bool,
     edge_alive: impl Fn(u32) -> bool,
 ) -> Result<(), EmbedError> {
     verify_embedding_impl(guest, map, host, node_alive, edge_alive, false)
 }
 
-fn verify_embedding_impl(
+/// Injectivity + image validity, in memory proportional to the
+/// *smaller* of host/64 and the guest map. The packed host bitmap is
+/// cache-friendly and 64× smaller than a per-node owner table, but on
+/// giant implicit hosts (10⁹⁺ nodes under a few-million-node guest) it
+/// would be the only `O(host)` allocation left in the pipeline — so
+/// when the bitmap would out-weigh the map itself, fall back to
+/// sorting the images, which is `O(map)` space.
+fn check_injective(
+    map: &[usize],
+    num_host_nodes: usize,
+    node_alive: impl Fn(usize) -> bool,
+) -> Result<(), EmbedError> {
+    let words = num_host_nodes.div_ceil(64);
+    if words <= map.len() {
+        let mut seen = vec![0u64; words];
+        for (g, &h) in map.iter().enumerate() {
+            if h >= num_host_nodes || !node_alive(h) {
+                return Err(EmbedError::BadImage { guest: g, host: h });
+            }
+            let (w, bit) = (h >> 6, 1u64 << (h & 63));
+            if seen[w] & bit != 0 {
+                // Colliding guest recovered by rescan on the error path.
+                let guest_a = map.iter().position(|&x| x == h).unwrap();
+                return Err(EmbedError::NotInjective {
+                    guest_a,
+                    guest_b: g,
+                    host: h,
+                });
+            }
+            seen[w] |= bit;
+        }
+        return Ok(());
+    }
+    let mut images: Vec<(usize, usize)> = Vec::with_capacity(map.len());
+    for (g, &h) in map.iter().enumerate() {
+        if h >= num_host_nodes || !node_alive(h) {
+            return Err(EmbedError::BadImage { guest: g, host: h });
+        }
+        images.push((h, g));
+    }
+    images.sort_unstable();
+    for pair in images.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(EmbedError::NotInjective {
+                guest_a: pair[0].1,
+                guest_b: pair[1].1,
+                host: pair[0].0,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn verify_embedding_impl<O: AdjacencyOracle>(
     guest: &Shape,
     map: &[usize],
-    host: &Graph,
+    host: &O,
     node_alive: impl Fn(usize) -> bool,
     edge_alive: impl Fn(u32) -> bool,
     wrap: bool,
@@ -106,25 +161,7 @@ fn verify_embedding_impl(
             actual: map.len(),
         });
     }
-    // Injectivity + image validity. A packed bitmap keeps this pass
-    // cache-friendly (64× smaller than a per-node owner table); the
-    // colliding guest is recovered by a rescan only on the error path.
-    let mut seen = vec![0u64; host.num_nodes().div_ceil(64)];
-    for (g, &h) in map.iter().enumerate() {
-        if h >= host.num_nodes() || !node_alive(h) {
-            return Err(EmbedError::BadImage { guest: g, host: h });
-        }
-        let (w, bit) = (h >> 6, 1u64 << (h & 63));
-        if seen[w] & bit != 0 {
-            let guest_a = map.iter().position(|&x| x == h).unwrap();
-            return Err(EmbedError::NotInjective {
-                guest_a,
-                guest_b: g,
-                host: h,
-            });
-        }
-        seen[w] |= bit;
-    }
+    check_injective(map, host.num_nodes(), node_alive)?;
     // Edge coverage: iterate guest edges once, each checked from its
     // *later* endpoint in flat order (the back edge `c−1 → c` at `c`,
     // the wrap edge `n−1 → 0` at `c = n−1`). Every probe of iteration

@@ -12,8 +12,10 @@
 pub mod csr;
 pub mod embed;
 pub mod gen;
+pub mod oracle;
 pub mod traverse;
 
 pub use csr::{Graph, GraphBuilder};
 pub use embed::{verify_mesh_embedding, verify_torus_embedding, EmbedError};
+pub use oracle::AdjacencyOracle;
 pub use traverse::{bfs_distances, connected_components, deepest_dfs_path, Components};

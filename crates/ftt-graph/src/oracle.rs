@@ -1,0 +1,339 @@
+//! The adjacency oracle abstraction — hosts without stored edges.
+//!
+//! Tamaki's `B^d_n`/`D^d_{n,k}` hosts are defined by pure modular
+//! arithmetic: the neighbourhood of a node is computable from
+//! `(params, node_id)` alone, so nothing forces the edge set into
+//! memory. [`AdjacencyOracle`] captures exactly what the extraction,
+//! verification, and online-repair pipelines need from a host — degree,
+//! neighbour iteration, edge-id addressing, and edge probes — all
+//! allocation-free, so a `D^3` instance with 10⁸⁺ nodes costs `O(1)`
+//! bytes of adjacency state instead of tens of gigabytes of CSR.
+//!
+//! Two implementation families exist:
+//!
+//! * **CSR-backed** — [`Graph`] implements the trait by delegating to
+//!   its vectorized probe/prefetch fast paths, so materialised hosts
+//!   (`A²_n`, small differential instances) lose nothing.
+//! * **Algebraic** — `ftt-core` provides `BdnOracle`/`DdnOracle`
+//!   computing torus + jump-edge neighbourhoods arithmetically with a
+//!   *canonical edge numbering* that reproduces the CSR builder's
+//!   insertion order byte-for-byte, so `FaultSet` edge ids stay stable
+//!   and journals/certificates remain replayable across both families.
+//!
+//! The contract an implementation must honour:
+//!
+//! * node ids are dense `0..num_nodes()`, undirected edge ids dense
+//!   `0..num_edges()`; parallel edges may share endpoints but not ids;
+//! * `for_each_arc(v, f)` visits every arc out of `v` exactly once as
+//!   `(target, edge_id)`, sorted by target ascending with ties in
+//!   ascending edge-id order — the CSR adjacency-window order, which
+//!   differential tests compare byte-for-byte;
+//! * `degree(v)` equals the number of arcs visited;
+//! * `edge_endpoints(e)` returns the endpoints in insertion order
+//!   (**not** normalised to `u <= v`), matching [`Graph::edge_endpoints`].
+
+use crate::csr::Graph;
+
+/// Read-only adjacency of an undirected multigraph host, answerable
+/// without materialised edge storage. See the [module docs](self) for
+/// the exact contract.
+pub trait AdjacencyOracle {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of undirected edges (counting parallel edges separately).
+    fn num_edges(&self) -> usize;
+
+    /// Degree of `v` (with multiplicity).
+    fn degree(&self, v: usize) -> usize;
+
+    /// Visits every arc out of `v` as `(target, undirected edge id)`,
+    /// sorted by `(target, edge id)` ascending.
+    fn for_each_arc(&self, v: usize, f: impl FnMut(usize, u32));
+
+    /// Endpoints `(u, v)` of an undirected edge id, in insertion order.
+    fn edge_endpoints(&self, e: u32) -> (usize, usize);
+
+    /// Whether at least one `u`–`v` edge exists.
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.any_edge_between(u, v, |_| true)
+    }
+
+    /// Whether some `u`–`v` edge satisfies `pred` — the hot-path form
+    /// of "is any parallel edge between `u` and `v` alive", used by
+    /// embedding verification on every guest edge.
+    fn any_edge_between(&self, u: usize, v: usize, mut pred: impl FnMut(u32) -> bool) -> bool {
+        let mut found = false;
+        self.for_each_arc(u, |t, e| {
+            if !found && t == v && pred(e) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Whether some `u`–`t1` edge and some `u`–`t2` edge each satisfy
+    /// `pred`, in one pass over `u`'s arcs. Returns `(ok1, ok2)`.
+    fn edges_to_pair(
+        &self,
+        u: usize,
+        t1: usize,
+        t2: usize,
+        mut pred: impl FnMut(u32) -> bool,
+    ) -> (bool, bool) {
+        let (mut ok1, mut ok2) = (false, false);
+        self.for_each_arc(u, |t, e| {
+            if t == t1 && !ok1 && pred(e) {
+                ok1 = true;
+            }
+            if t == t2 && !ok2 && pred(e) {
+                ok2 = true;
+            }
+        });
+        (ok1, ok2)
+    }
+
+    /// Hints that `v`'s adjacency will be probed shortly. No-op for
+    /// algebraic oracles (nothing to pull into cache); the CSR impl
+    /// forwards to its two-stage prefetch pipeline.
+    #[inline]
+    fn prefetch_offsets(&self, v: usize) {
+        let _ = v;
+    }
+
+    /// Companion to [`prefetch_offsets`](Self::prefetch_offsets) at the
+    /// nearer pipeline stage. No-op for algebraic oracles.
+    #[inline]
+    fn prefetch_arcs(&self, v: usize) {
+        let _ = v;
+    }
+}
+
+/// CSR-backed oracle: every method forwards to the graph's existing
+/// fast path (vectorized run-start counting, fused pair probes,
+/// explicit prefetch), so generic consumers keep the materialised-host
+/// performance profile unchanged.
+impl AdjacencyOracle for Graph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: usize) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn for_each_arc(&self, v: usize, mut f: impl FnMut(usize, u32)) {
+        for (t, e) in self.arcs(v) {
+            f(t, e);
+        }
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        Graph::edge_endpoints(self, e)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn any_edge_between(&self, u: usize, v: usize, pred: impl FnMut(u32) -> bool) -> bool {
+        Graph::any_edge_between(self, u, v, pred)
+    }
+
+    #[inline]
+    fn edges_to_pair(
+        &self,
+        u: usize,
+        t1: usize,
+        t2: usize,
+        pred: impl FnMut(u32) -> bool,
+    ) -> (bool, bool) {
+        Graph::edges_to_pair(self, u, t1, t2, pred)
+    }
+
+    #[inline]
+    fn prefetch_offsets(&self, v: usize) {
+        Graph::prefetch_offsets(self, v)
+    }
+
+    #[inline]
+    fn prefetch_arcs(&self, v: usize) {
+        Graph::prefetch_arcs(self, v)
+    }
+}
+
+/// References to oracles are oracles, so generic consumers can take
+/// `host: O` or `host: &O` interchangeably.
+impl<O: AdjacencyOracle + ?Sized> AdjacencyOracle for &O {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    #[inline]
+    fn degree(&self, v: usize) -> usize {
+        (**self).degree(v)
+    }
+
+    #[inline]
+    fn for_each_arc(&self, v: usize, f: impl FnMut(usize, u32)) {
+        (**self).for_each_arc(v, f)
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+        (**self).edge_endpoints(e)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        (**self).has_edge(u, v)
+    }
+
+    #[inline]
+    fn any_edge_between(&self, u: usize, v: usize, pred: impl FnMut(u32) -> bool) -> bool {
+        (**self).any_edge_between(u, v, pred)
+    }
+
+    #[inline]
+    fn edges_to_pair(
+        &self,
+        u: usize,
+        t1: usize,
+        t2: usize,
+        pred: impl FnMut(u32) -> bool,
+    ) -> (bool, bool) {
+        (**self).edges_to_pair(u, t1, t2, pred)
+    }
+
+    #[inline]
+    fn prefetch_offsets(&self, v: usize) {
+        (**self).prefetch_offsets(v)
+    }
+
+    #[inline]
+    fn prefetch_arcs(&self, v: usize) {
+        (**self).prefetch_arcs(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    /// A deliberately naive oracle over an edge list, exercising every
+    /// *default* method body against the CSR overrides.
+    struct EdgeListOracle {
+        n: usize,
+        edges: Vec<(usize, usize)>,
+    }
+
+    impl AdjacencyOracle for EdgeListOracle {
+        fn num_nodes(&self) -> usize {
+            self.n
+        }
+        fn num_edges(&self) -> usize {
+            self.edges.len()
+        }
+        fn degree(&self, v: usize) -> usize {
+            self.edges
+                .iter()
+                .filter(|&&(a, b)| a == v || b == v)
+                .count()
+        }
+        fn for_each_arc(&self, v: usize, mut f: impl FnMut(usize, u32)) {
+            let mut arcs: Vec<(usize, u32)> = self
+                .edges
+                .iter()
+                .enumerate()
+                .filter_map(|(e, &(a, b))| {
+                    (a == v)
+                        .then_some((b, e as u32))
+                        .or((b == v).then_some((a, e as u32)))
+                })
+                .collect();
+            arcs.sort_unstable();
+            for (t, e) in arcs {
+                f(t, e);
+            }
+        }
+        fn edge_endpoints(&self, e: u32) -> (usize, usize) {
+            self.edges[e as usize]
+        }
+    }
+
+    fn parallel_square() -> (EdgeListOracle, Graph) {
+        // C_4 plus a parallel copy of edge 0–1.
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 1)];
+        let mut b = GraphBuilder::new(4);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        (EdgeListOracle { n: 4, edges }, b.build())
+    }
+
+    #[test]
+    fn defaults_agree_with_csr_overrides() {
+        let (alg, csr) = parallel_square();
+        assert_eq!(alg.num_nodes(), AdjacencyOracle::num_nodes(&csr));
+        assert_eq!(alg.num_edges(), AdjacencyOracle::num_edges(&csr));
+        for v in 0..4 {
+            assert_eq!(alg.degree(v), AdjacencyOracle::degree(&csr, v));
+            let mut a = Vec::new();
+            let mut c = Vec::new();
+            alg.for_each_arc(v, |t, e| a.push((t, e)));
+            AdjacencyOracle::for_each_arc(&csr, v, |t, e| c.push((t, e)));
+            assert_eq!(a, c, "arc order at node {v}");
+            for u in 0..4 {
+                assert_eq!(alg.has_edge(v, u), AdjacencyOracle::has_edge(&csr, v, u));
+            }
+        }
+        for e in 0..alg.num_edges() as u32 {
+            assert_eq!(
+                alg.edge_endpoints(e),
+                AdjacencyOracle::edge_endpoints(&csr, e)
+            );
+        }
+    }
+
+    #[test]
+    fn default_probes_respect_pred_and_parallel_edges() {
+        let (alg, _) = parallel_square();
+        // Both parallel 0–1 edges: ids 0 and 4.
+        assert!(alg.any_edge_between(0, 1, |_| true));
+        assert!(alg.any_edge_between(0, 1, |e| e == 4));
+        assert!(!alg.any_edge_between(0, 1, |e| e == 2));
+        assert!(!alg.any_edge_between(0, 2, |_| true));
+        let (ok1, ok2) = alg.edges_to_pair(0, 1, 3, |e| e != 0);
+        assert!(ok1 && ok2, "parallel survivor 4 carries 0–1");
+        let (ok1, ok2) = alg.edges_to_pair(0, 1, 3, |e| e == 3);
+        assert!(!ok1 && ok2);
+    }
+
+    #[test]
+    fn reference_blanket_impl_delegates() {
+        let (alg, _) = parallel_square();
+        let r = &alg;
+        assert_eq!(r.num_nodes(), 4);
+        assert!(r.has_edge(2, 3));
+        r.prefetch_offsets(0);
+        r.prefetch_arcs(0);
+    }
+}

@@ -644,7 +644,7 @@ where
                 if certify_every > 0 && total.is_multiple_of(certify_every) {
                     rec.cert_checks += 1;
                     let ok = live_certificate(host, state).is_some_and(|cert| {
-                        ftt_verify::check_certificate(&cert, host.graph(), state.faults()).is_ok()
+                        ftt_verify::check_certificate(&cert, host.oracle(), state.faults()).is_ok()
                     });
                     if !ok {
                         rec.cert_failures += 1;
@@ -699,9 +699,8 @@ pub fn run_lifetime_trials<C: HostConstruction + Sync>(
     certify_every: usize,
     burst_window: u64,
 ) -> Vec<TrialRecord> {
-    let _ = host.graph(); // materialise lazy host state once
     let num_nodes = host.num_nodes();
-    let num_edges = host.graph().num_edges();
+    let num_edges = host.num_edges();
     // Geometry-aware streams (track bursts) walk the host torus when
     // the construction has one; geometry-blind hosts degrade to
     // id-adjacent runs.

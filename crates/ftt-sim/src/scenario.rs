@@ -82,7 +82,7 @@ pub fn extract_verified_with<C: HostConstruction>(
     verify_torus_embedding(
         &emb.guest,
         &emb.map,
-        host.graph(),
+        host.oracle(),
         |v| faults.node_alive(v),
         |e| faults.edge_alive(e),
     )
@@ -121,7 +121,7 @@ where
         threads,
         || {
             (
-                FaultSet::none(host.num_nodes(), host.graph().num_edges()),
+                FaultSet::none(host.num_nodes(), host.num_edges()),
                 host.new_scratch(),
             )
         },
@@ -146,7 +146,7 @@ pub struct BernoulliSampler {
 impl<C: HostConstruction> FaultSampler<C> for BernoulliSampler {
     fn sample_into(&self, host: &C, seed: u64, out: &mut FaultSet) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        sample_bernoulli_faults_into(host.graph(), self.p, self.q, &mut rng, out);
+        sample_bernoulli_faults_into(host.oracle(), self.p, self.q, &mut rng, out);
     }
 }
 

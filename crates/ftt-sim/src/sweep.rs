@@ -915,13 +915,10 @@ fn run_host_cells<C: HostConstruction + Sync>(
     trials: usize,
     threads: usize,
 ) -> Vec<(TrialStats, f64)> {
-    // Materialise lazy host state (e.g. the cached D^d graph) outside
-    // the timed regions.
-    let _ = host.graph();
     let pool = ScratchPool::new();
     let init = || {
         (
-            FaultSet::none(host.num_nodes(), host.graph().num_edges()),
+            FaultSet::none(host.num_nodes(), host.num_edges()),
             host.new_scratch(),
         )
     };
@@ -945,7 +942,7 @@ fn run_host_cells<C: HostConstruction + Sync>(
                             faults.kill_node(v);
                         }
                         let certified = host.try_certify(faults).is_ok_and(|cert| {
-                            ftt_verify::check_certificate(&cert, host.graph(), faults).is_ok()
+                            ftt_verify::check_certificate(&cert, host.oracle(), faults).is_ok()
                         });
                         [certified]
                     },
@@ -961,7 +958,7 @@ fn run_host_cells<C: HostConstruction + Sync>(
                             ResolvedFaults::Bernoulli { p, q } => {
                                 let mut rng = SmallRng::seed_from_u64(seed);
                                 sample_bernoulli_faults_into(
-                                    host.graph(),
+                                    host.oracle(),
                                     *p,
                                     *q,
                                     &mut rng,

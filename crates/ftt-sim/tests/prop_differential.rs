@@ -63,7 +63,7 @@ fn sample_faults<C: HostConstruction>(host: &C, seed: u64, scale: usize) -> Faul
         _ => (0.3, 0.05),
     };
     let mut rng = SmallRng::seed_from_u64(seed);
-    sample_bernoulli_faults(host.graph(), p, q, &mut rng)
+    sample_bernoulli_faults(host.oracle(), p, q, &mut rng)
 }
 
 proptest! {

@@ -133,7 +133,7 @@ fn check_parity<C: HostConstruction>(
     // Property 2: the repaired embedding passes the independent
     // checker.
     let cert = live_certificate(host, state).expect("alive");
-    ftt_verify::check_certificate(&cert, host.graph(), state.faults()).unwrap_or_else(|e| {
+    ftt_verify::check_certificate(&cert, host.oracle(), state.faults()).unwrap_or_else(|e| {
         panic!(
             "{}: repaired embedding rejected by the independent checker ({}): {e}",
             C::NAME,
@@ -158,7 +158,7 @@ fn check_stream<C: HostConstruction>(
     max_events: usize,
     mut journal: Option<&mut FaultJournal>,
 ) -> usize {
-    let mut stream = spec.stream(host.num_nodes(), host.graph().num_edges(), seed);
+    let mut stream = spec.stream(host.num_nodes(), host.num_edges(), seed);
     let renewing = stream.renewing();
     state.reset(host).expect("fault-free extraction");
     let mut events = 0;

@@ -1,0 +1,175 @@
+//! Differential property tests: the algebraic adjacency oracles
+//! against the materialised CSR they replace.
+//!
+//! The implicit-host redesign answers every adjacency question for
+//! `B^d_n` and `D^d_{n,k}` arithmetically from `(params, node id)`.
+//! The CSR built by the legacy constructors is the ground truth those
+//! formulas must reproduce **byte-identically** — same degrees, same
+//! neighbour lists in the same order, same canonical edge ids, same
+//! `edge_endpoints` orientation, same `has_edge` verdicts — because
+//! `FaultSet` edge ids, journals, and certificates all assume the two
+//! numberings are interchangeable. `A^2_n`'s oracle IS its CSR (the
+//! supernode graph is irregular and stays eager), so its parity test
+//! is a tautology kept as an API-contract pin.
+//!
+//! The certification half drives ≥ 256 seed-derived fault sets per
+//! construction (4 per proptest case × the 64-case default) through
+//! extraction, then validates every resulting certificate through the
+//! independent checker twice — once against the algebraic oracle, once
+//! against the materialised CSR — and requires identical verdicts.
+
+use ftt_core::construct::HostConstruction;
+use ftt_faults::{sample_bernoulli_faults, FaultSet};
+use ftt_graph::{AdjacencyOracle, Graph};
+use ftt_sim::runner::trial_seed;
+use ftt_testutil::{tiny_adn, tiny_bdn, tiny_ddn};
+use ftt_verify::check_certificate;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Fault sets derived per proptest case: 4 × 64 default cases ⇒ ≥ 256
+/// per construction.
+const SUBSEEDS: u64 = 4;
+
+/// Full adjacency parity at one node: degree, the `(neighbour, edge
+/// id)` arc list in CSR order, endpoint orientation of every incident
+/// edge, and `has_edge` against every node of a probe window.
+fn assert_node_parity<O: AdjacencyOracle>(oracle: &O, csr: &Graph, v: usize) {
+    assert_eq!(oracle.degree(v), csr.degree(v), "degree({v})");
+    let mut from_oracle: Vec<(usize, u32)> = Vec::new();
+    oracle.for_each_arc(v, |w, e| from_oracle.push((w, e)));
+    let from_csr: Vec<(usize, u32)> = csr.arcs(v).collect();
+    assert_eq!(from_oracle, from_csr, "arc list of {v}");
+    for &(_, e) in &from_oracle {
+        assert_eq!(
+            oracle.edge_endpoints(e),
+            csr.edge_endpoints(e),
+            "endpoints of edge {e}"
+        );
+    }
+    // has_edge over the arc targets plus a deterministic non-neighbour
+    // window around v (covers both polarities).
+    for &(w, _) in &from_oracle {
+        assert!(oracle.has_edge(v, w), "missing edge {v}-{w}");
+        assert!(oracle.has_edge(w, v), "missing reverse edge {w}-{v}");
+    }
+    let n = csr.num_nodes();
+    for off in 0..16usize {
+        let w = (v + off * 37 + 1) % n;
+        assert_eq!(
+            oracle.has_edge(v, w),
+            csr.has_edge(v, w),
+            "has_edge({v},{w})"
+        );
+    }
+}
+
+/// Whole-host parity: every node, every edge id, both directions.
+fn assert_full_parity<O: AdjacencyOracle>(oracle: &O, csr: &Graph) {
+    assert_eq!(oracle.num_nodes(), csr.num_nodes());
+    assert_eq!(oracle.num_edges(), csr.num_edges());
+    for v in 0..csr.num_nodes() {
+        assert_node_parity(oracle, csr, v);
+    }
+}
+
+#[test]
+fn bdn_oracle_matches_csr_everywhere() {
+    let host = tiny_bdn();
+    assert_full_parity(HostConstruction::oracle(&host), host.graph());
+}
+
+#[test]
+fn ddn_oracle_matches_csr_everywhere() {
+    let host = tiny_ddn();
+    assert_full_parity(HostConstruction::oracle(&host), host.graph());
+}
+
+#[test]
+fn adn_oracle_is_its_csr() {
+    let host = tiny_adn(6, 0.0);
+    // One oracle, two routes: the trait's oracle and the inherent
+    // graph must be the same object (A² stays eager by design).
+    assert!(std::ptr::eq(HostConstruction::oracle(&host), host.graph()));
+    assert_full_parity(HostConstruction::oracle(&host), host.graph());
+}
+
+/// A seed-derived fault set sweeping fault-free → paper regime →
+/// beyond tolerance, with edge faults in the denser scales.
+fn sample_faults<C: HostConstruction>(host: &C, seed: u64, scale: usize) -> FaultSet {
+    let n = host.num_nodes() as f64;
+    let (p, q) = match scale {
+        0 => (0.0, 0.0),
+        1 => (2.0 / n, 0.0),
+        2 => (8.0 / n, 4.0 / (2.0 * n)),
+        _ => (40.0 / n, 20.0 / (2.0 * n)),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sample_bernoulli_faults(host.oracle(), p, q, &mut rng)
+}
+
+/// Certification outcome parity for one host: extraction either fails
+/// (no certificate, nothing to compare) or yields a certificate the
+/// independent checker must accept through BOTH adjacency sources.
+fn certification_parity<C: HostConstruction>(
+    host: &C,
+    csr: &Graph,
+    seed: u64,
+    scale: usize,
+) -> Result<(), TestCaseError> {
+    for sub in 0..SUBSEEDS {
+        let faults = sample_faults(host, trial_seed(seed, sub), scale);
+        if let Ok(cert) = host.try_certify(&faults) {
+            let via_oracle = check_certificate(&cert, host.oracle(), &faults);
+            let via_csr = check_certificate(&cert, csr, &faults);
+            prop_assert!(
+                via_oracle.is_ok(),
+                "oracle rejected a certificate at scale {scale}: {:?}",
+                via_oracle.err()
+            );
+            prop_assert!(
+                via_csr.is_ok(),
+                "CSR rejected a certificate at scale {scale}: {:?}",
+                via_csr.err()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn bdn_node_parity_random_nodes(v_seed in 0u64..u64::MAX) {
+        let host = tiny_bdn();
+        let csr = host.graph();
+        let v = (v_seed % csr.num_nodes() as u64) as usize;
+        assert_node_parity(HostConstruction::oracle(&host), csr, v);
+    }
+
+    #[test]
+    fn ddn_node_parity_random_nodes(v_seed in 0u64..u64::MAX) {
+        let host = tiny_ddn();
+        let csr = host.graph();
+        let v = (v_seed % csr.num_nodes() as u64) as usize;
+        assert_node_parity(HostConstruction::oracle(&host), csr, v);
+    }
+
+    #[test]
+    fn bdn_certification_parity(seed in 0u64..u64::MAX, scale in 0usize..4) {
+        let host = tiny_bdn();
+        certification_parity(&host, host.graph(), seed, scale)?;
+    }
+
+    #[test]
+    fn adn_certification_parity(seed in 0u64..u64::MAX, scale in 0usize..4) {
+        let host = tiny_adn(6, 0.0);
+        certification_parity(&host, host.graph(), seed, scale)?;
+    }
+
+    #[test]
+    fn ddn_certification_parity(seed in 0u64..u64::MAX, scale in 0usize..4) {
+        let host = tiny_ddn();
+        certification_parity(&host, host.graph(), seed, scale)?;
+    }
+}

@@ -16,8 +16,7 @@
 
 use ftt_core::EmbeddingCertificate;
 use ftt_faults::FaultSet;
-use ftt_graph::Graph;
-use std::collections::HashMap;
+use ftt_graph::AdjacencyOracle;
 
 /// Why a certificate failed independent validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,22 +145,29 @@ fn strides(dims: &[usize]) -> Vec<usize> {
     s
 }
 
-/// Whether any host edge between `u` and `v` survives `faults`, by
-/// scanning `u`'s public adjacency list (multigraph semantics: parallel
-/// edges each count).
-fn alive_edge_between(host: &Graph, faults: &FaultSet, u: usize, v: usize) -> bool {
-    host.arcs(u).any(|(w, e)| w == v && faults.edge_alive(e))
+/// Whether any host edge between `u` and `v` survives `faults`, through
+/// the host's adjacency oracle (multigraph semantics: parallel edges
+/// each count).
+fn alive_edge_between<O: AdjacencyOracle>(host: &O, faults: &FaultSet, u: usize, v: usize) -> bool {
+    host.any_edge_between(u, v, |e| faults.edge_alive(e))
 }
 
-/// Validates `cert` against the ground truth `host` graph and `faults`.
+/// Validates `cert` against the ground truth `host` — any
+/// [`AdjacencyOracle`], a CSR graph or an implicit algebraic host — and
+/// `faults`.
 ///
 /// Checks, in order: guest dims sane; map length; claimed host sizes
-/// match the graph (and the fault set's domains); every image in range,
+/// match the host (and the fault set's domains); every image in range,
 /// alive, and hit at most once; every guest torus edge carried by at
 /// least one alive host edge. Returns the first violation found.
-pub fn check_certificate(
+///
+/// Memory is `O(min(host_nodes/64, map))`: injectivity uses a host
+/// bitmap when that is no larger than the map itself, and a sorted
+/// image list otherwise (the implicit-giant regime, where the bitmap —
+/// not the checker's input — would dominate RSS).
+pub fn check_certificate<O: AdjacencyOracle>(
     cert: &EmbeddingCertificate,
-    host: &Graph,
+    host: &O,
     faults: &FaultSet,
 ) -> Result<(), VerifyError> {
     let dims = &cert.guest_dims;
@@ -190,22 +196,50 @@ pub fn check_certificate(
     }
 
     // Images: in range, alive, and injective.
-    let mut owner: HashMap<usize, usize> = HashMap::with_capacity(cert.map.len());
-    for (g, &h) in cert.map.iter().enumerate() {
-        if h >= host.num_nodes() {
-            return Err(VerifyError::BadHostNode { guest: g, host: h });
+    let words = host.num_nodes().div_ceil(64);
+    if words <= cert.map.len() {
+        let mut seen = vec![0u64; words];
+        for (g, &h) in cert.map.iter().enumerate() {
+            if h >= host.num_nodes() {
+                return Err(VerifyError::BadHostNode { guest: g, host: h });
+            }
+            if !faults.node_alive(h) {
+                return Err(VerifyError::DeadNode { guest: g, host: h });
+            }
+            if seen[h / 64] >> (h % 64) & 1 == 1 {
+                let first = cert.map[..g]
+                    .iter()
+                    .position(|&x| x == h)
+                    .expect("bit was set by an earlier image");
+                return Err(VerifyError::NotInjective {
+                    guest_a: first,
+                    guest_b: g,
+                    host: h,
+                });
+            }
+            seen[h / 64] |= 1 << (h % 64);
         }
-        if !faults.node_alive(h) {
-            return Err(VerifyError::DeadNode { guest: g, host: h });
+    } else {
+        // Implicit-giant regime: the host bitmap would dwarf the map.
+        // Range/alive first (in map order), then sort the images.
+        for (g, &h) in cert.map.iter().enumerate() {
+            if h >= host.num_nodes() {
+                return Err(VerifyError::BadHostNode { guest: g, host: h });
+            }
+            if !faults.node_alive(h) {
+                return Err(VerifyError::DeadNode { guest: g, host: h });
+            }
         }
-        if let Some(&first) = owner.get(&h) {
+        let mut images: Vec<(usize, usize)> =
+            cert.map.iter().enumerate().map(|(g, &h)| (h, g)).collect();
+        images.sort_unstable();
+        if let Some(w) = images.windows(2).find(|w| w[0].0 == w[1].0) {
             return Err(VerifyError::NotInjective {
-                guest_a: first,
-                guest_b: g,
-                host: h,
+                guest_a: w[0].1,
+                guest_b: w[1].1,
+                host: w[0].0,
             });
         }
-        owner.insert(h, g);
     }
 
     // Torus adjacency: every guest edge must be carried by an alive
@@ -245,6 +279,7 @@ pub fn check_certificate(
 mod tests {
     use super::*;
     use ftt_graph::gen::torus;
+    use ftt_graph::Graph;
 
     /// A 4×4 host torus with the identity certificate.
     fn identity_cert() -> (EmbeddingCertificate, Graph, FaultSet) {

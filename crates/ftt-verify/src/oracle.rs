@@ -30,6 +30,13 @@
 //!   fed by the oracle's dense fault conversion — differential coverage
 //!   for the sparse ascription, half-edge conversion, and scratch-reuse
 //!   layers that PR 2 put in front of them.
+//!
+//! Everything here deliberately walks the **full host domain** —
+//! `O(nodes + edges)` per call — which is the point of a reference
+//! oracle but also why these functions are demoted to small
+//! differential-test instances. Implicit billion-node hosts go through
+//! the sparse production paths and are spot-checked by the oracle on
+//! shrunk parameter sets instead.
 
 use ftt_core::adn::embed::extract_after_faults_adn;
 use ftt_core::adn::Adn;
@@ -38,7 +45,7 @@ use ftt_core::bdn::Bdn;
 use ftt_core::ddn::Ddn;
 use ftt_core::HostConstruction;
 use ftt_faults::{FaultSet, HalfEdgeFaults};
-use ftt_graph::Graph;
+use ftt_graph::AdjacencyOracle;
 
 /// An embedding as the oracles report it: plain data, comparable
 /// against the fast path's `TorusEmbedding` field by field.
@@ -65,8 +72,9 @@ pub fn dense_edge_faults(faults: &FaultSet) -> Vec<bool> {
 }
 
 /// Dense Section-3 ascription: node faults plus, for every faulty
-/// edge, its first endpoint — computed by scanning the whole edge set.
-fn dense_ascribed(g: &Graph, faults: &FaultSet) -> Vec<bool> {
+/// edge, its first endpoint — computed by scanning the whole edge set
+/// through the host's adjacency oracle (no CSR materialisation).
+fn dense_ascribed<O: AdjacencyOracle>(g: &O, faults: &FaultSet) -> Vec<bool> {
     let mut faulty = dense_node_faults(faults);
     for e in 0..g.num_edges() as u32 {
         if faults.edge_faulty(e) {
@@ -79,7 +87,7 @@ fn dense_ascribed(g: &Graph, faults: &FaultSet) -> Vec<bool> {
 /// Reference `B^d_n` extraction: dense fault application (full-domain
 /// ascription) feeding the dense placement entry point.
 pub fn reference_extract_bdn(bdn: &Bdn, faults: &FaultSet) -> Option<OracleEmbedding> {
-    let faulty = dense_ascribed(HostConstruction::graph(bdn), faults);
+    let faulty = dense_ascribed(HostConstruction::oracle(bdn), faults);
     extract_after_faults(bdn, &faulty)
         .ok()
         .map(|emb| OracleEmbedding {
@@ -94,7 +102,7 @@ pub fn reference_extract_bdn(bdn: &Bdn, faults: &FaultSet) -> Option<OracleEmbed
 /// whole edge set.
 pub fn reference_extract_adn(adn: &Adn, faults: &FaultSet) -> Option<OracleEmbedding> {
     let node_faulty = dense_node_faults(faults);
-    let num_edges = HostConstruction::graph(adn).num_edges();
+    let num_edges = HostConstruction::num_edges(adn);
     let mut halves = HalfEdgeFaults::none(num_edges);
     for e in 0..num_edges as u32 {
         if faults.edge_faulty(e) {
@@ -166,7 +174,7 @@ fn simulate_axis(
 pub fn reference_extract_ddn(ddn: &Ddn, faults: &FaultSet) -> Option<OracleEmbedding> {
     let p = *ddn.params();
     let (m, d, n) = (p.m(), p.d, p.n);
-    let faulty = dense_ascribed(HostConstruction::graph(ddn), faults);
+    let faulty = dense_ascribed(HostConstruction::oracle(ddn), faults);
     let mut remaining: Vec<usize> = (0..faulty.len()).filter(|&v| faulty[v]).collect();
     // axis strides of the m×…×m host, dimension 0 slowest
     let stride = |axis: usize| m.pow((d - 1 - axis) as u32);
@@ -222,7 +230,7 @@ pub fn reference_extract_ddn(ddn: &Ddn, faults: &FaultSet) -> Option<OracleEmbed
 pub fn ddn_offset_search(ddn: &Ddn, faults: &FaultSet) -> bool {
     let p = *ddn.params();
     let (m, d) = (p.m(), p.d);
-    let faulty = dense_ascribed(HostConstruction::graph(ddn), faults);
+    let faulty = dense_ascribed(HostConstruction::oracle(ddn), faults);
     let initial: Vec<usize> = (0..faulty.len()).filter(|&v| faulty[v]).collect();
     let stride = |axis: usize| m.pow((d - 1 - axis) as u32);
 
@@ -263,7 +271,7 @@ mod tests {
     fn faults_of(ddn: &Ddn, nodes: &[usize]) -> FaultSet {
         FaultSet::from_lists(
             HostConstruction::num_nodes(ddn),
-            HostConstruction::graph(ddn).num_edges(),
+            HostConstruction::num_edges(ddn),
             nodes,
             &[],
         )

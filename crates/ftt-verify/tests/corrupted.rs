@@ -12,11 +12,12 @@ use ftt_core::bdn::{Bdn, BdnParams};
 use ftt_core::ddn::{Ddn, DdnParams};
 use ftt_core::{EmbeddingCertificate, HostConstruction};
 use ftt_faults::FaultSet;
+use ftt_graph::AdjacencyOracle;
 use ftt_verify::{check_certificate, VerifyError};
 
 /// Emits a genuine certificate for `host` with a few node faults.
 fn emit<C: HostConstruction>(host: &C, kill: &[usize]) -> (EmbeddingCertificate, FaultSet) {
-    let mut faults = FaultSet::none(host.num_nodes(), host.graph().num_edges());
+    let mut faults = FaultSet::none(host.num_nodes(), host.num_edges());
     for &v in kill {
         faults.kill_node(v % host.num_nodes());
     }
@@ -27,7 +28,7 @@ fn emit<C: HostConstruction>(host: &C, kill: &[usize]) -> (EmbeddingCertificate,
 /// The corruption battery, generic over the construction: the genuine
 /// certificate passes; each corruption is rejected with its variant.
 fn battery<C: HostConstruction>(host: &C, kill: &[usize]) {
-    let graph = host.graph();
+    let graph = host.oracle();
     let (cert, faults) = emit(host, kill);
     check_certificate(&cert, graph, &faults)
         .unwrap_or_else(|e| panic!("{}: genuine certificate rejected: {e}", C::NAME));
@@ -57,11 +58,11 @@ fn battery<C: HostConstruction>(host: &C, kill: &[usize]) {
     // certification (certificate now stale against the fault set)
     let (u, v) = (cert.map[0], cert.map[1]);
     let mut stale = faults.clone();
-    for (w, e) in graph.arcs(u) {
+    graph.for_each_arc(u, |w, e| {
         if w == v {
             stale.kill_edge(e);
         }
-    }
+    });
     match check_certificate(&cert, graph, &stale) {
         Err(VerifyError::MissingEdge { host_u, host_v, .. }) => {
             assert_eq!((host_u, host_v), (u, v))

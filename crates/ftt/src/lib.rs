@@ -34,10 +34,21 @@
 //! ## Crate map
 //!
 //! * [`geom`] — cyclic arithmetic, shapes, tiles, frames
-//! * [`graph`] — CSR multigraphs, generators, embedding verification
-//! * [`faults`] — random/adversarial fault models (incl. half-edges)
+//! * [`graph`] — the [`graph::AdjacencyOracle`] trait (allocation-free
+//!   degree/neighbour/edge-id queries, the production interface to a
+//!   host's edges), CSR multigraphs implementing it, generators,
+//!   oracle-generic embedding verification
+//! * [`faults`] — random/adversarial fault models (incl. half-edges);
+//!   fault sets stay `O(#faults)` even over implicit billion-edge hosts
 //! * [`core`] — the paper's three constructions and band machinery,
-//!   unified behind [`core::construct::HostConstruction`]
+//!   unified behind [`core::construct::HostConstruction`]. `B^d_n` and
+//!   `D^d_{n,k}` are *implicit* hosts: their oracles
+//!   ([`core::bdn::BdnOracle`], [`core::ddn::DdnOracle`]) answer every
+//!   adjacency question by modular arithmetic on `(params, node id)`
+//!   with the canonical edge numbering, so instances with `10^8+` nodes
+//!   extract and certify without ever materialising a graph
+//!   (`materialized_graph()` is `None`); `A²_n`'s irregular supernode
+//!   multigraph keeps its eager CSR as the oracle
 //! * [`expander`] — Margulis expanders, spectral gap (Alon–Chung substrate)
 //! * [`baselines`] — Alon–Chung, FKP-style clusters, BCH analytic models
 //! * [`verify`] — the trusted-checker layer: independent certificate

@@ -7,6 +7,8 @@ Usage:
     check_perf.py --online BENCH_online.json [--min-speedup S]
                   [--min-speedup-bdn S] [--max-frac-rebuild-bdn F]
                   [--min-speedup-adn S]
+    check_perf.py --giant BENCH_extraction.json [--min-nodes N]
+                  [--max-rss-mb M]
 
 Two-file mode compares the freshly measured trials/sec of every
 scenario in BENCH_extraction.json against the committed baseline and
@@ -36,6 +38,16 @@ gates each scenario by its ``construction``:
 
 Speedups are same-machine ratios (noise-robust); ``frac_rebuild`` is a
 deterministic tier count, so both gate tightly even on CI runners.
+
+``--giant`` mode validates the implicit-host demonstration recorded by
+``bench_extraction --giant`` as a top-level ``"giant"`` object: a
+``D³_{n,k}`` instance of at least ``--min-nodes`` host nodes (default
+10⁸ for the committed artifact; CI's giant-smoke passes 10⁷ for its
+fresh run) must have been extracted AND independently certified
+through the algebraic adjacency oracle, with peak RSS at most
+``--max-rss-mb`` (default 1024 MiB — the committed memory ceiling;
+materialising the 510³ host's CSR alone would need ~7 GiB, so the
+ceiling is what proves the O(#faults + guest-map) memory claim).
 """
 
 import json
@@ -161,6 +173,63 @@ def check_online(argv):
     )
 
 
+def check_giant(argv):
+    usage = "usage: check_perf.py --giant BENCH_extraction.json [--min-nodes N] [--max-rss-mb M]"
+    min_nodes = pop_flag(argv, "--min-nodes", 100_000_000, parse=int, usage=usage)
+    max_rss_mb = pop_flag(argv, "--max-rss-mb", 1024.0, usage=usage)
+    if len(argv) != 1:
+        sys.exit(usage)
+    path = argv[0]
+    with open(path) as fh:
+        data = json.load(fh)
+    giant = data.get("giant")
+    if not isinstance(giant, dict):
+        sys.exit(f"check_perf: {path}: no 'giant' object (run bench_extraction --giant)")
+    for field, kind in (
+        ("params", str),
+        ("host_nodes", int),
+        ("host_edges", int),
+        ("guest_nodes", int),
+        ("faults", int),
+        ("extract_seconds", (int, float)),
+        ("certify_seconds", (int, float)),
+        ("certified", bool),
+        ("peak_rss_mb", (int, float)),
+    ):
+        if not isinstance(giant.get(field), kind):
+            sys.exit(f"check_perf: {path}: giant: missing/odd field {field}")
+    failures = []
+    if giant["host_nodes"] < min_nodes:
+        failures.append(
+            f"host_nodes {giant['host_nodes']} < required {min_nodes} "
+            f"(not a giant instance)"
+        )
+    if not giant["certified"]:
+        failures.append("giant embedding failed independent certification")
+    if giant["peak_rss_mb"] <= 0:
+        failures.append("peak_rss_mb not recorded (needs /proc/self/status)")
+    elif giant["peak_rss_mb"] > max_rss_mb:
+        failures.append(
+            f"peak RSS {giant['peak_rss_mb']:.1f} MiB > ceiling {max_rss_mb:.0f} MiB "
+            f"(implicit-host memory claim violated)"
+        )
+    print(
+        f"giant: {giant['params']}  {giant['host_nodes']} host nodes, "
+        f"{giant['guest_nodes']} guest nodes, {giant['faults']} faults; "
+        f"extract {giant['extract_seconds']:.2f}s, certify {giant['certify_seconds']:.2f}s, "
+        f"peak RSS {giant['peak_rss_mb']:.1f} MiB"
+    )
+    if failures:
+        print("check_perf: FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_perf: ok (giant >= {min_nodes} nodes certified, "
+        f"RSS <= {max_rss_mb:.0f} MiB)"
+    )
+
+
 def parse_baseline_floor(arg):
     name, _, tps = arg.partition("=")
     if not name or not tps:
@@ -172,6 +241,9 @@ def main(argv):
     if "--online" in argv:
         argv.remove("--online")
         return check_online(argv)
+    if "--giant" in argv:
+        argv.remove("--giant")
+        return check_giant(argv)
     usage = (
         "usage: check_perf.py BASELINE.json FRESH.json [--floor F] "
         "[--baseline-floor NAME=TPS ...]"
