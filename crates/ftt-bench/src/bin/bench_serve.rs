@@ -1,0 +1,334 @@
+//! Emits `BENCH_serve.json`: sustained multi-tenant throughput of the
+//! `ftt serve` repair daemon (ftt-serve).
+//!
+//! An in-process [`ftt_serve::Server`] binds an ephemeral loopback TCP
+//! port; `--clients` driver threads each own a disjoint slice of the
+//! `--tenants` tenant ids (tiny `D¹_{8,2}` hosts — the daemon cost
+//! under measurement is framing + sharding + journaling + the Fast
+//! repair tier, not host construction). Each client pipelines a window
+//! of `Events` requests (`--window` in flight, `--batch` kill/repair
+//! pairs per request, `--rounds` passes over its tenants), retrying
+//! any `Overloaded` rejection — the benchmark thereby exercises the
+//! backpressure contract instead of hiding it, and reports how often
+//! it fired. At most one request per tenant is ever outstanding, so
+//! retries cannot reorder a tenant's (non-decreasing) event times.
+//!
+//! Every ack is timed from its send; the report carries sustained
+//! events/sec over the whole event phase, ack latency p50/p99, and the
+//! repair-tier mix, and is gated in CI by `tools/check_perf.py
+//! --serve` against the committed baseline.
+//!
+//! ```text
+//! bench_serve [--tenants N] [--shards S] [--clients C] [--window W]
+//!             [--batch B] [--rounds R] [--out PATH]
+//! ```
+
+use ftt_faults::{Fault, TimedFault};
+use ftt_serve::{Client, Request, Response, Server, ServerConfig, TenantSpec};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The per-tenant host: the smallest certifiable D¹ instance. Every
+/// event lands in the O(1) Fast tier or a cheap local shift, so the
+/// measurement is daemon overhead, not repair mathematics.
+const SPEC: TenantSpec = TenantSpec::Ddn {
+    d: 1,
+    n_min: 8,
+    b: 2,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    tenants: u64,
+    shards: usize,
+    clients: usize,
+    window: usize,
+    batch: usize,
+    rounds: u64,
+}
+
+#[derive(Debug, Default)]
+struct ClientStats {
+    applied: u64,
+    fast: u64,
+    local: u64,
+    rebuild: u64,
+    overloaded_retries: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// The batch a tenant sends in round `r`: `batch` kill/repair pairs on
+/// a rotating low node id, times strictly increasing across rounds so
+/// the daemon's non-decreasing-time validation always passes and the
+/// net fault set returns to empty (the placement stays alive).
+fn round_batch(round: u64, batch: usize) -> Vec<TimedFault> {
+    let base = round * (2 * batch as u64);
+    (0..batch)
+        .flat_map(|i| {
+            let node = Fault::Node((round as usize + i) % 4);
+            let t = base + 2 * i as u64;
+            [TimedFault::kill(t, node), TimedFault::repair(t + 1, node)]
+        })
+        .collect()
+}
+
+/// Drains one reply, retrying the original request on `Overloaded`
+/// (nothing was journaled or applied, so a resend is exact).
+fn drain_one(
+    client: &mut Client,
+    pending: &mut HashMap<u64, (u64, Vec<TimedFault>, Instant)>,
+    stats: &mut ClientStats,
+) -> Result<(), String> {
+    loop {
+        let (rid, resp) = client.recv().map_err(|e| format!("recv: {e}"))?;
+        let (tenant, events, sent) = pending
+            .remove(&rid)
+            .ok_or_else(|| format!("unmatched reply id {rid}"))?;
+        match resp {
+            Response::Applied {
+                applied,
+                fast,
+                local,
+                rebuild,
+                alive,
+            } => {
+                if !alive {
+                    return Err(format!("tenant {tenant} died under a net-zero batch"));
+                }
+                stats.applied += u64::from(applied);
+                stats.fast += u64::from(fast);
+                stats.local += u64::from(local);
+                stats.rebuild += u64::from(rebuild);
+                stats
+                    .latencies_us
+                    .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                return Ok(());
+            }
+            Response::Overloaded => {
+                stats.overloaded_retries += 1;
+                let rid = client
+                    .send(tenant, &Request::Events(events.clone()))
+                    .map_err(|e| format!("resend: {e}"))?;
+                pending.insert(rid, (tenant, events, Instant::now()));
+                // In-flight count is unchanged; keep draining.
+            }
+            other => return Err(format!("tenant {tenant}: unexpected reply {other:?}")),
+        }
+    }
+}
+
+fn run_client(addr: &ftt_serve::Listen, cfg: Config, id: usize) -> Result<ClientStats, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let tenants: Vec<u64> = (0..cfg.tenants)
+        .filter(|t| (*t as usize) % cfg.clients == id)
+        .collect();
+
+    // Create phase: pipelined, not timed into the event-phase numbers.
+    let mut created = 0usize;
+    let mut pending_creates = 0usize;
+    let mut it = tenants.iter();
+    loop {
+        while pending_creates < cfg.window {
+            let Some(&t) = it.next() else { break };
+            client
+                .send(t, &Request::CreateTenant(SPEC))
+                .map_err(|e| format!("create send: {e}"))?;
+            pending_creates += 1;
+        }
+        if pending_creates == 0 {
+            break;
+        }
+        let (_, resp) = client.recv().map_err(|e| format!("create recv: {e}"))?;
+        pending_creates -= 1;
+        match resp {
+            Response::Created { alive: true, .. } => created += 1,
+            other => return Err(format!("create failed: {other:?}")),
+        }
+    }
+    assert_eq!(created, tenants.len());
+
+    // Event phase: windowed pipelining, one outstanding request per
+    // tenant at most (window ≪ tenants per client).
+    let mut stats = ClientStats::default();
+    let mut pending: HashMap<u64, (u64, Vec<TimedFault>, Instant)> = HashMap::new();
+    for round in 0..cfg.rounds {
+        for &tenant in &tenants {
+            while pending.len() >= cfg.window {
+                drain_one(&mut client, &mut pending, &mut stats)?;
+            }
+            let events = round_batch(round, cfg.batch);
+            let rid = client
+                .send(tenant, &Request::Events(events.clone()))
+                .map_err(|e| format!("send: {e}"))?;
+            pending.insert(rid, (tenant, events, Instant::now()));
+        }
+    }
+    while !pending.is_empty() {
+        drain_one(&mut client, &mut pending, &mut stats)?;
+    }
+
+    // Sanity: a sampled tenant must be alive with every event applied.
+    if let Some(&t) = tenants.first() {
+        match client.liveness(t).map_err(|e| format!("liveness: {e}"))? {
+            Response::Liveness {
+                alive: true,
+                events_applied,
+                node_faults: 0,
+                ..
+            } if events_applied == cfg.rounds * 2 * cfg.batch as u64 => {}
+            other => return Err(format!("tenant {t}: bad final liveness {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn parse_args() -> Result<(Config, String), String> {
+    let mut cfg = Config {
+        tenants: 10_000,
+        shards: 4,
+        clients: 4,
+        window: 64,
+        batch: 16,
+        rounds: 2,
+    };
+    let mut out = "BENCH_serve.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        let parse = |v: &String, f: &str| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{f}: {e}"))
+        };
+        match argv[i].as_str() {
+            "--tenants" => cfg.tenants = parse(take(i)?, "--tenants")?,
+            "--shards" => cfg.shards = parse(take(i)?, "--shards")? as usize,
+            "--clients" => cfg.clients = parse(take(i)?, "--clients")? as usize,
+            "--window" => cfg.window = parse(take(i)?, "--window")? as usize,
+            "--batch" => cfg.batch = parse(take(i)?, "--batch")? as usize,
+            "--rounds" => cfg.rounds = parse(take(i)?, "--rounds")?,
+            "--out" => out = take(i)?.clone(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    if cfg.tenants == 0 || cfg.clients == 0 || cfg.window == 0 || cfg.batch == 0 {
+        return Err("--tenants/--clients/--window/--batch must be ≥ 1".into());
+    }
+    Ok((cfg, out))
+}
+
+fn main() {
+    let (cfg, out_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: bench_serve [--tenants N] [--shards S] [--clients C] [--window W] \
+                 [--batch B] [--rounds R] [--out PATH]"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let data_dir = std::env::temp_dir().join(format!("ftt_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut server_cfg = ServerConfig::new(&data_dir);
+    server_cfg.shards = cfg.shards;
+    let server = Server::start(server_cfg).unwrap_or_else(|e| {
+        eprintln!("error: server start: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.listen_addr().clone();
+    eprintln!(
+        "bench_serve: {} tenants × {} rounds × {} events/batch over {} shards / {} clients \
+         (window {}) at {addr}",
+        cfg.tenants,
+        cfg.rounds,
+        2 * cfg.batch,
+        cfg.shards,
+        cfg.clients,
+        cfg.window
+    );
+
+    let start = Instant::now();
+    let stats: Vec<ClientStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|id| {
+                let addr = &addr;
+                scope.spawn(move || run_client(addr, cfg, id))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("client thread panicked")
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: client failed: {e}");
+                        std::process::exit(1);
+                    })
+            })
+            .collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    server.shutdown_now();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let applied: u64 = stats.iter().map(|s| s.applied).sum();
+    let fast: u64 = stats.iter().map(|s| s.fast).sum();
+    let local: u64 = stats.iter().map(|s| s.local).sum();
+    let rebuild: u64 = stats.iter().map(|s| s.rebuild).sum();
+    let retries: u64 = stats.iter().map(|s| s.overloaded_retries).sum();
+    let expected = cfg.tenants * cfg.rounds * 2 * cfg.batch as u64;
+    assert_eq!(
+        applied, expected,
+        "every sent event must be acked exactly once"
+    );
+    let mut latencies: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let repairs = (fast + local + rebuild).max(1) as f64;
+    let events_per_sec = applied as f64 / seconds.max(1e-9);
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    eprintln!(
+        "{applied} events in {seconds:.3}s → {events_per_sec:.0} events/sec; \
+         ack p50 {p50}µs p99 {p99}µs; {retries} overloaded retries"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"schema_version\": 1,\n  \"tenants\": {},\n  \
+         \"shards\": {},\n  \"clients\": {},\n  \"window\": {},\n  \"batch\": {},\n  \
+         \"rounds\": {},\n  \"events_total\": {applied},\n  \"seconds\": {seconds:.6},\n  \
+         \"events_per_sec\": {events_per_sec:.3},\n  \"ack_p50_us\": {p50},\n  \
+         \"ack_p99_us\": {p99},\n  \"frac_fast\": {:.4},\n  \"frac_local\": {:.4},\n  \
+         \"frac_rebuild\": {:.4},\n  \"overloaded_retries\": {retries}\n}}\n",
+        cfg.tenants,
+        cfg.shards,
+        cfg.clients,
+        cfg.window,
+        cfg.batch,
+        cfg.rounds,
+        fast as f64 / repairs,
+        local as f64 / repairs,
+        rebuild as f64 / repairs,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -44,6 +44,49 @@ impl Args {
         self.flags.iter().any(|f| f == name)
     }
 
+    /// Whether a `--key value` option was explicitly given.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Rejects anything outside the command's vocabulary: a typo like
+    /// `--trails` must fail loudly, not be silently ignored. Also
+    /// catches an option given without its value and a flag given one.
+    pub fn expect_known(&self, opts: &[&str], flags: &[&str]) -> Result<(), String> {
+        let mut bad: Vec<String> = Vec::new();
+        for key in self.values.keys() {
+            if opts.contains(&key.as_str()) {
+                continue;
+            }
+            if flags.contains(&key.as_str()) {
+                return Err(format!("--{key} does not take a value"));
+            }
+            bad.push(key.clone());
+        }
+        for key in &self.flags {
+            if flags.contains(&key.as_str()) {
+                continue;
+            }
+            if opts.contains(&key.as_str()) {
+                return Err(format!("--{key} expects a value"));
+            }
+            bad.push(key.clone());
+        }
+        if let Some(first) = bad.iter().min() {
+            let mut known: Vec<&str> = opts.iter().chain(flags).copied().collect();
+            known.sort_unstable();
+            return Err(format!(
+                "unknown option --{first} (known: {})",
+                known
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+        Ok(())
+    }
+
     /// String option with default.
     pub fn get_str(&self, name: &str, default: &str) -> String {
         self.values
@@ -118,6 +161,30 @@ mod tests {
         assert!(Args::parse(&["54".to_string()]).is_err());
         let a = parse(&["--n", "abc"]);
         assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_vocabulary() {
+        let a = parse(&["--trails", "10"]);
+        let err = a
+            .expect_known(&["trials", "seed"], &["no-artifacts"])
+            .unwrap_err();
+        assert!(err.contains("unknown option --trails"), "{err}");
+        assert!(err.contains("--trials"), "{err}");
+        assert!(err.contains("--no-artifacts"), "{err}");
+
+        // A value-taking option given bare, and a flag given a value.
+        let a = parse(&["--trials"]);
+        let err = a.expect_known(&["trials"], &[]).unwrap_err();
+        assert!(err.contains("--trials expects a value"), "{err}");
+        let a = parse(&["--render", "yes"]);
+        let err = a.expect_known(&[], &["render"]).unwrap_err();
+        assert!(err.contains("--render does not take a value"), "{err}");
+
+        let a = parse(&["--trials", "10", "--no-artifacts"]);
+        assert!(a.expect_known(&["trials"], &["no-artifacts"]).is_ok());
+        assert!(a.has("trials"));
+        assert!(!a.has("seed"));
     }
 
     #[test]

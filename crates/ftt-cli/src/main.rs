@@ -9,7 +9,8 @@
 //!             [--threads 0] [--json PATH] [--csv PATH] [--no-artifacts] [--no-baseline]
 //! ftt certify [--d 1] [--n 20] [--b 3] [--max-faults K] [--name NAME]
 //!             [--threads 0] [--json PATH] [--no-artifacts] [--corrupt MODE]
-//! ftt help
+//! ftt serve   [--listen tcp:HOST:PORT|unix:PATH] [--shards N] [--data-dir DIR]
+//! ftt help [serve]
 //! ```
 //!
 //! `b2` runs one Theorem 2 trial, `a2` one Theorem 1 trial, and `d2`
@@ -51,6 +52,7 @@ use ftt_core::ddn::{place_straight_bands, Ddn, DdnParams};
 use ftt_core::render::{render_banding, render_ddn_axes};
 use ftt_faults::{sample_bernoulli_faults, AdversaryPattern, FaultSet};
 use ftt_graph::AdjacencyOracle;
+use ftt_serve::{Listen, Server, ServerConfig};
 use ftt_sim::{
     extract_verified, run_certify, run_lifetime, run_sweep, CertifySpec, LifetimeSpec, SweepSpec,
     CERTIFY_SCHEMA_VERSION, LIFETIME_PRESETS, LIFE_SCHEMA_VERSION, SWEEP_PRESETS,
@@ -66,6 +68,15 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // `help` takes an optional bare topic (`ftt help serve`), which the
+    // `--option`-only parser would reject — handle it before parsing.
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        match argv.get(1).map(String::as_str) {
+            Some("serve") => println!("{}", serve_usage()),
+            _ => println!("{}", usage()),
+        }
+        return ExitCode::SUCCESS;
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {
@@ -80,10 +91,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args),
         "certify" => cmd_certify(&args),
         "lifetime" => cmd_lifetime(&args),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
-        }
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -141,7 +149,10 @@ fn usage() -> String {
   ftt lifetime [--preset NAME] [--trials T] [--seed S] [--threads T]
                [--certify-every N] [--json PATH] [--csv PATH]
                [--no-artifacts]
-  ftt help
+  ftt serve    [--listen tcp:HOST:PORT|unix:PATH] [--shards N]
+               [--data-dir DIR] [--queue-depth N] [--max-batch N]
+               (see `ftt help serve`)
+  ftt help [serve]
 
 hosts — implicit by default:
   B^d_n (b2) and D^d_{{n,k}} (d2) never build their graphs: an
@@ -203,8 +214,95 @@ lifetime — online fault streams + incremental repair (ftt-online):
   artifacts: LIFE_<name>.json + LIFE_<name>.csv (schema_version 2;
   validated and uploaded by CI's lifetime-smoke job via
   tools/check_life.py). --trials/--seed/--certify-every override the
-  preset's values."
+  preset's values.
+
+serve — repair as a service (ftt-serve): `ftt help serve`."
     )
+}
+
+/// `ftt help serve` — the daemon's own page: flags, protocol shape,
+/// and the durability/backpressure contracts a client can rely on.
+fn serve_usage() -> String {
+    "ftt serve — a persistent multi-tenant repair daemon (ftt-serve)
+
+usage:
+  ftt serve [--listen tcp:HOST:PORT|unix:PATH]  default tcp:127.0.0.1:7433
+            [--shards N]                        worker threads    (default 4)
+            [--data-dir DIR]                    journals + specs  (default ftt_serve_data)
+            [--queue-depth N]                   per-shard queue   (default 1024)
+            [--max-batch N]                     events per drain  (default 256)
+
+Hosts many independent tenant embeddings — each a RepairState over a
+B^d/A²/D^d construction (implicit algebraic-oracle hosts included) —
+sharded across worker threads by tenant id (tenant % shards). On
+startup it prints one parseable banner line:
+
+  ftt serve: listening on tcp:127.0.0.1:PORT (S shards, data dir DIR)
+
+protocol — u32-LE length-framed binary over the socket:
+  request  = rid u64 | tenant u64 | opcode u8 | body
+  opcodes    0 CreateTenant(spec)  1 Events([time,kind,target,id]*)
+             2 QueryLiveness       3 QueryEmbedding
+             4 Snapshot (fsync)    5 Shutdown
+  response = rid u64 | status u8 (0 Ok / 1 Overloaded / 2 Error) | body
+  The Events body is byte-identical to the on-disk journal record
+  format (ftt_faults::journal_io), so the durability path never
+  re-encodes.
+
+contracts:
+  durability   every applied event batch is appended to the tenant's
+               write-ahead journal before its ack is sent; crash
+               recovery truncates the partial tail and replays to the
+               exact pre-crash repair state (Snapshot upgrades
+               page-cache durability to fsync).
+  backpressure shard queues are bounded; a full queue answers
+               Overloaded without journaling or applying anything —
+               retry, nothing was dropped silently.
+  no panics    malformed frames close the offending connection;
+               invalid requests (time travel, out-of-domain ids,
+               unknown tenants, bad specs) get typed Error replies;
+               corrupt on-disk state refuses startup naming the file.
+
+benchmarked by ftt-bench's bench_serve (BENCH_serve.json; gated in CI
+by tools/check_perf.py --serve)."
+        .to_string()
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.expect_known(
+        &["listen", "shards", "data-dir", "queue-depth", "max-batch"],
+        &[],
+    )?;
+    let listen = Listen::parse(&args.get_str("listen", "tcp:127.0.0.1:7433"))?;
+    let mut config = ServerConfig::new(args.get_str("data-dir", "ftt_serve_data"));
+    config.listen = listen;
+    config.shards = args.get_usize("shards", config.shards)?;
+    config.queue_depth = args.get_usize("queue-depth", config.queue_depth)?;
+    config.max_batch = args.get_usize("max-batch", config.max_batch)?;
+    for (name, v) in [
+        ("shards", config.shards),
+        ("queue-depth", config.queue_depth),
+        ("max-batch", config.max_batch),
+    ] {
+        if v == 0 {
+            return Err(format!("--{name} must be ≥ 1"));
+        }
+    }
+    let shards = config.shards;
+    let data_dir = config.data_dir.display().to_string();
+    let server = Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    // The banner is a parseable contract (integration tests and
+    // scripts read the resolved ephemeral port from it) — flush so a
+    // pipe-captured child process surfaces it immediately.
+    println!(
+        "ftt serve: listening on {} ({shards} shards, data dir {data_dir})",
+        server.listen_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("ftt serve: shut down");
+    Ok(())
 }
 
 /// Prints the standard banner for a built host — reporting whether its
@@ -252,6 +350,7 @@ fn extract_and_verify<C: HostConstruction>(
 }
 
 fn cmd_b2(args: &Args) -> Result<(), String> {
+    args.expect_known(&["n", "b", "eps", "p", "seed"], &["render"])?;
     let n = args.get_usize("n", 54)?;
     let b = args.get_usize("b", 3)?;
     let eps = args.get_usize("eps", 1)?;
@@ -287,7 +386,11 @@ fn cmd_b2(args: &Args) -> Result<(), String> {
         params.n
     );
     if args.flag("render") {
-        let placement = ftt_core::bdn::place::place_bands(&bdn, &faulty).expect("placed above");
+        // Extraction succeeded above, so placement must too — but a
+        // long-lived CLI contract is "typed error, never a panic".
+        let placement = ftt_core::bdn::place::place_bands(&bdn, &faulty).map_err(|e| {
+            format!("render: band placement failed after successful extraction: {e}")
+        })?;
         print!(
             "{}",
             render_banding(&placement.banding, bdn.cols(), Some(&faulty), None)
@@ -297,6 +400,7 @@ fn cmd_b2(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_a2(args: &Args) -> Result<(), String> {
+    args.expect_known(&["n", "k", "h", "p", "q", "seed"], &[])?;
     let n = args.get_usize("n", 108)?;
     let k = args.get_usize("k", 2)?;
     let h = args.get_usize("h", 6)?;
@@ -342,6 +446,7 @@ fn cmd_a2(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_d2(args: &Args) -> Result<(), String> {
+    args.expect_known(&["n", "b", "k", "pattern", "seed"], &["render"])?;
     let n = args.get_usize("n", 60)?;
     let b = args.get_usize("b", 2)?;
     let seed = args.get_u64("seed", 1)?;
@@ -392,7 +497,9 @@ fn cmd_d2(args: &Args) -> Result<(), String> {
                 params.n
             );
             if args.flag("render") {
-                let banding = place_straight_bands(&ddn, &faulty_nodes).expect("placed above");
+                let banding = place_straight_bands(&ddn, &faulty_nodes).map_err(|e| {
+                    format!("render: band placement failed after successful extraction: {e}")
+                })?;
                 print!("{}", render_ddn_axes(&ddn, &banding));
             }
             Ok(())
@@ -429,7 +536,26 @@ fn custom_sweep_spec(n: usize, b: usize, trials: usize, seed: u64) -> SweepSpec 
     }
 }
 
+/// `--no-artifacts` combined with an explicit `--json`/`--csv` path is
+/// a contradiction: the user named an output file that would silently
+/// never be written.
+fn reject_artifact_conflict(args: &Args, paths: &[&str]) -> Result<(), String> {
+    if args.flag("no-artifacts") {
+        if let Some(p) = paths.iter().find(|p| args.has(p)) {
+            return Err(format!("--no-artifacts conflicts with --{p}"));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_sweep(args: &Args) -> Result<(), String> {
+    args.expect_known(
+        &[
+            "preset", "n", "b", "trials", "seed", "threads", "json", "csv",
+        ],
+        &["no-artifacts", "no-baseline"],
+    )?;
+    reject_artifact_conflict(args, &["json", "csv"])?;
     let preset = args.get_str("preset", "");
     let mut spec = if preset.is_empty() {
         let n = args.get_usize("n", 54)?;
@@ -446,6 +572,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         spec.root_seed = args.get_u64("seed", spec.root_seed)?;
         spec
     };
+    if spec.trials == 0 {
+        return Err("--trials must be ≥ 1".into());
+    }
     // A spec is data: the grid is fixed here, execution below is
     // generic. `--threads 0` (default) uses the available parallelism.
     let threads = args.get_usize("threads", 0)?;
@@ -464,6 +593,20 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_certify(args: &Args) -> Result<(), String> {
+    args.expect_known(
+        &[
+            "d",
+            "n",
+            "b",
+            "max-faults",
+            "name",
+            "threads",
+            "json",
+            "corrupt",
+        ],
+        &["no-artifacts"],
+    )?;
+    reject_artifact_conflict(args, &["json"])?;
     let corrupt = args.get_str("corrupt", "");
     if !corrupt.is_empty() {
         // The probe runs on a fixed tiny instance; silently ignoring
@@ -521,9 +664,25 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_lifetime(args: &Args) -> Result<(), String> {
+    args.expect_known(
+        &[
+            "preset",
+            "trials",
+            "seed",
+            "threads",
+            "certify-every",
+            "json",
+            "csv",
+        ],
+        &["no-artifacts"],
+    )?;
+    reject_artifact_conflict(args, &["json", "csv"])?;
     let preset = args.get_str("preset", "life-smoke");
     let mut spec = LifetimeSpec::preset(&preset)?;
     spec.trials = args.get_usize("trials", spec.trials)?;
+    if spec.trials == 0 {
+        return Err("--trials must be ≥ 1".into());
+    }
     spec.root_seed = args.get_u64("seed", spec.root_seed)?;
     spec.certify_every = args.get_usize("certify-every", spec.certify_every)?;
     let threads = args.get_usize("threads", 0)?;
@@ -581,7 +740,7 @@ fn cmd_certify_corrupt(mode: &str) -> Result<(), String> {
             let (_, e) = graph
                 .arcs(u)
                 .find(|&(w, _)| w == v)
-                .expect("certified edge must exist");
+                .ok_or("drop-edge probe: certified guest edge 0-1 has no host edge (bug?)")?;
             faults.kill_edge(e);
         }
         // truncated map
@@ -770,6 +929,59 @@ mod tests {
             assert!(text.contains(p.name), "lifetime preset {} missing", p.name);
         }
         assert!(text.contains("ftt lifetime"));
+    }
+
+    /// A long-lived CLI must turn every bad invocation into a typed
+    /// one-line error — a typo like `--trails` must not be silently
+    /// ignored, and flag conflicts must not silently pick a winner.
+    #[test]
+    fn bad_invocations_get_typed_errors_not_silence() {
+        for (cmd, argv) in [
+            (
+                cmd_sweep as fn(&Args) -> Result<(), String>,
+                vec!["--trails", "10"],
+            ),
+            (cmd_sweep, vec!["--trials", "0", "--no-artifacts"]),
+            (cmd_sweep, vec!["--no-artifacts", "--json", "out.json"]),
+            (cmd_lifetime, vec!["--no-artifacts", "--csv", "out.csv"]),
+            (cmd_lifetime, vec!["--trials", "0", "--no-artifacts"]),
+            (cmd_lifetime, vec!["--certify_every", "5"]),
+            (cmd_certify, vec!["--no-artifacts", "--json", "out.json"]),
+            (cmd_b2, vec!["--rendre"]),
+            (cmd_a2, vec!["--eps", "1"]),
+            (cmd_d2, vec!["--n"]),
+            (cmd_serve, vec!["--listen", "laplace:443"]),
+            (cmd_serve, vec!["--shards", "0"]),
+            (cmd_serve, vec!["--shards", "two"]),
+        ] {
+            let err = cmd(&args(&argv)).expect_err(&format!("{argv:?} must fail"));
+            assert!(!err.is_empty() && !err.contains('\n'), "{argv:?}: `{err}`");
+        }
+    }
+
+    #[test]
+    fn unknown_option_error_names_the_vocabulary() {
+        let err = cmd_sweep(&args(&["--trails", "10"])).unwrap_err();
+        assert!(err.contains("unknown option --trails"), "{err}");
+        assert!(err.contains("--trials"), "{err}");
+    }
+
+    #[test]
+    fn serve_help_documents_flags_and_contracts() {
+        let text = serve_usage();
+        for needle in [
+            "--listen",
+            "--shards",
+            "--data-dir",
+            "--queue-depth",
+            "--max-batch",
+            "Overloaded",
+            "journal",
+            "listening on",
+        ] {
+            assert!(text.contains(needle), "serve help missing {needle}");
+        }
+        assert!(usage().contains("ftt serve"));
     }
 
     /// The failure-path gate: every corruption mode must end in a

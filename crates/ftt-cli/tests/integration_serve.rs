@@ -1,0 +1,204 @@
+//! End-to-end daemon crash test through the real `ftt serve` binary:
+//! 3 shards × 100 tenants, interleaved kills/repairs/queries, then
+//! SIGKILL mid-stream and a restart on the same data directory. Every
+//! acknowledged event must survive the crash exactly — recovered
+//! liveness and embeddings equal the pre-crash capture, and every
+//! tenant's recovered live embedding passes the independent
+//! `ftt_verify::check_certificate` against the net fault set.
+
+use ftt_core::construct::HostConstruction;
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_core::EmbeddingCertificate;
+use ftt_faults::{Fault, FaultSet, TimedFault};
+use ftt_serve::{Client, Listen, Response, TenantSpec};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+const TENANTS: u64 = 100;
+const SPEC: TenantSpec = TenantSpec::Ddn {
+    d: 1,
+    n_min: 8,
+    b: 2,
+};
+
+/// Starts `ftt serve` on an ephemeral port and parses the banner —
+/// the banner's parseability is itself part of the contract under
+/// test. Returns the child, its (kept-open) stdout reader, and the
+/// resolved listen address.
+fn spawn_daemon(data_dir: &Path) -> (Child, BufReader<ChildStdout>, Listen) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftt"))
+        .args([
+            "serve",
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--shards",
+            "3",
+            "--data-dir",
+        ])
+        .arg(data_dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ftt serve");
+    let mut reader = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable banner {banner:?}"));
+    let listen = Listen::parse(addr).expect("banner address parses");
+    (child, reader, listen)
+}
+
+/// The interleaved event script for one tenant, with its net surviving
+/// node faults. Even tenants end with 2 net faults (the full D¹ budget
+/// k = 2), odd tenants net zero; every tenant sees both kills and
+/// repairs, and every 10th also round-trips an edge fault.
+fn tenant_script(t: u64) -> (Vec<Vec<TimedFault>>, Vec<usize>) {
+    let a = (t % 4) as usize;
+    let mut batches = vec![
+        vec![
+            TimedFault::kill(1, Fault::Node(a)),
+            TimedFault::kill(2, Fault::Node(4 + a)),
+        ],
+        vec![TimedFault::repair(3, Fault::Node(a))],
+    ];
+    let (last, net) = if t.is_multiple_of(2) {
+        (
+            vec![TimedFault::kill(4, Fault::Node(8 + a))],
+            vec![4 + a, 8 + a],
+        )
+    } else {
+        (vec![TimedFault::repair(4, Fault::Node(4 + a))], vec![])
+    };
+    batches.push(last);
+    if t.is_multiple_of(10) {
+        let e = (t % 5) as u32;
+        batches.push(vec![
+            TimedFault::kill(5, Fault::Edge(e)),
+            TimedFault::repair(6, Fault::Edge(e)),
+        ]);
+    }
+    (batches, net)
+}
+
+/// Captures the (liveness, embedding) pair the daemon reports for a
+/// tenant — the equality token for crash recovery.
+fn capture(client: &mut Client, t: u64) -> (Response, Response) {
+    let live = client.liveness(t).expect("liveness");
+    assert!(
+        matches!(live, Response::Liveness { alive: true, .. }),
+        "tenant {t}: {live:?}"
+    );
+    let emb = client.embedding(t).expect("embedding");
+    assert!(
+        matches!(&emb, Response::Embedding(Some(_))),
+        "tenant {t}: {emb:?}"
+    );
+    (live, emb)
+}
+
+#[test]
+fn daemon_survives_sigkill_with_exact_state_and_valid_certificates() {
+    let data_dir = std::env::temp_dir().join(format!("ftt_serve_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let (mut child, _stdout, addr) = spawn_daemon(&data_dir);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    for t in 0..TENANTS {
+        match client.create_tenant(t, &SPEC).expect("create") {
+            Response::Created { alive: true, .. } => {}
+            other => panic!("tenant {t}: create failed: {other:?}"),
+        }
+    }
+
+    // Interleaved event stream: batch rounds in lockstep across all
+    // tenants, with liveness/embedding queries mixed in mid-stream.
+    let scripts: Vec<_> = (0..TENANTS).map(tenant_script).collect();
+    let rounds = scripts.iter().map(|(b, _)| b.len()).max().unwrap();
+    for round in 0..rounds {
+        for t in 0..TENANTS {
+            if let Some(batch) = scripts[t as usize].0.get(round) {
+                match client.events(t, batch).expect("events") {
+                    Response::Applied { alive: true, .. } => {}
+                    other => panic!("tenant {t} round {round}: {other:?}"),
+                }
+            }
+            if t % 7 == 0 {
+                assert!(matches!(
+                    client.liveness(t).expect("mid-stream liveness"),
+                    Response::Liveness { .. }
+                ));
+            }
+            if t % 13 == 0 {
+                assert!(matches!(
+                    client.embedding(t).expect("mid-stream embedding"),
+                    Response::Embedding(Some(_))
+                ));
+            }
+        }
+    }
+
+    // Every event above was acknowledged, i.e. journaled: this capture
+    // is exactly what the crash must not lose.
+    let before: Vec<_> = (0..TENANTS).map(|t| capture(&mut client, t)).collect();
+
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap");
+    drop(client);
+
+    // Restart on the same data directory: recovery replays every
+    // journal to byte-identical repair state.
+    let (mut child, _stdout, addr) = spawn_daemon(&data_dir);
+    let mut client = Client::connect(&addr).expect("reconnect");
+
+    let host = Ddn::new(DdnParams::fit(1, 8, 2).expect("spec params"));
+    for (t, pre) in before.iter().enumerate() {
+        let post = capture(&mut client, t as u64);
+        assert_eq!(*pre, post, "tenant {t}: state changed across the crash");
+
+        // Independent certification of the recovered embedding against
+        // the net fault set this test tracked on its own ledger.
+        let Response::Embedding(Some(info)) = &post.1 else {
+            unreachable!()
+        };
+        let (_, net) = &scripts[t];
+        let faults = FaultSet::from_lists(
+            HostConstruction::num_nodes(&host),
+            HostConstruction::num_edges(&host),
+            net,
+            &[],
+        );
+        let cert = EmbeddingCertificate {
+            construction: info.construction.clone(),
+            guest_dims: info.guest_dims.clone(),
+            map: info.map.iter().map(|&v| v as usize).collect(),
+            host_nodes: HostConstruction::num_nodes(&host),
+            host_edges: HostConstruction::num_edges(&host),
+            placement: Vec::new(),
+        };
+        ftt_verify::check_certificate(&cert, host.oracle(), &faults)
+            .unwrap_or_else(|e| panic!("tenant {t}: recovered embedding rejected: {e}"));
+    }
+
+    // A fresh event after recovery must keep flowing (time floor
+    // restored from the journal, not reset).
+    match client
+        .events(3, &[TimedFault::kill(9, Fault::Node(0))])
+        .expect("post-recovery events")
+    {
+        Response::Applied { applied: 1, .. } => {}
+        other => panic!("post-recovery event rejected: {other:?}"),
+    }
+
+    match client.shutdown().expect("shutdown") {
+        Response::ShutdownAck => {}
+        other => panic!("shutdown not acked: {other:?}"),
+    }
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited {status:?}");
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

@@ -1,0 +1,487 @@
+//! Binary framing for [`FaultJournal`]s — the durability format of the
+//! repair daemon (`ftt-serve`).
+//!
+//! A journal *file* is the daemon's write-ahead log: every applied
+//! event is appended (and flushed) before the client sees an
+//! acknowledgement, and crash recovery replays the file back into a
+//! [`crate::stream::JournalStream`]. That puts two hard requirements on
+//! the encoding that the in-memory `Vec<TimedFault>` never faced:
+//!
+//! 1. **Prefix-stability.** A crash can truncate the file at *any* byte
+//!    boundary. Decoding must recover exactly the longest whole-record
+//!    prefix — same events, same order, same
+//!    [`FaultJournal::to_fault_set`] as if only those events had been
+//!    recorded — and report the partial tail instead of erroring on it.
+//!    In particular the `Renewal` tie rule (repairs delivered *before*
+//!    kills at equal stream times) must survive the round trip: records
+//!    are fixed-size and order-preserving, so a chop between a
+//!    same-timestamp repair/kill pair leaves a prefix that is itself a
+//!    valid delivery order. `tests::chopped_journals_decode_to_exact_prefixes`
+//!    asserts all of this at every byte boundary.
+//! 2. **Typed corruption verdicts.** Truncation is the expected crash
+//!    case; *mangled bytes* (wrong magic, unknown kind, time travel)
+//!    are not — they mean the file is not a journal this code wrote,
+//!    and recovery must refuse loudly ([`JournalIoError`]) rather than
+//!    replay garbage into a tenant, and must never panic (the daemon
+//!    outlives any one bad file).
+//!
+//! # Layout
+//!
+//! ```text
+//! header   5 bytes   magic "FTTJ", version u8 (= 1)
+//! record  18 bytes   time u64 LE | event u8 (0 kill, 1 repair)
+//!                    | target u8 (0 node, 1 edge) | id u64 LE
+//! ```
+//!
+//! Records are fixed-size so the whole-record prefix of a chopped file
+//! is computable from its length alone; times must be non-decreasing
+//! (the [`FaultJournal::record`] contract, enforced on decode with a
+//! typed error instead of that method's panic).
+
+use crate::set::Fault;
+use crate::stream::{FaultJournal, TimedFault};
+use std::fmt;
+
+/// First bytes of every journal file.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"FTTJ";
+/// Format version this module reads and writes.
+pub const JOURNAL_VERSION: u8 = 1;
+/// Header length: magic + version.
+pub const JOURNAL_HEADER_LEN: usize = 5;
+/// Encoded length of one event record.
+pub const JOURNAL_RECORD_LEN: usize = 18;
+
+/// Why a byte string was rejected as a journal. Truncated *tails* are
+/// not errors (they are the crash case, reported via
+/// [`JournalDecode::partial_tail`]); these are structural corruptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalIoError {
+    /// The first bytes are not the journal magic.
+    BadMagic {
+        /// The bytes actually found (at most 4).
+        found: Vec<u8>,
+    },
+    /// The version byte is not one this build understands.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// An event byte is neither kill (0) nor repair (1).
+    BadEventKind {
+        /// Zero-based record index.
+        record: usize,
+        /// The byte found.
+        found: u8,
+    },
+    /// A target byte is neither node (0) nor edge (1).
+    BadFaultKind {
+        /// Zero-based record index.
+        record: usize,
+        /// The byte found.
+        found: u8,
+    },
+    /// An edge id exceeds `u32` (edge ids are `u32` everywhere).
+    EdgeIdOverflow {
+        /// Zero-based record index.
+        record: usize,
+        /// The oversized id.
+        id: u64,
+    },
+    /// A record's time is smaller than its predecessor's — journals
+    /// record one stream, whose times are non-decreasing.
+    TimeTravel {
+        /// Zero-based record index of the offending record.
+        record: usize,
+        /// The offending time.
+        time: u64,
+        /// The previous record's time.
+        prev: u64,
+    },
+}
+
+impl fmt::Display for JournalIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalIoError::BadMagic { found } => {
+                write!(f, "bad journal magic {found:?} (want {JOURNAL_MAGIC:?})")
+            }
+            JournalIoError::BadVersion { found } => {
+                write!(
+                    f,
+                    "journal version {found} unsupported (want {JOURNAL_VERSION})"
+                )
+            }
+            JournalIoError::BadEventKind { record, found } => {
+                write!(f, "record {record}: event kind byte {found} (want 0|1)")
+            }
+            JournalIoError::BadFaultKind { record, found } => {
+                write!(f, "record {record}: fault target byte {found} (want 0|1)")
+            }
+            JournalIoError::EdgeIdOverflow { record, id } => {
+                write!(f, "record {record}: edge id {id} exceeds u32")
+            }
+            JournalIoError::TimeTravel { record, time, prev } => {
+                write!(f, "record {record}: time {time} < predecessor {prev}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalIoError {}
+
+/// Result of a lenient decode: the recovered whole-record prefix plus
+/// what (if anything) was chopped off the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDecode {
+    /// The recovered journal (every complete, valid record in order).
+    pub journal: FaultJournal,
+    /// Bytes of the input that decoded to whole records (including the
+    /// header) — re-encoding `journal` reproduces exactly this prefix
+    /// of the input, byte for byte.
+    pub complete_bytes: usize,
+    /// Trailing bytes that form only part of a record (or part of the
+    /// header, for a file chopped during creation): `0` for a cleanly
+    /// closed journal, `1..JOURNAL_RECORD_LEN` after a mid-append
+    /// crash.
+    pub partial_tail: usize,
+}
+
+/// Appends the fixed-size record for one event to `out`.
+pub fn encode_event(event: &TimedFault, out: &mut Vec<u8>) {
+    out.extend_from_slice(&event.time.to_le_bytes());
+    out.push(if event.is_repair() { 1 } else { 0 });
+    let (target, id) = match event.fault() {
+        Fault::Node(v) => (0u8, v as u64),
+        Fault::Edge(e) => (1u8, e as u64),
+    };
+    out.push(target);
+    out.extend_from_slice(&id.to_le_bytes());
+}
+
+/// Appends the records for `events` to `out` (no header — the append
+/// path of a journal file that already carries one).
+pub fn encode_events(events: &[TimedFault], out: &mut Vec<u8>) {
+    out.reserve(events.len() * JOURNAL_RECORD_LEN);
+    for ev in events {
+        encode_event(ev, out);
+    }
+}
+
+/// The journal header (magic + version).
+pub fn encode_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&JOURNAL_MAGIC);
+    out.push(JOURNAL_VERSION);
+}
+
+/// Serialises a whole journal: header + every record.
+pub fn encode_journal(journal: &FaultJournal) -> Vec<u8> {
+    let mut out = Vec::with_capacity(JOURNAL_HEADER_LEN + journal.len() * JOURNAL_RECORD_LEN);
+    encode_header(&mut out);
+    encode_events(journal.events(), &mut out);
+    out
+}
+
+/// Decodes one record (exactly [`JOURNAL_RECORD_LEN`] bytes); `record`
+/// and `prev_time` contextualise the typed errors.
+fn decode_record(
+    bytes: &[u8],
+    record: usize,
+    prev_time: Option<u64>,
+) -> Result<TimedFault, JournalIoError> {
+    debug_assert_eq!(bytes.len(), JOURNAL_RECORD_LEN);
+    let time = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    if let Some(prev) = prev_time {
+        if time < prev {
+            return Err(JournalIoError::TimeTravel { record, time, prev });
+        }
+    }
+    let id = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+    let fault = match bytes[9] {
+        0 => Fault::Node(id as usize),
+        1 => {
+            if id > u32::MAX as u64 {
+                return Err(JournalIoError::EdgeIdOverflow { record, id });
+            }
+            Fault::Edge(id as u32)
+        }
+        found => return Err(JournalIoError::BadFaultKind { record, found }),
+    };
+    match bytes[8] {
+        0 => Ok(TimedFault::kill(time, fault)),
+        1 => Ok(TimedFault::repair(time, fault)),
+        found => Err(JournalIoError::BadEventKind { record, found }),
+    }
+}
+
+/// Decodes one standalone record (exactly [`JOURNAL_RECORD_LEN`]
+/// bytes) with no cross-record time check — the wire-protocol entry
+/// point, where records travel outside a journal file and monotonicity
+/// is the receiver's per-tenant contract to enforce.
+pub fn decode_event(bytes: &[u8]) -> Result<TimedFault, JournalIoError> {
+    if bytes.len() != JOURNAL_RECORD_LEN {
+        return Err(JournalIoError::BadMagic {
+            found: bytes.to_vec(),
+        });
+    }
+    decode_record(bytes, 0, None)
+}
+
+/// Lenient decode — the **crash-recovery** entry point. Whole records
+/// are decoded in order; a trailing partial record (or partial header)
+/// is reported, not rejected; structurally corrupt bytes are typed
+/// errors. An empty input decodes to an empty journal with a zero-byte
+/// partial tail (the created-but-never-written case).
+pub fn decode_journal_lenient(bytes: &[u8]) -> Result<JournalDecode, JournalIoError> {
+    if bytes.len() < JOURNAL_HEADER_LEN {
+        // A strict prefix of a valid header is chopped-at-creation; any
+        // other short content is not a journal.
+        let mut header = Vec::new();
+        encode_header(&mut header);
+        if bytes == &header[..bytes.len()] {
+            return Ok(JournalDecode {
+                journal: FaultJournal::new(),
+                complete_bytes: 0,
+                partial_tail: bytes.len(),
+            });
+        }
+        return Err(JournalIoError::BadMagic {
+            found: bytes.to_vec(),
+        });
+    }
+    if bytes[..4] != JOURNAL_MAGIC {
+        return Err(JournalIoError::BadMagic {
+            found: bytes[..4].to_vec(),
+        });
+    }
+    if bytes[4] != JOURNAL_VERSION {
+        return Err(JournalIoError::BadVersion { found: bytes[4] });
+    }
+    let body = &bytes[JOURNAL_HEADER_LEN..];
+    let whole = body.len() / JOURNAL_RECORD_LEN;
+    let mut journal = FaultJournal::new();
+    let mut prev_time = None;
+    for record in 0..whole {
+        let chunk = &body[record * JOURNAL_RECORD_LEN..(record + 1) * JOURNAL_RECORD_LEN];
+        let ev = decode_record(chunk, record, prev_time)?;
+        prev_time = Some(ev.time);
+        journal.record(ev);
+    }
+    Ok(JournalDecode {
+        journal,
+        complete_bytes: JOURNAL_HEADER_LEN + whole * JOURNAL_RECORD_LEN,
+        partial_tail: body.len() - whole * JOURNAL_RECORD_LEN,
+    })
+}
+
+/// Strict decode: like [`decode_journal_lenient`] but a partial tail is
+/// a [`JournalIoError::BadMagic`]-class refusal — for readers of files
+/// that are supposed to be cleanly closed (tests, artifact tooling).
+pub fn decode_journal(bytes: &[u8]) -> Result<FaultJournal, JournalIoError> {
+    let decoded = decode_journal_lenient(bytes)?;
+    if decoded.partial_tail != 0 {
+        // Reuse the magic error shape for "not a whole journal": the
+        // tail bytes are the offending content.
+        return Err(JournalIoError::BadMagic {
+            found: bytes[decoded.complete_bytes..].to_vec(),
+        });
+    }
+    Ok(decoded.journal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::FaultSet;
+    use crate::stream::{FaultEvent, FaultStream, NoFeedback, StreamSpec};
+
+    /// A renewal journal with equal-timestamp repair/kill ties — the
+    /// ordering-sensitive case the daemon's crash recovery must get
+    /// right.
+    fn renewal_journal() -> FaultJournal {
+        let spec = StreamSpec::Renew {
+            delay: 3,
+            inner: Box::new(StreamSpec::Trickle {
+                node_rate: 0.3,
+                edge_rate: 0.1,
+            }),
+        };
+        let mut journal = FaultJournal::new();
+        let mut s = spec.stream(24, 40, 17);
+        for _ in 0..40 {
+            journal.record(s.next(&NoFeedback).unwrap());
+        }
+        assert!(
+            journal
+                .events()
+                .windows(2)
+                .any(|w| w[0].time == w[1].time && w[0].is_repair() && !w[1].is_repair()),
+            "fixture must exercise a repair-before-kill tie"
+        );
+        journal
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let journal = renewal_journal();
+        let bytes = encode_journal(&journal);
+        let decoded = decode_journal(&bytes).unwrap();
+        assert_eq!(decoded, journal, "events and order survive the round trip");
+        assert_eq!(
+            encode_journal(&decoded),
+            bytes,
+            "re-encoding is byte-identical"
+        );
+    }
+
+    /// The crash case, exhaustively: a journal chopped at EVERY byte
+    /// boundary must decode to exactly the longest whole-record prefix
+    /// — same order (ties included), same net fault set — and never
+    /// error or panic.
+    #[test]
+    fn chopped_journals_decode_to_exact_prefixes() {
+        let journal = renewal_journal();
+        let bytes = encode_journal(&journal);
+        for cut in 0..=bytes.len() {
+            let decoded = decode_journal_lenient(&bytes[..cut])
+                .unwrap_or_else(|e| panic!("cut {cut}: spurious corruption verdict {e}"));
+            let whole = cut.saturating_sub(JOURNAL_HEADER_LEN) / JOURNAL_RECORD_LEN;
+            assert_eq!(
+                decoded.journal.len(),
+                whole,
+                "cut {cut}: wrong prefix length"
+            );
+            assert_eq!(
+                decoded.journal.events(),
+                &journal.events()[..whole],
+                "cut {cut}: prefix events must match the original order"
+            );
+            assert_eq!(
+                decoded.complete_bytes + decoded.partial_tail,
+                cut,
+                "cut {cut}: every byte accounted for"
+            );
+            // Net-fault-set parity: to_fault_set over the recovered
+            // prefix equals replaying that prefix event by event.
+            let set = decoded.journal.to_fault_set(24, 40);
+            let mut expect = FaultSet::none(24, 40);
+            for ev in &journal.events()[..whole] {
+                match ev.event {
+                    FaultEvent::Kill(f) => {
+                        expect.kill(f);
+                    }
+                    FaultEvent::Repair(f) => {
+                        expect.revive(f);
+                    }
+                }
+            }
+            assert_eq!(set, expect, "cut {cut}: net fault set diverged");
+            // Byte-identity of the recovered prefix.
+            assert_eq!(
+                encode_journal(&decoded.journal),
+                &bytes[..decoded.complete_bytes.max(JOURNAL_HEADER_LEN)][..],
+                "cut {cut}: recovered prefix must re-encode byte-identically",
+            );
+        }
+    }
+
+    #[test]
+    fn equal_time_ties_survive_chopping_between_the_pair() {
+        let journal = renewal_journal();
+        let bytes = encode_journal(&journal);
+        let tie = journal
+            .events()
+            .windows(2)
+            .position(|w| w[0].time == w[1].time && w[0].is_repair() && !w[1].is_repair())
+            .expect("fixture has a tie");
+        // Chop exactly between the repair and its same-time kill.
+        let cut = JOURNAL_HEADER_LEN + (tie + 1) * JOURNAL_RECORD_LEN;
+        let decoded = decode_journal_lenient(&bytes[..cut]).unwrap();
+        let last = *decoded.journal.events().last().unwrap();
+        assert!(last.is_repair(), "the repair half of the tie is kept");
+        assert_eq!(last, journal.events()[tie]);
+        // The repaired element is *live* in the prefix's net set even
+        // though the full journal kills something at the same instant.
+        let set = decoded.journal.to_fault_set(24, 40);
+        assert!(
+            !set.contains(last.fault()),
+            "tie order preserved: repair applied"
+        );
+    }
+
+    #[test]
+    fn corruption_is_typed_never_panicking() {
+        let journal = renewal_journal();
+        let mut bytes = encode_journal(&journal);
+        // Wrong magic.
+        assert!(matches!(
+            decode_journal_lenient(b"NOPE\x01rest"),
+            Err(JournalIoError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            decode_journal_lenient(b"XY"),
+            Err(JournalIoError::BadMagic { .. })
+        ));
+        // Unknown version.
+        let mut v = bytes.clone();
+        v[4] = 9;
+        assert_eq!(
+            decode_journal_lenient(&v),
+            Err(JournalIoError::BadVersion { found: 9 })
+        );
+        // Mangled event-kind byte in record 0.
+        let mut k = bytes.clone();
+        k[JOURNAL_HEADER_LEN + 8] = 7;
+        assert_eq!(
+            decode_journal_lenient(&k),
+            Err(JournalIoError::BadEventKind {
+                record: 0,
+                found: 7
+            })
+        );
+        // Mangled target byte.
+        let mut t = bytes.clone();
+        t[JOURNAL_HEADER_LEN + 9] = 3;
+        assert_eq!(
+            decode_journal_lenient(&t),
+            Err(JournalIoError::BadFaultKind {
+                record: 0,
+                found: 3
+            })
+        );
+        // Time travel: copy record 0's time bytes over record 1's with
+        // a smaller value spliced in.
+        let t0 = journal.events()[0].time;
+        if t0 > 0 {
+            let r1 = JOURNAL_HEADER_LEN + JOURNAL_RECORD_LEN;
+            bytes[r1..r1 + 8].copy_from_slice(&(t0 - 1).to_le_bytes());
+            assert!(matches!(
+                decode_journal_lenient(&bytes),
+                Err(JournalIoError::TimeTravel { record: 1, .. })
+            ));
+        }
+        // Strict decode refuses partial tails that the lenient path
+        // tolerates.
+        let bytes = encode_journal(&journal);
+        assert!(decode_journal(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_journal(&bytes).is_ok());
+    }
+
+    #[test]
+    fn edge_ids_and_empty_journals() {
+        let mut journal = FaultJournal::new();
+        journal.record(TimedFault::kill(2, Fault::Edge(u32::MAX)));
+        journal.record(TimedFault::repair(2, Fault::Edge(u32::MAX)));
+        journal.record(TimedFault::kill(9, Fault::Node(usize::MAX & 0xFFFF_FFFF)));
+        let bytes = encode_journal(&journal);
+        assert_eq!(decode_journal(&bytes).unwrap(), journal);
+        // Empty journal: header only, zero events, zero tail.
+        let empty = encode_journal(&FaultJournal::new());
+        assert_eq!(empty.len(), JOURNAL_HEADER_LEN);
+        let d = decode_journal_lenient(&empty).unwrap();
+        assert!(d.journal.is_empty());
+        assert_eq!(d.partial_tail, 0);
+        // Zero-length input: the created-but-never-written file.
+        let d = decode_journal_lenient(&[]).unwrap();
+        assert!(d.journal.is_empty());
+    }
+}

@@ -33,12 +33,18 @@
 //! cost model and the per-seed determinism contract.
 
 pub mod adversary;
+pub mod journal_io;
 pub mod random;
 pub mod sampler;
 pub mod set;
 pub mod stream;
 
 pub use adversary::{mixed_adversarial_faults, AdversaryPattern};
+pub use journal_io::{
+    decode_event, decode_journal, decode_journal_lenient, encode_event, encode_events,
+    encode_journal, JournalDecode, JournalIoError, JOURNAL_HEADER_LEN, JOURNAL_MAGIC,
+    JOURNAL_RECORD_LEN, JOURNAL_VERSION,
+};
 pub use random::{
     sample_bernoulli_faults, sample_bernoulli_faults_into, sample_indices, HalfEdgeFaults,
 };

@@ -47,6 +47,9 @@
 //! ```
 
 pub use ftt_core::online::{live_certificate, RepairClass, RepairOutcome, RepairState};
+pub use ftt_faults::journal_io::{
+    decode_journal, decode_journal_lenient, encode_journal, JournalDecode, JournalIoError,
+};
 pub use ftt_faults::stream::{
     BernoulliTrickle, BuiltStream, Burst, FaultEvent, FaultJournal, FaultStream, JournalStream,
     NoFeedback, Renewal, StreamFeedback, StreamSpec, StreamSpecError, TargetedAdversary,

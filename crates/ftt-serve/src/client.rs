@@ -1,0 +1,98 @@
+//! A blocking protocol client, usable one-shot (request → reply) or
+//! pipelined (send a window of requests, then drain replies — the
+//! bench driver's mode).
+
+use crate::net::{Listen, NetStream};
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use crate::tenant::TenantSpec;
+use ftt_faults::TimedFault;
+use std::io::{self, BufReader, BufWriter, Write};
+
+/// A connection to a running daemon.
+pub struct Client {
+    reader: BufReader<NetStream>,
+    writer: BufWriter<NetStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects over TCP or Unix socket.
+    pub fn connect(listen: &Listen) -> io::Result<Self> {
+        let stream = NetStream::connect(listen)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        })
+    }
+
+    /// Enqueues one request without waiting for its reply; returns the
+    /// request id to match against [`recv`](Self::recv). Buffered —
+    /// flushed by `recv` or [`flush`](Self::flush).
+    pub fn send(&mut self, tenant: u64, req: &Request) -> io::Result<u64> {
+        let rid = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &encode_request(rid, tenant, req))?;
+        Ok(rid)
+    }
+
+    /// Flushes buffered requests to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Receives the next reply (flushing pending requests first).
+    /// Replies are matched by id, not position — `Overloaded` and
+    /// shutdown acks can overtake shard-queued work.
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        decode_response(&payload)
+    }
+
+    /// One synchronous round trip.
+    pub fn call(&mut self, tenant: u64, req: &Request) -> io::Result<Response> {
+        let rid = self.send(tenant, req)?;
+        loop {
+            let (id, resp) = self.recv()?;
+            if id == rid {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Creates a tenant embedding.
+    pub fn create_tenant(&mut self, tenant: u64, spec: &TenantSpec) -> io::Result<Response> {
+        self.call(tenant, &Request::CreateTenant(*spec))
+    }
+
+    /// Journals and applies a batch of fault events.
+    pub fn events(&mut self, tenant: u64, events: &[TimedFault]) -> io::Result<Response> {
+        self.call(tenant, &Request::Events(events.to_vec()))
+    }
+
+    /// Liveness and counters.
+    pub fn liveness(&mut self, tenant: u64) -> io::Result<Response> {
+        self.call(tenant, &Request::QueryLiveness)
+    }
+
+    /// The live guest→host map.
+    pub fn embedding(&mut self, tenant: u64) -> io::Result<Response> {
+        self.call(tenant, &Request::QueryEmbedding)
+    }
+
+    /// Forces the tenant's journal to stable storage.
+    pub fn snapshot(&mut self, tenant: u64) -> io::Result<Response> {
+        self.call(tenant, &Request::Snapshot)
+    }
+
+    /// Stops the daemon (acked, then the listener closes).
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(0, &Request::Shutdown)
+    }
+}

@@ -1,0 +1,44 @@
+//! # ftt-serve — repair as a service
+//!
+//! A persistent multi-tenant daemon around the online repair engine:
+//! many independent tenant embeddings (each a `RepairState` over any
+//! of the paper's `B^d`/`A²`/`D^d` constructions, implicit-oracle
+//! hosts included), sharded across worker threads, driven by a
+//! length-framed binary protocol over a TCP or Unix socket.
+//!
+//! The three load-bearing contracts:
+//!
+//! * **Durability before acknowledgement.** Every applied fault event
+//!   is appended to the tenant's write-ahead journal (the
+//!   [`ftt_faults::journal_io`] record format) before its `Applied`
+//!   reply is sent. Crash recovery lenient-decodes each journal,
+//!   truncates the partial tail a mid-append crash leaves, and
+//!   replays the events through the same repair engine — recovered
+//!   state is exact, and the truncated file re-encodes
+//!   byte-identically. `Snapshot` upgrades page-cache durability to
+//!   `fsync`.
+//! * **Backpressure, never silent drops.** Shard queues are bounded;
+//!   a full queue answers [`Response::Overloaded`] without journaling
+//!   or applying anything, and the client retries.
+//! * **A long-lived process never panics on input.** Malformed
+//!   frames close the offending connection; invalid requests (time
+//!   travel, out-of-domain fault ids, unknown tenants, bad specs) get
+//!   typed [`Response::Error`]s; corrupt on-disk state refuses
+//!   startup with an error naming the file.
+//!
+//! See [`protocol`] for the frame layout and [`server`] for the
+//! shard/batching architecture. `ftt serve` (ftt-cli) wraps
+//! [`Server`]; `bench_serve` (ftt-bench) drives it with pipelined
+//! [`Client`]s and commits `BENCH_serve.json`.
+
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use client::Client;
+pub use net::{Listen, NetStream};
+pub use protocol::{EmbeddingInfo, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use tenant::{TenantHost, TenantSpec};

@@ -1,0 +1,144 @@
+//! Transport plumbing shared by server and client: the listen-address
+//! type and a stream wrapper uniform over TCP and Unix sockets.
+//!
+//! (Unix-socket support assumes a unix target, like the rest of the
+//! daemon's process-level machinery.)
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where the daemon listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP socket address, e.g. `127.0.0.1:7433` (`:0` for an
+    /// ephemeral port — [`crate::Server::listen_addr`] reports the
+    /// resolved one).
+    Tcp(String),
+    /// A Unix-domain socket path (created at bind, removed at
+    /// shutdown).
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parses `tcp:HOST:PORT` or `unix:PATH`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("tcp listen address is empty".into());
+            }
+            Ok(Listen::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix listen path is empty".into());
+            }
+            Ok(Listen::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "listen address '{s}' must be tcp:HOST:PORT or unix:PATH"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Listen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Listen::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Listen::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A connected stream of either flavour.
+#[derive(Debug)]
+pub enum NetStream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    /// Connects to a daemon at `listen`. TCP connections disable
+    /// Nagle's algorithm — ack latency is a reported metric and the
+    /// frames are small.
+    pub fn connect(listen: &Listen) -> io::Result<Self> {
+        match listen {
+            Listen::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true)?;
+                Ok(NetStream::Tcp(s))
+            }
+            Listen::Unix(path) => Ok(NetStream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// A second handle onto the same socket (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            NetStream::Tcp(s) => s.try_clone().map(NetStream::Tcp),
+            NetStream::Unix(s) => s.try_clone().map(NetStream::Unix),
+        }
+    }
+
+    /// Half-closes the read side: a blocked reader thread wakes with
+    /// EOF while queued writes (e.g. a shutdown ack) still drain.
+    pub fn shutdown_read(&self) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.shutdown(Shutdown::Read),
+            NetStream::Unix(s) => s.shutdown(Shutdown::Read),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addresses_parse_and_render() {
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:7433").unwrap(),
+            Listen::Tcp("127.0.0.1:7433".into())
+        );
+        assert_eq!(
+            Listen::parse("unix:/tmp/ftt.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/ftt.sock"))
+        );
+        assert!(Listen::parse("http://x").is_err());
+        assert!(Listen::parse("tcp:").is_err());
+        assert!(Listen::parse("unix:").is_err());
+        assert_eq!(
+            Listen::parse("tcp:[::1]:9").unwrap().to_string(),
+            "tcp:[::1]:9"
+        );
+    }
+}

@@ -1,0 +1,510 @@
+//! The daemon's wire protocol: length-framed binary requests and
+//! responses over a byte stream (TCP or Unix socket).
+//!
+//! # Frame layout
+//!
+//! ```text
+//! frame    = len u32 LE | payload (len bytes, ≤ MAX_FRAME_LEN)
+//!
+//! request  = request_id u64 LE | tenant_id u64 LE | opcode u8 | body
+//!   opcode 0 CreateTenant   body = TenantSpec encoding
+//!   opcode 1 Events         body = N × 18-byte journal records
+//!   opcode 2 QueryLiveness  body = empty
+//!   opcode 3 QueryEmbedding body = empty
+//!   opcode 4 Snapshot       body = empty
+//!   opcode 5 Shutdown       body = empty (tenant_id ignored)
+//!
+//! response = request_id u64 LE | status u8 | body
+//!   status 0 Ok         body = kind u8 | kind-specific fields
+//!   status 1 Overloaded body = empty    (backpressure; retry later)
+//!   status 2 Error      body = utf-8 message (rest of payload)
+//! ```
+//!
+//! The `Events` body is byte-identical to the journal-file record
+//! format ([`ftt_faults::journal_io`]): what travels on the wire is
+//! exactly what lands in the tenant's write-ahead journal, so the
+//! durability path has no re-encoding step and the chop-tolerant
+//! decoder is exercised by both.
+//!
+//! Responses are matched to requests by `request_id` (clients may
+//! pipeline); within one connection the server replies to shard-routed
+//! requests in arrival order per batch, but `Overloaded` rejections
+//! and `Shutdown` acks can overtake queued work — match by id, not by
+//! position.
+
+use crate::tenant::TenantSpec;
+use ftt_faults::journal_io::{self, JOURNAL_RECORD_LEN};
+use ftt_faults::TimedFault;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload — a protocol sanity bound, not a
+/// batching unit (one `Events` frame still carries ≤ ~930k records).
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// One decoded client request (without its ids).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create the addressed tenant from a construction spec.
+    CreateTenant(TenantSpec),
+    /// Apply (and journal) a batch of fault events to the tenant.
+    Events(Vec<TimedFault>),
+    /// Liveness and counters — never materialises the embedding.
+    QueryLiveness,
+    /// The live guest→host map (materialised on demand).
+    QueryEmbedding,
+    /// Force the tenant's journal to stable storage (`fsync`).
+    Snapshot,
+    /// Stop the daemon (acked before the listener closes).
+    Shutdown,
+}
+
+/// The embedding payload of a [`Response::Embedding`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingInfo {
+    /// Construction name (`"B^d_n"`, `"A^2_n"`, `"D^d_{n,k}"`).
+    pub construction: String,
+    /// Guest torus side lengths.
+    pub guest_dims: Vec<usize>,
+    /// Guest→host node map in guest row-major order.
+    pub map: Vec<u64>,
+}
+
+/// One decoded server response (without its request id).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Tenant created and its fault-free placement established.
+    Created {
+        /// Whether the initial extraction is live (always true for a
+        /// valid spec).
+        alive: bool,
+        /// Host node count.
+        nodes: u64,
+        /// Host edge count.
+        edges: u64,
+    },
+    /// An `Events` batch was journaled and applied.
+    Applied {
+        /// Events applied (= events sent).
+        applied: u32,
+        /// How many resolved in the O(1) Fast tier.
+        fast: u32,
+        /// How many took a bounded Local repair.
+        local: u32,
+        /// How many forced a full batch Rebuild (or left/kept the
+        /// state dead).
+        rebuild: u32,
+        /// Whether the placement is live after the batch.
+        alive: bool,
+    },
+    /// Liveness and counters.
+    Liveness {
+        /// Whether the placement is live.
+        alive: bool,
+        /// Current node faults in the accumulated set.
+        node_faults: u64,
+        /// Current edge faults in the accumulated set.
+        edge_faults: u64,
+        /// Events applied since creation (journal length).
+        events_applied: u64,
+        /// Time of the last applied event (0 if none).
+        last_time: u64,
+    },
+    /// The live embedding, or `None` while the tenant is dead.
+    Embedding(Option<EmbeddingInfo>),
+    /// Journal fsynced.
+    Snapshot {
+        /// Events durable on stable storage.
+        events_durable: u64,
+    },
+    /// Shutdown acknowledged.
+    ShutdownAck,
+    /// Backpressure: the tenant's shard queue is full. Nothing was
+    /// journaled or applied — retry.
+    Overloaded,
+    /// The request was rejected (unknown tenant, time travel, bad
+    /// ids, …). Nothing was journaled or applied.
+    Error(String),
+}
+
+const OP_CREATE: u8 = 0;
+const OP_EVENTS: u8 = 1;
+const OP_LIVENESS: u8 = 2;
+const OP_EMBEDDING: u8 = 3;
+const OP_SNAPSHOT: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+const ST_OK: u8 = 0;
+const ST_OVERLOADED: u8 = 1;
+const ST_ERROR: u8 = 2;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame (length prefix + payload). Callers flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(bad(format!("frame of {} bytes exceeds max", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean end-of-stream
+/// (EOF exactly at a frame boundary); EOF inside a frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A zero-byte read on the first prefix byte is the clean close;
+    // EOF after that is a frame chopped mid-flight.
+    match r.read(&mut len[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len[1..])?,
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(bad(format!("frame of {len} bytes exceeds max")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes a request payload (no length prefix).
+pub fn encode_request(request_id: u64, tenant_id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&tenant_id.to_le_bytes());
+    match req {
+        Request::CreateTenant(spec) => {
+            out.push(OP_CREATE);
+            spec.encode(&mut out);
+        }
+        Request::Events(events) => {
+            out.push(OP_EVENTS);
+            journal_io::encode_events(events, &mut out);
+        }
+        Request::QueryLiveness => out.push(OP_LIVENESS),
+        Request::QueryEmbedding => out.push(OP_EMBEDDING),
+        Request::Snapshot => out.push(OP_SNAPSHOT),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request payload into `(request_id, tenant_id, request)`.
+pub fn decode_request(payload: &[u8]) -> io::Result<(u64, u64, Request)> {
+    if payload.len() < 17 {
+        return Err(bad("request shorter than its fixed header"));
+    }
+    let request_id = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let tenant_id = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+    let body = &payload[17..];
+    let req = match payload[16] {
+        OP_CREATE => Request::CreateTenant(TenantSpec::decode(body).map_err(bad)?),
+        OP_EVENTS => {
+            if !body.len().is_multiple_of(JOURNAL_RECORD_LEN) {
+                return Err(bad(format!(
+                    "events body of {} bytes is not a whole number of records",
+                    body.len()
+                )));
+            }
+            let mut events = Vec::with_capacity(body.len() / JOURNAL_RECORD_LEN);
+            for chunk in body.chunks_exact(JOURNAL_RECORD_LEN) {
+                events.push(journal_io::decode_event(chunk).map_err(|e| bad(e.to_string()))?);
+            }
+            Request::Events(events)
+        }
+        OP_LIVENESS => Request::QueryLiveness,
+        OP_EMBEDDING => Request::QueryEmbedding,
+        OP_SNAPSHOT => Request::Snapshot,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(bad(format!("unknown opcode {op}"))),
+    };
+    Ok((request_id, tenant_id, req))
+}
+
+/// Encodes a response payload (no length prefix).
+pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    match resp {
+        Response::Overloaded => out.push(ST_OVERLOADED),
+        Response::Error(msg) => {
+            out.push(ST_ERROR);
+            out.extend_from_slice(msg.as_bytes());
+        }
+        Response::Created {
+            alive,
+            nodes,
+            edges,
+        } => {
+            out.extend_from_slice(&[ST_OK, OP_CREATE, u8::from(*alive)]);
+            out.extend_from_slice(&nodes.to_le_bytes());
+            out.extend_from_slice(&edges.to_le_bytes());
+        }
+        Response::Applied {
+            applied,
+            fast,
+            local,
+            rebuild,
+            alive,
+        } => {
+            out.extend_from_slice(&[ST_OK, OP_EVENTS]);
+            out.extend_from_slice(&applied.to_le_bytes());
+            out.extend_from_slice(&fast.to_le_bytes());
+            out.extend_from_slice(&local.to_le_bytes());
+            out.extend_from_slice(&rebuild.to_le_bytes());
+            out.push(u8::from(*alive));
+        }
+        Response::Liveness {
+            alive,
+            node_faults,
+            edge_faults,
+            events_applied,
+            last_time,
+        } => {
+            out.extend_from_slice(&[ST_OK, OP_LIVENESS, u8::from(*alive)]);
+            out.extend_from_slice(&node_faults.to_le_bytes());
+            out.extend_from_slice(&edge_faults.to_le_bytes());
+            out.extend_from_slice(&events_applied.to_le_bytes());
+            out.extend_from_slice(&last_time.to_le_bytes());
+        }
+        Response::Embedding(info) => {
+            out.extend_from_slice(&[ST_OK, OP_EMBEDDING]);
+            match info {
+                None => out.push(0),
+                Some(info) => {
+                    out.push(1);
+                    let name = info.construction.as_bytes();
+                    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                    out.extend_from_slice(name);
+                    out.push(info.guest_dims.len() as u8);
+                    for &d in &info.guest_dims {
+                        out.extend_from_slice(&(d as u64).to_le_bytes());
+                    }
+                    out.extend_from_slice(&(info.map.len() as u64).to_le_bytes());
+                    for &m in &info.map {
+                        out.extend_from_slice(&m.to_le_bytes());
+                    }
+                }
+            }
+        }
+        Response::Snapshot { events_durable } => {
+            out.extend_from_slice(&[ST_OK, OP_SNAPSHOT]);
+            out.extend_from_slice(&events_durable.to_le_bytes());
+        }
+        Response::ShutdownAck => out.extend_from_slice(&[ST_OK, OP_SHUTDOWN]),
+    }
+    out
+}
+
+/// Little-endian field cursor over a response body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.at + n;
+        if end > self.bytes.len() {
+            return Err(bad("response truncated"));
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes a response payload into `(request_id, response)`.
+pub fn decode_response(payload: &[u8]) -> io::Result<(u64, Response)> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    let request_id = c.u64()?;
+    let resp = match c.u8()? {
+        ST_OVERLOADED => Response::Overloaded,
+        ST_ERROR => Response::Error(
+            String::from_utf8(payload[c.at..].to_vec())
+                .map_err(|_| bad("error message is not utf-8"))?,
+        ),
+        ST_OK => match c.u8()? {
+            OP_CREATE => Response::Created {
+                alive: c.u8()? != 0,
+                nodes: c.u64()?,
+                edges: c.u64()?,
+            },
+            OP_EVENTS => Response::Applied {
+                applied: c.u32()?,
+                fast: c.u32()?,
+                local: c.u32()?,
+                rebuild: c.u32()?,
+                alive: c.u8()? != 0,
+            },
+            OP_LIVENESS => Response::Liveness {
+                alive: c.u8()? != 0,
+                node_faults: c.u64()?,
+                edge_faults: c.u64()?,
+                events_applied: c.u64()?,
+                last_time: c.u64()?,
+            },
+            OP_EMBEDDING => {
+                if c.u8()? == 0 {
+                    Response::Embedding(None)
+                } else {
+                    let name_len = c.u16()? as usize;
+                    let construction = String::from_utf8(c.take(name_len)?.to_vec())
+                        .map_err(|_| bad("construction name is not utf-8"))?;
+                    let ndims = c.u8()? as usize;
+                    let mut guest_dims = Vec::with_capacity(ndims);
+                    for _ in 0..ndims {
+                        guest_dims.push(c.u64()? as usize);
+                    }
+                    let map_len = c.u64()? as usize;
+                    if map_len.saturating_mul(8) > payload.len() {
+                        return Err(bad("embedding map length exceeds frame"));
+                    }
+                    let mut map = Vec::with_capacity(map_len);
+                    for _ in 0..map_len {
+                        map.push(c.u64()?);
+                    }
+                    Response::Embedding(Some(EmbeddingInfo {
+                        construction,
+                        guest_dims,
+                        map,
+                    }))
+                }
+            }
+            OP_SNAPSHOT => Response::Snapshot {
+                events_durable: c.u64()?,
+            },
+            OP_SHUTDOWN => Response::ShutdownAck,
+            kind => return Err(bad(format!("unknown response kind {kind}"))),
+        },
+        st => return Err(bad(format!("unknown status byte {st}"))),
+    };
+    Ok((request_id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftt_faults::Fault;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::CreateTenant(TenantSpec::Ddn {
+                d: 1,
+                n_min: 8,
+                b: 2,
+            }),
+            Request::Events(vec![
+                TimedFault::kill(3, Fault::Node(7)),
+                TimedFault::repair(5, Fault::Edge(11)),
+            ]),
+            Request::QueryLiveness,
+            Request::QueryEmbedding,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let payload = encode_request(i as u64, 42, req);
+            let (rid, tid, back) = decode_request(&payload).unwrap();
+            assert_eq!(rid, i as u64);
+            assert_eq!(tid, 42);
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Created {
+                alive: true,
+                nodes: 64,
+                edges: 128,
+            },
+            Response::Applied {
+                applied: 9,
+                fast: 5,
+                local: 3,
+                rebuild: 1,
+                alive: true,
+            },
+            Response::Liveness {
+                alive: false,
+                node_faults: 4,
+                edge_faults: 2,
+                events_applied: 99,
+                last_time: 1234,
+            },
+            Response::Embedding(None),
+            Response::Embedding(Some(EmbeddingInfo {
+                construction: "D^d_{n,k}".into(),
+                guest_dims: vec![8],
+                map: vec![1, 2, 3, 4, 5, 6, 7, 0],
+            })),
+            Response::Snapshot { events_durable: 17 },
+            Response::ShutdownAck,
+            Response::Overloaded,
+            Response::Error("tenant 9 unknown".into()),
+        ];
+        for (i, resp) in resps.iter().enumerate() {
+            let payload = encode_response(i as u64, resp);
+            let (rid, back) = decode_response(&payload).unwrap();
+            assert_eq!(rid, i as u64);
+            assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        // EOF inside a frame is an error, not a clean end.
+        let mut r = &buf[..3];
+        assert!(read_frame(&mut r).is_err());
+        // Oversize length prefix is rejected without allocating.
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(decode_request(&[0; 10]).is_err(), "short header");
+        let mut p = encode_request(1, 2, &Request::QueryLiveness);
+        p[16] = 99;
+        assert!(decode_request(&p).is_err(), "unknown opcode");
+        let mut p = encode_request(
+            1,
+            2,
+            &Request::Events(vec![TimedFault::kill(1, Fault::Node(0))]),
+        );
+        p.pop();
+        assert!(decode_request(&p).is_err(), "ragged events body");
+    }
+}

@@ -1,0 +1,385 @@
+//! One tenant = one construction spec + one live [`RepairState`].
+//!
+//! The daemon is construction-generic the same way the sweep engine is:
+//! a [`TenantSpec`] names any of the paper's three constructions with
+//! its parameters, builds the host once at creation (implicit-oracle
+//! hosts included — `B^d`/`D^d` never materialise a CSR), and every
+//! subsequent fault event flows through the incremental repair engine.
+//! The spec has a fixed binary encoding because it travels twice: in
+//! `CreateTenant` frames and in the tenant's on-disk `t<id>.spec` file
+//! (which crash recovery reads back to rebuild the host before
+//! replaying the journal).
+
+use crate::protocol::EmbeddingInfo;
+use ftt_core::adn::{Adn, AdnParams};
+use ftt_core::bdn::{Bdn, BdnParams};
+use ftt_core::certificate::EmbeddingCertificate;
+use ftt_core::construct::HostConstruction;
+use ftt_core::ddn::{Ddn, DdnParams};
+use ftt_core::online::{live_certificate, RepairOutcome, RepairState};
+use ftt_faults::{Fault, FaultEvent};
+
+/// First bytes of every `t<id>.spec` file.
+pub const SPEC_MAGIC: [u8; 4] = *b"FTTS";
+/// Spec-file format version.
+pub const SPEC_VERSION: u8 = 1;
+
+/// A serialisable construction spec — which host this tenant embeds
+/// into. Mirrors the sweep engine's construction axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TenantSpec {
+    /// Theorem 2's `B^d_n`.
+    Bdn {
+        /// Dimension `d`.
+        d: usize,
+        /// Minimum guest torus side.
+        n_min: usize,
+        /// Band parameter `b`.
+        b: usize,
+        /// Slack parameter `ε_b`.
+        eps_b: usize,
+    },
+    /// Theorem 1's `A²_n` (node *and* edge faults).
+    Adn {
+        /// Minimum guest torus side.
+        n_min: usize,
+        /// Cluster factor `k`.
+        k: usize,
+        /// Supernode size `h`.
+        h: usize,
+        /// Design half-edge failure rate `√q`.
+        sqrt_q: f64,
+    },
+    /// Theorem 3's `D^d_{n,k}`.
+    Ddn {
+        /// Dimension `d`.
+        d: usize,
+        /// Minimum guest torus side.
+        n_min: usize,
+        /// Band parameter `b` (fault budget `k = b^(2^d − 1)`).
+        b: usize,
+    },
+}
+
+impl TenantSpec {
+    /// Appends the fixed binary encoding (tag byte + u64/f64-bits
+    /// fields, all LE).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            TenantSpec::Bdn { d, n_min, b, eps_b } => {
+                out.push(0);
+                for v in [d, n_min, b, eps_b] {
+                    out.extend_from_slice(&(v as u64).to_le_bytes());
+                }
+            }
+            TenantSpec::Adn {
+                n_min,
+                k,
+                h,
+                sqrt_q,
+            } => {
+                out.push(1);
+                for v in [n_min, k, h] {
+                    out.extend_from_slice(&(v as u64).to_le_bytes());
+                }
+                out.extend_from_slice(&sqrt_q.to_bits().to_le_bytes());
+            }
+            TenantSpec::Ddn { d, n_min, b } => {
+                out.push(2);
+                for v in [d, n_min, b] {
+                    out.extend_from_slice(&(v as u64).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes an encoding produced by [`encode`](Self::encode); the
+    /// whole input must be consumed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let field = |i: usize| -> Result<u64, String> {
+            let at = 1 + i * 8;
+            bytes
+                .get(at..at + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+                .ok_or_else(|| "tenant spec truncated".to_string())
+        };
+        let expect_len = |n: usize| -> Result<(), String> {
+            if bytes.len() == 1 + n * 8 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "tenant spec of {} bytes (want {})",
+                    bytes.len(),
+                    1 + n * 8
+                ))
+            }
+        };
+        match bytes.first() {
+            Some(0) => {
+                expect_len(4)?;
+                Ok(TenantSpec::Bdn {
+                    d: field(0)? as usize,
+                    n_min: field(1)? as usize,
+                    b: field(2)? as usize,
+                    eps_b: field(3)? as usize,
+                })
+            }
+            Some(1) => {
+                expect_len(4)?;
+                Ok(TenantSpec::Adn {
+                    n_min: field(0)? as usize,
+                    k: field(1)? as usize,
+                    h: field(2)? as usize,
+                    sqrt_q: f64::from_bits(field(3)?),
+                })
+            }
+            Some(2) => {
+                expect_len(3)?;
+                Ok(TenantSpec::Ddn {
+                    d: field(0)? as usize,
+                    n_min: field(1)? as usize,
+                    b: field(2)? as usize,
+                })
+            }
+            Some(tag) => Err(format!("unknown tenant spec tag {tag}")),
+            None => Err("empty tenant spec".to_string()),
+        }
+    }
+
+    /// The `t<id>.spec` file image: magic + version + encoding.
+    pub fn encode_spec_file(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(38);
+        out.extend_from_slice(&SPEC_MAGIC);
+        out.push(SPEC_VERSION);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Parses a `t<id>.spec` file image.
+    pub fn decode_spec_file(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 5 || bytes[..4] != SPEC_MAGIC {
+            return Err("bad spec-file magic".to_string());
+        }
+        if bytes[4] != SPEC_VERSION {
+            return Err(format!("spec-file version {} unsupported", bytes[4]));
+        }
+        Self::decode(&bytes[5..])
+    }
+
+    /// Builds the host and its fault-free placement. Errors are the
+    /// constructions' own parameter validation messages.
+    pub fn create(&self) -> Result<TenantHost, String> {
+        match *self {
+            TenantSpec::Bdn { d, n_min, b, eps_b } => {
+                let host = Bdn::build(BdnParams::fit(d, n_min, b, eps_b)?);
+                let state = RepairState::new(&host).map_err(|e| e.to_string())?;
+                Ok(TenantHost::Bdn(Box::new(host), state))
+            }
+            TenantSpec::Adn {
+                n_min,
+                k,
+                h,
+                sqrt_q,
+            } => {
+                if k == 0 {
+                    return Err("A²_n needs k ≥ 1".into());
+                }
+                let inner = BdnParams::fit(2, n_min.div_ceil(k), 3, 1)?;
+                let host = Adn::build(AdnParams::new(inner, k, h, sqrt_q)?);
+                let state = RepairState::new(&host).map_err(|e| e.to_string())?;
+                Ok(TenantHost::Adn(Box::new(host), state))
+            }
+            TenantSpec::Ddn { d, n_min, b } => {
+                let host = Ddn::new(DdnParams::fit(d, n_min, b)?);
+                let state = RepairState::new(&host).map_err(|e| e.to_string())?;
+                Ok(TenantHost::Ddn(Box::new(host), state))
+            }
+        }
+    }
+}
+
+/// A built tenant: host + repair state, enum-dispatched over the three
+/// constructions (the same shape as the sweep engine's `BuiltHost`,
+/// plus the online state the daemon owns per tenant).
+// One long-lived value per tenant; the A² repair state's extra inline
+// size is not worth an indirection on the event hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum TenantHost {
+    /// A `B^d_n` tenant.
+    Bdn(Box<Bdn>, RepairState<Bdn>),
+    /// An `A²_n` tenant.
+    Adn(Box<Adn>, RepairState<Adn>),
+    /// A `D^d_{n,k}` tenant.
+    Ddn(Box<Ddn>, RepairState<Ddn>),
+}
+
+impl TenantHost {
+    /// Host node count.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TenantHost::Bdn(h, _) => h.num_nodes(),
+            TenantHost::Adn(h, _) => h.num_nodes(),
+            TenantHost::Ddn(h, _) => h.num_nodes(),
+        }
+    }
+
+    /// Host edge count.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            TenantHost::Bdn(h, _) => h.num_edges(),
+            TenantHost::Adn(h, _) => h.num_edges(),
+            TenantHost::Ddn(h, _) => h.num_edges(),
+        }
+    }
+
+    /// Whether the placement is live.
+    pub fn alive(&self) -> bool {
+        match self {
+            TenantHost::Bdn(_, s) => s.alive(),
+            TenantHost::Adn(_, s) => s.alive(),
+            TenantHost::Ddn(_, s) => s.alive(),
+        }
+    }
+
+    /// `(node faults, edge faults)` in the accumulated set.
+    pub fn fault_counts(&self) -> (usize, usize) {
+        match self {
+            TenantHost::Bdn(_, s) => (
+                s.faults().count_node_faults(),
+                s.faults().count_edge_faults(),
+            ),
+            TenantHost::Adn(_, s) => (
+                s.faults().count_node_faults(),
+                s.faults().count_edge_faults(),
+            ),
+            TenantHost::Ddn(_, s) => (
+                s.faults().count_node_faults(),
+                s.faults().count_edge_faults(),
+            ),
+        }
+    }
+
+    /// Rejects fault ids outside the host's domain *before* they are
+    /// journaled or applied — the repair engine asserts bounds, and a
+    /// long-lived daemon must answer a bad client with an error, not
+    /// die on an assertion.
+    pub fn validate_fault(&self, f: Fault) -> Result<(), String> {
+        match f {
+            Fault::Node(v) if v >= self.num_nodes() => {
+                Err(format!("node {v} out of domain {}", self.num_nodes()))
+            }
+            Fault::Edge(e) if (e as usize) >= self.num_edges() => {
+                Err(format!("edge {e} out of domain {}", self.num_edges()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Feeds one event through the incremental repair engine.
+    pub fn apply_event(&mut self, event: FaultEvent) -> RepairOutcome {
+        match self {
+            TenantHost::Bdn(h, s) => s.apply_event(h, event),
+            TenantHost::Adn(h, s) => s.apply_event(h, event),
+            TenantHost::Ddn(h, s) => s.apply_event(h, event),
+        }
+    }
+
+    /// The live embedding as a wire-ready [`EmbeddingInfo`]
+    /// (materialises a deferred map); `None` while dead.
+    pub fn embedding_info(&mut self) -> Option<EmbeddingInfo> {
+        fn info<C: HostConstruction>(
+            host: &C,
+            state: &mut RepairState<C>,
+        ) -> Option<EmbeddingInfo> {
+            let emb = state.live_embedding(host)?;
+            Some(EmbeddingInfo {
+                construction: C::NAME.to_string(),
+                guest_dims: emb.guest.dims().to_vec(),
+                map: emb.map.iter().map(|&v| v as u64).collect(),
+            })
+        }
+        match self {
+            TenantHost::Bdn(h, s) => info(h.as_ref(), s),
+            TenantHost::Adn(h, s) => info(h.as_ref(), s),
+            TenantHost::Ddn(h, s) => info(h.as_ref(), s),
+        }
+    }
+
+    /// Freezes the live embedding as an independently checkable
+    /// certificate; `None` while dead.
+    pub fn certificate(&mut self) -> Option<EmbeddingCertificate> {
+        match self {
+            TenantHost::Bdn(h, s) => live_certificate(h.as_ref(), s),
+            TenantHost::Adn(h, s) => live_certificate(h.as_ref(), s),
+            TenantHost::Ddn(h, s) => live_certificate(h.as_ref(), s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_wire_and_file_encodings() {
+        let specs = [
+            TenantSpec::Bdn {
+                d: 2,
+                n_min: 54,
+                b: 3,
+                eps_b: 1,
+            },
+            TenantSpec::Adn {
+                n_min: 36,
+                k: 2,
+                h: 4,
+                sqrt_q: 0.0625,
+            },
+            TenantSpec::Ddn {
+                d: 1,
+                n_min: 8,
+                b: 2,
+            },
+        ];
+        for spec in specs {
+            let mut wire = Vec::new();
+            spec.encode(&mut wire);
+            assert_eq!(TenantSpec::decode(&wire).unwrap(), spec);
+            let file = spec.encode_spec_file();
+            assert_eq!(TenantSpec::decode_spec_file(&file).unwrap(), spec);
+        }
+        assert!(TenantSpec::decode(&[]).is_err());
+        assert!(TenantSpec::decode(&[9]).is_err());
+        assert!(TenantSpec::decode_spec_file(b"NOPE\x01").is_err());
+    }
+
+    #[test]
+    fn tiny_tenant_builds_applies_and_certifies() {
+        let spec = TenantSpec::Ddn {
+            d: 1,
+            n_min: 8,
+            b: 2,
+        };
+        let mut tenant = spec.create().unwrap();
+        assert!(tenant.alive());
+        assert!(tenant
+            .validate_fault(Fault::Node(tenant.num_nodes()))
+            .is_err());
+        tenant.apply_event(FaultEvent::Kill(Fault::Node(0)));
+        assert!(tenant.alive(), "D¹ with one fault stays live");
+        let cert = tenant.certificate().expect("live tenant certifies");
+        match &tenant {
+            TenantHost::Ddn(h, s) => {
+                ftt_verify::check_certificate(&cert, h.oracle(), s.faults()).unwrap();
+            }
+            _ => unreachable!(),
+        }
+        let info = tenant.embedding_info().unwrap();
+        assert_eq!(info.construction, "D^d_{n,k}");
+        assert_eq!(
+            info.map.len() as u64,
+            info.guest_dims.iter().product::<usize>() as u64
+        );
+    }
+}

@@ -65,6 +65,13 @@
 //!   ([`online::RepairState`] — O(1)/local/rebuild tiers with batch
 //!   parity), and lifetime scenarios ([`online::run_lifetime`],
 //!   presets `life-smoke`/`life-t2`/`life-t3`)
+//! * [`serve`] — repair as a service: a persistent multi-tenant daemon
+//!   ([`serve::Server`], `ftt serve`) hosting many tenant
+//!   [`online::RepairState`]s sharded across worker threads, a
+//!   length-framed binary protocol over TCP/Unix sockets
+//!   ([`serve::protocol`]), write-ahead journal durability with exact
+//!   crash replay ([`faults::journal_io`]), bounded-queue
+//!   backpressure, and a pipelined [`serve::Client`]
 
 pub use ftt_baselines as baselines;
 pub use ftt_core as core;
@@ -73,5 +80,6 @@ pub use ftt_faults as faults;
 pub use ftt_geom as geom;
 pub use ftt_graph as graph;
 pub use ftt_online as online;
+pub use ftt_serve as serve;
 pub use ftt_sim as sim;
 pub use ftt_verify as verify;

@@ -60,6 +60,24 @@ def check(cond, msg):
         errors.append(msg)
 
 
+def load_json(path):
+    """Loads a top-level JSON object; any failure is a named one-line
+    exit (a corrupt artifact must fail the check, not traceback)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as e:
+        sys.exit(f"check_cert: {path}: cannot read: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_cert: {path}: not valid JSON: {e}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"check_cert: {path}: top level must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
 def validate_report(path, report, allow_incomplete, expect_full_budget):
     check(
         report.get("schema_version") == SCHEMA_VERSION,
@@ -88,7 +106,8 @@ def validate_report(path, report, allow_incomplete, expect_full_budget):
         and all(isinstance(c, int) and c >= 0 for c in sizes),
         "patterns_by_size must be a non-empty list of counts",
     )
-    if isinstance(sizes, list) and isinstance(report.get("max_faults"), int):
+    sizes_ok = isinstance(sizes, list) and all(isinstance(c, int) for c in sizes)
+    if sizes_ok and isinstance(report.get("max_faults"), int):
         check(
             len(sizes) == report["max_faults"] + 1,
             f"patterns_by_size has {len(sizes)} entries for max_faults "
@@ -96,7 +115,7 @@ def validate_report(path, report, allow_incomplete, expect_full_budget):
         )
     total = report.get("patterns_total")
     check(isinstance(total, int) and total > 0, "patterns_total must be positive")
-    if isinstance(sizes, list) and isinstance(total, int):
+    if sizes_ok and isinstance(total, int):
         check(
             sum(sizes) == total,
             f"patterns_total {total} != sum(patterns_by_size) {sum(sizes)}",
@@ -165,8 +184,7 @@ def main(argv):
             "[--allow-incomplete] [--expect-full-budget]"
         )
     for path in args:
-        with open(path) as fh:
-            report = json.load(fh)
+        report = load_json(path)
         validate_report(
             path,
             report,

@@ -94,6 +94,24 @@ def is_num(x):
     return isinstance(x, (int, float))
 
 
+def load_json(path):
+    """Loads a top-level JSON object; any failure is a named one-line
+    exit (a corrupt artifact must fail the check, not traceback)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as e:
+        sys.exit(f"check_life: {path}: cannot read: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_life: {path}: not valid JSON: {e}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"check_life: {path}: top level must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
 def validate_cell(cell):
     cid = cell.get("id", "<no id>")
     for field in CELL_FIELDS:
@@ -236,14 +254,22 @@ def validate_report(report):
         check(isinstance(report.get(field), int), f"missing/odd {field}")
     cells = report.get("cells")
     check(isinstance(cells, list) and cells, "cells must be a non-empty list")
-    for cell in cells or []:
+    if not isinstance(cells, list):
+        cells = []
+    for cell in cells:
+        if not isinstance(cell, dict):
+            check(False, f"cell {cell!r} is not an object")
+            continue
         validate_cell(cell)
-    return cells or []
+    return cells
 
 
 def validate_csv(path, cells):
-    with open(path, newline="") as fh:
-        rows = list(csv.reader(fh))
+    try:
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+    except OSError as e:
+        sys.exit(f"check_life: {path}: cannot read: {e}")
     check(bool(rows), f"{path}: empty CSV")
     if rows:
         check(
@@ -256,17 +282,17 @@ def validate_csv(path, cells):
             f"{path}: {len(rows) - 1} data rows for {len(cells)} cells",
         )
         for row, cell in zip(rows[1:], cells):
+            cid = cell.get("id") if isinstance(cell, dict) else None
             check(
-                row and row[0] == cell["id"],
-                f"{path}: row id {row[0] if row else '<empty>'} != {cell['id']}",
+                row and row[0] == cid,
+                f"{path}: row id {row[0] if row else '<empty>'} != {cid}",
             )
 
 
 def main(argv):
     if not 1 <= len(argv) <= 2:
         sys.exit("usage: check_life.py LIFE.json [LIFE.csv]")
-    with open(argv[0]) as fh:
-        report = json.load(fh)
+    report = load_json(argv[0])
     cells = validate_report(report)
     if len(argv) == 2:
         validate_csv(argv[1], cells)

@@ -9,6 +9,8 @@ Usage:
                   [--min-speedup-adn S]
     check_perf.py --giant BENCH_extraction.json [--min-nodes N]
                   [--max-rss-mb M]
+    check_perf.py --serve COMMITTED_BENCH_serve.json FRESH.json
+                  [--floor 0.25] [--min-tenants N] [--min-events-per-sec E]
 
 Two-file mode compares the freshly measured trials/sec of every
 scenario in BENCH_extraction.json against the committed baseline and
@@ -38,6 +40,15 @@ gates each scenario by its ``construction``:
 
 Speedups are same-machine ratios (noise-robust); ``frac_rebuild`` is a
 deterministic tier count, so both gate tightly even on CI runners.
+
+``--serve`` mode gates the repair-daemon benchmark (``bench_serve``'s
+``BENCH_serve.json``): the committed baseline must demonstrate the
+headline scale (>= ``--min-tenants`` tenants, default 10^4, sustaining
+>= ``--min-events-per-sec`` acknowledged events/sec, default 10^5 —
+absolute floors on the noise-free reference measurement), and the
+fresh CI run must reach ``floor * committed`` events/sec (default 25%,
+same noisy-runner rationale as the two-file mode). Both artifacts are
+schema-checked; repair-tier fractions must be probabilities.
 
 ``--giant`` mode validates the implicit-host demonstration recorded by
 ``bench_extraction --giant`` as a top-level ``"giant"`` object: a
@@ -78,11 +89,33 @@ def pop_repeated(argv, flag, parse, usage=""):
     return values
 
 
+def load_json(path):
+    """Loads a top-level JSON object; any failure is a named one-line
+    exit (a corrupt artifact must fail the check, not traceback)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as e:
+        sys.exit(f"check_perf: {path}: cannot read: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_perf: {path}: not valid JSON: {e}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"check_perf: {path}: top level must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
 def load(path):
-    with open(path) as fh:
-        data = json.load(fh)
+    data = load_json(path)
     scenarios = {}
-    for s in data.get("scenarios", []):
+    raw = data.get("scenarios", [])
+    if not isinstance(raw, list):
+        sys.exit(f"check_perf: {path}: 'scenarios' must be a list")
+    for s in raw:
+        if not isinstance(s, dict):
+            sys.exit(f"check_perf: {path}: malformed scenario entry {s!r}")
         name, tps = s.get("name"), s.get("trials_per_sec")
         if not isinstance(name, str) or not isinstance(tps, (int, float)):
             sys.exit(f"check_perf: {path}: malformed scenario entry {s!r}")
@@ -104,13 +137,14 @@ def check_online(argv):
     if len(argv) != 1:
         sys.exit(usage)
     path = argv[0]
-    with open(path) as fh:
-        data = json.load(fh)
+    data = load_json(path)
     if data.get("bench") != "online":
         sys.exit(f"check_perf: {path}: bench kind {data.get('bench')!r} != 'online'")
     scenarios = data.get("scenarios", [])
-    if not scenarios:
+    if not isinstance(scenarios, list) or not scenarios:
         sys.exit(f"check_perf: {path}: no scenarios")
+    if not all(isinstance(s, dict) for s in scenarios):
+        sys.exit(f"check_perf: {path}: malformed scenario list")
     failures = []
     print(
         f"{'scenario':<24} {'constr':>8} {'arrivals':>9} {'incr/s':>12} "
@@ -180,8 +214,7 @@ def check_giant(argv):
     if len(argv) != 1:
         sys.exit(usage)
     path = argv[0]
-    with open(path) as fh:
-        data = json.load(fh)
+    data = load_json(path)
     giant = data.get("giant")
     if not isinstance(giant, dict):
         sys.exit(f"check_perf: {path}: no 'giant' object (run bench_extraction --giant)")
@@ -230,6 +263,92 @@ def check_giant(argv):
     )
 
 
+SERVE_SCHEMA_VERSION = 1
+SERVE_NUM_FIELDS = (
+    "tenants",
+    "shards",
+    "clients",
+    "events_total",
+    "seconds",
+    "events_per_sec",
+    "ack_p50_us",
+    "ack_p99_us",
+    "frac_fast",
+    "frac_local",
+    "frac_rebuild",
+    "overloaded_retries",
+)
+
+
+def load_serve(path):
+    data = load_json(path)
+    if data.get("bench") != "serve":
+        sys.exit(f"check_perf: {path}: bench kind {data.get('bench')!r} != 'serve'")
+    if data.get("schema_version") != SERVE_SCHEMA_VERSION:
+        sys.exit(
+            f"check_perf: {path}: schema_version {data.get('schema_version')!r} "
+            f"!= {SERVE_SCHEMA_VERSION}"
+        )
+    for field in SERVE_NUM_FIELDS:
+        if not isinstance(data.get(field), (int, float)):
+            sys.exit(f"check_perf: {path}: missing/odd field {field}")
+    for field in ("frac_fast", "frac_local", "frac_rebuild"):
+        if not 0.0 <= data[field] <= 1.0:
+            sys.exit(f"check_perf: {path}: {field} {data[field]} outside [0, 1]")
+    if data["events_total"] <= 0 or data["seconds"] <= 0:
+        sys.exit(f"check_perf: {path}: empty run (no events / no elapsed time)")
+    return data
+
+
+def check_serve(argv):
+    usage = (
+        "usage: check_perf.py --serve COMMITTED.json FRESH.json [--floor F]\n"
+        "       [--min-tenants N] [--min-events-per-sec E]"
+    )
+    floor = pop_flag(argv, "--floor", 0.25, usage=usage)
+    min_tenants = pop_flag(argv, "--min-tenants", 10_000, parse=int, usage=usage)
+    min_eps = pop_flag(argv, "--min-events-per-sec", 100_000.0, usage=usage)
+    if len(argv) != 2:
+        sys.exit(usage)
+    committed, fresh = load_serve(argv[0]), load_serve(argv[1])
+    failures = []
+    if committed["tenants"] < min_tenants:
+        failures.append(
+            f"committed baseline ran only {committed['tenants']} tenants "
+            f"< required {min_tenants} (headline multi-tenant scale)"
+        )
+    if committed["events_per_sec"] < min_eps:
+        failures.append(
+            f"committed baseline sustained {committed['events_per_sec']:.0f} "
+            f"events/sec < absolute floor {min_eps:.0f}"
+        )
+    ratio = fresh["events_per_sec"] / committed["events_per_sec"]
+    print(f"{'':<10} {'committed':>12} {'fresh':>12}")
+    for field in ("tenants", "events_total", "events_per_sec", "ack_p50_us", "ack_p99_us"):
+        print(f"{field:<18} {committed[field]:>12.0f} {fresh[field]:>12.0f}")
+    print(
+        f"throughput ratio {ratio:.2f} (floor {floor:.2f}); fresh tier mix "
+        f"fast/local/rebuild {fresh['frac_fast']:.2f}/{fresh['frac_local']:.2f}"
+        f"/{fresh['frac_rebuild']:.2f}; {fresh['overloaded_retries']:.0f} "
+        f"overloaded retries"
+    )
+    if ratio < floor:
+        failures.append(
+            f"fresh run {fresh['events_per_sec']:.0f} events/sec < {floor:.0%} "
+            f"of committed {committed['events_per_sec']:.0f}"
+        )
+    if failures:
+        print("check_perf: FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_perf: ok (serve: {committed['tenants']:.0f} tenants at "
+        f"{committed['events_per_sec']:.0f} events/sec committed; fresh >= "
+        f"{floor:.0%})"
+    )
+
+
 def parse_baseline_floor(arg):
     name, _, tps = arg.partition("=")
     if not name or not tps:
@@ -244,6 +363,9 @@ def main(argv):
     if "--giant" in argv:
         argv.remove("--giant")
         return check_giant(argv)
+    if "--serve" in argv:
+        argv.remove("--serve")
+        return check_serve(argv)
     usage = (
         "usage: check_perf.py BASELINE.json FRESH.json [--floor F] "
         "[--baseline-floor NAME=TPS ...]"

@@ -60,6 +60,24 @@ def is_prob(x):
     return isinstance(x, (int, float)) and 0.0 <= x <= 1.0
 
 
+def load_json(path):
+    """Loads a top-level JSON object; any failure is a named one-line
+    exit (a corrupt artifact must fail the check, not traceback)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as e:
+        sys.exit(f"check_sweep: {path}: cannot read: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_sweep: {path}: not valid JSON: {e}")
+    if not isinstance(data, dict):
+        sys.exit(
+            f"check_sweep: {path}: top level must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
 def validate_report(report):
     check(
         report.get("schema_version") == SCHEMA_VERSION,
@@ -71,14 +89,19 @@ def validate_report(report):
         check(isinstance(report.get(field), int), f"missing/odd {field}")
     cells = report.get("cells")
     check(isinstance(cells, list) and cells, "cells must be a non-empty list")
-    for cell in cells or []:
+    if not isinstance(cells, list):
+        cells = []
+    for cell in cells:
+        if not isinstance(cell, dict):
+            check(False, f"cell {cell!r} is not an object")
+            continue
         cid = cell.get("id", "<no id>")
         for field in CELL_FIELDS:
             check(field in cell, f"{cid}: missing field {field}")
         check(is_prob(cell.get("success_rate")), f"{cid}: success_rate not in [0,1]")
         check(is_prob(cell.get("ci_low")), f"{cid}: ci_low not in [0,1]")
         check(is_prob(cell.get("ci_high")), f"{cid}: ci_high not in [0,1]")
-        if is_prob(cell.get("ci_low")) and is_prob(cell.get("ci_high")):
+        if all(is_prob(cell.get(f)) for f in ("ci_low", "ci_high", "success_rate")):
             check(
                 cell["ci_low"] <= cell["success_rate"] <= cell["ci_high"],
                 f"{cid}: CI [{cell['ci_low']}, {cell['ci_high']}] "
@@ -126,8 +149,11 @@ def validate_report(report):
 
 
 def validate_csv(path, cells):
-    with open(path, newline="") as fh:
-        rows = list(csv.reader(fh))
+    try:
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+    except OSError as e:
+        sys.exit(f"check_sweep: {path}: cannot read: {e}")
     check(bool(rows), f"{path}: empty CSV")
     if rows:
         check(
@@ -140,18 +166,25 @@ def validate_csv(path, cells):
             f"{path}: {len(rows) - 1} data rows for {len(cells)} cells",
         )
         for row, cell in zip(rows[1:], cells):
+            cid = cell.get("id") if isinstance(cell, dict) else None
             check(
-                row and row[0] == cell["id"],
-                f"{path}: row id {row[0] if row else '<empty>'} != {cell['id']}",
+                row and row[0] == cid,
+                f"{path}: row id {row[0] if row else '<empty>'} != {cid}",
             )
 
 
 def validate_monotone(cells):
     curves = {}
     for cell in cells:
-        if cell.get("p") is None:
+        # Cells with missing/odd fields were already reported above;
+        # the curve check only consumes well-formed ones.
+        if (
+            not isinstance(cell, dict)
+            or not isinstance(cell.get("p"), (int, float))
+            or not is_prob(cell.get("success_rate"))
+        ):
             continue
-        curves.setdefault((cell["construction"], cell["params"]), []).append(cell)
+        curves.setdefault((cell.get("construction"), cell.get("params")), []).append(cell)
     check(bool(curves), "--monotone: no cells define p")
     for (construction, params), curve in curves.items():
         curve.sort(key=lambda c: c["p"])
@@ -169,9 +202,8 @@ def main(argv):
     flags = {a for a in argv if a.startswith("--")}
     unknown = flags - {"--monotone"}
     if unknown or not 1 <= len(args) <= 2:
-        sys.exit(f"usage: check_sweep.py SWEEP.json [SWEEP.csv] [--monotone]")
-    with open(args[0]) as fh:
-        report = json.load(fh)
+        sys.exit("usage: check_sweep.py SWEEP.json [SWEEP.csv] [--monotone]")
+    report = load_json(args[0])
     cells = validate_report(report)
     if len(args) == 2:
         validate_csv(args[1], cells)
