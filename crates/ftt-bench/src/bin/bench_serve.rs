@@ -8,15 +8,20 @@
 //! repair tier, not host construction). Each client pipelines a window
 //! of `Events` requests (`--window` in flight, `--batch` kill/repair
 //! pairs per request, `--rounds` passes over its tenants), retrying
-//! any `Overloaded` rejection — the benchmark thereby exercises the
-//! backpressure contract instead of hiding it, and reports how often
-//! it fired. At most one request per tenant is ever outstanding, so
-//! retries cannot reorder a tenant's (non-decreasing) event times.
+//! any `Overloaded` rejection after a deterministic seeded exponential
+//! backoff ([`ftt_serve::Backoff`]) — the benchmark thereby exercises
+//! the backpressure contract instead of hiding it, and reports how
+//! often it fired. At most one request per tenant is ever outstanding,
+//! so retries cannot reorder a tenant's (non-decreasing) event times.
 //!
 //! Every ack is timed from its send; the report carries sustained
-//! events/sec over the whole event phase, ack latency p50/p99, and the
-//! repair-tier mix, and is gated in CI by `tools/check_perf.py
-//! --serve` against the committed baseline.
+//! events/sec over the whole event phase, ack latency p50/p99/p999/max,
+//! and the repair-tier mix, and is gated in CI by `tools/check_perf.py
+//! --serve` against the committed baseline. When the build carries the
+//! `obs` feature, the daemon's own ack-latency histogram (protocol
+//! `Stats` opcode) is recorded next to the client-side numbers as
+//! `daemon_ack_*` fields — the two views must agree within the
+//! histogram's 2× bucket-resolution contract.
 //!
 //! ```text
 //! bench_serve [--tenants N] [--shards S] [--clients C] [--window W]
@@ -24,7 +29,7 @@
 //! ```
 
 use ftt_faults::{Fault, TimedFault};
-use ftt_serve::{Client, Request, Response, Server, ServerConfig, TenantSpec};
+use ftt_serve::{Backoff, Client, Request, Response, Server, ServerConfig, TenantSpec};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -73,11 +78,14 @@ fn round_batch(round: u64, batch: usize) -> Vec<TimedFault> {
 }
 
 /// Drains one reply, retrying the original request on `Overloaded`
-/// (nothing was journaled or applied, so a resend is exact).
+/// (nothing was journaled or applied, so a resend is exact) after a
+/// backoff delay — a rejected client yields instead of hammering the
+/// full shard queue, and the seeded jitter keeps the run reproducible.
 fn drain_one(
     client: &mut Client,
     pending: &mut HashMap<u64, (u64, Vec<TimedFault>, Instant)>,
     stats: &mut ClientStats,
+    backoff: &mut Backoff,
 ) -> Result<(), String> {
     loop {
         let (rid, resp) = client.recv().map_err(|e| format!("recv: {e}"))?;
@@ -102,10 +110,12 @@ fn drain_one(
                 stats
                     .latencies_us
                     .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                backoff.reset();
                 return Ok(());
             }
             Response::Overloaded => {
                 stats.overloaded_retries += 1;
+                std::thread::sleep(backoff.next_delay());
                 let rid = client
                     .send(tenant, &Request::Events(events.clone()))
                     .map_err(|e| format!("resend: {e}"))?;
@@ -150,11 +160,12 @@ fn run_client(addr: &ftt_serve::Listen, cfg: Config, id: usize) -> Result<Client
     // Event phase: windowed pipelining, one outstanding request per
     // tenant at most (window ≪ tenants per client).
     let mut stats = ClientStats::default();
+    let mut backoff = Backoff::new(0xB0FF ^ id as u64);
     let mut pending: HashMap<u64, (u64, Vec<TimedFault>, Instant)> = HashMap::new();
     for round in 0..cfg.rounds {
         for &tenant in &tenants {
             while pending.len() >= cfg.window {
-                drain_one(&mut client, &mut pending, &mut stats)?;
+                drain_one(&mut client, &mut pending, &mut stats, &mut backoff)?;
             }
             let events = round_batch(round, cfg.batch);
             let rid = client
@@ -164,7 +175,7 @@ fn run_client(addr: &ftt_serve::Listen, cfg: Config, id: usize) -> Result<Client
         }
     }
     while !pending.is_empty() {
-        drain_one(&mut client, &mut pending, &mut stats)?;
+        drain_one(&mut client, &mut pending, &mut stats, &mut backoff)?;
     }
 
     // Sanity: a sampled tenant must be alive with every event applied.
@@ -188,6 +199,31 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
+}
+
+/// The value of one exposition series (exact name incl. labels).
+fn series_value(text: &str, series: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        let rest = l.strip_prefix(series)?;
+        rest.trim().parse::<f64>().ok().map(|v| v as u64)
+    })
+}
+
+/// The daemon's own view of ack latency (p50, p99, p999, max in µs),
+/// pulled over the protocol's `Stats` opcode. `None` when the daemon
+/// carries no instrumentation (built without the `obs` feature) — the
+/// report then simply omits the `daemon_ack_*` fields.
+fn daemon_ack_quantiles(addr: &ftt_serve::Listen) -> Option<(u64, u64, u64, u64)> {
+    let mut client = Client::connect(addr).ok()?;
+    let Ok(Response::Stats { text }) = client.stats() else {
+        return None;
+    };
+    Some((
+        series_value(&text, "ftt_serve_ack_latency_us_q{q=\"0.5\"}")?,
+        series_value(&text, "ftt_serve_ack_latency_us_q{q=\"0.99\"}")?,
+        series_value(&text, "ftt_serve_ack_latency_us_q{q=\"0.999\"}")?,
+        series_value(&text, "ftt_serve_ack_latency_us_max")?,
+    ))
 }
 
 fn parse_args() -> Result<(Config, String), String> {
@@ -282,6 +318,7 @@ fn main() {
             .collect()
     });
     let seconds = start.elapsed().as_secs_f64();
+    let daemon = daemon_ack_quantiles(&addr);
     server.shutdown_now();
     server.wait();
     let _ = std::fs::remove_dir_all(&data_dir);
@@ -304,18 +341,31 @@ fn main() {
     let repairs = (fast + local + rebuild).max(1) as f64;
     let events_per_sec = applied as f64 / seconds.max(1e-9);
     let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    let p999 = percentile(&latencies, 0.999);
+    let max = latencies.last().copied().unwrap_or(0);
     eprintln!(
         "{applied} events in {seconds:.3}s → {events_per_sec:.0} events/sec; \
-         ack p50 {p50}µs p99 {p99}µs; {retries} overloaded retries"
+         ack p50 {p50}µs p99 {p99}µs p999 {p999}µs max {max}µs; {retries} overloaded retries"
     );
+    if let Some((d50, d99, _, _)) = daemon {
+        eprintln!("daemon-side ack p50 {d50}µs p99 {d99}µs (obs histogram)");
+    }
 
+    let daemon_json = match daemon {
+        Some((d50, d99, d999, dmax)) => format!(
+            ",\n  \"daemon_ack_p50_us\": {d50},\n  \"daemon_ack_p99_us\": {d99},\n  \
+             \"daemon_ack_p999_us\": {d999},\n  \"daemon_ack_max_us\": {dmax}"
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"schema_version\": 1,\n  \"tenants\": {},\n  \
          \"shards\": {},\n  \"clients\": {},\n  \"window\": {},\n  \"batch\": {},\n  \
          \"rounds\": {},\n  \"events_total\": {applied},\n  \"seconds\": {seconds:.6},\n  \
          \"events_per_sec\": {events_per_sec:.3},\n  \"ack_p50_us\": {p50},\n  \
-         \"ack_p99_us\": {p99},\n  \"frac_fast\": {:.4},\n  \"frac_local\": {:.4},\n  \
-         \"frac_rebuild\": {:.4},\n  \"overloaded_retries\": {retries}\n}}\n",
+         \"ack_p99_us\": {p99},\n  \"ack_p999_us\": {p999},\n  \"ack_max_us\": {max},\n  \
+         \"frac_fast\": {:.4},\n  \"frac_local\": {:.4},\n  \
+         \"frac_rebuild\": {:.4},\n  \"overloaded_retries\": {retries}{daemon_json}\n}}\n",
         cfg.tenants,
         cfg.shards,
         cfg.clients,

@@ -10,6 +10,7 @@
 //! ftt certify [--d 1] [--n 20] [--b 3] [--max-faults K] [--name NAME]
 //!             [--threads 0] [--json PATH] [--no-artifacts] [--corrupt MODE]
 //! ftt serve   [--listen tcp:HOST:PORT|unix:PATH] [--shards N] [--data-dir DIR]
+//!             [--metrics-addr HOST:PORT] [--obs json|text]
 //! ftt help [serve]
 //! ```
 //!
@@ -103,6 +104,36 @@ fn main() -> ExitCode {
     }
 }
 
+/// Output format for `--obs`, the end-of-run metrics dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObsFormat {
+    Json,
+    Text,
+}
+
+/// Parses `--obs json|text`. The flag is accepted even in builds
+/// without the `obs` feature — the dump then reports an inert registry
+/// (`"obs": false` / a one-line notice) instead of silently ignoring a
+/// flag the user asked for — so scripts can pass it unconditionally.
+fn obs_format(args: &Args) -> Result<Option<ObsFormat>, String> {
+    match args.get_str("obs", "").as_str() {
+        "" => Ok(None),
+        "json" => Ok(Some(ObsFormat::Json)),
+        "text" => Ok(Some(ObsFormat::Text)),
+        other => Err(format!("--obs `{other}`: expected json or text")),
+    }
+}
+
+/// Dumps the process-global metrics registry to stdout in the chosen
+/// format. A no-op when `--obs` was not given.
+fn dump_obs(format: Option<ObsFormat>) {
+    match format {
+        None => {}
+        Some(ObsFormat::Json) => print!("{}", ftt_obs::registry().render_json()),
+        Some(ObsFormat::Text) => print!("{}", ftt_obs::registry().render_text()),
+    }
+}
+
 /// Renders one preset registry as an indented `name: summary` table.
 /// The registries are the single source of truth
 /// (`ftt_sim::SWEEP_PRESETS`, `ftt_sim::LIFETIME_PRESETS`), so a new
@@ -142,17 +173,30 @@ fn usage() -> String {
   ftt d2       [--n N] [--b B] [--k K] [--pattern P] [--seed S] [--render]
   ftt sweep    [--preset NAME] [--n N] [--b B] [--trials T] [--seed S]
                [--threads T] [--json PATH] [--csv PATH] [--no-artifacts]
-               [--no-baseline]
+               [--no-baseline] [--obs json|text]
   ftt certify  [--d D] [--n N] [--b B] [--max-faults K] [--name NAME]
                [--threads T] [--json PATH] [--no-artifacts]
                [--corrupt dead-node|dup-map|drop-edge|wrong-length]
+               [--obs json|text]
   ftt lifetime [--preset NAME] [--trials T] [--seed S] [--threads T]
                [--certify-every N] [--json PATH] [--csv PATH]
-               [--no-artifacts]
+               [--no-artifacts] [--obs json|text]
   ftt serve    [--listen tcp:HOST:PORT|unix:PATH] [--shards N]
                [--data-dir DIR] [--queue-depth N] [--max-batch N]
+               [--metrics-addr HOST:PORT] [--obs json|text]
                (see `ftt help serve`)
   ftt help [serve]
+
+observability (--obs, ftt-obs):
+  every command above accepts --obs json|text: after the run (after
+  the daemon shuts down, for serve) the process-global metrics
+  registry — repair-tier counters, journal append/fsync timings,
+  per-phase sim timers, daemon queue/latency series — is dumped to
+  stdout. Binaries are built WITHOUT instrumentation by default (every
+  probe compiles to a no-op; results are bit-identical either way);
+  rebuild with `--features obs` (e.g. `cargo run -p ftt-cli --features
+  obs -- sweep …`) to light it up. `ftt serve --metrics-addr` adds a
+  live Prometheus scrape endpoint (`ftt help serve`).
 
 hosts — implicit by default:
   B^d_n (b2) and D^d_{{n,k}} (d2) never build their graphs: an
@@ -231,6 +275,8 @@ usage:
             [--data-dir DIR]                    journals + specs  (default ftt_serve_data)
             [--queue-depth N]                   per-shard queue   (default 1024)
             [--max-batch N]                     events per drain  (default 256)
+            [--metrics-addr HOST:PORT]          HTTP GET /metrics (default off)
+            [--obs json|text]                   dump metrics at shutdown
 
 Hosts many independent tenant embeddings — each a RepairState over a
 B^d/A²/D^d construction (implicit algebraic-oracle hosts included) —
@@ -239,15 +285,33 @@ startup it prints one parseable banner line:
 
   ftt serve: listening on tcp:127.0.0.1:PORT (S shards, data dir DIR)
 
+and, when --metrics-addr is given, a second one with the resolved
+scrape address (`:0` picks an ephemeral port):
+
+  ftt serve: metrics on http://HOST:PORT/metrics
+
 protocol — u32-LE length-framed binary over the socket:
   request  = rid u64 | tenant u64 | opcode u8 | body
   opcodes    0 CreateTenant(spec)  1 Events([time,kind,target,id]*)
              2 QueryLiveness       3 QueryEmbedding
              4 Snapshot (fsync)    5 Shutdown
+             6 Stats (metrics as Prometheus text; answered inline by
+               the connection reader, so it works even while the shard
+               queues are full)
   response = rid u64 | status u8 (0 Ok / 1 Overloaded / 2 Error) | body
   The Events body is byte-identical to the on-disk journal record
   format (ftt_faults::journal_io), so the durability path never
   re-encodes.
+
+observability — build with `--features obs` to light the probes up
+  (default builds compile every probe to a no-op): per-opcode request
+  counters, per-shard queue-depth gauges, ack-latency histograms
+  (p50/p99/p999/max), Overloaded totals, per-tenant event totals, and
+  the repair-tier/journal series underneath. Scrape them live via
+  GET /metrics (--metrics-addr) or opcode 6, or dump at shutdown with
+  --obs json|text. Clients pace Overloaded retries with deterministic
+  seeded exponential backoff (ftt_serve::Backoff,
+  ftt_client_retries_total).
 
 contracts:
   durability   every applied event batch is appended to the tenant's
@@ -270,15 +334,28 @@ by tools/check_perf.py --serve)."
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     args.expect_known(
-        &["listen", "shards", "data-dir", "queue-depth", "max-batch"],
+        &[
+            "listen",
+            "shards",
+            "data-dir",
+            "queue-depth",
+            "max-batch",
+            "metrics-addr",
+            "obs",
+        ],
         &[],
     )?;
+    let obs = obs_format(args)?;
     let listen = Listen::parse(&args.get_str("listen", "tcp:127.0.0.1:7433"))?;
     let mut config = ServerConfig::new(args.get_str("data-dir", "ftt_serve_data"));
     config.listen = listen;
     config.shards = args.get_usize("shards", config.shards)?;
     config.queue_depth = args.get_usize("queue-depth", config.queue_depth)?;
     config.max_batch = args.get_usize("max-batch", config.max_batch)?;
+    let metrics_addr = args.get_str("metrics-addr", "");
+    if !metrics_addr.is_empty() {
+        config.metrics_addr = Some(metrics_addr);
+    }
     for (name, v) in [
         ("shards", config.shards),
         ("queue-depth", config.queue_depth),
@@ -298,10 +375,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "ftt serve: listening on {} ({shards} shards, data dir {data_dir})",
         server.listen_addr()
     );
+    // Second parseable banner line: the resolved scrape address (the
+    // configured one may have been `:0`).
+    if let Some(addr) = server.metrics_addr() {
+        println!("ftt serve: metrics on http://{addr}/metrics");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.wait();
     println!("ftt serve: shut down");
+    dump_obs(obs);
     Ok(())
 }
 
@@ -551,11 +634,12 @@ fn reject_artifact_conflict(args: &Args, paths: &[&str]) -> Result<(), String> {
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     args.expect_known(
         &[
-            "preset", "n", "b", "trials", "seed", "threads", "json", "csv",
+            "preset", "n", "b", "trials", "seed", "threads", "json", "csv", "obs",
         ],
         &["no-artifacts", "no-baseline"],
     )?;
     reject_artifact_conflict(args, &["json", "csv"])?;
+    let obs = obs_format(args)?;
     let preset = args.get_str("preset", "");
     let mut spec = if preset.is_empty() {
         let n = args.get_usize("n", 54)?;
@@ -589,6 +673,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         report.write_artifacts(&json_path, &csv_path)?;
         println!("wrote {json_path} and {csv_path} (schema_version {SWEEP_SCHEMA_VERSION})");
     }
+    dump_obs(obs);
     Ok(())
 }
 
@@ -603,10 +688,12 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
             "threads",
             "json",
             "corrupt",
+            "obs",
         ],
         &["no-artifacts"],
     )?;
     reject_artifact_conflict(args, &["json"])?;
+    let obs = obs_format(args)?;
     let corrupt = args.get_str("corrupt", "");
     if !corrupt.is_empty() {
         // The probe runs on a fixed tiny instance; silently ignoring
@@ -648,6 +735,7 @@ fn cmd_certify(args: &Args) -> Result<(), String> {
         report.write_artifact(&json_path)?;
         println!("wrote {json_path} (schema_version {CERTIFY_SCHEMA_VERSION})");
     }
+    dump_obs(obs);
     if !report.complete() {
         return Err(format!(
             "certification INCOMPLETE: {}/{} patterns certified; first failures: {:?}",
@@ -673,10 +761,12 @@ fn cmd_lifetime(args: &Args) -> Result<(), String> {
             "certify-every",
             "json",
             "csv",
+            "obs",
         ],
         &["no-artifacts"],
     )?;
     reject_artifact_conflict(args, &["json", "csv"])?;
+    let obs = obs_format(args)?;
     let preset = args.get_str("preset", "life-smoke");
     let mut spec = LifetimeSpec::preset(&preset)?;
     spec.trials = args.get_usize("trials", spec.trials)?;
@@ -694,6 +784,7 @@ fn cmd_lifetime(args: &Args) -> Result<(), String> {
         report.write_artifacts(&json_path, &csv_path)?;
         println!("wrote {json_path} and {csv_path} (schema_version {LIFE_SCHEMA_VERSION})");
     }
+    dump_obs(obs);
     // The two hard guarantees are enforced here, not just in CI: every
     // independent certificate check must pass, and ×1-budget cells must
     // survive their full budget (Theorem 3, online form).
@@ -809,6 +900,8 @@ mod tests {
             "4",
             "--no-baseline",
             "--no-artifacts",
+            "--obs",
+            "text",
         ]))
         .unwrap();
     }
@@ -929,6 +1022,8 @@ mod tests {
             assert!(text.contains(p.name), "lifetime preset {} missing", p.name);
         }
         assert!(text.contains("ftt lifetime"));
+        assert!(text.contains("--obs json|text"));
+        assert!(text.contains("--metrics-addr"));
     }
 
     /// A long-lived CLI must turn every bad invocation into a typed
@@ -953,6 +1048,10 @@ mod tests {
             (cmd_serve, vec!["--listen", "laplace:443"]),
             (cmd_serve, vec!["--shards", "0"]),
             (cmd_serve, vec!["--shards", "two"]),
+            (cmd_serve, vec!["--obs", "yaml"]),
+            (cmd_sweep, vec!["--obs", "xml", "--no-artifacts"]),
+            (cmd_lifetime, vec!["--obs", "prometheus", "--no-artifacts"]),
+            (cmd_certify, vec!["--obs", "csv", "--no-artifacts"]),
         ] {
             let err = cmd(&args(&argv)).expect_err(&format!("{argv:?} must fail"));
             assert!(!err.is_empty() && !err.contains('\n'), "{argv:?}: `{err}`");
@@ -975,6 +1074,11 @@ mod tests {
             "--data-dir",
             "--queue-depth",
             "--max-batch",
+            "--metrics-addr",
+            "--obs",
+            "6 Stats",
+            "GET /metrics",
+            "metrics on http://",
             "Overloaded",
             "journal",
             "listening on",

@@ -123,6 +123,77 @@ pub enum RepairOutcome {
     Dead,
 }
 
+/// Pre-resolved repair-tier counters for one repair state, labeled by
+/// construction: `ftt_online_repairs_total{construction,tier}` plus
+/// `ftt_online_dead_total{construction}`. Handles are resolved once at
+/// [`RepairState::new_idle`] so the hot apply path touches only
+/// atomics — and nothing at all when the `obs` feature is off (the
+/// name-formatting closures are never evaluated).
+#[derive(Debug)]
+pub(crate) struct TierCounters {
+    fast: &'static ftt_obs::Counter,
+    local: &'static ftt_obs::Counter,
+    rebuild: &'static ftt_obs::Counter,
+    dead: &'static ftt_obs::Counter,
+}
+
+impl TierCounters {
+    fn new(construction: &'static str) -> Self {
+        let reg = ftt_obs::registry();
+        let tier = |t: &'static str| {
+            reg.counter_with(|| {
+                format!("ftt_online_repairs_total{{construction=\"{construction}\",tier=\"{t}\"}}")
+            })
+        };
+        Self {
+            fast: tier("fast"),
+            local: tier("local"),
+            rebuild: tier("rebuild"),
+            dead: reg.counter_with(|| {
+                format!("ftt_online_dead_total{{construction=\"{construction}\"}}")
+            }),
+        }
+    }
+
+    #[inline]
+    fn record(&self, outcome: RepairOutcome) {
+        if ftt_obs::enabled() {
+            match outcome {
+                RepairOutcome::Repaired(RepairClass::Fast) => self.fast.inc(),
+                RepairOutcome::Repaired(RepairClass::Local) => self.local.inc(),
+                RepairOutcome::Repaired(RepairClass::Rebuild) => self.rebuild.inc(),
+                RepairOutcome::Dead => self.dead.inc(),
+            }
+        }
+    }
+}
+
+/// Repaint-decision counters for the `B^d` tile-local paths (the call
+/// sites are `B^d`-concrete, so fixed names suffice).
+static REPAINT_UNCHANGED: ftt_obs::LazyCounter = ftt_obs::LazyCounter::new(
+    "ftt_online_repaint_total{construction=\"B^d_n\",outcome=\"unchanged\"}",
+);
+static REPAINT_UPDATED: ftt_obs::LazyCounter = ftt_obs::LazyCounter::new(
+    "ftt_online_repaint_total{construction=\"B^d_n\",outcome=\"updated\"}",
+);
+static REPAINT_FULL: ftt_obs::LazyCounter = ftt_obs::LazyCounter::new(
+    "ftt_online_repaint_total{construction=\"B^d_n\",outcome=\"needs_full_placement\"}",
+);
+/// Level-2 re-greedy invocations (the `A²` Rebuild tier).
+static REGREEDY: ftt_obs::LazyCounter =
+    ftt_obs::LazyCounter::new("ftt_online_regreedy_total{construction=\"A^2_n\"}");
+
+#[inline]
+fn record_repaint(outcome: RepaintOutcome) {
+    if ftt_obs::enabled() {
+        match outcome {
+            RepaintOutcome::Unchanged => REPAINT_UNCHANGED.inc(),
+            RepaintOutcome::Updated => REPAINT_UPDATED.inc(),
+            RepaintOutcome::NeedsFullPlacement => REPAINT_FULL.inc(),
+        }
+    }
+}
+
 /// The streaming counterpart of a batch extraction call: accumulated
 /// faults, the live placement/embedding, and the construction's repair
 /// cache.
@@ -142,6 +213,7 @@ pub struct RepairState<C: HostConstruction> {
     pub(crate) cache: C::RepairCache,
     pub(crate) scratch: C::Scratch,
     pub(crate) death: Option<PlacementError>,
+    pub(crate) obs: TierCounters,
 }
 
 impl<C: HostConstruction> RepairState<C> {
@@ -165,6 +237,7 @@ impl<C: HostConstruction> RepairState<C> {
             cache: host.new_repair_cache(),
             scratch: host.new_scratch(),
             death: None,
+            obs: TierCounters::new(C::NAME),
         }
     }
 
@@ -178,13 +251,17 @@ impl<C: HostConstruction> RepairState<C> {
 
     /// Feeds one fault arrival; see [`HostConstruction::apply_fault_incremental`].
     pub fn apply(&mut self, host: &C, fault: Fault) -> RepairOutcome {
-        host.apply_fault_incremental(self, fault)
+        let outcome = host.apply_fault_incremental(self, fault);
+        self.obs.record(outcome);
+        outcome
     }
 
     /// Feeds one repair (revival) event; see
     /// [`HostConstruction::apply_repair_incremental`].
     pub fn apply_repair(&mut self, host: &C, fault: Fault) -> RepairOutcome {
-        host.apply_repair_incremental(self, fault)
+        let outcome = host.apply_repair_incremental(self, fault);
+        self.obs.record(outcome);
+        outcome
     }
 
     /// Feeds one timed stream event, dispatching on its kind — the
@@ -509,7 +586,11 @@ pub(crate) fn bdn_apply(host: &Bdn, state: &mut RepairState<Bdn>, fault: Fault) 
     let cache = placement
         .as_mut()
         .expect("alive B^d state holds a placement");
-    match crate::bdn::place::repaint_tile_local(host, cache, u, ascribed.ids()) {
+    let repaint = crate::bdn::place::repaint_tile_local(host, cache, u, ascribed.ids());
+    if let Ok(o) = &repaint {
+        record_repaint(*o);
+    }
+    match repaint {
         Ok(RepaintOutcome::Unchanged) => RepairOutcome::Repaired(RepairClass::Local),
         Ok(RepaintOutcome::Updated) => {
             state.embedding = None; // deferred; see materialize
@@ -584,7 +665,11 @@ pub(crate) fn bdn_apply_repair(
     let cache = placement
         .as_mut()
         .expect("alive B^d state holds a placement");
-    match crate::bdn::place::repaint_tile_local_remove(host, cache, u, ascribed.ids()) {
+    let repaint = crate::bdn::place::repaint_tile_local_remove(host, cache, u, ascribed.ids());
+    if let Ok(o) = &repaint {
+        record_repaint(*o);
+    }
+    match repaint {
         Ok(RepaintOutcome::Unchanged) => RepairOutcome::Repaired(RepairClass::Local),
         Ok(RepaintOutcome::Updated) => {
             state.embedding = None; // deferred; see materialize
@@ -1248,6 +1333,7 @@ fn adn_promote(
 /// (re-materialised) inner map — the shared Rebuild tier for fault
 /// arrivals and repairs alike.
 fn adn_regreedy(host: &Adn, state: &mut RepairState<Adn>) -> RepairOutcome {
+    REGREEDY.inc();
     let RepairState {
         embedding, cache, ..
     } = state;

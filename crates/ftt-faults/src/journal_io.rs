@@ -40,7 +40,22 @@
 
 use crate::set::Fault;
 use crate::stream::{FaultJournal, TimedFault};
+use ftt_obs::{LazyCounter, LazyHistogram, Stamp};
 use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+
+// Journal instrumentation (inert unless the `obs` feature is on; see
+// the ftt-obs crate docs). Append/fsync latency is the daemon's
+// durability cost per acknowledged batch; replay/partial-tail counts
+// describe crash recovery.
+static APPEND_US: LazyHistogram = LazyHistogram::new("ftt_journal_append_us");
+static APPEND_BYTES: LazyCounter = LazyCounter::new("ftt_journal_append_bytes_total");
+static FSYNC_US: LazyHistogram = LazyHistogram::new("ftt_journal_fsync_us");
+static REPLAYED: LazyCounter = LazyCounter::new("ftt_journal_replayed_events_total");
+static PARTIAL_TAILS: LazyCounter = LazyCounter::new("ftt_journal_partial_tails_total");
+static ENCODED: LazyCounter = LazyCounter::new("ftt_journal_encoded_records_total");
 
 /// First bytes of every journal file.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"FTTJ";
@@ -165,6 +180,38 @@ pub fn encode_events(events: &[TimedFault], out: &mut Vec<u8>) {
     for ev in events {
         encode_event(ev, out);
     }
+    ENCODED.add(events.len() as u64);
+}
+
+/// How far [`append_records`] pushes the bytes toward the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Write + flush to the OS (the daemon's default: survives process
+    /// death, not power loss).
+    Flush,
+    /// Write + `fsync` (survives power loss; an order of magnitude
+    /// slower per batch).
+    Fsync,
+}
+
+/// Appends pre-encoded record `bytes` to the journal file at `path` —
+/// the daemon's per-batch durability step, instrumented with
+/// `ftt_journal_append_us` / `ftt_journal_append_bytes_total` (and
+/// `ftt_journal_fsync_us` under [`Durability::Fsync`]). The file must
+/// already carry its header ([`encode_header`]).
+pub fn append_records(path: &Path, bytes: &[u8], durability: Durability) -> std::io::Result<()> {
+    let stamp = Stamp::now();
+    let mut file = OpenOptions::new().append(true).open(path)?;
+    file.write_all(bytes)?;
+    file.flush()?;
+    if durability == Durability::Fsync {
+        let fsync_stamp = Stamp::now();
+        file.sync_all()?;
+        fsync_stamp.record(&FSYNC_US);
+    }
+    stamp.record(&APPEND_US);
+    APPEND_BYTES.add(bytes.len() as u64);
+    Ok(())
 }
 
 /// The journal header (magic + version).
@@ -238,6 +285,9 @@ pub fn decode_journal_lenient(bytes: &[u8]) -> Result<JournalDecode, JournalIoEr
         let mut header = Vec::new();
         encode_header(&mut header);
         if bytes == &header[..bytes.len()] {
+            if !bytes.is_empty() {
+                PARTIAL_TAILS.inc();
+            }
             return Ok(JournalDecode {
                 journal: FaultJournal::new(),
                 complete_bytes: 0,
@@ -266,10 +316,15 @@ pub fn decode_journal_lenient(bytes: &[u8]) -> Result<JournalDecode, JournalIoEr
         prev_time = Some(ev.time);
         journal.record(ev);
     }
+    let partial_tail = body.len() - whole * JOURNAL_RECORD_LEN;
+    REPLAYED.add(journal.len() as u64);
+    if partial_tail > 0 {
+        PARTIAL_TAILS.inc();
+    }
     Ok(JournalDecode {
         journal,
         complete_bytes: JOURNAL_HEADER_LEN + whole * JOURNAL_RECORD_LEN,
-        partial_tail: body.len() - whole * JOURNAL_RECORD_LEN,
+        partial_tail,
     })
 }
 
@@ -464,6 +519,33 @@ mod tests {
         let bytes = encode_journal(&journal);
         assert!(decode_journal(&bytes[..bytes.len() - 1]).is_err());
         assert!(decode_journal(&bytes).is_ok());
+    }
+
+    /// [`append_records`] is byte-equivalent to in-memory encoding at
+    /// both durability levels (the daemon's append path delegates
+    /// here).
+    #[test]
+    fn file_append_matches_in_memory_encoding() {
+        let journal = renewal_journal();
+        let dir = std::env::temp_dir().join(format!("ftt-journal-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (tag, durability) in [("flush", Durability::Flush), ("fsync", Durability::Fsync)] {
+            let path = dir.join(format!("append-{tag}.ftj"));
+            let mut header = Vec::new();
+            encode_header(&mut header);
+            std::fs::write(&path, &header).unwrap();
+            // Two appends: the steady-state batch pattern.
+            let (a, b) = journal.events().split_at(journal.len() / 2);
+            for half in [a, b] {
+                let mut bytes = Vec::new();
+                encode_events(half, &mut bytes);
+                append_records(&path, &bytes, durability).unwrap();
+            }
+            let on_disk = std::fs::read(&path).unwrap();
+            assert_eq!(on_disk, encode_journal(&journal), "{tag}");
+            assert_eq!(decode_journal(&on_disk).unwrap(), journal, "{tag}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

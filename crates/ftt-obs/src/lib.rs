@@ -1,0 +1,1139 @@
+//! Hand-rolled observability for the whole stack: a process-global
+//! [`MetricsRegistry`] of atomic counters, gauges, and fixed-bucket
+//! log-scale histograms, plus a ring-buffer structured trace with
+//! per-thread writers — no external tracing/prometheus dependencies
+//! (the build environment is offline).
+//!
+//! # Zero overhead when off
+//!
+//! Everything here is gated on the `obs` cargo feature. Without it,
+//! every type is zero-sized, every method body is empty and
+//! `#[inline(always)]`, and the name-building closures passed to
+//! [`MetricsRegistry::counter_with`] &co. are **never called** — so an
+//! instrumented hot path compiles to exactly the uninstrumented code,
+//! and the committed `BENCH_*` perf gates see zero delta. Downstream
+//! crates therefore instrument unconditionally (no `cfg` in
+//! consumers); enabling `obs` anywhere in a build flips the registry
+//! on everywhere via cargo feature unification.
+//!
+//! # Instrumentation patterns
+//!
+//! *Fixed-name hot site* — a `static` [`LazyCounter`] /
+//! [`LazyHistogram`] resolves its registry entry once, then updates an
+//! atomic per hit:
+//!
+//! ```
+//! static RETRIES: ftt_obs::LazyCounter =
+//!     ftt_obs::LazyCounter::new("ftt_client_retries_total");
+//! RETRIES.inc();
+//! ```
+//!
+//! *Dynamic-label site* — resolve a `&'static` handle up front (per
+//! tenant, per shard, per construction) with the `_with` constructors,
+//! whose closure only runs when `obs` is on:
+//!
+//! ```
+//! let c = ftt_obs::registry()
+//!     .counter_with(|| format!("ftt_serve_tenant_events_total{{tenant=\"{}\"}}", 7));
+//! c.add(3);
+//! ```
+//!
+//! *Latency* — [`Stamp::now`] at the start, [`Stamp::record`] into a
+//! histogram at the end; the clock is only read when `obs` is on.
+//!
+//! # Series names
+//!
+//! A metric name is the full Prometheus series name including its
+//! label set, e.g. `ftt_online_repairs_total{construction="B^d_n",
+//! tier="fast"}` — the registry treats it as an opaque key; the
+//! Prometheus renderer splits family and labels at the first `{`.
+//!
+//! # Histograms
+//!
+//! Fixed 65-bucket base-2 log scale: bucket 0 holds the value 0 and
+//! bucket `i ≥ 1` holds `[2^(i-1), 2^i)` — so any recorded value's
+//! bucket bounds it within a factor of 2, which is the accuracy
+//! contract the serve-daemon ack-latency cross-check relies on. All
+//! accumulators saturate at `u64::MAX` instead of wrapping.
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+#[cfg(feature = "obs")]
+use std::sync::OnceLock;
+#[cfg(feature = "obs")]
+use std::{
+    collections::BTreeMap,
+    sync::{Arc, Mutex, RwLock},
+    time::Instant,
+};
+
+/// Whether this build carries live instrumentation (`obs` feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotone event counter. Saturates at `u64::MAX`.
+pub struct Counter {
+    #[cfg(feature = "obs")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (const — usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_add(n))
+                });
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when `obs` is off).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A signed instantaneous value (queue depths, in-flight counts).
+pub struct Gauge {
+    #[cfg(feature = "obs")]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge (const — usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the value.
+    #[inline(always)]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "obs")]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = v;
+    }
+
+    /// Adds `n` (negative to decrement).
+    #[inline(always)]
+    pub fn add(&self, n: i64) {
+        #[cfg(feature = "obs")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when `obs` is off).
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "obs")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of histogram buckets (value 0, then one per power of two).
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 holds the value 0; bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)` (bucket 64's upper edge is `u64::MAX`).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `i` (`0`, `1`, `3`, `7`, …,
+/// `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket base-2 log-scale histogram with saturating `u64`
+/// accumulators and an exact running max.
+pub struct Histogram {
+    #[cfg(feature = "obs")]
+    buckets: [AtomicU64; HIST_BUCKETS],
+    #[cfg(feature = "obs")]
+    count: AtomicU64,
+    #[cfg(feature = "obs")]
+    sum: AtomicU64,
+    #[cfg(feature = "obs")]
+    max: AtomicU64,
+}
+
+#[cfg(feature = "obs")]
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+
+impl Histogram {
+    /// A zeroed histogram (const — usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            buckets: [ZERO_U64; HIST_BUCKETS],
+            #[cfg(feature = "obs")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            sum: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Count and sum saturate at `u64::MAX`.
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "obs")]
+        {
+            let sat = |a: &AtomicU64, n: u64| {
+                let _ = a.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| {
+                    Some(x.saturating_add(n))
+                });
+            };
+            sat(&self.buckets[bucket_index(v)], 1);
+            sat(&self.count, 1);
+            sat(&self.sum, v);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = v;
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Saturating sum of observations.
+    pub fn sum(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.sum.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.max.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Count in bucket `i` (for renderers and tests).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.buckets[i].load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = i;
+            0
+        }
+    }
+
+    /// Estimated quantile (`0 < q ≤ 1`) by linear interpolation inside
+    /// the target bucket, clamped by the exact running max — so the
+    /// estimate is within 2× of the true order statistic (the bucket
+    /// width) and `quantile(1.0)` never exceeds the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            let total = self.count();
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut cum = 0u64;
+            for i in 0..HIST_BUCKETS {
+                let n = self.bucket_count(i);
+                cum = cum.saturating_add(n);
+                if cum >= rank {
+                    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    let hi = bucket_upper_bound(i);
+                    let into = rank - (cum - n); // 1-based rank inside this bucket
+                    let frac = into as f64 / n.max(1) as f64;
+                    let est = lo + ((hi - lo) as f64 * frac) as u64;
+                    return est.min(self.max());
+                }
+            }
+            self.max()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = q;
+            0
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum={}, max={})",
+            self.count(),
+            self.sum(),
+            self.max()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "obs")]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// The process-global metric namespace. Handles returned by the
+/// lookup methods are `&'static` (metrics are leaked once and live for
+/// the process) — resolve them outside hot loops and update atomics
+/// inside.
+pub struct MetricsRegistry {
+    #[cfg(feature = "obs")]
+    inner: RwLock<BTreeMap<String, Metric>>,
+}
+
+#[cfg(not(feature = "obs"))]
+static NOOP_REGISTRY: MetricsRegistry = MetricsRegistry {};
+#[cfg(not(feature = "obs"))]
+static NOOP_COUNTER: Counter = Counter::new();
+#[cfg(not(feature = "obs"))]
+static NOOP_GAUGE: Gauge = Gauge::new();
+#[cfg(not(feature = "obs"))]
+static NOOP_HISTOGRAM: Histogram = Histogram::new();
+
+/// The process-global registry.
+pub fn registry() -> &'static MetricsRegistry {
+    #[cfg(feature = "obs")]
+    {
+        static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| MetricsRegistry {
+            inner: RwLock::new(BTreeMap::new()),
+        })
+    }
+    #[cfg(not(feature = "obs"))]
+    &NOOP_REGISTRY
+}
+
+#[cfg(feature = "obs")]
+macro_rules! lookup_or_insert {
+    ($self:ident, $name:expr, $variant:ident, $ty:ty) => {{
+        let name = $name;
+        if let Some(Metric::$variant(m)) = $self.inner.read().unwrap().get(&name) {
+            return m;
+        }
+        let mut map = $self.inner.write().unwrap();
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::$variant(Box::leak(Box::new(<$ty>::new()))))
+        {
+            Metric::$variant(m) => m,
+            // The name is already registered with a different kind — a
+            // programming error; hand back a detached metric rather
+            // than panic inside instrumentation.
+            _ => Box::leak(Box::new(<$ty>::new())),
+        }
+    }};
+}
+
+impl MetricsRegistry {
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        self.counter_with(|| name.to_string())
+    }
+
+    /// Like [`counter`](Self::counter), but the name-building closure
+    /// only runs when `obs` is on — use for formatted label sets so
+    /// the off build never allocates.
+    #[cfg(feature = "obs")]
+    pub fn counter_with(&self, name: impl FnOnce() -> String) -> &'static Counter {
+        lookup_or_insert!(self, name(), Counter, Counter)
+    }
+
+    /// No-op build: the closure is never called.
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn counter_with(&self, _name: impl FnOnce() -> String) -> &'static Counter {
+        &NOOP_COUNTER
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        self.gauge_with(|| name.to_string())
+    }
+
+    /// Gauge variant of [`counter_with`](Self::counter_with).
+    #[cfg(feature = "obs")]
+    pub fn gauge_with(&self, name: impl FnOnce() -> String) -> &'static Gauge {
+        lookup_or_insert!(self, name(), Gauge, Gauge)
+    }
+
+    /// No-op build: the closure is never called.
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn gauge_with(&self, _name: impl FnOnce() -> String) -> &'static Gauge {
+        &NOOP_GAUGE
+    }
+
+    /// The histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        self.histogram_with(|| name.to_string())
+    }
+
+    /// Histogram variant of [`counter_with`](Self::counter_with).
+    #[cfg(feature = "obs")]
+    pub fn histogram_with(&self, name: impl FnOnce() -> String) -> &'static Histogram {
+        lookup_or_insert!(self, name(), Histogram, Histogram)
+    }
+
+    /// No-op build: the closure is never called.
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    pub fn histogram_with(&self, _name: impl FnOnce() -> String) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+
+    /// Prometheus text exposition (format version 0.0.4). Histograms
+    /// emit cumulative `_bucket{le=…}` series up to the highest
+    /// occupied bucket plus `+Inf`, `_sum`, `_count`, and convenience
+    /// `_q{q=…}` / `_max` gauges (the estimated p50/p99/p999 and exact
+    /// max the serve cross-checks read).
+    pub fn render_prometheus(&self) -> String {
+        #[cfg(feature = "obs")]
+        {
+            let map = self.inner.read().unwrap();
+            let mut out = String::new();
+            let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+            let mut type_line = |out: &mut String, family: &str, kind: &str| {
+                if typed.insert(family.to_string()) {
+                    out.push_str(&format!("# TYPE {family} {kind}\n"));
+                }
+            };
+            for (name, metric) in map.iter() {
+                let (family, labels) = split_name(name);
+                match metric {
+                    Metric::Counter(c) => {
+                        type_line(&mut out, family, "counter");
+                        out.push_str(&format!("{name} {}\n", c.get()));
+                    }
+                    Metric::Gauge(g) => {
+                        type_line(&mut out, family, "gauge");
+                        out.push_str(&format!("{name} {}\n", g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        type_line(&mut out, family, "histogram");
+                        let top = (0..HIST_BUCKETS)
+                            .rev()
+                            .find(|&i| h.bucket_count(i) > 0)
+                            .unwrap_or(0);
+                        let mut cum = 0u64;
+                        for i in 0..=top {
+                            cum = cum.saturating_add(h.bucket_count(i));
+                            let le = bucket_upper_bound(i);
+                            out.push_str(&format!(
+                                "{family}_bucket{} {cum}\n",
+                                merge_labels(labels, &format!("le=\"{le}\""))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{family}_bucket{} {}\n",
+                            merge_labels(labels, "le=\"+Inf\""),
+                            h.count()
+                        ));
+                        out.push_str(&format!("{family}_sum{labels} {}\n", h.sum()));
+                        out.push_str(&format!("{family}_count{labels} {}\n", h.count()));
+                        let qf = format!("{family}_q");
+                        type_line(&mut out, &qf, "gauge");
+                        for (q, tag) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                            out.push_str(&format!(
+                                "{qf}{} {}\n",
+                                merge_labels(labels, &format!("q=\"{tag}\"")),
+                                h.quantile(q)
+                            ));
+                        }
+                        let mf = format!("{family}_max");
+                        type_line(&mut out, &mf, "gauge");
+                        out.push_str(&format!("{mf}{labels} {}\n", h.max()));
+                    }
+                }
+            }
+            out
+        }
+        #[cfg(not(feature = "obs"))]
+        "# ftt-obs built without the `obs` feature; registry is empty\n".to_string()
+    }
+
+    /// The registry as one JSON object (stable key order):
+    /// `{"obs": bool, "counters": {…}, "gauges": {…}, "histograms":
+    /// {name: {count, sum, max, p50, p99, p999}}}`.
+    pub fn render_json(&self) -> String {
+        #[cfg(feature = "obs")]
+        {
+            let map = self.inner.read().unwrap();
+            let mut counters = String::new();
+            let mut gauges = String::new();
+            let mut hists = String::new();
+            for (name, metric) in map.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        push_entry(&mut counters, name, &c.get().to_string());
+                    }
+                    Metric::Gauge(g) => {
+                        push_entry(&mut gauges, name, &g.get().to_string());
+                    }
+                    Metric::Histogram(h) => {
+                        let body = format!(
+                            "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \
+                             \"p99\": {}, \"p999\": {}}}",
+                            h.count(),
+                            h.sum(),
+                            h.max(),
+                            h.quantile(0.5),
+                            h.quantile(0.99),
+                            h.quantile(0.999)
+                        );
+                        push_entry(&mut hists, name, &body);
+                    }
+                }
+            }
+            format!(
+                "{{\n  \"obs\": true,\n  \"counters\": {{{counters}}},\n  \
+                 \"gauges\": {{{gauges}}},\n  \"histograms\": {{{hists}}}\n}}\n"
+            )
+        }
+        #[cfg(not(feature = "obs"))]
+        "{\n  \"obs\": false,\n  \"counters\": {},\n  \"gauges\": {},\n  \
+         \"histograms\": {}\n}\n"
+            .to_string()
+    }
+
+    /// A human-readable aligned dump (the `--obs text` format).
+    pub fn render_text(&self) -> String {
+        #[cfg(feature = "obs")]
+        {
+            let map = self.inner.read().unwrap();
+            let mut out = String::new();
+            for (name, metric) in map.iter() {
+                match metric {
+                    Metric::Counter(c) => out.push_str(&format!("{name} = {}\n", c.get())),
+                    Metric::Gauge(g) => out.push_str(&format!("{name} = {}\n", g.get())),
+                    Metric::Histogram(h) => out.push_str(&format!(
+                        "{name}: count={} p50={} p99={} p999={} max={}\n",
+                        h.count(),
+                        h.quantile(0.5),
+                        h.quantile(0.99),
+                        h.quantile(0.999),
+                        h.max()
+                    )),
+                }
+            }
+            out
+        }
+        #[cfg(not(feature = "obs"))]
+        "(ftt-obs built without the `obs` feature; registry is empty)\n".to_string()
+    }
+}
+
+#[cfg(feature = "obs")]
+fn split_name(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Merges `extra` into an existing `{…}` label block (or creates one).
+#[cfg(feature = "obs")]
+fn merge_labels(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!(
+            "{{{},{extra}}}",
+            &labels[1..labels.len() - 1] // strip the braces
+        )
+    }
+}
+
+#[cfg(feature = "obs")]
+fn push_entry(out: &mut String, name: &str, value: &str) {
+    if !out.is_empty() {
+        out.push_str(", ");
+    }
+    out.push_str(&format!("\"{}\": {value}", json_escape(name)));
+}
+
+/// Escapes a string for embedding in a JSON string literal (the series
+/// names contain `"` from their label values).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lazy handles (fixed-name hot sites)
+// ---------------------------------------------------------------------------
+
+/// A `static`-friendly counter handle: resolves its registry entry on
+/// first use, then updates one atomic per hit.
+pub struct LazyCounter {
+    #[cfg(feature = "obs")]
+    name: &'static str,
+    #[cfg(feature = "obs")]
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Const constructor for `static` sites.
+    pub const fn new(name: &'static str) -> Self {
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
+        Self {
+            #[cfg(feature = "obs")]
+            name,
+            #[cfg(feature = "obs")]
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Adds 1.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "obs")]
+        self.cell
+            .get_or_init(|| registry().counter(self.name))
+            .add(n);
+        #[cfg(not(feature = "obs"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when `obs` is off).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.cell
+                .get_or_init(|| registry().counter(self.name))
+                .get()
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+}
+
+/// A `static`-friendly histogram handle; see [`LazyCounter`].
+pub struct LazyHistogram {
+    #[cfg(feature = "obs")]
+    name: &'static str,
+    #[cfg(feature = "obs")]
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Const constructor for `static` sites.
+    pub const fn new(name: &'static str) -> Self {
+        #[cfg(not(feature = "obs"))]
+        let _ = name;
+        Self {
+            #[cfg(feature = "obs")]
+            name,
+            #[cfg(feature = "obs")]
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Records one observation.
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "obs")]
+        self.cell
+            .get_or_init(|| registry().histogram(self.name))
+            .record(v);
+        #[cfg(not(feature = "obs"))]
+        let _ = v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stamp (latency timing)
+// ---------------------------------------------------------------------------
+
+/// A wall-clock stamp for latency histograms. Zero-sized (and the
+/// clock is never read) when `obs` is off, so it can ride in hot-path
+/// message structs for free.
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp {
+    #[cfg(feature = "obs")]
+    at: Instant,
+}
+
+impl Stamp {
+    /// The current instant (`obs` on) or a unit value (`obs` off).
+    #[inline(always)]
+    pub fn now() -> Self {
+        Self {
+            #[cfg(feature = "obs")]
+            at: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the stamp (0 when `obs` is off).
+    #[inline(always)]
+    pub fn elapsed_us(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+        }
+        #[cfg(not(feature = "obs"))]
+        0
+    }
+
+    /// Records the elapsed microseconds into `h`.
+    #[inline(always)]
+    pub fn record(&self, h: &LazyHistogram) {
+        #[cfg(feature = "obs")]
+        h.record(self.elapsed_us());
+        #[cfg(not(feature = "obs"))]
+        let _ = h;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured trace (per-thread ring buffers)
+// ---------------------------------------------------------------------------
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the process's first trace-clock use.
+    pub t: u64,
+    /// Tenant id (0 outside the serve daemon).
+    pub tenant: u64,
+    /// Static event kind, e.g. `"serve.batch"`, `"journal.fsync"`.
+    pub kind: &'static str,
+    /// Free-form detail (built lazily — never when `obs` is off).
+    pub payload: String,
+}
+
+/// Events each thread's ring retains; older events are overwritten
+/// (and counted in `ftt_trace_dropped_total`).
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+#[cfg(feature = "obs")]
+struct TraceRing {
+    buf: Vec<TraceEvent>,
+    /// Next slot to overwrite once `buf` is full.
+    next: usize,
+}
+
+#[cfg(feature = "obs")]
+static TRACE_RINGS: OnceLock<Mutex<Vec<Arc<Mutex<TraceRing>>>>> = OnceLock::new();
+#[cfg(feature = "obs")]
+static TRACE_START: OnceLock<Instant> = OnceLock::new();
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+static TRACE_DROPPED: LazyCounter = LazyCounter::new("ftt_trace_dropped_total");
+
+#[cfg(feature = "obs")]
+thread_local! {
+    static TRACE_LOCAL: Arc<Mutex<TraceRing>> = {
+        let ring = Arc::new(Mutex::new(TraceRing { buf: Vec::new(), next: 0 }));
+        TRACE_RINGS
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .unwrap()
+            .push(ring.clone());
+        ring
+    };
+}
+
+/// Microseconds on the trace clock (0 when `obs` is off).
+pub fn trace_now_us() -> u64 {
+    #[cfg(feature = "obs")]
+    {
+        TRACE_START
+            .get_or_init(Instant::now)
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+    #[cfg(not(feature = "obs"))]
+    0
+}
+
+/// Appends one event to the calling thread's trace ring. The payload
+/// closure only runs when `obs` is on.
+#[inline(always)]
+pub fn trace(tenant: u64, kind: &'static str, payload: impl FnOnce() -> String) {
+    #[cfg(feature = "obs")]
+    {
+        let ev = TraceEvent {
+            t: trace_now_us(),
+            tenant,
+            kind,
+            payload: payload(),
+        };
+        TRACE_LOCAL.with(|ring| {
+            let mut ring = ring.lock().unwrap();
+            if ring.buf.len() < TRACE_RING_CAPACITY {
+                ring.buf.push(ev);
+            } else {
+                let at = ring.next;
+                ring.buf[at] = ev;
+                ring.next = (at + 1) % TRACE_RING_CAPACITY;
+                TRACE_DROPPED.inc();
+            }
+        });
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (tenant, kind, payload);
+    }
+}
+
+/// Drains every thread's ring into one list sorted by trace time.
+/// Rings are left empty; events traced after the drain accumulate
+/// fresh. Empty when `obs` is off.
+pub fn drain_trace() -> Vec<TraceEvent> {
+    #[cfg(feature = "obs")]
+    {
+        let Some(rings) = TRACE_RINGS.get() else {
+            return Vec::new();
+        };
+        let mut all = Vec::new();
+        for ring in rings.lock().unwrap().iter() {
+            let mut ring = ring.lock().unwrap();
+            // Oldest-first: the slice after `next` wrapped earlier.
+            let next = ring.next;
+            let mut events = std::mem::take(&mut ring.buf);
+            ring.next = 0;
+            if next > 0 && next < events.len() {
+                events.rotate_left(next);
+            }
+            all.extend(events);
+        }
+        all.sort_by_key(|e| e.t);
+        all
+    }
+    #[cfg(not(feature = "obs"))]
+    Vec::new()
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_cover_the_log_scale_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for k in 0..63 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1, "2^{k}");
+            assert_eq!(
+                bucket_index(v - 1),
+                if v == 1 { 0 } else { k as usize },
+                "2^{k}-1"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(63), (1u64 << 63) - 1);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value's bucket edges bound it within a factor of 2.
+        for v in [1u64, 5, 100, 4095, 4096, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_upper_bound(i) >= v);
+            if i > 0 {
+                assert!(bucket_upper_bound(i - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(
+            h.bucket_count(HIST_BUCKETS - 1),
+            2,
+            "u64::MAX lands in the last bucket"
+        );
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "counter saturates");
+    }
+
+    #[test]
+    fn quantiles_are_within_the_bucket_factor_of_two() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (250..=1000).contains(&p50),
+            "p50 {p50} not within 2x of 500"
+        );
+        assert_eq!(
+            h.quantile(1.0),
+            1000,
+            "max quantile clamps to the exact max"
+        );
+        assert!(h.quantile(0.999) <= 1000);
+        assert_eq!(h.max(), 1000);
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_returns_stable_handles_and_renders_all_formats() {
+        let c = registry().counter("ftt_test_total{case=\"render\"}");
+        c.add(3);
+        assert!(std::ptr::eq(
+            c,
+            registry().counter("ftt_test_total{case=\"render\"}")
+        ));
+        registry().gauge("ftt_test_depth").set(-2);
+        let h = registry().histogram("ftt_test_us");
+        h.record(7);
+        h.record(700);
+
+        let prom = registry().render_prometheus();
+        assert!(prom.contains("# TYPE ftt_test_total counter"));
+        assert!(prom.contains("ftt_test_total{case=\"render\"} 3"));
+        assert!(prom.contains("# TYPE ftt_test_depth gauge"));
+        assert!(prom.contains("ftt_test_depth -2"));
+        assert!(prom.contains("# TYPE ftt_test_us histogram"));
+        assert!(prom.contains("ftt_test_us_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("ftt_test_us_sum 707"));
+        assert!(prom.contains("ftt_test_us_q{q=\"0.5\"}"));
+        assert!(prom.contains("ftt_test_us_max 700"));
+        // Cumulative buckets are monotone.
+        let mut last = 0u64;
+        for line in prom.lines().filter(|l| l.starts_with("ftt_test_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+
+        let json = registry().render_json();
+        assert!(json.contains("\"obs\": true"));
+        assert!(json.contains("\"ftt_test_total{case=\\\"render\\\"}\": 3"));
+        assert!(json.contains("\"count\": 2"));
+        let text = registry().render_text();
+        assert!(text.contains("ftt_test_depth = -2"));
+        assert!(text.contains("ftt_test_us: count=2"));
+    }
+
+    #[test]
+    fn lazy_handles_and_stamps_resolve_once() {
+        static C: LazyCounter = LazyCounter::new("ftt_test_lazy_total");
+        C.inc();
+        C.add(4);
+        assert_eq!(C.get(), 5);
+        static H: LazyHistogram = LazyHistogram::new("ftt_test_lazy_us");
+        let s = Stamp::now();
+        s.record(&H);
+        assert_eq!(registry().histogram("ftt_test_lazy_us").count(), 1);
+    }
+
+    #[test]
+    fn trace_rings_merge_per_thread_writers_and_bound_memory() {
+        trace(7, "test.kind", || "main".to_string());
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for j in 0..5 {
+                        trace(i, "test.thread", || format!("{i}/{j}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let drained = drain_trace();
+        let ours: Vec<_> = drained
+            .iter()
+            .filter(|e| e.kind.starts_with("test."))
+            .collect();
+        assert!(
+            ours.len() >= 16,
+            "main + 3x5 events present, got {}",
+            ours.len()
+        );
+        assert!(drained.windows(2).all(|w| w[0].t <= w[1].t), "sorted by t");
+        // A second drain starts empty (for our kinds; other tests may
+        // race their own events in).
+        assert!(
+            drain_trace().iter().all(|e| !e.kind.starts_with("test.")),
+            "rings were emptied"
+        );
+        // Overflow drops oldest and counts drops.
+        for j in 0..(TRACE_RING_CAPACITY + 10) {
+            trace(0, "test.flood", || j.to_string());
+        }
+        let flood: Vec<_> = drain_trace()
+            .into_iter()
+            .filter(|e| e.kind == "test.flood")
+            .collect();
+        assert_eq!(flood.len(), TRACE_RING_CAPACITY);
+        assert_eq!(
+            flood.last().unwrap().payload,
+            (TRACE_RING_CAPACITY + 9).to_string()
+        );
+        assert!(TRACE_DROPPED.get() >= 10);
+    }
+}
+
+#[cfg(all(test, not(feature = "obs")))]
+mod noop_tests {
+    use super::*;
+
+    /// The no-op build's contract: everything is inert, nothing
+    /// allocates, name closures never run.
+    #[test]
+    fn off_build_is_fully_inert() {
+        assert!(!enabled());
+        let c = registry().counter_with(|| unreachable!("name closure must not run"));
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = registry().gauge_with(|| unreachable!("name closure must not run"));
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = registry().histogram_with(|| unreachable!("name closure must not run"));
+        h.record(123);
+        assert_eq!((h.count(), h.sum(), h.max(), h.quantile(0.5)), (0, 0, 0, 0));
+        trace(1, "noop", || unreachable!("payload closure must not run"));
+        assert!(drain_trace().is_empty());
+        assert_eq!(Stamp::now().elapsed_us(), 0);
+        assert!(registry().render_prometheus().starts_with('#'));
+        assert!(registry().render_json().contains("\"obs\": false"));
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        assert_eq!(std::mem::size_of::<Stamp>(), 0);
+    }
+}

@@ -8,7 +8,77 @@ use crate::protocol::{
 };
 use crate::tenant::TenantSpec;
 use ftt_faults::TimedFault;
+use ftt_geom::hash::splitmix64;
 use std::io::{self, BufReader, BufWriter, Write};
+use std::time::Duration;
+
+/// Client-side `Overloaded` retries across all connections.
+static RETRIES: ftt_obs::LazyCounter = ftt_obs::LazyCounter::new("ftt_client_retries_total");
+
+/// Bounded exponential backoff with deterministic jitter, for pacing
+/// retries after [`Response::Overloaded`].
+///
+/// The delay for attempt `k` is drawn from `[d/2, d]` where
+/// `d = min(base << k, cap)` — exponential growth so a persistently
+/// full shard queue sheds client pressure, halved-range jitter so a
+/// fleet of clients rejected together does not retry in lockstep.
+/// The jitter is derived from `splitmix64(seed ^ k)`, not a clock or
+/// OS RNG, so a fixed seed reproduces the exact retry schedule —
+/// bench runs and tests stay deterministic.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    seed: u64,
+    attempt: u32,
+    base_us: u64,
+    cap_us: u64,
+}
+
+impl Backoff {
+    /// Default pacing: 100 µs first delay, capped at 50 ms.
+    pub fn new(seed: u64) -> Self {
+        Self::with_bounds(seed, 100, 50_000)
+    }
+
+    /// Custom pacing bounds, both in microseconds. `base_us` is
+    /// clamped to at least 1; `cap_us` to at least `base_us`.
+    pub fn with_bounds(seed: u64, base_us: u64, cap_us: u64) -> Self {
+        let base_us = base_us.max(1);
+        Self {
+            seed,
+            attempt: 0,
+            base_us,
+            cap_us: cap_us.max(base_us),
+        }
+    }
+
+    /// The delay to sleep before the next retry. Advances the attempt
+    /// counter and bumps `ftt_client_retries_total`.
+    pub fn next_delay(&mut self) -> Duration {
+        RETRIES.inc();
+        let shift = self.attempt.min(63);
+        let grown = if shift >= self.base_us.leading_zeros() {
+            u64::MAX
+        } else {
+            self.base_us << shift
+        };
+        let d = grown.min(self.cap_us).max(2);
+        let jitter = splitmix64(self.seed ^ u64::from(self.attempt));
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_micros(d / 2 + jitter % (d / 2 + 1))
+    }
+
+    /// Number of delays handed out since construction or the last
+    /// [`reset`](Self::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Rewinds to the first-attempt delay — call after a success so
+    /// the next overload starts cheap again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
 
 /// A connection to a running daemon.
 pub struct Client {
@@ -94,5 +164,82 @@ impl Client {
     /// Stops the daemon (acked, then the listener closes).
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(0, &Request::Shutdown)
+    }
+
+    /// The daemon's live metrics registry as Prometheus exposition
+    /// text. Answered inline by the connection reader, so it works
+    /// even while the shard queues are full.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.call(0, &Request::Stats)
+    }
+
+    /// [`events`](Self::events), retrying `Overloaded` replies with
+    /// `backoff` until the batch is accepted or an error/IO failure
+    /// ends the attempt. Resets `backoff` on success so the caller
+    /// can reuse it across batches.
+    pub fn events_with_retry(
+        &mut self,
+        tenant: u64,
+        events: &[TimedFault],
+        backoff: &mut Backoff,
+    ) -> io::Result<Response> {
+        loop {
+            match self.events(tenant, events)? {
+                Response::Overloaded => std::thread::sleep(backoff.next_delay()),
+                resp => {
+                    backoff.reset();
+                    return Ok(resp);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Backoff;
+    use std::time::Duration;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let schedule = |seed| {
+            let mut b = Backoff::with_bounds(seed, 100, 10_000);
+            (0..20).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        // Same seed → same schedule; different seed → different jitter.
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+
+        // Every delay for attempt k lies in [d/2, d], d = min(100<<k, cap).
+        let mut b = Backoff::with_bounds(42, 100, 10_000);
+        for k in 0..40u32 {
+            let d = (100u64 << k.min(20)).min(10_000);
+            let delay = b.next_delay().as_micros() as u64;
+            assert!(
+                delay >= d / 2 && delay <= d,
+                "attempt {k}: {delay} not in [{}, {d}]",
+                d / 2
+            );
+        }
+        assert_eq!(b.attempts(), 40);
+
+        // Reset rewinds to the cheap first-attempt range.
+        b.reset();
+        assert!(b.next_delay() <= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn backoff_survives_degenerate_bounds() {
+        // base 0 clamps to 1; cap below base clamps up; huge attempt
+        // counts saturate at the cap instead of overflowing.
+        let mut b = Backoff::with_bounds(1, 0, 0);
+        for _ in 0..128 {
+            let delay = b.next_delay().as_micros() as u64;
+            assert!(delay <= 2);
+        }
+        let mut wide = Backoff::with_bounds(2, u64::MAX / 2, u64::MAX);
+        for _ in 0..66 {
+            assert!(wide.next_delay().as_micros() as u64 >= u64::MAX / 4);
+        }
     }
 }

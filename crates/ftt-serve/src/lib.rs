@@ -32,12 +32,13 @@
 //! [`Client`]s and commits `BENCH_serve.json`.
 
 pub mod client;
+pub(crate) mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod tenant;
 
-pub use client::Client;
+pub use client::{Backoff, Client};
 pub use net::{Listen, NetStream};
 pub use protocol::{EmbeddingInfo, Request, Response};
 pub use server::{Server, ServerConfig};

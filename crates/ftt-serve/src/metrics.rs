@@ -1,0 +1,149 @@
+//! The daemon's `GET /metrics` scrape endpoint: a deliberately tiny
+//! hand-rolled HTTP/1.1 responder (the build environment is offline —
+//! no HTTP library) over a plain [`TcpListener`].
+//!
+//! One thread accepts scrape connections; each request is answered and
+//! the connection closed (`Connection: close`), so a scraper needs no
+//! keep-alive handling and a stuck scraper cannot wedge the daemon.
+//! Only `GET /metrics` exists: it returns the process-global registry
+//! rendered as Prometheus text exposition format (version 0.0.4) —
+//! the same bytes the `Stats` protocol opcode carries. Anything else
+//! is a 404; a malformed or oversized request head is a 400.
+//!
+//! Shutdown mirrors the main listener: the accept loop checks the
+//! shared flag after every accept, and `trigger_shutdown` self-connects
+//! to unblock it.
+
+use crate::server::Shared;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Upper bound on a scrape request head — far beyond any real
+/// scraper's `GET` line + headers.
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// Binds `addr` (`host:port`; `:0` for ephemeral) and spawns the
+/// scrape-serving thread. Returns the resolved address and the handle
+/// to join at shutdown.
+pub(crate) fn spawn_metrics_listener(
+    addr: &str,
+    shared: Arc<Shared>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let resolved = listener.local_addr()?;
+    let handle = thread::spawn(move || loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        // Scrapes are best-effort: a failed write or slow-loris client
+        // only costs this one connection.
+        let _ = serve_scrape(stream);
+    });
+    Ok((resolved, handle))
+}
+
+/// Reads one request head and answers it. Closes the connection.
+fn serve_scrape(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    // Read until the blank line ending the request head (we ignore the
+    // headers, but must consume them before replying to be a polite
+    // HTTP citizen), a bound, a timeout, or EOF.
+    while !head_complete(&head) {
+        if head.len() > MAX_REQUEST_HEAD {
+            return respond(&mut stream, "400 Bad Request", "request head too large\n");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    match request_line {
+        b"GET /metrics HTTP/1.1" | b"GET /metrics HTTP/1.0" | b"GET /metrics" => respond(
+            &mut stream,
+            "200 OK",
+            &ftt_obs::registry().render_prometheus(),
+        ),
+        line if line.starts_with(b"GET ") => {
+            respond(&mut stream, "404 Not Found", "only /metrics is served\n")
+        }
+        _ => respond(&mut stream, "400 Bad Request", "malformed request line\n"),
+    }
+}
+
+fn head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n")
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::server::{Server, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn scrape(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_scrapes_and_rejects_other_paths() {
+        let dir = std::env::temp_dir().join(format!("ftt_metrics_http_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = ServerConfig::new(&dir);
+        config.metrics_addr = Some("127.0.0.1:0".into());
+        let server = Server::start(config).unwrap();
+        let addr = server.metrics_addr().expect("metrics endpoint is on");
+
+        let ok = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Type: text/plain; version=0.0.4"));
+        // Body content is registry-dependent (obs on: series; obs off:
+        // a disabled notice) — both are comment-or-series text.
+        let body = ok.split("\r\n\r\n").nth(1).unwrap();
+        assert!(!body.is_empty());
+        if ftt_obs::enabled() {
+            assert!(body.contains("# TYPE"), "{body}");
+        } else {
+            assert!(body.contains("obs"), "{body}");
+        }
+
+        let missing = scrape(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bad = scrape(addr, "BREW /metrics HTCPCP/1.0\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        server.shutdown_now();
+        server.wait();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -13,6 +13,7 @@
 //!   opcode 3 QueryEmbedding body = empty
 //!   opcode 4 Snapshot       body = empty
 //!   opcode 5 Shutdown       body = empty (tenant_id ignored)
+//!   opcode 6 Stats          body = empty (tenant_id ignored)
 //!
 //! response = request_id u64 LE | status u8 | body
 //!   status 0 Ok         body = kind u8 | kind-specific fields
@@ -56,6 +57,12 @@ pub enum Request {
     Snapshot,
     /// Stop the daemon (acked before the listener closes).
     Shutdown,
+    /// Dump the daemon's metrics registry (Prometheus text format;
+    /// tenant_id ignored). Answered inline by the reader — it never
+    /// enters a shard queue, so it works even under backpressure. The
+    /// body is a disabled-notice comment when the daemon was built
+    /// without the `obs` feature.
+    Stats,
 }
 
 /// The embedding payload of a [`Response::Embedding`] reply.
@@ -118,6 +125,11 @@ pub enum Response {
     },
     /// Shutdown acknowledged.
     ShutdownAck,
+    /// The metrics registry rendered as Prometheus exposition text.
+    Stats {
+        /// The exposition text (same bytes `GET /metrics` serves).
+        text: String,
+    },
     /// Backpressure: the tenant's shard queue is full. Nothing was
     /// journaled or applied — retry.
     Overloaded,
@@ -132,6 +144,7 @@ const OP_LIVENESS: u8 = 2;
 const OP_EMBEDDING: u8 = 3;
 const OP_SNAPSHOT: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_STATS: u8 = 6;
 
 const ST_OK: u8 = 0;
 const ST_OVERLOADED: u8 = 1;
@@ -187,6 +200,7 @@ pub fn encode_request(request_id: u64, tenant_id: u64, req: &Request) -> Vec<u8>
         Request::QueryEmbedding => out.push(OP_EMBEDDING),
         Request::Snapshot => out.push(OP_SNAPSHOT),
         Request::Shutdown => out.push(OP_SHUTDOWN),
+        Request::Stats => out.push(OP_STATS),
     }
     out
 }
@@ -218,6 +232,7 @@ pub fn decode_request(payload: &[u8]) -> io::Result<(u64, u64, Request)> {
         OP_EMBEDDING => Request::QueryEmbedding,
         OP_SNAPSHOT => Request::Snapshot,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_STATS => Request::Stats,
         op => return Err(bad(format!("unknown opcode {op}"))),
     };
     Ok((request_id, tenant_id, req))
@@ -294,6 +309,10 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&events_durable.to_le_bytes());
         }
         Response::ShutdownAck => out.extend_from_slice(&[ST_OK, OP_SHUTDOWN]),
+        Response::Stats { text } => {
+            out.extend_from_slice(&[ST_OK, OP_STATS]);
+            out.extend_from_slice(text.as_bytes());
+        }
     }
     out
 }
@@ -396,6 +415,10 @@ pub fn decode_response(payload: &[u8]) -> io::Result<(u64, Response)> {
                 events_durable: c.u64()?,
             },
             OP_SHUTDOWN => Response::ShutdownAck,
+            OP_STATS => Response::Stats {
+                text: String::from_utf8(payload[c.at..].to_vec())
+                    .map_err(|_| bad("stats text is not utf-8"))?,
+            },
             kind => return Err(bad(format!("unknown response kind {kind}"))),
         },
         st => return Err(bad(format!("unknown status byte {st}"))),
@@ -424,6 +447,7 @@ mod tests {
             Request::QueryEmbedding,
             Request::Snapshot,
             Request::Shutdown,
+            Request::Stats,
         ];
         for (i, req) in reqs.iter().enumerate() {
             let payload = encode_request(i as u64, 42, req);
@@ -464,6 +488,14 @@ mod tests {
             })),
             Response::Snapshot { events_durable: 17 },
             Response::ShutdownAck,
+            Response::Stats {
+                text: "# TYPE ftt_serve_requests_total counter\n\
+                       ftt_serve_requests_total{opcode=\"events\"} 12\n"
+                    .into(),
+            },
+            Response::Stats {
+                text: String::new(),
+            },
             Response::Overloaded,
             Response::Error("tenant 9 unknown".into()),
         ];

@@ -56,18 +56,38 @@ use crate::protocol::{
 };
 use crate::tenant::{TenantHost, TenantSpec};
 use ftt_core::online::{RepairClass, RepairOutcome};
-use ftt_faults::journal_io::{self, JOURNAL_RECORD_LEN};
+use ftt_faults::journal_io::{self, Durability, JOURNAL_RECORD_LEN};
 use ftt_faults::{FaultJournal, TimedFault};
+use ftt_obs::{LazyCounter, LazyHistogram, Stamp};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::TcpListener;
+use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+
+// Daemon instrumentation (inert unless the `obs` feature is on).
+// Request counters are per opcode; ack latency is decode-to-reply for
+// `Events` requests only (matching the client-side semantics
+// `bench_serve` measures, undiluted by creates and queries).
+static REQ_CREATE: LazyCounter =
+    LazyCounter::new("ftt_serve_requests_total{opcode=\"create_tenant\"}");
+static REQ_EVENTS: LazyCounter = LazyCounter::new("ftt_serve_requests_total{opcode=\"events\"}");
+static REQ_LIVENESS: LazyCounter =
+    LazyCounter::new("ftt_serve_requests_total{opcode=\"query_liveness\"}");
+static REQ_EMBEDDING: LazyCounter =
+    LazyCounter::new("ftt_serve_requests_total{opcode=\"query_embedding\"}");
+static REQ_SNAPSHOT: LazyCounter =
+    LazyCounter::new("ftt_serve_requests_total{opcode=\"snapshot\"}");
+static REQ_SHUTDOWN: LazyCounter =
+    LazyCounter::new("ftt_serve_requests_total{opcode=\"shutdown\"}");
+static REQ_STATS: LazyCounter = LazyCounter::new("ftt_serve_requests_total{opcode=\"stats\"}");
+static OVERLOADED: LazyCounter = LazyCounter::new("ftt_serve_overloaded_total");
+static ACK_US: LazyHistogram = LazyHistogram::new("ftt_serve_ack_latency_us");
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +104,10 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Directory holding `t<id>.spec` / `t<id>.journal` files.
     pub data_dir: PathBuf,
+    /// Optional `host:port` for the plain-HTTP `GET /metrics` scrape
+    /// endpoint (Prometheus text format; `:0` binds an ephemeral
+    /// port). `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -96,6 +120,7 @@ impl ServerConfig {
             queue_depth: 1024,
             max_batch: 256,
             data_dir: data_dir.into(),
+            metrics_addr: None,
         }
     }
 }
@@ -111,6 +136,18 @@ struct TenantEntry {
     events_journaled: u64,
     /// Time of the last applied event (journal monotonicity floor).
     last_time: u64,
+    /// `ftt_serve_tenant_events_total{tenant=…}` handle (resolved once
+    /// at create/recover; a no-op without the `obs` feature).
+    events_counter: &'static ftt_obs::Counter,
+}
+
+fn tenant_events_counter(tid: u64) -> &'static ftt_obs::Counter {
+    ftt_obs::registry()
+        .counter_with(|| format!("ftt_serve_tenant_events_total{{tenant=\"{tid}\"}}"))
+}
+
+fn shard_queue_gauge(shard: usize) -> &'static ftt_obs::Gauge {
+    ftt_obs::registry().gauge_with(|| format!("ftt_serve_queue_depth{{shard=\"{shard}\"}}"))
 }
 
 /// A request routed to a shard worker.
@@ -119,6 +156,9 @@ struct ShardMsg {
     request_id: u64,
     tenant: u64,
     cmd: ShardCmd,
+    /// Decode-time stamp for the ack-latency histogram (zero-sized
+    /// without the `obs` feature).
+    stamp: Stamp,
 }
 
 enum ShardCmd {
@@ -130,12 +170,15 @@ enum ShardCmd {
 }
 
 /// State shared across accept / reader / shard threads.
-struct Shared {
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
     /// Resolved listen address (self-connect target to unblock accept).
     listen: Listen,
     /// Every accepted connection, for read-half shutdown at exit.
     conns: Mutex<Vec<NetStream>>,
+    /// Resolved metrics-endpoint address, when one is serving (its
+    /// accept loop is unblocked the same self-connect way).
+    metrics_addr: Mutex<Option<SocketAddr>>,
 }
 
 impl Shared {
@@ -143,10 +186,13 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop, then wake blocked readers with EOF.
+        // Unblock the accept loops, then wake blocked readers with EOF.
         // Only the read halves are closed: queued replies (including
         // the shutdown ack itself) still drain through the writers.
         let _ = NetStream::connect(&self.listen);
+        if let Some(addr) = *self.metrics_addr.lock().unwrap() {
+            let _ = std::net::TcpStream::connect(addr);
+        }
         for conn in self.conns.lock().unwrap().iter() {
             let _ = conn.shutdown_read();
         }
@@ -158,8 +204,10 @@ impl Shared {
 /// and then [`wait`](Self::wait).
 pub struct Server {
     listen: Listen,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
 }
 
@@ -217,21 +265,34 @@ impl Server {
             shutdown: AtomicBool::new(false),
             listen: listen.clone(),
             conns: Mutex::new(Vec::new()),
+            metrics_addr: Mutex::new(None),
         });
+
+        let (metrics_addr, metrics) = match &config.metrics_addr {
+            None => (None, None),
+            Some(addr) => {
+                let (addr, handle) = crate::metrics::spawn_metrics_listener(addr, shared.clone())?;
+                *shared.metrics_addr.lock().unwrap() = Some(addr);
+                (Some(addr), Some(handle))
+            }
+        };
 
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut shard_handles = Vec::with_capacity(config.shards);
-        for tenants in tenant_maps {
+        for (shard, tenants) in tenant_maps.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<ShardMsg>(config.queue_depth);
             shard_txs.push(tx);
             let data_dir = config.data_dir.clone();
             let max_batch = config.max_batch;
+            let queue_gauge = shard_queue_gauge(shard);
             shard_handles.push(thread::spawn(move || {
-                shard_worker(rx, tenants, data_dir, max_batch)
+                shard_worker(rx, tenants, data_dir, max_batch, queue_gauge)
             }));
         }
 
         let shard_txs = Arc::new(shard_txs);
+        let queue_gauges: Arc<Vec<&'static ftt_obs::Gauge>> =
+            Arc::new((0..config.shards).map(shard_queue_gauge).collect());
         let accept_shared = shared.clone();
         let accept_listen = listen.clone();
         let accept = thread::spawn(move || {
@@ -241,9 +302,12 @@ impl Server {
                     break;
                 }
                 match conn {
-                    Ok(stream) => {
-                        spawn_connection(stream, shard_txs.clone(), accept_shared.clone())
-                    }
+                    Ok(stream) => spawn_connection(
+                        stream,
+                        shard_txs.clone(),
+                        queue_gauges.clone(),
+                        accept_shared.clone(),
+                    ),
                     Err(_) => continue,
                 }
             }
@@ -256,8 +320,10 @@ impl Server {
 
         Ok(Server {
             listen,
+            metrics_addr,
             shared,
             accept: Some(accept),
+            metrics,
             shards: shard_handles,
         })
     }
@@ -265,6 +331,11 @@ impl Server {
     /// The resolved listen address (actual port for TCP `:0`).
     pub fn listen_addr(&self) -> &Listen {
         &self.listen
+    }
+
+    /// The resolved `/metrics` endpoint address, when one is serving.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Triggers shutdown without a protocol round trip (tests,
@@ -279,6 +350,9 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.metrics.take() {
+            let _ = h.join();
+        }
         for h in self.shards.drain(..) {
             let _ = h.join();
         }
@@ -288,6 +362,7 @@ impl Server {
 fn spawn_connection(
     stream: NetStream,
     shard_txs: Arc<Vec<SyncSender<ShardMsg>>>,
+    queue_gauges: Arc<Vec<&'static ftt_obs::Gauge>>,
     shared: Arc<Shared>,
 ) {
     if let NetStream::Tcp(s) = &stream {
@@ -299,7 +374,7 @@ fn spawn_connection(
     shared.conns.lock().unwrap().push(stream);
     let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
     thread::spawn(move || writer_loop(write_half, reply_rx));
-    thread::spawn(move || reader_loop(read_half, reply_tx, shard_txs, shared));
+    thread::spawn(move || reader_loop(read_half, reply_tx, shard_txs, queue_gauges, shared));
 }
 
 /// Drains reply frames onto the socket, flushing when the queue runs
@@ -328,11 +403,13 @@ fn reader_loop(
     stream: NetStream,
     reply_tx: Sender<Vec<u8>>,
     shard_txs: Arc<Vec<SyncSender<ShardMsg>>>,
+    queue_gauges: Arc<Vec<&'static ftt_obs::Gauge>>,
     shared: Arc<Shared>,
 ) {
     let nshards = shard_txs.len() as u64;
     let mut r = BufReader::new(stream);
     while let Ok(Some(payload)) = read_frame(&mut r) {
+        let stamp = Stamp::now();
         // An undecodable frame poisons the stream's framing; close the
         // connection rather than guess at boundaries.
         let Ok((request_id, tenant, req)) = decode_request(&payload) else {
@@ -340,25 +417,52 @@ fn reader_loop(
         };
         let cmd = match req {
             Request::Shutdown => {
+                REQ_SHUTDOWN.inc();
                 let _ = reply_tx.send(encode_response(request_id, &Response::ShutdownAck));
                 shared.trigger_shutdown();
                 break;
             }
-            Request::CreateTenant(spec) => ShardCmd::Create(spec),
-            Request::Events(events) => ShardCmd::Events(events),
-            Request::QueryLiveness => ShardCmd::QueryLiveness,
-            Request::QueryEmbedding => ShardCmd::QueryEmbedding,
-            Request::Snapshot => ShardCmd::Snapshot,
+            // A registry dump never routes through a shard (it is
+            // global state, and must answer even under backpressure).
+            Request::Stats => {
+                REQ_STATS.inc();
+                let text = ftt_obs::registry().render_prometheus();
+                let _ = reply_tx.send(encode_response(request_id, &Response::Stats { text }));
+                continue;
+            }
+            Request::CreateTenant(spec) => {
+                REQ_CREATE.inc();
+                ShardCmd::Create(spec)
+            }
+            Request::Events(events) => {
+                REQ_EVENTS.inc();
+                ShardCmd::Events(events)
+            }
+            Request::QueryLiveness => {
+                REQ_LIVENESS.inc();
+                ShardCmd::QueryLiveness
+            }
+            Request::QueryEmbedding => {
+                REQ_EMBEDDING.inc();
+                ShardCmd::QueryEmbedding
+            }
+            Request::Snapshot => {
+                REQ_SNAPSHOT.inc();
+                ShardCmd::Snapshot
+            }
         };
         let msg = ShardMsg {
             reply: reply_tx.clone(),
             request_id,
             tenant,
             cmd,
+            stamp,
         };
-        match shard_txs[(tenant % nshards) as usize].try_send(msg) {
-            Ok(()) => {}
+        let shard = (tenant % nshards) as usize;
+        match shard_txs[shard].try_send(msg) {
+            Ok(()) => queue_gauges[shard].add(1),
             Err(TrySendError::Full(msg)) => {
+                OVERLOADED.inc();
                 let _ = reply_tx.send(encode_response(msg.request_id, &Response::Overloaded));
             }
             Err(TrySendError::Disconnected(_)) => break,
@@ -382,6 +486,7 @@ struct Job {
     request_id: u64,
     tenant: u64,
     plan: Planned,
+    stamp: Stamp,
 }
 
 fn shard_worker(
@@ -389,6 +494,7 @@ fn shard_worker(
     mut tenants: HashMap<u64, TenantEntry>,
     data_dir: PathBuf,
     max_batch: usize,
+    queue_gauge: &'static ftt_obs::Gauge,
 ) {
     let mut batch = Vec::with_capacity(max_batch);
     while let Ok(first) = rx.recv() {
@@ -399,6 +505,7 @@ fn shard_worker(
                 Err(_) => break,
             }
         }
+        queue_gauge.add(-(batch.len() as i64));
         process_batch(&mut tenants, &mut batch, &data_dir);
     }
 }
@@ -450,6 +557,7 @@ fn process_batch(
             request_id: msg.request_id,
             tenant: msg.tenant,
             plan,
+            stamp: msg.stamp,
         });
     }
 
@@ -468,6 +576,7 @@ fn process_batch(
 
     // Phase 3: apply and reply, in arrival order.
     for job in jobs {
+        let mut applied_events = false;
         let resp = match job.plan {
             Planned::Ready(resp) => resp,
             Planned::Apply(events) => {
@@ -491,6 +600,8 @@ fn process_batch(
                         entry.last_time = ev.time;
                         entry.events_applied += 1;
                     }
+                    entry.events_counter.add(events.len() as u64);
+                    applied_events = true;
                     Response::Applied {
                         applied: events.len() as u32,
                         fast,
@@ -528,6 +639,12 @@ fn process_batch(
             },
         };
         let _ = job.reply.send(encode_response(job.request_id, &resp));
+        // Ack latency covers decode → reply handoff for applied event
+        // batches only, matching the client-side metric bench_serve
+        // reports.
+        if applied_events {
+            job.stamp.record(&ACK_US);
+        }
     }
 }
 
@@ -593,19 +710,18 @@ fn create_tenant(
             events_applied: 0,
             events_journaled: 0,
             last_time: 0,
+            events_counter: tenant_events_counter(tid),
         },
     );
     resp
 }
 
-/// Appends record bytes to a tenant journal. `File` writes are
-/// unbuffered, so a returned `Ok` means the bytes are in the OS page
-/// cache — durable against daemon death (snapshot `fsync` covers
-/// power loss).
+/// Appends record bytes to a tenant journal via the instrumented
+/// [`journal_io::append_records`] path. `File` writes are unbuffered,
+/// so a returned `Ok` means the bytes are in the OS page cache —
+/// durable against daemon death (snapshot `fsync` covers power loss).
 fn append_journal(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let mut f = OpenOptions::new().append(true).open(path)?;
-    f.write_all(bytes)?;
-    f.flush()
+    journal_io::append_records(path, bytes, Durability::Flush)
 }
 
 /// Scans the data directory and rebuilds every tenant: spec → host,
@@ -668,6 +784,7 @@ fn recover_tenants(data_dir: &Path, shards: usize) -> io::Result<Vec<HashMap<u64
                 events_applied,
                 events_journaled: events_applied,
                 last_time,
+                events_counter: tenant_events_counter(id),
             },
         );
     }

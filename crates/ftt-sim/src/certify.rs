@@ -279,6 +279,13 @@ impl CertifyReport {
     }
 }
 
+/// Pattern-enumeration phase timer (µs per [`run_certify`] call).
+static CERTIFY_ENUMERATE_US: ftt_obs::LazyHistogram =
+    ftt_obs::LazyHistogram::new("ftt_sim_phase_us{phase=\"certify_enumerate\"}");
+/// Certified-walk phase timer (µs per [`run_certify`] call).
+static CERTIFY_WALK_US: ftt_obs::LazyHistogram =
+    ftt_obs::LazyHistogram::new("ftt_sim_phase_us{phase=\"certify_walk\"}");
+
 /// Runs the exhaustive certification described by `spec`. `threads = 0`
 /// selects the available parallelism; results are thread-count
 /// invariant.
@@ -291,8 +298,10 @@ pub fn run_certify(spec: &CertifySpec, threads: usize) -> Result<CertifyReport, 
     }
     let params = DdnParams::fit(spec.d, spec.n_min, spec.b)?;
     let budget = params.tolerated_faults();
+    let enumerate_stamp = ftt_obs::Stamp::now();
     let (max_faults, patterns) =
         enumerate_for_instance(&params, spec.max_faults, spec.candidate_cap)?;
+    enumerate_stamp.record(&CERTIFY_ENUMERATE_US);
     let host = Ddn::new(params);
     let dims = vec![params.m(); params.d];
     let mut patterns_by_size = vec![0usize; max_faults + 1];
@@ -350,6 +359,7 @@ pub fn run_certify(spec: &CertifySpec, threads: usize) -> Result<CertifyReport, 
         },
     );
     let seconds = start.elapsed().as_secs_f64();
+    CERTIFY_WALK_US.record((seconds * 1e6) as u64);
     // Thread-count-invariant failure report: sort the index set, keep
     // the first FAILURE_CAP, and re-run just those to recover messages.
     let mut failed_indices = failed_indices.into_inner().unwrap();

@@ -71,6 +71,11 @@ use ftt_faults::{FaultJournal, FaultSet, FaultStream, StreamFeedback, StreamSpec
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Per-cell wall-clock timer (µs), mirroring the artifact's
+/// `seconds` field into the live registry.
+static LIFETIME_CELL_US: ftt_obs::LazyHistogram =
+    ftt_obs::LazyHistogram::new("ftt_sim_phase_us{phase=\"lifetime_cell\"}");
+
 /// Version stamp of the `LIFE_*.json` / `LIFE_*.csv` artifact schema.
 /// Version 2 added the renewal/availability fields (`repairs_applied`,
 /// `resurrections`, `availability`, spell means, burst counts) and the
@@ -1014,6 +1019,7 @@ pub fn run_lifetime(spec: &LifetimeSpec, threads: usize) -> Result<LifetimeRepor
                 ),
             };
             let seconds = start.elapsed().as_secs_f64();
+            LIFETIME_CELL_US.record((seconds * 1e6) as u64);
             cells.push(aggregate_cell(
                 id, &host, def, cap, mult, budget_k, &records, seconds,
             ));

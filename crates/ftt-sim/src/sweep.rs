@@ -59,6 +59,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
+/// Per-cell wall-clock timer (µs), mirroring the artifact's
+/// `seconds` field into the live registry.
+static SWEEP_CELL_US: ftt_obs::LazyHistogram =
+    ftt_obs::LazyHistogram::new("ftt_sim_phase_us{phase=\"sweep_cell\"}");
+
 /// Version stamp of the `SWEEP_*.json` / `SWEEP_*.csv` artifact schema.
 pub const SWEEP_SCHEMA_VERSION: u32 = 1;
 
@@ -976,7 +981,9 @@ fn run_host_cells<C: HostConstruction + Sync>(
                     },
                 ),
             };
-            (stats, start.elapsed().as_secs_f64())
+            let seconds = start.elapsed().as_secs_f64();
+            SWEEP_CELL_US.record((seconds * 1e6) as u64);
+            (stats, seconds)
         })
         .collect()
 }

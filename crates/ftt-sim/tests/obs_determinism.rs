@@ -1,0 +1,127 @@
+//! The observability determinism battery: instrumentation must never
+//! change results.
+//!
+//! Every probe in the stack (tier counters, phase timers, latency
+//! histograms) reads clocks and bumps atomics but feeds nothing back
+//! into any algorithm, so a binary built with `--features obs` must
+//! produce BIT-IDENTICAL artifacts to one built without. These tests
+//! pin that contract with hardcoded FNV-1a digests over the sweep and
+//! lifetime JSON artifacts (wall-clock lines excluded — elapsed time
+//! is the one thing allowed to differ): CI runs this same test file
+//! twice, obs off and obs on, and both runs must match the same
+//! constants. A digest mismatch in only one of the two runs means
+//! instrumentation perturbed results; a mismatch in both means results
+//! changed for some other reason and the constants need a deliberate
+//! (reviewed) update.
+
+use ftt_sim::{run_lifetime, run_sweep, LifetimeSpec, SweepSpec};
+
+/// 64-bit FNV-1a — tiny, dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a JSON artifact with wall-clock lines dropped — the same
+/// key set `tools/check_metrics.py --compare` ignores — plus
+/// `threads`, a recorded run *parameter* that this battery varies on
+/// purpose to also pin thread-count invariance of the results.
+fn artifact_digest(json: &str) -> u64 {
+    const TIMING_KEYS: [&str; 5] = [
+        "\"seconds\"",
+        "\"trials_per_sec\"",
+        "\"faults_per_sec\"",
+        "\"repairs_per_sec\"",
+        "\"threads\"",
+    ];
+    let kept: String = json
+        .lines()
+        .filter(|line| !TIMING_KEYS.iter().any(|k| line.contains(k)))
+        .collect::<Vec<_>>()
+        .join("\n");
+    fnv1a(kept.as_bytes())
+}
+
+fn scratch(name: &str) -> (String, String) {
+    let dir = std::env::temp_dir();
+    let tag = format!("{name}_{}", std::process::id());
+    (
+        dir.join(format!("ftt_obsdet_{tag}.json"))
+            .to_str()
+            .unwrap()
+            .to_string(),
+        dir.join(format!("ftt_obsdet_{tag}.csv"))
+            .to_str()
+            .unwrap()
+            .to_string(),
+    )
+}
+
+fn digest_of(json_path: &str, csv_path: &str) -> u64 {
+    let json = std::fs::read_to_string(json_path).unwrap();
+    let digest = artifact_digest(&json);
+    let _ = std::fs::remove_file(json_path);
+    let _ = std::fs::remove_file(csv_path);
+    digest
+}
+
+/// The Monte-Carlo sweep engine: per-cell successes, Wilson CIs, and
+/// baseline columns are all seed-derived. Two thread counts guard the
+/// thread-invariance half of the contract in the same breath.
+#[test]
+fn sweep_smoke_artifact_digest_is_obs_invariant() {
+    const EXPECTED: u64 = 0x5296_d561_8c2b_6294;
+    let mut spec = SweepSpec::preset("smoke").unwrap();
+    spec.trials = 3;
+    spec.root_seed = 20260808;
+    for threads in [1, 2] {
+        let report = run_sweep(&spec, threads).unwrap();
+        let (json, csv) = scratch(&format!("sweep{threads}"));
+        report.write_artifacts(&json, &csv).unwrap();
+        let digest = digest_of(&json, &csv);
+        assert_eq!(
+            digest,
+            EXPECTED,
+            "sweep artifact digest {digest:#018x} != pinned {EXPECTED:#018x} \
+             (threads = {threads}, obs = {})",
+            ftt_obs::enabled()
+        );
+    }
+}
+
+/// The online lifetime engine drives the full repair stack — fault
+/// streams, tier selection, repaint, certification — so its artifact
+/// digest covers exactly the hot paths the instrumentation touches.
+#[test]
+fn lifetime_smoke_artifact_digest_is_obs_invariant() {
+    const EXPECTED: u64 = 0xcd8a_fac1_a229_1391;
+    let mut spec = LifetimeSpec::preset("life-smoke").unwrap();
+    spec.trials = 2;
+    spec.root_seed = 20260808;
+    let report = run_lifetime(&spec, 2).unwrap();
+    let (json, csv) = scratch("life");
+    report.write_artifacts(&json, &csv).unwrap();
+    let digest = digest_of(&json, &csv);
+    assert_eq!(
+        digest,
+        EXPECTED,
+        "lifetime artifact digest {digest:#018x} != pinned {EXPECTED:#018x} \
+         (obs = {})",
+        ftt_obs::enabled()
+    );
+}
+
+/// The digest helper itself: timing lines are dropped, everything else
+/// is significant.
+#[test]
+fn artifact_digest_ignores_exactly_the_wall_clock_lines() {
+    let a = "{\n  \"x\": 1,\n  \"seconds\": 0.5,\n  \"trials_per_sec\": 99.0\n}";
+    let b = "{\n  \"x\": 1,\n  \"seconds\": 123.0,\n  \"trials_per_sec\": 1.0\n}";
+    let c = "{\n  \"x\": 2,\n  \"seconds\": 0.5,\n  \"trials_per_sec\": 99.0\n}";
+    assert_eq!(artifact_digest(a), artifact_digest(b));
+    assert_ne!(artifact_digest(a), artifact_digest(c));
+}

@@ -1,0 +1,524 @@
+#!/usr/bin/env python3
+"""Validator and driver for the ftt-obs observability surface.
+
+Usage:
+    check_metrics.py EXPOSITION.txt
+    check_metrics.py --drive tcp:HOST:PORT --metrics URL [--shutdown]
+    check_metrics.py --cross-check BENCH_serve.json [--factor 2.0]
+    check_metrics.py --compare A.json B.json
+    check_metrics.py --overhead OFF.json ON.json [--max-overhead 0.05]
+
+File mode parses a Prometheus text-exposition (0.0.4) dump and checks
+it is well-formed: every sample line parses, every series family has
+exactly one ``# TYPE`` line, histogram ``_bucket`` series are
+cumulative (non-decreasing counts over ascending ``le`` bounds, ending
+at ``+Inf`` with the family ``_count``), and counters are non-negative.
+
+``--drive`` exercises a LIVE ``ftt serve`` daemon end to end, speaking
+the length-framed binary protocol directly from Python (no Rust code in
+the loop — an independent reimplementation of the wire format is itself
+a protocol check): it creates a tenant, applies event batches, scrapes
+``URL`` twice (validating both bodies), and asserts the between-scrape
+contracts — counters are monotone, the second scrape saw the extra
+requests, per-shard queue-depth gauges returned to 0 once quiescent,
+and the ``Stats`` opcode (6) returns the same exposition families as
+the HTTP endpoint. ``--shutdown`` sends opcode 5 afterwards, ending the
+daemon (the driver then owns its lifecycle).
+
+``--cross-check`` takes a ``BENCH_serve.json`` produced by an obs-build
+``bench_serve`` and asserts the daemon's self-reported ack-latency
+quantiles (``daemon_ack_*``, from its log-bucketed histogram) agree
+with the client-side measured ones within ``--factor`` (default 2 — the
+histogram's bucket-resolution contract).
+
+``--compare`` asserts two run artifacts (sweep/lifetime JSON) are
+identical except for wall-clock fields (``seconds``,
+``trials_per_sec``, ``faults_per_sec``, ``repairs_per_sec``) — the
+determinism gate that instrumentation must not change results.
+
+``--overhead`` takes two BENCH_extraction-style artifacts (scenarios
+with ``trials_per_sec``) measured on the SAME machine, obs off vs on,
+and fails if the geometric-mean throughput ratio on/off drops below
+``1 - max_overhead`` (default 5%).
+
+Every failure is a one-line typed error and exit code 1 — never a
+traceback.
+"""
+
+import json
+import math
+import re
+import socket
+import struct
+import sys
+import time
+import urllib.error
+import urllib.request
+
+# Label values may contain braces and commas (e.g. the construction
+# name `D^d_{n,k}`), so the label block is matched greedily to the last
+# `}` before the value.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf)$"
+)
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+TIMING_KEYS = frozenset(
+    {"seconds", "trials_per_sec", "faults_per_sec", "repairs_per_sec"}
+)
+
+
+def fail(msg):
+    sys.exit(f"check_metrics: {msg}")
+
+
+def parse_exposition(text, where):
+    """Returns (types: {family: kind}, samples: [(name, labels, value)]).
+    Any structural problem is a one-line exit naming ``where``."""
+    types, samples = {}, []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m:
+                family, kind = m.groups()
+                if family in types:
+                    fail(f"{where}:{lineno}: duplicate # TYPE for {family}")
+                types[family] = kind
+            elif line.startswith("# TYPE"):
+                fail(f"{where}:{lineno}: malformed TYPE line: {line}")
+            continue  # HELP/free comments are fine
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}:{lineno}: unparseable sample line: {line}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        samples.append((name, labels, float(value.replace("Inf", "inf"))))
+    return types, samples
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared TYPE family (histogram
+    samples carry _bucket/_sum/_count suffixes on the family name)."""
+    if name in types:
+        return name
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def label_value(labels, key):
+    for k, v in LABEL_PAIR_RE.findall(labels):
+        if k == key:
+            return v
+    return None
+
+
+def strip_label(labels, key):
+    parts = [f'{k}="{v}"' for k, v in LABEL_PAIR_RE.findall(labels) if k != key]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def validate_exposition(text, where):
+    types, samples = parse_exposition(text, where)
+    if not samples:
+        # An off-build dump is a single comment — structurally fine.
+        return types, samples
+    buckets = {}  # (family, labels-minus-le) -> [(le, count)]
+    for name, labels, value in samples:
+        family = family_of(name, types)
+        if family is None:
+            fail(f"{where}: sample {name} has no # TYPE declaration")
+        kind = types[family]
+        if kind == "counter" and value < 0:
+            fail(f"{where}: counter {name}{labels} is negative ({value})")
+        if kind == "histogram" and name.endswith("_bucket"):
+            le = label_value(labels, "le")
+            if le is None:
+                fail(f"{where}: bucket sample {name}{labels} lacks le=")
+            key = (family, strip_label(labels, "le"))
+            buckets.setdefault(key, []).append((float(le.replace("Inf", "inf")), value))
+    counts = {
+        (family_of(n, types), l): v for n, l, v in samples if n.endswith("_count")
+    }
+    for (family, labels), series in buckets.items():
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            fail(f"{where}: {family}{labels}: bucket le bounds not ascending")
+        vals = [v for _, v in series]
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            fail(f"{where}: {family}{labels}: bucket counts not cumulative")
+        if not math.isinf(les[-1]):
+            fail(f"{where}: {family}{labels}: buckets do not end at +Inf")
+        total = counts.get((family, labels))
+        if total is not None and vals[-1] != total:
+            fail(
+                f"{where}: {family}{labels}: +Inf bucket {vals[-1]} != _count {total}"
+            )
+    return types, samples
+
+
+# ---------------------------------------------------------------- drive
+
+OP_CREATE, OP_EVENTS, OP_SHUTDOWN, OP_STATS = 0, 1, 5, 6
+ST_OK, ST_OVERLOADED, ST_ERROR = 0, 1, 2
+
+
+class Daemon:
+    """A minimal protocol client: u32-LE length-framed requests of
+    ``rid u64 | tenant u64 | opcode u8 | body``."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=30)
+        self.rid = 0
+
+    def call(self, tenant, opcode, body=b""):
+        rid = self.rid
+        self.rid += 1
+        payload = struct.pack("<QQB", rid, tenant, opcode) + body
+        self.sock.sendall(struct.pack("<I", len(payload)) + payload)
+        raw = self._read_frame()
+        got_rid, status = struct.unpack("<QB", raw[:9])
+        if got_rid != rid:
+            fail(f"drive: reply id {got_rid} != request id {rid}")
+        return status, raw[9:]
+
+    def _read_frame(self):
+        header = self._read_exact(4)
+        (length,) = struct.unpack("<I", header)
+        return self._read_exact(length)
+
+    def _read_exact(self, n):
+        buf = b""
+        while len(buf) < n:
+            chunk = self.sock.recv(n - len(buf))
+            if not chunk:
+                fail("drive: daemon closed the connection mid-frame")
+            buf += chunk
+        return buf
+
+
+def event_record(t, kind, target, ident):
+    # time u64 LE | event u8 (0 kill / 1 repair) | target u8 (0 node /
+    # 1 edge) | id u64 LE — ftt_faults::journal_io record format.
+    return struct.pack("<QBBQ", t, kind, target, ident)
+
+
+def scrape(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            ctype = resp.headers.get("Content-Type", "")
+            if "text/plain" not in ctype:
+                fail(f"drive: {url}: unexpected Content-Type {ctype!r}")
+            return resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as e:
+        fail(f"drive: cannot scrape {url}: {e}")
+
+
+def counter_totals(types, samples):
+    totals = {}
+    for name, labels, value in samples:
+        family = family_of(name, types)
+        if types.get(family) == "counter" or (
+            types.get(family) == "histogram" and not name.endswith("_q")
+            and not name.endswith("_max")
+        ):
+            totals[name + labels] = totals.get(name + labels, 0) + value
+    return totals
+
+
+def check_drive(argv):
+    usage = "usage: check_metrics.py --drive tcp:HOST:PORT --metrics URL [--shutdown]"
+    shutdown = "--shutdown" in argv
+    if shutdown:
+        argv.remove("--shutdown")
+    if "--metrics" not in argv or len(argv) != 3:
+        fail(usage)
+    url = argv[argv.index("--metrics") + 1]
+    argv.remove("--metrics")
+    argv.remove(url)
+    target = argv[0]
+    if not target.startswith("tcp:"):
+        fail(f"drive: target {target!r} must be tcp:HOST:PORT")
+    host, _, port = target[4:].rpartition(":")
+    daemon = Daemon(host, int(port))
+
+    # Create one tiny D^1_{8,2} tenant (spec wire tag 2, three u64s).
+    spec = struct.pack("<BQQQ", 2, 1, 8, 2)
+    status, _ = daemon.call(7, OP_CREATE, spec)
+    if status != ST_OK:
+        fail(f"drive: CreateTenant answered status {status}")
+
+    def apply_batch(t0):
+        # kill + repair node 1: net-zero, always repairable.
+        body = event_record(t0, 0, 0, 1) + event_record(t0 + 1, 1, 0, 1)
+        status, _ = daemon.call(7, OP_EVENTS, body)
+        if status != ST_OK:
+            fail(f"drive: Events answered status {status}")
+
+    apply_batch(0)
+    first = scrape(url)
+    types1, samples1 = validate_exposition(first, "scrape#1")
+    if not samples1:
+        fail("drive: first scrape is empty — daemon built without --features obs?")
+
+    for i in range(1, 6):
+        apply_batch(10 * i)
+    time.sleep(0.2)  # let shard workers drain so gauges return to 0
+    second = scrape(url)
+    types2, samples2 = validate_exposition(second, "scrape#2")
+
+    # Counters (and histogram count/sum/buckets) are monotone.
+    t1, t2 = counter_totals(types1, samples1), counter_totals(types2, samples2)
+    for series, v1 in sorted(t1.items()):
+        v2 = t2.get(series)
+        if v2 is None:
+            fail(f"drive: series {series} vanished between scrapes")
+        if v2 < v1:
+            fail(f"drive: counter {series} went backwards ({v1} -> {v2})")
+    events1 = t1.get('ftt_serve_requests_total{opcode="events"}', 0)
+    events2 = t2.get('ftt_serve_requests_total{opcode="events"}', 0)
+    if events2 < events1 + 5:
+        fail(
+            f"drive: events request counter rose {events1} -> {events2}, "
+            f"expected at least +5"
+        )
+    # Quiescent daemon: every per-shard queue gauge is back at 0.
+    depths = [
+        (name + labels, value)
+        for name, labels, value in samples2
+        if name == "ftt_serve_queue_depth"
+    ]
+    if not depths:
+        fail("drive: no ftt_serve_queue_depth gauges in second scrape")
+    for series, value in depths:
+        if value != 0:
+            fail(f"drive: {series} = {value} after quiescence (expected 0)")
+    # Ack latency histogram saw our batches.
+    ack = t2.get("ftt_serve_ack_latency_us_count", 0)
+    if ack < 6:
+        fail(f"drive: ack latency histogram count {ack} < 6 applied batches")
+
+    # The Stats opcode must expose the same families as HTTP.
+    status, body = daemon.call(0, OP_STATS)
+    if status != ST_OK or body[:1] != bytes([OP_STATS]):
+        fail(f"drive: Stats opcode answered status {status}")
+    types3, _ = validate_exposition(body[1:].decode("utf-8"), "stats-opcode")
+    if set(types3) != set(types2):
+        fail(
+            f"drive: Stats opcode families {sorted(set(types3) ^ set(types2))} "
+            f"differ from HTTP scrape"
+        )
+
+    if shutdown:
+        status, _ = daemon.call(0, OP_SHUTDOWN)
+        if status != ST_OK:
+            fail(f"drive: Shutdown answered status {status}")
+    print(
+        f"check_metrics: ok (drive: {len(samples2)} samples, "
+        f"{len(t2)} monotone series, {len(depths)} quiescent queue gauges, "
+        f"stats opcode consistent{', daemon shut down' if shutdown else ''})"
+    )
+
+
+# ---------------------------------------------------------- cross-check
+
+
+def load_json(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as e:
+        fail(f"{path}: cannot read: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON: {e}")
+
+
+def check_cross(argv):
+    usage = "usage: check_metrics.py --cross-check BENCH_serve.json [--factor F]"
+    factor = 2.0
+    if "--factor" in argv:
+        i = argv.index("--factor")
+        try:
+            factor = float(argv[i + 1])
+        except (IndexError, ValueError):
+            fail(usage)
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        fail(usage)
+    data = load_json(argv[0])
+    bad = []
+    for q in ("p50", "p99", "p999", "max"):
+        client = data.get(f"ack_{q}_us")
+        daemon = data.get(f"daemon_ack_{q}_us")
+        if not isinstance(client, (int, float)):
+            fail(f"{argv[0]}: missing client-side ack_{q}_us")
+        if not isinstance(daemon, (int, float)):
+            fail(
+                f"{argv[0]}: missing daemon_ack_{q}_us — bench_serve not built "
+                f"with --features obs?"
+            )
+        lo, hi = min(client, daemon), max(client, daemon)
+        ratio = hi / max(lo, 1.0)
+        marker = "" if ratio <= factor else "  <-- DISAGREE"
+        print(f"ack {q:>4}: client {client:>8.0f}µs daemon {daemon:>8.0f}µs ratio {ratio:.2f}{marker}")
+        if ratio > factor:
+            bad.append(
+                f"ack_{q}_us: client {client:.0f}µs vs daemon {daemon:.0f}µs "
+                f"disagree beyond {factor}x"
+            )
+    if bad:
+        print("check_metrics: FAILED:", file=sys.stderr)
+        for b in bad:
+            print(f"  - {b}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_metrics: ok (daemon and client ack quantiles agree within {factor}x)")
+
+
+# -------------------------------------------------------------- compare
+
+
+def strip_timing(value):
+    if isinstance(value, dict):
+        return {
+            k: strip_timing(v) for k, v in value.items() if k not in TIMING_KEYS
+        }
+    if isinstance(value, list):
+        return [strip_timing(v) for v in value]
+    return value
+
+
+def first_difference(a, b, path="$"):
+    if isinstance(a, dict) and isinstance(b, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a or k not in b:
+                return f"{path}.{k}: present in only one artifact"
+            d = first_difference(a[k], b[k], f"{path}.{k}")
+            if d:
+                return d
+        return None
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{path}: list lengths {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            d = first_difference(x, y, f"{path}[{i}]")
+            if d:
+                return d
+        return None
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
+def check_compare(argv):
+    if len(argv) != 2:
+        fail("usage: check_metrics.py --compare A.json B.json")
+    a, b = strip_timing(load_json(argv[0])), strip_timing(load_json(argv[1]))
+    diff = first_difference(a, b)
+    if diff:
+        fail(
+            f"artifacts differ outside wall-clock fields: {diff} "
+            f"({argv[0]} vs {argv[1]})"
+        )
+    print(
+        f"check_metrics: ok ({argv[0]} and {argv[1]} identical modulo "
+        f"{'/'.join(sorted(TIMING_KEYS))})"
+    )
+
+
+# ------------------------------------------------------------- overhead
+
+
+def scenario_tps(path, field):
+    data = load_json(path)
+    out = {}
+    for s in data.get("scenarios", []):
+        if (
+            not isinstance(s, dict)
+            or not isinstance(s.get("name"), str)
+            or not isinstance(s.get(field), (int, float))
+            or s[field] <= 0
+        ):
+            fail(f"{path}: malformed scenario entry (needs name + {field}): {s!r}")
+        out[s["name"]] = s[field]
+    if not out:
+        fail(f"{path}: no scenarios")
+    return out
+
+
+def check_overhead(argv):
+    usage = (
+        "usage: check_metrics.py --overhead OFF.json ON.json "
+        "[--max-overhead F] [--field NAME]"
+    )
+    max_overhead = 0.05
+    field = "trials_per_sec"
+    if "--max-overhead" in argv:
+        i = argv.index("--max-overhead")
+        try:
+            max_overhead = float(argv[i + 1])
+        except (IndexError, ValueError):
+            fail(usage)
+        del argv[i : i + 2]
+    if "--field" in argv:
+        i = argv.index("--field")
+        try:
+            field = argv[i + 1]
+        except IndexError:
+            fail(usage)
+        del argv[i : i + 2]
+    if len(argv) != 2:
+        fail(usage)
+    off, on = scenario_tps(argv[0], field), scenario_tps(argv[1], field)
+    if set(off) != set(on):
+        fail(f"scenario sets differ: {sorted(set(off) ^ set(on))}")
+    print(f"{'scenario':<28} {'obs off':>12} {'obs on':>12} {'ratio':>8}")
+    log_sum = 0.0
+    for name in sorted(off):
+        ratio = on[name] / off[name]
+        log_sum += math.log(ratio)
+        print(f"{name:<28} {off[name]:>12.1f} {on[name]:>12.1f} {ratio:>8.3f}")
+    geomean = math.exp(log_sum / len(off))
+    floor = 1.0 - max_overhead
+    print(f"geomean on/off ratio {geomean:.3f} (floor {floor:.3f})")
+    if geomean < floor:
+        fail(
+            f"obs-on geomean throughput {geomean:.3f} of obs-off — "
+            f"instrumentation overhead exceeds {max_overhead:.0%}"
+        )
+    print(f"check_metrics: ok (obs overhead within {max_overhead:.0%})")
+
+
+def main(argv):
+    for flag, handler in (
+        ("--drive", check_drive),
+        ("--cross-check", check_cross),
+        ("--compare", check_compare),
+        ("--overhead", check_overhead),
+    ):
+        if flag in argv:
+            argv.remove(flag)
+            return handler(argv)
+    if len(argv) != 1:
+        fail(
+            "usage: check_metrics.py EXPOSITION.txt | --drive … | "
+            "--cross-check … | --compare … | --overhead …"
+        )
+    try:
+        with open(argv[0]) as fh:
+            text = fh.read()
+    except OSError as e:
+        fail(f"{argv[0]}: cannot read: {e}")
+    types, samples = validate_exposition(text, argv[0])
+    print(
+        f"check_metrics: ok ({argv[0]}: {len(types)} families, "
+        f"{len(samples)} samples, histograms cumulative)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -278,6 +278,19 @@ SERVE_NUM_FIELDS = (
     "frac_rebuild",
     "overloaded_retries",
 )
+# Accepted but not required (and never gated): tail-latency fields and
+# the daemon's self-reported histogram quantiles, present only when
+# bench_serve was built with the `obs` feature. Older committed
+# baselines lack them; newer artifacts carrying them must still
+# validate against this checker.
+SERVE_OPTIONAL_NUM_FIELDS = (
+    "ack_p999_us",
+    "ack_max_us",
+    "daemon_ack_p50_us",
+    "daemon_ack_p99_us",
+    "daemon_ack_p999_us",
+    "daemon_ack_max_us",
+)
 
 
 def load_serve(path):
@@ -292,6 +305,9 @@ def load_serve(path):
     for field in SERVE_NUM_FIELDS:
         if not isinstance(data.get(field), (int, float)):
             sys.exit(f"check_perf: {path}: missing/odd field {field}")
+    for field in SERVE_OPTIONAL_NUM_FIELDS:
+        if field in data and not isinstance(data[field], (int, float)):
+            sys.exit(f"check_perf: {path}: optional field {field} not numeric")
     for field in ("frac_fast", "frac_local", "frac_rebuild"):
         if not 0.0 <= data[field] <= 1.0:
             sys.exit(f"check_perf: {path}: {field} {data[field]} outside [0, 1]")
@@ -326,6 +342,10 @@ def check_serve(argv):
     print(f"{'':<10} {'committed':>12} {'fresh':>12}")
     for field in ("tenants", "events_total", "events_per_sec", "ack_p50_us", "ack_p99_us"):
         print(f"{field:<18} {committed[field]:>12.0f} {fresh[field]:>12.0f}")
+    for field in SERVE_OPTIONAL_NUM_FIELDS:
+        if field in committed or field in fresh:
+            fmt = lambda d: f"{d[field]:>12.0f}" if field in d else f"{'-':>12}"
+            print(f"{field:<18} {fmt(committed)} {fmt(fresh)}")
     print(
         f"throughput ratio {ratio:.2f} (floor {floor:.2f}); fresh tier mix "
         f"fast/local/rebuild {fresh['frac_fast']:.2f}/{fresh['frac_local']:.2f}"
